@@ -1,0 +1,54 @@
+// §VI-A overhead check: the paper reports that AIP adds only ~4% (Q1A) /
+// ~2.5% (Q2A) overhead for estimating costs and building sets, and that AIP
+// is "safe" even when a query offers little or no information-passing
+// opportunity. This harness measures the relative overhead of installing
+// Feed-Forward and Cost-Based AIP on queries across the opportunity
+// spectrum (Q1A/Q2A = good opportunity; Q5B = little opportunity).
+#include <cstdio>
+
+#include "bench/figure_harness.h"
+#include "storage/tpch_generator.h"
+
+using namespace pushsip;
+using namespace pushsip::bench;
+
+int main(int argc, char** argv) {
+  const HarnessOptions opts = ParseArgs(argc, argv);
+  TpchConfig cfg_gen;
+  cfg_gen.scale_factor = opts.scale_factor;
+  cfg_gen.seed = opts.seed;
+  auto catalog = MakeTpchCatalog(cfg_gen);
+
+  std::printf("# AIP overhead (paper §VI-A: ~4%% on Q1A, ~2.5%% on Q2A)\n");
+  std::printf("%-6s %12s %12s %12s %10s %10s\n", "query", "Baseline(s)",
+              "FF(s)", "CB(s)", "FF ovh", "CB ovh");
+
+  for (const QueryId q : {QueryId::kQ1A, QueryId::kQ2A, QueryId::kQ5B}) {
+    double mean[3] = {0, 0, 0};
+    const Strategy strategies[3] = {Strategy::kBaseline,
+                                    Strategy::kFeedForward,
+                                    Strategy::kCostBased};
+    for (int si = 0; si < 3; ++si) {
+      for (int rep = 0; rep < opts.repetitions; ++rep) {
+        ExperimentConfig cfg;
+        cfg.query = q;
+        cfg.strategy = strategies[si];
+        cfg.catalog = catalog;
+        auto r = RunExperiment(cfg);
+        if (!r.ok()) {
+          std::fprintf(stderr, "FAILED: %s\n", r.status().ToString().c_str());
+          return 1;
+        }
+        mean[si] += r->stats.elapsed_sec;
+      }
+      mean[si] /= opts.repetitions;
+    }
+    std::printf("%-6s %12.4f %12.4f %12.4f %9.1f%% %9.1f%%\n", QueryName(q),
+                mean[0], mean[1], mean[2],
+                (mean[1] / mean[0] - 1.0) * 100.0,
+                (mean[2] / mean[0] - 1.0) * 100.0);
+  }
+  std::printf("\n# Negative overhead = AIP sped the query up; the safety\n");
+  std::printf("# claim is that positive overheads stay small.\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 7 - Space usage: variations on TPC-H Query 2 and IBM variant
+#include "bench/figure_harness.h"
+
+using namespace pushsip;
+using namespace pushsip::bench;
+
+int main(int argc, char** argv) {
+  FigureSpec spec;
+  spec.id = "fig07";
+  spec.title = "Fig. 7 - Space usage: variations on TPC-H Query 2 and IBM variant";
+  spec.metric = Metric::kSpaceMb;
+  spec.queries = {QueryId::kQ3A, QueryId::kQ3B, QueryId::kQ3D, QueryId::kQ3E, QueryId::kQ1A, QueryId::kQ1B, QueryId::kQ1D, QueryId::kQ1E};
+  spec.strategies = {Strategy::kBaseline, Strategy::kMagic, Strategy::kFeedForward, Strategy::kCostBased};
+  
+  return RunFigure(spec, argc, argv);
+}

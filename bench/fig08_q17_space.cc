@@ -1,0 +1,16 @@
+// Fig. 8 - Space usage: variations on TPC-H Query 17
+#include "bench/figure_harness.h"
+
+using namespace pushsip;
+using namespace pushsip::bench;
+
+int main(int argc, char** argv) {
+  FigureSpec spec;
+  spec.id = "fig08";
+  spec.title = "Fig. 8 - Space usage: variations on TPC-H Query 17";
+  spec.metric = Metric::kSpaceMb;
+  spec.queries = {QueryId::kQ2A, QueryId::kQ2B, QueryId::kQ2C, QueryId::kQ2D, QueryId::kQ2E};
+  spec.strategies = {Strategy::kBaseline, Strategy::kMagic, Strategy::kFeedForward, Strategy::kCostBased};
+  
+  return RunFigure(spec, argc, argv);
+}

@@ -1,0 +1,16 @@
+// Fig. 9 - Running times with delayed PARTSUPP: TPC-H Query 2 and IBM variants
+#include "bench/figure_harness.h"
+
+using namespace pushsip;
+using namespace pushsip::bench;
+
+int main(int argc, char** argv) {
+  FigureSpec spec;
+  spec.id = "fig09";
+  spec.title = "Fig. 9 - Running times with delayed PARTSUPP: TPC-H Query 2 and IBM variants";
+  spec.metric = Metric::kTimeSec;
+  spec.queries = {QueryId::kQ3A, QueryId::kQ3B, QueryId::kQ3D, QueryId::kQ3E, QueryId::kQ1A, QueryId::kQ1B, QueryId::kQ1D, QueryId::kQ1E};
+  spec.strategies = {Strategy::kBaseline, Strategy::kMagic, Strategy::kFeedForward, Strategy::kCostBased};
+  spec.delay_inputs = true;
+  return RunFigure(spec, argc, argv);
+}

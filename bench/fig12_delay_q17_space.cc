@@ -1,0 +1,16 @@
+// Fig. 12 - Space usage under delay: TPC-H Query 17 variants
+#include "bench/figure_harness.h"
+
+using namespace pushsip;
+using namespace pushsip::bench;
+
+int main(int argc, char** argv) {
+  FigureSpec spec;
+  spec.id = "fig12";
+  spec.title = "Fig. 12 - Space usage under delay: TPC-H Query 17 variants";
+  spec.metric = Metric::kSpaceMb;
+  spec.queries = {QueryId::kQ2A, QueryId::kQ2B, QueryId::kQ2C, QueryId::kQ2D, QueryId::kQ2E};
+  spec.strategies = {Strategy::kBaseline, Strategy::kMagic, Strategy::kFeedForward, Strategy::kCostBased};
+  spec.delay_inputs = true;
+  return RunFigure(spec, argc, argv);
+}

@@ -1,0 +1,16 @@
+// Fig. 13 - Running times for join and distributed join queries
+#include "bench/figure_harness.h"
+
+using namespace pushsip;
+using namespace pushsip::bench;
+
+int main(int argc, char** argv) {
+  FigureSpec spec;
+  spec.id = "fig13";
+  spec.title = "Fig. 13 - Running times for join and distributed join queries";
+  spec.metric = Metric::kTimeSec;
+  spec.queries = {QueryId::kQ4A, QueryId::kQ5A, QueryId::kQ4B, QueryId::kQ5B, QueryId::kQ3C, QueryId::kQ1C};
+  spec.strategies = {Strategy::kBaseline, Strategy::kFeedForward, Strategy::kCostBased};
+  
+  return RunFigure(spec, argc, argv);
+}

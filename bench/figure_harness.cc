@@ -1,0 +1,159 @@
+#include "bench/figure_harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace pushsip {
+namespace bench {
+
+HarnessOptions ParseArgs(int argc, char** argv) {
+  HarnessOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--sf=", 5) == 0) {
+      opts.scale_factor = std::atof(arg + 5);
+    } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+      opts.repetitions = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opts.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--no-pacing") == 0) {
+      opts.pace_every_rows = 0;
+    } else if (std::strcmp(arg, "--paper-delays") == 0) {
+      opts.initial_delay_ms = 100;
+      opts.delay_ms = 5;
+      opts.delay_every_rows = 1000;
+    }
+  }
+  return opts;
+}
+
+namespace {
+
+struct CellStats {
+  double mean = 0;
+  double ci95 = 0;  // 95% confidence half-width
+};
+
+CellStats Summarize(const std::vector<double>& xs) {
+  CellStats out;
+  if (xs.empty()) return out;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  out.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double var = 0;
+    for (double x : xs) var += (x - out.mean) * (x - out.mean);
+    var /= static_cast<double>(xs.size() - 1);
+    // t_{0.975, n-1} ~ 4.30 (n=3), 2.78 (n=5), 2.26 (n=10); use a small table.
+    const double t = xs.size() <= 3 ? 4.30 : (xs.size() <= 5 ? 2.78 : 2.26);
+    out.ci95 = t * std::sqrt(var / static_cast<double>(xs.size()));
+  }
+  return out;
+}
+
+}  // namespace
+
+int RunFigure(const FigureSpec& spec, int argc, char** argv) {
+  const HarnessOptions opts = ParseArgs(argc, argv);
+
+  // Catalogs built once, lazily, per skew flavour.
+  std::map<bool, std::shared_ptr<Catalog>> catalogs;
+  auto catalog_for = [&](QueryId q) {
+    const bool skewed = QueryWantsSkewedData(q);
+    auto& entry = catalogs[skewed];
+    if (!entry) {
+      TpchConfig cfg;
+      cfg.scale_factor = opts.scale_factor;
+      cfg.skewed = skewed;
+      cfg.seed = opts.seed;
+      entry = MakeTpchCatalog(cfg);
+    }
+    return entry;
+  };
+
+  std::printf("# %s\n", spec.title.c_str());
+  std::printf("# sf=%g reps=%d metric=%s%s\n", opts.scale_factor,
+              opts.repetitions,
+              spec.metric == Metric::kTimeSec ? "time_sec" : "state_mb",
+              spec.delay_inputs ? " delayed-input" : "");
+
+  // Header.
+  std::printf("%-6s", "query");
+  for (const Strategy s : spec.strategies) {
+    std::printf(" %16s", StrategyName(s));
+  }
+  std::printf("    pruned(FF/CB)\n");
+
+  std::string csv = "query";
+  for (const Strategy s : spec.strategies) {
+    csv += ",";
+    csv += StrategyName(s);
+  }
+  csv += "\n";
+
+  uint64_t reference_hash = 0;
+  for (const QueryId q : spec.queries) {
+    std::printf("%-6s", QueryName(q));
+    csv += QueryName(q);
+    bool have_reference = false;
+    int64_t ff_pruned = 0, cb_pruned = 0;
+    for (const Strategy s : spec.strategies) {
+      if (s == Strategy::kMagic && !QuerySupportsMagic(q)) {
+        std::printf(" %16s", "-");
+        csv += ",";
+        continue;
+      }
+      std::vector<double> samples;
+      for (int rep = 0; rep < opts.repetitions; ++rep) {
+        ExperimentConfig cfg;
+        cfg.query = q;
+        cfg.strategy = s;
+        cfg.catalog = catalog_for(q);
+        cfg.delay_inputs = spec.delay_inputs;
+        cfg.initial_delay_ms = opts.initial_delay_ms;
+        cfg.delay_ms = opts.delay_ms;
+        cfg.delay_every_rows = opts.delay_every_rows;
+        cfg.remote_bandwidth_bps = opts.remote_bandwidth_bps;
+        cfg.pace_every_rows = opts.pace_every_rows;
+        cfg.pace_ms = opts.pace_ms;
+        auto r = RunExperiment(cfg);
+        if (!r.ok()) {
+          std::fprintf(stderr, "FAILED %s/%s: %s\n", QueryName(q),
+                       StrategyName(s), r.status().ToString().c_str());
+          return 1;
+        }
+        // Cross-strategy correctness check, every repetition.
+        if (!have_reference) {
+          reference_hash = r->result_hash;
+          have_reference = true;
+        } else if (r->result_hash != reference_hash) {
+          std::fprintf(stderr, "RESULT MISMATCH %s/%s\n", QueryName(q),
+                       StrategyName(s));
+          return 2;
+        }
+        samples.push_back(spec.metric == Metric::kTimeSec
+                              ? r->stats.elapsed_sec
+                              : r->total_state_mb());
+        if (s == Strategy::kFeedForward) ff_pruned = r->aip_pruned;
+        if (s == Strategy::kCostBased) cb_pruned = r->aip_pruned;
+      }
+      const CellStats cell = Summarize(samples);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f±%.3f", cell.mean, cell.ci95);
+      std::printf(" %16s", buf);
+      char num[32];
+      std::snprintf(num, sizeof(num), ",%.4f", cell.mean);
+      csv += num;
+    }
+    std::printf("    %lld/%lld\n", static_cast<long long>(ff_pruned),
+                static_cast<long long>(cb_pruned));
+    csv += "\n";
+  }
+  std::printf("\n# CSV\n%s\n", csv.c_str());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace pushsip

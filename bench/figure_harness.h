@@ -1,0 +1,59 @@
+// Shared harness for the figure-reproduction benchmarks: runs a grid of
+// (query × strategy) cells with repetitions and prints the same series the
+// paper plots, as an aligned table and as CSV.
+#ifndef PUSHSIP_BENCH_FIGURE_HARNESS_H_
+#define PUSHSIP_BENCH_FIGURE_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/tpch_generator.h"
+#include "workload/experiment.h"
+
+namespace pushsip {
+namespace bench {
+
+/// What a figure plots.
+enum class Metric {
+  kTimeSec,   ///< running time (Figs. 5, 6, 9, 10, 13)
+  kSpaceMb,   ///< intermediate state (Figs. 7, 8, 11, 12, 14)
+};
+
+/// Declarative description of one paper figure.
+struct FigureSpec {
+  std::string id;          ///< e.g. "fig05"
+  std::string title;       ///< printed header
+  Metric metric = Metric::kTimeSec;
+  std::vector<QueryId> queries;
+  std::vector<Strategy> strategies;
+  bool delay_inputs = false;  ///< the §VI-B delayed-PARTSUPP environment
+};
+
+/// Command-line-tunable run parameters (see ParseArgs).
+struct HarnessOptions {
+  double scale_factor = 0.02;
+  int repetitions = 3;
+  uint64_t seed = 42;
+  /// Scaled-down delays keep the delayed figures quick by default; pass
+  /// --paper-delays for the paper's 100 ms / 5 ms-per-1000 values.
+  double initial_delay_ms = 50;
+  double delay_ms = 2;
+  size_t delay_every_rows = 1000;
+  double remote_bandwidth_bps = 100e6;
+  /// Default scan pacing (paper's sources stream from disk): stabilizes
+  /// input-completion order so space figures are reproducible. --no-pacing
+  /// disables it.
+  size_t pace_every_rows = 512;
+  double pace_ms = 0.5;
+};
+
+/// Parses --sf=, --reps=, --seed=, --paper-delays from argv.
+HarnessOptions ParseArgs(int argc, char** argv);
+
+/// Runs the figure and prints its table; returns a process exit code.
+int RunFigure(const FigureSpec& spec, int argc, char** argv);
+
+}  // namespace bench
+}  // namespace pushsip
+
+#endif  // PUSHSIP_BENCH_FIGURE_HARNESS_H_

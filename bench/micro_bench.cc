@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks for the performance-critical primitives:
+// Bloom filter build/probe, AIP-set probing through the filter interface,
+// symmetric hash join throughput, and Zipf sampling.
+#include <benchmark/benchmark.h>
+
+#include "exec/hash_join.h"
+#include "exec/sink.h"
+#include "sip/aip_set.h"
+#include "storage/tpch_generator.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace pushsip {
+namespace {
+
+void BM_BloomInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Random rng(1);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = rng.NextUint64();
+  for (auto _ : state) {
+    BloomFilter f(n, 0.05, 1);
+    for (const uint64_t k : keys) f.Insert(k);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BloomInsert)->Arg(1024)->Arg(65536);
+
+void BM_BloomProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Random rng(2);
+  BloomFilter f(n, 0.05, 1);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) {
+    k = rng.NextUint64();
+    f.Insert(k);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.MightContain(keys[i++ % n]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbe)->Arg(1024)->Arg(65536);
+
+void BM_AipFilterPass(benchmark::State& state) {
+  auto set = std::make_shared<AipSet>(AipSetKind::kBloom, 10000, 0.05);
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) set->Insert(rng.NextUint64());
+  set->Seal();
+  AipFilter filter("bench", 0, set);
+  Tuple t({Value::Int64(12345)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Pass(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AipFilterPass);
+
+void BM_HashSetSummaryProbe(benchmark::State& state) {
+  AipSet set(AipSetKind::kHash, 0);
+  Random rng(4);
+  for (int i = 0; i < 10000; ++i) set.Insert(rng.NextUint64());
+  uint64_t probe = 42;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.MightContain(probe++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashSetSummaryProbe);
+
+void BM_SymmetricHashJoin(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Schema schema({Field{"t.a", TypeId::kInt64, kInvalidAttr},
+                 Field{"t.b", TypeId::kInt64, kInvalidAttr}});
+  Random rng(5);
+  Batch left, right;
+  for (int64_t i = 0; i < n; ++i) {
+    left.rows.push_back(
+        Tuple({Value::Int64(rng.UniformInt(0, n)), Value::Int64(i)}));
+    right.rows.push_back(
+        Tuple({Value::Int64(rng.UniformInt(0, n)), Value::Int64(i)}));
+  }
+  for (auto _ : state) {
+    ExecContext ctx;
+    SymmetricHashJoin join(&ctx, "join", schema, schema, {0}, {0});
+    Sink sink(&ctx, "sink", join.output_schema());
+    join.SetOutput(&sink);
+    Batch l = left, r = right;
+    join.Push(0, std::move(l)).CheckOK();
+    join.Push(1, std::move(r)).CheckOK();
+    join.Finish(0).CheckOK();
+    join.Finish(1).CheckOK();
+    benchmark::DoNotOptimize(sink.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_SymmetricHashJoin)->Arg(1024)->Arg(16384);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution z(100000, 0.5);
+  Random rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_TpchGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    TpchConfig cfg;
+    cfg.scale_factor = 0.002;
+    Catalog catalog;
+    TpchGenerator(cfg).Generate(&catalog).CheckOK();
+    benchmark::DoNotOptimize(catalog.FootprintBytes());
+  }
+}
+BENCHMARK(BM_TpchGenerate);
+
+}  // namespace
+}  // namespace pushsip
+
+BENCHMARK_MAIN();

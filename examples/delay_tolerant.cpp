@@ -1,0 +1,44 @@
+// Delay-tolerant execution (paper §VI-B): push-style engines exist to keep
+// working while remote sources stall. This example delays PARTSUPP (100 ms
+// initial + 5 ms per 1000 tuples, the paper's setting) and shows that AIP
+// keeps its state savings and stays ahead of Baseline even when I/O
+// dominates.
+#include <cstdio>
+
+#include "storage/tpch_generator.h"
+#include "workload/experiment.h"
+
+using namespace pushsip;
+
+int main() {
+  TpchConfig gen;
+  gen.scale_factor = 0.01;
+  auto catalog = MakeTpchCatalog(gen);
+
+  std::printf("TPC-H Q2 (paper Q1A) with PARTSUPP delayed 100 ms + 5 ms/1000 "
+              "tuples\n\n");
+  std::printf("%-14s %10s %12s %12s %10s\n", "strategy", "time(ms)",
+              "state(MB)", "AIP sets", "pruned");
+  for (const Strategy s :
+       {Strategy::kBaseline, Strategy::kMagic, Strategy::kFeedForward,
+        Strategy::kCostBased}) {
+    ExperimentConfig cfg;
+    cfg.query = QueryId::kQ1A;
+    cfg.strategy = s;
+    cfg.catalog = catalog;
+    cfg.delay_inputs = true;
+    cfg.initial_delay_ms = 100;
+    cfg.delay_every_rows = 1000;
+    cfg.delay_ms = 5;
+    auto r = RunExperiment(cfg);
+    r.status().CheckOK();
+    std::printf("%-14s %10.1f %12.2f %12lld %10lld\n", StrategyName(s),
+                r->stats.elapsed_sec * 1e3, r->total_state_mb(),
+                static_cast<long long>(r->aip_sets),
+                static_cast<long long>(r->aip_pruned));
+  }
+  std::printf("\nAs in the paper, delays compress the running-time gaps but\n"
+              "the state savings persist — valuable when many queries share\n"
+              "the engine.\n");
+  return 0;
+}

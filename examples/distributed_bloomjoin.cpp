@@ -1,0 +1,42 @@
+// Distributed adaptive Bloomjoin (paper §V "Distributed query extensions",
+// Figs. 13-14, queries Q1C/Q3C): PARTSUPP lives on a remote node behind a
+// simulated 10 Mbps link. With cost-based AIP, as soon as the local
+// (selective) side of the plan completes, the AIP Manager ships a Bloom
+// filter of the surviving part keys to the remote scan — pruned tuples
+// never cross the wire.
+#include <cstdio>
+
+#include "storage/tpch_generator.h"
+#include "workload/experiment.h"
+
+using namespace pushsip;
+
+int main() {
+  TpchConfig gen;
+  gen.scale_factor = 0.01;
+  auto catalog = MakeTpchCatalog(gen);
+
+  std::printf("Q3C (IBM query, PARTSUPP fetched over a simulated 10 Mbps "
+              "link)\n\n");
+  std::printf("%-14s %10s %10s %12s %14s\n", "strategy", "rows", "time(ms)",
+              "pruned@src", "sets shipped");
+  for (const Strategy s : {Strategy::kBaseline, Strategy::kCostBased}) {
+    ExperimentConfig cfg;
+    cfg.query = QueryId::kQ3C;
+    cfg.strategy = s;
+    cfg.catalog = catalog;
+    cfg.remote_bandwidth_bps = 10e6;  // the paper's WAN assumption
+    cfg.remote_latency_ms = 2.0;
+    auto r = RunExperiment(cfg);
+    r.status().CheckOK();
+    std::printf("%-14s %10lld %10.1f %12lld %14lld\n", StrategyName(s),
+                static_cast<long long>(r->result_rows),
+                r->stats.elapsed_sec * 1e3,
+                static_cast<long long>(r->stats.rows_source_pruned),
+                static_cast<long long>(r->aip_sets));
+  }
+  std::printf("\nWith cost-based AIP the remote scans are prefiltered by the\n"
+              "shipped Bloom filter, cutting transfer volume and latency —\n"
+              "an adaptive version of the classical Bloomjoin.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "common/schema.h"
+
+namespace pushsip {
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  int found = -1;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const std::string& fname = fields_[i].name;
+    bool match = fname == name;
+    if (!match && fname.size() > name.size()) {
+      // Unqualified lookup: "p_partkey" matches "part.p_partkey".
+      const size_t off = fname.size() - name.size();
+      match = fname[off - 1] == '.' && fname.compare(off, name.size(), name) == 0;
+    }
+    if (match) {
+      if (found >= 0) {
+        return Status::InvalidArgument("ambiguous column name: " + name);
+      }
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) {
+    return Status::NotFound("no column named " + name + " in " + ToString());
+  }
+  return found;
+}
+
+Result<int> Schema::IndexOfAttr(AttrId attr) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].attr == attr && attr != kInvalidAttr) {
+      return static_cast<int>(i);
+    }
+  }
+  return Status::NotFound("no column with attr id " + std::to_string(attr));
+}
+
+bool Schema::HasAttr(AttrId attr) const {
+  if (attr == kInvalidAttr) return false;
+  for (const Field& f : fields_) {
+    if (f.attr == attr) return true;
+  }
+  return false;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Field> fields = left.fields_;
+  fields.insert(fields.end(), right.fields_.begin(), right.fields_.end());
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += TypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pushsip

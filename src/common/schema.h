@@ -1,0 +1,61 @@
+// Schema: ordered, named, typed columns, each tagged with a query-global
+// attribute id used by the sideways-information-passing machinery.
+#ifndef PUSHSIP_COMMON_SCHEMA_H_
+#define PUSHSIP_COMMON_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pushsip {
+
+/// Query-global identifier of a column *instance*. Two occurrences of the
+/// same base table in one query get distinct AttrIds. kInvalidAttr marks
+/// derived columns (e.g. arithmetic results) that cannot participate in AIP.
+using AttrId = int32_t;
+constexpr AttrId kInvalidAttr = -1;
+
+/// One column of a Schema.
+struct Field {
+  std::string name;  ///< qualified name, e.g. "ps1.ps_supplycost"
+  TypeId type = TypeId::kNull;
+  AttrId attr = kInvalidAttr;  ///< identity for equivalence tracking
+};
+
+/// \brief An ordered list of Fields describing the tuples on a dataflow edge.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Index of the column with the given (qualified or unqualified) name.
+  /// An unqualified name matches "x.name"; ambiguity is an error.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// Index of the column carrying the given attribute id, or error.
+  Result<int> IndexOfAttr(AttrId attr) const;
+
+  /// True if some column carries the given attribute id.
+  bool HasAttr(AttrId attr) const;
+
+  /// Concatenation of two schemas (join output).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_COMMON_SCHEMA_H_

@@ -1,0 +1,62 @@
+#include "common/tuple.h"
+
+namespace pushsip {
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  std::vector<Value> values = left.values_;
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Tuple(std::move(values));
+}
+
+uint64_t Tuple::HashColumns(const std::vector<int>& cols) const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const int c : cols) {
+    const uint64_t vh = values_[static_cast<size_t>(c)].Hash();
+    h ^= vh + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool Tuple::EqualsOn(const std::vector<int>& cols, const Tuple& other,
+                     const std::vector<int>& other_cols) const {
+  PUSHSIP_DCHECK(cols.size() == other_cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const Value& a = values_[static_cast<size_t>(cols[i])];
+    const Value& b = other.values_[static_cast<size_t>(other_cols[i])];
+    if (a.is_null() || b.is_null()) return false;  // SQL join semantics
+    if (a.Compare(b) != 0) return false;
+  }
+  return true;
+}
+
+int Tuple::Compare(const Tuple& other) const {
+  const size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() < other.values_.size()) return -1;
+  return values_.size() > other.values_.size() ? 1 : 0;
+}
+
+size_t Tuple::FootprintBytes() const {
+  size_t bytes = sizeof(Tuple) + values_.capacity() * sizeof(Value);
+  for (const Value& v : values_) {
+    if (v.type() == TypeId::kString) {
+      bytes += v.AsString().capacity();
+    }
+  }
+  return bytes;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pushsip

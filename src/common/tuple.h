@@ -1,0 +1,60 @@
+// Tuple and Batch: the unit of dataflow in the push engine.
+#ifndef PUSHSIP_COMMON_TUPLE_H_
+#define PUSHSIP_COMMON_TUPLE_H_
+
+#include <vector>
+
+#include "common/value.h"
+
+namespace pushsip {
+
+/// \brief A row: a fixed-arity vector of Values matching some Schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenation of two tuples (join output).
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  /// Combined hash of the values at the given column indices.
+  uint64_t HashColumns(const std::vector<int>& cols) const;
+
+  /// True if the values at `cols` equal those of `other` at `other_cols`.
+  bool EqualsOn(const std::vector<int>& cols, const Tuple& other,
+                const std::vector<int>& other_cols) const;
+
+  /// Total-order comparison over all columns (for deterministic sorting in
+  /// tests and result normalization).
+  int Compare(const Tuple& other) const;
+
+  /// Approximate memory footprint (for intermediate-state accounting).
+  size_t FootprintBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// A batch of tuples pushed through the plan at once.
+struct Batch {
+  std::vector<Tuple> rows;
+
+  bool empty() const { return rows.empty(); }
+  size_t size() const { return rows.size(); }
+};
+
+/// Default number of rows per pushed batch.
+constexpr size_t kDefaultBatchSize = 1024;
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_COMMON_TUPLE_H_

@@ -1,0 +1,62 @@
+#include "exec/distinct.h"
+
+namespace pushsip {
+
+DistinctOp::~DistinctOp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_bytes_ > 0) {
+    ctx_->state_tracker().Release(state_bytes_);
+    state_bytes_ = 0;
+  }
+}
+
+int64_t DistinctOp::StateBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_bytes_;
+}
+
+std::vector<uint64_t> DistinctOp::StateColumnHashes(int col) const {
+  std::vector<uint64_t> hashes;
+  std::lock_guard<std::mutex> lock(mu_);
+  hashes.reserve(seen_.size());
+  for (const auto& [_, t] : seen_) {
+    hashes.push_back(t.at(static_cast<size_t>(col)).Hash());
+  }
+  return hashes;
+}
+
+int64_t DistinctOp::NumDistinct() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(seen_.size());
+}
+
+Status DistinctOp::DoPush(int, Batch&& batch) {
+  Batch out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Tuple& row : batch.rows) {
+      const uint64_t h = row.HashColumns(all_cols_);
+      bool duplicate = false;
+      const auto [lo, hi] = seen_.equal_range(h);
+      for (auto it = lo; it != hi; ++it) {
+        if (row.EqualsOn(all_cols_, it->second, all_cols_)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      const int64_t bytes = static_cast<int64_t>(row.FootprintBytes()) + 16;
+      state_bytes_ += bytes;
+      ctx_->state_tracker().Add(bytes);
+      out.rows.push_back(row);
+      seen_.emplace(h, std::move(row));
+    }
+    int64_t prev = peak_state_.load(std::memory_order_relaxed);
+    while (state_bytes_ > prev &&
+           !peak_state_.compare_exchange_weak(prev, state_bytes_)) {
+    }
+  }
+  return Emit(std::move(out));
+}
+
+}  // namespace pushsip

@@ -1,0 +1,46 @@
+// DistinctOp: pipelined duplicate elimination (emits first occurrences
+// immediately, buffering seen tuples — state that AIP can summarize).
+#ifndef PUSHSIP_EXEC_DISTINCT_H_
+#define PUSHSIP_EXEC_DISTINCT_H_
+
+#include <unordered_map>
+
+#include "exec/operator.h"
+
+namespace pushsip {
+
+/// \brief Emits each distinct input tuple once, as soon as it is first seen.
+class DistinctOp : public Operator {
+ public:
+  DistinctOp(ExecContext* ctx, std::string name, Schema schema)
+      : Operator(ctx, std::move(name), 1, std::move(schema)) {
+    for (size_t i = 0; i < output_schema().num_fields(); ++i) {
+      all_cols_.push_back(static_cast<int>(i));
+    }
+  }
+  ~DistinctOp() override;
+
+  bool IsStateful() const override { return true; }
+  int64_t StateBytes() const override;
+  int64_t PeakStateBytes() const override { return peak_state_.load(); }
+
+  /// Hashes of output column `col` across the distinct set (AIP source).
+  std::vector<uint64_t> StateColumnHashes(int col) const;
+
+  int64_t NumDistinct() const;
+
+ protected:
+  Status DoPush(int port, Batch&& batch) override;
+  Status DoFinish(int /*port*/) override { return EmitFinish(); }
+
+ private:
+  std::vector<int> all_cols_;
+  mutable std::mutex mu_;
+  std::unordered_multimap<uint64_t, Tuple> seen_;
+  int64_t state_bytes_ = 0;
+  std::atomic<int64_t> peak_state_{0};
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_DISTINCT_H_

@@ -1,0 +1,48 @@
+#include "exec/driver.h"
+
+#include <thread>
+
+#include "util/stopwatch.h"
+
+namespace pushsip {
+
+Result<QueryStats> Driver::Run() {
+  if (sink_ == nullptr) return Status::InvalidArgument("null sink");
+  if (scans_.empty()) return Status::InvalidArgument("no source scans");
+
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  threads.reserve(scans_.size());
+  for (TableScan* scan : scans_) {
+    threads.emplace_back([this, scan] {
+      const Status st = scan->Run();
+      if (!st.ok() && st.code() != StatusCode::kCancelled) {
+        ctx_->SetError(st);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const Status err = ctx_->GetError();
+  if (!err.ok()) return err;
+  if (!sink_->finished()) {
+    return Status::Internal(
+        "sink did not finish although all sources completed");
+  }
+
+  QueryStats stats;
+  stats.elapsed_sec = timer.ElapsedSeconds();
+  stats.result_rows = sink_->num_rows();
+  stats.peak_state_bytes = ctx_->state_tracker().peak_bytes();
+  for (Operator* op : ctx_->operators()) {
+    for (int p = 0; p < op->num_inputs(); ++p) {
+      stats.rows_pruned += op->rows_pruned(p);
+    }
+    if (auto* scan = dynamic_cast<TableScan*>(op)) {
+      stats.rows_source_pruned += scan->rows_source_pruned();
+    }
+  }
+  return stats;
+}
+
+}  // namespace pushsip

@@ -1,0 +1,52 @@
+// Driver: runs a push plan — one producer thread per source scan (Tukwila's
+// multithreaded, nondeterministically scheduled execution model) — and
+// collects per-query statistics.
+#ifndef PUSHSIP_EXEC_DRIVER_H_
+#define PUSHSIP_EXEC_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/scan.h"
+#include "exec/sink.h"
+
+namespace pushsip {
+
+/// Measurements of one query execution.
+struct QueryStats {
+  double elapsed_sec = 0;
+  int64_t result_rows = 0;
+  /// Peak of the summed intermediate state across all stateful operators
+  /// (what Figs. 7/8/11/12/14 plot as "Intermediate State (MB)").
+  int64_t peak_state_bytes = 0;
+  /// Total tuples pruned by dynamically injected AIP filters.
+  int64_t rows_pruned = 0;
+  /// Total tuples pruned at sources (before a simulated link).
+  int64_t rows_source_pruned = 0;
+
+  double peak_state_mb() const {
+    return static_cast<double>(peak_state_bytes) / (1024.0 * 1024.0);
+  }
+};
+
+/// \brief Owns the threads that drive a plan's sources to completion.
+class Driver {
+ public:
+  /// `scans` are the plan's source operators; `sink` its terminal operator.
+  /// Neither ownership nor lifetime is transferred.
+  Driver(ExecContext* ctx, std::vector<TableScan*> scans, Sink* sink)
+      : ctx_(ctx), scans_(std::move(scans)), sink_(sink) {}
+
+  /// Runs the plan to completion and returns its statistics.
+  Result<QueryStats> Run();
+
+ private:
+  ExecContext* ctx_;
+  std::vector<TableScan*> scans_;
+  Sink* sink_;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_DRIVER_H_

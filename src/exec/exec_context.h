@@ -1,0 +1,62 @@
+// ExecContext: shared runtime state for one query execution — memory/state
+// accounting, error propagation + cancellation, batch sizing, and the
+// completion hooks that the adaptive-information-passing layer subscribes to.
+#ifndef PUSHSIP_EXEC_EXEC_CONTEXT_H_
+#define PUSHSIP_EXEC_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "util/memory_tracker.h"
+
+namespace pushsip {
+
+class Operator;
+
+/// \brief Per-query execution context shared by all operators and threads.
+class ExecContext {
+ public:
+  ExecContext() = default;
+
+  MemoryTracker& state_tracker() { return state_tracker_; }
+
+  /// Records the first error and cancels the query.
+  void SetError(const Status& status);
+  Status GetError() const;
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Registers an operator for stats reporting; called by Operator's ctor.
+  void RegisterOperator(Operator* op);
+  const std::vector<Operator*>& operators() const { return operators_; }
+
+  /// Subscribes to "input port of a stateful operator completed" events —
+  /// the trigger point for cost-based AIP (paper §IV-B). Callbacks run on
+  /// the thread that delivered the Finish and must be quick or hand off.
+  using InputFinishedHook = std::function<void(Operator*, int port)>;
+  void AddInputFinishedHook(InputFinishedHook hook);
+
+  /// Invoked by stateful operators when one of their inputs completes.
+  void NotifyInputFinished(Operator* op, int port);
+
+  size_t batch_size() const { return batch_size_; }
+  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
+ private:
+  MemoryTracker state_tracker_;
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  Status first_error_;
+  std::vector<Operator*> operators_;
+  std::vector<InputFinishedHook> hooks_;
+  size_t batch_size_ = 1024;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,3 @@
+#include "exec/filter.h"
+
+// Header-only; this TU anchors the target.

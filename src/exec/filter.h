@@ -1,0 +1,43 @@
+// FilterOp: stateless selection by a boolean expression.
+#ifndef PUSHSIP_EXEC_FILTER_H_
+#define PUSHSIP_EXEC_FILTER_H_
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace pushsip {
+
+/// \brief Keeps tuples for which the predicate evaluates to true
+/// (NULL counts as false, per SQL).
+class FilterOp : public Operator {
+ public:
+  FilterOp(ExecContext* ctx, std::string name, Schema schema,
+           ExprPtr predicate)
+      : Operator(ctx, std::move(name), 1, std::move(schema)),
+        predicate_(std::move(predicate)) {}
+
+  const ExprPtr& predicate() const { return predicate_; }
+
+ protected:
+  Status DoPush(int, Batch&& batch) override {
+    size_t kept = 0;
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      const Value v = predicate_->Eval(batch.rows[i]);
+      if (!v.is_null() && v.AsInt64() != 0) {
+        if (kept != i) batch.rows[kept] = std::move(batch.rows[i]);
+        ++kept;
+      }
+    }
+    batch.rows.resize(kept);
+    return Emit(std::move(batch));
+  }
+
+  Status DoFinish(int) override { return EmitFinish(); }
+
+ private:
+  ExprPtr predicate_;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_FILTER_H_

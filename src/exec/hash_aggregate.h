@@ -1,0 +1,64 @@
+// HashAggregate: hash-based group-by, the blocking operator that AIP can
+// pass information *across* (paper §III: "regardless of whether there are
+// intervening blocking operators").
+#ifndef PUSHSIP_EXEC_HASH_AGGREGATE_H_
+#define PUSHSIP_EXEC_HASH_AGGREGATE_H_
+
+#include <unordered_map>
+
+#include "exec/operator.h"
+#include "expr/aggregate.h"
+
+namespace pushsip {
+
+/// \brief Groups input rows by key columns and computes aggregates.
+///
+/// Output layout: the group-key columns (retaining their AttrIds, so AIP
+/// can correlate through the aggregation) followed by one column per
+/// AggSpec. Results are emitted when the input finishes; the hash table is
+/// retained afterwards (it is the AIP-set source for this subexpression)
+/// and released at destruction.
+class HashAggregate : public Operator {
+ public:
+  /// `group_cols` index the input schema. An empty list means a single
+  /// global group (scalar aggregation).
+  HashAggregate(ExecContext* ctx, std::string name, const Schema& in_schema,
+                std::vector<int> group_cols, std::vector<AggSpec> aggs);
+  ~HashAggregate() override;
+
+  bool IsStateful() const override { return true; }
+  int64_t StateBytes() const override;
+  int64_t PeakStateBytes() const override { return peak_state_.load(); }
+
+  /// Hashes of the values of output column `col` (must be a group-key
+  /// column) across all groups. AIP-set source for cost-based AIP.
+  std::vector<uint64_t> StateColumnHashes(int col) const;
+
+  int64_t NumGroups() const;
+
+  static Schema MakeOutputSchema(const Schema& in_schema,
+                                 const std::vector<int>& group_cols,
+                                 const std::vector<AggSpec>& aggs);
+
+ protected:
+  Status DoPush(int port, Batch&& batch) override;
+  Status DoFinish(int port) override;
+
+ private:
+  struct Group {
+    Tuple key;  // values of the group columns
+    std::vector<AggState> states;
+  };
+
+  std::vector<int> group_cols_;
+  std::vector<AggSpec> aggs_;
+
+  mutable std::mutex mu_;
+  std::unordered_multimap<uint64_t, Group> groups_;
+  int64_t state_bytes_ = 0;
+  std::atomic<int64_t> peak_state_{0};
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_HASH_AGGREGATE_H_

@@ -1,0 +1,132 @@
+#include "exec/hash_join.h"
+
+namespace pushsip {
+
+SymmetricHashJoin::SymmetricHashJoin(ExecContext* ctx, std::string name,
+                                     Schema left_schema, Schema right_schema,
+                                     std::vector<int> left_keys,
+                                     std::vector<int> right_keys,
+                                     ExprPtr residual)
+    : Operator(ctx, std::move(name), 2,
+               Schema::Concat(left_schema, right_schema)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)) {
+  PUSHSIP_DCHECK(left_keys_.size() == right_keys_.size());
+  PUSHSIP_DCHECK(!left_keys_.empty());
+}
+
+SymmetricHashJoin::~SymmetricHashJoin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReleaseSide(&sides_[0]);
+  ReleaseSide(&sides_[1]);
+}
+
+int64_t SymmetricHashJoin::StateBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sides_[0].state_bytes + sides_[1].state_bytes;
+}
+
+std::vector<uint64_t> SymmetricHashJoin::StateColumnHashes(int port,
+                                                           int col) const {
+  std::vector<uint64_t> hashes;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Side& side = sides_[port];
+  hashes.reserve(side.table.size());
+  for (const auto& [_, tuple] : side.table) {
+    hashes.push_back(tuple.at(static_cast<size_t>(col)).Hash());
+  }
+  return hashes;
+}
+
+int64_t SymmetricHashJoin::StateTupleCount(int port) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sides_[port].table.size());
+}
+
+bool SymmetricHashJoin::StateCompleteAtFinish(int port) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sides_[port].complete_at_finish;
+}
+
+void SymmetricHashJoin::ReleaseSide(Side* side) {
+  if (side->state_bytes > 0) {
+    ctx_->state_tracker().Release(side->state_bytes);
+    side->state_bytes = 0;
+  }
+  side->table.clear();
+  side->buffering = false;
+}
+
+void SymmetricHashJoin::BumpPeak() {
+  const int64_t now = sides_[0].state_bytes + sides_[1].state_bytes;
+  int64_t prev = peak_state_.load(std::memory_order_relaxed);
+  while (now > prev && !peak_state_.compare_exchange_weak(prev, now)) {
+  }
+}
+
+Status SymmetricHashJoin::DoPush(int port, Batch&& batch) {
+  const int other = 1 - port;
+  const std::vector<int>& my_keys = port == 0 ? left_keys_ : right_keys_;
+  const std::vector<int>& other_keys = port == 0 ? right_keys_ : left_keys_;
+
+  Batch out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Side& mine = sides_[port];
+    Side& theirs = sides_[other];
+    for (Tuple& row : batch.rows) {
+      const uint64_t h = row.HashColumns(my_keys);
+      // Probe the opposite side.
+      const auto [lo, hi] = theirs.table.equal_range(h);
+      for (auto it = lo; it != hi; ++it) {
+        if (!row.EqualsOn(my_keys, it->second, other_keys)) continue;
+        Tuple joined = port == 0 ? Tuple::Concat(row, it->second)
+                                 : Tuple::Concat(it->second, row);
+        if (residual_) {
+          const Value v = residual_->Eval(joined);
+          if (v.is_null() || v.AsInt64() == 0) continue;
+        }
+        out.rows.push_back(std::move(joined));
+      }
+      // Buffer for future probes from the other side — unless that side has
+      // already finished (short-circuit: no future probes can arrive).
+      if (mine.buffering && !theirs.finished) {
+        const int64_t bytes =
+            static_cast<int64_t>(row.FootprintBytes()) + 16 /*bucket*/;
+        mine.state_bytes += bytes;
+        ctx_->state_tracker().Add(bytes);
+        mine.table.emplace(h, std::move(row));
+      }
+    }
+    BumpPeak();
+  }
+  return Emit(std::move(out));
+}
+
+Status SymmetricHashJoin::DoFinish(int port) {
+  bool both_done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sides_[port].finished = true;
+    // If this side was still buffering, its table is the complete input
+    // subexpression: a valid AIP-set source. (It stays resident anyway to
+    // serve probes from the other, still-running input.)
+    sides_[port].complete_at_finish = sides_[port].buffering;
+    // The other side's buffered tuples can only be probed by arrivals on
+    // THIS port; none will come, so free that state now (Tukwila's
+    // short-circuit; this is what gives Baseline its Q2C space advantage
+    // over Magic in the paper).
+    Side& other = sides_[1 - port];
+    ReleaseSide(&other);
+    both_done = other.finished;
+  }
+  if (both_done) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReleaseSide(&sides_[0]);
+    ReleaseSide(&sides_[1]);
+  }
+  return both_done ? EmitFinish() : Status::OK();
+}
+
+}  // namespace pushsip

@@ -1,0 +1,82 @@
+// SymmetricHashJoin: the pipelined (doubly-pipelined / XJoin-style) hash
+// join at the heart of push-style query processing (paper §II, §V-A).
+//
+// Both inputs build hash tables and probe the opposite side as tuples
+// arrive, so results stream out regardless of input arrival order. The
+// operator implements Tukwila's short-circuit optimization (paper §VI-A,
+// the Q2C discussion): once one input finishes, the other side stops
+// buffering — arriving tuples only probe — and the now-unprobeable table
+// is freed.
+#ifndef PUSHSIP_EXEC_HASH_JOIN_H_
+#define PUSHSIP_EXEC_HASH_JOIN_H_
+
+#include <unordered_map>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace pushsip {
+
+/// \brief Symmetric (doubly-pipelined) hash join on equality keys, with an
+/// optional residual predicate evaluated over the concatenated output row.
+class SymmetricHashJoin : public Operator {
+ public:
+  /// `left_keys` / `right_keys` are parallel column-index lists into the
+  /// respective input schemas. Output schema is left ++ right.
+  SymmetricHashJoin(ExecContext* ctx, std::string name, Schema left_schema,
+                    Schema right_schema, std::vector<int> left_keys,
+                    std::vector<int> right_keys, ExprPtr residual = nullptr);
+  ~SymmetricHashJoin() override;
+
+  bool IsStateful() const override { return true; }
+  int64_t StateBytes() const override;
+  int64_t PeakStateBytes() const override { return peak_state_.load(); }
+
+  /// Hashes of the values in column `col` of every tuple buffered for input
+  /// `port`. Used by cost-based AIP to build an AIP set from the completed
+  /// subexpression held in this operator's state (paper §IV-B).
+  std::vector<uint64_t> StateColumnHashes(int port, int col) const;
+
+  /// Number of tuples currently buffered for `port`.
+  int64_t StateTupleCount(int port) const;
+
+  /// True iff the state buffered for `port` at the moment it finished was
+  /// the *complete* input subexpression. False when the short-circuit
+  /// optimization had already stopped buffering this side (the other input
+  /// finished first), in which case an AIP set must NOT be built from it —
+  /// it would have false negatives.
+  bool StateCompleteAtFinish(int port) const;
+
+  const std::vector<int>& keys(int port) const {
+    return port == 0 ? left_keys_ : right_keys_;
+  }
+
+ protected:
+  Status DoPush(int port, Batch&& batch) override;
+  Status DoFinish(int port) override;
+
+ private:
+  struct Side {
+    // hash(key) -> tuples with that key hash (collisions verified by
+    // EqualsOn before emitting).
+    std::unordered_multimap<uint64_t, Tuple> table;
+    bool finished = false;
+    bool buffering = true;
+    bool complete_at_finish = false;
+    int64_t state_bytes = 0;
+  };
+
+  void ReleaseSide(Side* side);
+  void BumpPeak();
+
+  std::vector<int> left_keys_, right_keys_;
+  ExprPtr residual_;
+
+  mutable std::mutex mu_;
+  Side sides_[2];
+  std::atomic<int64_t> peak_state_{0};
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_HASH_JOIN_H_

@@ -1,0 +1,110 @@
+#include "exec/operator.h"
+
+#include <algorithm>
+
+namespace pushsip {
+
+Operator::Operator(ExecContext* ctx, std::string name, int num_inputs,
+                   Schema output_schema)
+    : ctx_(ctx),
+      name_(std::move(name)),
+      num_inputs_(num_inputs),
+      output_schema_(std::move(output_schema)) {
+  PUSHSIP_DCHECK(num_inputs >= 0 && num_inputs <= kMaxInputs);
+  for (int i = 0; i < kMaxInputs; ++i) {
+    rows_in_[i].store(0);
+    rows_pruned_[i].store(0);
+    finished_[i].store(false);
+  }
+  ctx_->RegisterOperator(this);
+}
+
+Operator::~Operator() = default;
+
+void Operator::SetOutput(Operator* op, int port) {
+  out_ = op;
+  out_port_ = port;
+}
+
+Status Operator::Push(int port, Batch&& batch) {
+  PUSHSIP_DCHECK(port >= 0 && port < num_inputs_);
+  if (ShouldStop()) return Status::Cancelled("query cancelled");
+  rows_in_[port].fetch_add(static_cast<int64_t>(batch.size()));
+
+  // Snapshot the dynamic hooks (filters may be injected mid-query by AIP).
+  std::vector<std::shared_ptr<const TupleFilter>> filters;
+  std::vector<std::shared_ptr<TupleTap>> taps;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    filters = filters_[port];
+    taps = taps_[port];
+  }
+
+  if (!filters.empty()) {
+    size_t kept = 0;
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      bool pass = true;
+      for (const auto& f : filters) {
+        if (!f->Pass(batch.rows[i])) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        if (kept != i) batch.rows[kept] = std::move(batch.rows[i]);
+        ++kept;
+      }
+    }
+    rows_pruned_[port].fetch_add(
+        static_cast<int64_t>(batch.rows.size() - kept));
+    batch.rows.resize(kept);
+  }
+
+  for (const auto& tap : taps) tap->ObserveBatch(batch);
+
+  if (batch.empty()) return Status::OK();
+  return DoPush(port, std::move(batch));
+}
+
+Status Operator::Finish(int port) {
+  PUSHSIP_DCHECK(port >= 0 && port < num_inputs_);
+  bool expected = false;
+  if (!finished_[port].compare_exchange_strong(expected, true)) {
+    return Status::OK();  // already finished
+  }
+  const Status st = DoFinish(port);
+  if (st.ok() && IsStateful() && !ShouldStop()) {
+    // Trigger point for cost-based AIP: an input subexpression to a stateful
+    // operator has completed (paper §IV-B "Query execution").
+    ctx_->NotifyInputFinished(this, port);
+  }
+  return st;
+}
+
+void Operator::AttachFilter(int port,
+                            std::shared_ptr<const TupleFilter> filter) {
+  PUSHSIP_DCHECK(port >= 0 && port < num_inputs_);
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  filters_[port].push_back(std::move(filter));
+  hook_version_.fetch_add(1);
+}
+
+void Operator::AttachTap(int port, std::shared_ptr<TupleTap> tap) {
+  PUSHSIP_DCHECK(port >= 0 && port < num_inputs_);
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  taps_[port].push_back(std::move(tap));
+  hook_version_.fetch_add(1);
+}
+
+Status Operator::Emit(Batch&& batch) {
+  rows_out_.fetch_add(static_cast<int64_t>(batch.size()));
+  if (out_ == nullptr || batch.empty()) return Status::OK();
+  return out_->Push(out_port_, std::move(batch));
+}
+
+Status Operator::EmitFinish() {
+  if (out_ == nullptr) return Status::OK();
+  return out_->Finish(out_port_);
+}
+
+}  // namespace pushsip

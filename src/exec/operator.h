@@ -1,0 +1,136 @@
+// Operator: base class of the push-style execution engine.
+//
+// Data flows by Push(port, batch) calls made on producer threads; end of
+// stream is signalled by Finish(port). Every operator supports two dynamic
+// extension points used by adaptive information passing (paper §V-B):
+//   * AttachFilter(port, f) — registers an "on-the-fly semijoin": arriving
+//     tuples that fail the filter are pruned before the operator sees them.
+//   * AttachTap(port, t)    — observes tuples that survived the filters
+//     (Feed-Forward AIP builds its local working AIP sets this way).
+#ifndef PUSHSIP_EXEC_OPERATOR_H_
+#define PUSHSIP_EXEC_OPERATOR_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "exec/exec_context.h"
+
+namespace pushsip {
+
+/// \brief A dynamically injected semijoin filter.
+///
+/// Implementations must be thread-safe for concurrent Pass() calls.
+class TupleFilter {
+ public:
+  virtual ~TupleFilter() = default;
+
+  /// Returns false to prune the tuple.
+  virtual bool Pass(const Tuple& tuple) const = 0;
+
+  /// Human-readable label for diagnostics.
+  virtual std::string label() const = 0;
+};
+
+/// Observer invoked for every tuple that survived the port's filters.
+class TupleTap {
+ public:
+  virtual ~TupleTap() = default;
+  virtual void Observe(const Tuple& tuple) = 0;
+  /// Batch variant; override to amortize per-call synchronization.
+  virtual void ObserveBatch(const Batch& batch) {
+    for (const Tuple& row : batch.rows) Observe(row);
+  }
+};
+
+/// \brief Base class for all push operators.
+class Operator {
+ public:
+  Operator(ExecContext* ctx, std::string name, int num_inputs,
+           Schema output_schema);
+  virtual ~Operator();
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const std::string& name() const { return name_; }
+  int num_inputs() const { return num_inputs_; }
+  const Schema& output_schema() const { return output_schema_; }
+  ExecContext* context() const { return ctx_; }
+
+  /// Connects this operator's output to `op` input `port`.
+  void SetOutput(Operator* op, int port = 0);
+  Operator* output() const { return out_; }
+
+  /// Pushes a batch into input `port`. Applies attached filters and taps,
+  /// then forwards to DoPush. Thread-safe.
+  Status Push(int port, Batch&& batch);
+
+  /// Signals end-of-stream on `port`. Thread-safe; at most once per port.
+  Status Finish(int port);
+
+  /// Injects a semijoin filter on input `port` (thread-safe, mid-query).
+  void AttachFilter(int port, std::shared_ptr<const TupleFilter> filter);
+
+  /// Installs a tuple observer on input `port` (thread-safe, mid-query).
+  void AttachTap(int port, std::shared_ptr<TupleTap> tap);
+
+  // --- statistics (paper §V-A: "all query operators are supplemented with
+  // cardinality counters", exposed to the optimizer / AIP Manager) ---
+  int64_t rows_in(int port) const { return rows_in_[port].load(); }
+  int64_t rows_out() const { return rows_out_.load(); }
+  int64_t rows_pruned(int port) const { return rows_pruned_[port].load(); }
+  bool input_finished(int port) const { return finished_[port].load(); }
+
+  /// Bytes of intermediate state currently buffered by this operator.
+  virtual int64_t StateBytes() const { return 0; }
+  /// Peak intermediate state this operator reached.
+  virtual int64_t PeakStateBytes() const { return 0; }
+
+  /// True for operators that buffer correlatable state (join, group-by,
+  /// distinct) — the producers and subjects of AIP sets.
+  virtual bool IsStateful() const { return false; }
+
+ protected:
+  /// Type-specific batch processing. `port` is 0..num_inputs-1.
+  virtual Status DoPush(int port, Batch&& batch) = 0;
+  /// Type-specific end-of-stream handling.
+  virtual Status DoFinish(int port) = 0;
+
+  /// Emits a batch downstream (no-op when there is no consumer).
+  Status Emit(Batch&& batch);
+  /// Emits end-of-stream downstream.
+  Status EmitFinish();
+
+  /// Marks cancellation-aware early exit.
+  bool ShouldStop() const { return ctx_->cancelled(); }
+
+  ExecContext* ctx_;
+
+ private:
+  static constexpr int kMaxInputs = 2;
+
+  std::string name_;
+  int num_inputs_;
+  Schema output_schema_;
+  Operator* out_ = nullptr;
+  int out_port_ = 0;
+
+  std::mutex hook_mu_;
+  std::vector<std::shared_ptr<const TupleFilter>> filters_[kMaxInputs];
+  std::vector<std::shared_ptr<TupleTap>> taps_[kMaxInputs];
+  std::atomic<uint64_t> hook_version_{0};
+
+  std::atomic<int64_t> rows_in_[kMaxInputs];
+  std::atomic<int64_t> rows_out_{0};
+  std::atomic<int64_t> rows_pruned_[kMaxInputs];
+  std::atomic<bool> finished_[kMaxInputs];
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_OPERATOR_H_

@@ -1,0 +1,3 @@
+#include "exec/project.h"
+
+// Header-only; this TU anchors the target.

@@ -1,0 +1,44 @@
+// ProjectOp: computes a new tuple layout from expressions.
+#ifndef PUSHSIP_EXEC_PROJECT_H_
+#define PUSHSIP_EXEC_PROJECT_H_
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace pushsip {
+
+/// \brief Maps each input tuple through a list of expressions.
+///
+/// The output schema is supplied by the planner; its AttrIds mark which
+/// outputs are pass-through columns (AIP-eligible) vs. derived values.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(ExecContext* ctx, std::string name, Schema out_schema,
+            std::vector<ExprPtr> exprs)
+      : Operator(ctx, std::move(name), 1, std::move(out_schema)),
+        exprs_(std::move(exprs)) {
+    PUSHSIP_DCHECK(exprs_.size() == output_schema().num_fields());
+  }
+
+ protected:
+  Status DoPush(int, Batch&& batch) override {
+    Batch out;
+    out.rows.reserve(batch.rows.size());
+    for (const Tuple& row : batch.rows) {
+      std::vector<Value> values;
+      values.reserve(exprs_.size());
+      for (const ExprPtr& e : exprs_) values.push_back(e->Eval(row));
+      out.rows.emplace_back(std::move(values));
+    }
+    return Emit(std::move(out));
+  }
+
+  Status DoFinish(int) override { return EmitFinish(); }
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_PROJECT_H_

@@ -1,0 +1,81 @@
+#include "exec/scan.h"
+
+#include <chrono>
+#include <thread>
+
+namespace pushsip {
+
+TableScan::TableScan(ExecContext* ctx, std::string name, TablePtr table,
+                     Schema schema, ScanOptions options)
+    : Operator(ctx, std::move(name), /*num_inputs=*/0, std::move(schema)),
+      table_(std::move(table)),
+      options_(options) {
+  PUSHSIP_DCHECK(table_ != nullptr);
+  PUSHSIP_DCHECK(output_schema().num_fields() ==
+                 table_->schema().num_fields());
+}
+
+void TableScan::AttachSourceFilter(
+    std::shared_ptr<const TupleFilter> filter) {
+  std::lock_guard<std::mutex> lock(filter_mu_);
+  source_filters_.push_back(std::move(filter));
+}
+
+Status TableScan::Run() {
+  if (options_.initial_delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.initial_delay_ms));
+  }
+  const size_t batch_size = ctx_->batch_size();
+  Batch batch;
+  batch.rows.reserve(batch_size);
+  size_t since_delay = 0;
+  for (const Tuple& row : table_->rows()) {
+    if (ShouldStop()) return Status::Cancelled("query cancelled");
+    rows_scanned_.fetch_add(1);
+    if (options_.delay_every_rows > 0 &&
+        ++since_delay >= options_.delay_every_rows) {
+      since_delay = 0;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(options_.delay_ms));
+    }
+    // Source-side filters (snapshot per row batch would also work; the list
+    // is short and contention is negligible at this granularity).
+    bool pass = true;
+    {
+      std::lock_guard<std::mutex> lock(filter_mu_);
+      for (const auto& f : source_filters_) {
+        if (!f->Pass(row)) {
+          pass = false;
+          break;
+        }
+      }
+    }
+    if (!pass) {
+      rows_source_pruned_.fetch_add(1);
+      continue;
+    }
+    batch.rows.push_back(row);
+    if (batch.rows.size() >= batch_size) {
+      if (options_.transfer_hook) {
+        size_t bytes = 0;
+        for (const Tuple& t : batch.rows) bytes += t.FootprintBytes();
+        options_.transfer_hook(bytes);
+      }
+      PUSHSIP_RETURN_NOT_OK(Emit(std::move(batch)));
+      batch = Batch{};
+      batch.rows.reserve(batch_size);
+    }
+  }
+  if (!batch.empty()) {
+    if (options_.transfer_hook) {
+      size_t bytes = 0;
+      for (const Tuple& t : batch.rows) bytes += t.FootprintBytes();
+      options_.transfer_hook(bytes);
+    }
+    PUSHSIP_RETURN_NOT_OK(Emit(std::move(batch)));
+  }
+  return EmitFinish();
+}
+
+}  // namespace pushsip

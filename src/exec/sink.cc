@@ -1,0 +1,32 @@
+#include "exec/sink.h"
+
+namespace pushsip {
+
+std::vector<Tuple> Sink::TakeRows() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(rows_);
+}
+
+int64_t Sink::num_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(rows_.size());
+}
+
+void Sink::WaitFinished() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_.load() || ctx_->cancelled(); });
+}
+
+Status Sink::DoPush(int, Batch&& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Tuple& row : batch.rows) rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Sink::DoFinish(int) {
+  done_.store(true);
+  cv_.notify_all();
+  return Status::OK();
+}
+
+}  // namespace pushsip

@@ -1,0 +1,40 @@
+// Sink: terminal operator collecting the query result.
+#ifndef PUSHSIP_EXEC_SINK_H_
+#define PUSHSIP_EXEC_SINK_H_
+
+#include <condition_variable>
+
+#include "exec/operator.h"
+
+namespace pushsip {
+
+/// \brief Accumulates final result tuples; signals completion.
+class Sink : public Operator {
+ public:
+  Sink(ExecContext* ctx, std::string name, Schema schema)
+      : Operator(ctx, std::move(name), 1, std::move(schema)) {}
+
+  /// The collected result (valid after the query has finished).
+  std::vector<Tuple> TakeRows();
+  const std::vector<Tuple>& rows() const { return rows_; }
+  int64_t num_rows() const;
+
+  bool finished() const { return done_.load(); }
+
+  /// Blocks until Finish arrives (or cancellation).
+  void WaitFinished();
+
+ protected:
+  Status DoPush(int port, Batch&& batch) override;
+  Status DoFinish(int port) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Tuple> rows_;
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_SINK_H_

@@ -1,0 +1,53 @@
+// Aggregate functions for hash-based group-by (SUM, MIN, MAX, AVG, COUNT).
+#ifndef PUSHSIP_EXPR_AGGREGATE_H_
+#define PUSHSIP_EXPR_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+
+#include "expr/expression.h"
+
+namespace pushsip {
+
+/// Supported aggregate functions.
+enum class AggFunc { kSum, kMin, kMax, kAvg, kCount };
+
+const char* AggFuncName(AggFunc f);
+
+/// \brief Running state of one aggregate over one group.
+///
+/// NULL inputs are ignored per SQL semantics; an aggregate that saw no
+/// non-NULL input finalizes to NULL (COUNT finalizes to 0).
+class AggState {
+ public:
+  explicit AggState(AggFunc func) : func_(func) {}
+
+  void Update(const Value& v);
+  Value Finalize() const;
+
+  AggFunc func() const { return func_; }
+
+ private:
+  AggFunc func_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  bool sum_integral_ = true;
+  int64_t isum_ = 0;
+  Value extreme_;  // running MIN or MAX
+};
+
+/// Specification of one aggregate column in a group-by.
+struct AggSpec {
+  AggFunc func;
+  ExprPtr input;         ///< nullptr allowed for COUNT(*)
+  std::string out_name;  ///< name of the output column
+  /// Attribute id to assign the output (usually kInvalidAttr; aggregation
+  /// results are derived values that do not participate in AIP).
+  AttrId out_attr = kInvalidAttr;
+
+  TypeId OutputType() const;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXPR_AGGREGATE_H_

@@ -1,0 +1,280 @@
+#include "expr/expression.h"
+
+namespace pushsip {
+
+namespace {
+
+class ColumnRef final : public Expression {
+ public:
+  ColumnRef(int index, TypeId type, std::string name)
+      : index_(index), type_(type), name_(std::move(name)) {}
+
+  Value Eval(const Tuple& row) const override {
+    return row.at(static_cast<size_t>(index_));
+  }
+  TypeId type() const override { return type_; }
+  int column_index() const override { return index_; }
+  std::string ToString() const override {
+    return name_.empty() ? "$" + std::to_string(index_) : name_;
+  }
+
+ private:
+  int index_;
+  TypeId type_;
+  std::string name_;
+};
+
+class Literal final : public Expression {
+ public:
+  explicit Literal(Value v) : value_(std::move(v)) {}
+  Value Eval(const Tuple&) const override { return value_; }
+  TypeId type() const override { return value_.type(); }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+class Comparison final : public Expression {
+ public:
+  Comparison(CmpOp op, ExprPtr l, ExprPtr r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {}
+
+  Value Eval(const Tuple& row) const override {
+    const Value l = left_->Eval(row);
+    const Value r = right_->Eval(row);
+    if (l.is_null() || r.is_null()) return Value::Null();
+    const int c = l.Compare(r);
+    bool result = false;
+    switch (op_) {
+      case CmpOp::kEq: result = c == 0; break;
+      case CmpOp::kNe: result = c != 0; break;
+      case CmpOp::kLt: result = c < 0; break;
+      case CmpOp::kLe: result = c <= 0; break;
+      case CmpOp::kGt: result = c > 0; break;
+      case CmpOp::kGe: result = c >= 0; break;
+    }
+    return Value::Int64(result ? 1 : 0);
+  }
+  TypeId type() const override { return TypeId::kInt64; }
+  std::string ToString() const override {
+    static const char* kNames[] = {"=", "<>", "<", "<=", ">", ">="};
+    return "(" + left_->ToString() + " " + kNames[static_cast<int>(op_)] +
+           " " + right_->ToString() + ")";
+  }
+
+ private:
+  CmpOp op_;
+  ExprPtr left_, right_;
+};
+
+class Arithmetic final : public Expression {
+ public:
+  Arithmetic(ArithOp op, ExprPtr l, ExprPtr r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {}
+
+  Value Eval(const Tuple& row) const override {
+    const Value l = left_->Eval(row);
+    const Value r = right_->Eval(row);
+    if (l.is_null() || r.is_null()) return Value::Null();
+    const bool integral = l.type() == TypeId::kInt64 &&
+                          r.type() == TypeId::kInt64 && op_ != ArithOp::kDiv;
+    if (integral) {
+      const int64_t a = l.AsInt64(), b = r.AsInt64();
+      switch (op_) {
+        case ArithOp::kAdd: return Value::Int64(a + b);
+        case ArithOp::kSub: return Value::Int64(a - b);
+        case ArithOp::kMul: return Value::Int64(a * b);
+        case ArithOp::kDiv: break;  // unreachable
+      }
+    }
+    const double a = l.AsDouble(), b = r.AsDouble();
+    switch (op_) {
+      case ArithOp::kAdd: return Value::Double(a + b);
+      case ArithOp::kSub: return Value::Double(a - b);
+      case ArithOp::kMul: return Value::Double(a * b);
+      case ArithOp::kDiv:
+        if (b == 0) return Value::Null();
+        return Value::Double(a / b);
+    }
+    return Value::Null();
+  }
+  TypeId type() const override {
+    if (op_ != ArithOp::kDiv && left_->type() == TypeId::kInt64 &&
+        right_->type() == TypeId::kInt64) {
+      return TypeId::kInt64;
+    }
+    return TypeId::kDouble;
+  }
+  std::string ToString() const override {
+    static const char* kNames[] = {"+", "-", "*", "/"};
+    return "(" + left_->ToString() + " " + kNames[static_cast<int>(op_)] +
+           " " + right_->ToString() + ")";
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr left_, right_;
+};
+
+// Three-valued logic AND/OR.
+class BoolOp final : public Expression {
+ public:
+  BoolOp(bool is_and, ExprPtr l, ExprPtr r)
+      : is_and_(is_and), left_(std::move(l)), right_(std::move(r)) {}
+
+  Value Eval(const Tuple& row) const override {
+    const Value l = left_->Eval(row);
+    // Short-circuit.
+    if (!l.is_null()) {
+      const bool lt = l.AsInt64() != 0;
+      if (is_and_ && !lt) return Value::Int64(0);
+      if (!is_and_ && lt) return Value::Int64(1);
+    }
+    const Value r = right_->Eval(row);
+    if (!r.is_null()) {
+      const bool rt = r.AsInt64() != 0;
+      if (is_and_ && !rt) return Value::Int64(0);
+      if (!is_and_ && rt) return Value::Int64(1);
+    }
+    if (l.is_null() || r.is_null()) return Value::Null();
+    return Value::Int64(is_and_ ? 1 : 0);
+  }
+  TypeId type() const override { return TypeId::kInt64; }
+  std::string ToString() const override {
+    return "(" + left_->ToString() + (is_and_ ? " AND " : " OR ") +
+           right_->ToString() + ")";
+  }
+
+ private:
+  bool is_and_;
+  ExprPtr left_, right_;
+};
+
+class NotOp final : public Expression {
+ public:
+  explicit NotOp(ExprPtr e) : expr_(std::move(e)) {}
+  Value Eval(const Tuple& row) const override {
+    const Value v = expr_->Eval(row);
+    if (v.is_null()) return Value::Null();
+    return Value::Int64(v.AsInt64() != 0 ? 0 : 1);
+  }
+  TypeId type() const override { return TypeId::kInt64; }
+  std::string ToString() const override {
+    return "NOT " + expr_->ToString();
+  }
+
+ private:
+  ExprPtr expr_;
+};
+
+class LikeOp final : public Expression {
+ public:
+  LikeOp(ExprPtr input, std::string pattern)
+      : input_(std::move(input)), pattern_(std::move(pattern)) {}
+  Value Eval(const Tuple& row) const override {
+    const Value v = input_->Eval(row);
+    if (v.is_null()) return Value::Null();
+    return Value::Int64(LikeMatch(v.AsString(), pattern_) ? 1 : 0);
+  }
+  TypeId type() const override { return TypeId::kInt64; }
+  std::string ToString() const override {
+    return input_->ToString() + " LIKE '" + pattern_ + "'";
+  }
+
+ private:
+  ExprPtr input_;
+  std::string pattern_;
+};
+
+class YearOfOp final : public Expression {
+ public:
+  explicit YearOfOp(ExprPtr date) : date_(std::move(date)) {}
+  Value Eval(const Tuple& row) const override {
+    const Value v = date_->Eval(row);
+    if (v.is_null()) return Value::Null();
+    // Convert days-since-epoch back to a civil year.
+    int64_t z = v.AsInt64() + 719468;
+    const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+    const unsigned doe = static_cast<unsigned>(z - era * 146097);
+    const unsigned yoe =
+        (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+    const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    const unsigned mp = (5 * doy + 2) / 153;
+    const unsigned m = mp + (mp < 10 ? 3 : 9 * 0) - (mp < 10 ? 0 : 9);
+    return Value::Int64(y + (m <= 2));
+  }
+  TypeId type() const override { return TypeId::kInt64; }
+  std::string ToString() const override {
+    return "year(" + date_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr date_;
+};
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative two-pointer matcher with % backtracking.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+ExprPtr Col(int index, TypeId type, std::string name) {
+  return std::make_shared<ColumnRef>(index, type, std::move(name));
+}
+
+Result<ExprPtr> ColNamed(const Schema& schema, const std::string& name) {
+  PUSHSIP_ASSIGN_OR_RETURN(const int idx, schema.IndexOf(name));
+  return Col(idx, schema.field(static_cast<size_t>(idx)).type, name);
+}
+
+ExprPtr Lit(Value v) { return std::make_shared<Literal>(std::move(v)); }
+ExprPtr LitInt(int64_t v) { return Lit(Value::Int64(v)); }
+ExprPtr LitDouble(double v) { return Lit(Value::Double(v)); }
+ExprPtr LitString(std::string v) { return Lit(Value::String(std::move(v))); }
+ExprPtr LitDate(const std::string& ymd) {
+  auto v = Value::DateFromString(ymd);
+  return Lit(std::move(v).ValueOrDie());
+}
+
+ExprPtr Cmp(CmpOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<Comparison>(op, std::move(left), std::move(right));
+}
+ExprPtr Arith(ArithOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<Arithmetic>(op, std::move(left), std::move(right));
+}
+ExprPtr And(ExprPtr left, ExprPtr right) {
+  return std::make_shared<BoolOp>(true, std::move(left), std::move(right));
+}
+ExprPtr Or(ExprPtr left, ExprPtr right) {
+  return std::make_shared<BoolOp>(false, std::move(left), std::move(right));
+}
+ExprPtr Not(ExprPtr e) { return std::make_shared<NotOp>(std::move(e)); }
+ExprPtr Like(ExprPtr input, std::string pattern) {
+  return std::make_shared<LikeOp>(std::move(input), std::move(pattern));
+}
+ExprPtr YearOf(ExprPtr date) {
+  return std::make_shared<YearOfOp>(std::move(date));
+}
+
+}  // namespace pushsip

@@ -1,0 +1,81 @@
+// Row-at-a-time expression evaluation: column refs, literals, comparisons,
+// arithmetic, boolean connectives, and SQL LIKE.
+#ifndef PUSHSIP_EXPR_EXPRESSION_H_
+#define PUSHSIP_EXPR_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+
+namespace pushsip {
+
+class Expression;
+using ExprPtr = std::shared_ptr<Expression>;
+
+/// \brief Base class of the expression tree.
+///
+/// Expressions are bound to column *indices* at plan-construction time (the
+/// PlanBuilder resolves names against the operator's input schema), so
+/// evaluation is a pure function of the tuple.
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  /// Evaluates against one row. Predicates return Int64(0/1) or NULL.
+  virtual Value Eval(const Tuple& row) const = 0;
+
+  /// Static result type (best effort; kNull when data-dependent).
+  virtual TypeId type() const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// Column index if this is a bare column reference, else -1.
+  virtual int column_index() const { return -1; }
+};
+
+/// Comparison operators.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Arithmetic operators.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+/// Reference to input column `index`.
+ExprPtr Col(int index, TypeId type, std::string name = "");
+
+/// Resolves `name` against `schema` and returns a column reference.
+Result<ExprPtr> ColNamed(const Schema& schema, const std::string& name);
+
+/// Literal constant.
+ExprPtr Lit(Value v);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDouble(double v);
+ExprPtr LitString(std::string v);
+/// Parses "YYYY-MM-DD"; aborts on malformed literal (build-time error).
+ExprPtr LitDate(const std::string& ymd);
+
+/// Binary comparison; NULL operands yield NULL (treated as false by filters).
+ExprPtr Cmp(CmpOp op, ExprPtr left, ExprPtr right);
+
+/// Binary arithmetic. Integer ops stay integral except kDiv, which is double.
+ExprPtr Arith(ArithOp op, ExprPtr left, ExprPtr right);
+
+/// Three-valued AND / OR / NOT.
+ExprPtr And(ExprPtr left, ExprPtr right);
+ExprPtr Or(ExprPtr left, ExprPtr right);
+ExprPtr Not(ExprPtr e);
+
+/// SQL LIKE with % and _ wildcards.
+ExprPtr Like(ExprPtr input, std::string pattern);
+
+/// Extracts the year of a date as Int64 (TPC-H Q9's year(o_orderdate)).
+ExprPtr YearOf(ExprPtr date);
+
+/// True when `pattern` LIKE-matches `text` (exposed for testing).
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXPR_EXPRESSION_H_

@@ -1,0 +1,3 @@
+#include "net/remote_node.h"
+
+// Header-only; this TU anchors the target.

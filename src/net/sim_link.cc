@@ -1,0 +1,20 @@
+#include "net/sim_link.h"
+
+#include <chrono>
+#include <thread>
+
+namespace pushsip {
+
+void SimLink::Transmit(size_t bytes) {
+  double secs = TransferSeconds(bytes);
+  bool expected = false;
+  if (latency_paid_.compare_exchange_strong(expected, true)) {
+    secs += latency_ms_ / 1e3;
+  }
+  bytes_transferred_.fetch_add(static_cast<int64_t>(bytes));
+  if (secs > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  }
+}
+
+}  // namespace pushsip

@@ -1,0 +1,48 @@
+// SimLink: a bandwidth/latency-accurate simulated network link.
+//
+// Substitution note (see DESIGN.md §3): the paper runs its distributed
+// experiments on two Tukwila nodes over real Ethernet. We model the link in
+// process: transmitting n bytes blocks the sending thread for
+// n/bandwidth seconds (plus a one-time latency), which reproduces exactly
+// the property those experiments measure — shipping a small Bloom filter
+// upstream saves the transfer time of the tuples it prunes.
+#ifndef PUSHSIP_NET_SIM_LINK_H_
+#define PUSHSIP_NET_SIM_LINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace pushsip {
+
+/// \brief A point-to-point simulated link.
+class SimLink {
+ public:
+  /// `bandwidth_bps` in bits per second (paper: 100 Mb Ethernet for the
+  /// distributed join experiments, 10 Mbps in the cost model).
+  SimLink(double bandwidth_bps, double latency_ms = 0.0)
+      : bandwidth_bps_(bandwidth_bps), latency_ms_(latency_ms) {}
+
+  /// Blocks the calling thread for the time `bytes` takes to cross the
+  /// link. The first transmission also pays the latency.
+  void Transmit(size_t bytes);
+
+  /// Seconds `bytes` would take (excluding latency) — for cost estimation.
+  double TransferSeconds(size_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / bandwidth_bps_;
+  }
+
+  int64_t bytes_transferred() const { return bytes_transferred_.load(); }
+  double bandwidth_bps() const { return bandwidth_bps_; }
+  double latency_ms() const { return latency_ms_; }
+
+ private:
+  double bandwidth_bps_;
+  double latency_ms_;
+  std::atomic<int64_t> bytes_transferred_{0};
+  std::atomic<bool> latency_paid_{false};
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_NET_SIM_LINK_H_

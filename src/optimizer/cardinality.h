@@ -1,0 +1,22 @@
+// Cardinality estimation in the Tukwila style (paper §V-A): no histograms;
+// estimates driven by base-table cardinalities, per-column distinct counts,
+// key/foreign-key structure, uniformity, and attribute independence.
+#ifndef PUSHSIP_OPTIMIZER_CARDINALITY_H_
+#define PUSHSIP_OPTIMIZER_CARDINALITY_H_
+
+#include "optimizer/plan.h"
+
+namespace pushsip {
+
+/// Fills in `node->est_rows` and `node->ndv` from its children (which must
+/// already be estimated) and its kind-specific inputs.
+void EstimateCardinality(PlanNode* node);
+
+/// Estimated selectivity of an equality semijoin that keeps only tuples
+/// whose `attr` value appears among `set_keys` distinct keys, at a node
+/// whose `attr` has `node_ndv` distinct values (uniformity assumption).
+double SemijoinSelectivity(double set_keys, double node_ndv);
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_OPTIMIZER_CARDINALITY_H_

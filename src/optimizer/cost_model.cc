@@ -1,0 +1,29 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+
+namespace pushsip {
+
+double CostModel::DownstreamCostPerTuple(const PlanNode* node) const {
+  // A tuple emitted by `node` is processed by its parent, possibly fans out
+  // (joins), and the products are processed further up. Accumulate
+  //   cost = sum over ancestors a of fanout(node..a) * tuple_process
+  // with fan-outs derived from the estimated cardinalities.
+  double cost = 0;
+  double fanout = 1.0;
+  const PlanNode* cur = node;
+  while (cur->parent != nullptr) {
+    const PlanNode* parent = cur->parent;
+    cost += fanout * k_.tuple_process;
+    // How many parent-output rows does one cur-output row produce?
+    double in_rows = 0;
+    for (const PlanNode* c : parent->children) in_rows += c->est_rows;
+    const double step =
+        in_rows > 0 ? parent->est_rows / in_rows : 1.0;
+    fanout *= std::clamp(step, 0.0, 16.0);
+    cur = parent;
+  }
+  return cost;
+}
+
+}  // namespace pushsip

@@ -1,0 +1,54 @@
+// Cost model used by the AIP Manager's ESTIMATEBENEFIT (paper Fig. 4):
+// predicts the CPU (and, in distributed mode, network) cost saved by
+// prefiltering a plan node with an AIP set versus the cost of creating and
+// shipping the set.
+#ifndef PUSHSIP_OPTIMIZER_COST_MODEL_H_
+#define PUSHSIP_OPTIMIZER_COST_MODEL_H_
+
+#include "optimizer/plan.h"
+
+namespace pushsip {
+
+/// Tunable per-operation cost constants (arbitrary CPU units; only ratios
+/// matter).
+struct CostConstants {
+  double tuple_process = 1.0;   ///< handling one tuple at a stateful op
+  double filter_probe = 0.15;   ///< probing one tuple against an AIP filter
+  double set_create = 0.25;     ///< adding one state tuple to a new AIP set
+  double set_fixed = 500.0;     ///< fixed overhead of building/injecting
+  /// Simulated network bandwidth for shipping filters (paper §V: cost of
+  /// shipping n bytes at the assumed link rate), in cost units per byte.
+  double ship_per_byte = 0.01;
+};
+
+/// \brief Cost queries over an estimated Plan.
+class CostModel {
+ public:
+  explicit CostModel(CostConstants constants = {}) : k_(constants) {}
+
+  const CostConstants& constants() const { return k_; }
+
+  /// Cost of processing one tuple arriving at `node`'s output consumer and
+  /// flowing through all its ancestors (including output fan-out): the
+  /// per-tuple term of COST(n ⋈ n') that an AIP filter saves when it prunes
+  /// the tuple.
+  double DownstreamCostPerTuple(const PlanNode* node) const;
+
+  /// Cost of creating an AIP set from `state_tuples` buffered tuples.
+  double CreateCost(double state_tuples) const {
+    return k_.set_fixed + k_.set_create * state_tuples;
+  }
+
+  /// Cost of shipping `bytes` to a remote node.
+  double ShipCost(double bytes) const { return k_.ship_per_byte * bytes; }
+
+  /// Cost of probing `tuples` tuples against a filter.
+  double ProbeCost(double tuples) const { return k_.filter_probe * tuples; }
+
+ private:
+  CostConstants k_;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,111 @@
+#include "optimizer/plan.h"
+
+#include <algorithm>
+
+#include "optimizer/cardinality.h"
+
+namespace pushsip {
+
+PlanNode* Plan::AddNode(std::unique_ptr<PlanNode> node) {
+  nodes_.push_back(std::move(node));
+  PlanNode* n = nodes_.back().get();
+  for (PlanNode* child : n->children) {
+    child->parent = n;
+  }
+  return n;
+}
+
+void Plan::SetRoot(PlanNode* root) {
+  root_ = root;
+  AssignDepths(root_, 0);
+}
+
+void Plan::AssignDepths(PlanNode* n, int depth) {
+  if (n == nullptr) return;
+  n->depth = depth;
+  for (size_t i = 0; i < n->children.size(); ++i) {
+    PlanNode* child = n->children[i];
+    child->parent = n;
+    child->parent_port = static_cast<int>(i);
+    AssignDepths(child, depth + 1);
+  }
+}
+
+PlanNode* Plan::InputNode(const Operator* op, int port) const {
+  for (const auto& n : nodes_) {
+    if (n->parent != nullptr && n->parent->op == op &&
+        n->parent_port == port) {
+      return n.get();
+    }
+  }
+  return nullptr;
+}
+
+void Plan::Estimate() {
+  if (root_ == nullptr) return;
+  // Post-order over the tree.
+  std::vector<PlanNode*> order;
+  std::vector<PlanNode*> stack = {root_};
+  while (!stack.empty()) {
+    PlanNode* n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    for (PlanNode* c : n->children) stack.push_back(c);
+  }
+  std::reverse(order.begin(), order.end());
+  for (PlanNode* n : order) EstimateNode(n, /*use_runtime=*/false);
+}
+
+void Plan::Reestimate() {
+  if (root_ == nullptr) return;
+  std::vector<PlanNode*> order;
+  std::vector<PlanNode*> stack = {root_};
+  while (!stack.empty()) {
+    PlanNode* n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    for (PlanNode* c : n->children) stack.push_back(c);
+  }
+  std::reverse(order.begin(), order.end());
+  for (PlanNode* n : order) EstimateNode(n, /*use_runtime=*/true);
+}
+
+void Plan::EstimateNode(PlanNode* n, bool use_runtime) {
+  EstimateCardinality(n);
+  if (!use_runtime || n->op == nullptr) return;
+  const double observed = static_cast<double>(n->op->rows_out());
+  // A finished stream's cardinality is exact; a running one is at least
+  // what has been observed so far.
+  bool finished = true;
+  if (n->op->num_inputs() == 0) {
+    // Scans: finished when the parent's port saw Finish. Approximate via
+    // the parent port's finished flag.
+    finished = n->parent != nullptr &&
+               n->parent->op->input_finished(n->parent_port);
+  } else {
+    for (int p = 0; p < n->op->num_inputs(); ++p) {
+      finished = finished && n->op->input_finished(p);
+    }
+    // Blocking operators (aggregate) only emit at finish, so an unfinished
+    // aggregate's rows_out() of zero must not drag the estimate down.
+  }
+  if (finished && n->parent != nullptr &&
+      n->parent->op->input_finished(n->parent_port)) {
+    n->est_rows = observed;
+  } else {
+    n->est_rows = std::max(n->est_rows, observed);
+  }
+  for (auto& [attr, d] : n->ndv) {
+    d = std::min(d, std::max(1.0, n->est_rows));
+  }
+}
+
+double Plan::EstimatedRowsRemaining(const Operator* op, int port) const {
+  if (op->input_finished(port)) return 0;
+  const PlanNode* input = InputNode(op, port);
+  if (input == nullptr) return 0;
+  const double arrived = static_cast<double>(op->rows_in(port));
+  return std::max(0.0, input->est_rows - arrived);
+}
+
+}  // namespace pushsip

@@ -1,0 +1,85 @@
+#include "sip/aip_registry.h"
+
+namespace pushsip {
+
+void AipRegistry::AddTarget(EqClassId cls, AipTarget target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  classes_[cls].targets.push_back(std::move(target));
+}
+
+int AipRegistry::Publish(EqClassId cls, std::shared_ptr<const AipSet> set,
+                         const Operator* source_op, int source_port,
+                         const std::string& label) {
+  std::vector<AipTarget> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ClassEntry& entry = classes_[cls];
+    entry.sets.push_back(set);
+    ++sets_published_;
+    targets = entry.targets;
+  }
+  int attached = 0;
+  for (const AipTarget& t : targets) {
+    if (t.op == source_op && t.port == source_port) continue;  // no self-probe
+    if (t.op->input_finished(t.port)) continue;  // nothing left to prune
+    auto filter = std::make_shared<AipFilter>(
+        label + "->" + t.label, t.col, set);
+    if (t.source_scan != nullptr) {
+      // Distributed/Bloomjoin mode: prune at the source, before the link.
+      t.source_scan->AttachSourceFilter(filter);
+    } else {
+      t.op->AttachFilter(t.port, filter);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      all_filters_.push_back(std::move(filter));
+      ++filters_attached_;
+    }
+    ++attached;
+  }
+  return attached;
+}
+
+bool AipRegistry::HasLiveTargets(EqClassId cls, const Operator* source_op,
+                                 int source_port) const {
+  std::vector<AipTarget> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = classes_.find(cls);
+    if (it == classes_.end()) return false;
+    targets = it->second.targets;
+  }
+  for (const AipTarget& t : targets) {
+    if (t.op == source_op && t.port == source_port) continue;
+    if (!t.op->input_finished(t.port)) return true;
+  }
+  return false;
+}
+
+std::vector<std::shared_ptr<const AipSet>> AipRegistry::SetsFor(
+    EqClassId cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = classes_.find(cls);
+  if (it == classes_.end()) return {};
+  return it->second.sets;
+}
+
+int64_t AipRegistry::total_pruned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t pruned = 0;
+  for (const auto& f : all_filters_) pruned += f->pruned_count();
+  return pruned;
+}
+
+int64_t AipRegistry::sets_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t bytes = 0;
+  for (const auto& [_, entry] : classes_) {
+    for (const auto& s : entry.sets) {
+      bytes += static_cast<int64_t>(s->SizeBytes());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace pushsip

@@ -1,0 +1,79 @@
+// AIP Registry (paper §IV-A, Fig. 2b): the central rendezvous between
+// completed AIP sets and the operators interested in probing them. When a
+// set is published for an equivalence class, the registry injects an
+// AipFilter into every registered target of that class on the fly.
+#ifndef PUSHSIP_SIP_AIP_REGISTRY_H_
+#define PUSHSIP_SIP_AIP_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/scan.h"
+#include "sip/aip_set.h"
+#include "sip/predicate_graph.h"
+
+namespace pushsip {
+
+/// A place where an AIP filter can be injected.
+struct AipTarget {
+  Operator* op = nullptr;
+  int port = 0;
+  int col = 0;  ///< column index carrying the class attribute
+  std::string label;
+  /// When set, the filter is additionally attached to the scan itself so
+  /// pruning happens before a simulated network link (distributed AIP).
+  TableScan* source_scan = nullptr;
+};
+
+/// \brief Thread-safe registry of AIP sets and their consumers.
+class AipRegistry {
+ public:
+  /// Registers an operator port as a potential consumer of sets of `cls`.
+  void AddTarget(EqClassId cls, AipTarget target);
+
+  /// Publishes a completed AIP set for `cls`, produced at (source_op,
+  /// source_port). Attaches an AipFilter to every registered target of the
+  /// class except the producing port itself. Returns the number of filters
+  /// attached.
+  int Publish(EqClassId cls, std::shared_ptr<const AipSet> set,
+              const Operator* source_op, int source_port,
+              const std::string& label);
+
+  /// True when some target of `cls` (other than the given producing port)
+  /// has not yet finished — i.e. publishing a set can still prune work.
+  bool HasLiveTargets(EqClassId cls, const Operator* source_op,
+                      int source_port) const;
+
+  /// All sets published so far for `cls`.
+  std::vector<std::shared_ptr<const AipSet>> SetsFor(EqClassId cls) const;
+
+  // --- statistics ---
+  int64_t sets_published() const { return sets_published_; }
+  int64_t filters_attached() const { return filters_attached_; }
+  int64_t total_pruned() const;
+  /// Total bytes across all published sets (AIP's own memory footprint).
+  int64_t sets_bytes() const;
+
+  const std::vector<std::shared_ptr<AipFilter>>& filters() const {
+    return all_filters_;
+  }
+
+ private:
+  struct ClassEntry {
+    std::vector<AipTarget> targets;
+    std::vector<std::shared_ptr<const AipSet>> sets;
+  };
+
+  mutable std::mutex mu_;
+  std::map<EqClassId, ClassEntry> classes_;
+  std::vector<std::shared_ptr<AipFilter>> all_filters_;
+  int64_t sets_published_ = 0;
+  int64_t filters_attached_ = 0;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_SIP_AIP_REGISTRY_H_

@@ -1,0 +1,50 @@
+#include "sip/aip_set.h"
+
+namespace pushsip {
+
+AipSet::AipSet(AipSetKind kind, size_t expected_entries, double target_fpr)
+    : kind_(kind),
+      bloom_(kind == AipSetKind::kBloom ? expected_entries : 16, target_fpr,
+             /*num_hashes=*/1),
+      hash_(/*num_buckets=*/64) {}
+
+void AipSet::Insert(uint64_t hash) {
+  PUSHSIP_DCHECK(!sealed_.load());
+  std::unique_lock lock(mu_);
+  if (kind_ == AipSetKind::kBloom) {
+    bloom_.Insert(hash);
+  } else {
+    hash_.Insert(hash);
+  }
+  inserted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AipSet::InsertMany(const std::vector<uint64_t>& hashes) {
+  PUSHSIP_DCHECK(!sealed_.load());
+  std::unique_lock lock(mu_);
+  if (kind_ == AipSetKind::kBloom) {
+    for (const uint64_t h : hashes) bloom_.Insert(h);
+  } else {
+    for (const uint64_t h : hashes) hash_.Insert(h);
+  }
+  inserted_.fetch_add(hashes.size(), std::memory_order_relaxed);
+}
+
+bool AipSet::MightContain(uint64_t hash) const {
+  std::shared_lock lock(mu_);
+  return kind_ == AipSetKind::kBloom ? bloom_.MightContain(hash)
+                                     : hash_.MightContain(hash);
+}
+
+size_t AipSet::SizeBytes() const {
+  std::shared_lock lock(mu_);
+  return kind_ == AipSetKind::kBloom ? bloom_.SizeBytes() : hash_.SizeBytes();
+}
+
+void AipSet::ShrinkToBudget(size_t budget) {
+  if (kind_ != AipSetKind::kHash) return;
+  std::unique_lock lock(mu_);
+  hash_.ShrinkToBudget(budget);
+}
+
+}  // namespace pushsip

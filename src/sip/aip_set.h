@@ -1,0 +1,96 @@
+// AipSet: the summary of a completed subexpression that is passed sideways
+// (paper §III: "a Bloom filter, histogram, or hash set"). Plus AipFilter,
+// the injectable semijoin that probes tuples against an AipSet.
+#ifndef PUSHSIP_SIP_AIP_SET_H_
+#define PUSHSIP_SIP_AIP_SET_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "exec/operator.h"
+#include "util/bloom_filter.h"
+#include "util/hash_set_summary.h"
+
+namespace pushsip {
+
+/// Representation chosen for an AIP set.
+enum class AipSetKind {
+  kBloom,  ///< paper default: 1 hash fn, 5% FPR, small & fast
+  kHash,   ///< exact; more memory, supports per-bucket discard
+};
+
+/// \brief A set summary over 64-bit value hashes with no false negatives.
+///
+/// Built incrementally (Insert) while a subexpression runs, then Seal()ed
+/// and published. Probes are safe concurrently with inserts.
+class AipSet {
+ public:
+  /// `expected_entries` sizes the Bloom variant (ignored for kHash).
+  AipSet(AipSetKind kind, size_t expected_entries, double target_fpr = 0.05);
+
+  void Insert(uint64_t hash);
+
+  /// Inserts many hashes under one lock acquisition (hot path for the
+  /// Feed-Forward working sets, which observe whole batches).
+  void InsertMany(const std::vector<uint64_t>& hashes);
+
+  /// Returns false only when the hash definitely has no match.
+  bool MightContain(uint64_t hash) const;
+
+  /// Marks the set complete. After sealing, Insert is a programming error.
+  void Seal() { sealed_.store(true); }
+  bool sealed() const { return sealed_.load(); }
+
+  AipSetKind kind() const { return kind_; }
+  size_t inserted_count() const { return inserted_.load(); }
+
+  /// Bytes this summary occupies (and what shipping it would transfer).
+  size_t SizeBytes() const;
+
+  /// For kHash: drop buckets until at most `budget` bytes remain (probes in
+  /// dropped buckets pass through). No-op for kBloom.
+  void ShrinkToBudget(size_t budget);
+
+ private:
+  AipSetKind kind_;
+  mutable std::shared_mutex mu_;
+  BloomFilter bloom_;
+  HashSetSummary hash_;
+  std::atomic<bool> sealed_{false};
+  std::atomic<size_t> inserted_{0};
+};
+
+/// \brief The injected semijoin: prunes tuples whose column value cannot
+/// exist in the correlated AIP set.
+class AipFilter : public TupleFilter {
+ public:
+  /// Probes input column `col` of each tuple against `set`.
+  AipFilter(std::string label, int col, std::shared_ptr<const AipSet> set)
+      : label_(std::move(label)), col_(col), set_(std::move(set)) {}
+
+  bool Pass(const Tuple& tuple) const override {
+    const bool pass =
+        set_->MightContain(tuple.at(static_cast<size_t>(col_)).Hash());
+    (pass ? passed_ : pruned_).fetch_add(1, std::memory_order_relaxed);
+    return pass;
+  }
+
+  std::string label() const override { return label_; }
+
+  int64_t pruned_count() const { return pruned_.load(); }
+  int64_t passed_count() const { return passed_.load(); }
+  const AipSet& set() const { return *set_; }
+
+ private:
+  std::string label_;
+  int col_;
+  std::shared_ptr<const AipSet> set_;
+  mutable std::atomic<int64_t> pruned_{0};
+  mutable std::atomic<int64_t> passed_{0};
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_SIP_AIP_SET_H_

@@ -1,0 +1,122 @@
+#include "sip/feed_forward.h"
+
+namespace pushsip {
+
+// Observes tuples surviving a port's filters and inserts the candidate
+// columns into the port's working AIP sets (paper §IV-A "recorded in the
+// operator's local AIP set").
+class FeedForwardAip::BuildTap : public TupleTap {
+ public:
+  explicit BuildTap(std::vector<WorkingSet*> sets) : sets_(std::move(sets)) {}
+
+  void Observe(const Tuple& tuple) override {
+    for (WorkingSet* ws : sets_) {
+      ws->set->Insert(tuple.at(static_cast<size_t>(ws->col)).Hash());
+    }
+  }
+
+  void ObserveBatch(const Batch& batch) override {
+    std::vector<uint64_t> hashes;
+    hashes.reserve(batch.size());
+    for (WorkingSet* ws : sets_) {
+      hashes.clear();
+      for (const Tuple& row : batch.rows) {
+        hashes.push_back(row.at(static_cast<size_t>(ws->col)).Hash());
+      }
+      ws->set->InsertMany(hashes);
+    }
+  }
+
+ private:
+  std::vector<WorkingSet*> sets_;
+};
+
+FeedForwardAip::FeedForwardAip(ExecContext* ctx, AipRegistry* registry,
+                               AipOptions options)
+    : ctx_(ctx), registry_(registry), options_(options) {}
+
+Status FeedForwardAip::Install(const SipPlanInfo& info) {
+  // Rebuild the source-predicate graph locally.
+  for (const auto& [a, b] : info.equalities) graph_.AddEquality(a, b);
+
+  // Pass 1: find candidate AIP-set sources and register targets. A column
+  // qualifies when its attribute is transitively equated to an attribute
+  // produced elsewhere (class size > 1).
+  for (const StatefulPort& sp : info.stateful_ports) {
+    std::vector<WorkingSet*> port_sets;
+    for (size_t c = 0; c < sp.schema.num_fields(); ++c) {
+      const AttrId attr = sp.schema.field(c).attr;
+      if (attr == kInvalidAttr || !graph_.HasPeers(attr)) continue;
+      const EqClassId cls = graph_.ClassOf(attr);
+
+      // Candidate AIP set built over this port's stream, sized by the
+      // estimated number of *distinct* keys (a Bloom filter over a key
+      // attribute never holds more than NDV entries).
+      size_t expected = options_.default_expected_entries;
+      if (info.plan != nullptr) {
+        if (const PlanNode* input = info.plan->InputNode(sp.op, sp.port)) {
+          const double guess = input->ndv.count(attr)
+                                   ? input->ndv.at(attr)
+                                   : input->est_rows;
+          expected = static_cast<size_t>(std::max(16.0, guess));
+        }
+      }
+      auto ws = std::make_unique<WorkingSet>();
+      ws->op = sp.op;
+      ws->port = sp.port;
+      ws->col = static_cast<int>(c);
+      ws->attr = attr;
+      ws->cls = cls;
+      ws->set = std::make_shared<AipSet>(options_.kind, expected,
+                                         options_.target_fpr);
+      ws->label = "ff:" + sp.op->name() + "#" + std::to_string(sp.port) +
+                  "." + sp.schema.field(c).name;
+      port_sets.push_back(ws.get());
+      working_sets_.push_back(std::move(ws));
+
+      // This port is also a consumer: register it so completed sets of the
+      // class filter its arrivals.
+      AipTarget target;
+      target.op = sp.op;
+      target.port = sp.port;
+      target.col = static_cast<int>(c);
+      target.label = sp.op->name() + "#" + std::to_string(sp.port);
+      // Feed-forward prunes at the operator; source-side pruning is the
+      // cost-based distributed extension.
+      registry_->AddTarget(cls, target);
+    }
+    if (!port_sets.empty()) {
+      sp.op->AttachTap(sp.port, std::make_shared<BuildTap>(port_sets));
+    }
+  }
+
+  // Pass 2: publish on completion.
+  ctx_->AddInputFinishedHook(
+      [this](Operator* op, int port) { OnInputFinished(op, port); });
+  return Status::OK();
+}
+
+void FeedForwardAip::OnInputFinished(Operator* op, int port) {
+  std::vector<WorkingSet*> to_publish;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ws : working_sets_) {
+      if (ws->op == op && ws->port == port && !ws->published) {
+        ws->published = true;
+        to_publish.push_back(ws.get());
+      }
+    }
+  }
+  for (WorkingSet* ws : to_publish) {
+    ws->set->Seal();
+    // Paper: operators discard local AIP sets nobody is interested in.
+    if (!registry_->HasLiveTargets(ws->cls, ws->op, ws->port)) {
+      sets_discarded_.fetch_add(1);
+      continue;
+    }
+    registry_->Publish(ws->cls, ws->set, ws->op, ws->port, ws->label);
+    sets_published_.fetch_add(1);
+  }
+}
+
+}  // namespace pushsip

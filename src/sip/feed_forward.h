@@ -1,0 +1,66 @@
+// Greedy Feed-Forward Filtering (paper §IV-A): every stateful-operator input
+// optimistically builds a working AIP set for each transitively-equated
+// attribute it carries; when the input completes, the set is published to
+// the AIP Registry, which injects it as a semijoin filter into all
+// interested operators still running. No runtime statistics are consulted.
+#ifndef PUSHSIP_SIP_FEED_FORWARD_H_
+#define PUSHSIP_SIP_FEED_FORWARD_H_
+
+#include <memory>
+#include <vector>
+
+#include "sip/aip_registry.h"
+#include "sip/sip_plan.h"
+
+namespace pushsip {
+
+/// \brief Installs feed-forward AIP onto a built plan.
+///
+/// Usage: build the plan, then `ff.Install(info)`, then run the driver.
+/// Lifetime: must outlive query execution.
+class FeedForwardAip {
+ public:
+  FeedForwardAip(ExecContext* ctx, AipRegistry* registry,
+                 AipOptions options = {});
+
+  /// Wires taps, working sets, registry targets, and the completion hook.
+  Status Install(const SipPlanInfo& info);
+
+  // --- statistics ---
+  int64_t working_sets_created() const {
+    return static_cast<int64_t>(working_sets_.size());
+  }
+  int64_t sets_published() const { return sets_published_.load(); }
+  int64_t sets_discarded() const { return sets_discarded_.load(); }
+
+ private:
+  struct WorkingSet {
+    Operator* op;
+    int port;
+    int col;
+    AttrId attr;
+    EqClassId cls;
+    std::shared_ptr<AipSet> set;
+    std::string label;
+    bool published = false;
+  };
+
+  // Tap inserting the relevant columns of every surviving tuple into the
+  // port's working sets.
+  class BuildTap;
+
+  void OnInputFinished(Operator* op, int port);
+
+  ExecContext* ctx_;
+  AipRegistry* registry_;
+  AipOptions options_;
+  SourcePredicateGraph graph_;
+  std::vector<std::unique_ptr<WorkingSet>> working_sets_;
+  std::mutex mu_;
+  std::atomic<int64_t> sets_published_{0};
+  std::atomic<int64_t> sets_discarded_{0};
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_SIP_FEED_FORWARD_H_

@@ -1,0 +1,143 @@
+#include "sip/magic_sets.h"
+
+#include <chrono>
+
+namespace pushsip {
+
+void MagicSetState::Insert(uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  keys_.insert(hash);
+}
+
+void MagicSetState::Seal() {
+  sealed_.store(true);
+  cv_.notify_all();
+}
+
+void MagicSetState::WaitSealedFor(int ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (sealed_.load()) return;
+  cv_.wait_for(lock, std::chrono::milliseconds(ms),
+               [this] { return sealed_.load(); });
+}
+
+bool MagicSetState::Contains(uint64_t hash) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.count(hash) > 0;
+}
+
+size_t MagicSetState::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.size();
+}
+
+size_t MagicSetState::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.size() * sizeof(uint64_t) * 2;
+}
+
+MagicSetBuilder::MagicSetBuilder(ExecContext* ctx, std::string name,
+                                 Schema schema, std::vector<int> key_cols,
+                                 std::shared_ptr<MagicSetState> state)
+    : Operator(ctx, std::move(name), 1, std::move(schema)),
+      key_cols_(std::move(key_cols)),
+      state_(std::move(state)) {}
+
+Status MagicSetBuilder::DoPush(int, Batch&& batch) {
+  for (const Tuple& row : batch.rows) {
+    state_->Insert(row.HashColumns(key_cols_));
+  }
+  return Emit(std::move(batch));
+}
+
+Status MagicSetBuilder::DoFinish(int) {
+  state_->Seal();
+  return EmitFinish();
+}
+
+MagicGate::MagicGate(ExecContext* ctx, std::string name, Schema schema,
+                     std::vector<int> key_cols,
+                     std::shared_ptr<MagicSetState> state)
+    : Operator(ctx, std::move(name), 1, std::move(schema)),
+      key_cols_(std::move(key_cols)),
+      state_(std::move(state)) {}
+
+MagicGate::~MagicGate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buffer_bytes_ > 0) {
+    ctx_->state_tracker().Release(buffer_bytes_);
+    buffer_bytes_ = 0;
+  }
+}
+
+int64_t MagicGate::StateBytes() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  return buffer_bytes_;
+}
+
+Status MagicGate::FilterAndEmit(Batch&& batch) {
+  size_t kept = 0;
+  for (size_t i = 0; i < batch.rows.size(); ++i) {
+    if (state_->Contains(batch.rows[i].HashColumns(key_cols_))) {
+      if (kept != i) batch.rows[kept] = std::move(batch.rows[i]);
+      ++kept;
+    }
+  }
+  batch.rows.resize(kept);
+  return Emit(std::move(batch));
+}
+
+Status MagicGate::FlushBuffer() {
+  Batch pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffer_.empty()) return Status::OK();
+    pending.rows = std::move(buffer_);
+    buffer_.clear();
+    ctx_->state_tracker().Release(buffer_bytes_);
+    buffer_bytes_ = 0;
+  }
+  return FilterAndEmit(std::move(pending));
+}
+
+Status MagicGate::DoPush(int, Batch&& batch) {
+  if (!state_->sealed()) {
+    // Pipelined magic sets: the subquery keeps consuming its input, but
+    // tuples cannot pass the semijoin until the filter set is complete, so
+    // they accumulate here (the magic plans' space cost, cf. the paper's
+    // Q2C discussion).
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!state_->sealed()) {
+      rows_gated_.fetch_add(static_cast<int64_t>(batch.size()));
+      int64_t added = 0;
+      for (Tuple& row : batch.rows) {
+        added += static_cast<int64_t>(row.FootprintBytes());
+        buffer_.push_back(std::move(row));
+      }
+      buffer_bytes_ += added;
+      int64_t prev = peak_state_.load(std::memory_order_relaxed);
+      while (buffer_bytes_ > prev &&
+             !peak_state_.compare_exchange_weak(prev, buffer_bytes_)) {
+      }
+      lock.unlock();
+      ctx_->state_tracker().Add(added);
+      return Status::OK();
+    }
+  }
+  PUSHSIP_RETURN_NOT_OK(FlushBuffer());
+  return FilterAndEmit(std::move(batch));
+}
+
+Status MagicGate::DoFinish(int) {
+  // The input is exhausted; the semijoin still needs the completed filter
+  // set before the buffered tuples can be released. Wait (poll
+  // cancellation so a failed outer block cannot wedge the pipeline).
+  while (!state_->sealed()) {
+    if (ShouldStop()) return Status::Cancelled("query cancelled");
+    state_->WaitSealedFor(10);
+  }
+  PUSHSIP_RETURN_NOT_OK(FlushBuffer());
+  return EmitFinish();
+}
+
+}  // namespace pushsip

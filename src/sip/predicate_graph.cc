@@ -1,0 +1,64 @@
+#include "sip/predicate_graph.h"
+
+namespace pushsip {
+
+void SourcePredicateGraph::AddAttr(AttrId attr) {
+  if (attr == kInvalidAttr) return;
+  if (parent_.emplace(attr, attr).second) {
+    rank_[attr] = 0;
+  }
+}
+
+AttrId SourcePredicateGraph::Find(AttrId attr) const {
+  auto it = parent_.find(attr);
+  if (it == parent_.end()) return kInvalidAttr;
+  AttrId root = attr;
+  while (parent_.at(root) != root) root = parent_.at(root);
+  // Path compression.
+  AttrId cur = attr;
+  while (parent_.at(cur) != root) {
+    AttrId next = parent_.at(cur);
+    parent_[cur] = root;
+    cur = next;
+  }
+  return root;
+}
+
+void SourcePredicateGraph::AddEquality(AttrId a, AttrId b) {
+  if (a == kInvalidAttr || b == kInvalidAttr) return;
+  AddAttr(a);
+  AddAttr(b);
+  AttrId ra = Find(a), rb = Find(b);
+  if (ra == rb) return;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+}
+
+EqClassId SourcePredicateGraph::ClassOf(AttrId attr) const {
+  const AttrId root = Find(attr);
+  return root == kInvalidAttr ? kNoEqClass : static_cast<EqClassId>(root);
+}
+
+bool SourcePredicateGraph::HasPeers(AttrId attr) const {
+  const AttrId root = Find(attr);
+  if (root == kInvalidAttr) return false;
+  // Count members lazily (class sizes are small; queries have few attrs).
+  int count = 0;
+  for (const auto& [a, _] : parent_) {
+    if (Find(a) == root && ++count > 1) return true;
+  }
+  return false;
+}
+
+std::vector<AttrId> SourcePredicateGraph::ClassMembers(AttrId attr) const {
+  std::vector<AttrId> members;
+  const AttrId root = Find(attr);
+  if (root == kInvalidAttr) return members;
+  for (const auto& [a, _] : parent_) {
+    if (Find(a) == root) members.push_back(a);
+  }
+  return members;
+}
+
+}  // namespace pushsip

@@ -1,0 +1,53 @@
+// SourcePredicateGraph (paper §IV-A, Fig. 2a): which attribute instances are
+// transitively equated by the query's conjunctive equality predicates.
+// Implemented as a union-find over AttrIds.
+#ifndef PUSHSIP_SIP_PREDICATE_GRAPH_H_
+#define PUSHSIP_SIP_PREDICATE_GRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/schema.h"
+
+namespace pushsip {
+
+/// Identifier of an equivalence class of attributes (the function EQ in the
+/// paper's AIPCANDIDATES pseudocode).
+using EqClassId = int32_t;
+constexpr EqClassId kNoEqClass = -1;
+
+/// \brief Union-find over attribute instances connected by equality
+/// predicates that must hold over all query data.
+class SourcePredicateGraph {
+ public:
+  /// Declares an attribute (idempotent).
+  void AddAttr(AttrId attr);
+
+  /// Records the conjunctive equality predicate `a = b`.
+  void AddEquality(AttrId a, AttrId b);
+
+  /// Canonical class of `attr`; kNoEqClass if never registered or invalid.
+  EqClassId ClassOf(AttrId attr) const;
+
+  /// True when `attr`'s class contains at least one other attribute — i.e.
+  /// there exists a correlated expression elsewhere to pass information
+  /// to/from.
+  bool HasPeers(AttrId attr) const;
+
+  /// All attributes in the same class as `attr` (including itself).
+  std::vector<AttrId> ClassMembers(AttrId attr) const;
+
+  size_t num_attrs() const { return parent_.size(); }
+
+ private:
+  AttrId Find(AttrId attr) const;
+
+  // parent_[a] = a's union-find parent; path-halving on Find.
+  mutable std::unordered_map<AttrId, AttrId> parent_;
+  std::unordered_map<AttrId, int> rank_;
+  std::unordered_map<AttrId, int> class_size_;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_SIP_PREDICATE_GRAPH_H_

@@ -1,0 +1,58 @@
+// SipPlanInfo: the query metadata the AIP machinery needs, produced by the
+// PlanBuilder alongside the physical operator graph.
+#ifndef PUSHSIP_SIP_SIP_PLAN_H_
+#define PUSHSIP_SIP_SIP_PLAN_H_
+
+#include <vector>
+
+#include "exec/scan.h"
+#include "optimizer/plan.h"
+#include "sip/aip_set.h"
+#include "sip/predicate_graph.h"
+
+namespace pushsip {
+
+/// One input port of a stateful operator (join side / group-by / distinct
+/// input) — both a potential AIP-set *source* (its buffered state) and a
+/// potential AIP-set *target* (its arriving tuples can be prefiltered).
+struct StatefulPort {
+  Operator* op = nullptr;
+  int port = 0;
+  Schema schema;        ///< schema of the stream entering this port
+  int depth = 0;        ///< depth of the consuming operator in the plan
+  /// Scan feeding this port directly (nullptr if the producer is a subplan);
+  /// lets distributed AIP push filters to the source side of a link.
+  TableScan* direct_scan = nullptr;
+  /// True when `direct_scan` sits behind a simulated network link (its
+  /// source filters then save bandwidth, not just CPU).
+  bool scan_is_remote = false;
+};
+
+/// Configuration shared by both AIP algorithms.
+struct AipOptions {
+  /// Summary representation. The paper's implementation ships Bloom filters
+  /// only (§V); kHash is kept for the ablation study.
+  AipSetKind kind = AipSetKind::kBloom;
+  /// Bloom sizing: target false-positive rate (paper: 5%).
+  double target_fpr = 0.05;
+  /// Bloom sizing fallback when no cardinality estimate is available.
+  size_t default_expected_entries = 1 << 16;
+  /// Simulated link bandwidth for shipping filters to remote scans,
+  /// bytes/sec (paper: 10 Mbps assumption in the cost model).
+  double ship_bandwidth_bytes_per_sec = 10e6 / 8;
+};
+
+/// Everything AIP needs to know about one built query plan.
+struct SipPlanInfo {
+  std::vector<StatefulPort> stateful_ports;
+  /// Conjunctive equality predicates over attribute instances.
+  std::vector<std::pair<AttrId, AttrId>> equalities;
+  /// The source-predicate graph (paper Fig. 2a), derived from `equalities`.
+  SourcePredicateGraph graph;
+  /// The optimizer's estimated plan (required for cost-based AIP only).
+  Plan* plan = nullptr;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_SIP_SIP_PLAN_H_

@@ -1,0 +1,36 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+namespace pushsip {
+
+Status Catalog::RegisterTable(TablePtr table) {
+  if (!table) return Status::InvalidArgument("null table");
+  const std::string name = table->name();
+  if (!tables_.emplace(name, std::move(table)).second) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Catalog::FootprintBytes() const {
+  size_t bytes = 0;
+  for (const auto& [_, table] : tables_) bytes += table->FootprintBytes();
+  return bytes;
+}
+
+}  // namespace pushsip

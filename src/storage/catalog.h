@@ -1,0 +1,33 @@
+// Catalog: named tables plus a per-query attribute-id allocator.
+#ifndef PUSHSIP_STORAGE_CATALOG_H_
+#define PUSHSIP_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "storage/table.h"
+
+namespace pushsip {
+
+/// \brief Registry of base tables available to queries.
+class Catalog {
+ public:
+  Status RegisterTable(TablePtr table);
+  Result<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  std::vector<std::string> TableNames() const;
+
+  /// Total bytes across all registered tables.
+  size_t FootprintBytes() const;
+
+ private:
+  std::unordered_map<std::string, TablePtr> tables_;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_STORAGE_CATALOG_H_

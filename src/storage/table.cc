@@ -1,0 +1,31 @@
+#include "storage/table.h"
+
+#include <unordered_set>
+
+namespace pushsip {
+
+void Table::ComputeStats() {
+  stats_.assign(schema_.num_fields(), ColumnStats{});
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    std::unordered_set<uint64_t> distinct;
+    ColumnStats& st = stats_[c];
+    bool first = true;
+    for (const Tuple& row : rows_) {
+      const Value& v = row.at(c);
+      if (v.is_null()) continue;
+      distinct.insert(v.Hash());
+      if (first || v.Compare(st.min_value) < 0) st.min_value = v;
+      if (first || v.Compare(st.max_value) > 0) st.max_value = v;
+      first = false;
+    }
+    st.distinct_count = static_cast<int64_t>(distinct.size());
+  }
+}
+
+size_t Table::FootprintBytes() const {
+  size_t bytes = 0;
+  for (const Tuple& row : rows_) bytes += row.FootprintBytes();
+  return bytes;
+}
+
+}  // namespace pushsip

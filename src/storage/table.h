@@ -1,0 +1,76 @@
+// In-memory base tables plus lightweight statistics (NDV, min/max, key/FK
+// metadata) consumed by the optimizer's cardinality estimator. Tukwila's
+// estimator works from cardinalities and key/foreign-key information rather
+// than histograms (paper §V-A); we mirror that.
+#ifndef PUSHSIP_STORAGE_TABLE_H_
+#define PUSHSIP_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+
+namespace pushsip {
+
+/// Per-column statistics gathered at load time.
+struct ColumnStats {
+  int64_t distinct_count = 0;
+  Value min_value;
+  Value max_value;
+};
+
+/// \brief An immutable in-memory relation.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  void AppendRow(Tuple row) { rows_.push_back(std::move(row)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Marks column `col` as a (component of the) primary key.
+  void SetPrimaryKey(std::vector<int> cols) { primary_key_ = std::move(cols); }
+  const std::vector<int>& primary_key() const { return primary_key_; }
+
+  /// Declares that column `col` references `table`.`ref_col` (FK metadata
+  /// used by the estimator to bound join output cardinalities).
+  void AddForeignKey(int col, std::string table, int ref_col) {
+    foreign_keys_.push_back({col, std::move(table), ref_col});
+  }
+  struct ForeignKey {
+    int col;
+    std::string ref_table;
+    int ref_col;
+  };
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// Recomputes per-column NDV and min/max. Call once after loading.
+  void ComputeStats();
+  const ColumnStats& column_stats(size_t col) const { return stats_[col]; }
+  bool has_stats() const { return !stats_.empty(); }
+
+  /// Total payload footprint (for the catalog report).
+  size_t FootprintBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<int> primary_key_;
+  std::vector<ForeignKey> foreign_keys_;
+  std::vector<ColumnStats> stats_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_STORAGE_TABLE_H_

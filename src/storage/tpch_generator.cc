@@ -1,0 +1,326 @@
+#include "storage/tpch_generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace pushsip {
+
+namespace {
+
+constexpr std::array<const char*, 5> kRegions = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+// 25 TPC-H nations with their region assignment.
+struct NationDef {
+  const char* name;
+  int region;
+};
+constexpr std::array<NationDef, 25> kNations = {{
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0},{"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},
+}};
+
+constexpr std::array<const char*, 6> kTypeSyl1 = {
+    "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"};
+constexpr std::array<const char*, 5> kTypeSyl2 = {
+    "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+constexpr std::array<const char*, 5> kTypeSyl3 = {
+    "TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+constexpr std::array<const char*, 5> kContainerSyl1 = {
+    "SM", "LG", "MED", "JUMBO", "WRAP"};
+constexpr std::array<const char*, 8> kContainerSyl2 = {
+    "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"};
+
+constexpr std::array<const char*, 10> kPartNameWords = {
+    "almond", "antique", "aquamarine", "azure", "beige",
+    "bisque", "black", "blanched", "blue", "blush"};
+
+// Date helpers: TPC-H order dates span 1992-01-01 .. 1998-08-02.
+int64_t DaysFromYmd(int y, int m, int d) {
+  // Mirrors Value::DateFromString's civil-day computation.
+  auto v = Value::DateFromString(std::to_string(y) + "-" + std::to_string(m) +
+                                 "-" + std::to_string(d));
+  return std::move(v).ValueOrDie().AsInt64();
+}
+
+struct DateRange {
+  int64_t lo, hi;
+  int64_t Sample(Random& rng) const { return rng.UniformInt(lo, hi); }
+};
+
+Field F(const std::string& name, TypeId type) {
+  return Field{name, type, kInvalidAttr};
+}
+
+}  // namespace
+
+Status TpchGenerator::Generate(Catalog* catalog) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  const double sf = config_.scale_factor;
+  if (sf <= 0) return Status::InvalidArgument("scale_factor must be > 0");
+
+  Random rng(config_.seed);
+  const int64_t num_supplier = std::max<int64_t>(10, std::llround(10000 * sf));
+  const int64_t num_part = std::max<int64_t>(50, std::llround(200000 * sf));
+  const int64_t num_customer =
+      std::max<int64_t>(20, std::llround(150000 * sf));
+  const int64_t num_orders =
+      std::max<int64_t>(50, std::llround(1500000 * sf));
+
+  // Zipf samplers for the skewed variant. Skew applies to foreign-key
+  // choices (which parts/suppliers/customers are referenced) and to a few
+  // attribute domains, mirroring the Microsoft skewed generator's effect.
+  std::unique_ptr<ZipfDistribution> part_zipf, supp_zipf, cust_zipf, attr_zipf;
+  if (config_.skewed) {
+    part_zipf = std::make_unique<ZipfDistribution>(
+        static_cast<uint64_t>(num_part), config_.zipf_z);
+    supp_zipf = std::make_unique<ZipfDistribution>(
+        static_cast<uint64_t>(num_supplier), config_.zipf_z);
+    cust_zipf = std::make_unique<ZipfDistribution>(
+        static_cast<uint64_t>(num_customer), config_.zipf_z);
+    attr_zipf = std::make_unique<ZipfDistribution>(50, config_.zipf_z);
+  }
+  auto pick_part = [&]() -> int64_t {
+    if (part_zipf) return static_cast<int64_t>(part_zipf->Sample(rng));
+    return rng.UniformInt(1, num_part);
+  };
+  auto pick_supp = [&]() -> int64_t {
+    if (supp_zipf) return static_cast<int64_t>(supp_zipf->Sample(rng));
+    return rng.UniformInt(1, num_supplier);
+  };
+  auto pick_cust = [&]() -> int64_t {
+    if (cust_zipf) return static_cast<int64_t>(cust_zipf->Sample(rng));
+    return rng.UniformInt(1, num_customer);
+  };
+  // Attribute pick in [0, n) — skewed when configured.
+  auto pick_attr = [&](int64_t n) -> int64_t {
+    if (attr_zipf) {
+      return static_cast<int64_t>(attr_zipf->Sample(rng) - 1) % n;
+    }
+    return rng.UniformInt(0, n - 1);
+  };
+
+  // ---- region ----
+  {
+    auto t = std::make_shared<Table>(
+        "region", Schema({F("region.r_regionkey", TypeId::kInt64),
+                          F("region.r_name", TypeId::kString),
+                          F("region.r_comment", TypeId::kString)}));
+    for (int i = 0; i < static_cast<int>(kRegions.size()); ++i) {
+      t->AppendRow(Tuple({Value::Int64(i), Value::String(kRegions[i]),
+                          Value::String(rng.RandomString(20))}));
+    }
+    t->SetPrimaryKey({0});
+    t->ComputeStats();
+    PUSHSIP_RETURN_NOT_OK(catalog->RegisterTable(std::move(t)));
+  }
+
+  // ---- nation ----
+  {
+    auto t = std::make_shared<Table>(
+        "nation", Schema({F("nation.n_nationkey", TypeId::kInt64),
+                          F("nation.n_name", TypeId::kString),
+                          F("nation.n_regionkey", TypeId::kInt64)}));
+    for (int i = 0; i < static_cast<int>(kNations.size()); ++i) {
+      t->AppendRow(Tuple({Value::Int64(i), Value::String(kNations[i].name),
+                          Value::Int64(kNations[i].region)}));
+    }
+    t->SetPrimaryKey({0});
+    t->AddForeignKey(2, "region", 0);
+    t->ComputeStats();
+    PUSHSIP_RETURN_NOT_OK(catalog->RegisterTable(std::move(t)));
+  }
+
+  // ---- supplier ----
+  {
+    auto t = std::make_shared<Table>(
+        "supplier", Schema({F("supplier.s_suppkey", TypeId::kInt64),
+                            F("supplier.s_name", TypeId::kString),
+                            F("supplier.s_address", TypeId::kString),
+                            F("supplier.s_nationkey", TypeId::kInt64),
+                            F("supplier.s_phone", TypeId::kString),
+                            F("supplier.s_acctbal", TypeId::kDouble),
+                            F("supplier.s_comment", TypeId::kString)}));
+    t->Reserve(static_cast<size_t>(num_supplier));
+    for (int64_t i = 1; i <= num_supplier; ++i) {
+      // Uniform mode stripes nations so every nation has suppliers even at
+      // tiny scale factors (marginally uniform, like dbgen's assignment).
+      const int64_t s_nation =
+          config_.skewed ? pick_attr(25) : (i - 1) % 25;
+      t->AppendRow(Tuple(
+          {Value::Int64(i), Value::String("Supplier#" + std::to_string(i)),
+           Value::String(rng.RandomString(15)),
+           Value::Int64(s_nation),
+           Value::String(rng.RandomString(12)),
+           Value::Double(rng.UniformInt(-99999, 999999) / 100.0),
+           Value::String(rng.RandomString(25))}));
+    }
+    t->SetPrimaryKey({0});
+    t->AddForeignKey(3, "nation", 0);
+    t->ComputeStats();
+    PUSHSIP_RETURN_NOT_OK(catalog->RegisterTable(std::move(t)));
+  }
+
+  // ---- part ----
+  {
+    auto t = std::make_shared<Table>(
+        "part", Schema({F("part.p_partkey", TypeId::kInt64),
+                        F("part.p_name", TypeId::kString),
+                        F("part.p_mfgr", TypeId::kString),
+                        F("part.p_brand", TypeId::kString),
+                        F("part.p_type", TypeId::kString),
+                        F("part.p_size", TypeId::kInt64),
+                        F("part.p_container", TypeId::kString),
+                        F("part.p_retailprice", TypeId::kDouble)}));
+    t->Reserve(static_cast<size_t>(num_part));
+    for (int64_t i = 1; i <= num_part; ++i) {
+      const int64_t mfgr = rng.UniformInt(1, 5);
+      const int64_t brand = mfgr * 10 + rng.UniformInt(1, 5);
+      const std::string type =
+          std::string(kTypeSyl1[static_cast<size_t>(pick_attr(6))]) + " " +
+          kTypeSyl2[static_cast<size_t>(pick_attr(5))] + " " +
+          kTypeSyl3[static_cast<size_t>(pick_attr(5))];
+      const std::string container =
+          std::string(kContainerSyl1[static_cast<size_t>(pick_attr(5))]) +
+          " " + kContainerSyl2[static_cast<size_t>(pick_attr(8))];
+      // TPC-H retail price formula keeps price correlated with key.
+      const double price =
+          (90000.0 + (static_cast<double>(i % 200001) / 10.0) +
+           100.0 * static_cast<double>(i % 1000)) / 100.0;
+      t->AppendRow(Tuple(
+          {Value::Int64(i),
+           Value::String(
+               std::string(kPartNameWords[static_cast<size_t>(
+                   rng.UniformInt(0, 9))]) +
+               " " + kPartNameWords[static_cast<size_t>(rng.UniformInt(0, 9))]),
+           Value::String("Manufacturer#" + std::to_string(mfgr)),
+           Value::String("Brand#" + std::to_string(brand)),
+           Value::String(type), Value::Int64(1 + pick_attr(50)),
+           Value::String(container), Value::Double(price)}));
+    }
+    t->SetPrimaryKey({0});
+    t->ComputeStats();
+    PUSHSIP_RETURN_NOT_OK(catalog->RegisterTable(std::move(t)));
+  }
+
+  // ---- partsupp ----
+  {
+    auto t = std::make_shared<Table>(
+        "partsupp", Schema({F("partsupp.ps_partkey", TypeId::kInt64),
+                            F("partsupp.ps_suppkey", TypeId::kInt64),
+                            F("partsupp.ps_availqty", TypeId::kInt64),
+                            F("partsupp.ps_supplycost", TypeId::kDouble)}));
+    t->Reserve(static_cast<size_t>(num_part * 4));
+    for (int64_t p = 1; p <= num_part; ++p) {
+      for (int j = 0; j < 4; ++j) {
+        const int64_t s =
+            (p + j * (num_supplier / 4 + 1)) % num_supplier + 1;
+        t->AppendRow(Tuple({Value::Int64(p), Value::Int64(s),
+                            Value::Int64(rng.UniformInt(1, 9999)),
+                            Value::Double(rng.UniformInt(100, 100000) /
+                                          100.0)}));
+      }
+    }
+    t->SetPrimaryKey({0, 1});
+    t->AddForeignKey(0, "part", 0);
+    t->AddForeignKey(1, "supplier", 0);
+    t->ComputeStats();
+    PUSHSIP_RETURN_NOT_OK(catalog->RegisterTable(std::move(t)));
+  }
+
+  // ---- customer ----
+  {
+    auto t = std::make_shared<Table>(
+        "customer", Schema({F("customer.c_custkey", TypeId::kInt64),
+                            F("customer.c_name", TypeId::kString),
+                            F("customer.c_nationkey", TypeId::kInt64),
+                            F("customer.c_acctbal", TypeId::kDouble)}));
+    t->Reserve(static_cast<size_t>(num_customer));
+    for (int64_t i = 1; i <= num_customer; ++i) {
+      const int64_t c_nation =
+          config_.skewed ? pick_attr(25) : (i * 7 + 3) % 25;
+      t->AppendRow(Tuple(
+          {Value::Int64(i), Value::String("Customer#" + std::to_string(i)),
+           Value::Int64(c_nation),
+           Value::Double(rng.UniformInt(-99999, 999999) / 100.0)}));
+    }
+    t->SetPrimaryKey({0});
+    t->AddForeignKey(2, "nation", 0);
+    t->ComputeStats();
+    PUSHSIP_RETURN_NOT_OK(catalog->RegisterTable(std::move(t)));
+  }
+
+  // ---- orders & lineitem ----
+  {
+    auto orders = std::make_shared<Table>(
+        "orders", Schema({F("orders.o_orderkey", TypeId::kInt64),
+                          F("orders.o_custkey", TypeId::kInt64),
+                          F("orders.o_orderdate", TypeId::kDate),
+                          F("orders.o_totalprice", TypeId::kDouble)}));
+    auto lineitem = std::make_shared<Table>(
+        "lineitem", Schema({F("lineitem.l_orderkey", TypeId::kInt64),
+                            F("lineitem.l_partkey", TypeId::kInt64),
+                            F("lineitem.l_suppkey", TypeId::kInt64),
+                            F("lineitem.l_quantity", TypeId::kInt64),
+                            F("lineitem.l_extendedprice", TypeId::kDouble),
+                            F("lineitem.l_discount", TypeId::kDouble),
+                            F("lineitem.l_receiptdate", TypeId::kDate)}));
+    orders->Reserve(static_cast<size_t>(num_orders));
+    lineitem->Reserve(static_cast<size_t>(num_orders) * 4);
+    const DateRange order_dates{DaysFromYmd(1992, 1, 1),
+                                DaysFromYmd(1998, 8, 2)};
+    for (int64_t o = 1; o <= num_orders; ++o) {
+      const int64_t odate = order_dates.Sample(rng);
+      double total = 0;
+      const int64_t items = rng.UniformInt(1, 7);
+      for (int64_t l = 0; l < items; ++l) {
+        const int64_t qty = 1 + pick_attr(50);
+        const int64_t pk = pick_part();
+        const double extprice = static_cast<double>(qty) *
+                                (900.0 + static_cast<double>(pk % 1000));
+        const double discount = rng.UniformInt(0, 10) / 100.0;
+        // Receipt within ~4 months of the order date.
+        const int64_t receipt = odate + rng.UniformInt(1, 121);
+        lineitem->AppendRow(
+            Tuple({Value::Int64(o), Value::Int64(pk), Value::Int64(pick_supp()),
+                   Value::Int64(qty), Value::Double(extprice),
+                   Value::Double(discount), Value::Date(receipt)}));
+        total += extprice * (1.0 - discount);
+      }
+      orders->AppendRow(Tuple({Value::Int64(o), Value::Int64(pick_cust()),
+                               Value::Date(odate), Value::Double(total)}));
+    }
+    orders->SetPrimaryKey({0});
+    orders->AddForeignKey(1, "customer", 0);
+    orders->ComputeStats();
+    lineitem->AddForeignKey(0, "orders", 0);
+    lineitem->AddForeignKey(1, "part", 0);
+    lineitem->AddForeignKey(2, "supplier", 0);
+    lineitem->ComputeStats();
+    PUSHSIP_RETURN_NOT_OK(catalog->RegisterTable(std::move(orders)));
+    PUSHSIP_RETURN_NOT_OK(catalog->RegisterTable(std::move(lineitem)));
+  }
+
+  return Status::OK();
+}
+
+std::shared_ptr<Catalog> MakeTpchCatalog(const TpchConfig& config) {
+  auto catalog = std::make_shared<Catalog>();
+  TpchGenerator(config).Generate(catalog.get()).CheckOK();
+  return catalog;
+}
+
+}  // namespace pushsip

@@ -1,0 +1,86 @@
+#include "util/bloom_filter.h"
+
+#include <bit>
+#include <cmath>
+
+namespace pushsip {
+
+namespace {
+// Derives the i-th probe position from a base hash (Kirsch–Mitzenmacher).
+inline size_t ProbeBit(uint64_t hash, int i, size_t num_bits) {
+  const uint64_t h2 = (hash >> 33) | (hash << 31);
+  return static_cast<size_t>((hash + static_cast<uint64_t>(i) * (h2 | 1)) %
+                             num_bits);
+}
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_entries, double target_fpr,
+                         int num_hashes) {
+  num_hashes_ = num_hashes < 1 ? 1 : num_hashes;
+  if (expected_entries < 16) expected_entries = 16;
+  // Solve for m in fpr = (1 - e^{-kn/m})^k.
+  const double k = static_cast<double>(num_hashes_);
+  const double n = static_cast<double>(expected_entries);
+  const double inner = 1.0 - std::pow(target_fpr, 1.0 / k);
+  double m = -k * n / std::log(inner);
+  if (m < 64) m = 64;
+  num_bits_ = static_cast<size_t>(m);
+  num_bits_ = (num_bits_ + 63) / 64 * 64;
+  words_.assign(num_bits_ / 64, 0);
+}
+
+BloomFilter BloomFilter::WithBitCount(size_t num_bits, int num_hashes) {
+  BloomFilter f;
+  f.num_hashes_ = num_hashes < 1 ? 1 : num_hashes;
+  if (num_bits < 64) num_bits = 64;
+  f.num_bits_ = (num_bits + 63) / 64 * 64;
+  f.words_.assign(f.num_bits_ / 64, 0);
+  return f;
+}
+
+void BloomFilter::Insert(uint64_t hash) {
+  for (int i = 0; i < num_hashes_; ++i) {
+    const size_t bit = ProbeBit(hash, i, num_bits_);
+    words_[bit >> 6] |= 1ULL << (bit & 63);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MightContain(uint64_t hash) const {
+  for (int i = 0; i < num_hashes_; ++i) {
+    const size_t bit = ProbeBit(hash, i, num_bits_);
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+Status BloomFilter::IntersectWith(const BloomFilter& other) {
+  if (other.num_bits_ != num_bits_ || other.num_hashes_ != num_hashes_) {
+    return Status::InvalidArgument("bloom filter geometry mismatch");
+  }
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return Status::OK();
+}
+
+Status BloomFilter::UnionWith(const BloomFilter& other) {
+  if (other.num_bits_ != num_bits_ || other.num_hashes_ != num_hashes_) {
+    return Status::InvalidArgument("bloom filter geometry mismatch");
+  }
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  inserted_ += other.inserted_;
+  return Status::OK();
+}
+
+size_t BloomFilter::PopCount() const {
+  size_t count = 0;
+  for (const uint64_t w : words_) count += static_cast<size_t>(std::popcount(w));
+  return count;
+}
+
+double BloomFilter::EstimatedFpr() const {
+  const double fill =
+      static_cast<double>(PopCount()) / static_cast<double>(num_bits_);
+  return std::pow(fill, num_hashes_);
+}
+
+}  // namespace pushsip

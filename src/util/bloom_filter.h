@@ -1,0 +1,65 @@
+// Bloom filter used as the compact AIP-set summary (paper §V: one hash
+// function, sized for a 5% false-positive rate).
+#ifndef PUSHSIP_UTIL_BLOOM_FILTER_H_
+#define PUSHSIP_UTIL_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pushsip {
+
+/// \brief A Bloom filter over 64-bit hashes.
+///
+/// Inserts set k bits derived from the input hash; a probe returns true iff
+/// all k bits are set (possible false positives, never false negatives).
+/// Filters of equal geometry can be merged by bitwise AND (intersection of
+/// the represented sets, possibly with extra false positives) or OR (union),
+/// per the paper's AIP Registry merge rule.
+class BloomFilter {
+ public:
+  /// Creates a filter with capacity for `expected_entries` at roughly
+  /// `target_fpr` false-positive rate using `num_hashes` probes per key.
+  /// The paper's configuration is num_hashes = 1, target_fpr = 0.05.
+  BloomFilter(size_t expected_entries, double target_fpr = 0.05,
+              int num_hashes = 1);
+
+  /// Creates a filter with an explicit bit count.
+  static BloomFilter WithBitCount(size_t num_bits, int num_hashes = 1);
+
+  void Insert(uint64_t hash);
+  bool MightContain(uint64_t hash) const;
+
+  /// Bitwise-intersects `other` into this filter. Both filters must have the
+  /// same geometry (bit count and hash count).
+  Status IntersectWith(const BloomFilter& other);
+
+  /// Bitwise-unions `other` into this filter (same geometry required).
+  Status UnionWith(const BloomFilter& other);
+
+  size_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  size_t inserted_count() const { return inserted_; }
+
+  /// Number of bits set (for diagnostics / saturation estimates).
+  size_t PopCount() const;
+
+  /// Estimated false-positive probability at the current fill level.
+  double EstimatedFpr() const;
+
+  /// Size in bytes of the bit array (what would be shipped over a network).
+  size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  BloomFilter() = default;
+
+  size_t num_bits_ = 0;
+  int num_hashes_ = 1;
+  size_t inserted_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_UTIL_BLOOM_FILTER_H_

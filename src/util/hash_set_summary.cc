@@ -1,0 +1,50 @@
+#include "util/hash_set_summary.h"
+
+namespace pushsip {
+
+HashSetSummary::HashSetSummary(size_t num_buckets)
+    : buckets_(num_buckets == 0 ? 1 : num_buckets) {}
+
+void HashSetSummary::Insert(uint64_t hash) {
+  Bucket& b = buckets_[BucketFor(hash)];
+  if (b.discarded) return;  // bucket is already "everything matches"
+  if (b.keys.insert(hash).second) ++size_;
+}
+
+bool HashSetSummary::MightContain(uint64_t hash) const {
+  const Bucket& b = buckets_[BucketFor(hash)];
+  if (b.discarded) return true;
+  return b.keys.count(hash) > 0;
+}
+
+size_t HashSetSummary::DiscardLargestBucket() {
+  size_t best = buckets_.size();
+  size_t best_size = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (!buckets_[i].discarded && buckets_[i].keys.size() >= best_size) {
+      best = i;
+      best_size = buckets_[i].keys.size();
+    }
+  }
+  if (best == buckets_.size()) return 0;
+  Bucket& b = buckets_[best];
+  const size_t freed = b.keys.size() * (sizeof(uint64_t) * 2);
+  size_ -= b.keys.size();
+  b.keys.clear();
+  b.discarded = true;
+  ++discarded_count_;
+  return freed;
+}
+
+void HashSetSummary::ShrinkToBudget(size_t budget_bytes) {
+  while (SizeBytes() > budget_bytes) {
+    if (DiscardLargestBucket() == 0) break;
+  }
+}
+
+size_t HashSetSummary::SizeBytes() const {
+  // Rough model: each resident key costs ~2 words (value + bucket overhead).
+  return size_ * sizeof(uint64_t) * 2 + buckets_.size() * sizeof(Bucket);
+}
+
+}  // namespace pushsip

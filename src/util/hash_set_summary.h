@@ -1,0 +1,57 @@
+// Exact hash-set AIP summary (paper §V): no false positives, more memory.
+// Supports per-bucket discarding under memory pressure: probes that land in
+// a discarded bucket pass through (become "maybe"), preserving correctness.
+#ifndef PUSHSIP_UTIL_HASH_SET_SUMMARY_H_
+#define PUSHSIP_UTIL_HASH_SET_SUMMARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace pushsip {
+
+/// \brief A bucketed exact set of 64-bit key hashes with lossy eviction.
+///
+/// The set is partitioned into `num_buckets` sub-sets by hash. Discarding a
+/// bucket frees its memory; subsequent probes touching that bucket return
+/// true (pass-through), so discarding never introduces false negatives.
+class HashSetSummary {
+ public:
+  explicit HashSetSummary(size_t num_buckets = 64);
+
+  void Insert(uint64_t hash);
+
+  /// Returns false only when the hash is definitely absent.
+  bool MightContain(uint64_t hash) const;
+
+  /// Discards the largest still-present bucket; returns bytes freed (0 when
+  /// every bucket is already discarded).
+  size_t DiscardLargestBucket();
+
+  /// Discards buckets until the footprint is at most `budget_bytes`.
+  void ShrinkToBudget(size_t budget_bytes);
+
+  size_t size() const { return size_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t discarded_buckets() const { return discarded_count_; }
+  size_t SizeBytes() const;
+
+ private:
+  struct Bucket {
+    std::unordered_set<uint64_t> keys;
+    bool discarded = false;
+  };
+
+  size_t BucketFor(uint64_t hash) const {
+    return static_cast<size_t>(hash >> 32) % buckets_.size();
+  }
+
+  std::vector<Bucket> buckets_;
+  size_t size_ = 0;
+  size_t discarded_count_ = 0;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_UTIL_HASH_SET_SUMMARY_H_

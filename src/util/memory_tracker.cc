@@ -1,0 +1,3 @@
+#include "util/memory_tracker.h"
+
+// Header-only; this TU anchors the target.

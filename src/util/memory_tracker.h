@@ -1,0 +1,45 @@
+// Intermediate-state accounting: every stateful operator reports its buffered
+// bytes here; the experiment harness reads the peak to reproduce the paper's
+// space-usage figures (Figs. 7, 8, 11, 12, 14).
+#ifndef PUSHSIP_UTIL_MEMORY_TRACKER_H_
+#define PUSHSIP_UTIL_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pushsip {
+
+/// \brief Thread-safe current/peak byte counter.
+class MemoryTracker {
+ public:
+  void Add(int64_t bytes) {
+    const int64_t now = current_.fetch_add(bytes) + bytes;
+    // Lock-free peak update.
+    int64_t prev = peak_.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Release(int64_t bytes) { current_.fetch_sub(bytes); }
+
+  int64_t current_bytes() const { return current_.load(); }
+  int64_t peak_bytes() const { return peak_.load(); }
+
+  double peak_mb() const {
+    return static_cast<double>(peak_bytes()) / (1024.0 * 1024.0);
+  }
+
+  void Reset() {
+    current_.store(0);
+    peak_.store(0);
+  }
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_UTIL_MEMORY_TRACKER_H_

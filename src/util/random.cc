@@ -1,0 +1,50 @@
+#include "util/random.h"
+
+namespace pushsip {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  for (auto& s : s_) s = SplitMix64(seed);
+}
+
+uint64_t Random::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextUint64() % range);
+}
+
+double Random::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+std::string Random::RandomString(size_t length) {
+  std::string out(length, 'a');
+  for (auto& c : out) {
+    c = static_cast<char>('a' + NextUint64() % 26);
+  }
+  return out;
+}
+
+}  // namespace pushsip

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random generation for the data generator and tests.
+#ifndef PUSHSIP_UTIL_RANDOM_H_
+#define PUSHSIP_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pushsip {
+
+/// \brief A small, fast, seedable PRNG (xoshiro256**).
+///
+/// Deterministic across platforms so generated datasets are reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x5eedf00dULL);
+
+  uint64_t NextUint64();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Random lowercase string of the given length.
+  std::string RandomString(size_t length);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_UTIL_RANDOM_H_

@@ -1,0 +1,3 @@
+#include "util/stopwatch.h"
+
+// Header-only; this TU anchors the target.

@@ -1,0 +1,49 @@
+// Minimal thread pool used by the push driver to run one producer task per
+// source scan (Tukwila-style thread-per-input scheduling).
+#ifndef PUSHSIP_UTIL_THREAD_POOL_H_
+#define PUSHSIP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pushsip {
+
+/// \brief Fixed-size pool executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  /// Stops accepting tasks and joins all workers (idempotent).
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,25 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pushsip {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double z) : n_(n), z_(z) {
+  if (n_ == 0) n_ = 1;
+  cdf_.resize(n_);
+  double total = 0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i), z_);
+    cdf_[i - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+uint64_t ZipfDistribution::Sample(Random& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace pushsip

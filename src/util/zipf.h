@@ -1,0 +1,34 @@
+// Zipfian sampler used to build the skewed ("TPC-D, Microsoft skew
+// generator, z = 0.5") dataset variant of the paper's §VI workload.
+#ifndef PUSHSIP_UTIL_ZIPF_H_
+#define PUSHSIP_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pushsip {
+
+/// \brief Draws ranks in [1, n] with probability proportional to 1/rank^z.
+///
+/// Uses a precomputed inverse-CDF table; sampling is O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double z);
+
+  /// Samples a rank in [1, n].
+  uint64_t Sample(Random& rng) const;
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  uint64_t n_;
+  double z_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i + 1)
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_UTIL_ZIPF_H_

@@ -1,0 +1,79 @@
+// Experiment runner: executes one (query, strategy, environment) cell of the
+// paper's evaluation matrix and returns the measurements the figures plot.
+#ifndef PUSHSIP_WORKLOAD_EXPERIMENT_H_
+#define PUSHSIP_WORKLOAD_EXPERIMENT_H_
+
+#include <memory>
+
+#include "optimizer/cost_model.h"
+#include "workload/queries.h"
+
+namespace pushsip {
+
+/// Configuration of one experiment run.
+struct ExperimentConfig {
+  QueryId query = QueryId::kQ1A;
+  Strategy strategy = Strategy::kBaseline;
+  std::shared_ptr<Catalog> catalog;
+
+  /// Delayed-input experiment (§VI-B): initial delay plus rate limiting on
+  /// the PARTSUPP scans (LINEITEM for the Q2 family). Paper values: 100 ms
+  /// initial, 5 ms per 1000 tuples.
+  bool delay_inputs = false;
+  double initial_delay_ms = 100.0;
+  size_t delay_every_rows = 1000;
+  double delay_ms = 5.0;
+
+  /// Simulated link for the distributed queries (Q1C / Q3C). Paper: 100 Mb
+  /// Ethernet.
+  double remote_bandwidth_bps = 100e6;
+  double remote_latency_ms = 0.5;
+
+  /// Default scan pacing (0 = none): every scan without its own rate limit
+  /// sleeps `pace_ms` every `pace_every_rows` rows. Models the paper's
+  /// disk-streamed sources and de-noises completion ordering at small scale.
+  size_t pace_every_rows = 0;
+  double pace_ms = 0;
+
+  AipOptions aip;
+  CostConstants cost;
+  size_t batch_size = 1024;
+  /// Retain the result rows in the ExperimentResult (tests use this;
+  /// benches don't).
+  bool keep_rows = false;
+};
+
+/// Measurements of one run.
+struct ExperimentResult {
+  QueryStats stats;
+  int64_t result_rows = 0;
+  /// Order-insensitive content hash of the result (doubles rounded), used
+  /// to verify that every strategy computes identical answers.
+  uint64_t result_hash = 0;
+
+  // AIP bookkeeping (zero for Baseline/Magic).
+  int64_t aip_sets = 0;
+  int64_t aip_filters = 0;
+  int64_t aip_pruned = 0;
+  int64_t aip_set_bytes = 0;
+
+  /// What the paper's space figures plot: peak buffered operator state plus
+  /// the summaries AIP itself allocated.
+  double total_state_mb() const {
+    return stats.peak_state_mb() +
+           static_cast<double>(aip_set_bytes) / (1024.0 * 1024.0);
+  }
+
+  std::vector<Tuple> rows;  ///< populated when keep_rows was set
+};
+
+/// Order-insensitive result hash; doubles rounded to 1e-2 so that benign
+/// floating-point reassociation across thread interleavings doesn't flip it.
+uint64_t HashRows(const std::vector<Tuple>& rows);
+
+/// Runs one experiment cell.
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config);
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,306 @@
+#include "workload/plan_builder.h"
+
+namespace pushsip {
+
+PlanBuilder::PlanBuilder(ExecContext* ctx, std::shared_ptr<Catalog> catalog)
+    : ctx_(ctx), catalog_(std::move(catalog)) {}
+
+PlanBuilder::~PlanBuilder() = default;
+
+Result<PlanBuilder::NodeRec*> PlanBuilder::GetNode(NodeId id) {
+  if (id < 0 || id >= static_cast<NodeId>(nodes_.size())) {
+    return Status::InvalidArgument("bad plan node id " + std::to_string(id));
+  }
+  return &nodes_[static_cast<size_t>(id)];
+}
+
+PlanBuilder::NodeId PlanBuilder::Register(std::unique_ptr<Operator> op,
+                                          std::unique_ptr<PlanNode> pnode,
+                                          TableScan* scan, bool remote) {
+  pnode->op = op.get();
+  NodeRec rec;
+  rec.op = op.get();
+  rec.pnode = plan_.AddNode(std::move(pnode));
+  rec.scan = scan;
+  rec.remote = remote;
+  operators_.push_back(std::move(op));
+  nodes_.push_back(rec);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const Schema& PlanBuilder::schema(NodeId node) const {
+  return nodes_[static_cast<size_t>(node)].op->output_schema();
+}
+
+Result<ExprPtr> PlanBuilder::ColRef(NodeId node, const std::string& name)
+    const {
+  return ColNamed(schema(node), name);
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::Scan(const std::string& table_name,
+                                              const std::string& alias,
+                                              ScanOptions options,
+                                              bool remote) {
+  PUSHSIP_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(table_name));
+  if (options.delay_every_rows == 0 && pace_every_rows_ > 0) {
+    options.delay_every_rows = pace_every_rows_;
+    // Slightly stagger per-instance rates (as distinct remote sources would
+    // have) so equal-sized inputs don't finish in a coin-flip order.
+    options.delay_ms = pace_ms_ * (1.0 + 0.3 * next_instance_);
+  }
+  // Build the instance schema: rename "table.col" -> "alias.col" and assign
+  // fresh per-instance attribute ids.
+  const int instance = next_instance_++;
+  Schema schema;
+  for (size_t c = 0; c < table->schema().num_fields(); ++c) {
+    const Field& base = table->schema().field(c);
+    std::string short_name = base.name;
+    const size_t dot = short_name.find('.');
+    if (dot != std::string::npos) short_name = short_name.substr(dot + 1);
+    schema.AddField(Field{alias + "." + short_name, base.type,
+                          static_cast<AttrId>(instance * 100 +
+                                              static_cast<int>(c))});
+  }
+  auto scan = std::make_unique<TableScan>(ctx_, "scan_" + alias, table,
+                                          schema, std::move(options));
+  TableScan* raw = scan.get();
+  scans_.push_back(raw);
+
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kScan;
+  pnode->table = table;
+  return Register(std::move(scan), std::move(pnode), raw, remote);
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::Filter(NodeId input,
+                                                ExprPtr predicate,
+                                                double selectivity) {
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* in, GetNode(input));
+  auto op = std::make_unique<FilterOp>(
+      ctx_, "filter", in->op->output_schema(), std::move(predicate));
+  in->op->SetOutput(op.get(), 0);
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kFilter;
+  pnode->selectivity = selectivity;
+  pnode->children = {in->pnode};
+  // Filters pass scans through for the "direct scan" bookkeeping: a filter
+  // over a scan still lets AIP prefilter at the scan (schemas match).
+  return Register(std::move(op), std::move(pnode), in->scan, in->remote);
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::Project(
+    NodeId input, const std::vector<std::string>& cols) {
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* in, GetNode(input));
+  const Schema& in_schema = in->op->output_schema();
+  Schema out_schema;
+  std::vector<ExprPtr> exprs;
+  for (const std::string& name : cols) {
+    PUSHSIP_ASSIGN_OR_RETURN(const int idx, in_schema.IndexOf(name));
+    const Field& f = in_schema.field(static_cast<size_t>(idx));
+    out_schema.AddField(f);
+    exprs.push_back(Col(idx, f.type, f.name));
+  }
+  auto op = std::make_unique<ProjectOp>(ctx_, "project", out_schema,
+                                        std::move(exprs));
+  in->op->SetOutput(op.get(), 0);
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kProject;
+  pnode->children = {in->pnode};
+  return Register(std::move(op), std::move(pnode), nullptr, false);
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::ProjectExprs(
+    NodeId input, std::vector<Field> out_fields, std::vector<ExprPtr> exprs) {
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* in, GetNode(input));
+  if (out_fields.size() != exprs.size()) {
+    return Status::InvalidArgument("field/expr arity mismatch");
+  }
+  auto op = std::make_unique<ProjectOp>(ctx_, "project",
+                                        Schema(std::move(out_fields)),
+                                        std::move(exprs));
+  in->op->SetOutput(op.get(), 0);
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kProject;
+  pnode->children = {in->pnode};
+  return Register(std::move(op), std::move(pnode), nullptr, false);
+}
+
+void PlanBuilder::AddStatefulPort(Operator* op, int port,
+                                  const NodeRec& child) {
+  StatefulPort sp;
+  sp.op = op;
+  sp.port = port;
+  sp.schema = child.op->output_schema();
+  sp.direct_scan = child.scan;
+  sp.scan_is_remote = child.remote;
+  sip_info_.stateful_ports.push_back(std::move(sp));
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::Join(
+    NodeId left, NodeId right,
+    const std::vector<std::pair<std::string, std::string>>& eq_cols,
+    ExprPtr residual, double residual_sel) {
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* l, GetNode(left));
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* r, GetNode(right));
+  const Schema& ls = l->op->output_schema();
+  const Schema& rs = r->op->output_schema();
+
+  std::vector<int> lkeys, rkeys;
+  std::vector<std::pair<AttrId, AttrId>> join_attrs;
+  for (const auto& [lname, rname] : eq_cols) {
+    PUSHSIP_ASSIGN_OR_RETURN(const int li, ls.IndexOf(lname));
+    PUSHSIP_ASSIGN_OR_RETURN(const int ri, rs.IndexOf(rname));
+    lkeys.push_back(li);
+    rkeys.push_back(ri);
+    const AttrId la = ls.field(static_cast<size_t>(li)).attr;
+    const AttrId ra = rs.field(static_cast<size_t>(ri)).attr;
+    if (la != kInvalidAttr && ra != kInvalidAttr) {
+      // Conjunctive top-level equality: feeds the source-predicate graph.
+      sip_info_.equalities.emplace_back(la, ra);
+      join_attrs.emplace_back(la, ra);
+    }
+  }
+  if (lkeys.empty()) {
+    return Status::InvalidArgument("join requires at least one key pair");
+  }
+
+  auto op = std::make_unique<SymmetricHashJoin>(
+      ctx_, "join", ls, rs, lkeys, rkeys, std::move(residual));
+  l->op->SetOutput(op.get(), 0);
+  r->op->SetOutput(op.get(), 1);
+  AddStatefulPort(op.get(), 0, *l);
+  AddStatefulPort(op.get(), 1, *r);
+
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kJoin;
+  pnode->join_attrs = std::move(join_attrs);
+  pnode->selectivity = residual_sel;
+  pnode->children = {l->pnode, r->pnode};
+  return Register(std::move(op), std::move(pnode), nullptr, false);
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::Aggregate(
+    NodeId input, const std::vector<std::string>& group_cols,
+    const std::vector<AggDesc>& aggs) {
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* in, GetNode(input));
+  const Schema& in_schema = in->op->output_schema();
+
+  std::vector<int> group_idx;
+  std::vector<AttrId> group_attrs;
+  for (const std::string& name : group_cols) {
+    PUSHSIP_ASSIGN_OR_RETURN(const int idx, in_schema.IndexOf(name));
+    group_idx.push_back(idx);
+    const AttrId a = in_schema.field(static_cast<size_t>(idx)).attr;
+    if (a != kInvalidAttr) group_attrs.push_back(a);
+  }
+  std::vector<AggSpec> specs;
+  for (const AggDesc& d : aggs) {
+    AggSpec spec;
+    spec.func = d.func;
+    spec.out_name = d.out_name;
+    spec.out_attr = kInvalidAttr;
+    if (!d.input_col.empty()) {
+      PUSHSIP_ASSIGN_OR_RETURN(spec.input, ColNamed(in_schema, d.input_col));
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  auto op = std::make_unique<HashAggregate>(ctx_, "agg", in_schema, group_idx,
+                                            std::move(specs));
+  in->op->SetOutput(op.get(), 0);
+  AddStatefulPort(op.get(), 0, *in);
+
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kAggregate;
+  pnode->group_attrs = std::move(group_attrs);
+  pnode->children = {in->pnode};
+  return Register(std::move(op), std::move(pnode), nullptr, false);
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::Distinct(NodeId input) {
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* in, GetNode(input));
+  auto op = std::make_unique<DistinctOp>(ctx_, "distinct",
+                                         in->op->output_schema());
+  in->op->SetOutput(op.get(), 0);
+  AddStatefulPort(op.get(), 0, *in);
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kDistinct;
+  pnode->children = {in->pnode};
+  return Register(std::move(op), std::move(pnode), nullptr, false);
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::MagicBuild(
+    NodeId input, const std::vector<std::string>& key_cols,
+    std::shared_ptr<MagicSetState> state) {
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* in, GetNode(input));
+  const Schema& in_schema = in->op->output_schema();
+  std::vector<int> keys;
+  for (const std::string& name : key_cols) {
+    PUSHSIP_ASSIGN_OR_RETURN(const int idx, in_schema.IndexOf(name));
+    keys.push_back(idx);
+  }
+  auto op = std::make_unique<MagicSetBuilder>(ctx_, "magic_build", in_schema,
+                                              keys, std::move(state));
+  in->op->SetOutput(op.get(), 0);
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kMagicBuilder;
+  pnode->children = {in->pnode};
+  return Register(std::move(op), std::move(pnode), in->scan, in->remote);
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::MagicGateOn(
+    NodeId input, const std::vector<std::string>& key_cols,
+    std::shared_ptr<MagicSetState> state, double selectivity) {
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* in, GetNode(input));
+  const Schema& in_schema = in->op->output_schema();
+  std::vector<int> keys;
+  for (const std::string& name : key_cols) {
+    PUSHSIP_ASSIGN_OR_RETURN(const int idx, in_schema.IndexOf(name));
+    keys.push_back(idx);
+  }
+  auto op = std::make_unique<MagicGate>(ctx_, "magic_gate", in_schema, keys,
+                                        std::move(state));
+  in->op->SetOutput(op.get(), 0);
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kMagicGate;
+  pnode->selectivity = selectivity;
+  pnode->children = {in->pnode};
+  return Register(std::move(op), std::move(pnode), nullptr, false);
+}
+
+Status PlanBuilder::Finish(NodeId root) {
+  if (finished_) return Status::Internal("plan already finished");
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* r, GetNode(root));
+  auto op = std::make_unique<Sink>(ctx_, "sink", r->op->output_schema());
+  sink_ = op.get();
+  r->op->SetOutput(op.get(), 0);
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kSink;
+  pnode->children = {r->pnode};
+  const NodeId sink_id = Register(std::move(op), std::move(pnode), nullptr,
+                                  false);
+  plan_.SetRoot(nodes_[static_cast<size_t>(sink_id)].pnode);
+  plan_.Estimate();
+
+  // Finalize SipPlanInfo: depths and graph.
+  for (StatefulPort& sp : sip_info_.stateful_ports) {
+    const PlanNode* input = plan_.InputNode(sp.op, sp.port);
+    sp.depth = input != nullptr && input->parent != nullptr
+                   ? input->parent->depth
+                   : 0;
+  }
+  for (const auto& [a, b] : sip_info_.equalities) {
+    sip_info_.graph.AddEquality(a, b);
+  }
+  sip_info_.plan = &plan_;
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<QueryStats> PlanBuilder::Run() {
+  if (!finished_) return Status::Internal("call Finish() before Run()");
+  Driver driver(ctx_, scans_, sink_);
+  return driver.Run();
+}
+
+}  // namespace pushsip

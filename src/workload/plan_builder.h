@@ -1,0 +1,158 @@
+// PlanBuilder: the public plan-construction API. Builds, in one pass, the
+// physical push-operator DAG, the optimizer's estimated Plan, and the
+// SipPlanInfo (source-predicate graph + stateful ports) that the AIP
+// algorithms consume. Queries are expressed against catalog tables with
+// per-instance aliases; every base column instance receives a fresh AttrId.
+#ifndef PUSHSIP_WORKLOAD_PLAN_BUILDER_H_
+#define PUSHSIP_WORKLOAD_PLAN_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/distinct.h"
+#include "exec/driver.h"
+#include "exec/filter.h"
+#include "exec/hash_aggregate.h"
+#include "exec/hash_join.h"
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "exec/sink.h"
+#include "sip/magic_sets.h"
+#include "sip/sip_plan.h"
+#include "storage/catalog.h"
+
+namespace pushsip {
+
+/// Aggregate description for PlanBuilder::Aggregate.
+struct AggDesc {
+  AggFunc func;
+  /// Input column name; empty for COUNT(*).
+  std::string input_col;
+  std::string out_name;
+};
+
+/// \brief Fluent construction of one executable query plan.
+///
+/// The builder owns every operator it creates; keep it alive while the
+/// query runs. Node handles are indices into the builder's node table.
+class PlanBuilder {
+ public:
+  using NodeId = int;
+
+  PlanBuilder(ExecContext* ctx, std::shared_ptr<Catalog> catalog);
+  ~PlanBuilder();
+
+  PlanBuilder(const PlanBuilder&) = delete;
+  PlanBuilder& operator=(const PlanBuilder&) = delete;
+
+  /// Scans `table` as instance `alias`. `remote` marks the scan as sitting
+  /// behind a simulated link (its ScanOptions should carry the link's
+  /// transfer hook; see RemoteNode::WrapScanOptions).
+  Result<NodeId> Scan(const std::string& table, const std::string& alias,
+                      ScanOptions options = {}, bool remote = false);
+
+  /// Default rate limiting applied to scans that carry none of their own —
+  /// models the paper's disk-streamed (I/O-paced) sources and makes input
+  /// completion order reproducible.
+  void set_default_pacing(size_t every_rows, double delay_ms) {
+    pace_every_rows_ = every_rows;
+    pace_ms_ = delay_ms;
+  }
+
+  /// Selection. `selectivity` is the optimizer hint (fraction kept).
+  Result<NodeId> Filter(NodeId input, ExprPtr predicate, double selectivity);
+
+  /// Pass-through projection onto the named columns.
+  Result<NodeId> Project(NodeId input, const std::vector<std::string>& cols);
+
+  /// General projection: `exprs[i]` computes output field `out_fields[i]`.
+  /// Give pass-through columns their source Field (keeping the AttrId) so
+  /// they stay visible to AIP; computed outputs should use kInvalidAttr.
+  Result<NodeId> ProjectExprs(NodeId input, std::vector<Field> out_fields,
+                              std::vector<ExprPtr> exprs);
+
+  /// Schema a Join(left, right) output would have — for building residual
+  /// join predicates before the join exists.
+  Schema ConcatSchema(NodeId left, NodeId right) const {
+    return Schema::Concat(schema(left), schema(right));
+  }
+
+  /// Equi-join on the named column pairs, optional residual predicate over
+  /// the concatenated row with its selectivity hint.
+  Result<NodeId> Join(NodeId left, NodeId right,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          eq_cols,
+                      ExprPtr residual = nullptr, double residual_sel = 1.0);
+
+  /// Hash group-by on the named columns.
+  Result<NodeId> Aggregate(NodeId input,
+                           const std::vector<std::string>& group_cols,
+                           const std::vector<AggDesc>& aggs);
+
+  /// Duplicate elimination over all columns.
+  Result<NodeId> Distinct(NodeId input);
+
+  // --- magic-sets rewriting support ---
+  /// Taps `input`, building the magic filter set over `key_cols`.
+  Result<NodeId> MagicBuild(NodeId input,
+                            const std::vector<std::string>& key_cols,
+                            std::shared_ptr<MagicSetState> state);
+  /// Gates `input` on the magic set over `key_cols`; `selectivity` hints
+  /// the estimator.
+  Result<NodeId> MagicGateOn(NodeId input,
+                             const std::vector<std::string>& key_cols,
+                             std::shared_ptr<MagicSetState> state,
+                             double selectivity);
+
+  /// Terminates the plan: attaches the Sink, assigns depths, estimates the
+  /// Plan, and finalizes SipPlanInfo.
+  Status Finish(NodeId root);
+
+  /// Convenience: runs the finished plan with a Driver.
+  Result<QueryStats> Run();
+
+  // --- accessors (valid after the corresponding construction step) ---
+  const Schema& schema(NodeId node) const;
+  /// Builds a column reference into `node`'s output schema.
+  Result<ExprPtr> ColRef(NodeId node, const std::string& name) const;
+
+  Sink* sink() const { return sink_; }
+  const std::vector<TableScan*>& source_scans() const { return scans_; }
+  SipPlanInfo& sip_info() { return sip_info_; }
+  Plan& plan() { return plan_; }
+  ExecContext* context() const { return ctx_; }
+  const std::shared_ptr<Catalog>& catalog() const { return catalog_; }
+
+ private:
+  struct NodeRec {
+    Operator* op = nullptr;
+    PlanNode* pnode = nullptr;
+    TableScan* scan = nullptr;  ///< non-null when this node is a scan
+    bool remote = false;
+  };
+
+  Result<NodeRec*> GetNode(NodeId id);
+  NodeId Register(std::unique_ptr<Operator> op,
+                  std::unique_ptr<PlanNode> pnode, TableScan* scan,
+                  bool remote);
+  /// Records (op, port) as a stateful port fed by `child`.
+  void AddStatefulPort(Operator* op, int port, const NodeRec& child);
+
+  ExecContext* ctx_;
+  std::shared_ptr<Catalog> catalog_;
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<NodeRec> nodes_;
+  std::vector<TableScan*> scans_;
+  Sink* sink_ = nullptr;
+  Plan plan_;
+  SipPlanInfo sip_info_;
+  int next_instance_ = 0;
+  bool finished_ = false;
+  size_t pace_every_rows_ = 0;
+  double pace_ms_ = 0;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_WORKLOAD_PLAN_BUILDER_H_

@@ -1,0 +1,588 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+
+namespace pushsip {
+
+const char* QueryName(QueryId id) {
+  switch (id) {
+    case QueryId::kQ1A: return "Q1A";
+    case QueryId::kQ1B: return "Q1B";
+    case QueryId::kQ1C: return "Q1C";
+    case QueryId::kQ1D: return "Q1D";
+    case QueryId::kQ1E: return "Q1E";
+    case QueryId::kQ2A: return "Q2A";
+    case QueryId::kQ2B: return "Q2B";
+    case QueryId::kQ2C: return "Q2C";
+    case QueryId::kQ2D: return "Q2D";
+    case QueryId::kQ2E: return "Q2E";
+    case QueryId::kQ3A: return "Q3A";
+    case QueryId::kQ3B: return "Q3B";
+    case QueryId::kQ3C: return "Q3C";
+    case QueryId::kQ3D: return "Q3D";
+    case QueryId::kQ3E: return "Q3E";
+    case QueryId::kQ4A: return "Q4A";
+    case QueryId::kQ4B: return "Q4B";
+    case QueryId::kQ5A: return "Q5A";
+    case QueryId::kQ5B: return "Q5B";
+  }
+  return "?";
+}
+
+std::vector<QueryId> AllQueryIds() {
+  return {QueryId::kQ1A, QueryId::kQ1B, QueryId::kQ1C, QueryId::kQ1D,
+          QueryId::kQ1E, QueryId::kQ2A, QueryId::kQ2B, QueryId::kQ2C,
+          QueryId::kQ2D, QueryId::kQ2E, QueryId::kQ3A, QueryId::kQ3B,
+          QueryId::kQ3C, QueryId::kQ3D, QueryId::kQ3E, QueryId::kQ4A,
+          QueryId::kQ4B, QueryId::kQ5A, QueryId::kQ5B};
+}
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kBaseline: return "Baseline";
+    case Strategy::kMagic: return "Magic";
+    case Strategy::kFeedForward: return "Feed-forward";
+    case Strategy::kCostBased: return "Cost-based";
+  }
+  return "?";
+}
+
+bool QuerySupportsMagic(QueryId id) {
+  switch (id) {
+    case QueryId::kQ4A:
+    case QueryId::kQ4B:
+    case QueryId::kQ5A:
+    case QueryId::kQ5B:
+      return false;  // single-block join queries
+    default:
+      return true;
+  }
+}
+
+bool QueryWantsSkewedData(QueryId id) {
+  return id == QueryId::kQ1B || id == QueryId::kQ2B || id == QueryId::kQ3B;
+}
+
+namespace {
+
+using NodeId = PlanBuilder::NodeId;
+
+// Predicate helpers resolving names against a node's schema.
+Result<ExprPtr> Eq(PlanBuilder* b, NodeId n, const std::string& col,
+                   Value v) {
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr c, b->ColRef(n, col));
+  return Cmp(CmpOp::kEq, std::move(c), Lit(std::move(v)));
+}
+
+int64_t TableRows(PlanBuilder* b, const char* name) {
+  auto t = b->catalog()->GetTable(name);
+  return t.ok() ? static_cast<int64_t>((*t)->num_rows()) : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Q1 family: TPC-H Query 2 (nested MIN subquery over PARTSUPP/SUPPLIER/
+// NATION/REGION). Variants tweak the parent/child predicate strengths.
+// ---------------------------------------------------------------------------
+Status BuildQ1(QueryId id, PlanBuilder* b, const QueryKnobs& k) {
+  const bool remote = id == QueryId::kQ1C;
+  if (remote && k.remote == nullptr) {
+    return Status::InvalidArgument("Q1C requires a remote node");
+  }
+  ScanOptions ps_opts;
+  if (k.delay_inputs) ps_opts = k.delayed_scan_options;
+  if (remote) ps_opts = k.remote->WrapScanOptions(ps_opts);
+
+  // ---- outer block: eligible (part, partsupp, supplier) triples ----
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId p, b->Scan("part", "p"));
+  ExprPtr parent_pred;
+  double parent_sel = 1.0;
+  {
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr size_col, b->ColRef(p, "p_size"));
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr type_col, b->ColRef(p, "p_type"));
+    switch (id) {
+      case QueryId::kQ1D:  // no p_type constraint
+        parent_pred = Cmp(CmpOp::kEq, size_col, LitInt(1));
+        parent_sel = 1.0 / 50;
+        break;
+      case QueryId::kQ1E:  // parent weaker
+        parent_pred = Cmp(CmpOp::kLt, type_col, LitString("TIN"));
+        parent_sel = 0.95;
+        break;
+      default:  // Q1A/B/C
+        parent_pred = And(Cmp(CmpOp::kEq, size_col, LitInt(1)),
+                          Like(type_col, "%TIN"));
+        parent_sel = 1.0 / 250;
+    }
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId pf,
+                           b->Filter(p, parent_pred, parent_sel));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId ps1,
+                           b->Scan("partsupp", "ps1", ps_opts, remote));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j1,
+      b->Join(pf, ps1, {{"p.p_partkey", "ps1.ps_partkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId s1, b->Scan("supplier", "s1"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j2,
+      b->Join(j1, s1, {{"ps1.ps_suppkey", "s1.s_suppkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId n1, b->Scan("nation", "n1"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j3,
+      b->Join(j2, n1, {{"s1.s_nationkey", "n1.n_nationkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId r1, b->Scan("region", "r1"));
+  ExprPtr parent_region;
+  double parent_region_sel = 0.2;
+  {
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr name_col, b->ColRef(r1, "r_name"));
+    if (id == QueryId::kQ1E) {
+      parent_region = Cmp(CmpOp::kLt, name_col, LitString("S"));
+      parent_region_sel = 1.0;
+    } else {
+      parent_region = Cmp(CmpOp::kEq, name_col, LitString("AFRICA"));
+    }
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId r1f,
+                           b->Filter(r1, parent_region, parent_region_sel));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId outer_block,
+      b->Join(j3, r1f, {{"n1.n_regionkey", "r1.r_regionkey"}}));
+
+  // ---- child block: per-part minimum supply cost in the region ----
+  auto magic_state = std::make_shared<MagicSetState>();
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId ps2,
+                           b->Scan("partsupp", "ps2", ps_opts, remote));
+  NodeId child_in = ps2;
+  if (k.magic) {
+    PUSHSIP_ASSIGN_OR_RETURN(
+        child_in,
+        b->MagicGateOn(ps2, {"ps2.ps_partkey"}, magic_state, parent_sel));
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId s2, b->Scan("supplier", "s2"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j5,
+      b->Join(child_in, s2, {{"ps2.ps_suppkey", "s2.s_suppkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId n2, b->Scan("nation", "n2"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j6,
+      b->Join(j5, n2, {{"s2.s_nationkey", "n2.n_nationkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId r2, b->Scan("region", "r2"));
+  ExprPtr child_region;
+  double child_region_sel = 0.2;
+  {
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr name_col, b->ColRef(r2, "r_name"));
+    if (id == QueryId::kQ1D) {  // child weaker
+      child_region = Cmp(CmpOp::kLt, name_col, LitString("S"));
+      child_region_sel = 1.0;
+    } else if (id == QueryId::kQ1E) {
+      child_region = Cmp(CmpOp::kLt, name_col, LitString("S"));
+      child_region_sel = 1.0;
+    } else {
+      child_region = Cmp(CmpOp::kEq, name_col, LitString("AFRICA"));
+    }
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId r2f,
+                           b->Filter(r2, child_region, child_region_sel));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j7,
+      b->Join(j6, r2f, {{"n2.n_regionkey", "r2.r_regionkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId agg,
+      b->Aggregate(j7, {"ps2.ps_partkey"},
+                   {{AggFunc::kMin, "ps2.ps_supplycost", "min_sc"}}));
+
+  // ---- combine: supply offers matching the minimum ----
+  NodeId outer = outer_block;
+  if (k.magic) {
+    PUSHSIP_ASSIGN_OR_RETURN(
+        outer, b->MagicBuild(outer_block, {"p.p_partkey"}, magic_state));
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId top,
+      b->Join(outer, agg,
+              {{"p.p_partkey", "ps2.ps_partkey"},
+               {"ps1.ps_supplycost", "min_sc"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId out,
+      b->Project(top, {"s1.s_acctbal", "s1.s_name", "n1.n_name",
+                       "p.p_partkey", "p.p_mfgr", "s1.s_address",
+                       "s1.s_phone", "s1.s_comment"}));
+  return b->Finish(out);
+}
+
+// ---------------------------------------------------------------------------
+// Q2 family: TPC-H Query 17 (correlated AVG subquery over LINEITEM).
+// ---------------------------------------------------------------------------
+Status BuildQ2(QueryId id, PlanBuilder* b, const QueryKnobs& k) {
+  const int64_t num_part = TableRows(b, "part");
+  const int64_t key_cut = std::max<int64_t>(10, num_part / 200);
+
+  // ---- outer block ----
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId p, b->Scan("part", "p"));
+  ExprPtr part_pred;
+  double part_sel;
+  {
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr brand, b->ColRef(p, "p_brand"));
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr container, b->ColRef(p, "p_container"));
+    if (id == QueryId::kQ2E) {  // parent weaker: no p_brand predicate
+      part_pred = Cmp(CmpOp::kEq, container, LitString("MED CAN"));
+      part_sel = 1.0 / 40;
+    } else {
+      part_pred = And(Cmp(CmpOp::kEq, brand, LitString("Brand#34")),
+                      Cmp(CmpOp::kEq, container, LitString("MED CAN")));
+      part_sel = 1.0 / 1000;
+    }
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId pf, b->Filter(p, part_pred, part_sel));
+
+  // The Q2 family has no PARTSUPP; the delayed-input experiment delays the
+  // outer LINEITEM instead.
+  ScanOptions l_opts;
+  if (k.delay_inputs) l_opts = k.delayed_scan_options;
+  PUSHSIP_ASSIGN_OR_RETURN(NodeId l1, b->Scan("lineitem", "l1", l_opts));
+  if (id == QueryId::kQ2C) {  // parent stronger
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr pk, b->ColRef(l1, "l_partkey"));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        l1, b->Filter(l1, Cmp(CmpOp::kLt, pk, LitInt(key_cut)),
+                      static_cast<double>(key_cut) / num_part));
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId outer_join,
+      b->Join(pf, l1, {{"p.p_partkey", "l1.l_partkey"}}));
+
+  // ---- child block: 0.2 * avg quantity per part ----
+  auto magic_state = std::make_shared<MagicSetState>();
+  PUSHSIP_ASSIGN_OR_RETURN(NodeId l2, b->Scan("lineitem", "l2"));
+  if (id == QueryId::kQ2D) {  // child stronger
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr pk, b->ColRef(l2, "l_partkey"));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        l2, b->Filter(l2, Cmp(CmpOp::kLt, pk, LitInt(key_cut)),
+                      static_cast<double>(key_cut) / num_part));
+  }
+  NodeId child_in = l2;
+  if (k.magic) {
+    PUSHSIP_ASSIGN_OR_RETURN(
+        child_in, b->MagicGateOn(l2, {"l2.l_partkey"}, magic_state,
+                                 id == QueryId::kQ2E ? 0.03 : 0.001));
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId agg,
+      b->Aggregate(child_in, {"l2.l_partkey"},
+                   {{AggFunc::kAvg, "l2.l_quantity", "avg_q"}}));
+  // lim = 0.2 * avg(l_quantity), keeping the partkey attr visible.
+  const Schema& agg_schema = b->schema(agg);
+  PUSHSIP_ASSIGN_OR_RETURN(const int pk_idx,
+                           agg_schema.IndexOf("l2.l_partkey"));
+  PUSHSIP_ASSIGN_OR_RETURN(const int avg_idx, agg_schema.IndexOf("avg_q"));
+  std::vector<Field> lim_fields = {
+      agg_schema.field(static_cast<size_t>(pk_idx)),
+      Field{"lim", TypeId::kDouble, kInvalidAttr}};
+  std::vector<ExprPtr> lim_exprs = {
+      Col(pk_idx, TypeId::kInt64, "l2.l_partkey"),
+      Arith(ArithOp::kMul, LitDouble(0.2),
+            Col(avg_idx, TypeId::kDouble, "avg_q"))};
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId lim,
+                           b->ProjectExprs(agg, lim_fields, lim_exprs));
+
+  // ---- combine ----
+  NodeId outer = outer_join;
+  if (k.magic) {
+    PUSHSIP_ASSIGN_OR_RETURN(
+        outer, b->MagicBuild(outer_join, {"p.p_partkey"}, magic_state));
+  }
+  const Schema top_schema = b->ConcatSchema(outer, lim);
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr qty_col,
+                           ColNamed(top_schema, "l1.l_quantity"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr lim_col, ColNamed(top_schema, "lim"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId top,
+      b->Join(outer, lim, {{"p.p_partkey", "l2.l_partkey"}},
+              Cmp(CmpOp::kLt, qty_col, lim_col), 0.3));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId total,
+      b->Aggregate(top, {},
+                   {{AggFunc::kSum, "l1.l_extendedprice", "revenue"}}));
+  const Schema& total_schema = b->schema(total);
+  PUSHSIP_ASSIGN_OR_RETURN(const int rev_idx, total_schema.IndexOf("revenue"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId out,
+      b->ProjectExprs(total, {Field{"avg_yearly", TypeId::kDouble,
+                                    kInvalidAttr}},
+                      {Arith(ArithOp::kDiv,
+                             Col(rev_idx, TypeId::kDouble, "revenue"),
+                             LitDouble(7.0))}));
+  return b->Finish(out);
+}
+
+// ---------------------------------------------------------------------------
+// Q3 family: the IBM complex-decorrelation query [29] — like TPC-H 2 with
+// fewer joins (no REGION) and nation given by name.
+// ---------------------------------------------------------------------------
+Status BuildQ3(QueryId id, PlanBuilder* b, const QueryKnobs& k) {
+  const bool remote = id == QueryId::kQ3C;
+  if (remote && k.remote == nullptr) {
+    return Status::InvalidArgument("Q3C requires a remote node");
+  }
+  ScanOptions ps_opts;
+  if (k.delay_inputs) ps_opts = k.delayed_scan_options;
+  if (remote) ps_opts = k.remote->WrapScanOptions(ps_opts);
+
+  // ---- outer block ----
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId p, b->Scan("part", "p"));
+  ExprPtr part_pred;
+  double part_sel;
+  {
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr size_col, b->ColRef(p, "p_size"));
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr type_col, b->ColRef(p, "p_type"));
+    if (id == QueryId::kQ3E) {  // parent weaker: no p_size predicate
+      part_pred = Like(type_col, "%BRASS");
+      part_sel = 1.0 / 5;
+    } else {
+      part_pred = And(Cmp(CmpOp::kEq, size_col, LitInt(15)),
+                      Like(type_col, "%BRASS"));
+      part_sel = 1.0 / 250;
+    }
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId pf, b->Filter(p, part_pred, part_sel));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId ps1,
+                           b->Scan("partsupp", "ps1", ps_opts, remote));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j1,
+      b->Join(pf, ps1, {{"p.p_partkey", "ps1.ps_partkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId s1, b->Scan("supplier", "s1"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j2,
+      b->Join(j1, s1, {{"ps1.ps_suppkey", "s1.s_suppkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId n1, b->Scan("nation", "n1"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr n1_pred, Eq(b, n1, "n_name",
+                                               Value::String("FRANCE")));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId n1f,
+                           b->Filter(n1, n1_pred, 1.0 / 25));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId outer_block,
+      b->Join(j2, n1f, {{"s1.s_nationkey", "n1.n_nationkey"}}));
+
+  // ---- child block ----
+  auto magic_state = std::make_shared<MagicSetState>();
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId ps2,
+                           b->Scan("partsupp", "ps2", ps_opts, remote));
+  NodeId child_in = ps2;
+  if (k.magic) {
+    PUSHSIP_ASSIGN_OR_RETURN(
+        child_in,
+        b->MagicGateOn(ps2, {"ps2.ps_partkey"}, magic_state, part_sel));
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId s2, b->Scan("supplier", "s2"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j4,
+      b->Join(child_in, s2, {{"ps2.ps_suppkey", "s2.s_suppkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId n2, b->Scan("nation", "n2"));
+  ExprPtr n2_pred;
+  double n2_sel = 1.0 / 25;
+  {
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr name_col, b->ColRef(n2, "n_name"));
+    if (id == QueryId::kQ3D) {  // child weaker
+      n2_pred = Cmp(CmpOp::kGe, name_col, LitString("FRANCE"));
+      n2_sel = 0.8;
+    } else {
+      n2_pred = Cmp(CmpOp::kEq, name_col, LitString("FRANCE"));
+    }
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId n2f, b->Filter(n2, n2_pred, n2_sel));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j5,
+      b->Join(j4, n2f, {{"s2.s_nationkey", "n2.n_nationkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId agg,
+      b->Aggregate(j5, {"ps2.ps_partkey"},
+                   {{AggFunc::kMin, "ps2.ps_supplycost", "min_sc"}}));
+
+  // ---- combine ----
+  NodeId outer = outer_block;
+  if (k.magic) {
+    PUSHSIP_ASSIGN_OR_RETURN(
+        outer, b->MagicBuild(outer_block, {"p.p_partkey"}, magic_state));
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId top,
+      b->Join(outer, agg,
+              {{"p.p_partkey", "ps2.ps_partkey"},
+               {"ps1.ps_supplycost", "min_sc"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId out,
+      b->Project(top, {"s1.s_name", "s1.s_acctbal", "s1.s_address",
+                       "s1.s_phone", "s1.s_comment"}));
+  return b->Finish(out);
+}
+
+// ---------------------------------------------------------------------------
+// Q4 family: TPC-H Query 5 (single-block 6-way join, bushy plan).
+// ---------------------------------------------------------------------------
+Status BuildQ4(QueryId id, PlanBuilder* b, const QueryKnobs& k) {
+  const int64_t num_supplier = TableRows(b, "supplier");
+
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId c, b->Scan("customer", "c"));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId o, b->Scan("orders", "o"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr odate, b->ColRef(o, "o_orderdate"));
+  ExprPtr date_pred =
+      And(Cmp(CmpOp::kGe, odate, LitDate("1995-01-01")),
+          Cmp(CmpOp::kLt, odate, LitDate("1996-01-01")));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId of, b->Filter(o, date_pred, 0.15));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId jco, b->Join(c, of, {{"c.c_custkey", "o.o_custkey"}}));
+
+  ScanOptions l_opts;
+  if (k.delay_inputs) l_opts = k.delayed_scan_options;
+  PUSHSIP_ASSIGN_OR_RETURN(NodeId l, b->Scan("lineitem", "l", l_opts));
+  if (id == QueryId::kQ4B) {  // fewer suppliers
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr sk, b->ColRef(l, "l_suppkey"));
+    const int64_t cut = std::max<int64_t>(2, num_supplier / 10);
+    PUSHSIP_ASSIGN_OR_RETURN(
+        l, b->Filter(l, Cmp(CmpOp::kLt, sk, LitInt(cut)),
+                     static_cast<double>(cut) / num_supplier));
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId jcol, b->Join(jco, l, {{"o.o_orderkey", "l.l_orderkey"}}));
+
+  // Right subtree: suppliers of the region.
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId s, b->Scan("supplier", "s"));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId n, b->Scan("nation", "n"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId jsn, b->Join(s, n, {{"s.s_nationkey", "n.n_nationkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId r, b->Scan("region", "r"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr rname, b->ColRef(r, "r_name"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId rf,
+      b->Filter(r, Cmp(CmpOp::kEq, rname, LitString("MIDDLE EAST")), 0.2));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId jsnr,
+      b->Join(jsn, rf, {{"n.n_regionkey", "r.r_regionkey"}}));
+
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId top,
+      b->Join(jcol, jsnr,
+              {{"l.l_suppkey", "s.s_suppkey"},
+               {"c.c_nationkey", "s.s_nationkey"}}));
+
+  const Schema& ts = b->schema(top);
+  PUSHSIP_ASSIGN_OR_RETURN(const int nn_idx, ts.IndexOf("n.n_name"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr ext, ColNamed(ts, "l.l_extendedprice"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr disc, ColNamed(ts, "l.l_discount"));
+  std::vector<Field> fields = {ts.field(static_cast<size_t>(nn_idx)),
+                               Field{"amount", TypeId::kDouble, kInvalidAttr}};
+  std::vector<ExprPtr> exprs = {
+      Col(nn_idx, TypeId::kString, "n.n_name"),
+      Arith(ArithOp::kMul, ext,
+            Arith(ArithOp::kSub, LitDouble(1.0), disc))};
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId proj,
+                           b->ProjectExprs(top, fields, exprs));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId agg,
+      b->Aggregate(proj, {"n.n_name"},
+                   {{AggFunc::kSum, "amount", "revenue"}}));
+  return b->Finish(agg);
+}
+
+// ---------------------------------------------------------------------------
+// Q5 family: TPC-H Query 9 (single-block 6-way join with computed profit).
+// ---------------------------------------------------------------------------
+Status BuildQ5(QueryId id, PlanBuilder* b, const QueryKnobs& k) {
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId p, b->Scan("part", "p"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr pname, b->ColRef(p, "p_name"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId pf, b->Filter(p, Like(pname, "%black%"), 0.19));
+
+  ScanOptions l_opts;
+  if (k.delay_inputs) l_opts = k.delayed_scan_options;
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId l, b->Scan("lineitem", "l", l_opts));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j1, b->Join(pf, l, {{"p.p_partkey", "l.l_partkey"}}));
+
+  ScanOptions ps_opts;
+  if (k.delay_inputs) ps_opts = k.delayed_scan_options;
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId ps,
+                           b->Scan("partsupp", "ps", ps_opts));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j2,
+      b->Join(j1, ps,
+              {{"l.l_partkey", "ps.ps_partkey"},
+               {"l.l_suppkey", "ps.ps_suppkey"}}));
+
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId s, b->Scan("supplier", "s"));
+  PUSHSIP_ASSIGN_OR_RETURN(NodeId n, b->Scan("nation", "n"));
+  if (id == QueryId::kQ5B) {  // fewer nations
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr nk, b->ColRef(n, "n_nationkey"));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        n, b->Filter(n, Cmp(CmpOp::kLt, nk, LitInt(10)), 10.0 / 25));
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId jsn, b->Join(s, n, {{"s.s_nationkey", "n.n_nationkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j3, b->Join(j2, jsn, {{"l.l_suppkey", "s.s_suppkey"}}));
+
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId o, b->Scan("orders", "o"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j4, b->Join(j3, o, {{"l.l_orderkey", "o.o_orderkey"}}));
+
+  const Schema& ts = b->schema(j4);
+  PUSHSIP_ASSIGN_OR_RETURN(const int nn_idx, ts.IndexOf("n.n_name"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr odate, ColNamed(ts, "o.o_orderdate"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr ext, ColNamed(ts, "l.l_extendedprice"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr disc, ColNamed(ts, "l.l_discount"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr cost, ColNamed(ts, "ps.ps_supplycost"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr qty, ColNamed(ts, "l.l_quantity"));
+  std::vector<Field> fields = {
+      ts.field(static_cast<size_t>(nn_idx)),
+      Field{"o_year", TypeId::kInt64, kInvalidAttr},
+      Field{"amount", TypeId::kDouble, kInvalidAttr}};
+  std::vector<ExprPtr> exprs = {
+      Col(nn_idx, TypeId::kString, "n.n_name"), YearOf(odate),
+      Arith(ArithOp::kSub,
+            Arith(ArithOp::kMul, ext,
+                  Arith(ArithOp::kSub, LitDouble(1.0), disc)),
+            Arith(ArithOp::kMul, cost, qty))};
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId proj,
+                           b->ProjectExprs(j4, fields, exprs));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId agg,
+      b->Aggregate(proj, {"n.n_name", "o_year"},
+                   {{AggFunc::kSum, "amount", "profit"}}));
+  return b->Finish(agg);
+}
+
+}  // namespace
+
+Status BuildQuery(QueryId id, PlanBuilder* b, const QueryKnobs& knobs) {
+  if (knobs.magic && !QuerySupportsMagic(id)) {
+    return Status::InvalidArgument(
+        std::string("magic rewriting does not apply to ") + QueryName(id));
+  }
+  switch (id) {
+    case QueryId::kQ1A:
+    case QueryId::kQ1B:
+    case QueryId::kQ1C:
+    case QueryId::kQ1D:
+    case QueryId::kQ1E:
+      return BuildQ1(id, b, knobs);
+    case QueryId::kQ2A:
+    case QueryId::kQ2B:
+    case QueryId::kQ2C:
+    case QueryId::kQ2D:
+    case QueryId::kQ2E:
+      return BuildQ2(id, b, knobs);
+    case QueryId::kQ3A:
+    case QueryId::kQ3B:
+    case QueryId::kQ3C:
+    case QueryId::kQ3D:
+    case QueryId::kQ3E:
+      return BuildQ3(id, b, knobs);
+    case QueryId::kQ4A:
+    case QueryId::kQ4B:
+      return BuildQ4(id, b, knobs);
+    case QueryId::kQ5A:
+    case QueryId::kQ5B:
+      return BuildQ5(id, b, knobs);
+  }
+  return Status::InvalidArgument("unknown query id");
+}
+
+}  // namespace pushsip

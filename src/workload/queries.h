@@ -1,0 +1,67 @@
+// The paper's experimental workload (Table I): TPC-H Q2/Q5/Q9/Q17 and the
+// IBM complex-decorrelation query, each with the paper's selectivity
+// variants, buildable as Baseline or Magic plans (Feed-Forward / Cost-Based
+// AIP run on the Baseline plan with the respective manager installed).
+#ifndef PUSHSIP_WORKLOAD_QUERIES_H_
+#define PUSHSIP_WORKLOAD_QUERIES_H_
+
+#include "net/remote_node.h"
+#include "workload/plan_builder.h"
+
+namespace pushsip {
+
+/// Workload query identifiers (paper Table I).
+enum class QueryId {
+  kQ1A,  ///< TPC-H 2, normal
+  kQ1B,  ///< TPC-H 2 on the skewed dataset
+  kQ1C,  ///< TPC-H 2 with PARTSUPP fetched over the network
+  kQ1D,  ///< child weaker (r_name < 'S', no p_type constraint)
+  kQ1E,  ///< parent weaker (p_type < 'TIN', r_name < 'S')
+  kQ2A,  ///< TPC-H 17, normal
+  kQ2B,  ///< skewed
+  kQ2C,  ///< parent stronger (l_partkey < N)
+  kQ2D,  ///< child stronger (p_partkey < N)
+  kQ2E,  ///< parent weaker (no p_brand predicate)
+  kQ3A,  ///< IBM query, normal
+  kQ3B,  ///< skewed
+  kQ3C,  ///< remote PARTSUPP
+  kQ3D,  ///< child weaker (n_name >= 'FRANCE')
+  kQ3E,  ///< parent weaker (no p_size predicate)
+  kQ4A,  ///< TPC-H 5, normal
+  kQ4B,  ///< fewer suppliers (l_suppkey < N)
+  kQ5A,  ///< TPC-H 9, normal
+  kQ5B,  ///< fewer nations (n_nationkey < 10)
+};
+
+const char* QueryName(QueryId id);
+std::vector<QueryId> AllQueryIds();
+
+/// Execution strategies compared in the paper's evaluation.
+enum class Strategy { kBaseline, kMagic, kFeedForward, kCostBased };
+const char* StrategyName(Strategy s);
+
+/// True for the multi-block queries where magic-sets rewriting applies.
+bool QuerySupportsMagic(QueryId id);
+
+/// True for the variants the paper runs on the skewed dataset.
+bool QueryWantsSkewedData(QueryId id);
+
+/// Knobs threaded into plan construction.
+struct QueryKnobs {
+  /// Extra options applied to the delayed relation's scans (the paper's
+  /// delayed-PARTSUPP experiment; for the Q2 family, which has no PARTSUPP,
+  /// the outer LINEITEM is delayed instead).
+  ScanOptions delayed_scan_options;
+  bool delay_inputs = false;
+  /// Remote node hosting PARTSUPP for Q1C / Q3C (required for those ids).
+  RemoteNode* remote = nullptr;
+  /// Build the magic-sets variant of the plan.
+  bool magic = false;
+};
+
+/// Builds the plan for `id` into `b` (including Finish()).
+Status BuildQuery(QueryId id, PlanBuilder* b, const QueryKnobs& knobs = {});
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_WORKLOAD_QUERIES_H_

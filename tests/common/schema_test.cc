@@ -1,0 +1,76 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace pushsip {
+namespace {
+
+Schema TwoTableSchema() {
+  return Schema({
+      Field{"part.p_partkey", TypeId::kInt64, 1},
+      Field{"part.p_size", TypeId::kInt64, 2},
+      Field{"partsupp.ps_partkey", TypeId::kInt64, 3},
+  });
+}
+
+TEST(SchemaTest, IndexOfQualifiedName) {
+  const Schema s = TwoTableSchema();
+  auto r = s.IndexOf("part.p_size");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1);
+}
+
+TEST(SchemaTest, IndexOfUnqualifiedName) {
+  const Schema s = TwoTableSchema();
+  auto r = s.IndexOf("ps_partkey");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+}
+
+TEST(SchemaTest, IndexOfMissingNameFails) {
+  const Schema s = TwoTableSchema();
+  EXPECT_EQ(s.IndexOf("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedNameFails) {
+  Schema s({Field{"a.k", TypeId::kInt64, 1}, Field{"b.k", TypeId::kInt64, 2}});
+  EXPECT_EQ(s.IndexOf("k").status().code(), StatusCode::kInvalidArgument);
+  // Qualified lookups still work.
+  EXPECT_EQ(*s.IndexOf("b.k"), 1);
+}
+
+TEST(SchemaTest, IndexOfAttr) {
+  const Schema s = TwoTableSchema();
+  auto r = s.IndexOfAttr(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+  EXPECT_FALSE(s.IndexOfAttr(99).ok());
+  EXPECT_FALSE(s.IndexOfAttr(kInvalidAttr).ok());
+}
+
+TEST(SchemaTest, HasAttr) {
+  const Schema s = TwoTableSchema();
+  EXPECT_TRUE(s.HasAttr(1));
+  EXPECT_FALSE(s.HasAttr(42));
+  EXPECT_FALSE(s.HasAttr(kInvalidAttr));
+}
+
+TEST(SchemaTest, ConcatPreservesOrderAndAttrs) {
+  Schema left({Field{"l.a", TypeId::kInt64, 1}});
+  Schema right({Field{"r.b", TypeId::kString, 2},
+                Field{"r.c", TypeId::kDouble, kInvalidAttr}});
+  const Schema joined = Schema::Concat(left, right);
+  ASSERT_EQ(joined.num_fields(), 3u);
+  EXPECT_EQ(joined.field(0).name, "l.a");
+  EXPECT_EQ(joined.field(1).name, "r.b");
+  EXPECT_EQ(joined.field(2).attr, kInvalidAttr);
+  EXPECT_EQ(joined.field(1).attr, 2);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s({Field{"x.a", TypeId::kInt64, 1}});
+  EXPECT_EQ(s.ToString(), "(x.a:INT64)");
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,74 @@
+#include "common/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace pushsip {
+namespace {
+
+Tuple T3(int64_t a, int64_t b, const std::string& s) {
+  return Tuple({Value::Int64(a), Value::Int64(b), Value::String(s)});
+}
+
+TEST(TupleTest, BasicAccess) {
+  const Tuple t = T3(1, 2, "x");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.at(0).AsInt64(), 1);
+  EXPECT_EQ(t.at(2).AsString(), "x");
+}
+
+TEST(TupleTest, ConcatJoinsValues) {
+  const Tuple joined = Tuple::Concat(T3(1, 2, "a"), T3(3, 4, "b"));
+  ASSERT_EQ(joined.size(), 6u);
+  EXPECT_EQ(joined.at(3).AsInt64(), 3);
+  EXPECT_EQ(joined.at(5).AsString(), "b");
+}
+
+TEST(TupleTest, HashColumnsDependsOnlyOnSelectedColumns) {
+  const Tuple a = T3(1, 100, "x");
+  const Tuple b = T3(1, 999, "y");
+  EXPECT_EQ(a.HashColumns({0}), b.HashColumns({0}));
+  EXPECT_NE(a.HashColumns({0, 1}), b.HashColumns({0, 1}));
+}
+
+TEST(TupleTest, HashColumnsOrderSensitive) {
+  const Tuple t = T3(1, 2, "x");
+  EXPECT_NE(t.HashColumns({0, 1}), t.HashColumns({1, 0}));
+}
+
+TEST(TupleTest, EqualsOnMatchesByPosition) {
+  const Tuple a = T3(7, 8, "k");
+  const Tuple b = T3(8, 7, "k");
+  EXPECT_TRUE(a.EqualsOn({0}, b, {1}));
+  EXPECT_FALSE(a.EqualsOn({0}, b, {0}));
+  EXPECT_TRUE(a.EqualsOn({2}, b, {2}));
+  EXPECT_TRUE(a.EqualsOn({0, 1}, b, {1, 0}));
+}
+
+TEST(TupleTest, EqualsOnNullNeverMatches) {
+  const Tuple a({Value::Null(), Value::Int64(1)});
+  const Tuple b({Value::Null(), Value::Int64(1)});
+  // SQL join semantics: NULL = NULL is not true.
+  EXPECT_FALSE(a.EqualsOn({0}, b, {0}));
+  EXPECT_TRUE(a.EqualsOn({1}, b, {1}));
+}
+
+TEST(TupleTest, CompareIsLexicographic) {
+  EXPECT_LT(T3(1, 2, "a").Compare(T3(1, 2, "b")), 0);
+  EXPECT_EQ(T3(1, 2, "a").Compare(T3(1, 2, "a")), 0);
+  EXPECT_GT(T3(2, 0, "a").Compare(T3(1, 9, "z")), 0);
+  // Shorter tuple sorts first on a tie.
+  const Tuple shorter({Value::Int64(1)});
+  EXPECT_LT(shorter.Compare(T3(1, 0, "")), 0);
+}
+
+TEST(TupleTest, FootprintGrowsWithStrings) {
+  EXPECT_GT(T3(1, 2, std::string(500, 'q')).FootprintBytes(),
+            T3(1, 2, "").FootprintBytes());
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(T3(1, 2, "x").ToString(), "[1, 2, x]");
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,106 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace pushsip {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), TypeId::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Int64RoundTrip) {
+  const Value v = Value::Int64(-42);
+  EXPECT_EQ(v.type(), TypeId::kInt64);
+  EXPECT_EQ(v.AsInt64(), -42);
+  EXPECT_EQ(v.ToString(), "-42");
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  const Value v = Value::Double(2.5);
+  EXPECT_EQ(v.type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  const Value v = Value::String("BRASS");
+  EXPECT_EQ(v.type(), TypeId::kString);
+  EXPECT_EQ(v.AsString(), "BRASS");
+  EXPECT_EQ(v.ToString(), "BRASS");
+}
+
+TEST(ValueTest, DateParseAndFormat) {
+  auto r = Value::DateFromString("1995-01-01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r).ToString(), "1995-01-01");
+  // Epoch sanity: 1970-01-01 is day zero.
+  auto epoch = Value::DateFromString("1970-01-01");
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ((*epoch).AsInt64(), 0);
+  // Leap handling: 2000-03-01 is the day after 2000-02-29.
+  auto feb29 = Value::DateFromString("2000-02-29");
+  auto mar01 = Value::DateFromString("2000-03-01");
+  EXPECT_EQ((*mar01).AsInt64(), (*feb29).AsInt64() + 1);
+}
+
+TEST(ValueTest, DateParseRejectsGarbage) {
+  EXPECT_FALSE(Value::DateFromString("not-a-date").ok());
+  EXPECT_FALSE(Value::DateFromString("2020-13-01").ok());
+  EXPECT_FALSE(Value::DateFromString("2020-00-10").ok());
+}
+
+TEST(ValueTest, CompareOrdersNumerically) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::Int64(5).Compare(Value::Int64(-5)), 0);
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Int64(3)), 0);
+  // Cross-type numeric comparison.
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int64(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.1).Compare(Value::Int64(4)), 0);
+}
+
+TEST(ValueTest, CompareStringsLexicographically) {
+  EXPECT_LT(Value::String("AFRICA").Compare(Value::String("ASIA")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, NullsSortFirstAndEqualEachOther) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Int64(0)), 0);
+  EXPECT_GT(Value::String("").Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, EqualValuesHashEqually) {
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Int64(42).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  // Cross-type numeric equality implies equal hashes (join-key contract).
+  EXPECT_EQ(Value::Int64(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::Date(100).Hash(), Value::Int64(100).Hash());
+}
+
+TEST(ValueTest, DistinctValuesRarelyCollide) {
+  // Not a guarantee, but the mixer should separate consecutive ints.
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (Value::Int64(i).Hash() == Value::Int64(i + 1).Hash()) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(ValueTest, FootprintCountsStringPayload) {
+  const Value small = Value::Int64(1);
+  const Value big = Value::String(std::string(1000, 'x'));
+  EXPECT_GE(big.FootprintBytes(), small.FootprintBytes() + 1000);
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(TypeName(TypeId::kInt64), "INT64");
+  EXPECT_STREQ(TypeName(TypeId::kString), "STRING");
+  EXPECT_STREQ(TypeName(TypeId::kDate), "DATE");
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,106 @@
+#include "exec/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/hash_join.h"
+#include "tests/exec/exec_test_util.h"
+
+namespace pushsip {
+namespace {
+
+using testutil::MakeIntTable;
+using testutil::MakeScan;
+
+TEST(DriverTest, RunsTwoSourceJoinPlan) {
+  ExecContext ctx;
+  auto left = MakeIntTable("l", {{1, 10}, {2, 20}, {3, 30}});
+  auto right = MakeIntTable("r", {{2, 200}, {3, 300}, {4, 400}});
+  auto lscan = MakeScan(&ctx, left);
+  auto rscan = MakeScan(&ctx, right);
+  SymmetricHashJoin join(&ctx, "join", left->schema(), right->schema(), {0},
+                         {0});
+  Sink sink(&ctx, "sink", join.output_schema());
+  lscan->SetOutput(&join, 0);
+  rscan->SetOutput(&join, 1);
+  join.SetOutput(&sink);
+
+  Driver driver(&ctx, {lscan.get(), rscan.get()}, &sink);
+  auto stats = driver.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->result_rows, 2);
+  EXPECT_GT(stats->elapsed_sec, 0);
+  EXPECT_GT(stats->peak_state_bytes, 0);
+}
+
+TEST(DriverTest, ReportsPrunedRows) {
+  class DropAll : public TupleFilter {
+   public:
+    bool Pass(const Tuple&) const override { return false; }
+    std::string label() const override { return "drop-all"; }
+  };
+  ExecContext ctx;
+  auto left = MakeIntTable("l", {{1, 10}, {2, 20}});
+  auto right = MakeIntTable("r", {{1, 1}});
+  auto lscan = MakeScan(&ctx, left);
+  auto rscan = MakeScan(&ctx, right);
+  SymmetricHashJoin join(&ctx, "join", left->schema(), right->schema(), {0},
+                         {0});
+  Sink sink(&ctx, "sink", join.output_schema());
+  lscan->SetOutput(&join, 0);
+  rscan->SetOutput(&join, 1);
+  join.SetOutput(&sink);
+  join.AttachFilter(0, std::make_shared<DropAll>());
+
+  Driver driver(&ctx, {lscan.get(), rscan.get()}, &sink);
+  auto stats = driver.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->result_rows, 0);
+  EXPECT_EQ(stats->rows_pruned, 2);
+}
+
+TEST(DriverTest, RejectsEmptyPlans) {
+  ExecContext ctx;
+  Sink sink(&ctx, "sink", Schema{});
+  EXPECT_FALSE(Driver(&ctx, {}, &sink).Run().ok());
+  auto table = MakeIntTable("t", {});
+  auto scan = MakeScan(&ctx, table);
+  EXPECT_FALSE(Driver(&ctx, {scan.get()}, nullptr).Run().ok());
+}
+
+TEST(DriverTest, SingleSourcePassthrough) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 1}, {2, 2}});
+  auto scan = MakeScan(&ctx, table);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&sink);
+  Driver driver(&ctx, {scan.get()}, &sink);
+  auto stats = driver.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->result_rows, 2);
+}
+
+TEST(DriverTest, ConcurrentSourcesWithDelays) {
+  ExecContext ctx;
+  auto left = MakeIntTable("l", {{1, 1}, {2, 2}});
+  auto right = MakeIntTable("r", {{1, 1}, {2, 2}});
+  ScanOptions delayed;
+  delayed.initial_delay_ms = 30;
+  auto lscan = MakeScan(&ctx, left, delayed);
+  auto rscan = MakeScan(&ctx, right);
+  SymmetricHashJoin join(&ctx, "join", left->schema(), right->schema(), {0},
+                         {0});
+  Sink sink(&ctx, "sink", join.output_schema());
+  lscan->SetOutput(&join, 0);
+  rscan->SetOutput(&join, 1);
+  join.SetOutput(&sink);
+  Driver driver(&ctx, {lscan.get(), rscan.get()}, &sink);
+  auto stats = driver.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->result_rows, 2);
+  // The delayed input finished last; its buffered state was short-circuited.
+  EXPECT_FALSE(join.StateCompleteAtFinish(0));
+  EXPECT_TRUE(join.StateCompleteAtFinish(1));
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "exec/filter.h"
+#include "exec/project.h"
+#include "exec/sink.h"
+#include "tests/exec/exec_test_util.h"
+
+namespace pushsip {
+namespace {
+
+using testutil::MakeIntTable;
+using testutil::MakeScan;
+
+TEST(FilterOpTest, KeepsMatchingRows) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 5}, {2, 50}, {3, 500}});
+  auto scan = MakeScan(&ctx, table);
+  FilterOp filter(&ctx, "filter", table->schema(),
+                  Cmp(CmpOp::kGt, Col(1, TypeId::kInt64), LitInt(10)));
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&filter);
+  filter.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  ASSERT_EQ(sink.num_rows(), 2);
+  EXPECT_EQ(sink.rows()[0].at(0).AsInt64(), 2);
+}
+
+TEST(FilterOpTest, NullPredicateCountsAsFalse) {
+  ExecContext ctx;
+  Schema schema({Field{"t.x", TypeId::kInt64, kInvalidAttr}});
+  auto table = std::make_shared<Table>("t", schema);
+  table->AppendRow(Tuple({Value::Null()}));
+  table->AppendRow(Tuple({Value::Int64(1)}));
+  auto scan = std::make_unique<TableScan>(&ctx, "scan", table, schema);
+  FilterOp filter(&ctx, "filter", schema,
+                  Cmp(CmpOp::kEq, Col(0, TypeId::kInt64), LitInt(1)));
+  Sink sink(&ctx, "sink", schema);
+  scan->SetOutput(&filter);
+  filter.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  EXPECT_EQ(sink.num_rows(), 1);
+}
+
+TEST(FilterOpTest, FinishPropagates) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {});
+  auto scan = MakeScan(&ctx, table);
+  FilterOp filter(&ctx, "filter", table->schema(),
+                  Cmp(CmpOp::kGt, Col(0, TypeId::kInt64), LitInt(0)));
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&filter);
+  filter.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  EXPECT_TRUE(sink.finished());
+}
+
+TEST(ProjectOpTest, ComputesExpressions) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{3, 4}});
+  Schema out_schema({Field{"sum", TypeId::kInt64, kInvalidAttr},
+                     Field{"a", TypeId::kInt64, 7}});
+  ProjectOp proj(&ctx, "proj", out_schema,
+                 {Arith(ArithOp::kAdd, Col(0, TypeId::kInt64),
+                        Col(1, TypeId::kInt64)),
+                  Col(0, TypeId::kInt64)});
+  Sink sink(&ctx, "sink", out_schema);
+  auto scan = MakeScan(&ctx, table);
+  scan->SetOutput(&proj);
+  proj.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  ASSERT_EQ(sink.num_rows(), 1);
+  EXPECT_EQ(sink.rows()[0].at(0).AsInt64(), 7);
+  EXPECT_EQ(sink.rows()[0].at(1).AsInt64(), 3);
+  // The projected schema's AttrIds are preserved for AIP.
+  EXPECT_EQ(sink.output_schema().field(1).attr, 7);
+}
+
+TEST(ProjectOpTest, NarrowsTupleWidth) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 2}, {3, 4}});
+  Schema out_schema({Field{"b", TypeId::kInt64, kInvalidAttr}});
+  ProjectOp proj(&ctx, "proj", out_schema, {Col(1, TypeId::kInt64)});
+  Sink sink(&ctx, "sink", out_schema);
+  auto scan = MakeScan(&ctx, table);
+  scan->SetOutput(&proj);
+  proj.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  ASSERT_EQ(sink.num_rows(), 2);
+  EXPECT_EQ(sink.rows()[0].size(), 1u);
+  EXPECT_EQ(sink.rows()[1].at(0).AsInt64(), 4);
+}
+
+}  // namespace
+}  // namespace pushsip

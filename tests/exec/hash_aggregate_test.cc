@@ -1,0 +1,160 @@
+#include "exec/hash_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/sink.h"
+#include "tests/exec/exec_test_util.h"
+#include "util/random.h"
+
+namespace pushsip {
+namespace {
+
+using testutil::MakeIntTable;
+using testutil::MakeScan;
+
+TEST(HashAggregateTest, GroupBySumCountAvg) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 10}, {1, 20}, {2, 5}, {2, 5}, {3, 9}});
+  auto scan = MakeScan(&ctx, table);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col(1, TypeId::kInt64), "s", kInvalidAttr});
+  aggs.push_back({AggFunc::kCount, nullptr, "c", kInvalidAttr});
+  aggs.push_back({AggFunc::kAvg, Col(1, TypeId::kInt64), "a", kInvalidAttr});
+  HashAggregate agg(&ctx, "agg", table->schema(), {0}, aggs);
+  Sink sink(&ctx, "sink", agg.output_schema());
+  scan->SetOutput(&agg);
+  agg.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  ASSERT_TRUE(sink.finished());
+  ASSERT_EQ(sink.num_rows(), 3);
+
+  std::map<int64_t, std::tuple<int64_t, int64_t, double>> got;
+  for (const Tuple& row : sink.rows()) {
+    got[row.at(0).AsInt64()] = {row.at(1).AsInt64(), row.at(2).AsInt64(),
+                                row.at(3).AsDouble()};
+  }
+  EXPECT_TRUE((got[1] == std::tuple<int64_t, int64_t, double>{30, 2, 15.0}));
+  EXPECT_TRUE((got[2] == std::tuple<int64_t, int64_t, double>{10, 2, 5.0}));
+  EXPECT_TRUE((got[3] == std::tuple<int64_t, int64_t, double>{9, 1, 9.0}));
+}
+
+TEST(HashAggregateTest, MinMaxPerGroup) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 3}, {1, 7}, {2, 4}});
+  auto scan = MakeScan(&ctx, table);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kMin, Col(1, TypeId::kInt64), "mn", kInvalidAttr});
+  aggs.push_back({AggFunc::kMax, Col(1, TypeId::kInt64), "mx", kInvalidAttr});
+  HashAggregate agg(&ctx, "agg", table->schema(), {0}, aggs);
+  Sink sink(&ctx, "sink", agg.output_schema());
+  scan->SetOutput(&agg);
+  agg.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  std::map<int64_t, std::pair<int64_t, int64_t>> got;
+  for (const Tuple& row : sink.rows()) {
+    got[row.at(0).AsInt64()] = {row.at(1).AsInt64(), row.at(2).AsInt64()};
+  }
+  EXPECT_TRUE((got[1] == std::pair<int64_t, int64_t>{3, 7}));
+  EXPECT_TRUE((got[2] == std::pair<int64_t, int64_t>{4, 4}));
+}
+
+TEST(HashAggregateTest, ScalarAggregateOverEmptyInput) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {});
+  auto scan = MakeScan(&ctx, table);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col(1, TypeId::kInt64), "s", kInvalidAttr});
+  aggs.push_back({AggFunc::kCount, nullptr, "c", kInvalidAttr});
+  HashAggregate agg(&ctx, "agg", table->schema(), {}, aggs);
+  Sink sink(&ctx, "sink", agg.output_schema());
+  scan->SetOutput(&agg);
+  agg.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  ASSERT_EQ(sink.num_rows(), 1);  // SQL: one row, SUM NULL / COUNT 0
+  EXPECT_TRUE(sink.rows()[0].at(0).is_null());
+  EXPECT_EQ(sink.rows()[0].at(1).AsInt64(), 0);
+}
+
+TEST(HashAggregateTest, GroupByEmptyInputEmitsNothing) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {});
+  auto scan = MakeScan(&ctx, table);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col(1, TypeId::kInt64), "s", kInvalidAttr});
+  HashAggregate agg(&ctx, "agg", table->schema(), {0}, aggs);
+  Sink sink(&ctx, "sink", agg.output_schema());
+  scan->SetOutput(&agg);
+  agg.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  EXPECT_EQ(sink.num_rows(), 0);
+  EXPECT_TRUE(sink.finished());
+}
+
+TEST(HashAggregateTest, OutputSchemaKeepsKeyAttrIds) {
+  Schema in({Field{"t.k", TypeId::kInt64, 42},
+             Field{"t.v", TypeId::kInt64, 43}});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col(1, TypeId::kInt64), "s", kInvalidAttr});
+  const Schema out = HashAggregate::MakeOutputSchema(in, {0}, aggs);
+  ASSERT_EQ(out.num_fields(), 2u);
+  // Group key keeps its AttrId — the property AIP uses to correlate across
+  // blocking aggregation (paper §III).
+  EXPECT_EQ(out.field(0).attr, 42);
+  EXPECT_EQ(out.field(1).attr, kInvalidAttr);
+  EXPECT_EQ(out.field(1).name, "s");
+}
+
+TEST(HashAggregateTest, StateAccountingAndHashes) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 1}, {2, 1}, {2, 2}});
+  auto scan = MakeScan(&ctx, table);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "c", kInvalidAttr});
+  HashAggregate agg(&ctx, "agg", table->schema(), {0}, aggs);
+  Sink sink(&ctx, "sink", agg.output_schema());
+  scan->SetOutput(&agg);
+  agg.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  EXPECT_EQ(agg.NumGroups(), 2);
+  EXPECT_GT(agg.StateBytes(), 0);
+  EXPECT_GE(agg.PeakStateBytes(), agg.StateBytes());
+  auto hashes = agg.StateColumnHashes(0);
+  ASSERT_EQ(hashes.size(), 2u);
+  std::sort(hashes.begin(), hashes.end());
+  std::vector<uint64_t> expected = {Value::Int64(1).Hash(),
+                                    Value::Int64(2).Hash()};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(hashes, expected);
+}
+
+TEST(HashAggregateTest, ManyGroupsRandomizedAgainstReference) {
+  Random rng(99);
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  std::map<int64_t, int64_t> ref_sum;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t k = rng.UniformInt(0, 200);
+    const int64_t v = rng.UniformInt(-100, 100);
+    rows.push_back({k, v});
+    ref_sum[k] += v;
+  }
+  ExecContext ctx;
+  ctx.set_batch_size(128);
+  auto table = MakeIntTable("t", rows);
+  auto scan = MakeScan(&ctx, table);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col(1, TypeId::kInt64), "s", kInvalidAttr});
+  HashAggregate agg(&ctx, "agg", table->schema(), {0}, aggs);
+  Sink sink(&ctx, "sink", agg.output_schema());
+  scan->SetOutput(&agg);
+  agg.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  ASSERT_EQ(sink.num_rows(), static_cast<int64_t>(ref_sum.size()));
+  for (const Tuple& row : sink.rows()) {
+    EXPECT_EQ(row.at(1).AsInt64(), ref_sum[row.at(0).AsInt64()]);
+  }
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,198 @@
+#include "exec/hash_join.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "exec/sink.h"
+#include "tests/exec/exec_test_util.h"
+#include "util/random.h"
+
+namespace pushsip {
+namespace {
+
+using testutil::MakeIntTable;
+using testutil::MakeScan;
+using testutil::NestedLoopJoin;
+using testutil::SameBag;
+
+struct JoinHarness {
+  explicit JoinHarness(const TablePtr& left, const TablePtr& right,
+                       ExprPtr residual = nullptr)
+      : left_scan(MakeScan(&ctx, left)),
+        right_scan(MakeScan(&ctx, right)),
+        join(&ctx, "join", left->schema(), right->schema(), {0}, {0},
+             std::move(residual)),
+        sink(&ctx, "sink",
+             Schema::Concat(left->schema(), right->schema())) {
+    left_scan->SetOutput(&join, 0);
+    right_scan->SetOutput(&join, 1);
+    join.SetOutput(&sink);
+  }
+
+  // Runs both inputs, optionally sequentially in a given order.
+  Status RunParallel() {
+    Status s1, s2;
+    std::thread t1([&] { s1 = left_scan->Run(); });
+    std::thread t2([&] { s2 = right_scan->Run(); });
+    t1.join();
+    t2.join();
+    PUSHSIP_RETURN_NOT_OK(s1);
+    return s2;
+  }
+
+  ExecContext ctx;
+  std::unique_ptr<TableScan> left_scan, right_scan;
+  SymmetricHashJoin join;
+  Sink sink;
+};
+
+TEST(SymmetricHashJoinTest, MatchesNestedLoopReference) {
+  auto left = MakeIntTable("l", {{1, 10}, {2, 20}, {2, 21}, {3, 30}});
+  auto right = MakeIntTable("r", {{2, 200}, {2, 201}, {3, 300}, {4, 400}});
+  JoinHarness h(left, right);
+  ASSERT_TRUE(h.RunParallel().ok());
+  ASSERT_TRUE(h.sink.finished());
+  const auto expected = NestedLoopJoin(left->rows(), right->rows(), 0, 0);
+  EXPECT_TRUE(SameBag(h.sink.rows(), expected));
+  EXPECT_EQ(h.sink.num_rows(), 5);  // 2x2 for key 2 + 1 for key 3
+}
+
+TEST(SymmetricHashJoinTest, LeftThenRightSequential) {
+  auto left = MakeIntTable("l", {{1, 10}, {2, 20}});
+  auto right = MakeIntTable("r", {{1, 100}, {2, 200}});
+  JoinHarness h(left, right);
+  ASSERT_TRUE(h.left_scan->Run().ok());
+  ASSERT_TRUE(h.right_scan->Run().ok());
+  EXPECT_EQ(h.sink.num_rows(), 2);
+  // Output column order is always left ++ right.
+  EXPECT_EQ(h.sink.rows()[0].at(1).AsInt64() % 10, 0);
+  EXPECT_GE(h.sink.rows()[0].at(3).AsInt64(), 100);
+}
+
+TEST(SymmetricHashJoinTest, RightThenLeftSameResult) {
+  auto left = MakeIntTable("l", {{1, 10}, {2, 20}});
+  auto right = MakeIntTable("r", {{1, 100}, {2, 200}});
+  JoinHarness fwd(left, right), rev(left, right);
+  ASSERT_TRUE(fwd.left_scan->Run().ok());
+  ASSERT_TRUE(fwd.right_scan->Run().ok());
+  ASSERT_TRUE(rev.right_scan->Run().ok());
+  ASSERT_TRUE(rev.left_scan->Run().ok());
+  EXPECT_TRUE(SameBag(fwd.sink.rows(), rev.sink.rows()));
+}
+
+TEST(SymmetricHashJoinTest, ResidualPredicateApplied) {
+  auto left = MakeIntTable("l", {{1, 10}, {2, 20}});
+  auto right = MakeIntTable("r", {{1, 5}, {2, 50}});
+  // Residual over concatenated row: l.b < r.b  (cols 1 and 3).
+  JoinHarness h(left, right,
+                Cmp(CmpOp::kLt, Col(1, TypeId::kInt64),
+                    Col(3, TypeId::kInt64)));
+  ASSERT_TRUE(h.RunParallel().ok());
+  ASSERT_EQ(h.sink.num_rows(), 1);
+  EXPECT_EQ(h.sink.rows()[0].at(0).AsInt64(), 2);
+}
+
+TEST(SymmetricHashJoinTest, NullKeysNeverJoin) {
+  Schema schema({Field{"t.a", TypeId::kInt64, kInvalidAttr},
+                 Field{"t.b", TypeId::kInt64, kInvalidAttr}});
+  auto left = std::make_shared<Table>("l", schema);
+  left->AppendRow(Tuple({Value::Null(), Value::Int64(1)}));
+  left->AppendRow(Tuple({Value::Int64(1), Value::Int64(2)}));
+  auto right = std::make_shared<Table>("r", schema);
+  right->AppendRow(Tuple({Value::Null(), Value::Int64(3)}));
+  right->AppendRow(Tuple({Value::Int64(1), Value::Int64(4)}));
+  JoinHarness h(left, right);
+  ASSERT_TRUE(h.RunParallel().ok());
+  EXPECT_EQ(h.sink.num_rows(), 1);
+}
+
+TEST(SymmetricHashJoinTest, ShortCircuitFreesOtherSideState) {
+  auto left = MakeIntTable("l", {{1, 10}, {2, 20}, {3, 30}});
+  auto right = MakeIntTable("r", {{1, 100}, {2, 200}, {3, 300}});
+  JoinHarness h(left, right);
+  // Run left fully: its 3 tuples are buffered on side 0.
+  ASSERT_TRUE(h.left_scan->Run().ok());
+  EXPECT_EQ(h.join.StateTupleCount(0), 3);
+  // Left finished; side-1 state freed/stopped. Right tuples only probe.
+  ASSERT_TRUE(h.right_scan->Run().ok());
+  EXPECT_EQ(h.join.StateTupleCount(1), 0);
+  EXPECT_EQ(h.sink.num_rows(), 3);
+  // First-finisher state was complete; last-finisher's was not buffered.
+  EXPECT_TRUE(h.join.StateCompleteAtFinish(0));
+  EXPECT_FALSE(h.join.StateCompleteAtFinish(1));
+}
+
+TEST(SymmetricHashJoinTest, StateReleasedAfterBothFinish) {
+  auto left = MakeIntTable("l", {{1, 10}});
+  auto right = MakeIntTable("r", {{1, 100}});
+  JoinHarness h(left, right);
+  ASSERT_TRUE(h.RunParallel().ok());
+  EXPECT_EQ(h.join.StateBytes(), 0);
+  EXPECT_GT(h.join.PeakStateBytes(), 0);
+  EXPECT_EQ(h.ctx.state_tracker().current_bytes(), 0);
+  EXPECT_GT(h.ctx.state_tracker().peak_bytes(), 0);
+}
+
+TEST(SymmetricHashJoinTest, StateColumnHashesMatchBufferedTuples) {
+  auto left = MakeIntTable("l", {{7, 70}, {8, 80}});
+  auto right = MakeIntTable("r", {});
+  JoinHarness h(left, right);
+  ASSERT_TRUE(h.left_scan->Run().ok());
+  auto hashes = h.join.StateColumnHashes(0, 0);
+  ASSERT_EQ(hashes.size(), 2u);
+  std::vector<uint64_t> expected = {Value::Int64(7).Hash(),
+                                    Value::Int64(8).Hash()};
+  std::sort(hashes.begin(), hashes.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(hashes, expected);
+}
+
+TEST(SymmetricHashJoinTest, MultiColumnKeys) {
+  ExecContext ctx;
+  auto left = MakeIntTable("l", {{1, 10}, {1, 20}, {2, 10}});
+  auto right = MakeIntTable("r", {{1, 10}, {2, 10}, {2, 20}});
+  auto lscan = MakeScan(&ctx, left);
+  auto rscan = MakeScan(&ctx, right);
+  SymmetricHashJoin join(&ctx, "join", left->schema(), right->schema(),
+                         {0, 1}, {0, 1});
+  Sink sink(&ctx, "sink", Schema::Concat(left->schema(), right->schema()));
+  lscan->SetOutput(&join, 0);
+  rscan->SetOutput(&join, 1);
+  join.SetOutput(&sink);
+  ASSERT_TRUE(lscan->Run().ok());
+  ASSERT_TRUE(rscan->Run().ok());
+  EXPECT_EQ(sink.num_rows(), 2);  // (1,10) and (2,10)
+}
+
+// Property-style randomized sweep: symmetric hash join under concurrent
+// inputs must equal the nested-loop reference for any data and key skew.
+class JoinRandomizedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinRandomizedTest, EquivalentToReference) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  std::vector<std::pair<int64_t, int64_t>> lrows, rrows;
+  const int64_t key_space = 1 + static_cast<int64_t>(rng.UniformInt(1, 40));
+  const int ln = static_cast<int>(rng.UniformInt(0, 300));
+  const int rn = static_cast<int>(rng.UniformInt(0, 300));
+  for (int i = 0; i < ln; ++i) {
+    lrows.push_back({rng.UniformInt(0, key_space), rng.UniformInt(0, 5)});
+  }
+  for (int i = 0; i < rn; ++i) {
+    rrows.push_back({rng.UniformInt(0, key_space), rng.UniformInt(0, 5)});
+  }
+  auto left = MakeIntTable("l", lrows);
+  auto right = MakeIntTable("r", rrows);
+  JoinHarness h(left, right);
+  h.ctx.set_batch_size(static_cast<size_t>(rng.UniformInt(1, 64)));
+  ASSERT_TRUE(h.RunParallel().ok());
+  const auto expected = NestedLoopJoin(left->rows(), right->rows(), 0, 0);
+  EXPECT_TRUE(SameBag(h.sink.rows(), expected))
+      << "seed=" << GetParam() << " got=" << h.sink.num_rows()
+      << " want=" << expected.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JoinRandomizedTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace pushsip

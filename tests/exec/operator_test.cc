@@ -1,0 +1,148 @@
+// Base Operator contract: dynamic filter/tap hooks, ordering, counters,
+// finish semantics.
+#include "exec/operator.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/sink.h"
+#include "tests/exec/exec_test_util.h"
+
+namespace pushsip {
+namespace {
+
+using testutil::MakeIntTable;
+
+// A pass-through operator exposing the base-class machinery.
+class PassThrough : public Operator {
+ public:
+  PassThrough(ExecContext* ctx, Schema schema)
+      : Operator(ctx, "pass", 1, std::move(schema)) {}
+
+ protected:
+  Status DoPush(int, Batch&& batch) override { return Emit(std::move(batch)); }
+  Status DoFinish(int) override { return EmitFinish(); }
+};
+
+class ThresholdFilter : public TupleFilter {
+ public:
+  explicit ThresholdFilter(int64_t min) : min_(min) {}
+  bool Pass(const Tuple& t) const override { return t.at(0).AsInt64() >= min_; }
+  std::string label() const override { return "threshold"; }
+
+ private:
+  int64_t min_;
+};
+
+class CountingTap : public TupleTap {
+ public:
+  void Observe(const Tuple&) override { ++count_; }
+  int count() const { return count_; }
+
+ private:
+  int count_ = 0;
+};
+
+Batch MakeBatch(std::initializer_list<int64_t> keys) {
+  Batch b;
+  for (int64_t k : keys) b.rows.push_back(Tuple({Value::Int64(k)}));
+  return b;
+}
+
+Schema OneCol() { return Schema({Field{"t.a", TypeId::kInt64, kInvalidAttr}}); }
+
+TEST(OperatorTest, FiltersPruneBeforeTapsObserve) {
+  ExecContext ctx;
+  PassThrough op(&ctx, OneCol());
+  Sink sink(&ctx, "sink", OneCol());
+  op.SetOutput(&sink);
+  auto tap = std::make_shared<CountingTap>();
+  op.AttachFilter(0, std::make_shared<ThresholdFilter>(5));
+  op.AttachTap(0, tap);
+  ASSERT_TRUE(op.Push(0, MakeBatch({1, 5, 9})).ok());
+  // Tap sees only survivors — the paper's "recorded in the local AIP set
+  // after passing all filters" semantics.
+  EXPECT_EQ(tap->count(), 2);
+  EXPECT_EQ(sink.num_rows(), 2);
+  EXPECT_EQ(op.rows_pruned(0), 1);
+  EXPECT_EQ(op.rows_in(0), 3);
+  EXPECT_EQ(op.rows_out(), 2);
+}
+
+TEST(OperatorTest, MultipleFiltersConjunctive) {
+  ExecContext ctx;
+  PassThrough op(&ctx, OneCol());
+  Sink sink(&ctx, "sink", OneCol());
+  op.SetOutput(&sink);
+  op.AttachFilter(0, std::make_shared<ThresholdFilter>(3));
+  op.AttachFilter(0, std::make_shared<ThresholdFilter>(7));
+  ASSERT_TRUE(op.Push(0, MakeBatch({1, 5, 9})).ok());
+  EXPECT_EQ(sink.num_rows(), 1);
+  EXPECT_EQ(op.rows_pruned(0), 2);
+}
+
+TEST(OperatorTest, MidStreamFilterInjection) {
+  ExecContext ctx;
+  PassThrough op(&ctx, OneCol());
+  Sink sink(&ctx, "sink", OneCol());
+  op.SetOutput(&sink);
+  ASSERT_TRUE(op.Push(0, MakeBatch({1, 2})).ok());
+  EXPECT_EQ(sink.num_rows(), 2);
+  // Inject a filter mid-query; only future batches are affected.
+  op.AttachFilter(0, std::make_shared<ThresholdFilter>(10));
+  ASSERT_TRUE(op.Push(0, MakeBatch({3, 42})).ok());
+  EXPECT_EQ(sink.num_rows(), 3);
+}
+
+TEST(OperatorTest, FinishIsIdempotent) {
+  ExecContext ctx;
+  PassThrough op(&ctx, OneCol());
+  Sink sink(&ctx, "sink", OneCol());
+  op.SetOutput(&sink);
+  ASSERT_TRUE(op.Finish(0).ok());
+  ASSERT_TRUE(op.Finish(0).ok());
+  EXPECT_TRUE(sink.finished());
+  EXPECT_TRUE(op.input_finished(0));
+}
+
+TEST(OperatorTest, CancelledContextRejectsPush) {
+  ExecContext ctx;
+  PassThrough op(&ctx, OneCol());
+  ctx.Cancel();
+  EXPECT_EQ(op.Push(0, MakeBatch({1})).code(), StatusCode::kCancelled);
+}
+
+TEST(OperatorTest, StatefulHookFiresOnlyForStatefulOps) {
+  ExecContext ctx;
+  int fired = 0;
+  ctx.AddInputFinishedHook([&](Operator*, int) { ++fired; });
+  PassThrough op(&ctx, OneCol());  // not stateful
+  Sink sink(&ctx, "sink", OneCol());
+  op.SetOutput(&sink);
+  ASSERT_TRUE(op.Finish(0).ok());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ExecContextTest, ErrorPropagation) {
+  ExecContext ctx;
+  EXPECT_TRUE(ctx.GetError().ok());
+  ctx.SetError(Status::IOError("boom"));
+  EXPECT_TRUE(ctx.cancelled());
+  EXPECT_EQ(ctx.GetError().code(), StatusCode::kIOError);
+  // First error wins.
+  ctx.SetError(Status::Internal("later"));
+  EXPECT_EQ(ctx.GetError().code(), StatusCode::kIOError);
+  // OK statuses are ignored.
+  ExecContext ctx2;
+  ctx2.SetError(Status::OK());
+  EXPECT_FALSE(ctx2.cancelled());
+}
+
+TEST(ExecContextTest, OperatorsRegistered) {
+  ExecContext ctx;
+  PassThrough a(&ctx, OneCol());
+  PassThrough b(&ctx, OneCol());
+  EXPECT_EQ(ctx.operators().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,120 @@
+#include "exec/scan.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/sink.h"
+#include "tests/exec/exec_test_util.h"
+#include "util/stopwatch.h"
+
+namespace pushsip {
+namespace {
+
+using testutil::MakeIntTable;
+using testutil::MakeScan;
+
+TEST(ScanTest, StreamsAllRowsInOrder) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 10}, {2, 20}, {3, 30}});
+  auto scan = MakeScan(&ctx, table);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  ASSERT_TRUE(sink.finished());
+  ASSERT_EQ(sink.num_rows(), 3);
+  EXPECT_EQ(sink.rows()[0].at(0).AsInt64(), 1);
+  EXPECT_EQ(sink.rows()[2].at(1).AsInt64(), 30);
+  EXPECT_EQ(scan->rows_scanned(), 3);
+}
+
+TEST(ScanTest, BatchesRespectBatchSize) {
+  ExecContext ctx;
+  ctx.set_batch_size(2);
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < 7; ++i) rows.push_back({i, i});
+  auto table = MakeIntTable("t", rows);
+  auto scan = MakeScan(&ctx, table);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  EXPECT_EQ(sink.num_rows(), 7);
+  EXPECT_EQ(sink.rows_in(0), 7);
+}
+
+TEST(ScanTest, InitialDelayObserved) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 1}});
+  ScanOptions opts;
+  opts.initial_delay_ms = 50;
+  auto scan = MakeScan(&ctx, table, opts);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&sink);
+  Stopwatch timer;
+  ASSERT_TRUE(scan->Run().ok());
+  EXPECT_GE(timer.ElapsedMillis(), 45.0);
+}
+
+TEST(ScanTest, RateLimitDelayObserved) {
+  ExecContext ctx;
+  std::vector<std::pair<int64_t, int64_t>> rows(100, {1, 1});
+  auto table = MakeIntTable("t", rows);
+  ScanOptions opts;
+  opts.delay_every_rows = 10;
+  opts.delay_ms = 5;
+  auto scan = MakeScan(&ctx, table, opts);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&sink);
+  Stopwatch timer;
+  ASSERT_TRUE(scan->Run().ok());
+  // 100 rows / 10 per delay => 10 sleeps of 5 ms.
+  EXPECT_GE(timer.ElapsedMillis(), 40.0);
+}
+
+namespace {
+class EvenFilter : public TupleFilter {
+ public:
+  bool Pass(const Tuple& t) const override {
+    return t.at(0).AsInt64() % 2 == 0;
+  }
+  std::string label() const override { return "even(a)"; }
+};
+}  // namespace
+
+TEST(ScanTest, SourceFilterPrunesBeforeEmit) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  auto scan = MakeScan(&ctx, table);
+  scan->AttachSourceFilter(std::make_shared<EvenFilter>());
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  EXPECT_EQ(sink.num_rows(), 2);
+  EXPECT_EQ(scan->rows_source_pruned(), 2);
+  EXPECT_EQ(scan->rows_scanned(), 4);
+}
+
+TEST(ScanTest, CancellationStopsScan) {
+  ExecContext ctx;
+  std::vector<std::pair<int64_t, int64_t>> rows(10000, {1, 1});
+  auto table = MakeIntTable("t", rows);
+  auto scan = MakeScan(&ctx, table);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&sink);
+  ctx.Cancel();
+  const Status st = scan->Run();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_LT(scan->rows_scanned(), 10000);
+}
+
+TEST(ScanTest, FinishPropagatesWithoutRows) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {});
+  auto scan = MakeScan(&ctx, table);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  EXPECT_TRUE(sink.finished());
+  EXPECT_EQ(sink.num_rows(), 0);
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,102 @@
+#include "expr/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace pushsip {
+namespace {
+
+TEST(AggStateTest, SumIntegersStayIntegral) {
+  AggState s(AggFunc::kSum);
+  s.Update(Value::Int64(3));
+  s.Update(Value::Int64(4));
+  const Value v = s.Finalize();
+  EXPECT_EQ(v.type(), TypeId::kInt64);
+  EXPECT_EQ(v.AsInt64(), 7);
+}
+
+TEST(AggStateTest, SumPromotesOnDouble) {
+  AggState s(AggFunc::kSum);
+  s.Update(Value::Int64(3));
+  s.Update(Value::Double(0.5));
+  const Value v = s.Finalize();
+  EXPECT_EQ(v.type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+}
+
+TEST(AggStateTest, SumOfNothingIsNull) {
+  AggState s(AggFunc::kSum);
+  EXPECT_TRUE(s.Finalize().is_null());
+  s.Update(Value::Null());
+  EXPECT_TRUE(s.Finalize().is_null());
+}
+
+TEST(AggStateTest, MinMax) {
+  AggState mn(AggFunc::kMin), mx(AggFunc::kMax);
+  for (int v : {5, 2, 9, 2}) {
+    mn.Update(Value::Int64(v));
+    mx.Update(Value::Int64(v));
+  }
+  EXPECT_EQ(mn.Finalize().AsInt64(), 2);
+  EXPECT_EQ(mx.Finalize().AsInt64(), 9);
+}
+
+TEST(AggStateTest, MinMaxIgnoreNulls) {
+  AggState mn(AggFunc::kMin);
+  mn.Update(Value::Null());
+  mn.Update(Value::Int64(4));
+  mn.Update(Value::Null());
+  EXPECT_EQ(mn.Finalize().AsInt64(), 4);
+}
+
+TEST(AggStateTest, MinOnStrings) {
+  AggState mn(AggFunc::kMin);
+  mn.Update(Value::String("beta"));
+  mn.Update(Value::String("alpha"));
+  EXPECT_EQ(mn.Finalize().AsString(), "alpha");
+}
+
+TEST(AggStateTest, AvgIsDouble) {
+  AggState s(AggFunc::kAvg);
+  s.Update(Value::Int64(1));
+  s.Update(Value::Int64(2));
+  const Value v = s.Finalize();
+  EXPECT_EQ(v.type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 1.5);
+}
+
+TEST(AggStateTest, AvgOfNothingIsNull) {
+  EXPECT_TRUE(AggState(AggFunc::kAvg).Finalize().is_null());
+}
+
+TEST(AggStateTest, CountCountsEverythingPassed) {
+  AggState s(AggFunc::kCount);
+  s.Update(Value::Int64(1));
+  s.Update(Value::Int64(2));
+  EXPECT_EQ(s.Finalize().AsInt64(), 2);
+}
+
+TEST(AggStateTest, CountOfNothingIsZero) {
+  EXPECT_EQ(AggState(AggFunc::kCount).Finalize().AsInt64(), 0);
+}
+
+TEST(AggSpecTest, OutputTypes) {
+  AggSpec count{AggFunc::kCount, nullptr, "c", kInvalidAttr};
+  EXPECT_EQ(count.OutputType(), TypeId::kInt64);
+  AggSpec avg{AggFunc::kAvg, LitInt(1), "a", kInvalidAttr};
+  EXPECT_EQ(avg.OutputType(), TypeId::kDouble);
+  AggSpec sum_int{AggFunc::kSum, LitInt(1), "s", kInvalidAttr};
+  EXPECT_EQ(sum_int.OutputType(), TypeId::kInt64);
+  AggSpec sum_dbl{AggFunc::kSum, LitDouble(1), "s", kInvalidAttr};
+  EXPECT_EQ(sum_dbl.OutputType(), TypeId::kDouble);
+  AggSpec min_str{AggFunc::kMin, LitString("x"), "m", kInvalidAttr};
+  EXPECT_EQ(min_str.OutputType(), TypeId::kString);
+}
+
+TEST(AggFuncNameTest, Names) {
+  EXPECT_STREQ(AggFuncName(AggFunc::kSum), "SUM");
+  EXPECT_STREQ(AggFuncName(AggFunc::kAvg), "AVG");
+  EXPECT_STREQ(AggFuncName(AggFunc::kCount), "COUNT");
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "net/remote_node.h"
+#include "tests/exec/exec_test_util.h"
+#include "util/stopwatch.h"
+
+namespace pushsip {
+namespace {
+
+using testutil::MakeIntTable;
+
+TEST(SimLinkTest, TransferTimeMatchesBandwidth) {
+  SimLink link(8e6, 0);  // 8 Mbit/s = 1 MB/s
+  EXPECT_NEAR(link.TransferSeconds(1 << 20), 1.05, 0.01);  // 1 MiB at 1 MB/s
+  Stopwatch timer;
+  link.Transmit(50 * 1024);  // ~50 ms at 1 MB/s
+  EXPECT_GE(timer.ElapsedMillis(), 40.0);
+  EXPECT_EQ(link.bytes_transferred(), 50 * 1024);
+}
+
+TEST(SimLinkTest, LatencyPaidOnce) {
+  SimLink link(1e12, 50);
+  Stopwatch timer;
+  link.Transmit(10);
+  const double first = timer.ElapsedMillis();
+  EXPECT_GE(first, 45.0);
+  Stopwatch timer2;
+  link.Transmit(10);
+  EXPECT_LT(timer2.ElapsedMillis(), 20.0);
+}
+
+TEST(RemoteNodeTest, ScanChargesLink) {
+  RemoteNode remote("site2", 8e6, 0);  // 1 MB/s
+  ExecContext ctx;
+  std::vector<std::pair<int64_t, int64_t>> rows(1000, {1, 1});
+  auto table = MakeIntTable("t", rows);
+  auto scan = std::make_unique<TableScan>(&ctx, "scan", table,
+                                          table->schema(),
+                                          remote.WrapScanOptions());
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&sink);
+  Stopwatch timer;
+  ASSERT_TRUE(scan->Run().ok());
+  // ~1000 tuples * ~100B each = ~100KB at 1MB/s ~ 0.1s.
+  EXPECT_GT(remote.link()->bytes_transferred(), 50000);
+  EXPECT_GE(timer.ElapsedMillis(),
+            remote.link()->TransferSeconds(
+                static_cast<size_t>(remote.link()->bytes_transferred())) *
+                1000.0 * 0.9);
+  EXPECT_EQ(sink.num_rows(), 1000);
+}
+
+TEST(RemoteNodeTest, SourceFilterSavesBandwidth) {
+  class OddFilter : public TupleFilter {
+   public:
+    bool Pass(const Tuple& t) const override {
+      return t.at(0).AsInt64() % 2 == 1;
+    }
+    std::string label() const override { return "odd"; }
+  };
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < 1000; ++i) rows.push_back({i, i});
+
+  auto measure = [&](bool filtered) {
+    RemoteNode remote("site2", 1e9, 0);
+    ExecContext ctx;
+    auto table = MakeIntTable("t", rows);
+    auto scan = std::make_unique<TableScan>(&ctx, "scan", table,
+                                            table->schema(),
+                                            remote.WrapScanOptions());
+    if (filtered) scan->AttachSourceFilter(std::make_shared<OddFilter>());
+    Sink sink(&ctx, "sink", table->schema());
+    scan->SetOutput(&sink);
+    scan->Run().CheckOK();
+    return remote.link()->bytes_transferred();
+  };
+  const int64_t full = measure(false);
+  const int64_t pruned = measure(true);
+  EXPECT_LT(pruned, full * 6 / 10);  // ~half the tuples crossed the link
+}
+
+}  // namespace
+}  // namespace pushsip

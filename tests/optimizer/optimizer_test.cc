@@ -1,0 +1,165 @@
+// Cardinality estimation, runtime re-estimation, and cost model tests.
+#include <gtest/gtest.h>
+
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "storage/tpch_generator.h"
+#include "workload/plan_builder.h"
+
+namespace pushsip {
+namespace {
+
+std::shared_ptr<Catalog> TinyCatalog() {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  return MakeTpchCatalog(cfg);
+}
+
+TEST(CardinalityTest, ScanUsesTableStats) {
+  auto catalog = TinyCatalog();
+  ExecContext ctx;
+  PlanBuilder b(&ctx, catalog);
+  auto p = *b.Scan("part", "p");
+  ASSERT_TRUE(b.Finish(p).ok());
+  const PlanNode* scan_node = b.plan().root()->children[0];
+  const auto part = *catalog->GetTable("part");
+  EXPECT_DOUBLE_EQ(scan_node->est_rows, static_cast<double>(part->num_rows()));
+  // p_partkey is a key: NDV == rows.
+  const AttrId pk_attr = scan_node->schema().field(0).attr;
+  EXPECT_DOUBLE_EQ(scan_node->ndv.at(pk_attr), scan_node->est_rows);
+}
+
+TEST(CardinalityTest, FilterScalesBySelectivity) {
+  ExecContext ctx;
+  PlanBuilder b(&ctx, TinyCatalog());
+  auto p = *b.Scan("part", "p");
+  auto pf = *b.Filter(p, Cmp(CmpOp::kEq, *b.ColRef(p, "p_size"), LitInt(1)),
+                      0.02);
+  ASSERT_TRUE(b.Finish(pf).ok());
+  const PlanNode* filter_node = b.plan().root()->children[0];
+  const PlanNode* scan_node = filter_node->children[0];
+  EXPECT_NEAR(filter_node->est_rows, scan_node->est_rows * 0.02, 1e-9);
+}
+
+TEST(CardinalityTest, KeyFkJoinEstimatesChildSize) {
+  // part JOIN partsupp on partkey: |result| ~ |partsupp| (FK join).
+  ExecContext ctx;
+  PlanBuilder b(&ctx, TinyCatalog());
+  auto p = *b.Scan("part", "p");
+  auto ps = *b.Scan("partsupp", "ps");
+  auto j = *b.Join(p, ps, {{"p.p_partkey", "ps.ps_partkey"}});
+  ASSERT_TRUE(b.Finish(j).ok());
+  const PlanNode* join_node = b.plan().root()->children[0];
+  const double partsupp_rows = join_node->children[1]->est_rows;
+  EXPECT_NEAR(join_node->est_rows, partsupp_rows, partsupp_rows * 0.05);
+}
+
+TEST(CardinalityTest, AggregateEstimatesGroups) {
+  ExecContext ctx;
+  PlanBuilder b(&ctx, TinyCatalog());
+  auto ps = *b.Scan("partsupp", "ps");
+  auto agg = *b.Aggregate(ps, {"ps.ps_partkey"},
+                          {{AggFunc::kMin, "ps.ps_supplycost", "m"}});
+  ASSERT_TRUE(b.Finish(agg).ok());
+  const PlanNode* agg_node = b.plan().root()->children[0];
+  // Groups == number of distinct partkeys == |part|.
+  const double num_part =
+      static_cast<double>((*b.catalog()->GetTable("part"))->num_rows());
+  EXPECT_NEAR(agg_node->est_rows, num_part, num_part * 0.01);
+}
+
+TEST(CardinalityTest, SemijoinSelectivityClamps) {
+  EXPECT_DOUBLE_EQ(SemijoinSelectivity(10, 100), 0.1);
+  EXPECT_DOUBLE_EQ(SemijoinSelectivity(200, 100), 1.0);
+  EXPECT_DOUBLE_EQ(SemijoinSelectivity(5, 0), 1.0);
+}
+
+TEST(PlanTest, InputNodeFindsProducers) {
+  ExecContext ctx;
+  PlanBuilder b(&ctx, TinyCatalog());
+  auto p = *b.Scan("part", "p");
+  auto ps = *b.Scan("partsupp", "ps");
+  auto j = *b.Join(p, ps, {{"p.p_partkey", "ps.ps_partkey"}});
+  ASSERT_TRUE(b.Finish(j).ok());
+  const SipPlanInfo& info = b.sip_info();
+  ASSERT_EQ(info.stateful_ports.size(), 2u);
+  for (const StatefulPort& sp : info.stateful_ports) {
+    const PlanNode* in = b.plan().InputNode(sp.op, sp.port);
+    ASSERT_NE(in, nullptr);
+    EXPECT_EQ(in->kind, PlanNode::Kind::kScan);
+  }
+  EXPECT_EQ(b.plan().InputNode(info.stateful_ports[0].op, 7), nullptr);
+}
+
+TEST(PlanTest, DepthsAssigned) {
+  ExecContext ctx;
+  PlanBuilder b(&ctx, TinyCatalog());
+  auto p = *b.Scan("part", "p");
+  auto ps = *b.Scan("partsupp", "ps");
+  auto j = *b.Join(p, ps, {{"p.p_partkey", "ps.ps_partkey"}});
+  auto s = *b.Scan("supplier", "s");
+  auto top = *b.Join(j, s, {{"ps.ps_suppkey", "s.s_suppkey"}});
+  ASSERT_TRUE(b.Finish(top).ok());
+  const PlanNode* root = b.plan().root();
+  EXPECT_EQ(root->depth, 0);
+  EXPECT_EQ(root->children[0]->depth, 1);          // top join
+  EXPECT_EQ(root->children[0]->children[0]->depth, 2);  // lower join
+}
+
+TEST(PlanTest, ReestimateUsesObservedCounts) {
+  ExecContext ctx;
+  PlanBuilder b(&ctx, TinyCatalog());
+  auto p = *b.Scan("part", "p");
+  // Deliberately wrong selectivity hint (1.0) for a selective predicate.
+  auto pf = *b.Filter(p, Cmp(CmpOp::kLt, *b.ColRef(p, "p_partkey"),
+                             LitInt(5)), 1.0);
+  auto ps = *b.Scan("partsupp", "ps");
+  auto j = *b.Join(pf, ps, {{"p.p_partkey", "ps.ps_partkey"}});
+  ASSERT_TRUE(b.Finish(j).ok());
+  const PlanNode* join_node = b.plan().root()->children[0];
+  const double static_est = join_node->children[0]->est_rows;
+  EXPECT_GT(static_est, 100);  // wrong: thinks the filter keeps everything
+  ASSERT_TRUE(b.Run().ok());
+  b.plan().Reestimate();
+  // After running, the filter's output stream finished with 4 rows.
+  EXPECT_LE(join_node->children[0]->est_rows, 5.0);
+}
+
+TEST(PlanTest, EstimatedRowsRemaining) {
+  ExecContext ctx;
+  PlanBuilder b(&ctx, TinyCatalog());
+  auto p = *b.Scan("part", "p");
+  auto ps = *b.Scan("partsupp", "ps");
+  auto j = *b.Join(p, ps, {{"p.p_partkey", "ps.ps_partkey"}});
+  ASSERT_TRUE(b.Finish(j).ok());
+  const StatefulPort& sp = b.sip_info().stateful_ports[0];
+  EXPECT_GT(b.plan().EstimatedRowsRemaining(sp.op, sp.port), 0);
+  ASSERT_TRUE(b.Run().ok());
+  EXPECT_DOUBLE_EQ(b.plan().EstimatedRowsRemaining(sp.op, sp.port), 0);
+}
+
+TEST(CostModelTest, DownstreamCostGrowsWithPlanHeight) {
+  ExecContext ctx;
+  PlanBuilder b(&ctx, TinyCatalog());
+  auto p = *b.Scan("part", "p");
+  auto ps = *b.Scan("partsupp", "ps");
+  auto j = *b.Join(p, ps, {{"p.p_partkey", "ps.ps_partkey"}});
+  auto s = *b.Scan("supplier", "s");
+  auto top = *b.Join(j, s, {{"ps.ps_suppkey", "s.s_suppkey"}});
+  ASSERT_TRUE(b.Finish(top).ok());
+  CostModel cm;
+  const PlanNode* top_join = b.plan().root()->children[0];
+  const PlanNode* deep_scan = top_join->children[0]->children[0];
+  EXPECT_GT(cm.DownstreamCostPerTuple(deep_scan),
+            cm.DownstreamCostPerTuple(top_join));
+}
+
+TEST(CostModelTest, CostsAreMonotone) {
+  CostModel cm;
+  EXPECT_GT(cm.CreateCost(1000), cm.CreateCost(10));
+  EXPECT_GT(cm.ShipCost(10000), cm.ShipCost(100));
+  EXPECT_GT(cm.ProbeCost(1000), 0);
+}
+
+}  // namespace
+}  // namespace pushsip

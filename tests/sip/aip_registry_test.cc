@@ -1,0 +1,114 @@
+#include "sip/aip_registry.h"
+
+#include "exec/hash_join.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/exec/exec_test_util.h"
+
+namespace pushsip {
+namespace {
+
+using testutil::MakeIntTable;
+using testutil::MakeScan;
+
+struct RegistryHarness {
+  RegistryHarness()
+      : left(MakeIntTable("l", {{1, 1}, {2, 2}, {3, 3}})),
+        right(MakeIntTable("r", {{2, 2}, {3, 3}, {4, 4}})),
+        lscan(MakeScan(&ctx, left)),
+        rscan(MakeScan(&ctx, right)),
+        join(&ctx, "join", left->schema(), right->schema(), {0}, {0}),
+        sink(&ctx, "sink", Schema::Concat(left->schema(), right->schema())) {
+    lscan->SetOutput(&join, 0);
+    rscan->SetOutput(&join, 1);
+    join.SetOutput(&sink);
+  }
+  ExecContext ctx;
+  TablePtr left, right;
+  std::unique_ptr<TableScan> lscan, rscan;
+  SymmetricHashJoin join;
+  Sink sink;
+};
+
+std::shared_ptr<const AipSet> SetOf(std::vector<int64_t> keys) {
+  auto set = std::make_shared<AipSet>(AipSetKind::kHash, 0);
+  for (int64_t k : keys) set->Insert(Value::Int64(k).Hash());
+  set->Seal();
+  return set;
+}
+
+TEST(AipRegistryTest, PublishAttachesFiltersToTargets) {
+  RegistryHarness h;
+  AipRegistry reg;
+  reg.AddTarget(1, AipTarget{&h.join, 1, 0, "join#1", nullptr});
+  // Publish a set containing only key 2 for the class; right-side arrivals
+  // with other keys must be pruned.
+  const int attached = reg.Publish(1, SetOf({2}), &h.join, 0, "test");
+  EXPECT_EQ(attached, 1);
+  ASSERT_TRUE(h.lscan->Run().ok());
+  ASSERT_TRUE(h.rscan->Run().ok());
+  // Only (2,2) joins: 3 and 4 were pruned at port 1.
+  EXPECT_EQ(h.sink.num_rows(), 1);
+  EXPECT_EQ(h.join.rows_pruned(1), 2);
+  EXPECT_EQ(reg.filters_attached(), 1);
+  EXPECT_EQ(reg.total_pruned(), 2);
+}
+
+TEST(AipRegistryTest, NoSelfProbe) {
+  RegistryHarness h;
+  AipRegistry reg;
+  reg.AddTarget(1, AipTarget{&h.join, 0, 0, "join#0", nullptr});
+  const int attached = reg.Publish(1, SetOf({}), &h.join, 0, "self");
+  EXPECT_EQ(attached, 0);  // only target is the producer itself
+}
+
+TEST(AipRegistryTest, FinishedTargetsSkipped) {
+  RegistryHarness h;
+  AipRegistry reg;
+  reg.AddTarget(1, AipTarget{&h.join, 1, 0, "join#1", nullptr});
+  ASSERT_TRUE(h.lscan->Run().ok());
+  ASSERT_TRUE(h.rscan->Run().ok());  // port 1 finished now
+  const int attached = reg.Publish(1, SetOf({2}), &h.join, 0, "late");
+  EXPECT_EQ(attached, 0);
+  EXPECT_EQ(h.sink.num_rows(), 2);  // untouched result
+}
+
+TEST(AipRegistryTest, HasLiveTargets) {
+  RegistryHarness h;
+  AipRegistry reg;
+  EXPECT_FALSE(reg.HasLiveTargets(1, nullptr, 0));
+  reg.AddTarget(1, AipTarget{&h.join, 1, 0, "join#1", nullptr});
+  EXPECT_TRUE(reg.HasLiveTargets(1, &h.join, 0));
+  // The producing port itself doesn't count.
+  EXPECT_FALSE(reg.HasLiveTargets(1, &h.join, 1));
+  ASSERT_TRUE(h.lscan->Run().ok());
+  ASSERT_TRUE(h.rscan->Run().ok());
+  EXPECT_FALSE(reg.HasLiveTargets(1, &h.join, 0));
+}
+
+TEST(AipRegistryTest, SetsForAndBytes) {
+  AipRegistry reg;
+  EXPECT_TRUE(reg.SetsFor(9).empty());
+  RegistryHarness h;
+  reg.Publish(9, SetOf({1, 2, 3}), &h.join, 0, "s");
+  EXPECT_EQ(reg.SetsFor(9).size(), 1u);
+  EXPECT_GT(reg.sets_bytes(), 0);
+  EXPECT_EQ(reg.sets_published(), 1);
+}
+
+TEST(AipRegistryTest, SourceScanTargetPrunesAtSource) {
+  RegistryHarness h;
+  AipRegistry reg;
+  reg.AddTarget(1, AipTarget{&h.join, 1, 0, "join#1", h.rscan.get()});
+  reg.Publish(1, SetOf({2}), &h.join, 0, "src");
+  ASSERT_TRUE(h.lscan->Run().ok());
+  ASSERT_TRUE(h.rscan->Run().ok());
+  EXPECT_EQ(h.sink.num_rows(), 1);
+  // Pruning happened at the scan, not at the join port.
+  EXPECT_EQ(h.rscan->rows_source_pruned(), 2);
+  EXPECT_EQ(h.join.rows_pruned(1), 0);
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,110 @@
+#include "sip/aip_set.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/random.h"
+
+namespace pushsip {
+namespace {
+
+TEST(AipSetTest, BloomNoFalseNegatives) {
+  AipSet set(AipSetKind::kBloom, 1000, 0.05);
+  Random rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.NextUint64());
+  for (uint64_t k : keys) set.Insert(k);
+  set.Seal();
+  for (uint64_t k : keys) EXPECT_TRUE(set.MightContain(k));
+  EXPECT_EQ(set.inserted_count(), 1000u);
+}
+
+TEST(AipSetTest, BloomFprNearTarget) {
+  AipSet set(AipSetKind::kBloom, 5000, 0.05);
+  Random rng(2);
+  for (int i = 0; i < 5000; ++i) set.Insert(rng.NextUint64());
+  int fp = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (set.MightContain(rng.NextUint64())) ++fp;
+  }
+  EXPECT_LT(fp / 20000.0, 0.12);
+}
+
+TEST(AipSetTest, HashVariantIsExact) {
+  AipSet set(AipSetKind::kHash, 0);
+  for (uint64_t k = 1; k <= 500; ++k) set.Insert(k * 31);
+  Random rng(3);
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t probe = rng.NextUint64() | (1ULL << 62);
+    if (set.MightContain(probe)) ++fp;
+  }
+  EXPECT_EQ(fp, 0);
+  for (uint64_t k = 1; k <= 500; ++k) EXPECT_TRUE(set.MightContain(k * 31));
+}
+
+TEST(AipSetTest, HashShrinkNeverFalseNegative) {
+  AipSet set(AipSetKind::kHash, 0);
+  for (uint64_t k = 0; k < 10000; ++k) set.Insert(k * 2654435761ULL);
+  set.ShrinkToBudget(set.SizeBytes() / 8);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    EXPECT_TRUE(set.MightContain(k * 2654435761ULL));
+  }
+}
+
+TEST(AipSetTest, BloomShrinkIsNoop) {
+  AipSet set(AipSetKind::kBloom, 100);
+  set.Insert(42);
+  const size_t before = set.SizeBytes();
+  set.ShrinkToBudget(1);
+  EXPECT_EQ(set.SizeBytes(), before);
+  EXPECT_TRUE(set.MightContain(42));
+}
+
+TEST(AipSetTest, ConcurrentInsertsAndProbes) {
+  AipSet set(AipSetKind::kBloom, 1 << 16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&set, t] {
+      for (uint64_t i = 0; i < 10000; ++i) {
+        set.Insert(static_cast<uint64_t>(t) << 32 | i);
+        set.MightContain(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(set.inserted_count(), 40000u);
+  for (int t = 0; t < 4; ++t) {
+    for (uint64_t i = 0; i < 10000; i += 501) {
+      EXPECT_TRUE(set.MightContain(static_cast<uint64_t>(t) << 32 | i));
+    }
+  }
+}
+
+TEST(AipFilterTest, PassAndPruneCounting) {
+  auto set = std::make_shared<AipSet>(AipSetKind::kHash, 0);
+  set->Insert(Value::Int64(1).Hash());
+  set->Insert(Value::Int64(3).Hash());
+  set->Seal();
+  AipFilter filter("f", 0, set);
+  EXPECT_TRUE(filter.Pass(Tuple({Value::Int64(1)})));
+  EXPECT_FALSE(filter.Pass(Tuple({Value::Int64(2)})));
+  EXPECT_TRUE(filter.Pass(Tuple({Value::Int64(3)})));
+  EXPECT_FALSE(filter.Pass(Tuple({Value::Int64(4)})));
+  EXPECT_EQ(filter.passed_count(), 2);
+  EXPECT_EQ(filter.pruned_count(), 2);
+  EXPECT_EQ(filter.label(), "f");
+}
+
+TEST(AipFilterTest, ProbesConfiguredColumn) {
+  auto set = std::make_shared<AipSet>(AipSetKind::kHash, 0);
+  set->Insert(Value::Int64(7).Hash());
+  set->Seal();
+  AipFilter filter("f", 1, set);
+  EXPECT_TRUE(filter.Pass(Tuple({Value::Int64(0), Value::Int64(7)})));
+  EXPECT_FALSE(filter.Pass(Tuple({Value::Int64(7), Value::Int64(0)})));
+}
+
+}  // namespace
+}  // namespace pushsip

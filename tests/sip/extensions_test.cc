@@ -1,0 +1,111 @@
+// Extension experiments beyond the paper's two algorithms:
+//  * Feed-Forward and Cost-Based installed simultaneously (the paper's
+//    future-work direction of composing AIP with other adaptive machinery) —
+//    must still be safe.
+//  * Registry-level Bloom intersection (paper §IV-A mentions merging
+//    same-geometry filters by bitwise intersection).
+#include <gtest/gtest.h>
+
+#include "sip/aip_manager.h"
+#include "sip/feed_forward.h"
+#include "storage/tpch_generator.h"
+#include "workload/experiment.h"
+#include "workload/plan_builder.h"
+
+namespace pushsip {
+namespace {
+
+std::shared_ptr<Catalog> TinyCatalog() {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.003;
+  return MakeTpchCatalog(cfg);
+}
+
+TEST(CombinedAipTest, FeedForwardPlusCostBasedStillCorrect) {
+  auto catalog = TinyCatalog();
+  auto build = [&](ExecContext* ctx, PlanBuilder* b) {
+    QueryKnobs knobs;
+    BuildQuery(QueryId::kQ1A, b, knobs).CheckOK();
+    (void)ctx;
+  };
+
+  // Baseline reference.
+  uint64_t baseline_hash;
+  {
+    ExecContext ctx;
+    PlanBuilder b(&ctx, catalog);
+    build(&ctx, &b);
+    b.Run().status().CheckOK();
+    baseline_hash = HashRows(b.sink()->rows());
+  }
+
+  // Both managers installed on the same plan: both subscribe to the
+  // input-finished hook and may inject overlapping filters.
+  {
+    ExecContext ctx;
+    PlanBuilder b(&ctx, catalog);
+    build(&ctx, &b);
+    AipRegistry registry;
+    FeedForwardAip ff(&ctx, &registry);
+    AipManager manager(&ctx);
+    ASSERT_TRUE(ff.Install(b.sip_info()).ok());
+    ASSERT_TRUE(manager.Install(b.sip_info()).ok());
+    ASSERT_TRUE(b.Run().ok());
+    EXPECT_EQ(HashRows(b.sink()->rows()), baseline_hash);
+  }
+}
+
+TEST(CombinedAipTest, AllQueriesSurviveCombinedInstall) {
+  auto catalog = TinyCatalog();
+  for (const QueryId q : {QueryId::kQ2A, QueryId::kQ4A, QueryId::kQ5A}) {
+    ExecContext ctx;
+    PlanBuilder b(&ctx, catalog);
+    QueryKnobs knobs;
+    ASSERT_TRUE(BuildQuery(q, &b, knobs).ok());
+    AipRegistry registry;
+    FeedForwardAip ff(&ctx, &registry);
+    AipManager manager(&ctx);
+    ASSERT_TRUE(ff.Install(b.sip_info()).ok());
+    ASSERT_TRUE(manager.Install(b.sip_info()).ok());
+    EXPECT_TRUE(b.Run().ok()) << QueryName(q);
+  }
+}
+
+TEST(BloomMergeTest, IntersectionTightensPublishedSets) {
+  // Two same-geometry Bloom AIP sets over overlapping key populations:
+  // their intersection admits only the common keys (plus false positives),
+  // i.e. conjunctive filtering can be collapsed into one probe.
+  BloomFilter a = BloomFilter::WithBitCount(1 << 14);
+  BloomFilter b = BloomFilter::WithBitCount(1 << 14);
+  for (uint64_t k = 0; k < 300; ++k) a.Insert(Value::Int64(k).Hash());
+  for (uint64_t k = 200; k < 500; ++k) b.Insert(Value::Int64(k).Hash());
+  ASSERT_TRUE(a.IntersectWith(b).ok());
+  int in_common = 0, outside = 0;
+  for (uint64_t k = 200; k < 300; ++k) {
+    if (a.MightContain(Value::Int64(k).Hash())) ++in_common;
+  }
+  for (uint64_t k = 1000; k < 2000; ++k) {
+    if (a.MightContain(Value::Int64(k).Hash())) ++outside;
+  }
+  EXPECT_EQ(in_common, 100);  // no false negatives on the intersection
+  EXPECT_LT(outside, 50);     // nearly everything else filtered
+}
+
+TEST(AipOptionsTest, ShipBandwidthControlsSimulatedDelay) {
+  // Cost-based distributed AIP sleeps set_bytes/bandwidth when shipping;
+  // a huge bandwidth should make ship_seconds negligible.
+  ExperimentConfig cfg;
+  cfg.query = QueryId::kQ3C;
+  cfg.strategy = Strategy::kCostBased;
+  TpchConfig gen;
+  gen.scale_factor = 0.003;
+  cfg.catalog = MakeTpchCatalog(gen);
+  cfg.remote_bandwidth_bps = 1e9;
+  cfg.aip.ship_bandwidth_bytes_per_sec = 1e12;
+  auto r = RunExperiment(cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->result_rows, 0);
+}
+
+}  // namespace
+}  // namespace pushsip

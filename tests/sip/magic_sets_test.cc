@@ -1,0 +1,106 @@
+#include "sip/magic_sets.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/exec/exec_test_util.h"
+
+namespace pushsip {
+namespace {
+
+using testutil::MakeIntTable;
+using testutil::MakeScan;
+
+TEST(MagicSetStateTest, InsertSealContains) {
+  MagicSetState state;
+  state.Insert(11);
+  state.Insert(22);
+  EXPECT_FALSE(state.sealed());
+  state.Seal();
+  EXPECT_TRUE(state.sealed());
+  EXPECT_TRUE(state.Contains(11));
+  EXPECT_FALSE(state.Contains(33));
+  EXPECT_EQ(state.size(), 2u);
+  EXPECT_GT(state.SizeBytes(), 0u);
+}
+
+TEST(MagicSetStateTest, WaitSealedForTimesOut) {
+  MagicSetState state;
+  state.WaitSealedFor(5);  // must return, not hang
+  EXPECT_FALSE(state.sealed());
+}
+
+TEST(MagicSetBuilderTest, PassesThroughAndBuilds) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 1}, {2, 2}, {1, 9}});
+  auto state = std::make_shared<MagicSetState>();
+  auto scan = MakeScan(&ctx, table);
+  MagicSetBuilder builder(&ctx, "mb", table->schema(), {0}, state);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&builder);
+  builder.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  EXPECT_EQ(sink.num_rows(), 3);  // pass-through
+  EXPECT_TRUE(state->sealed());
+  EXPECT_EQ(state->size(), 2u);  // distinct keys 1, 2
+}
+
+TEST(MagicGateTest, FiltersAgainstSealedSet) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 1}, {2, 2}, {3, 3}});
+  auto state = std::make_shared<MagicSetState>();
+  state->Insert(Tuple({Value::Int64(2), Value::Int64(0)}).HashColumns({0}));
+  state->Seal();
+  auto scan = MakeScan(&ctx, table);
+  MagicGate gate(&ctx, "gate", table->schema(), {0}, state);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&gate);
+  gate.SetOutput(&sink);
+  ASSERT_TRUE(scan->Run().ok());
+  ASSERT_EQ(sink.num_rows(), 1);
+  EXPECT_EQ(sink.rows()[0].at(0).AsInt64(), 2);
+}
+
+TEST(MagicGateTest, BlocksUntilSealed) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 1}});
+  auto state = std::make_shared<MagicSetState>();
+  auto scan = MakeScan(&ctx, table);
+  MagicGate gate(&ctx, "gate", table->schema(), {0}, state);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&gate);
+  gate.SetOutput(&sink);
+
+  std::thread runner([&] { scan->Run().CheckOK(); });
+  // Give the gate time to block, then seal with the key present.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(sink.finished());
+  state->Insert(Tuple({Value::Int64(1), Value::Int64(1)}).HashColumns({0}));
+  state->Seal();
+  runner.join();
+  EXPECT_TRUE(sink.finished());
+  EXPECT_EQ(sink.num_rows(), 1);
+  EXPECT_EQ(gate.rows_gated(), 1);
+}
+
+TEST(MagicGateTest, CancellationUnblocksGate) {
+  ExecContext ctx;
+  auto table = MakeIntTable("t", {{1, 1}});
+  auto state = std::make_shared<MagicSetState>();  // never sealed
+  auto scan = MakeScan(&ctx, table);
+  MagicGate gate(&ctx, "gate", table->schema(), {0}, state);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&gate);
+  gate.SetOutput(&sink);
+  std::thread runner([&] {
+    const Status st = scan->Run();
+    EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ctx.Cancel();
+  runner.join();
+}
+
+}  // namespace
+}  // namespace pushsip

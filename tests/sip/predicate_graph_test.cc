@@ -1,0 +1,74 @@
+#include "sip/predicate_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pushsip {
+namespace {
+
+TEST(SourcePredicateGraphTest, TransitiveEquality) {
+  SourcePredicateGraph g;
+  g.AddEquality(1, 2);
+  g.AddEquality(2, 3);
+  EXPECT_EQ(g.ClassOf(1), g.ClassOf(3));
+  EXPECT_EQ(g.ClassOf(2), g.ClassOf(3));
+}
+
+TEST(SourcePredicateGraphTest, SeparateClassesStaySeparate) {
+  SourcePredicateGraph g;
+  g.AddEquality(1, 2);
+  g.AddEquality(10, 11);
+  EXPECT_NE(g.ClassOf(1), g.ClassOf(10));
+}
+
+TEST(SourcePredicateGraphTest, UnknownAttrHasNoClass) {
+  SourcePredicateGraph g;
+  g.AddEquality(1, 2);
+  EXPECT_EQ(g.ClassOf(99), kNoEqClass);
+  EXPECT_EQ(g.ClassOf(kInvalidAttr), kNoEqClass);
+  EXPECT_FALSE(g.HasPeers(99));
+}
+
+TEST(SourcePredicateGraphTest, HasPeers) {
+  SourcePredicateGraph g;
+  g.AddEquality(1, 2);
+  g.AddAttr(5);  // singleton
+  EXPECT_TRUE(g.HasPeers(1));
+  EXPECT_TRUE(g.HasPeers(2));
+  EXPECT_FALSE(g.HasPeers(5));
+}
+
+TEST(SourcePredicateGraphTest, InvalidAttrsIgnored) {
+  SourcePredicateGraph g;
+  g.AddEquality(kInvalidAttr, 3);
+  g.AddEquality(3, kInvalidAttr);
+  EXPECT_FALSE(g.HasPeers(3));
+}
+
+TEST(SourcePredicateGraphTest, ClassMembers) {
+  SourcePredicateGraph g;
+  g.AddEquality(1, 2);
+  g.AddEquality(2, 3);
+  g.AddEquality(7, 8);
+  auto members = g.ClassMembers(1);
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<AttrId>{1, 2, 3}));
+  EXPECT_TRUE(g.ClassMembers(42).empty());
+}
+
+TEST(SourcePredicateGraphTest, SelfEqualityIsNoop) {
+  SourcePredicateGraph g;
+  g.AddEquality(4, 4);
+  EXPECT_FALSE(g.HasPeers(4));  // still a singleton
+}
+
+TEST(SourcePredicateGraphTest, LargeChainUnion) {
+  SourcePredicateGraph g;
+  for (AttrId a = 0; a < 1000; ++a) g.AddEquality(a, a + 1);
+  EXPECT_EQ(g.ClassOf(0), g.ClassOf(1000));
+  EXPECT_EQ(g.ClassMembers(500).size(), 1001u);
+}
+
+}  // namespace
+}  // namespace pushsip

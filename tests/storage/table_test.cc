@@ -1,0 +1,96 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+
+namespace pushsip {
+namespace {
+
+TablePtr MakeSmallTable() {
+  auto t = std::make_shared<Table>(
+      "t", Schema({Field{"t.id", TypeId::kInt64, kInvalidAttr},
+                   Field{"t.grp", TypeId::kInt64, kInvalidAttr},
+                   Field{"t.name", TypeId::kString, kInvalidAttr}}));
+  for (int64_t i = 0; i < 10; ++i) {
+    t->AppendRow(Tuple({Value::Int64(i), Value::Int64(i % 3),
+                        Value::String("n" + std::to_string(i % 2))}));
+  }
+  return t;
+}
+
+TEST(TableTest, RowsAndSchema) {
+  auto t = MakeSmallTable();
+  EXPECT_EQ(t->num_rows(), 10u);
+  EXPECT_EQ(t->schema().num_fields(), 3u);
+}
+
+TEST(TableTest, ComputeStatsDistinctCounts) {
+  auto t = MakeSmallTable();
+  t->ComputeStats();
+  EXPECT_EQ(t->column_stats(0).distinct_count, 10);
+  EXPECT_EQ(t->column_stats(1).distinct_count, 3);
+  EXPECT_EQ(t->column_stats(2).distinct_count, 2);
+}
+
+TEST(TableTest, ComputeStatsMinMax) {
+  auto t = MakeSmallTable();
+  t->ComputeStats();
+  EXPECT_EQ(t->column_stats(0).min_value.AsInt64(), 0);
+  EXPECT_EQ(t->column_stats(0).max_value.AsInt64(), 9);
+  EXPECT_EQ(t->column_stats(2).min_value.AsString(), "n0");
+  EXPECT_EQ(t->column_stats(2).max_value.AsString(), "n1");
+}
+
+TEST(TableTest, StatsIgnoreNulls) {
+  auto t = std::make_shared<Table>(
+      "n", Schema({Field{"n.x", TypeId::kInt64, kInvalidAttr}}));
+  t->AppendRow(Tuple({Value::Null()}));
+  t->AppendRow(Tuple({Value::Int64(5)}));
+  t->ComputeStats();
+  EXPECT_EQ(t->column_stats(0).distinct_count, 1);
+  EXPECT_EQ(t->column_stats(0).min_value.AsInt64(), 5);
+}
+
+TEST(TableTest, KeysAndForeignKeys) {
+  auto t = MakeSmallTable();
+  t->SetPrimaryKey({0});
+  t->AddForeignKey(1, "other", 0);
+  EXPECT_EQ(t->primary_key(), std::vector<int>{0});
+  ASSERT_EQ(t->foreign_keys().size(), 1u);
+  EXPECT_EQ(t->foreign_keys()[0].ref_table, "other");
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog c;
+  ASSERT_TRUE(c.RegisterTable(MakeSmallTable()).ok());
+  EXPECT_TRUE(c.HasTable("t"));
+  auto r = c.GetTable("t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 10u);
+}
+
+TEST(CatalogTest, DuplicateRegistrationFails) {
+  Catalog c;
+  ASSERT_TRUE(c.RegisterTable(MakeSmallTable()).ok());
+  EXPECT_EQ(c.RegisterTable(MakeSmallTable()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, MissingTableFails) {
+  Catalog c;
+  EXPECT_EQ(c.GetTable("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(c.RegisterTable(nullptr).ok());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog c;
+  auto t1 = std::make_shared<Table>("zeta", Schema{});
+  auto t2 = std::make_shared<Table>("alpha", Schema{});
+  ASSERT_TRUE(c.RegisterTable(t1).ok());
+  ASSERT_TRUE(c.RegisterTable(t2).ok());
+  EXPECT_EQ(c.TableNames(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace pushsip

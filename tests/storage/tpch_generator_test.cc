@@ -1,0 +1,165 @@
+#include "storage/tpch_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace pushsip {
+namespace {
+
+class TpchGeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig cfg;
+    cfg.scale_factor = 0.002;
+    catalog_ = MakeTpchCatalog(cfg);
+  }
+  static std::shared_ptr<Catalog> catalog_;
+};
+
+std::shared_ptr<Catalog> TpchGeneratorTest::catalog_;
+
+TEST_F(TpchGeneratorTest, AllEightTablesPresent) {
+  for (const char* name : {"region", "nation", "supplier", "part", "partsupp",
+                           "customer", "orders", "lineitem"}) {
+    EXPECT_TRUE(catalog_->HasTable(name)) << name;
+  }
+}
+
+TEST_F(TpchGeneratorTest, CardinalityRatios) {
+  auto part = *catalog_->GetTable("part");
+  auto partsupp = *catalog_->GetTable("partsupp");
+  auto orders = *catalog_->GetTable("orders");
+  auto lineitem = *catalog_->GetTable("lineitem");
+  EXPECT_EQ(partsupp->num_rows(), part->num_rows() * 4);
+  EXPECT_GE(lineitem->num_rows(), orders->num_rows());
+  EXPECT_LE(lineitem->num_rows(), orders->num_rows() * 7);
+  EXPECT_EQ((*catalog_->GetTable("region"))->num_rows(), 5u);
+  EXPECT_EQ((*catalog_->GetTable("nation"))->num_rows(), 25u);
+}
+
+TEST_F(TpchGeneratorTest, ForeignKeysResolve) {
+  auto part = *catalog_->GetTable("part");
+  auto lineitem = *catalog_->GetTable("lineitem");
+  const int64_t num_part = static_cast<int64_t>(part->num_rows());
+  for (const Tuple& row : lineitem->rows()) {
+    const int64_t pk = row.at(1).AsInt64();
+    ASSERT_GE(pk, 1);
+    ASSERT_LE(pk, num_part);
+  }
+}
+
+TEST_F(TpchGeneratorTest, PartsuppKeysUnique) {
+  auto partsupp = *catalog_->GetTable("partsupp");
+  std::unordered_set<int64_t> seen;
+  for (const Tuple& row : partsupp->rows()) {
+    const int64_t key = row.at(0).AsInt64() * 1000000 + row.at(1).AsInt64();
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate (partkey, suppkey)";
+  }
+}
+
+TEST_F(TpchGeneratorTest, ValueDomains) {
+  auto part = *catalog_->GetTable("part");
+  bool saw_tin = false;
+  for (const Tuple& row : part->rows()) {
+    const std::string& brand = row.at(3).AsString();
+    ASSERT_EQ(brand.substr(0, 6), "Brand#");
+    const int64_t size = row.at(5).AsInt64();
+    ASSERT_GE(size, 1);
+    ASSERT_LE(size, 50);
+    if (row.at(4).AsString().find("TIN") != std::string::npos) saw_tin = true;
+  }
+  EXPECT_TRUE(saw_tin);
+}
+
+TEST_F(TpchGeneratorTest, NationsCoverQueryConstants) {
+  auto nation = *catalog_->GetTable("nation");
+  bool france = false;
+  for (const Tuple& row : nation->rows()) {
+    if (row.at(1).AsString() == "FRANCE") france = true;
+  }
+  EXPECT_TRUE(france);
+  auto region = *catalog_->GetTable("region");
+  bool africa = false, mideast = false;
+  for (const Tuple& row : region->rows()) {
+    if (row.at(1).AsString() == "AFRICA") africa = true;
+    if (row.at(1).AsString() == "MIDDLE EAST") mideast = true;
+  }
+  EXPECT_TRUE(africa);
+  EXPECT_TRUE(mideast);
+}
+
+TEST_F(TpchGeneratorTest, StatsArePopulated) {
+  auto part = *catalog_->GetTable("part");
+  ASSERT_TRUE(part->has_stats());
+  EXPECT_EQ(part->column_stats(0).distinct_count,
+            static_cast<int64_t>(part->num_rows()));
+}
+
+TEST(TpchGeneratorDeterminismTest, SameSeedSameData) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.001;
+  auto c1 = MakeTpchCatalog(cfg);
+  auto c2 = MakeTpchCatalog(cfg);
+  auto l1 = *c1->GetTable("lineitem");
+  auto l2 = *c2->GetTable("lineitem");
+  ASSERT_EQ(l1->num_rows(), l2->num_rows());
+  for (size_t i = 0; i < l1->num_rows(); i += 97) {
+    EXPECT_EQ(l1->rows()[i].Compare(l2->rows()[i]), 0);
+  }
+}
+
+TEST(TpchGeneratorDeterminismTest, DifferentSeedDifferentData) {
+  TpchConfig a, b;
+  a.scale_factor = b.scale_factor = 0.001;
+  b.seed = 4711;
+  auto ca = MakeTpchCatalog(a);
+  auto cb = MakeTpchCatalog(b);
+  auto la = *ca->GetTable("lineitem");
+  auto lb = *cb->GetTable("lineitem");
+  int diffs = 0;
+  const size_t n = std::min(la->num_rows(), lb->num_rows());
+  for (size_t i = 0; i < n; i += 37) {
+    if (la->rows()[i].Compare(lb->rows()[i]) != 0) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(TpchGeneratorSkewTest, ZipfSkewsLineitemPartKeys) {
+  TpchConfig uniform, skewed;
+  uniform.scale_factor = skewed.scale_factor = 0.005;
+  skewed.skewed = true;
+  skewed.zipf_z = 0.5;
+  auto cu = MakeTpchCatalog(uniform);
+  auto cs = MakeTpchCatalog(skewed);
+
+  auto count_top_share = [](const TablePtr& lineitem, size_t num_part) {
+    std::vector<int64_t> counts(num_part + 1, 0);
+    for (const Tuple& row : lineitem->rows()) {
+      ++counts[static_cast<size_t>(row.at(1).AsInt64())];
+    }
+    // Share of references going to the lowest 1% of part keys.
+    int64_t head = 0, total = 0;
+    for (size_t i = 1; i <= num_part; ++i) {
+      total += counts[i];
+      if (i <= num_part / 100 + 1) head += counts[i];
+    }
+    return static_cast<double>(head) / static_cast<double>(total);
+  };
+
+  const size_t num_part = (*cu->GetTable("part"))->num_rows();
+  const double us = count_top_share(*cu->GetTable("lineitem"), num_part);
+  const double ss = count_top_share(*cs->GetTable("lineitem"), num_part);
+  EXPECT_GT(ss, us * 2) << "skewed head share should dominate uniform";
+}
+
+TEST(TpchGeneratorConfigTest, RejectsNonPositiveScale) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0;
+  Catalog catalog;
+  EXPECT_FALSE(TpchGenerator(cfg).Generate(&catalog).ok());
+  EXPECT_FALSE(TpchGenerator(TpchConfig{}).Generate(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,130 @@
+#include "util/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pushsip {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter f(1000, 0.05, 1);
+  Random rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.NextUint64());
+  for (const uint64_t k : keys) f.Insert(k);
+  for (const uint64_t k : keys) {
+    EXPECT_TRUE(f.MightContain(k));
+  }
+}
+
+// Property sweep over (entries, fpr, hashes): measured FPR should be in the
+// ballpark of the configured target.
+struct BloomParam {
+  size_t entries;
+  double fpr;
+  int hashes;
+};
+
+class BloomFprTest : public ::testing::TestWithParam<BloomParam> {};
+
+TEST_P(BloomFprTest, MeasuredFprNearTarget) {
+  const BloomParam p = GetParam();
+  BloomFilter f(p.entries, p.fpr, p.hashes);
+  Random rng(7);
+  for (size_t i = 0; i < p.entries; ++i) f.Insert(rng.NextUint64());
+  // Probe disjoint keys (same RNG stream continues => almost surely new).
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (f.MightContain(rng.NextUint64())) ++false_positives;
+  }
+  const double measured = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(measured, p.fpr * 2.0 + 0.01);
+  // Also sanity-check the filter's own estimate.
+  EXPECT_LT(f.EstimatedFpr(), p.fpr * 2.0 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BloomFprTest,
+    ::testing::Values(BloomParam{100, 0.05, 1}, BloomParam{1000, 0.05, 1},
+                      BloomParam{10000, 0.05, 1}, BloomParam{1000, 0.01, 1},
+                      BloomParam{1000, 0.05, 3}, BloomParam{50000, 0.02, 2}));
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter f(1000);
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(f.MightContain(rng.NextUint64()));
+  }
+}
+
+TEST(BloomFilterTest, SizeScalesWithTargetFpr) {
+  BloomFilter loose(10000, 0.1, 1);
+  BloomFilter tight(10000, 0.01, 1);
+  EXPECT_GT(tight.num_bits(), loose.num_bits());
+}
+
+TEST(BloomFilterTest, IntersectRequiresSameGeometry) {
+  BloomFilter a(100, 0.05, 1);
+  BloomFilter b(100000, 0.05, 1);
+  EXPECT_FALSE(a.IntersectWith(b).ok());
+  BloomFilter c(100, 0.05, 2);
+  EXPECT_FALSE(a.IntersectWith(c).ok());
+}
+
+TEST(BloomFilterTest, IntersectKeepsCommonKeys) {
+  BloomFilter a = BloomFilter::WithBitCount(1 << 16);
+  BloomFilter b = BloomFilter::WithBitCount(1 << 16);
+  Random rng(11);
+  std::vector<uint64_t> common, only_a, only_b;
+  for (int i = 0; i < 200; ++i) common.push_back(rng.NextUint64());
+  for (int i = 0; i < 200; ++i) only_a.push_back(rng.NextUint64());
+  for (int i = 0; i < 200; ++i) only_b.push_back(rng.NextUint64());
+  for (uint64_t k : common) {
+    a.Insert(k);
+    b.Insert(k);
+  }
+  for (uint64_t k : only_a) a.Insert(k);
+  for (uint64_t k : only_b) b.Insert(k);
+  ASSERT_TRUE(a.IntersectWith(b).ok());
+  for (uint64_t k : common) EXPECT_TRUE(a.MightContain(k));
+  int surviving_only_b = 0;
+  for (uint64_t k : only_b) {
+    if (a.MightContain(k)) ++surviving_only_b;
+  }
+  // only_b keys were never in a; with this sparse filter nearly all vanish.
+  EXPECT_LT(surviving_only_b, 10);
+}
+
+TEST(BloomFilterTest, UnionContainsBothSides) {
+  BloomFilter a = BloomFilter::WithBitCount(1 << 14);
+  BloomFilter b = BloomFilter::WithBitCount(1 << 14);
+  a.Insert(1);
+  b.Insert(2);
+  ASSERT_TRUE(a.UnionWith(b).ok());
+  EXPECT_TRUE(a.MightContain(1));
+  EXPECT_TRUE(a.MightContain(2));
+}
+
+TEST(BloomFilterTest, SizeBytesMatchesBitCount) {
+  BloomFilter f = BloomFilter::WithBitCount(1024);
+  EXPECT_EQ(f.SizeBytes(), 1024u / 8u);
+}
+
+TEST(BloomFilterTest, PopCountTracksInsertions) {
+  BloomFilter f = BloomFilter::WithBitCount(1 << 12);
+  EXPECT_EQ(f.PopCount(), 0u);
+  f.Insert(123);
+  EXPECT_GE(f.PopCount(), 1u);
+}
+
+TEST(BloomFilterTest, MinimumSizeClamped) {
+  BloomFilter tiny(0, 0.05, 1);
+  EXPECT_GE(tiny.num_bits(), 64u);
+  tiny.Insert(9);
+  EXPECT_TRUE(tiny.MightContain(9));
+}
+
+}  // namespace
+}  // namespace pushsip

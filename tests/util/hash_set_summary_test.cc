@@ -1,0 +1,81 @@
+#include "util/hash_set_summary.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pushsip {
+namespace {
+
+TEST(HashSetSummaryTest, ExactMembership) {
+  HashSetSummary s(16);
+  for (uint64_t k = 0; k < 100; ++k) s.Insert(k * 7919);
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(s.MightContain(k * 7919));
+  // No false positives while nothing is discarded.
+  Random rng(5);
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t probe = rng.NextUint64() | (1ULL << 63);
+    bool actual = false;
+    for (uint64_t k = 0; k < 100; ++k) {
+      if (probe == k * 7919) actual = true;
+    }
+    if (s.MightContain(probe) && !actual) ++fp;
+  }
+  EXPECT_EQ(fp, 0);
+}
+
+TEST(HashSetSummaryTest, SizeCountsDistinctKeys) {
+  HashSetSummary s(8);
+  s.Insert(1);
+  s.Insert(1);
+  s.Insert(2);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(HashSetSummaryTest, DiscardedBucketPassesThrough) {
+  HashSetSummary s(4);
+  Random rng(9);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back(rng.NextUint64());
+    s.Insert(keys.back());
+  }
+  // Discard until at most one bucket remains.
+  for (int i = 0; i < 3; ++i) s.DiscardLargestBucket();
+  EXPECT_EQ(s.discarded_buckets(), 3u);
+  // Invariant: never a false negative, even after discards.
+  for (const uint64_t k : keys) EXPECT_TRUE(s.MightContain(k));
+}
+
+TEST(HashSetSummaryTest, DiscardAllReturnsZeroEventually) {
+  HashSetSummary s(2);
+  s.Insert(1);
+  s.Insert(2);
+  EXPECT_GT(s.DiscardLargestBucket() + s.DiscardLargestBucket(), 0u);
+  EXPECT_EQ(s.DiscardLargestBucket(), 0u);
+  // Fully discarded set: everything "might" be contained.
+  EXPECT_TRUE(s.MightContain(0xabcdef));
+}
+
+TEST(HashSetSummaryTest, ShrinkToBudgetReducesFootprint) {
+  HashSetSummary s(64);
+  Random rng(13);
+  for (int i = 0; i < 100000; ++i) s.Insert(rng.NextUint64());
+  const size_t before = s.SizeBytes();
+  s.ShrinkToBudget(before / 4);
+  EXPECT_LE(s.SizeBytes(), before / 4 + 4096);
+  EXPECT_GT(s.discarded_buckets(), 0u);
+}
+
+TEST(HashSetSummaryTest, InsertIntoDiscardedBucketIsNoop) {
+  HashSetSummary s(1);
+  s.Insert(1);
+  s.DiscardLargestBucket();
+  s.Insert(2);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.MightContain(2));
+}
+
+}  // namespace
+}  // namespace pushsip

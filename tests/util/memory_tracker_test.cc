@@ -1,0 +1,56 @@
+#include "util/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pushsip {
+namespace {
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker t;
+  t.Add(100);
+  t.Add(50);
+  EXPECT_EQ(t.current_bytes(), 150);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.Release(120);
+  EXPECT_EQ(t.current_bytes(), 30);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.Add(10);
+  EXPECT_EQ(t.peak_bytes(), 150);  // peak unchanged below previous high
+}
+
+TEST(MemoryTrackerTest, ResetClearsBoth) {
+  MemoryTracker t;
+  t.Add(5);
+  t.Reset();
+  EXPECT_EQ(t.current_bytes(), 0);
+  EXPECT_EQ(t.peak_bytes(), 0);
+}
+
+TEST(MemoryTrackerTest, PeakMbConversion) {
+  MemoryTracker t;
+  t.Add(2 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(t.peak_mb(), 2.0);
+}
+
+TEST(MemoryTrackerTest, ConcurrentAddsAreExact) {
+  MemoryTracker t;
+  constexpr int kThreads = 8, kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t] {
+      for (int j = 0; j < kIters; ++j) {
+        t.Add(3);
+        t.Release(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.current_bytes(), kThreads * kIters * 2);
+  EXPECT_GE(t.peak_bytes(), t.current_bytes());
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,65 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace pushsip {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_seen{0};
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int prev = max_seen.load();
+      while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+      }
+      while (!release.load() && max_seen.load() < 2) {
+      }
+      release.store(true);
+      in_flight.fetch_sub(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(max_seen.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.WaitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Submit([] {});
+  pool.Shutdown();
+  pool.Shutdown();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,64 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pushsip {
+namespace {
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfDistribution z(100, 0.5);
+  Random rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = z.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTest, LowRanksMoreFrequent) {
+  ZipfDistribution z(1000, 0.5);
+  Random rng(2);
+  std::vector<int> counts(1001, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.Sample(rng)];
+  // With z = 0.5, rank 1 should beat rank 1000 by about sqrt(1000) ~ 31x.
+  EXPECT_GT(counts[1], counts[1000] * 5);
+  // And the head decays monotonically in aggregate: first decile beats last.
+  int head = 0, tail = 0;
+  for (int i = 1; i <= 100; ++i) head += counts[i];
+  for (int i = 901; i <= 1000; ++i) tail += counts[i];
+  EXPECT_GT(head, tail * 2);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  Random rng(3);
+  std::vector<int> counts(11, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_NEAR(counts[i], n / 10, n / 10 * 0.15);
+  }
+}
+
+TEST(ZipfTest, DegenerateSizeOne) {
+  ZipfDistribution z(0, 0.5);  // clamps to n = 1
+  Random rng(4);
+  EXPECT_EQ(z.n(), 1u);
+  EXPECT_EQ(z.Sample(rng), 1u);
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMore) {
+  Random rng1(5), rng2(5);
+  ZipfDistribution mild(100, 0.5), heavy(100, 1.5);
+  int mild_head = 0, heavy_head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (mild.Sample(rng1) == 1) ++mild_head;
+    if (heavy.Sample(rng2) == 1) ++heavy_head;
+  }
+  EXPECT_GT(heavy_head, mild_head);
+}
+
+}  // namespace
+}  // namespace pushsip

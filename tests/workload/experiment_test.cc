@@ -1,0 +1,96 @@
+// ExperimentConfig plumbing: pacing, remote bandwidth, keep_rows, errors.
+#include "workload/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/tpch_generator.h"
+
+namespace pushsip {
+namespace {
+
+std::shared_ptr<Catalog> TinyCatalog() {
+  static std::shared_ptr<Catalog> catalog = [] {
+    TpchConfig cfg;
+    cfg.scale_factor = 0.002;
+    return MakeTpchCatalog(cfg);
+  }();
+  return catalog;
+}
+
+TEST(ExperimentTest, RequiresCatalog) {
+  ExperimentConfig cfg;
+  EXPECT_FALSE(RunExperiment(cfg).ok());
+}
+
+TEST(ExperimentTest, KeepRowsReturnsResult) {
+  ExperimentConfig cfg;
+  cfg.query = QueryId::kQ4A;
+  cfg.strategy = Strategy::kBaseline;
+  cfg.catalog = TinyCatalog();
+  cfg.keep_rows = true;
+  auto r = RunExperiment(cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<int64_t>(r->rows.size()), r->result_rows);
+  ExperimentConfig no_rows = cfg;
+  no_rows.keep_rows = false;
+  auto r2 = RunExperiment(no_rows);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->rows.empty());
+  EXPECT_EQ(r->result_hash, r2->result_hash);
+}
+
+TEST(ExperimentTest, PacingSlowsButPreservesResults) {
+  ExperimentConfig fast;
+  fast.query = QueryId::kQ4A;
+  fast.catalog = TinyCatalog();
+  auto quick = RunExperiment(fast);
+  ASSERT_TRUE(quick.ok());
+
+  ExperimentConfig paced = fast;
+  paced.pace_every_rows = 200;
+  paced.pace_ms = 2.0;
+  auto slow = RunExperiment(paced);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(quick->result_hash, slow->result_hash);
+  EXPECT_GT(slow->stats.elapsed_sec, quick->stats.elapsed_sec);
+}
+
+TEST(ExperimentTest, PacingMakesPeakStateReproducible) {
+  auto run = [&] {
+    ExperimentConfig cfg;
+    cfg.query = QueryId::kQ3E;
+    cfg.strategy = Strategy::kBaseline;
+    cfg.catalog = TinyCatalog();
+    cfg.pace_every_rows = 256;
+    cfg.pace_ms = 0.5;
+    return RunExperiment(cfg);
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Within 25% — completion order is pinned, residual jitter is batch-level.
+  const double pa = a->stats.peak_state_mb(), pb = b->stats.peak_state_mb();
+  EXPECT_LT(std::abs(pa - pb), 0.25 * std::max(pa, pb) + 0.01);
+}
+
+TEST(ExperimentTest, RemoteQueryWithoutRemoteConfiguredStillWorks) {
+  // RunExperiment creates the RemoteNode for Q1C/Q3C internally.
+  ExperimentConfig cfg;
+  cfg.query = QueryId::kQ1C;
+  cfg.catalog = TinyCatalog();
+  cfg.remote_bandwidth_bps = 1e9;
+  auto r = RunExperiment(cfg);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ExperimentTest, MagicOnJoinQueryRejected) {
+  ExperimentConfig cfg;
+  cfg.query = QueryId::kQ4A;  // single-block: magic does not apply
+  cfg.strategy = Strategy::kMagic;
+  cfg.catalog = TinyCatalog();
+  EXPECT_FALSE(RunExperiment(cfg).ok());
+}
+
+}  // namespace
+}  // namespace pushsip

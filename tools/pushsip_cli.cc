@@ -1,0 +1,128 @@
+// pushsip_cli: run any workload query under any strategy from the command
+// line and print the paper's measurements for that single cell.
+//
+//   pushsip_cli --query=Q1A --strategy=cb --sf=0.02 --delay --rows
+//
+// Flags:
+//   --query=<Q1A..Q5B>     (default Q1A)
+//   --strategy=<baseline|magic|ff|cb>  (default baseline)
+//   --sf=<scale factor>    (default 0.01)
+//   --seed=<n>             (default 42)
+//   --skewed               force the Zipf-skewed dataset
+//   --delay                delayed-input environment (paper §VI-B values)
+//   --pace=<rows>          default scan pacing interval (0 = off)
+//   --remote-bw=<bps>      link bandwidth for Q1C/Q3C (default 100e6)
+//   --rows                 print the result rows
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "storage/tpch_generator.h"
+#include "workload/experiment.h"
+
+using namespace pushsip;
+
+namespace {
+
+bool ParseQuery(const std::string& name, QueryId* out) {
+  for (const QueryId q : AllQueryIds()) {
+    if (name == QueryName(q)) {
+      *out = q;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseStrategy(const std::string& name, Strategy* out) {
+  if (name == "baseline") *out = Strategy::kBaseline;
+  else if (name == "magic") *out = Strategy::kMagic;
+  else if (name == "ff") *out = Strategy::kFeedForward;
+  else if (name == "cb") *out = Strategy::kCostBased;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  QueryId query = QueryId::kQ1A;
+  Strategy strategy = Strategy::kBaseline;
+  TpchConfig gen;
+  gen.scale_factor = 0.01;
+  ExperimentConfig cfg;
+  bool print_rows = false;
+  bool force_skew = false;
+  size_t pace = 512;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--query=", 0) == 0) {
+      if (!ParseQuery(arg.substr(8), &query)) {
+        std::fprintf(stderr, "unknown query %s\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--strategy=", 0) == 0) {
+      if (!ParseStrategy(arg.substr(11), &strategy)) {
+        std::fprintf(stderr, "unknown strategy %s\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--sf=", 0) == 0) {
+      gen.scale_factor = std::atof(arg.c_str() + 5);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      gen.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg == "--skewed") {
+      force_skew = true;
+    } else if (arg == "--delay") {
+      cfg.delay_inputs = true;
+    } else if (arg.rfind("--pace=", 0) == 0) {
+      pace = static_cast<size_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--remote-bw=", 0) == 0) {
+      cfg.remote_bandwidth_bps = std::atof(arg.c_str() + 12);
+    } else if (arg == "--rows") {
+      print_rows = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: pushsip_cli [--query=Q1A] [--strategy=baseline|"
+                  "magic|ff|cb]\n  [--sf=0.01] [--seed=42] [--skewed] "
+                  "[--delay] [--pace=512]\n  [--remote-bw=1e8] [--rows]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  gen.skewed = force_skew || QueryWantsSkewedData(query);
+  cfg.query = query;
+  cfg.strategy = strategy;
+  cfg.catalog = MakeTpchCatalog(gen);
+  cfg.pace_every_rows = pace;
+  cfg.pace_ms = 0.5;
+  cfg.keep_rows = print_rows;
+
+  auto r = RunExperiment(cfg);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query          : %s (%s data, sf=%g)\n", QueryName(query),
+              gen.skewed ? "skewed" : "uniform", gen.scale_factor);
+  std::printf("strategy       : %s\n", StrategyName(strategy));
+  std::printf("result rows    : %lld (hash %016llx)\n",
+              static_cast<long long>(r->result_rows),
+              static_cast<unsigned long long>(r->result_hash));
+  std::printf("running time   : %.2f ms\n", r->stats.elapsed_sec * 1e3);
+  std::printf("peak op state  : %.3f MB\n", r->stats.peak_state_mb());
+  std::printf("AIP set bytes  : %.3f MB\n",
+              static_cast<double>(r->aip_set_bytes) / (1 << 20));
+  std::printf("AIP sets/filters/pruned: %lld / %lld / %lld\n",
+              static_cast<long long>(r->aip_sets),
+              static_cast<long long>(r->aip_filters),
+              static_cast<long long>(r->aip_pruned));
+  if (print_rows) {
+    for (const Tuple& row : r->rows) {
+      std::printf("%s\n", row.ToString().c_str());
+    }
+  }
+  return 0;
+}
