@@ -15,7 +15,10 @@ class ColumnRef final : public Expression {
   TypeId type() const override { return type_; }
   int column_index() const override { return index_; }
   std::string ToString() const override {
-    return name_.empty() ? "$" + std::to_string(index_) : name_;
+    if (!name_.empty()) return name_;
+    std::string out("$");
+    out += std::to_string(index_);
+    return out;
   }
 
  private:
@@ -59,8 +62,14 @@ class Comparison final : public Expression {
   TypeId type() const override { return TypeId::kInt64; }
   std::string ToString() const override {
     static const char* kNames[] = {"=", "<>", "<", "<=", ">", ">="};
-    return "(" + left_->ToString() + " " + kNames[static_cast<int>(op_)] +
-           " " + right_->ToString() + ")";
+    std::string out("(");
+    out += left_->ToString();
+    out += ' ';
+    out += kNames[static_cast<int>(op_)];
+    out += ' ';
+    out += right_->ToString();
+    out += ')';
+    return out;
   }
 
  private:
@@ -108,8 +117,14 @@ class Arithmetic final : public Expression {
   }
   std::string ToString() const override {
     static const char* kNames[] = {"+", "-", "*", "/"};
-    return "(" + left_->ToString() + " " + kNames[static_cast<int>(op_)] +
-           " " + right_->ToString() + ")";
+    std::string out("(");
+    out += left_->ToString();
+    out += ' ';
+    out += kNames[static_cast<int>(op_)];
+    out += ' ';
+    out += right_->ToString();
+    out += ')';
+    return out;
   }
 
  private:
@@ -142,8 +157,12 @@ class BoolOp final : public Expression {
   }
   TypeId type() const override { return TypeId::kInt64; }
   std::string ToString() const override {
-    return "(" + left_->ToString() + (is_and_ ? " AND " : " OR ") +
-           right_->ToString() + ")";
+    std::string out("(");
+    out += left_->ToString();
+    out += is_and_ ? " AND " : " OR ";
+    out += right_->ToString();
+    out += ')';
+    return out;
   }
 
  private:

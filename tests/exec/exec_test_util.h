@@ -1,76 +1,21 @@
 // Shared helpers for execution-engine tests.
+//
+// The implementations live in tests/testing/plan_helpers.h so every suite
+// (not just exec/) can use them; this header keeps the historical
+// pushsip::testutil spelling working.
 #ifndef PUSHSIP_TESTS_EXEC_EXEC_TEST_UTIL_H_
 #define PUSHSIP_TESTS_EXEC_EXEC_TEST_UTIL_H_
 
-#include <algorithm>
-#include <memory>
-#include <vector>
-
-#include "exec/driver.h"
-#include "exec/scan.h"
-#include "exec/sink.h"
-#include "storage/table.h"
+#include "tests/testing/plan_helpers.h"
 
 namespace pushsip {
 namespace testutil {
 
-/// Builds a two-column INT64 table from (a, b) pairs.
-inline TablePtr MakeIntTable(const std::string& name,
-                             const std::vector<std::pair<int64_t, int64_t>>&
-                                 rows,
-                             AttrId attr_a = kInvalidAttr,
-                             AttrId attr_b = kInvalidAttr) {
-  Schema schema({Field{name + ".a", TypeId::kInt64, attr_a},
-                 Field{name + ".b", TypeId::kInt64, attr_b}});
-  auto t = std::make_shared<Table>(name, schema);
-  for (const auto& [a, b] : rows) {
-    t->AppendRow(Tuple({Value::Int64(a), Value::Int64(b)}));
-  }
-  t->ComputeStats();
-  return t;
-}
-
-/// A scan whose instance schema equals the table schema.
-inline std::unique_ptr<TableScan> MakeScan(ExecContext* ctx,
-                                           const TablePtr& table,
-                                           ScanOptions options = {}) {
-  return std::make_unique<TableScan>(ctx, "scan_" + table->name(), table,
-                                     table->schema(), options);
-}
-
-/// Sorts rows into a deterministic order for comparison.
-inline std::vector<Tuple> Sorted(std::vector<Tuple> rows) {
-  std::sort(rows.begin(), rows.end(),
-            [](const Tuple& a, const Tuple& b) { return a.Compare(b) < 0; });
-  return rows;
-}
-
-/// Reference bag-semantics hash-free nested-loop join on single keys.
-inline std::vector<Tuple> NestedLoopJoin(const std::vector<Tuple>& left,
-                                         const std::vector<Tuple>& right,
-                                         int lkey, int rkey) {
-  std::vector<Tuple> out;
-  for (const Tuple& l : left) {
-    for (const Tuple& r : right) {
-      const Value& a = l.at(static_cast<size_t>(lkey));
-      const Value& b = r.at(static_cast<size_t>(rkey));
-      if (!a.is_null() && !b.is_null() && a.Compare(b) == 0) {
-        out.push_back(Tuple::Concat(l, r));
-      }
-    }
-  }
-  return out;
-}
-
-inline bool SameBag(std::vector<Tuple> x, std::vector<Tuple> y) {
-  if (x.size() != y.size()) return false;
-  x = Sorted(std::move(x));
-  y = Sorted(std::move(y));
-  for (size_t i = 0; i < x.size(); ++i) {
-    if (x[i].Compare(y[i]) != 0) return false;
-  }
-  return true;
-}
+using ::pushsip::testing::MakeIntTable;
+using ::pushsip::testing::MakeScan;
+using ::pushsip::testing::NestedLoopJoin;
+using ::pushsip::testing::SameBag;
+using ::pushsip::testing::Sorted;
 
 }  // namespace testutil
 }  // namespace pushsip

@@ -7,6 +7,8 @@
 #include <map>
 
 #include "storage/tpch_generator.h"
+#include "tests/testing/catalog_factory.h"
+#include "tests/testing/test_rng.h"
 #include "workload/experiment.h"
 
 namespace pushsip {
@@ -16,10 +18,10 @@ std::shared_ptr<Catalog> CachedCatalog(bool skewed) {
   static std::map<bool, std::shared_ptr<Catalog>> cache;
   auto& entry = cache[skewed];
   if (!entry) {
-    TpchConfig cfg;
+    // Slightly above the tiny default so every query's joins have matches;
+    // seeded from PUSHSIP_TEST_SEED so failures reproduce.
+    TpchConfig cfg = testing::TinyTpchConfig(skewed);
     cfg.scale_factor = 0.003;
-    cfg.skewed = skewed;
-    cfg.seed = 7;
     entry = MakeTpchCatalog(cfg);
   }
   return entry;
@@ -48,6 +50,7 @@ std::string EnvName(const ::testing::TestParamInfo<Env>& info) {
 class AipSafetyTest : public ::testing::TestWithParam<Env> {};
 
 TEST_P(AipSafetyTest, ResultIdenticalToBaseline) {
+  PUSHSIP_SEED_TRACE(testing::TestSeed());
   const Env e = GetParam();
   auto run = [&](Strategy s) {
     ExperimentConfig cfg;
@@ -98,6 +101,7 @@ INSTANTIATE_TEST_SUITE_P(EnvSweep, AipSafetyTest,
 // pressure path, paper §V) must never change results — probes landing in a
 // discarded bucket pass through.
 TEST(AipFailureInjectionTest, ShrunkenHashSetsStayCorrect) {
+  PUSHSIP_SEED_TRACE(testing::TestSeed());
   ExperimentConfig base;
   base.query = QueryId::kQ1A;
   base.strategy = Strategy::kBaseline;
@@ -117,6 +121,7 @@ TEST(AipFailureInjectionTest, ShrunkenHashSetsStayCorrect) {
 
 // Degenerate environments.
 TEST(AipEdgeCaseTest, BatchSizeOne) {
+  PUSHSIP_SEED_TRACE(testing::TestSeed());
   ExperimentConfig cfg;
   cfg.query = QueryId::kQ3E;
   cfg.strategy = Strategy::kFeedForward;
@@ -132,6 +137,7 @@ TEST(AipEdgeCaseTest, BatchSizeOne) {
 }
 
 TEST(AipEdgeCaseTest, RepeatedRunsOfCostBasedAreStable) {
+  PUSHSIP_SEED_TRACE(testing::TestSeed());
   uint64_t hash = 0;
   for (int i = 0; i < 3; ++i) {
     ExperimentConfig cfg;

@@ -13,8 +13,10 @@ TablePtr MakeSmallTable() {
                    Field{"t.grp", TypeId::kInt64, kInvalidAttr},
                    Field{"t.name", TypeId::kString, kInvalidAttr}}));
   for (int64_t i = 0; i < 10; ++i) {
+    std::string name("n");
+    name += std::to_string(i % 2);
     t->AppendRow(Tuple({Value::Int64(i), Value::Int64(i % 3),
-                        Value::String("n" + std::to_string(i % 2))}));
+                        Value::String(std::move(name))}));
   }
   return t;
 }

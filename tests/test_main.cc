@@ -1,0 +1,16 @@
+// Shared gtest main for every pushsip suite. Prints the randomized-test
+// seed up front so any CI failure names the exact seed to replay.
+#include <cinttypes>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_rng.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  std::printf("[pushsip] randomized-test seed: %" PRIu64
+              " (override with PUSHSIP_TEST_SEED=<n>)\n",
+              pushsip::testing::TestSeed());
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,21 @@
+#include "tests/testing/catalog_factory.h"
+
+#include "tests/testing/test_rng.h"
+
+namespace pushsip {
+namespace testing {
+
+TpchConfig TinyTpchConfig(bool skewed) {
+  TpchConfig config;
+  config.scale_factor = kTinyScaleFactor;
+  config.skewed = skewed;
+  config.seed = TestSeed();
+  return config;
+}
+
+std::shared_ptr<Catalog> TinyTpchCatalog(bool skewed) {
+  return MakeTpchCatalog(TinyTpchConfig(skewed));
+}
+
+}  // namespace testing
+}  // namespace pushsip

@@ -1,0 +1,31 @@
+// Tiny-TPC-H catalog factory for tests.
+//
+// Suites that need real TPC-H-shaped data (storage, sip, workload) share one
+// deterministic, millisecond-scale dataset instead of each picking its own
+// scale factor and seed.
+#ifndef PUSHSIP_TESTS_TESTING_CATALOG_FACTORY_H_
+#define PUSHSIP_TESTS_TESTING_CATALOG_FACTORY_H_
+
+#include <memory>
+
+#include "storage/tpch_generator.h"
+
+namespace pushsip {
+namespace testing {
+
+/// Scale factor used by TinyTpchCatalog: big enough that every table is
+/// non-empty and joins produce matches, small enough to generate in
+/// milliseconds.
+inline constexpr double kTinyScaleFactor = 0.002;
+
+/// Config for the shared tiny dataset. Seed defaults to TestSeed().
+TpchConfig TinyTpchConfig(bool skewed = false);
+
+/// A freshly generated tiny catalog (uniform or Zipf-skewed). Aborts the
+/// test binary on generation failure.
+std::shared_ptr<Catalog> TinyTpchCatalog(bool skewed = false);
+
+}  // namespace testing
+}  // namespace pushsip
+
+#endif  // PUSHSIP_TESTS_TESTING_CATALOG_FACTORY_H_

@@ -1,0 +1,29 @@
+#include "tests/testing/test_rng.h"
+
+#include <cstdlib>
+
+namespace pushsip {
+namespace testing {
+
+namespace {
+
+uint64_t ParseSeedFromEnv() {
+  const char* env = std::getenv("PUSHSIP_TEST_SEED");
+  if (env == nullptr || *env == '\0') return 42;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == nullptr || *end != '\0') return 42;
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+uint64_t TestSeed() {
+  static const uint64_t seed = ParseSeedFromEnv();
+  return seed;
+}
+
+Random SeededRandom(uint64_t offset) { return Random(TestSeed() + offset); }
+
+}  // namespace testing
+}  // namespace pushsip

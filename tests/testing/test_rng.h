@@ -1,0 +1,36 @@
+// Deterministic seeding for randomized/property tests.
+//
+// Every randomized suite draws its seed from TestSeed() so a CI failure
+// reproduces locally: the shared test main prints the seed up front, and
+// PUSHSIP_SEED_TRACE attaches it to any assertion failure in scope. Override
+// with the PUSHSIP_TEST_SEED environment variable to replay a run.
+#ifndef PUSHSIP_TESTS_TESTING_TEST_RNG_H_
+#define PUSHSIP_TESTS_TESTING_TEST_RNG_H_
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace pushsip {
+namespace testing {
+
+/// Seed for randomized tests: PUSHSIP_TEST_SEED from the environment, or 42.
+/// Parsed once; invalid values fall back to the default.
+uint64_t TestSeed();
+
+/// A Random seeded with TestSeed() + offset (offset decorrelates multiple
+/// generators within one test).
+Random SeededRandom(uint64_t offset = 0);
+
+}  // namespace testing
+}  // namespace pushsip
+
+/// Attaches the seed to every assertion failure in the enclosing scope, so
+/// a red CI run shows exactly how to reproduce it.
+#define PUSHSIP_SEED_TRACE(seed)                                        \
+  SCOPED_TRACE(::testing::Message()                                     \
+               << "reproduce with PUSHSIP_TEST_SEED=" << (seed))
+
+#endif  // PUSHSIP_TESTS_TESTING_TEST_RNG_H_

@@ -1,7 +1,11 @@
 #include "util/bloom_filter.h"
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "tests/testing/test_rng.h"
 #include "util/random.h"
 
 namespace pushsip {
@@ -117,6 +121,101 @@ TEST(BloomFilterTest, PopCountTracksInsertions) {
   EXPECT_EQ(f.PopCount(), 0u);
   f.Insert(123);
   EXPECT_GE(f.PopCount(), 1u);
+}
+
+// The paper's AIP-set configuration (num_hashes = 1, target FPR = 5%): with
+// exactly `expected_entries` keys inserted, the measured false-positive rate
+// over disjoint probes must respect the configured bound. The bound allows
+// 1.5x the target plus a 3-sigma binomial sampling margin, so the test is
+// deterministic-by-seed and statistically robust to a seed override.
+TEST(BloomFilterTest, EmpiricalFprWithinConfiguredBound) {
+  const uint64_t seed = testing::TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+  const size_t entries = 20000;
+  const double target_fpr = 0.05;
+  BloomFilter f(entries, target_fpr, /*num_hashes=*/1);
+  Random rng(seed);
+  for (size_t i = 0; i < entries; ++i) f.Insert(rng.NextUint64());
+  const int probes = 100000;
+  int false_positives = 0;
+  for (int i = 0; i < probes; ++i) {
+    // Fresh draws from the continuing stream: 64-bit keys, so collisions
+    // with inserted keys are vanishingly unlikely.
+    if (f.MightContain(rng.NextUint64())) ++false_positives;
+  }
+  const double measured = static_cast<double>(false_positives) / probes;
+  const double sigma = std::sqrt(target_fpr * (1 - target_fpr) / probes);
+  EXPECT_LT(measured, 1.5 * target_fpr + 3 * sigma)
+      << "measured FPR " << measured << " vs configured " << target_fpr;
+  // The filter's own estimate should agree with the measurement.
+  EXPECT_NEAR(f.EstimatedFpr(), measured, 0.5 * target_fpr);
+}
+
+// Contains-after-Insert must hold unconditionally — before, between, and
+// after merges — because AIP sets are built incrementally and then merged
+// through the registry.
+TEST(BloomFilterTest, ContainsAfterInsertThroughMerges) {
+  const uint64_t seed = testing::TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+  Random rng(seed);
+  BloomFilter a = BloomFilter::WithBitCount(1 << 14);
+  BloomFilter b = BloomFilter::WithBitCount(1 << 14);
+  std::vector<uint64_t> a_keys, b_keys;
+  for (int i = 0; i < 500; ++i) {
+    a_keys.push_back(rng.NextUint64());
+    b_keys.push_back(rng.NextUint64());
+  }
+  for (uint64_t k : a_keys) {
+    a.Insert(k);
+    ASSERT_TRUE(a.MightContain(k));
+  }
+  for (uint64_t k : b_keys) b.Insert(k);
+  // Union: every key from either side must remain visible (no false
+  // negatives may be introduced by merging).
+  ASSERT_TRUE(a.UnionWith(b).ok());
+  for (uint64_t k : a_keys) EXPECT_TRUE(a.MightContain(k));
+  for (uint64_t k : b_keys) EXPECT_TRUE(a.MightContain(k));
+  // Inserts after a merge behave like inserts into a fresh filter.
+  const uint64_t late = rng.NextUint64();
+  a.Insert(late);
+  EXPECT_TRUE(a.MightContain(late));
+}
+
+// Merge algebra on the bit array: union can only set bits, intersection can
+// only clear them, and both are idempotent.
+TEST(BloomFilterTest, MergeBitAlgebraInvariants) {
+  const uint64_t seed = testing::TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+  Random rng(seed);
+  BloomFilter a = BloomFilter::WithBitCount(1 << 14);
+  BloomFilter b = BloomFilter::WithBitCount(1 << 14);
+  for (int i = 0; i < 400; ++i) a.Insert(rng.NextUint64());
+  for (int i = 0; i < 400; ++i) b.Insert(rng.NextUint64());
+  const size_t a_bits = a.PopCount();
+  const size_t b_bits = b.PopCount();
+
+  BloomFilter unioned = a;
+  ASSERT_TRUE(unioned.UnionWith(b).ok());
+  EXPECT_GE(unioned.PopCount(), a_bits);
+  EXPECT_GE(unioned.PopCount(), b_bits);
+  EXPECT_LE(unioned.PopCount(), a_bits + b_bits);
+
+  BloomFilter intersected = a;
+  ASSERT_TRUE(intersected.IntersectWith(b).ok());
+  EXPECT_LE(intersected.PopCount(), a_bits);
+  EXPECT_LE(intersected.PopCount(), b_bits);
+
+  // Idempotence: merging a filter with itself changes nothing.
+  BloomFilter self_union = a;
+  ASSERT_TRUE(self_union.UnionWith(a).ok());
+  EXPECT_EQ(self_union.PopCount(), a_bits);
+  BloomFilter self_intersect = a;
+  ASSERT_TRUE(self_intersect.IntersectWith(a).ok());
+  EXPECT_EQ(self_intersect.PopCount(), a_bits);
+
+  // Intersection tightens the estimated FPR, union loosens it.
+  EXPECT_LE(intersected.EstimatedFpr(), a.EstimatedFpr());
+  EXPECT_GE(unioned.EstimatedFpr(), a.EstimatedFpr());
 }
 
 TEST(BloomFilterTest, MinimumSizeClamped) {

@@ -4,18 +4,25 @@
 
 #include <set>
 
+#include "tests/testing/test_rng.h"
+
 namespace pushsip {
 namespace {
 
+using pushsip::testing::SeededRandom;
+using pushsip::testing::TestSeed;
+
 TEST(RandomTest, DeterministicForSameSeed) {
-  Random a(123), b(123);
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random a(TestSeed()), b(TestSeed());
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(a.NextUint64(), b.NextUint64());
   }
 }
 
 TEST(RandomTest, DifferentSeedsDiverge) {
-  Random a(1), b(2);
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random a(TestSeed()), b(TestSeed() + 1);
   int equal = 0;
   for (int i = 0; i < 100; ++i) {
     if (a.NextUint64() == b.NextUint64()) ++equal;
@@ -24,7 +31,8 @@ TEST(RandomTest, DifferentSeedsDiverge) {
 }
 
 TEST(RandomTest, UniformIntRespectsBounds) {
-  Random rng(7);
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom();
   for (int i = 0; i < 10000; ++i) {
     const int64_t v = rng.UniformInt(-5, 5);
     EXPECT_GE(v, -5);
@@ -33,20 +41,23 @@ TEST(RandomTest, UniformIntRespectsBounds) {
 }
 
 TEST(RandomTest, UniformIntDegenerateRange) {
-  Random rng(7);
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom();
   EXPECT_EQ(rng.UniformInt(3, 3), 3);
   EXPECT_EQ(rng.UniformInt(5, 1), 5);  // inverted range clamps to lo
 }
 
 TEST(RandomTest, UniformIntCoversRange) {
-  Random rng(11);
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom(1);
   std::set<int64_t> seen;
   for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
   EXPECT_EQ(seen.size(), 10u);
 }
 
 TEST(RandomTest, UniformDoubleInUnitInterval) {
-  Random rng(17);
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom(2);
   double sum = 0;
   for (int i = 0; i < 10000; ++i) {
     const double v = rng.UniformDouble();
@@ -58,7 +69,8 @@ TEST(RandomTest, UniformDoubleInUnitInterval) {
 }
 
 TEST(RandomTest, RandomStringShapeAndDeterminism) {
-  Random a(21), b(21);
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random a(TestSeed()), b(TestSeed());
   const std::string s1 = a.RandomString(16);
   const std::string s2 = b.RandomString(16);
   EXPECT_EQ(s1, s2);
@@ -70,7 +82,8 @@ TEST(RandomTest, RandomStringShapeAndDeterminism) {
 }
 
 TEST(RandomTest, BernoulliExtremes) {
-  Random rng(31);
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom(3);
   for (int i = 0; i < 100; ++i) {
     EXPECT_FALSE(rng.Bernoulli(0.0));
     EXPECT_TRUE(rng.Bernoulli(1.0));

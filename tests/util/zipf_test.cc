@@ -4,12 +4,18 @@
 
 #include <vector>
 
+#include "tests/testing/test_rng.h"
+
 namespace pushsip {
 namespace {
 
+using pushsip::testing::SeededRandom;
+using pushsip::testing::TestSeed;
+
 TEST(ZipfTest, SamplesWithinRange) {
+  PUSHSIP_SEED_TRACE(TestSeed());
   ZipfDistribution z(100, 0.5);
-  Random rng(1);
+  Random rng = SeededRandom();
   for (int i = 0; i < 10000; ++i) {
     const uint64_t v = z.Sample(rng);
     EXPECT_GE(v, 1u);
@@ -18,8 +24,9 @@ TEST(ZipfTest, SamplesWithinRange) {
 }
 
 TEST(ZipfTest, LowRanksMoreFrequent) {
+  PUSHSIP_SEED_TRACE(TestSeed());
   ZipfDistribution z(1000, 0.5);
-  Random rng(2);
+  Random rng = SeededRandom(1);
   std::vector<int> counts(1001, 0);
   for (int i = 0; i < 100000; ++i) ++counts[z.Sample(rng)];
   // With z = 0.5, rank 1 should beat rank 1000 by about sqrt(1000) ~ 31x.
@@ -32,8 +39,9 @@ TEST(ZipfTest, LowRanksMoreFrequent) {
 }
 
 TEST(ZipfTest, ZeroExponentIsUniform) {
+  PUSHSIP_SEED_TRACE(TestSeed());
   ZipfDistribution z(10, 0.0);
-  Random rng(3);
+  Random rng = SeededRandom(2);
   std::vector<int> counts(11, 0);
   const int n = 100000;
   for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
@@ -43,14 +51,16 @@ TEST(ZipfTest, ZeroExponentIsUniform) {
 }
 
 TEST(ZipfTest, DegenerateSizeOne) {
+  PUSHSIP_SEED_TRACE(TestSeed());
   ZipfDistribution z(0, 0.5);  // clamps to n = 1
-  Random rng(4);
+  Random rng = SeededRandom(3);
   EXPECT_EQ(z.n(), 1u);
   EXPECT_EQ(z.Sample(rng), 1u);
 }
 
 TEST(ZipfTest, HigherSkewConcentratesMore) {
-  Random rng1(5), rng2(5);
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng1 = SeededRandom(4), rng2 = SeededRandom(4);
   ZipfDistribution mild(100, 0.5), heavy(100, 1.5);
   int mild_head = 0, heavy_head = 0;
   for (int i = 0; i < 20000; ++i) {
