@@ -18,6 +18,10 @@ HarnessOptions ParseArgs(int argc, char** argv) {
       opts.repetitions = std::atoi(arg + 7);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       opts.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opts.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[++i];
     } else if (std::strcmp(arg, "--no-pacing") == 0) {
       opts.pace_every_rows = 0;
     } else if (std::strcmp(arg, "--paper-delays") == 0) {
@@ -53,7 +57,52 @@ CellStats Summarize(const std::vector<double>& xs) {
   return out;
 }
 
+// Minimal JSON string escaping (names here are ASCII identifiers).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
+
+bool WriteJsonReport(const std::string& path, const std::string& id,
+                     const std::string& title, const HarnessOptions& opts,
+                     const std::vector<JsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"title\": \"%s\",\n"
+               "  \"scale_factor\": %g,\n  \"repetitions\": %d,\n"
+               "  \"seed\": %llu,\n  \"cells\": [",
+               JsonEscape(id).c_str(), JsonEscape(title).c_str(),
+               opts.scale_factor, opts.repetitions,
+               static_cast<unsigned long long>(opts.seed));
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    std::fprintf(f, "%s\n    {\"query\": \"%s\", \"strategy\": \"%s\"",
+                 i == 0 ? "" : ",", JsonEscape(r.query).c_str(),
+                 JsonEscape(r.strategy).c_str());
+    if (r.sites > 0) std::fprintf(f, ", \"sites\": %d", r.sites);
+    std::fprintf(f,
+                 ", \"elapsed_sec\": %.6f, \"peak_state_mb\": %.6f,"
+                 " \"rows_pruned\": %lld, \"bytes_shipped\": %lld,"
+                 " \"metric_mean\": %.6f, \"metric_ci95\": %.6f}",
+                 r.elapsed_sec, r.peak_state_mb,
+                 static_cast<long long>(r.rows_pruned),
+                 static_cast<long long>(r.bytes_shipped), r.metric_mean,
+                 r.metric_ci95);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
 
 int RunFigure(const FigureSpec& spec, int argc, char** argv) {
   const HarnessOptions opts = ParseArgs(argc, argv);
@@ -84,7 +133,7 @@ int RunFigure(const FigureSpec& spec, int argc, char** argv) {
   for (const Strategy s : spec.strategies) {
     std::printf(" %16s", StrategyName(s));
   }
-  std::printf("    pruned(FF/CB)\n");
+  std::printf("    pruned(FF/CB)  shipped(MB)\n");
 
   std::string csv = "query";
   for (const Strategy s : spec.strategies) {
@@ -93,12 +142,14 @@ int RunFigure(const FigureSpec& spec, int argc, char** argv) {
   }
   csv += "\n";
 
+  std::vector<JsonRecord> records;
   uint64_t reference_hash = 0;
   for (const QueryId q : spec.queries) {
     std::printf("%-6s", QueryName(q));
     csv += QueryName(q);
     bool have_reference = false;
     int64_t ff_pruned = 0, cb_pruned = 0;
+    double shipped_mb = 0;
     for (const Strategy s : spec.strategies) {
       if (s == Strategy::kMagic && !QuerySupportsMagic(q)) {
         std::printf(" %16s", "-");
@@ -106,6 +157,9 @@ int RunFigure(const FigureSpec& spec, int argc, char** argv) {
         continue;
       }
       std::vector<double> samples;
+      JsonRecord record;
+      record.query = QueryName(q);
+      record.strategy = StrategyName(s);
       for (int rep = 0; rep < opts.repetitions; ++rep) {
         ExperimentConfig cfg;
         cfg.query = q;
@@ -137,9 +191,26 @@ int RunFigure(const FigureSpec& spec, int argc, char** argv) {
                               ? r->stats.elapsed_sec
                               : r->total_state_mb());
         if (s == Strategy::kFeedForward) ff_pruned = r->aip_pruned;
-        if (s == Strategy::kCostBased) cb_pruned = r->aip_pruned;
+        if (s == Strategy::kCostBased) {
+          cb_pruned = r->aip_pruned;
+          shipped_mb = r->stats.shipped_mb();
+        }
+        record.elapsed_sec += r->stats.elapsed_sec;
+        record.peak_state_mb += r->total_state_mb();
+        record.rows_pruned += r->aip_pruned;
+        record.bytes_shipped += r->stats.bytes_shipped;
       }
+      // Report per-repetition means; sums were accumulated above so the
+      // integer counters don't truncate rep by rep.
+      const int reps = std::max(1, opts.repetitions);
+      record.elapsed_sec /= reps;
+      record.peak_state_mb /= reps;
+      record.rows_pruned /= reps;
+      record.bytes_shipped /= reps;
       const CellStats cell = Summarize(samples);
+      record.metric_mean = cell.mean;
+      record.metric_ci95 = cell.ci95;
+      records.push_back(std::move(record));
       char buf[64];
       std::snprintf(buf, sizeof(buf), "%.3f±%.3f", cell.mean, cell.ci95);
       std::printf(" %16s", buf);
@@ -147,11 +218,15 @@ int RunFigure(const FigureSpec& spec, int argc, char** argv) {
       std::snprintf(num, sizeof(num), ",%.4f", cell.mean);
       csv += num;
     }
-    std::printf("    %lld/%lld\n", static_cast<long long>(ff_pruned),
-                static_cast<long long>(cb_pruned));
+    std::printf("    %lld/%lld  %.3f\n", static_cast<long long>(ff_pruned),
+                static_cast<long long>(cb_pruned), shipped_mb);
     csv += "\n";
   }
   std::printf("\n# CSV\n%s\n", csv.c_str());
+  if (!opts.json_path.empty() &&
+      !WriteJsonReport(opts.json_path, spec.id, spec.title, opts, records)) {
+    return 1;
+  }
   return 0;
 }
 

@@ -34,6 +34,10 @@ struct HarnessOptions {
   double scale_factor = 0.02;
   int repetitions = 3;
   uint64_t seed = 42;
+  /// When non-empty, a machine-readable JSON report is written here
+  /// (--json <path> or --json=<path>) alongside the printed tables — the
+  /// format the repo's BENCH_*.json perf trajectory ingests.
+  std::string json_path;
   /// Scaled-down delays keep the delayed figures quick by default; pass
   /// --paper-delays for the paper's 100 ms / 5 ms-per-1000 values.
   double initial_delay_ms = 50;
@@ -47,8 +51,27 @@ struct HarnessOptions {
   double pace_ms = 0.5;
 };
 
-/// Parses --sf=, --reps=, --seed=, --paper-delays from argv.
+/// Parses --sf=, --reps=, --seed=, --json, --paper-delays from argv.
 HarnessOptions ParseArgs(int argc, char** argv);
+
+/// One measured cell of a benchmark, as emitted to the JSON report.
+struct JsonRecord {
+  std::string query;
+  std::string strategy;
+  int sites = 0;  ///< 0 for single-site benchmarks
+  double elapsed_sec = 0;
+  double peak_state_mb = 0;
+  int64_t rows_pruned = 0;
+  int64_t bytes_shipped = 0;
+  double metric_mean = 0;
+  double metric_ci95 = 0;
+};
+
+/// Writes the JSON report. Returns false (with a message on stderr) when
+/// the file cannot be opened.
+bool WriteJsonReport(const std::string& path, const std::string& id,
+                     const std::string& title, const HarnessOptions& opts,
+                     const std::vector<JsonRecord>& records);
 
 /// Runs the figure and prints its table; returns a process exit code.
 int RunFigure(const FigureSpec& spec, int argc, char** argv);

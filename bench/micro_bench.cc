@@ -1,6 +1,9 @@
 // google-benchmark microbenchmarks for the performance-critical primitives:
 // Bloom filter build/probe, AIP-set probing through the filter interface,
 // symmetric hash join throughput, and Zipf sampling.
+#include <cstring>
+#include <string>
+
 #include <benchmark/benchmark.h>
 
 #include "exec/hash_join.h"
@@ -122,4 +125,33 @@ BENCHMARK(BM_TpchGenerate);
 }  // namespace
 }  // namespace pushsip
 
-BENCHMARK_MAIN();
+// Custom main: `--json <path>` (or --json=<path>) is translated into
+// google-benchmark's JSON reporter flags, so the micro benches emit the
+// same machine-readable trajectory format as the figure harness.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  for (size_t i = 1; i < args.size(); ++i) {
+    const char* arg = args[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      out_flag = std::string("--benchmark_out=") + (arg + 7);
+      args.erase(args.begin() + static_cast<ptrdiff_t>(i));
+      --i;  // re-examine the argument that shifted into this slot
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < args.size()) {
+      out_flag = std::string("--benchmark_out=") + args[i + 1];
+      args.erase(args.begin() + static_cast<ptrdiff_t>(i),
+                 args.begin() + static_cast<ptrdiff_t>(i) + 2);
+      --i;
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Multi-site execution walkthrough: TPC-H Q17 partitioned across three
+// simulated sites. LINEITEM is sharded round-robin; each site re-shuffles
+// its shard by l_partkey (hash exchange), the filtered PART keys are
+// broadcast, every site runs the Q17 block over its key range, and site 0
+// combines the partial sums.
+//
+// With cost-based AIP, each site's AIP Manager serializes the Bloom filter
+// of the completed PART side and ships it across the mesh to the LINEITEM
+// scans — tuples of parts that cannot join are pruned *before* the wire,
+// the distributed generalization of the adaptive Bloomjoin.
+#include <cstdio>
+
+#include "dist/scale_out.h"
+#include "storage/tpch_generator.h"
+
+using namespace pushsip;
+
+int main() {
+  TpchConfig gen;
+  gen.scale_factor = 0.01;
+  auto catalog = MakeTpchCatalog(gen);
+
+  std::printf("TPC-H Q17 on 3 sites (LINEITEM sharded, 1 Gb/s mesh)\n\n");
+  std::printf("%-10s %10s %10s %12s %12s %10s\n", "strategy", "rows",
+              "time(ms)", "shipped(KB)", "pruned@src", "AIP sets");
+  for (const bool aip : {false, true}) {
+    ScaleOutOptions opts;
+    opts.num_sites = 3;
+    opts.aip = aip;
+    opts.weak_part_filter = true;  // keep results non-empty at small scale
+    auto query = BuildScaleOutQuery(ScaleOutQuery::kQ17, catalog, opts);
+    query.status().CheckOK();
+    auto stats = (*query)->Run();
+    stats.status().CheckOK();
+    std::printf("%-10s %10lld %10.1f %12.1f %12lld %10lld\n",
+                aip ? "cb-AIP" : "baseline",
+                static_cast<long long>(stats->result_rows),
+                stats->elapsed_sec * 1e3,
+                static_cast<double>(stats->bytes_shipped) / 1024.0,
+                static_cast<long long>(stats->rows_source_pruned),
+                static_cast<long long>(stats->aip_sets));
+    if (aip) {
+      for (const Tuple& row : (*query)->root_sink->rows()) {
+        std::printf("\nresult: avg_yearly = %s\n", row.ToString().c_str());
+      }
+    }
+  }
+  std::printf(
+      "\nThe shipped Bloom filters cut the bytes crossing the mesh: only\n"
+      "lineitem rows whose part survives the filter are shuffled at all.\n");
+  return 0;
+}

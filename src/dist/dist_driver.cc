@@ -1,0 +1,74 @@
+#include "dist/dist_driver.h"
+
+#include <thread>
+
+#include "util/stopwatch.h"
+
+namespace pushsip {
+
+Result<DistQueryStats> DistributedQuery::Run() {
+  if (root_sink == nullptr) {
+    return Status::InvalidArgument("distributed query has no root sink");
+  }
+  if (sites.empty()) return Status::InvalidArgument("no sites");
+
+  const auto cancel_all = [this] {
+    for (auto& site : sites) site->context().Cancel();
+    for (auto& channel : channels) channel->Cancel();
+  };
+
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (auto& site : sites) {
+    for (SourceOperator* source : site->AllSources()) {
+      threads.emplace_back([&, source] {
+        const Status st = source->Run();
+        if (!st.ok() && st.code() != StatusCode::kCancelled) {
+          site->context().SetError(st);
+          // A failed fragment starves every site downstream of it; stop the
+          // whole query rather than hang.
+          cancel_all();
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  for (auto& site : sites) {
+    const Status err = site->context().GetError();
+    if (!err.ok()) return err;
+  }
+  if (!root_sink->finished()) {
+    return Status::Internal(
+        "root sink did not finish although all fragments completed");
+  }
+
+  DistQueryStats stats;
+  stats.elapsed_sec = timer.ElapsedSeconds();
+  stats.result_rows = root_sink->num_rows();
+  for (auto& site : sites) {
+    ExecContext& ctx = site->context();
+    stats.peak_state_bytes += ctx.state_tracker().peak_bytes();
+    for (Operator* op : ctx.operators()) {
+      for (int p = 0; p < op->num_inputs(); ++p) {
+        stats.rows_pruned += op->rows_pruned(p);
+      }
+      if (auto* scan = dynamic_cast<TableScan*>(op)) {
+        stats.rows_source_pruned += scan->rows_source_pruned();
+      }
+    }
+    for (const auto& manager : site->aip_managers()) {
+      stats.aip_sets += manager->sets_built();
+      stats.aip_filters += manager->filters_attached();
+      stats.aip_ship_seconds += manager->ship_seconds();
+    }
+  }
+  if (mesh != nullptr) {
+    const LinkUsage usage = mesh->TotalUsage();
+    stats.bytes_shipped = usage.bytes;
+    stats.link_seconds = usage.seconds;
+  }
+  return stats;
+}
+
+}  // namespace pushsip

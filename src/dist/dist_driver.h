@@ -1,0 +1,60 @@
+// MultiSiteDriver: runs every fragment of a distributed query — one
+// producer thread per source operator across all sites, Tukwila-style —
+// and aggregates the per-site statistics into one DistQueryStats.
+#ifndef PUSHSIP_DIST_DIST_DRIVER_H_
+#define PUSHSIP_DIST_DIST_DRIVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "dist/site_engine.h"
+#include "exec/driver.h"
+
+namespace pushsip {
+
+/// Measurements of one distributed query execution.
+struct DistQueryStats {
+  double elapsed_sec = 0;
+  int64_t result_rows = 0;
+  /// Summed per-site peaks of buffered operator state.
+  int64_t peak_state_bytes = 0;
+  /// Tuples pruned by port filters across all sites.
+  int64_t rows_pruned = 0;
+  /// Tuples pruned at scans (including by remotely shipped AIP filters) —
+  /// these never crossed a link.
+  int64_t rows_source_pruned = 0;
+  /// Bytes that crossed the mesh (batches and shipped filters).
+  int64_t bytes_shipped = 0;
+  /// Simulated seconds the mesh links spent transmitting.
+  double link_seconds = 0;
+  // AIP bookkeeping, summed over all sites' managers.
+  int64_t aip_sets = 0;
+  int64_t aip_filters = 0;
+  double aip_ship_seconds = 0;
+
+  double shipped_mb() const {
+    return static_cast<double>(bytes_shipped) / (1024.0 * 1024.0);
+  }
+  double peak_state_mb() const {
+    return static_cast<double>(peak_state_bytes) / (1024.0 * 1024.0);
+  }
+};
+
+/// \brief A fully assembled distributed query, ready to run.
+///
+/// Owns the sites, their fragments, the mesh, and the exchange channels;
+/// the root fragment's Sink holds the result after Run().
+struct DistributedQuery {
+  std::vector<std::unique_ptr<SiteEngine>> sites;
+  std::unique_ptr<SiteMesh> mesh;
+  std::vector<std::shared_ptr<ExchangeChannel>> channels;
+  Sink* root_sink = nullptr;
+
+  /// Runs all fragments to completion. On any fragment error every site is
+  /// cancelled and every channel unblocked before the error is returned.
+  Result<DistQueryStats> Run();
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_DIST_DIST_DRIVER_H_

@@ -1,0 +1,127 @@
+#include "dist/exchange.h"
+
+#include "net/wire_format.h"
+
+namespace pushsip {
+
+const char* ExchangeModeName(ExchangeMode mode) {
+  switch (mode) {
+    case ExchangeMode::kForward: return "forward";
+    case ExchangeMode::kBroadcast: return "broadcast";
+    case ExchangeMode::kHashPartition: return "hash";
+  }
+  return "?";
+}
+
+bool ExchangeChannel::SendBatch(std::string bytes) {
+  const int64_t payload = static_cast<int64_t>(bytes.size());
+  std::unique_lock<std::mutex> lock(mu_);
+  can_send_.wait(lock,
+                 [this] { return cancelled_ || queue_.size() < capacity_; });
+  if (cancelled_) return false;
+  queue_.push_back(std::move(bytes));
+  messages_sent_.fetch_add(1);
+  payload_bytes_.fetch_add(payload);
+  can_recv_.notify_one();
+  return true;
+}
+
+void ExchangeChannel::SendFinish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++finished_senders_;
+  can_recv_.notify_all();
+}
+
+bool ExchangeChannel::Receive(std::string* bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_recv_.wait(lock, [this] {
+    return cancelled_ || !queue_.empty() || finished_senders_ >= num_senders_;
+  });
+  if (cancelled_ || queue_.empty()) return false;
+  *bytes = std::move(queue_.front());
+  queue_.pop_front();
+  can_send_.notify_one();
+  return true;
+}
+
+void ExchangeChannel::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+  can_send_.notify_all();
+  can_recv_.notify_all();
+}
+
+ExchangeSender::ExchangeSender(ExecContext* ctx, std::string name,
+                               Schema schema, ExchangeMode mode,
+                               std::vector<int> hash_cols,
+                               std::vector<ExchangeDestination> destinations)
+    : Operator(ctx, std::move(name), /*num_inputs=*/1, std::move(schema)),
+      mode_(mode),
+      hash_cols_(std::move(hash_cols)),
+      destinations_(std::move(destinations)) {
+  PUSHSIP_DCHECK(!destinations_.empty());
+  PUSHSIP_DCHECK(mode_ != ExchangeMode::kForward ||
+                 destinations_.size() == 1);
+  PUSHSIP_DCHECK(mode_ != ExchangeMode::kHashPartition ||
+                 !hash_cols_.empty());
+}
+
+Status ExchangeSender::Send(const ExchangeDestination& dest,
+                            const Batch& batch) {
+  if (batch.empty()) return Status::OK();
+  std::string bytes = SerializeBatch(batch);
+  bytes_sent_.fetch_add(static_cast<int64_t>(bytes.size()));
+  batches_sent_.fetch_add(1);
+  // The link is charged before enqueueing — transfer time blocks this
+  // producer thread, not the receiver.
+  if (dest.link != nullptr) dest.link->Transmit(bytes.size());
+  if (!dest.channel->SendBatch(std::move(bytes))) {
+    return Status::Cancelled("exchange channel cancelled");
+  }
+  return Status::OK();
+}
+
+Status ExchangeSender::DoPush(int, Batch&& batch) {
+  switch (mode_) {
+    case ExchangeMode::kForward:
+      return Send(destinations_[0], batch);
+    case ExchangeMode::kBroadcast: {
+      for (const auto& dest : destinations_) {
+        PUSHSIP_RETURN_NOT_OK(Send(dest, batch));
+      }
+      return Status::OK();
+    }
+    case ExchangeMode::kHashPartition: {
+      std::vector<Batch> parts(destinations_.size());
+      for (Tuple& row : batch.rows) {
+        const size_t dest = static_cast<size_t>(
+            row.HashColumns(hash_cols_) % destinations_.size());
+        parts[dest].rows.push_back(std::move(row));
+      }
+      for (size_t i = 0; i < destinations_.size(); ++i) {
+        PUSHSIP_RETURN_NOT_OK(Send(destinations_[i], parts[i]));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown exchange mode");
+}
+
+Status ExchangeSender::DoFinish(int) {
+  for (const auto& dest : destinations_) dest.channel->SendFinish();
+  return Status::OK();
+}
+
+Status ExchangeReceiver::Run() {
+  std::string bytes;
+  while (channel_->Receive(&bytes)) {
+    if (ShouldStop()) return Status::Cancelled("query cancelled");
+    PUSHSIP_ASSIGN_OR_RETURN(Batch batch, DeserializeBatch(bytes));
+    batches_received_.fetch_add(1);
+    PUSHSIP_RETURN_NOT_OK(Emit(std::move(batch)));
+  }
+  if (ShouldStop()) return Status::Cancelled("query cancelled");
+  return EmitFinish();
+}
+
+}  // namespace pushsip

@@ -1,0 +1,136 @@
+// Exchange operators: the cut points of a fragmented plan. An
+// ExchangeSender terminates a fragment, serializes every batch, moves the
+// bytes across a SimLink, and enqueues them on one or more channels; the
+// paired ExchangeReceiver is a source operator of the consuming fragment
+// that deserializes and re-emits the stream on its own site's thread.
+//
+// Modes (Carnot/Exchange-style):
+//   * kForward    — one channel, the whole stream (site-boundary cut)
+//   * kBroadcast  — every batch to every channel (replicate small inputs)
+//   * kHashPartition — rows routed by key hash (co-partitioned joins/aggs)
+#ifndef PUSHSIP_DIST_EXCHANGE_H_
+#define PUSHSIP_DIST_EXCHANGE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/source.h"
+#include "net/sim_link.h"
+
+namespace pushsip {
+
+/// \brief A bounded MPSC queue of serialized batches feeding one receiver.
+///
+/// Senders block for queue capacity (backpressure); the simulated links are
+/// charged by the senders before enqueueing, since each producing site
+/// reaches the channel over its own link.
+class ExchangeChannel {
+ public:
+  explicit ExchangeChannel(size_t capacity = 64)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Declares how many ExchangeSenders feed this channel; the receiver sees
+  /// end-of-stream after that many SendFinish calls. Must be set before the
+  /// query runs.
+  void set_num_senders(int n) { num_senders_ = n; }
+  int num_senders() const { return num_senders_; }
+
+  /// Enqueues one serialized batch. Returns false if the channel was
+  /// cancelled while blocked on capacity.
+  bool SendBatch(std::string bytes);
+
+  /// Signals that one sender's stream is complete.
+  void SendFinish();
+
+  /// Dequeues the next message into `bytes`. Returns false at end of
+  /// stream (all senders finished and the queue is drained) or after
+  /// cancellation.
+  bool Receive(std::string* bytes);
+
+  /// Unblocks all senders and receivers; subsequent operations fail fast.
+  void Cancel();
+
+  int64_t messages_sent() const { return messages_sent_.load(); }
+  int64_t payload_bytes() const { return payload_bytes_.load(); }
+
+ private:
+  const size_t capacity_;
+  int num_senders_ = 1;
+
+  std::mutex mu_;
+  std::condition_variable can_send_;
+  std::condition_variable can_recv_;
+  std::deque<std::string> queue_;
+  int finished_senders_ = 0;
+  bool cancelled_ = false;
+  std::atomic<int64_t> messages_sent_{0};
+  std::atomic<int64_t> payload_bytes_{0};
+};
+
+/// Routing policy of an ExchangeSender.
+enum class ExchangeMode {
+  kForward,        ///< single channel
+  kBroadcast,      ///< all channels get every batch
+  kHashPartition,  ///< channel = hash(key columns) % num channels
+};
+
+const char* ExchangeModeName(ExchangeMode mode);
+
+/// One outgoing edge of an ExchangeSender: the queue it feeds and the link
+/// the bytes cross to reach it (nullptr for a site-local loopback).
+struct ExchangeDestination {
+  std::shared_ptr<ExchangeChannel> channel;
+  std::shared_ptr<SimLink> link;
+};
+
+/// \brief Terminal operator of a producing fragment.
+class ExchangeSender : public Operator {
+ public:
+  /// `hash_cols` index `schema`; required (non-empty) for kHashPartition.
+  ExchangeSender(ExecContext* ctx, std::string name, Schema schema,
+                 ExchangeMode mode, std::vector<int> hash_cols,
+                 std::vector<ExchangeDestination> destinations);
+
+  ExchangeMode mode() const { return mode_; }
+  int64_t bytes_sent() const { return bytes_sent_.load(); }
+  int64_t batches_sent() const { return batches_sent_.load(); }
+
+ protected:
+  Status DoPush(int port, Batch&& batch) override;
+  Status DoFinish(int port) override;
+
+ private:
+  Status Send(const ExchangeDestination& dest, const Batch& batch);
+
+  ExchangeMode mode_;
+  std::vector<int> hash_cols_;
+  std::vector<ExchangeDestination> destinations_;
+  std::atomic<int64_t> bytes_sent_{0};
+  std::atomic<int64_t> batches_sent_{0};
+};
+
+/// \brief Source operator of a consuming fragment: drains one channel.
+class ExchangeReceiver : public SourceOperator {
+ public:
+  ExchangeReceiver(ExecContext* ctx, std::string name, Schema schema,
+                   std::shared_ptr<ExchangeChannel> channel)
+      : SourceOperator(ctx, std::move(name), std::move(schema)),
+        channel_(std::move(channel)) {}
+
+  /// Dequeues, deserializes, and pushes batches until end of stream.
+  Status Run() override;
+
+  int64_t batches_received() const { return batches_received_.load(); }
+
+ private:
+  std::shared_ptr<ExchangeChannel> channel_;
+  std::atomic<int64_t> batches_received_{0};
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_DIST_EXCHANGE_H_

@@ -1,0 +1,247 @@
+#include "dist/plan_fragmenter.h"
+
+namespace pushsip {
+
+LogicalPlan::NodeId LogicalPlan::Add(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+LogicalPlan::NodeId LogicalPlan::Scan(std::string table, std::string alias,
+                                      ScanOptions options) {
+  Node n;
+  n.kind = Node::Kind::kScan;
+  n.table = std::move(table);
+  n.alias = std::move(alias);
+  n.scan_options = std::move(options);
+  return Add(std::move(n));
+}
+
+LogicalPlan::NodeId LogicalPlan::Filter(NodeId input, PredicateFn predicate,
+                                        double selectivity) {
+  Node n;
+  n.kind = Node::Kind::kFilter;
+  n.children = {input};
+  n.predicate = std::move(predicate);
+  n.selectivity = selectivity;
+  return Add(std::move(n));
+}
+
+LogicalPlan::NodeId LogicalPlan::Project(NodeId input,
+                                         std::vector<std::string> cols) {
+  Node n;
+  n.kind = Node::Kind::kProject;
+  n.children = {input};
+  n.cols = std::move(cols);
+  return Add(std::move(n));
+}
+
+LogicalPlan::NodeId LogicalPlan::Join(
+    NodeId left, NodeId right,
+    std::vector<std::pair<std::string, std::string>> eq_cols,
+    PredicateFn residual, double residual_sel) {
+  Node n;
+  n.kind = Node::Kind::kJoin;
+  n.children = {left, right};
+  n.eq_cols = std::move(eq_cols);
+  n.predicate = std::move(residual);
+  n.selectivity = residual_sel;
+  return Add(std::move(n));
+}
+
+LogicalPlan::NodeId LogicalPlan::Aggregate(NodeId input,
+                                           std::vector<std::string> group_cols,
+                                           std::vector<AggDesc> aggs) {
+  Node n;
+  n.kind = Node::Kind::kAggregate;
+  n.children = {input};
+  n.group_cols = std::move(group_cols);
+  n.aggs = std::move(aggs);
+  return Add(std::move(n));
+}
+
+LogicalPlan::NodeId LogicalPlan::Distinct(NodeId input) {
+  Node n;
+  n.kind = Node::Kind::kDistinct;
+  n.children = {input};
+  return Add(std::move(n));
+}
+
+PlanFragmenter::PlanFragmenter(
+    std::vector<std::shared_ptr<Catalog>> site_catalogs, double bandwidth_bps,
+    double latency_ms, int coordinator)
+    : catalogs_(std::move(site_catalogs)),
+      bandwidth_bps_(bandwidth_bps),
+      latency_ms_(latency_ms),
+      coordinator_(coordinator) {}
+
+struct PlanFragmenter::BuildState {
+  const LogicalPlan* plan = nullptr;
+  const FragmenterOptions* options = nullptr;
+  DistributedQuery* query = nullptr;
+  std::vector<int> site_of;  // per logical node
+  int next_instance = 0;
+};
+
+Result<int> PlanFragmenter::AssignSite(const LogicalPlan& plan,
+                                       LogicalPlan::NodeId id,
+                                       std::vector<int>* site_of) const {
+  const LogicalPlan::Node& n = plan.nodes()[static_cast<size_t>(id)];
+  int site;
+  if (n.kind == LogicalPlan::Node::Kind::kScan) {
+    site = -1;
+    for (size_t s = 0; s < catalogs_.size(); ++s) {
+      if (catalogs_[s]->HasTable(n.table)) {
+        site = static_cast<int>(s);
+        break;
+      }
+    }
+    if (site < 0) {
+      return Status::NotFound("no site hosts table " + n.table);
+    }
+  } else {
+    site = 0;
+    for (size_t c = 0; c < n.children.size(); ++c) {
+      PUSHSIP_ASSIGN_OR_RETURN(const int child_site,
+                               AssignSite(plan, n.children[c], site_of));
+      // A join executes where its left (build-order-first) input lives; the
+      // other side ships.
+      if (c == 0) site = child_site;
+    }
+  }
+  (*site_of)[static_cast<size_t>(id)] = site;
+  return site;
+}
+
+Result<PlanBuilder::NodeId> PlanFragmenter::BuildInto(BuildState* state,
+                                                      LogicalPlan::NodeId id,
+                                                      int site,
+                                                      PlanBuilder* b) {
+  const LogicalPlan::Node& n =
+      state->plan->nodes()[static_cast<size_t>(id)];
+  const int home = state->site_of[static_cast<size_t>(id)];
+  if (home != site) {
+    // Site boundary: the subtree rooted here becomes its own fragment at
+    // `home`, terminated by a forward exchange to `site`.
+    SiteEngine& producer = *state->query->sites[static_cast<size_t>(home)];
+    PlanBuilder& pb = producer.NewFragment();
+    PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId sub,
+                             BuildInto(state, id, home, &pb));
+    const Schema schema = pb.schema(sub);
+
+    auto channel = std::make_shared<ExchangeChannel>(
+        state->options->channel_capacity);
+    channel->set_num_senders(1);
+    state->query->channels.push_back(channel);
+
+    auto sender = std::make_unique<ExchangeSender>(
+        &producer.context(), "xsend_s" + std::to_string(home), schema,
+        ExchangeMode::kForward, std::vector<int>{},
+        std::vector<ExchangeDestination>{
+            {channel, state->query->mesh->link(home, site)}});
+    PUSHSIP_RETURN_NOT_OK(pb.FinishWith(sub, std::move(sender)));
+
+    auto receiver = std::make_unique<ExchangeReceiver>(
+        b->context(), "xrecv_s" + std::to_string(home), schema, channel);
+    // Filters built at the consumer ship back over the reverse link and
+    // attach inside the producing fragment.
+    RemoteFilterShipFn shipper = MakeFilterShipper(
+        {{&producer, state->query->mesh->link(site, home)}});
+    return b->Source(std::move(receiver), pb.estimated_rows(sub),
+                     pb.estimated_ndv(sub), std::move(shipper));
+  }
+
+  switch (n.kind) {
+    case LogicalPlan::Node::Kind::kScan: {
+      PUSHSIP_ASSIGN_OR_RETURN(TablePtr table,
+                               b->catalog()->GetTable(n.table));
+      return b->ScanShard(
+          n.table, MakeInstanceSchema(*table, n.alias, state->next_instance++),
+          n.scan_options);
+    }
+    case LogicalPlan::Node::Kind::kFilter: {
+      PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId in,
+                               BuildInto(state, n.children[0], site, b));
+      PUSHSIP_ASSIGN_OR_RETURN(ExprPtr pred, n.predicate(b->schema(in)));
+      return b->Filter(in, std::move(pred), n.selectivity);
+    }
+    case LogicalPlan::Node::Kind::kProject: {
+      PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId in,
+                               BuildInto(state, n.children[0], site, b));
+      return b->Project(in, n.cols);
+    }
+    case LogicalPlan::Node::Kind::kJoin: {
+      PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId l,
+                               BuildInto(state, n.children[0], site, b));
+      PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId r,
+                               BuildInto(state, n.children[1], site, b));
+      ExprPtr residual;
+      if (n.predicate) {
+        PUSHSIP_ASSIGN_OR_RETURN(residual,
+                                 n.predicate(b->ConcatSchema(l, r)));
+      }
+      return b->Join(l, r, n.eq_cols, std::move(residual), n.selectivity);
+    }
+    case LogicalPlan::Node::Kind::kAggregate: {
+      PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId in,
+                               BuildInto(state, n.children[0], site, b));
+      return b->Aggregate(in, n.group_cols, n.aggs);
+    }
+    case LogicalPlan::Node::Kind::kDistinct: {
+      PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId in,
+                               BuildInto(state, n.children[0], site, b));
+      return b->Distinct(in);
+    }
+  }
+  return Status::Internal("unknown logical node kind");
+}
+
+Result<std::unique_ptr<DistributedQuery>> PlanFragmenter::Fragment(
+    const LogicalPlan& plan, LogicalPlan::NodeId root,
+    const FragmenterOptions& options) {
+  if (catalogs_.empty()) return Status::InvalidArgument("no site catalogs");
+  if (root < 0 || root >= static_cast<int>(plan.nodes().size())) {
+    return Status::InvalidArgument("bad logical root");
+  }
+  if (coordinator_ < 0 ||
+      coordinator_ >= static_cast<int>(catalogs_.size())) {
+    return Status::InvalidArgument("bad coordinator site");
+  }
+
+  auto query = std::make_unique<DistributedQuery>();
+  query->mesh = std::make_unique<SiteMesh>(
+      static_cast<int>(catalogs_.size()), bandwidth_bps_, latency_ms_);
+  for (size_t s = 0; s < catalogs_.size(); ++s) {
+    query->sites.push_back(std::make_unique<SiteEngine>(
+        static_cast<int>(s), "site" + std::to_string(s), catalogs_[s]));
+    query->sites.back()->context().set_batch_size(options.batch_size);
+  }
+
+  BuildState state;
+  state.plan = &plan;
+  state.options = &options;
+  state.query = query.get();
+  state.site_of.assign(plan.nodes().size(), 0);
+  PUSHSIP_RETURN_NOT_OK(AssignSite(plan, root, &state.site_of).status());
+
+  // The final Sink lives at the coordinator; BuildInto inserts the root's
+  // forward exchange automatically when it executes elsewhere.
+  SiteEngine& coord = *query->sites[static_cast<size_t>(coordinator_)];
+  PlanBuilder& rb = coord.NewFragment();
+  PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId root_id,
+                           BuildInto(&state, root, coordinator_, &rb));
+  PUSHSIP_RETURN_NOT_OK(rb.Finish(root_id));
+  query->root_sink = rb.sink();
+
+  if (options.install_aip) {
+    for (auto& site : query->sites) {
+      for (size_t f = 0; f < site->fragments().size(); ++f) {
+        PUSHSIP_RETURN_NOT_OK(
+            site->InstallAip(f, options.aip, options.cost));
+      }
+    }
+  }
+  return query;
+}
+
+}  // namespace pushsip

@@ -1,0 +1,108 @@
+// PlanFragmenter: cuts a site-annotated logical plan into per-site
+// fragments connected by forward exchanges.
+//
+// Site assignment is bottom-up: a scan runs at the site owning its table,
+// a unary operator runs where its input is produced, a join runs where its
+// left input is produced. Wherever a consumer's site differs from its
+// producer's, the producer subtree becomes its own fragment terminated by
+// an ExchangeSender, and the consumer reads an ExchangeReceiver instead —
+// so a filter over a remote table executes *at the remote site*, and a
+// join of two co-located tables ships its result, not its inputs. Every
+// receiver port is wired with a RemoteFilterShipFn, so cost-based AIP can
+// push Bloom filters across any fragment boundary, not just leaf scans.
+#ifndef PUSHSIP_DIST_PLAN_FRAGMENTER_H_
+#define PUSHSIP_DIST_PLAN_FRAGMENTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/dist_driver.h"
+
+namespace pushsip {
+
+/// Builds a predicate once the schema at its attach point is known (column
+/// indexes differ between the single-site and fragmented materializations).
+using PredicateFn = std::function<Result<ExprPtr>(const Schema&)>;
+
+/// \brief A site-independent query description the fragmenter materializes.
+class LogicalPlan {
+ public:
+  using NodeId = int;
+
+  NodeId Scan(std::string table, std::string alias, ScanOptions options = {});
+  NodeId Filter(NodeId input, PredicateFn predicate, double selectivity);
+  NodeId Project(NodeId input, std::vector<std::string> cols);
+  NodeId Join(NodeId left, NodeId right,
+              std::vector<std::pair<std::string, std::string>> eq_cols,
+              PredicateFn residual = nullptr, double residual_sel = 1.0);
+  NodeId Aggregate(NodeId input, std::vector<std::string> group_cols,
+                   std::vector<AggDesc> aggs);
+  NodeId Distinct(NodeId input);
+
+  struct Node {
+    enum class Kind { kScan, kFilter, kProject, kJoin, kAggregate, kDistinct };
+    Kind kind = Kind::kScan;
+    std::vector<NodeId> children;
+    std::string table, alias;   // kScan
+    ScanOptions scan_options;   // kScan
+    PredicateFn predicate;      // kFilter predicate / kJoin residual
+    double selectivity = 1.0;
+    std::vector<std::string> cols;        // kProject
+    std::vector<std::pair<std::string, std::string>> eq_cols;  // kJoin
+    std::vector<std::string> group_cols;  // kAggregate
+    std::vector<AggDesc> aggs;            // kAggregate
+  };
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
+  NodeId Add(Node node);
+  std::vector<Node> nodes_;
+};
+
+/// Tuning knobs for fragmentation.
+struct FragmenterOptions {
+  size_t channel_capacity = 64;
+  size_t batch_size = 1024;
+  /// Install a cost-based AIP Manager over every fragment.
+  bool install_aip = false;
+  AipOptions aip;
+  CostConstants cost;
+};
+
+/// \brief Materializes logical plans over a set of site catalogs.
+class PlanFragmenter {
+ public:
+  /// One SiteEngine is created per catalog; `coordinator` is the site the
+  /// final Sink (and any cross-site root) is placed on.
+  PlanFragmenter(std::vector<std::shared_ptr<Catalog>> site_catalogs,
+                 double bandwidth_bps, double latency_ms,
+                 int coordinator = 0);
+
+  /// Cuts `plan` (rooted at `root`) into fragments and assembles the
+  /// runnable DistributedQuery.
+  Result<std::unique_ptr<DistributedQuery>> Fragment(
+      const LogicalPlan& plan, LogicalPlan::NodeId root,
+      const FragmenterOptions& options = {});
+
+ private:
+  struct BuildState;
+
+  /// Site a logical node naturally executes at.
+  Result<int> AssignSite(const LogicalPlan& plan, LogicalPlan::NodeId id,
+                         std::vector<int>* site_of) const;
+  Result<PlanBuilder::NodeId> BuildInto(BuildState* state,
+                                        LogicalPlan::NodeId id, int site,
+                                        PlanBuilder* b);
+
+  std::vector<std::shared_ptr<Catalog>> catalogs_;
+  double bandwidth_bps_;
+  double latency_ms_;
+  int coordinator_;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_DIST_PLAN_FRAGMENTER_H_

@@ -1,0 +1,568 @@
+#include "dist/scale_out.h"
+
+#include <algorithm>
+
+namespace pushsip {
+
+const char* ScaleOutQueryName(ScaleOutQuery query) {
+  switch (query) {
+    case ScaleOutQuery::kQ17: return "Q17-scaleout";
+    case ScaleOutQuery::kSubquery: return "subquery-scaleout";
+  }
+  return "?";
+}
+
+std::vector<std::shared_ptr<Catalog>> PartitionCatalog(
+    const Catalog& full, const std::vector<std::string>& shard_tables,
+    int num_sites) {
+  std::vector<std::shared_ptr<Catalog>> catalogs;
+  for (int s = 0; s < num_sites; ++s) {
+    catalogs.push_back(std::make_shared<Catalog>());
+  }
+  for (const std::string& name : full.TableNames()) {
+    const TablePtr table = *full.GetTable(name);
+    const bool sharded =
+        std::find(shard_tables.begin(), shard_tables.end(), name) !=
+        shard_tables.end();
+    if (!sharded || num_sites == 1) {
+      catalogs[0]->RegisterTable(table).CheckOK();
+      continue;
+    }
+    std::vector<TablePtr> shards;
+    for (int s = 0; s < num_sites; ++s) {
+      auto shard = std::make_shared<Table>(name, table->schema());
+      shard->Reserve(table->num_rows() / static_cast<size_t>(num_sites) + 1);
+      shard->SetPrimaryKey(table->primary_key());
+      for (const Table::ForeignKey& fk : table->foreign_keys()) {
+        shard->AddForeignKey(fk.col, fk.ref_table, fk.ref_col);
+      }
+      shards.push_back(std::move(shard));
+    }
+    size_t i = 0;
+    for (const Tuple& row : table->rows()) {
+      shards[i++ % static_cast<size_t>(num_sites)]->AppendRow(row);
+    }
+    for (int s = 0; s < num_sites; ++s) {
+      shards[static_cast<size_t>(s)]->ComputeStats();
+      catalogs[static_cast<size_t>(s)]
+          ->RegisterTable(shards[static_cast<size_t>(s)])
+          .CheckOK();
+    }
+  }
+  return catalogs;
+}
+
+namespace {
+
+using NodeId = PlanBuilder::NodeId;
+
+/// Shared assembly context for one scale-out build.
+struct Assembly {
+  DistributedQuery* q = nullptr;
+  const ScaleOutOptions* opts = nullptr;
+  int sites = 0;
+
+  SiteEngine& site(int i) { return *q->sites[static_cast<size_t>(i)]; }
+  std::shared_ptr<SimLink> link(int from, int to) {
+    return q->mesh->link(from, to);
+  }
+
+  /// One channel per site, each to be fed by `senders` senders.
+  std::vector<std::shared_ptr<ExchangeChannel>> ChannelPerSite(int senders) {
+    std::vector<std::shared_ptr<ExchangeChannel>> channels;
+    for (int i = 0; i < sites; ++i) {
+      channels.push_back(OneChannel(senders));
+    }
+    return channels;
+  }
+
+  /// A single channel fed by `senders` senders (coordinator-side merges).
+  std::shared_ptr<ExchangeChannel> OneChannel(int senders) {
+    auto ch = std::make_shared<ExchangeChannel>(opts->channel_capacity);
+    ch->set_num_senders(senders);
+    q->channels.push_back(ch);
+    return ch;
+  }
+
+  /// Destinations of a sender at `from`, one per site, over mesh links.
+  std::vector<ExchangeDestination> FanOut(
+      int from, const std::vector<std::shared_ptr<ExchangeChannel>>& chans) {
+    std::vector<ExchangeDestination> dests;
+    for (int to = 0; to < sites; ++to) {
+      dests.push_back({chans[static_cast<size_t>(to)], link(from, to)});
+    }
+    return dests;
+  }
+
+  /// A shipper delivering AIP filters from consumer site `at` to every
+  /// site (the producers of a hash/broadcast shuffle).
+  RemoteFilterShipFn ShipToAllSites(int at) {
+    std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>> producers;
+    for (int to = 0; to < sites; ++to) {
+      producers.emplace_back(&site(to), link(at, to));
+    }
+    return MakeFilterShipper(std::move(producers));
+  }
+
+  /// Registers an ExchangeReceiver leaf in `pb` (hosted at site `at`).
+  /// `partitioned` marks hash-shuffle inputs: state built from them is
+  /// site-local and must not be shipped to other sites' scans.
+  Result<NodeId> Receiver(PlanBuilder& pb, const std::string& name,
+                          const Schema& schema,
+                          const std::shared_ptr<ExchangeChannel>& channel,
+                          double est_rows,
+                          std::unordered_map<AttrId, double> ndv,
+                          RemoteFilterShipFn ship, bool partitioned = false) {
+    auto recv = std::make_unique<ExchangeReceiver>(pb.context(), name,
+                                                   schema, channel);
+    return pb.Source(std::move(recv), est_rows, std::move(ndv),
+                     std::move(ship), partitioned);
+  }
+
+  ScanOptions PacedScan() const {
+    ScanOptions o;
+    o.delay_every_rows = opts->pace_every_rows;
+    o.delay_ms = opts->pace_ms;
+    return o;
+  }
+
+  Status InstallAipOnLastFragment(int at) {
+    if (!opts->aip) return Status::OK();
+    SiteEngine& s = site(at);
+    return s.InstallAip(s.fragments().size() - 1, opts->aip_options,
+                        opts->cost);
+  }
+};
+
+// Attribute of `col` in `schema`, for exchange NDV hints.
+AttrId AttrOf(const Schema& schema, const std::string& col) {
+  const int idx = *schema.IndexOf(col);
+  return schema.field(static_cast<size_t>(idx)).attr;
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H Q17, partitioned (see header). Fragments:
+//   site 0:      part scan -> filter -> project[p_partkey] -> BROADCAST
+//   every site:  lineitem-shard scan (l1) -> project -> HASH(l_partkey)
+//   every site:  lineitem-shard scan (l2) -> project -> HASH(l_partkey)
+//   every site:  compute = (part ⋈ l1) ⋈ (0.2·AVG(l2 qty) by partkey),
+//                residual qty < lim, partial SUM(extendedprice) -> FORWARD
+//   site 0:      final SUM / 7 -> Sink
+// ---------------------------------------------------------------------------
+Status BuildQ17(Assembly* a, const Catalog& full) {
+  const int N = a->sites;
+  const TablePtr part = *full.GetTable("part");
+  const TablePtr lineitem = *full.GetTable("lineitem");
+  const double part_rows = static_cast<double>(part->num_rows());
+  const double li_rows = static_cast<double>(lineitem->num_rows());
+  const double part_sel = a->opts->weak_part_filter ? 1.0 / 40 : 1.0 / 1000;
+
+  const Schema p_schema = MakeInstanceSchema(*part, "p", 0);
+  const Schema l1_schema = MakeInstanceSchema(*lineitem, "l1", 1);
+  const Schema l2_schema = MakeInstanceSchema(*lineitem, "l2", 2);
+
+  auto ch_part = a->ChannelPerSite(/*senders=*/1);
+  auto ch_l1 = a->ChannelPerSite(/*senders=*/N);
+  auto ch_l2 = a->ChannelPerSite(/*senders=*/N);
+  auto ch_final = a->OneChannel(/*senders=*/N);
+
+  // --- part fragment (site 0): filter, project, broadcast ---
+  Schema part_out;
+  {
+    PlanBuilder& pb = a->site(0).NewFragment();
+    PUSHSIP_ASSIGN_OR_RETURN(const NodeId p,
+                             pb.ScanShard("part", p_schema));
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr brand, pb.ColRef(p, "p_brand"));
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr container, pb.ColRef(p, "p_container"));
+    ExprPtr pred =
+        a->opts->weak_part_filter
+            ? Cmp(CmpOp::kEq, container, LitString("MED CAN"))
+            : And(Cmp(CmpOp::kEq, brand, LitString("Brand#34")),
+                  Cmp(CmpOp::kEq, container, LitString("MED CAN")));
+    PUSHSIP_ASSIGN_OR_RETURN(const NodeId pf,
+                             pb.Filter(p, std::move(pred), part_sel));
+    PUSHSIP_ASSIGN_OR_RETURN(const NodeId proj,
+                             pb.Project(pf, {"p.p_partkey"}));
+    part_out = pb.schema(proj);
+    auto sender = std::make_unique<ExchangeSender>(
+        &a->site(0).context(), "xsend_part", part_out,
+        ExchangeMode::kBroadcast, std::vector<int>{},
+        a->FanOut(0, ch_part));
+    PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+  }
+
+  // --- lineitem map fragments (every site): project + hash shuffle ---
+  Schema l1_out, l2_out;
+  for (int i = 0; i < N; ++i) {
+    {
+      PlanBuilder& pb = a->site(i).NewFragment();
+      PUSHSIP_ASSIGN_OR_RETURN(
+          const NodeId l1,
+          pb.ScanShard("lineitem", l1_schema, a->PacedScan()));
+      PUSHSIP_ASSIGN_OR_RETURN(
+          const NodeId proj,
+          pb.Project(l1, {"l1.l_partkey", "l1.l_quantity",
+                          "l1.l_extendedprice"}));
+      l1_out = pb.schema(proj);
+      auto sender = std::make_unique<ExchangeSender>(
+          &a->site(i).context(), "xsend_l1", l1_out,
+          ExchangeMode::kHashPartition,
+          std::vector<int>{*l1_out.IndexOf("l1.l_partkey")},
+          a->FanOut(i, ch_l1));
+      PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+    }
+    {
+      PlanBuilder& pb = a->site(i).NewFragment();
+      PUSHSIP_ASSIGN_OR_RETURN(
+          const NodeId l2,
+          pb.ScanShard("lineitem", l2_schema, a->PacedScan()));
+      PUSHSIP_ASSIGN_OR_RETURN(
+          const NodeId proj,
+          pb.Project(l2, {"l2.l_partkey", "l2.l_quantity"}));
+      l2_out = pb.schema(proj);
+      auto sender = std::make_unique<ExchangeSender>(
+          &a->site(i).context(), "xsend_l2", l2_out,
+          ExchangeMode::kHashPartition,
+          std::vector<int>{*l2_out.IndexOf("l2.l_partkey")},
+          a->FanOut(i, ch_l2));
+      PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+    }
+  }
+
+  // --- compute fragments (every site): the Q17 block per key range ---
+  Schema partial_schema;
+  for (int i = 0; i < N; ++i) {
+    PlanBuilder& pb = a->site(i).NewFragment();
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId rp,
+        a->Receiver(pb, "xrecv_part", part_out,
+                    ch_part[static_cast<size_t>(i)], part_rows * part_sel,
+                    {{AttrOf(part_out, "p.p_partkey"),
+                      part_rows * part_sel}},
+                    a->ShipToAllSites(i)));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId rl1,
+        a->Receiver(pb, "xrecv_l1", l1_out, ch_l1[static_cast<size_t>(i)],
+                    li_rows / N,
+                    {{AttrOf(l1_out, "l1.l_partkey"), part_rows / N}},
+                    a->ShipToAllSites(i), /*partitioned=*/true));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId rl2,
+        a->Receiver(pb, "xrecv_l2", l2_out, ch_l2[static_cast<size_t>(i)],
+                    li_rows / N,
+                    {{AttrOf(l2_out, "l2.l_partkey"), part_rows / N}},
+                    a->ShipToAllSites(i), /*partitioned=*/true));
+
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId j1,
+        pb.Join(rp, rl1, {{"p.p_partkey", "l1.l_partkey"}}));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId agg,
+        pb.Aggregate(rl2, {"l2.l_partkey"},
+                     {{AggFunc::kAvg, "l2.l_quantity", "avg_q"}}));
+    const Schema& agg_schema = pb.schema(agg);
+    PUSHSIP_ASSIGN_OR_RETURN(const int pk_idx,
+                             agg_schema.IndexOf("l2.l_partkey"));
+    PUSHSIP_ASSIGN_OR_RETURN(const int avg_idx, agg_schema.IndexOf("avg_q"));
+    std::vector<Field> lim_fields = {
+        agg_schema.field(static_cast<size_t>(pk_idx)),
+        Field{"lim", TypeId::kDouble, kInvalidAttr}};
+    std::vector<ExprPtr> lim_exprs = {
+        Col(pk_idx, TypeId::kInt64, "l2.l_partkey"),
+        Arith(ArithOp::kMul, LitDouble(0.2),
+              Col(avg_idx, TypeId::kDouble, "avg_q"))};
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId lim,
+        pb.ProjectExprs(agg, std::move(lim_fields), std::move(lim_exprs)));
+
+    const Schema top_schema = pb.ConcatSchema(j1, lim);
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr qty_col,
+                             ColNamed(top_schema, "l1.l_quantity"));
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr lim_col, ColNamed(top_schema, "lim"));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId top,
+        pb.Join(j1, lim, {{"p.p_partkey", "l2.l_partkey"}},
+                Cmp(CmpOp::kLt, std::move(qty_col), std::move(lim_col)),
+                0.3));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId partial,
+        pb.Aggregate(top, {},
+                     {{AggFunc::kSum, "l1.l_extendedprice", "revenue"}}));
+    partial_schema = pb.schema(partial);
+    auto sender = std::make_unique<ExchangeSender>(
+        &a->site(i).context(), "xsend_partial", partial_schema,
+        ExchangeMode::kForward, std::vector<int>{},
+        std::vector<ExchangeDestination>{{ch_final, a->link(i, 0)}});
+    PUSHSIP_RETURN_NOT_OK(pb.FinishWith(partial, std::move(sender)));
+    PUSHSIP_RETURN_NOT_OK(a->InstallAipOnLastFragment(i));
+  }
+
+  // --- final fragment (site 0): combine the partial sums ---
+  {
+    PlanBuilder& pb = a->site(0).NewFragment();
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId recv,
+        a->Receiver(pb, "xrecv_partial", partial_schema, ch_final,
+                    static_cast<double>(N), {}, nullptr));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId total,
+        pb.Aggregate(recv, {}, {{AggFunc::kSum, "revenue", "total"}}));
+    const Schema& total_schema = pb.schema(total);
+    PUSHSIP_ASSIGN_OR_RETURN(const int t_idx, total_schema.IndexOf("total"));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId out,
+        pb.ProjectExprs(total,
+                        {Field{"avg_yearly", TypeId::kDouble, kInvalidAttr}},
+                        {Arith(ArithOp::kDiv,
+                               Col(t_idx, TypeId::kDouble, "total"),
+                               LitDouble(7.0))}));
+    PUSHSIP_RETURN_NOT_OK(pb.Finish(out));
+    a->q->root_sink = pb.sink();
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// The IBM subquery workload, partitioned. PARTSUPP is the sharded relation;
+// part and the (supplier ⋈ nation[FRANCE]) subplans are filtered at site 0
+// and broadcast; both blocks run per site over the ps_partkey range; final
+// rows are unioned at the coordinator.
+// ---------------------------------------------------------------------------
+Status BuildSubquery(Assembly* a, const Catalog& full) {
+  const int N = a->sites;
+  const TablePtr part = *full.GetTable("part");
+  const TablePtr partsupp = *full.GetTable("partsupp");
+  const TablePtr supplier = *full.GetTable("supplier");
+  const TablePtr nation = *full.GetTable("nation");
+  const double part_rows = static_cast<double>(part->num_rows());
+  const double ps_rows = static_cast<double>(partsupp->num_rows());
+  const double s_rows = static_cast<double>(supplier->num_rows());
+  const double part_sel = a->opts->weak_part_filter ? 1.0 / 5 : 1.0 / 250;
+
+  const Schema p_schema = MakeInstanceSchema(*part, "p", 0);
+  const Schema ps1_schema = MakeInstanceSchema(*partsupp, "ps1", 1);
+  const Schema ps2_schema = MakeInstanceSchema(*partsupp, "ps2", 2);
+  const Schema s1_schema = MakeInstanceSchema(*supplier, "s1", 3);
+  const Schema n1_schema = MakeInstanceSchema(*nation, "n1", 4);
+  const Schema s2_schema = MakeInstanceSchema(*supplier, "s2", 5);
+  const Schema n2_schema = MakeInstanceSchema(*nation, "n2", 6);
+
+  auto ch_part = a->ChannelPerSite(/*senders=*/1);
+  auto ch_ps1 = a->ChannelPerSite(/*senders=*/N);
+  auto ch_ps2 = a->ChannelPerSite(/*senders=*/N);
+  auto ch_sn1 = a->ChannelPerSite(/*senders=*/1);
+  auto ch_sn2 = a->ChannelPerSite(/*senders=*/1);
+  auto ch_final = a->OneChannel(/*senders=*/N);
+
+  // --- part fragment (site 0): filter + broadcast ---
+  Schema part_out;
+  {
+    PlanBuilder& pb = a->site(0).NewFragment();
+    PUSHSIP_ASSIGN_OR_RETURN(const NodeId p, pb.ScanShard("part", p_schema));
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr size_col, pb.ColRef(p, "p_size"));
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr type_col, pb.ColRef(p, "p_type"));
+    ExprPtr pred = a->opts->weak_part_filter
+                       ? Like(std::move(type_col), "%BRASS")
+                       : And(Cmp(CmpOp::kEq, std::move(size_col), LitInt(15)),
+                             Like(std::move(type_col), "%BRASS"));
+    PUSHSIP_ASSIGN_OR_RETURN(const NodeId pf,
+                             pb.Filter(p, std::move(pred), part_sel));
+    PUSHSIP_ASSIGN_OR_RETURN(const NodeId proj,
+                             pb.Project(pf, {"p.p_partkey"}));
+    part_out = pb.schema(proj);
+    auto sender = std::make_unique<ExchangeSender>(
+        &a->site(0).context(), "xsend_part", part_out,
+        ExchangeMode::kBroadcast, std::vector<int>{},
+        a->FanOut(0, ch_part));
+    PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+  }
+
+  // --- supplier ⋈ nation[FRANCE] fragments (site 0), one per instance ---
+  Schema sn1_out, sn2_out;
+  const auto build_sn =
+      [&](const Schema& s_schema, const Schema& n_schema,
+          const std::string& s_alias, const std::string& n_alias,
+          const std::vector<std::shared_ptr<ExchangeChannel>>& chans,
+          Schema* out) -> Status {
+    PlanBuilder& pb = a->site(0).NewFragment();
+    PUSHSIP_ASSIGN_OR_RETURN(const NodeId s,
+                             pb.ScanShard("supplier", s_schema));
+    PUSHSIP_ASSIGN_OR_RETURN(const NodeId n,
+                             pb.ScanShard("nation", n_schema));
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr name_col,
+                             pb.ColRef(n, n_alias + ".n_name"));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId nf,
+        pb.Filter(n, Cmp(CmpOp::kEq, std::move(name_col),
+                         LitString("FRANCE")),
+                  1.0 / 25));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId j,
+        pb.Join(s, nf, {{s_alias + ".s_nationkey", n_alias + ".n_nationkey"}}));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId proj,
+        pb.Project(j, {s_alias + ".s_suppkey", s_alias + ".s_name",
+                       s_alias + ".s_acctbal", s_alias + ".s_address",
+                       s_alias + ".s_phone", s_alias + ".s_comment"}));
+    *out = pb.schema(proj);
+    auto sender = std::make_unique<ExchangeSender>(
+        &a->site(0).context(), "xsend_" + s_alias, *out,
+        ExchangeMode::kBroadcast, std::vector<int>{}, a->FanOut(0, chans));
+    return pb.FinishWith(proj, std::move(sender));
+  };
+  PUSHSIP_RETURN_NOT_OK(
+      build_sn(s1_schema, n1_schema, "s1", "n1", ch_sn1, &sn1_out));
+  PUSHSIP_RETURN_NOT_OK(
+      build_sn(s2_schema, n2_schema, "s2", "n2", ch_sn2, &sn2_out));
+
+  // --- partsupp map fragments (every site): hash shuffle by partkey ---
+  Schema ps1_out, ps2_out;
+  for (int i = 0; i < N; ++i) {
+    const auto build_ps =
+        [&](const Schema& schema, const std::string& alias,
+            const std::vector<std::shared_ptr<ExchangeChannel>>& chans,
+            Schema* out) -> Status {
+      PlanBuilder& pb = a->site(i).NewFragment();
+      PUSHSIP_ASSIGN_OR_RETURN(
+          const NodeId ps,
+          pb.ScanShard("partsupp", schema, a->PacedScan()));
+      PUSHSIP_ASSIGN_OR_RETURN(
+          const NodeId proj,
+          pb.Project(ps, {alias + ".ps_partkey", alias + ".ps_suppkey",
+                          alias + ".ps_supplycost"}));
+      *out = pb.schema(proj);
+      auto sender = std::make_unique<ExchangeSender>(
+          &a->site(i).context(), "xsend_" + alias, *out,
+          ExchangeMode::kHashPartition,
+          std::vector<int>{*out->IndexOf(alias + ".ps_partkey")},
+          a->FanOut(i, chans));
+      return pb.FinishWith(proj, std::move(sender));
+    };
+    PUSHSIP_RETURN_NOT_OK(build_ps(ps1_schema, "ps1", ch_ps1, &ps1_out));
+    PUSHSIP_RETURN_NOT_OK(build_ps(ps2_schema, "ps2", ch_ps2, &ps2_out));
+  }
+
+  // --- compute fragments (every site) ---
+  Schema result_schema;
+  for (int i = 0; i < N; ++i) {
+    PlanBuilder& pb = a->site(i).NewFragment();
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId rp,
+        a->Receiver(pb, "xrecv_part", part_out,
+                    ch_part[static_cast<size_t>(i)], part_rows * part_sel,
+                    {{AttrOf(part_out, "p.p_partkey"),
+                      part_rows * part_sel}},
+                    a->ShipToAllSites(i)));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId rps1,
+        a->Receiver(pb, "xrecv_ps1", ps1_out, ch_ps1[static_cast<size_t>(i)],
+                    ps_rows / N,
+                    {{AttrOf(ps1_out, "ps1.ps_partkey"), part_rows / N}},
+                    a->ShipToAllSites(i), /*partitioned=*/true));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId rps2,
+        a->Receiver(pb, "xrecv_ps2", ps2_out, ch_ps2[static_cast<size_t>(i)],
+                    ps_rows / N,
+                    {{AttrOf(ps2_out, "ps2.ps_partkey"), part_rows / N}},
+                    a->ShipToAllSites(i), /*partitioned=*/true));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId rsn1,
+        a->Receiver(pb, "xrecv_sn1", sn1_out, ch_sn1[static_cast<size_t>(i)],
+                    s_rows / 25,
+                    {{AttrOf(sn1_out, "s1.s_suppkey"), s_rows / 25}},
+                    nullptr));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId rsn2,
+        a->Receiver(pb, "xrecv_sn2", sn2_out, ch_sn2[static_cast<size_t>(i)],
+                    s_rows / 25,
+                    {{AttrOf(sn2_out, "s2.s_suppkey"), s_rows / 25}},
+                    nullptr));
+
+    // Outer block: eligible (part, partsupp, supplier) triples.
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId j1,
+        pb.Join(rp, rps1, {{"p.p_partkey", "ps1.ps_partkey"}}));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId outer,
+        pb.Join(j1, rsn1, {{"ps1.ps_suppkey", "s1.s_suppkey"}}));
+
+    // Child block: per-part minimum supply cost among FRANCE suppliers.
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId j4,
+        pb.Join(rps2, rsn2, {{"ps2.ps_suppkey", "s2.s_suppkey"}}));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId agg,
+        pb.Aggregate(j4, {"ps2.ps_partkey"},
+                     {{AggFunc::kMin, "ps2.ps_supplycost", "min_sc"}}));
+
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId top,
+        pb.Join(outer, agg,
+                {{"p.p_partkey", "ps2.ps_partkey"},
+                 {"ps1.ps_supplycost", "min_sc"}}));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId proj,
+        pb.Project(top, {"s1.s_name", "s1.s_acctbal", "s1.s_address",
+                         "s1.s_phone", "s1.s_comment"}));
+    result_schema = pb.schema(proj);
+    auto sender = std::make_unique<ExchangeSender>(
+        &a->site(i).context(), "xsend_result", result_schema,
+        ExchangeMode::kForward, std::vector<int>{},
+        std::vector<ExchangeDestination>{{ch_final, a->link(i, 0)}});
+    PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+    PUSHSIP_RETURN_NOT_OK(a->InstallAipOnLastFragment(i));
+  }
+
+  // --- final fragment (site 0): union of the per-site rows ---
+  {
+    PlanBuilder& pb = a->site(0).NewFragment();
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId recv,
+        a->Receiver(pb, "xrecv_result", result_schema, ch_final,
+                    part_rows * part_sel, {}, nullptr));
+    PUSHSIP_RETURN_NOT_OK(pb.Finish(recv));
+    a->q->root_sink = pb.sink();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DistributedQuery>> BuildScaleOutQuery(
+    ScaleOutQuery query, const std::shared_ptr<Catalog>& full_catalog,
+    const ScaleOutOptions& options) {
+  if (full_catalog == nullptr) {
+    return Status::InvalidArgument("no catalog");
+  }
+  if (options.num_sites < 1 || options.num_sites > 64) {
+    return Status::InvalidArgument("num_sites out of range");
+  }
+
+  const std::string shard_table =
+      query == ScaleOutQuery::kQ17 ? "lineitem" : "partsupp";
+  auto catalogs =
+      PartitionCatalog(*full_catalog, {shard_table}, options.num_sites);
+
+  auto q = std::make_unique<DistributedQuery>();
+  q->mesh = std::make_unique<SiteMesh>(options.num_sites,
+                                       options.bandwidth_bps,
+                                       options.latency_ms);
+  for (int s = 0; s < options.num_sites; ++s) {
+    q->sites.push_back(std::make_unique<SiteEngine>(
+        s, "site" + std::to_string(s), catalogs[static_cast<size_t>(s)]));
+    q->sites.back()->context().set_batch_size(options.batch_size);
+  }
+
+  Assembly a;
+  a.q = q.get();
+  a.opts = &options;
+  a.sites = options.num_sites;
+  if (query == ScaleOutQuery::kQ17) {
+    PUSHSIP_RETURN_NOT_OK(BuildQ17(&a, *full_catalog));
+  } else {
+    PUSHSIP_RETURN_NOT_OK(BuildSubquery(&a, *full_catalog));
+  }
+  return q;
+}
+
+}  // namespace pushsip

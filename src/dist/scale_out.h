@@ -1,0 +1,63 @@
+// Scale-out scenarios: TPC-H Q17 and the IBM subquery workload executed as
+// genuinely partitioned multi-site plans. LINEITEM / PARTSUPP is sharded
+// round-robin across N sites (as ingest would leave it); per-site map
+// fragments re-shuffle the shards by join key (hash exchange), small
+// filtered inputs are replicated (broadcast exchange), every site runs the
+// join/aggregate block over its key range, and a coordinator fragment
+// combines the partial results.
+//
+// With cost-based AIP enabled, each site's AIP Manager ships the Bloom
+// filter of the completed (small) join side across the mesh to the scans
+// feeding the shuffles — pruned tuples never reach the wire, the
+// distributed generalization of the paper's adaptive Bloomjoin.
+#ifndef PUSHSIP_DIST_SCALE_OUT_H_
+#define PUSHSIP_DIST_SCALE_OUT_H_
+
+#include "dist/dist_driver.h"
+
+namespace pushsip {
+
+/// Knobs for one scale-out run.
+struct ScaleOutOptions {
+  int num_sites = 3;
+  double bandwidth_bps = 1e9;
+  double latency_ms = 0.2;
+  /// Install a cost-based AIP Manager on every compute fragment.
+  bool aip = false;
+  AipOptions aip_options;
+  CostConstants cost;
+  size_t batch_size = 1024;
+  /// Pacing of the sharded scans (models disk-streamed sources and gives
+  /// the AIP filter time to arrive while the stream is still flowing).
+  size_t pace_every_rows = 256;
+  double pace_ms = 1.0;
+  /// Drop the brand predicate from Q17's part filter (keeps ~25x more
+  /// parts) so tiny test-scale catalogs still produce non-empty results.
+  bool weak_part_filter = false;
+  size_t channel_capacity = 64;
+};
+
+/// The two distributed workloads.
+enum class ScaleOutQuery {
+  kQ17,       ///< TPC-H 17 (correlated AVG subquery over LINEITEM)
+  kSubquery,  ///< the IBM complex-decorrelation query (MIN over PARTSUPP)
+};
+
+const char* ScaleOutQueryName(ScaleOutQuery query);
+
+/// Round-robin-shards each table in `shard_tables` across `num_sites`
+/// catalogs; every other table is registered at site 0 only. Stats and
+/// key/FK metadata are recomputed per shard.
+std::vector<std::shared_ptr<Catalog>> PartitionCatalog(
+    const Catalog& full, const std::vector<std::string>& shard_tables,
+    int num_sites);
+
+/// Assembles the runnable multi-site plan for `query` over a partition of
+/// `full_catalog`. The returned query's root sink collects the final rows.
+Result<std::unique_ptr<DistributedQuery>> BuildScaleOutQuery(
+    ScaleOutQuery query, const std::shared_ptr<Catalog>& full_catalog,
+    const ScaleOutOptions& options);
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_DIST_SCALE_OUT_H_

@@ -1,0 +1,117 @@
+#include "dist/site_engine.h"
+
+#include "net/wire_format.h"
+
+namespace pushsip {
+
+SiteMesh::SiteMesh(int num_sites, double bandwidth_bps, double latency_ms)
+    : num_sites_(num_sites) {
+  PUSHSIP_DCHECK(num_sites > 0);
+  links_.resize(static_cast<size_t>(num_sites) * num_sites);
+  for (int from = 0; from < num_sites; ++from) {
+    for (int to = 0; to < num_sites; ++to) {
+      if (from == to) continue;
+      links_[static_cast<size_t>(from) * num_sites + to] =
+          std::make_shared<SimLink>(bandwidth_bps, latency_ms);
+    }
+  }
+}
+
+const std::shared_ptr<SimLink>& SiteMesh::link(int from, int to) const {
+  PUSHSIP_DCHECK(from >= 0 && from < num_sites_);
+  PUSHSIP_DCHECK(to >= 0 && to < num_sites_);
+  if (from == to) return null_link_;
+  return links_[static_cast<size_t>(from) * num_sites_ + to];
+}
+
+LinkUsage SiteMesh::TotalUsage() const {
+  LinkUsage total;
+  for (const auto& link : links_) {
+    if (link == nullptr) continue;
+    total.bytes += link->bytes_transferred();
+    total.seconds += link->busy_seconds();
+  }
+  return total;
+}
+
+SiteEngine::SiteEngine(int id, std::string name,
+                       std::shared_ptr<Catalog> catalog)
+    : id_(id), name_(std::move(name)), catalog_(std::move(catalog)) {}
+
+SiteEngine::~SiteEngine() = default;
+
+PlanBuilder& SiteEngine::NewFragment() {
+  fragments_.push_back(std::make_unique<PlanBuilder>(&ctx_, catalog_));
+  return *fragments_.back();
+}
+
+Status SiteEngine::InstallAip(size_t index, const AipOptions& options,
+                              const CostConstants& cost) {
+  if (index >= fragments_.size()) {
+    return Status::InvalidArgument("no such fragment");
+  }
+  aip_managers_.push_back(
+      std::make_unique<AipManager>(&ctx_, options, cost));
+  return aip_managers_.back()->Install(fragments_[index]->sip_info());
+}
+
+std::vector<SourceOperator*> SiteEngine::AllSources() const {
+  std::vector<SourceOperator*> sources;
+  for (const auto& fragment : fragments_) {
+    for (SourceOperator* s : fragment->sources()) sources.push_back(s);
+  }
+  return sources;
+}
+
+int SiteEngine::AttachRemoteFilter(AttrId attr,
+                                   std::shared_ptr<const AipSet> set,
+                                   const std::string& label) {
+  int attached = 0;
+  for (const auto& fragment : fragments_) {
+    for (TableScan* scan : fragment->source_scans()) {
+      const auto col = scan->output_schema().IndexOfAttr(attr);
+      if (!col.ok()) continue;
+      auto filter = std::make_shared<AipFilter>(label, *col, set);
+      scan->AttachSourceFilter(filter);
+      ++attached;
+      std::lock_guard<std::mutex> lock(filter_mu_);
+      remote_filters_.push_back(std::move(filter));
+    }
+  }
+  return attached;
+}
+
+int64_t SiteEngine::remote_filter_pruned() const {
+  std::lock_guard<std::mutex> lock(filter_mu_);
+  int64_t pruned = 0;
+  for (const auto& f : remote_filters_) pruned += f->pruned_count();
+  return pruned;
+}
+
+RemoteFilterShipFn MakeFilterShipper(
+    std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>> producers) {
+  return [producers](AttrId attr, const BloomFilter& filter,
+                     const std::string& label) -> Result<double> {
+    const std::string bytes = SerializeFilterMessage(attr, filter);
+    double seconds = 0;
+    int attached = 0;
+    for (const auto& [site, link] : producers) {
+      if (link != nullptr) {
+        seconds += link->TransferSeconds(bytes.size());
+        link->Transmit(bytes.size());
+      }
+      // The far end decodes its own copy of the message — the full wire
+      // round-trip, exactly as a socket-delivered filter would arrive.
+      PUSHSIP_ASSIGN_OR_RETURN(FilterMessage msg,
+                               DeserializeFilterMessage(bytes));
+      auto set = std::make_shared<AipSet>(std::move(msg.filter));
+      attached += site->AttachRemoteFilter(msg.attr, std::move(set), label);
+    }
+    if (attached == 0) {
+      return Status::NotFound("no remote scan carries the filtered attr");
+    }
+    return seconds;
+  };
+}
+
+}  // namespace pushsip

@@ -1,0 +1,97 @@
+// SiteEngine: one simulated Tukwila node. A site owns a partition of the
+// catalog (its local tables / shards), an ExecContext shared by the plan
+// fragments placed on it, and the attach point for AIP filters shipped to
+// it from other sites.
+#ifndef PUSHSIP_DIST_SITE_ENGINE_H_
+#define PUSHSIP_DIST_SITE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/exchange.h"
+#include "sip/aip_manager.h"
+#include "workload/plan_builder.h"
+
+namespace pushsip {
+
+/// \brief The pairwise links of a set of sites. link(i, i) is nullptr: a
+/// site-local exchange is a loopback that costs nothing.
+class SiteMesh {
+ public:
+  SiteMesh(int num_sites, double bandwidth_bps, double latency_ms);
+
+  int num_sites() const { return num_sites_; }
+  const std::shared_ptr<SimLink>& link(int from, int to) const;
+
+  /// Traffic summed over every link of the mesh.
+  LinkUsage TotalUsage() const;
+
+ private:
+  int num_sites_;
+  std::shared_ptr<SimLink> null_link_;
+  std::vector<std::shared_ptr<SimLink>> links_;  // row-major, diagonal null
+};
+
+/// \brief One site: catalog partition + execution context + fragments.
+class SiteEngine {
+ public:
+  SiteEngine(int id, std::string name, std::shared_ptr<Catalog> catalog);
+  ~SiteEngine();
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ExecContext& context() { return ctx_; }
+  const std::shared_ptr<Catalog>& catalog() const { return catalog_; }
+
+  /// Creates a new (empty) plan fragment hosted on this site. The returned
+  /// builder is owned by the engine and shares the site's ExecContext.
+  PlanBuilder& NewFragment();
+  const std::vector<std::unique_ptr<PlanBuilder>>& fragments() const {
+    return fragments_;
+  }
+
+  /// Installs a cost-based AIP Manager over fragment `index` (call after
+  /// the fragment is finished). The manager lives as long as the engine.
+  Status InstallAip(size_t index, const AipOptions& options,
+                    const CostConstants& cost);
+  const std::vector<std::unique_ptr<AipManager>>& aip_managers() const {
+    return aip_managers_;
+  }
+
+  /// Source operators of every fragment on this site, in creation order.
+  std::vector<SourceOperator*> AllSources() const;
+
+  /// Attaches `set` as a source filter on every scan of this site whose
+  /// schema carries `attr` (the delivery end of cross-site AIP shipping).
+  /// Returns the number of scans the filter was attached to. Thread-safe
+  /// against concurrently running fragments.
+  int AttachRemoteFilter(AttrId attr, std::shared_ptr<const AipSet> set,
+                         const std::string& label);
+
+  /// Tuples pruned at this site's scans by remotely shipped filters.
+  int64_t remote_filter_pruned() const;
+
+ private:
+  int id_;
+  std::string name_;
+  std::shared_ptr<Catalog> catalog_;
+  ExecContext ctx_;
+  std::vector<std::unique_ptr<PlanBuilder>> fragments_;
+  std::vector<std::unique_ptr<AipManager>> aip_managers_;
+
+  mutable std::mutex filter_mu_;
+  std::vector<std::shared_ptr<AipFilter>> remote_filters_;
+};
+
+/// Builds the RemoteFilterShipFn for a port whose stream is produced at
+/// `producers` (one entry per producing site): serializes the Bloom
+/// summary once, transmits it over each producer's link, deserializes at
+/// the far end, and attaches it to the producer's matching scans. Returns
+/// the simulated seconds the shipments occupied the links.
+RemoteFilterShipFn MakeFilterShipper(
+    std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>> producers);
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_DIST_SITE_ENGINE_H_

@@ -8,14 +8,14 @@ namespace pushsip {
 
 Result<QueryStats> Driver::Run() {
   if (sink_ == nullptr) return Status::InvalidArgument("null sink");
-  if (scans_.empty()) return Status::InvalidArgument("no source scans");
+  if (sources_.empty()) return Status::InvalidArgument("no source operators");
 
   Stopwatch timer;
   std::vector<std::thread> threads;
-  threads.reserve(scans_.size());
-  for (TableScan* scan : scans_) {
-    threads.emplace_back([this, scan] {
-      const Status st = scan->Run();
+  threads.reserve(sources_.size());
+  for (SourceOperator* source : sources_) {
+    threads.emplace_back([this, source] {
+      const Status st = source->Run();
       if (!st.ok() && st.code() != StatusCode::kCancelled) {
         ctx_->SetError(st);
       }
@@ -42,6 +42,9 @@ Result<QueryStats> Driver::Run() {
       stats.rows_source_pruned += scan->rows_source_pruned();
     }
   }
+  const LinkUsage links = ctx_->TotalLinkUsage();
+  stats.bytes_shipped = links.bytes;
+  stats.link_seconds = links.seconds;
   return stats;
 }
 

@@ -24,26 +24,35 @@ struct QueryStats {
   int64_t rows_pruned = 0;
   /// Total tuples pruned at sources (before a simulated link).
   int64_t rows_source_pruned = 0;
+  /// Bytes that crossed every simulated link registered with the context
+  /// (remote scans, exchanges, shipped AIP filters).
+  int64_t bytes_shipped = 0;
+  /// Simulated seconds those links spent transmitting.
+  double link_seconds = 0;
 
   double peak_state_mb() const {
     return static_cast<double>(peak_state_bytes) / (1024.0 * 1024.0);
+  }
+  double shipped_mb() const {
+    return static_cast<double>(bytes_shipped) / (1024.0 * 1024.0);
   }
 };
 
 /// \brief Owns the threads that drive a plan's sources to completion.
 class Driver {
  public:
-  /// `scans` are the plan's source operators; `sink` its terminal operator.
-  /// Neither ownership nor lifetime is transferred.
-  Driver(ExecContext* ctx, std::vector<TableScan*> scans, Sink* sink)
-      : ctx_(ctx), scans_(std::move(scans)), sink_(sink) {}
+  /// `sources` are the plan's leaf operators (table scans and exchange
+  /// receivers); `sink` its terminal operator. Neither ownership nor
+  /// lifetime is transferred.
+  Driver(ExecContext* ctx, std::vector<SourceOperator*> sources, Sink* sink)
+      : ctx_(ctx), sources_(std::move(sources)), sink_(sink) {}
 
   /// Runs the plan to completion and returns its statistics.
   Result<QueryStats> Run();
 
  private:
   ExecContext* ctx_;
-  std::vector<TableScan*> scans_;
+  std::vector<SourceOperator*> sources_;
   Sink* sink_;
 };
 

@@ -16,6 +16,12 @@ namespace pushsip {
 
 class Operator;
 
+/// Aggregate traffic of one (simulated) network link.
+struct LinkUsage {
+  int64_t bytes = 0;
+  double seconds = 0;
+};
+
 /// \brief Per-query execution context shared by all operators and threads.
 class ExecContext {
  public:
@@ -47,6 +53,13 @@ class ExecContext {
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
 
+  /// Registers a provider of link-traffic statistics (one per SimLink this
+  /// query transmits over); Driver sums them into QueryStats. Keeping the
+  /// registry callback-based avoids an exec -> net dependency.
+  using LinkUsageFn = std::function<LinkUsage()>;
+  void AddLinkUsageSource(LinkUsageFn fn);
+  LinkUsage TotalLinkUsage() const;
+
  private:
   MemoryTracker state_tracker_;
   std::atomic<bool> cancelled_{false};
@@ -54,6 +67,7 @@ class ExecContext {
   Status first_error_;
   std::vector<Operator*> operators_;
   std::vector<InputFinishedHook> hooks_;
+  std::vector<LinkUsageFn> link_usage_;
   size_t batch_size_ = 1024;
 };
 

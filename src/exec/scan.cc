@@ -7,9 +7,9 @@ namespace pushsip {
 
 TableScan::TableScan(ExecContext* ctx, std::string name, TablePtr table,
                      Schema schema, ScanOptions options)
-    : Operator(ctx, std::move(name), /*num_inputs=*/0, std::move(schema)),
+    : SourceOperator(ctx, std::move(name), std::move(schema)),
       table_(std::move(table)),
-      options_(options) {
+      options_(std::move(options)) {
   PUSHSIP_DCHECK(table_ != nullptr);
   PUSHSIP_DCHECK(output_schema().num_fields() ==
                  table_->schema().num_fields());

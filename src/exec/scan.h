@@ -11,10 +11,12 @@
 #include <functional>
 #include <memory>
 
-#include "exec/operator.h"
+#include "exec/source.h"
 #include "storage/table.h"
 
 namespace pushsip {
+
+class SimLink;
 
 /// Delay/rate-limit configuration for a scan.
 struct ScanOptions {
@@ -26,10 +28,13 @@ struct ScanOptions {
   /// bandwidth, so source-filter pruning saves transfer time — the
   /// adaptive-Bloomjoin effect of distributed AIP.
   std::function<void(size_t bytes)> transfer_hook;
+  /// The link `transfer_hook` charges, when there is one. Lets the SIP layer
+  /// bill filter shipping against the same link the scan transmits over.
+  std::shared_ptr<SimLink> link;
 };
 
 /// \brief Streams the rows of a Table, in generation order, as batches.
-class TableScan : public Operator {
+class TableScan : public SourceOperator {
  public:
   /// `schema` is the query-instance schema: same arity/types as the table,
   /// fields renamed to the instance alias and tagged with fresh AttrIds.
@@ -38,7 +43,7 @@ class TableScan : public Operator {
 
   /// Reads the whole table, honouring delays and source filters; pushes
   /// batches downstream and then signals Finish. Called on a driver thread.
-  Status Run();
+  Status Run() override;
 
   /// Attaches a filter applied before tuples leave the source (used by
   /// distributed AIP so pruned tuples never consume link bandwidth, and by
@@ -48,13 +53,7 @@ class TableScan : public Operator {
   int64_t rows_scanned() const { return rows_scanned_.load(); }
   int64_t rows_source_pruned() const { return rows_source_pruned_.load(); }
 
- protected:
-  Status DoPush(int, Batch&&) override {
-    return Status::Internal("TableScan has no inputs");
-  }
-  Status DoFinish(int) override {
-    return Status::Internal("TableScan has no inputs");
-  }
+  const ScanOptions& options() const { return options_; }
 
  private:
   TablePtr table_;

@@ -1,0 +1,33 @@
+// SourceOperator: a plan leaf that produces its stream from its own driver
+// thread (a table scan, or an exchange receiver fed by another site).
+#ifndef PUSHSIP_EXEC_SOURCE_H_
+#define PUSHSIP_EXEC_SOURCE_H_
+
+#include "exec/operator.h"
+
+namespace pushsip {
+
+/// \brief Base class of all zero-input operators the Driver runs on
+/// dedicated producer threads.
+class SourceOperator : public Operator {
+ public:
+  SourceOperator(ExecContext* ctx, std::string name, Schema output_schema)
+      : Operator(ctx, std::move(name), /*num_inputs=*/0,
+                 std::move(output_schema)) {}
+
+  /// Produces the whole stream, pushing batches downstream, then signals
+  /// Finish. Called once, on a driver thread.
+  virtual Status Run() = 0;
+
+ protected:
+  Status DoPush(int, Batch&&) override {
+    return Status::Internal(name() + " has no inputs");
+  }
+  Status DoFinish(int) override {
+    return Status::Internal(name() + " has no inputs");
+  }
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_SOURCE_H_

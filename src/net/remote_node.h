@@ -26,6 +26,7 @@ class RemoteNode {
   ScanOptions WrapScanOptions(ScanOptions base = {}) const {
     std::shared_ptr<SimLink> link = link_;
     base.transfer_hook = [link](size_t bytes) { link->Transmit(bytes); };
+    base.link = link_;
     return base;
   }
 

@@ -3,18 +3,32 @@
 #include <chrono>
 #include <thread>
 
+#include "exec/exec_context.h"
+
 namespace pushsip {
 
 void SimLink::Transmit(size_t bytes) {
   double secs = TransferSeconds(bytes);
-  bool expected = false;
-  if (latency_paid_.compare_exchange_strong(expected, true)) {
+  // One atomic exchange decides the single payer of the one-time latency;
+  // concurrent first transmissions cannot both (or neither) pay it.
+  if (!latency_paid_.exchange(true)) {
     secs += latency_ms_ / 1e3;
   }
   bytes_transferred_.fetch_add(static_cast<int64_t>(bytes));
+  busy_micros_.fetch_add(static_cast<int64_t>(secs * 1e6));
   if (secs > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(secs));
   }
+}
+
+void RegisterLinkWithContext(ExecContext* ctx,
+                             std::shared_ptr<SimLink> link) {
+  ctx->AddLinkUsageSource([link] {
+    LinkUsage usage;
+    usage.bytes = link->bytes_transferred();
+    usage.seconds = link->busy_seconds();
+    return usage;
+  });
 }
 
 }  // namespace pushsip

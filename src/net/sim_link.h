@@ -11,9 +11,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 
 namespace pushsip {
+
+class ExecContext;
 
 /// \brief A point-to-point simulated link.
 class SimLink {
@@ -24,7 +26,8 @@ class SimLink {
       : bandwidth_bps_(bandwidth_bps), latency_ms_(latency_ms) {}
 
   /// Blocks the calling thread for the time `bytes` takes to cross the
-  /// link. The first transmission also pays the latency.
+  /// link. The first transmission also pays the latency (exactly once, even
+  /// under concurrent first transmissions).
   void Transmit(size_t bytes);
 
   /// Seconds `bytes` would take (excluding latency) — for cost estimation.
@@ -33,6 +36,10 @@ class SimLink {
   }
 
   int64_t bytes_transferred() const { return bytes_transferred_.load(); }
+  /// Total simulated seconds the link spent transmitting (latency included).
+  double busy_seconds() const {
+    return static_cast<double>(busy_micros_.load()) / 1e6;
+  }
   double bandwidth_bps() const { return bandwidth_bps_; }
   double latency_ms() const { return latency_ms_; }
 
@@ -40,8 +47,13 @@ class SimLink {
   double bandwidth_bps_;
   double latency_ms_;
   std::atomic<int64_t> bytes_transferred_{0};
+  std::atomic<int64_t> busy_micros_{0};
   std::atomic<bool> latency_paid_{false};
 };
+
+/// Registers `link` as a usage source of `ctx`, so Driver-level statistics
+/// (QueryStats::bytes_shipped / link_seconds) include its traffic.
+void RegisterLinkWithContext(ExecContext* ctx, std::shared_ptr<SimLink> link);
 
 }  // namespace pushsip
 

@@ -1,0 +1,255 @@
+#include "net/wire_format.h"
+
+#include <cstring>
+
+namespace pushsip {
+
+namespace {
+
+constexpr char kBatchTag = 'B';
+constexpr char kBloomTag = 'F';
+constexpr char kFilterMsgTag = 'A';
+constexpr char kVersion = 1;
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->append(buf, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->append(buf, 8);
+}
+
+void PutDouble(double v, std::string* out) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+/// Bounds-checked sequential reader over a serialized message.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> ReadU8() {
+    if (pos_ + 1 > bytes_.size()) return Truncated();
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() {
+    if (pos_ + 4 > bytes_.size()) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (pos_ + 8 > bytes_.size()) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<double> ReadDouble() {
+    PUSHSIP_ASSIGN_OR_RETURN(const uint64_t bits, ReadU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> ReadString(size_t len) {
+    if (pos_ + len > bytes_.size()) return Truncated();
+    std::string s = bytes_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  Status ExpectHeader(char tag) {
+    PUSHSIP_ASSIGN_OR_RETURN(const uint8_t t, ReadU8());
+    PUSHSIP_ASSIGN_OR_RETURN(const uint8_t ver, ReadU8());
+    if (t != static_cast<uint8_t>(tag) ||
+        ver != static_cast<uint8_t>(kVersion)) {
+      return Status::InvalidArgument("bad wire message header");
+    }
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Truncated() const {
+    return Status::InvalidArgument("truncated wire message");
+  }
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+void AppendValue(const Value& v, std::string* out) {
+  PutU8(static_cast<uint8_t>(v.type()), out);
+  switch (v.type()) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      PutU64(static_cast<uint64_t>(v.AsInt64()), out);
+      break;
+    case TypeId::kDouble:
+      PutDouble(v.AsDouble(), out);
+      break;
+    case TypeId::kString:
+      PutU32(static_cast<uint32_t>(v.AsString().size()), out);
+      out->append(v.AsString());
+      break;
+  }
+}
+
+Result<Value> ReadValue(WireReader* r) {
+  PUSHSIP_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kInt64: {
+      PUSHSIP_ASSIGN_OR_RETURN(const uint64_t v, r->ReadU64());
+      return Value::Int64(static_cast<int64_t>(v));
+    }
+    case TypeId::kDate: {
+      PUSHSIP_ASSIGN_OR_RETURN(const uint64_t v, r->ReadU64());
+      return Value::Date(static_cast<int64_t>(v));
+    }
+    case TypeId::kDouble: {
+      PUSHSIP_ASSIGN_OR_RETURN(const double v, r->ReadDouble());
+      return Value::Double(v);
+    }
+    case TypeId::kString: {
+      PUSHSIP_ASSIGN_OR_RETURN(const uint32_t len, r->ReadU32());
+      PUSHSIP_ASSIGN_OR_RETURN(std::string s, r->ReadString(len));
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::InvalidArgument("unknown value type tag on the wire");
+}
+
+void AppendBloomBody(const BloomFilter& filter, std::string* out) {
+  PutU64(filter.num_bits(), out);
+  PutU32(static_cast<uint32_t>(filter.num_hashes()), out);
+  PutU64(filter.inserted_count(), out);
+  for (const uint64_t w : filter.words()) PutU64(w, out);
+}
+
+Result<BloomFilter> ReadBloomBody(WireReader* r) {
+  PUSHSIP_ASSIGN_OR_RETURN(const uint64_t num_bits, r->ReadU64());
+  PUSHSIP_ASSIGN_OR_RETURN(const uint32_t num_hashes, r->ReadU32());
+  PUSHSIP_ASSIGN_OR_RETURN(const uint64_t inserted, r->ReadU64());
+  if (num_bits == 0 || num_bits % 64 != 0 || num_bits > (1ULL << 36)) {
+    return Status::InvalidArgument("implausible bloom geometry on the wire");
+  }
+  std::vector<uint64_t> words(num_bits / 64);
+  for (uint64_t& w : words) {
+    PUSHSIP_ASSIGN_OR_RETURN(w, r->ReadU64());
+  }
+  return BloomFilter::FromParts(static_cast<size_t>(num_bits),
+                                static_cast<int>(num_hashes),
+                                static_cast<size_t>(inserted),
+                                std::move(words));
+}
+
+}  // namespace
+
+void AppendTuple(const Tuple& tuple, std::string* out) {
+  PutU32(static_cast<uint32_t>(tuple.size()), out);
+  for (const Value& v : tuple.values()) AppendValue(v, out);
+}
+
+std::string SerializeBatch(const Batch& batch) {
+  std::string out;
+  // Rough pre-size: header + ~16 bytes per value.
+  out.reserve(10 + batch.size() * 32);
+  PutU8(static_cast<uint8_t>(kBatchTag), &out);
+  PutU8(static_cast<uint8_t>(kVersion), &out);
+  PutU32(static_cast<uint32_t>(batch.size()), &out);
+  for (const Tuple& row : batch.rows) AppendTuple(row, &out);
+  return out;
+}
+
+Result<Batch> DeserializeBatch(const std::string& bytes) {
+  WireReader r(bytes);
+  PUSHSIP_RETURN_NOT_OK(r.ExpectHeader(kBatchTag));
+  PUSHSIP_ASSIGN_OR_RETURN(const uint32_t num_rows, r.ReadU32());
+  Batch batch;
+  batch.rows.reserve(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    PUSHSIP_ASSIGN_OR_RETURN(const uint32_t arity, r.ReadU32());
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (uint32_t c = 0; c < arity; ++c) {
+      PUSHSIP_ASSIGN_OR_RETURN(Value v, ReadValue(&r));
+      values.push_back(std::move(v));
+    }
+    batch.rows.emplace_back(std::move(values));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after batch");
+  }
+  return batch;
+}
+
+std::string SerializeBloomFilter(const BloomFilter& filter) {
+  std::string out;
+  out.reserve(22 + filter.SizeBytes());
+  PutU8(static_cast<uint8_t>(kBloomTag), &out);
+  PutU8(static_cast<uint8_t>(kVersion), &out);
+  AppendBloomBody(filter, &out);
+  return out;
+}
+
+Result<BloomFilter> DeserializeBloomFilter(const std::string& bytes) {
+  WireReader r(bytes);
+  PUSHSIP_RETURN_NOT_OK(r.ExpectHeader(kBloomTag));
+  PUSHSIP_ASSIGN_OR_RETURN(BloomFilter f, ReadBloomBody(&r));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after bloom filter");
+  }
+  return f;
+}
+
+std::string SerializeFilterMessage(AttrId attr, const BloomFilter& filter) {
+  std::string out;
+  out.reserve(26 + filter.SizeBytes());
+  PutU8(static_cast<uint8_t>(kFilterMsgTag), &out);
+  PutU8(static_cast<uint8_t>(kVersion), &out);
+  PutU32(static_cast<uint32_t>(attr), &out);
+  AppendBloomBody(filter, &out);
+  return out;
+}
+
+Result<FilterMessage> DeserializeFilterMessage(const std::string& bytes) {
+  WireReader r(bytes);
+  PUSHSIP_RETURN_NOT_OK(r.ExpectHeader(kFilterMsgTag));
+  PUSHSIP_ASSIGN_OR_RETURN(const uint32_t attr, r.ReadU32());
+  PUSHSIP_ASSIGN_OR_RETURN(BloomFilter f, ReadBloomBody(&r));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after filter message");
+  }
+  FilterMessage msg;
+  msg.attr = static_cast<AttrId>(static_cast<int32_t>(attr));
+  msg.filter = std::move(f);
+  return msg;
+}
+
+}  // namespace pushsip

@@ -1,0 +1,47 @@
+// Wire format for cross-site dataflow: Batches (exchange operators) and
+// Bloom-filter messages (cross-site AIP shipping) are serialized to byte
+// strings, moved across a SimLink, and deserialized at the receiving site.
+//
+// Encoding is little-endian, fixed-width, self-describing per value. Every
+// message starts with a one-byte tag plus a version byte so a receiver can
+// reject garbage instead of crashing. Sizes reported by the serializers are
+// what the link is charged — the same bytes a real socket would carry.
+#ifndef PUSHSIP_NET_WIRE_FORMAT_H_
+#define PUSHSIP_NET_WIRE_FORMAT_H_
+
+#include <string>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "util/bloom_filter.h"
+
+namespace pushsip {
+
+/// Appends the wire encoding of one tuple to `out`.
+void AppendTuple(const Tuple& tuple, std::string* out);
+
+/// Serializes a whole batch (tag + version + row count + rows).
+std::string SerializeBatch(const Batch& batch);
+
+/// Parses a serialized batch; fails on truncation, bad tags, or unknown
+/// value types.
+Result<Batch> DeserializeBatch(const std::string& bytes);
+
+/// Serializes a Bloom filter (geometry + bit words).
+std::string SerializeBloomFilter(const BloomFilter& filter);
+Result<BloomFilter> DeserializeBloomFilter(const std::string& bytes);
+
+/// An AIP set shipped to a remote fragment: the Bloom summary plus the
+/// attribute it filters, so the receiving site can locate the scan column
+/// to attach it to.
+struct FilterMessage {
+  AttrId attr = kInvalidAttr;
+  BloomFilter filter{16};
+};
+
+std::string SerializeFilterMessage(AttrId attr, const BloomFilter& filter);
+Result<FilterMessage> DeserializeFilterMessage(const std::string& bytes);
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_NET_WIRE_FORMAT_H_

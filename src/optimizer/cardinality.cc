@@ -125,6 +125,13 @@ void EstimateCardinality(PlanNode* n) {
       InheritNdv(n, child);
       break;
     }
+    case PlanNode::Kind::kExchange: {
+      n->est_rows = n->exchange_est_rows;
+      for (const auto& [attr, d] : n->exchange_ndv) {
+        if (n->schema().HasAttr(attr)) n->ndv[attr] = d;
+      }
+      break;
+    }
   }
   ClampNode(n);
 }

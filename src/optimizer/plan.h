@@ -26,6 +26,7 @@ struct PlanNode {
     kSink,
     kMagicBuilder,
     kMagicGate,
+    kExchange,  ///< leaf fed by a remote fragment through an exchange
   };
 
   Kind kind = Kind::kScan;
@@ -44,6 +45,11 @@ struct PlanNode {
   double selectivity = 1.0;  ///< kFilter / join residual selectivity hint
   std::vector<std::pair<AttrId, AttrId>> join_attrs;  ///< kJoin key pairs
   std::vector<AttrId> group_attrs;                    ///< kAggregate keys
+  /// kExchange: static estimates supplied by the fragmenter (derived from
+  /// the producing fragment's plan — this fragment cannot see past the
+  /// wire).
+  double exchange_est_rows = 0;
+  std::unordered_map<AttrId, double> exchange_ndv;
 
   /// Which input port of `parent->op` this node feeds.
   int parent_port = 0;

@@ -7,9 +7,22 @@
 #include "exec/distinct.h"
 #include "exec/hash_aggregate.h"
 #include "exec/hash_join.h"
+#include "net/sim_link.h"
+#include "net/wire_format.h"
 #include "optimizer/cardinality.h"
 
 namespace pushsip {
+
+namespace {
+// Remote shipping always moves a Bloom summary (paper §V); for kHash sets
+// a Bloom is derived from the same key hashes.
+BloomFilter BloomFromHashes(const std::vector<uint64_t>& hashes,
+                            double target_fpr) {
+  BloomFilter bloom(std::max<size_t>(16, hashes.size()), target_fpr, 1);
+  for (const uint64_t h : hashes) bloom.Insert(h);
+  return bloom;
+}
+}  // namespace
 
 AipManager::AipManager(ExecContext* ctx, AipOptions options,
                        CostConstants cost_constants)
@@ -124,7 +137,13 @@ std::vector<const AipManager::Candidate*> AipManager::EstimateBenefit(
     // minus the probing cost on every arriving tuple.
     double benefit = pruned * cost_.DownstreamCostPerTuple(node_in) -
                      cost_.ProbeCost(remaining);
-    if (u->sp.direct_scan != nullptr && u->sp.scan_is_remote) {
+    // A summary built from hash-partitioned state covers only this site's
+    // key range and must stay local (it would falsely prune other
+    // partitions' rows at a shared remote scan), so no link savings apply.
+    const bool remote_target =
+        (u->sp.direct_scan != nullptr && u->sp.scan_is_remote) ||
+        (u->sp.remote_ship != nullptr && !source.sp.state_is_partitioned);
+    if (remote_target) {
       // Distributed extension: pruned tuples also skip the link. Use an
       // average row footprint; only ratios matter for the decision.
       constexpr double kRowBytes = 64.0;
@@ -147,7 +166,8 @@ std::vector<const AipManager::Candidate*> AipManager::EstimateBenefit(
                   options_.target_fpr, 1)
           .SizeBytes();
   for (const Candidate* u : beneficiaries) {
-    if (u->sp.direct_scan != nullptr && u->sp.scan_is_remote) {
+    if ((u->sp.direct_scan != nullptr && u->sp.scan_is_remote) ||
+        (u->sp.remote_ship != nullptr && !source.sp.state_is_partitioned)) {
       ship_cost += cost_.ShipCost(set_bytes);
     }
   }
@@ -207,17 +227,50 @@ void AipManager::OnInputFinished(Operator* op, int port) {
       decision.built = true;
 
       for (const Candidate* u : beneficiaries) {
-        auto filter = std::make_shared<AipFilter>(
-            "cb:" + decision.source + "->" + u->sp.op->name() + "#" +
-                std::to_string(u->sp.port),
-            u->col, set);
-        if (u->sp.direct_scan != nullptr && u->sp.scan_is_remote) {
-          // Simulate shipping the Bloom filter across the link before it
-          // becomes active at the remote source.
-          const double secs =
-              static_cast<double>(set->SizeBytes()) /
-              options_.ship_bandwidth_bytes_per_sec;
-          std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+        const std::string label = "cb:" + decision.source + "->" +
+                                  u->sp.op->name() + "#" +
+                                  std::to_string(u->sp.port);
+        auto filter = std::make_shared<AipFilter>(label, u->col, set);
+        if (u->sp.remote_ship != nullptr && !cand.sp.state_is_partitioned) {
+          // The port is fed by an exchange from another site and the source
+          // state covers the full key domain: serialize the Bloom summary
+          // and deliver it to the producing fragment(s), where it attaches
+          // before the link. (Partition-local state is handled by the final
+          // else branch — a local port filter — because shipping it would
+          // prune other partitions' rows at the shared remote scans.)
+          const BloomFilter* bloom = set->bloom();
+          const Result<double> secs = u->sp.remote_ship(
+              u->attr,
+              bloom != nullptr ? *bloom
+                               : BloomFromHashes(unique, options_.target_fpr),
+              label);
+          if (secs.ok()) {
+            filters_attached_.fetch_add(1);
+            std::lock_guard<std::mutex> lock(mu_);
+            ship_seconds_ += *secs;
+            continue;
+          }
+          // No remote attach point resolved: fall back to pruning locally
+          // at the port (saves downstream CPU, not the wire).
+          u->sp.op->AttachFilter(u->sp.port, filter);
+        } else if (u->sp.direct_scan != nullptr && u->sp.scan_is_remote) {
+          // Ship the Bloom filter across the scan's link before it becomes
+          // active at the remote source. When the physical link is known the
+          // serialized filter crosses (and is billed to) that link;
+          // otherwise fall back to the cost model's assumed bandwidth.
+          double secs;
+          if (u->sp.scan_link != nullptr) {
+            const std::string bytes = SerializeFilterMessage(
+                u->attr, set->bloom() != nullptr
+                             ? *set->bloom()
+                             : BloomFromHashes(unique, options_.target_fpr));
+            secs = u->sp.scan_link->TransferSeconds(bytes.size());
+            u->sp.scan_link->Transmit(bytes.size());
+          } else {
+            secs = static_cast<double>(set->SizeBytes()) /
+                   options_.ship_bandwidth_bytes_per_sec;
+            std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+          }
           {
             std::lock_guard<std::mutex> lock(mu_);
             ship_seconds_ += secs;

@@ -8,6 +8,14 @@ AipSet::AipSet(AipSetKind kind, size_t expected_entries, double target_fpr)
              /*num_hashes=*/1),
       hash_(/*num_buckets=*/64) {}
 
+AipSet::AipSet(BloomFilter bloom)
+    : kind_(AipSetKind::kBloom),
+      bloom_(std::move(bloom)),
+      hash_(/*num_buckets=*/1) {
+  inserted_.store(bloom_.inserted_count());
+  sealed_.store(true);
+}
+
 void AipSet::Insert(uint64_t hash) {
   PUSHSIP_DCHECK(!sealed_.load());
   std::unique_lock lock(mu_);

@@ -30,6 +30,10 @@ class AipSet {
   /// `expected_entries` sizes the Bloom variant (ignored for kHash).
   AipSet(AipSetKind kind, size_t expected_entries, double target_fpr = 0.05);
 
+  /// Wraps a fully built Bloom filter (e.g. one received from a remote
+  /// site); the set is born sealed.
+  explicit AipSet(BloomFilter bloom);
+
   void Insert(uint64_t hash);
 
   /// Inserts many hashes under one lock acquisition (hot path for the
@@ -52,6 +56,12 @@ class AipSet {
   /// For kHash: drop buckets until at most `budget` bytes remain (probes in
   /// dropped buckets pass through). No-op for kBloom.
   void ShrinkToBudget(size_t budget);
+
+  /// The Bloom summary, for serialization; nullptr for kHash sets. Only
+  /// valid on sealed sets (no further inserts may race the reader).
+  const BloomFilter* bloom() const {
+    return kind_ == AipSetKind::kBloom && sealed() ? &bloom_ : nullptr;
+  }
 
  private:
   AipSetKind kind_;

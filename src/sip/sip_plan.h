@@ -3,14 +3,24 @@
 #ifndef PUSHSIP_SIP_SIP_PLAN_H_
 #define PUSHSIP_SIP_SIP_PLAN_H_
 
+#include <functional>
 #include <vector>
 
 #include "exec/scan.h"
 #include "optimizer/plan.h"
 #include "sip/aip_set.h"
 #include "sip/predicate_graph.h"
+#include "util/bloom_filter.h"
 
 namespace pushsip {
+
+/// Ships a built AIP summary to the remote fragment(s) feeding a port and
+/// attaches it there, so pruned tuples never cross the link. `attr` names
+/// the filtered attribute (the receiving site resolves it to a scan
+/// column); `label` tags the injected filter for diagnostics. Returns the
+/// simulated seconds the shipment occupied the link(s).
+using RemoteFilterShipFn = std::function<Result<double>(
+    AttrId attr, const BloomFilter& filter, const std::string& label)>;
 
 /// One input port of a stateful operator (join side / group-by / distinct
 /// input) — both a potential AIP-set *source* (its buffered state) and a
@@ -26,6 +36,21 @@ struct StatefulPort {
   /// True when `direct_scan` sits behind a simulated network link (its
   /// source filters then save bandwidth, not just CPU).
   bool scan_is_remote = false;
+  /// The link a remote `direct_scan` transmits over, when known; filter
+  /// shipping is then charged to the same link the scan's tuples cross.
+  std::shared_ptr<SimLink> scan_link;
+  /// Non-null when the stream entering this port comes from another site
+  /// through an exchange: AIP then ships its filters across the wire to the
+  /// producing fragment(s) instead of attaching them locally.
+  RemoteFilterShipFn remote_ship;
+  /// True when the stream entering this port is one hash partition of the
+  /// logical stream (it, or something upstream of it, came through a
+  /// hash-partition exchange). State buffered from such a stream covers
+  /// only this site's key range, so a summary built from it must NEVER be
+  /// shipped to another site's scans — it would prune rows destined for
+  /// other partitions. Local attachment stays sound: the local stream is
+  /// the same partition.
+  bool state_is_partitioned = false;
 };
 
 /// Configuration shared by both AIP algorithms.

@@ -38,6 +38,23 @@ BloomFilter BloomFilter::WithBitCount(size_t num_bits, int num_hashes) {
   return f;
 }
 
+Result<BloomFilter> BloomFilter::FromParts(size_t num_bits, int num_hashes,
+                                           size_t inserted,
+                                           std::vector<uint64_t> words) {
+  if (num_bits == 0 || num_bits % 64 != 0 || words.size() != num_bits / 64) {
+    return Status::InvalidArgument("bloom filter wire geometry mismatch");
+  }
+  if (num_hashes < 1) {
+    return Status::InvalidArgument("bloom filter needs >= 1 hash");
+  }
+  BloomFilter f;
+  f.num_bits_ = num_bits;
+  f.num_hashes_ = num_hashes;
+  f.inserted_ = inserted;
+  f.words_ = std::move(words);
+  return f;
+}
+
 void BloomFilter::Insert(uint64_t hash) {
   for (int i = 0; i < num_hashes_; ++i) {
     const size_t bit = ProbeBit(hash, i, num_bits_);

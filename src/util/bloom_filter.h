@@ -28,6 +28,13 @@ class BloomFilter {
   /// Creates a filter with an explicit bit count.
   static BloomFilter WithBitCount(size_t num_bits, int num_hashes = 1);
 
+  /// Reconstructs a filter from its wire representation. `words` must hold
+  /// exactly num_bits/64 entries (num_bits is rounded up to a multiple of
+  /// 64 at construction, so that is also the serialized geometry).
+  static Result<BloomFilter> FromParts(size_t num_bits, int num_hashes,
+                                       size_t inserted,
+                                       std::vector<uint64_t> words);
+
   void Insert(uint64_t hash);
   bool MightContain(uint64_t hash) const;
 
@@ -50,6 +57,9 @@ class BloomFilter {
 
   /// Size in bytes of the bit array (what would be shipped over a network).
   size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// The raw bit array, for serialization.
+  const std::vector<uint64_t>& words() const { return words_; }
 
  private:
   BloomFilter() = default;

@@ -2,6 +2,21 @@
 
 namespace pushsip {
 
+Schema MakeInstanceSchema(const Table& table, const std::string& alias,
+                          int instance) {
+  Schema schema;
+  for (size_t c = 0; c < table.schema().num_fields(); ++c) {
+    const Field& base = table.schema().field(c);
+    std::string short_name = base.name;
+    const size_t dot = short_name.find('.');
+    if (dot != std::string::npos) short_name = short_name.substr(dot + 1);
+    schema.AddField(Field{alias + "." + short_name, base.type,
+                          static_cast<AttrId>(instance * 100 +
+                                              static_cast<int>(c))});
+  }
+  return schema;
+}
+
 PlanBuilder::PlanBuilder(ExecContext* ctx, std::shared_ptr<Catalog> catalog)
     : ctx_(ctx), catalog_(std::move(catalog)) {}
 
@@ -16,20 +31,26 @@ Result<PlanBuilder::NodeRec*> PlanBuilder::GetNode(NodeId id) {
 
 PlanBuilder::NodeId PlanBuilder::Register(std::unique_ptr<Operator> op,
                                           std::unique_ptr<PlanNode> pnode,
-                                          TableScan* scan, bool remote) {
+                                          NodeRec rec) {
   pnode->op = op.get();
-  NodeRec rec;
   rec.op = op.get();
   rec.pnode = plan_.AddNode(std::move(pnode));
-  rec.scan = scan;
-  rec.remote = remote;
   operators_.push_back(std::move(op));
-  nodes_.push_back(rec);
+  nodes_.push_back(std::move(rec));
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
 const Schema& PlanBuilder::schema(NodeId node) const {
   return nodes_[static_cast<size_t>(node)].op->output_schema();
+}
+
+double PlanBuilder::estimated_rows(NodeId node) const {
+  return nodes_[static_cast<size_t>(node)].pnode->est_rows;
+}
+
+const std::unordered_map<AttrId, double>& PlanBuilder::estimated_ndv(
+    NodeId node) const {
+  return nodes_[static_cast<size_t>(node)].pnode->ndv;
 }
 
 Result<ExprPtr> PlanBuilder::ColRef(NodeId node, const std::string& name)
@@ -50,26 +71,70 @@ Result<PlanBuilder::NodeId> PlanBuilder::Scan(const std::string& table_name,
   }
   // Build the instance schema: rename "table.col" -> "alias.col" and assign
   // fresh per-instance attribute ids.
-  const int instance = next_instance_++;
-  Schema schema;
-  for (size_t c = 0; c < table->schema().num_fields(); ++c) {
-    const Field& base = table->schema().field(c);
-    std::string short_name = base.name;
-    const size_t dot = short_name.find('.');
-    if (dot != std::string::npos) short_name = short_name.substr(dot + 1);
-    schema.AddField(Field{alias + "." + short_name, base.type,
-                          static_cast<AttrId>(instance * 100 +
-                                              static_cast<int>(c))});
-  }
+  const Schema schema = MakeInstanceSchema(*table, alias, next_instance_++);
   auto scan = std::make_unique<TableScan>(ctx_, "scan_" + alias, table,
                                           schema, std::move(options));
   TableScan* raw = scan.get();
   scans_.push_back(raw);
+  sources_.push_back(raw);
 
   auto pnode = std::make_unique<PlanNode>();
   pnode->kind = PlanNode::Kind::kScan;
   pnode->table = table;
-  return Register(std::move(scan), std::move(pnode), raw, remote);
+  NodeRec rec;
+  rec.scan = raw;
+  rec.remote = remote;
+  rec.scan_link = raw->options().link;
+  return Register(std::move(scan), std::move(pnode), std::move(rec));
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::ScanShard(
+    const std::string& table_name, Schema instance_schema, ScanOptions options,
+    bool remote) {
+  PUSHSIP_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(table_name));
+  if (instance_schema.num_fields() != table->schema().num_fields()) {
+    return Status::InvalidArgument("shard schema arity mismatch for " +
+                                   table_name);
+  }
+  const std::string& name = instance_schema.field(0).name;
+  const size_t dot = name.find('.');
+  const std::string alias =
+      dot != std::string::npos ? name.substr(0, dot) : table_name;
+  auto scan = std::make_unique<TableScan>(ctx_, "scan_" + alias, table,
+                                          std::move(instance_schema),
+                                          std::move(options));
+  TableScan* raw = scan.get();
+  scans_.push_back(raw);
+  sources_.push_back(raw);
+
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kScan;
+  pnode->table = table;
+  NodeRec rec;
+  rec.scan = raw;
+  rec.remote = remote;
+  rec.scan_link = raw->options().link;
+  return Register(std::move(scan), std::move(pnode), std::move(rec));
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::Source(
+    std::unique_ptr<SourceOperator> op, double est_rows,
+    std::unordered_map<AttrId, double> ndv, RemoteFilterShipFn remote_ship,
+    bool partitioned_stream) {
+  if (op == nullptr) return Status::InvalidArgument("null source operator");
+  if (op->context() != ctx_) {
+    return Status::InvalidArgument("source built on a different ExecContext");
+  }
+  SourceOperator* raw = op.get();
+  sources_.push_back(raw);
+  auto pnode = std::make_unique<PlanNode>();
+  pnode->kind = PlanNode::Kind::kExchange;
+  pnode->exchange_est_rows = est_rows;
+  pnode->exchange_ndv = std::move(ndv);
+  NodeRec rec;
+  rec.remote_ship = std::move(remote_ship);
+  rec.partitioned = partitioned_stream;
+  return Register(std::move(op), std::move(pnode), std::move(rec));
 }
 
 Result<PlanBuilder::NodeId> PlanBuilder::Filter(NodeId input,
@@ -85,7 +150,13 @@ Result<PlanBuilder::NodeId> PlanBuilder::Filter(NodeId input,
   pnode->children = {in->pnode};
   // Filters pass scans through for the "direct scan" bookkeeping: a filter
   // over a scan still lets AIP prefilter at the scan (schemas match).
-  return Register(std::move(op), std::move(pnode), in->scan, in->remote);
+  NodeRec rec;
+  rec.scan = in->scan;
+  rec.remote = in->remote;
+  rec.scan_link = in->scan_link;
+  rec.remote_ship = in->remote_ship;
+  rec.partitioned = in->partitioned;
+  return Register(std::move(op), std::move(pnode), std::move(rec));
 }
 
 Result<PlanBuilder::NodeId> PlanBuilder::Project(
@@ -106,7 +177,9 @@ Result<PlanBuilder::NodeId> PlanBuilder::Project(
   auto pnode = std::make_unique<PlanNode>();
   pnode->kind = PlanNode::Kind::kProject;
   pnode->children = {in->pnode};
-  return Register(std::move(op), std::move(pnode), nullptr, false);
+  NodeRec rec;
+  rec.partitioned = in->partitioned;
+  return Register(std::move(op), std::move(pnode), std::move(rec));
 }
 
 Result<PlanBuilder::NodeId> PlanBuilder::ProjectExprs(
@@ -122,7 +195,9 @@ Result<PlanBuilder::NodeId> PlanBuilder::ProjectExprs(
   auto pnode = std::make_unique<PlanNode>();
   pnode->kind = PlanNode::Kind::kProject;
   pnode->children = {in->pnode};
-  return Register(std::move(op), std::move(pnode), nullptr, false);
+  NodeRec rec;
+  rec.partitioned = in->partitioned;
+  return Register(std::move(op), std::move(pnode), std::move(rec));
 }
 
 void PlanBuilder::AddStatefulPort(Operator* op, int port,
@@ -133,6 +208,9 @@ void PlanBuilder::AddStatefulPort(Operator* op, int port,
   sp.schema = child.op->output_schema();
   sp.direct_scan = child.scan;
   sp.scan_is_remote = child.remote;
+  sp.scan_link = child.scan_link;
+  sp.remote_ship = child.remote_ship;
+  sp.state_is_partitioned = child.partitioned;
   sip_info_.stateful_ports.push_back(std::move(sp));
 }
 
@@ -176,7 +254,9 @@ Result<PlanBuilder::NodeId> PlanBuilder::Join(
   pnode->join_attrs = std::move(join_attrs);
   pnode->selectivity = residual_sel;
   pnode->children = {l->pnode, r->pnode};
-  return Register(std::move(op), std::move(pnode), nullptr, false);
+  NodeRec rec;
+  rec.partitioned = l->partitioned || r->partitioned;
+  return Register(std::move(op), std::move(pnode), std::move(rec));
 }
 
 Result<PlanBuilder::NodeId> PlanBuilder::Aggregate(
@@ -214,7 +294,9 @@ Result<PlanBuilder::NodeId> PlanBuilder::Aggregate(
   pnode->kind = PlanNode::Kind::kAggregate;
   pnode->group_attrs = std::move(group_attrs);
   pnode->children = {in->pnode};
-  return Register(std::move(op), std::move(pnode), nullptr, false);
+  NodeRec rec;
+  rec.partitioned = in->partitioned;
+  return Register(std::move(op), std::move(pnode), std::move(rec));
 }
 
 Result<PlanBuilder::NodeId> PlanBuilder::Distinct(NodeId input) {
@@ -226,7 +308,9 @@ Result<PlanBuilder::NodeId> PlanBuilder::Distinct(NodeId input) {
   auto pnode = std::make_unique<PlanNode>();
   pnode->kind = PlanNode::Kind::kDistinct;
   pnode->children = {in->pnode};
-  return Register(std::move(op), std::move(pnode), nullptr, false);
+  NodeRec rec;
+  rec.partitioned = in->partitioned;
+  return Register(std::move(op), std::move(pnode), std::move(rec));
 }
 
 Result<PlanBuilder::NodeId> PlanBuilder::MagicBuild(
@@ -245,7 +329,13 @@ Result<PlanBuilder::NodeId> PlanBuilder::MagicBuild(
   auto pnode = std::make_unique<PlanNode>();
   pnode->kind = PlanNode::Kind::kMagicBuilder;
   pnode->children = {in->pnode};
-  return Register(std::move(op), std::move(pnode), in->scan, in->remote);
+  NodeRec rec;
+  rec.scan = in->scan;
+  rec.remote = in->remote;
+  rec.scan_link = in->scan_link;
+  rec.remote_ship = in->remote_ship;
+  rec.partitioned = in->partitioned;
+  return Register(std::move(op), std::move(pnode), std::move(rec));
 }
 
 Result<PlanBuilder::NodeId> PlanBuilder::MagicGateOn(
@@ -265,7 +355,9 @@ Result<PlanBuilder::NodeId> PlanBuilder::MagicGateOn(
   pnode->kind = PlanNode::Kind::kMagicGate;
   pnode->selectivity = selectivity;
   pnode->children = {in->pnode};
-  return Register(std::move(op), std::move(pnode), nullptr, false);
+  NodeRec rec;
+  rec.partitioned = in->partitioned;
+  return Register(std::move(op), std::move(pnode), std::move(rec));
 }
 
 Status PlanBuilder::Finish(NodeId root) {
@@ -273,12 +365,29 @@ Status PlanBuilder::Finish(NodeId root) {
   PUSHSIP_ASSIGN_OR_RETURN(NodeRec* r, GetNode(root));
   auto op = std::make_unique<Sink>(ctx_, "sink", r->op->output_schema());
   sink_ = op.get();
+  return Finalize(root, std::move(op));
+}
+
+Status PlanBuilder::FinishWith(NodeId root,
+                               std::unique_ptr<Operator> terminal) {
+  if (finished_) return Status::Internal("plan already finished");
+  if (terminal == nullptr) return Status::InvalidArgument("null terminal");
+  if (terminal->num_inputs() != 1) {
+    return Status::InvalidArgument("fragment terminal must take one input");
+  }
+  return Finalize(root, std::move(terminal));
+}
+
+Status PlanBuilder::Finalize(NodeId root, std::unique_ptr<Operator> op) {
+  if (finished_) return Status::Internal("plan already finished");
+  PUSHSIP_ASSIGN_OR_RETURN(NodeRec* r, GetNode(root));
+  terminal_ = op.get();
   r->op->SetOutput(op.get(), 0);
   auto pnode = std::make_unique<PlanNode>();
   pnode->kind = PlanNode::Kind::kSink;
   pnode->children = {r->pnode};
-  const NodeId sink_id = Register(std::move(op), std::move(pnode), nullptr,
-                                  false);
+  const NodeId sink_id = Register(std::move(op), std::move(pnode),
+                                  NodeRec{});
   plan_.SetRoot(nodes_[static_cast<size_t>(sink_id)].pnode);
   plan_.Estimate();
 
@@ -299,7 +408,10 @@ Status PlanBuilder::Finish(NodeId root) {
 
 Result<QueryStats> PlanBuilder::Run() {
   if (!finished_) return Status::Internal("call Finish() before Run()");
-  Driver driver(ctx_, scans_, sink_);
+  if (sink_ == nullptr) {
+    return Status::Internal("fragment has no Sink; use the multi-site driver");
+  }
+  Driver driver(ctx_, sources_, sink_);
   return driver.Run();
 }
 

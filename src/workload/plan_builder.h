@@ -32,6 +32,14 @@ struct AggDesc {
   std::string out_name;
 };
 
+/// The schema PlanBuilder::Scan assigns to instance number `instance` of
+/// `table` under `alias`: columns renamed "alias.col", attribute ids
+/// instance*100+column. Exposed so distributed plans can give shard scans
+/// of the same logical table, built in different fragments, identical
+/// attribute ids.
+Schema MakeInstanceSchema(const Table& table, const std::string& alias,
+                          int instance);
+
 /// \brief Fluent construction of one executable query plan.
 ///
 /// The builder owns every operator it creates; keep it alive while the
@@ -51,6 +59,25 @@ class PlanBuilder {
   /// transfer hook; see RemoteNode::WrapScanOptions).
   Result<NodeId> Scan(const std::string& table, const std::string& alias,
                       ScanOptions options = {}, bool remote = false);
+
+  /// Scans `table` with a caller-supplied instance schema (attribute ids
+  /// included) instead of allocating a fresh instance. Used for partitioned
+  /// scans: every site's shard of one logical table carries the same
+  /// attributes, so streams merged by an exchange stay AIP-correlatable.
+  Result<NodeId> ScanShard(const std::string& table, Schema instance_schema,
+                           ScanOptions options = {}, bool remote = false);
+
+  /// Registers an externally created source (an exchange receiver) as a
+  /// leaf. `est_rows`/`ndv` seed the estimator — this fragment cannot see
+  /// past the wire. `remote_ship`, when set, lets cost-based AIP deliver
+  /// filters to the fragment(s) feeding the source. `partitioned_stream`
+  /// marks a source carrying one hash partition of the logical stream
+  /// (see StatefulPort::state_is_partitioned); the flag propagates to
+  /// every stateful port downstream of the source.
+  Result<NodeId> Source(std::unique_ptr<SourceOperator> op, double est_rows,
+                        std::unordered_map<AttrId, double> ndv = {},
+                        RemoteFilterShipFn remote_ship = nullptr,
+                        bool partitioned_stream = false);
 
   /// Default rate limiting applied to scans that carry none of their own —
   /// models the paper's disk-streamed (I/O-paced) sources and makes input
@@ -109,6 +136,11 @@ class PlanBuilder {
   /// Plan, and finalizes SipPlanInfo.
   Status Finish(NodeId root);
 
+  /// Terminates a non-root fragment with `terminal` (an exchange sender)
+  /// instead of a Sink. The fragment then has no Sink and is run by the
+  /// multi-site driver rather than Run().
+  Status FinishWith(NodeId root, std::unique_ptr<Operator> terminal);
+
   /// Convenience: runs the finished plan with a Driver.
   Result<QueryStats> Run();
 
@@ -119,6 +151,14 @@ class PlanBuilder {
 
   Sink* sink() const { return sink_; }
   const std::vector<TableScan*>& source_scans() const { return scans_; }
+  /// All leaves (scans and registered sources), in creation order.
+  const std::vector<SourceOperator*>& sources() const { return sources_; }
+  /// The fragment's terminal operator (Sink, or the FinishWith terminal).
+  Operator* terminal() const { return terminal_; }
+  /// Estimated output rows of `node` (valid after Finish/FinishWith).
+  double estimated_rows(NodeId node) const;
+  /// Estimated per-attribute distinct counts of `node`'s output.
+  const std::unordered_map<AttrId, double>& estimated_ndv(NodeId node) const;
   SipPlanInfo& sip_info() { return sip_info_; }
   Plan& plan() { return plan_; }
   ExecContext* context() const { return ctx_; }
@@ -130,21 +170,27 @@ class PlanBuilder {
     PlanNode* pnode = nullptr;
     TableScan* scan = nullptr;  ///< non-null when this node is a scan
     bool remote = false;
+    std::shared_ptr<SimLink> scan_link;  ///< link a remote scan crosses
+    RemoteFilterShipFn remote_ship;      ///< set on exchange-fed sources
+    /// Some input of this node's subtree was a hash-partitioned source.
+    bool partitioned = false;
   };
 
   Result<NodeRec*> GetNode(NodeId id);
   NodeId Register(std::unique_ptr<Operator> op,
-                  std::unique_ptr<PlanNode> pnode, TableScan* scan,
-                  bool remote);
+                  std::unique_ptr<PlanNode> pnode, NodeRec rec);
   /// Records (op, port) as a stateful port fed by `child`.
   void AddStatefulPort(Operator* op, int port, const NodeRec& child);
+  Status Finalize(NodeId root, std::unique_ptr<Operator> terminal);
 
   ExecContext* ctx_;
   std::shared_ptr<Catalog> catalog_;
   std::vector<std::unique_ptr<Operator>> operators_;
   std::vector<NodeRec> nodes_;
   std::vector<TableScan*> scans_;
+  std::vector<SourceOperator*> sources_;
   Sink* sink_ = nullptr;
+  Operator* terminal_ = nullptr;
   Plan plan_;
   SipPlanInfo sip_info_;
   int next_instance_ = 0;

@@ -1,0 +1,169 @@
+// ExchangeChannel / ExchangeSender / ExchangeReceiver: routing modes,
+// multi-sender completion, link charging, and cancellation.
+#include "dist/exchange.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "exec/sink.h"
+
+namespace pushsip {
+namespace {
+
+Schema TwoIntSchema() {
+  return Schema({Field{"t.k", TypeId::kInt64, 0},
+                 Field{"t.v", TypeId::kInt64, 1}});
+}
+
+Batch MakeBatch(int64_t first_key, int64_t count) {
+  Batch batch;
+  for (int64_t i = 0; i < count; ++i) {
+    batch.rows.push_back(
+        Tuple({Value::Int64(first_key + i), Value::Int64(i)}));
+  }
+  return batch;
+}
+
+TEST(ExchangeTest, ForwardMovesTheWholeStream) {
+  ExecContext send_ctx, recv_ctx;
+  auto channel = std::make_shared<ExchangeChannel>();
+  channel->set_num_senders(1);
+  auto link = std::make_shared<SimLink>(1e12, 0);
+
+  ExchangeSender sender(&send_ctx, "xsend", TwoIntSchema(),
+                        ExchangeMode::kForward, {}, {{channel, link}});
+  ExchangeReceiver receiver(&recv_ctx, "xrecv", TwoIntSchema(), channel);
+  Sink sink(&recv_ctx, "sink", TwoIntSchema());
+  receiver.SetOutput(&sink);
+
+  std::thread recv_thread([&] { receiver.Run().CheckOK(); });
+  ASSERT_TRUE(sender.Push(0, MakeBatch(0, 100)).ok());
+  ASSERT_TRUE(sender.Push(0, MakeBatch(100, 50)).ok());
+  ASSERT_TRUE(sender.Finish(0).ok());
+  recv_thread.join();
+
+  EXPECT_EQ(sink.num_rows(), 150);
+  EXPECT_TRUE(sink.finished());
+  EXPECT_EQ(link->bytes_transferred(), sender.bytes_sent());
+  EXPECT_GT(sender.bytes_sent(), 0);
+  EXPECT_EQ(receiver.batches_received(), 2);
+}
+
+TEST(ExchangeTest, HashPartitionIsADisjointCover) {
+  ExecContext send_ctx;
+  ExecContext recv_ctx[2];
+  std::vector<ExchangeDestination> dests;
+  std::vector<std::shared_ptr<ExchangeChannel>> channels;
+  for (int i = 0; i < 2; ++i) {
+    channels.push_back(std::make_shared<ExchangeChannel>());
+    channels.back()->set_num_senders(1);
+    dests.push_back({channels.back(), nullptr});
+  }
+  ExchangeSender sender(&send_ctx, "xsend", TwoIntSchema(),
+                        ExchangeMode::kHashPartition, {0}, dests);
+
+  std::vector<std::unique_ptr<ExchangeReceiver>> receivers;
+  std::vector<std::unique_ptr<Sink>> sinks;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    receivers.push_back(std::make_unique<ExchangeReceiver>(
+        &recv_ctx[i], "xrecv", TwoIntSchema(), channels[i]));
+    sinks.push_back(
+        std::make_unique<Sink>(&recv_ctx[i], "sink", TwoIntSchema()));
+    receivers.back()->SetOutput(sinks.back().get());
+  }
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&, i] { receivers[i]->Run().CheckOK(); });
+  }
+  ASSERT_TRUE(sender.Push(0, MakeBatch(0, 1000)).ok());
+  ASSERT_TRUE(sender.Finish(0).ok());
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(sinks[0]->num_rows() + sinks[1]->num_rows(), 1000);
+  EXPECT_GT(sinks[0]->num_rows(), 0);  // both partitions non-trivial
+  EXPECT_GT(sinks[1]->num_rows(), 0);
+  // Every row landed at the partition its key hashes to.
+  for (int i = 0; i < 2; ++i) {
+    for (const Tuple& row : sinks[i]->rows()) {
+      EXPECT_EQ(row.HashColumns({0}) % 2, static_cast<uint64_t>(i));
+    }
+  }
+}
+
+TEST(ExchangeTest, BroadcastReplicatesToEveryChannel) {
+  ExecContext send_ctx;
+  ExecContext recv_ctx[3];
+  std::vector<ExchangeDestination> dests;
+  std::vector<std::shared_ptr<ExchangeChannel>> channels;
+  for (int i = 0; i < 3; ++i) {
+    channels.push_back(std::make_shared<ExchangeChannel>());
+    channels.back()->set_num_senders(1);
+    dests.push_back({channels.back(), nullptr});
+  }
+  ExchangeSender sender(&send_ctx, "xsend", TwoIntSchema(),
+                        ExchangeMode::kBroadcast, {}, dests);
+
+  std::vector<std::unique_ptr<ExchangeReceiver>> receivers;
+  std::vector<std::unique_ptr<Sink>> sinks;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    receivers.push_back(std::make_unique<ExchangeReceiver>(
+        &recv_ctx[i], "xrecv", TwoIntSchema(), channels[i]));
+    sinks.push_back(
+        std::make_unique<Sink>(&recv_ctx[i], "sink", TwoIntSchema()));
+    receivers.back()->SetOutput(sinks.back().get());
+  }
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] { receivers[i]->Run().CheckOK(); });
+  }
+  ASSERT_TRUE(sender.Push(0, MakeBatch(0, 77)).ok());
+  ASSERT_TRUE(sender.Finish(0).ok());
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(sinks[i]->num_rows(), 77);
+}
+
+TEST(ExchangeTest, ReceiverWaitsForAllSenders) {
+  ExecContext ctx1, ctx2, recv_ctx;
+  auto channel = std::make_shared<ExchangeChannel>();
+  channel->set_num_senders(2);
+  ExchangeSender s1(&ctx1, "xsend1", TwoIntSchema(), ExchangeMode::kForward,
+                    {}, {{channel, nullptr}});
+  ExchangeSender s2(&ctx2, "xsend2", TwoIntSchema(), ExchangeMode::kForward,
+                    {}, {{channel, nullptr}});
+  ExchangeReceiver receiver(&recv_ctx, "xrecv", TwoIntSchema(), channel);
+  Sink sink(&recv_ctx, "sink", TwoIntSchema());
+  receiver.SetOutput(&sink);
+
+  std::thread recv_thread([&] { receiver.Run().CheckOK(); });
+  ASSERT_TRUE(s1.Push(0, MakeBatch(0, 10)).ok());
+  ASSERT_TRUE(s1.Finish(0).ok());
+  // One sender finishing must not end the stream.
+  ASSERT_TRUE(s2.Push(0, MakeBatch(100, 20)).ok());
+  ASSERT_TRUE(s2.Finish(0).ok());
+  recv_thread.join();
+  EXPECT_EQ(sink.num_rows(), 30);
+}
+
+TEST(ExchangeTest, CancelUnblocksABlockedSender) {
+  ExecContext ctx;
+  auto channel = std::make_shared<ExchangeChannel>(/*capacity=*/1);
+  channel->set_num_senders(1);
+  ExchangeSender sender(&ctx, "xsend", TwoIntSchema(),
+                        ExchangeMode::kForward, {}, {{channel, nullptr}});
+  ASSERT_TRUE(sender.Push(0, MakeBatch(0, 1)).ok());  // fills the queue
+
+  std::thread blocked([&] {
+    const Status st = sender.Push(0, MakeBatch(1, 1));
+    EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  channel->Cancel();
+  blocked.join();
+
+  std::string bytes;
+  EXPECT_FALSE(channel->Receive(&bytes));  // cancelled channel yields nothing
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,148 @@
+// Serialize -> deserialize round-trip property tests for the cross-site
+// wire format, seeded via PUSHSIP_TEST_SEED.
+#include "net/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_rng.h"
+
+namespace pushsip {
+namespace {
+
+using testing::SeededRandom;
+using testing::TestSeed;
+
+Value RandomValue(Random* rng, int type_pick) {
+  switch (type_pick) {
+    case 0: return Value::Null();
+    case 1: return Value::Int64(static_cast<int64_t>(rng->NextUint64()));
+    case 2: return Value::Double(rng->UniformDouble() * 1e9 - 5e8);
+    case 3: return Value::Date(rng->UniformInt(0, 20000));
+    default: {
+      // Strings with arbitrary bytes, including NULs and empties.
+      const int len = static_cast<int>(rng->UniformInt(0, 40));
+      std::string s;
+      for (int i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng->UniformInt(0, 256)));
+      }
+      return Value::String(std::move(s));
+    }
+  }
+}
+
+TEST(WireFormatTest, BatchRoundTripProperty) {
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom(1);
+  for (int round = 0; round < 50; ++round) {
+    Batch batch;
+    const int rows = static_cast<int>(rng.UniformInt(0, 20));
+    for (int r = 0; r < rows; ++r) {
+      Tuple t;
+      const int arity = static_cast<int>(rng.UniformInt(0, 8));
+      for (int c = 0; c < arity; ++c) {
+        t.Append(RandomValue(&rng, static_cast<int>(rng.UniformInt(0, 5))));
+      }
+      batch.rows.push_back(std::move(t));
+    }
+
+    const std::string bytes = SerializeBatch(batch);
+    auto decoded = DeserializeBatch(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_EQ(decoded->size(), batch.size());
+    for (size_t r = 0; r < batch.size(); ++r) {
+      const Tuple& in = batch.rows[r];
+      const Tuple& out = decoded->rows[r];
+      ASSERT_EQ(out.size(), in.size());
+      for (size_t c = 0; c < in.size(); ++c) {
+        EXPECT_EQ(out.at(c).type(), in.at(c).type());
+        EXPECT_EQ(out.at(c).Compare(in.at(c)), 0)
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(WireFormatTest, EmptyBatch) {
+  const std::string bytes = SerializeBatch(Batch{});
+  auto decoded = DeserializeBatch(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(WireFormatTest, NullAndStringColumns) {
+  Batch batch;
+  batch.rows.push_back(Tuple({Value::Null(), Value::String(""),
+                              Value::String(std::string("a\0b", 3)),
+                              Value::Int64(-1)}));
+  auto decoded = DeserializeBatch(SerializeBatch(batch));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->rows[0].at(0).is_null());
+  EXPECT_EQ(decoded->rows[0].at(1).AsString(), "");
+  EXPECT_EQ(decoded->rows[0].at(2).AsString(), std::string("a\0b", 3));
+  EXPECT_EQ(decoded->rows[0].at(3).AsInt64(), -1);
+}
+
+TEST(WireFormatTest, BatchRejectsGarbageAndTruncation) {
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom(2);
+  Batch batch;
+  for (int r = 0; r < 5; ++r) {
+    batch.rows.push_back(Tuple({Value::Int64(r), Value::String("abcdef")}));
+  }
+  const std::string bytes = SerializeBatch(batch);
+  EXPECT_FALSE(DeserializeBatch("").ok());
+  EXPECT_FALSE(DeserializeBatch("XY" + bytes.substr(2)).ok());
+  for (int i = 0; i < 20; ++i) {
+    const size_t cut = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+    EXPECT_FALSE(DeserializeBatch(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  // Trailing garbage is rejected, too.
+  EXPECT_FALSE(DeserializeBatch(bytes + "x").ok());
+}
+
+TEST(WireFormatTest, BloomFilterRoundTripProperty) {
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom(3);
+  for (int round = 0; round < 20; ++round) {
+    const size_t entries = 16 + static_cast<size_t>(rng.UniformInt(0, 5000));
+    const int hashes = static_cast<int>(rng.UniformInt(1, 4));
+    BloomFilter filter(entries, 0.05, hashes);
+    std::vector<uint64_t> keys(entries);
+    for (auto& k : keys) {
+      k = rng.NextUint64();
+      filter.Insert(k);
+    }
+
+    auto decoded = DeserializeBloomFilter(SerializeBloomFilter(filter));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->num_bits(), filter.num_bits());
+    EXPECT_EQ(decoded->num_hashes(), filter.num_hashes());
+    EXPECT_EQ(decoded->inserted_count(), filter.inserted_count());
+    EXPECT_EQ(decoded->words(), filter.words());
+    for (const uint64_t k : keys) {
+      EXPECT_TRUE(decoded->MightContain(k));  // never a false negative
+    }
+    for (int probe = 0; probe < 100; ++probe) {
+      const uint64_t k = rng.NextUint64();
+      EXPECT_EQ(decoded->MightContain(k), filter.MightContain(k));
+    }
+  }
+}
+
+TEST(WireFormatTest, FilterMessageRoundTrip) {
+  BloomFilter filter(128, 0.05, 1);
+  for (uint64_t k = 0; k < 100; ++k) filter.Insert(k * 977);
+  const std::string bytes = SerializeFilterMessage(AttrId{204}, filter);
+  auto msg = DeserializeFilterMessage(bytes);
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(msg->attr, 204);
+  EXPECT_EQ(msg->filter.words(), filter.words());
+  // A filter message is not a batch and vice versa.
+  EXPECT_FALSE(DeserializeBatch(bytes).ok());
+  EXPECT_FALSE(DeserializeFilterMessage(SerializeBatch(Batch{})).ok());
+}
+
+}  // namespace
+}  // namespace pushsip

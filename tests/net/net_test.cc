@@ -1,3 +1,5 @@
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "net/remote_node.h"
@@ -27,6 +29,28 @@ TEST(SimLinkTest, LatencyPaidOnce) {
   Stopwatch timer2;
   link.Transmit(10);
   EXPECT_LT(timer2.ElapsedMillis(), 20.0);
+}
+
+TEST(SimLinkTest, ConcurrentFirstTransmissionsPayLatencyExactlyOnce) {
+  // Eight threads race the first transmission; the exchange-guarded
+  // latency path must admit exactly one payer (neither zero nor several).
+  SimLink link(1e12, 100);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&link] { link.Transmit(8); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(link.bytes_transferred(), 64);
+  // busy_seconds sums each transmission's simulated time: 8 negligible
+  // transfers plus the one-time 100 ms latency, counted once.
+  EXPECT_NEAR(link.busy_seconds(), 0.1, 0.01);
+}
+
+TEST(SimLinkTest, BusySecondsTracksTransferTime) {
+  SimLink link(8e9, 0);  // 1 GB/s
+  link.Transmit(10 << 20);
+  link.Transmit(10 << 20);
+  EXPECT_NEAR(link.busy_seconds(), 0.02, 0.005);
 }
 
 TEST(RemoteNodeTest, ScanChargesLink) {

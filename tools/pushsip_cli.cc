@@ -13,10 +13,17 @@
 //   --pace=<rows>          default scan pacing interval (0 = off)
 //   --remote-bw=<bps>      link bandwidth for Q1C/Q3C (default 100e6)
 //   --rows                 print the result rows
+//
+// Distributed mode: --sites=N (N >= 1) runs the scale-out workload on N
+// simulated sites instead of a single-engine query:
+//   pushsip_cli --sites=4 --dist=q17 --strategy=cb
+//   --dist=<q17|subq>      which scale-out scenario (default q17)
+//   (--strategy baseline|cb selects no-AIP vs cost-based AIP)
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "dist/scale_out.h"
 #include "storage/tpch_generator.h"
 #include "workload/experiment.h"
 
@@ -54,6 +61,8 @@ int main(int argc, char** argv) {
   bool print_rows = false;
   bool force_skew = false;
   size_t pace = 512;
+  int sites = 0;
+  ScaleOutQuery dist_query = ScaleOutQuery::kQ17;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,17 +88,68 @@ int main(int argc, char** argv) {
       pace = static_cast<size_t>(std::atoll(arg.c_str() + 7));
     } else if (arg.rfind("--remote-bw=", 0) == 0) {
       cfg.remote_bandwidth_bps = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--sites=", 0) == 0) {
+      sites = std::atoi(arg.c_str() + 8);
+    } else if (arg == "--dist=q17") {
+      dist_query = ScaleOutQuery::kQ17;
+    } else if (arg == "--dist=subq") {
+      dist_query = ScaleOutQuery::kSubquery;
     } else if (arg == "--rows") {
       print_rows = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: pushsip_cli [--query=Q1A] [--strategy=baseline|"
                   "magic|ff|cb]\n  [--sf=0.01] [--seed=42] [--skewed] "
-                  "[--delay] [--pace=512]\n  [--remote-bw=1e8] [--rows]\n");
+                  "[--delay] [--pace=512]\n  [--remote-bw=1e8] [--rows]\n"
+                  "  [--sites=N --dist=q17|subq]  (distributed scale-out "
+                  "mode)\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (sites > 0) {
+    if (strategy != Strategy::kBaseline && strategy != Strategy::kCostBased) {
+      std::fprintf(stderr,
+                   "distributed mode supports --strategy=baseline|cb\n");
+      return 2;
+    }
+    gen.skewed = force_skew;
+    ScaleOutOptions opts;
+    opts.num_sites = sites;
+    opts.aip = strategy == Strategy::kCostBased;
+    auto built = BuildScaleOutQuery(dist_query, MakeTpchCatalog(gen), opts);
+    if (!built.ok()) {
+      std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    auto r = (*built)->Run();
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("query          : %s on %d sites (sf=%g)\n",
+                ScaleOutQueryName(dist_query), sites, gen.scale_factor);
+    std::printf("strategy       : %s\n", StrategyName(strategy));
+    std::printf("result rows    : %lld\n",
+                static_cast<long long>(r->result_rows));
+    std::printf("running time   : %.2f ms\n", r->elapsed_sec * 1e3);
+    std::printf("peak op state  : %.3f MB (summed over sites)\n",
+                r->peak_state_mb());
+    std::printf("bytes shipped  : %.3f MB across %.3f link-seconds\n",
+                r->shipped_mb(), r->link_seconds);
+    std::printf("pruned @source : %lld\n",
+                static_cast<long long>(r->rows_source_pruned));
+    std::printf("AIP sets/filters shipped: %lld / %lld\n",
+                static_cast<long long>(r->aip_sets),
+                static_cast<long long>(r->aip_filters));
+    if (print_rows) {
+      for (const Tuple& row : (*built)->root_sink->rows()) {
+        std::printf("%s\n", row.ToString().c_str());
+      }
+    }
+    return 0;
   }
 
   gen.skewed = force_skew || QueryWantsSkewedData(query);
