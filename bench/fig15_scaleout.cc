@@ -6,24 +6,151 @@
 //
 // Flags: the shared harness flags (--sf=, --reps=, --seed=, --json <path>)
 // plus --max-sites=N (default 8) and --bw=<bits/sec> (default 1e9).
+//
+// --kill-site[=K] switches to the chaos mode: Q17 runs once cleanly and
+// once with site K (default 1) going dark after --kill-after=N (default
+// 200) matched transmissions; the report compares the two runs — recovery
+// overhead in time and retransmitted bytes, plus restart/dedup counters —
+// and fails if the recovered answer differs from the clean one.
+#include <cmath>
 #include <cstring>
 
 #include "bench/figure_harness.h"
 #include "dist/scale_out.h"
+#include "net/fault_injector.h"
 
 using namespace pushsip;
 using namespace pushsip::bench;
+
+namespace {
+
+/// One measured Q17 execution for the --kill-site comparison.
+struct KillRun {
+  DistQueryStats stats;
+  std::vector<Tuple> rows;
+};
+
+int RunKillSiteMode(const HarnessOptions& opts, int kill_site,
+                    int64_t kill_after, int sites, double bandwidth_bps,
+                    bool weak_filter) {
+  TpchConfig gen;
+  gen.scale_factor = opts.scale_factor;
+  gen.seed = opts.seed;
+  auto catalog = MakeTpchCatalog(gen);
+
+  std::printf("# Fig. 15 chaos mode: Q17 on %d sites, kill site %d after "
+              "%lld transmissions\n",
+              sites, kill_site, static_cast<long long>(kill_after));
+  std::printf("%-10s %12s %14s %10s %10s %10s %10s\n", "run", "time(ms)",
+              "shipped MB", "faults", "restarts", "dropped", "reships");
+
+  std::vector<JsonRecord> records;
+  KillRun clean, killed;
+  for (const bool kill : {false, true}) {
+    ScaleOutOptions so;
+    so.num_sites = sites;
+    so.bandwidth_bps = bandwidth_bps;
+    so.aip = true;
+    so.weak_part_filter = weak_filter;
+    if (kill) {
+      so.fault_injector = std::make_shared<FaultInjector>();
+      so.fault_injector->SiteDown(kill_site, kill_after);
+    }
+    auto query = BuildScaleOutQuery(ScaleOutQuery::kQ17, catalog, so);
+    if (!query.ok()) {
+      std::fprintf(stderr, "FAILED build: %s\n",
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    auto stats = (*query)->Run();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "FAILED run: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    KillRun& run = kill ? killed : clean;
+    run.stats = *stats;
+    run.rows = (*query)->root_sink->TakeRows();
+    std::printf("%-10s %12.1f %14.3f %10lld %10lld %10lld %10lld\n",
+                kill ? "killed" : "clean", stats->elapsed_sec * 1e3,
+                stats->shipped_mb(),
+                static_cast<long long>(stats->faults_injected),
+                static_cast<long long>(stats->fragment_restarts),
+                static_cast<long long>(stats->batches_discarded),
+                static_cast<long long>(stats->aip_reships));
+    JsonRecord record;
+    record.query = "Q17-scaleout";
+    record.strategy = kill ? "Cost-based+kill" : "Cost-based";
+    record.sites = sites;
+    record.elapsed_sec = stats->elapsed_sec;
+    record.peak_state_mb = stats->peak_state_mb();
+    record.rows_pruned = stats->rows_pruned + stats->rows_source_pruned;
+    record.bytes_shipped = stats->bytes_shipped;
+    record.metric_mean = stats->elapsed_sec;
+    records.push_back(record);
+  }
+
+  // Deterministic replay + epoch dedup: the recovered answer must match.
+  if (clean.rows.size() != killed.rows.size()) {
+    std::fprintf(stderr, "FAILED: recovered run returned %zu rows vs %zu\n",
+                 killed.rows.size(), clean.rows.size());
+    return 1;
+  }
+  if (!clean.rows.empty() && !clean.rows[0].at(0).is_null()) {
+    const double want = clean.rows[0].at(0).AsDouble();
+    const double got = killed.rows[0].at(0).AsDouble();
+    if (std::abs(got - want) > std::abs(want) * 1e-9 + 1e-9) {
+      std::fprintf(stderr, "FAILED: recovered answer %f differs from %f\n",
+                   got, want);
+      return 1;
+    }
+  }
+  const double overhead_ms =
+      (killed.stats.elapsed_sec - clean.stats.elapsed_sec) * 1e3;
+  const double extra_mb =
+      killed.stats.shipped_mb() - clean.stats.shipped_mb();
+  std::printf("# recovery overhead: %+.1f ms, %+.3f MB retransmitted, "
+              "answer identical\n",
+              overhead_ms, extra_mb);
+  if (!opts.json_path.empty() &&
+      !WriteJsonReport(opts.json_path, "fig15_scaleout_kill",
+                       "Fig. 15 chaos - Q17 with one site killed mid-query",
+                       opts, records)) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const HarnessOptions opts = ParseArgs(argc, argv);
   int max_sites = 8;
   double bandwidth_bps = 1e9;
+  int kill_site = -1;
+  int64_t kill_after = 200;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--max-sites=", 12) == 0) {
       max_sites = std::atoi(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--bw=", 5) == 0) {
       bandwidth_bps = std::atof(argv[i] + 5);
+    } else if (std::strncmp(argv[i], "--kill-site=", 12) == 0) {
+      kill_site = std::atoi(argv[i] + 12);
+    } else if (std::strcmp(argv[i], "--kill-site") == 0) {
+      kill_site = 1;
+    } else if (std::strncmp(argv[i], "--kill-after=", 13) == 0) {
+      kill_after = std::atoll(argv[i] + 13);
     }
+  }
+  if (kill_site >= 0) {
+    const int sites = max_sites >= 2 ? max_sites : 4;
+    if (kill_site >= sites) {
+      std::fprintf(stderr, "--kill-site=%d out of range for %d sites\n",
+                   kill_site, sites);
+      return 1;
+    }
+    return RunKillSiteMode(opts, kill_site, kill_after, sites, bandwidth_bps,
+                           opts.scale_factor < 0.01);
   }
 
   TpchConfig gen;

@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

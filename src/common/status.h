@@ -24,6 +24,10 @@ enum class StatusCode {
   kNotImplemented,
   kCancelled,
   kIOError,
+  /// A (simulated) remote resource is temporarily unreachable — a downed
+  /// link or site. The distributed driver treats this as transient and
+  /// retries restartable fragments; everything else surfaces it as fatal.
+  kUnavailable,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -61,6 +65,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

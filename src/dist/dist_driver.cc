@@ -1,10 +1,66 @@
 #include "dist/dist_driver.h"
 
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "util/stopwatch.h"
 
 namespace pushsip {
+
+TableScan* FragmentReplayScan(const PlanBuilder& fragment) {
+  const std::vector<SourceOperator*>& sources = fragment.sources();
+  if (sources.size() != 1) return nullptr;
+  auto* scan = dynamic_cast<TableScan*>(sources[0]);
+  if (scan == nullptr || !scan->options().window_batches) return nullptr;
+  if (dynamic_cast<ExchangeSender*>(fragment.terminal()) == nullptr) {
+    return nullptr;
+  }
+  for (const auto& op : fragment.operators()) {
+    if (op->IsStateful()) return nullptr;  // replay would double its state
+  }
+  return scan;
+}
+
+bool EnableFragmentReplay(PlanBuilder& fragment) {
+  TableScan* scan = FragmentReplayScan(fragment);
+  if (scan == nullptr) return false;
+  static_cast<ExchangeSender*>(fragment.terminal())->BindSeqSource(scan);
+  return true;
+}
+
+void DistributedQuery::Cancel() {
+  for (auto& channel : channels) {
+    if (channel != nullptr) channel->Cancel();
+  }
+  for (auto& site : sites) {
+    if (site != nullptr) site->context().Cancel();
+  }
+}
+
+DistributedQuery::~DistributedQuery() {
+  // Unconditional teardown: even when Run() was never reached (an
+  // early-error path during assembly) or a fragment's sender thread never
+  // started, no receiver or sender blocked on a channel may stay asleep.
+  Cancel();
+}
+
+namespace {
+
+/// Supervision state of one fragment: its threads, attempts, and the first
+/// non-cancellation error of the current attempt.
+struct FragmentRun {
+  SiteEngine* site = nullptr;
+  PlanBuilder* fragment = nullptr;
+  bool replayable = false;
+  int attempts = 0;
+  int active_threads = 0;
+  bool finished = false;  ///< an attempt completed without error
+  Status error;           ///< error of the current attempt, once drained
+  bool needs_attention = false;
+};
+
+}  // namespace
 
 Result<DistQueryStats> DistributedQuery::Run() {
   if (root_sink == nullptr) {
@@ -17,22 +73,102 @@ Result<DistQueryStats> DistributedQuery::Run() {
     for (auto& channel : channels) channel->Cancel();
   };
 
-  Stopwatch timer;
+  std::mutex mu;
+  std::condition_variable progress;
   std::vector<std::thread> threads;
+  std::vector<FragmentRun> runs;
   for (auto& site : sites) {
-    for (SourceOperator* source : site->AllSources()) {
-      threads.emplace_back([&, source] {
+    for (const auto& fragment : site->fragments()) {
+      FragmentRun run;
+      run.site = site.get();
+      run.fragment = fragment.get();
+      run.replayable = FragmentReplayScan(*fragment) != nullptr &&
+                       static_cast<ExchangeSender*>(fragment->terminal())
+                               ->seq_source() != nullptr;
+      runs.push_back(run);
+    }
+  }
+
+  int64_t restarts = 0;
+  int64_t reships = 0;
+
+  // Launches one thread per source of `run`'s fragment (exactly one for
+  // replayable fragments). Caller holds `mu`.
+  const auto launch = [&](FragmentRun* run) {
+    ++run->attempts;
+    run->error = Status::OK();
+    run->needs_attention = false;
+    for (SourceOperator* source : run->fragment->sources()) {
+      ++run->active_threads;
+      threads.emplace_back([&, run, source] {
         const Status st = source->Run();
-        if (!st.ok() && st.code() != StatusCode::kCancelled) {
-          site->context().SetError(st);
-          // A failed fragment starves every site downstream of it; stop the
-          // whole query rather than hang.
-          cancel_all();
+        std::lock_guard<std::mutex> lock(mu);
+        if (!st.ok() && st.code() != StatusCode::kCancelled &&
+            run->error.ok()) {
+          run->error = st;
+        }
+        if (--run->active_threads == 0) {
+          if (run->error.ok()) {
+            run->finished = true;
+          } else {
+            run->needs_attention = true;
+          }
+          progress.notify_all();
         }
       });
     }
+  };
+
+  Stopwatch timer;
+  Status fatal = Status::OK();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    for (FragmentRun& run : runs) launch(&run);
+
+    // Supervision loop: wait for a fragment to finish an attempt; restart
+    // replayable kUnavailable failures, declare everything else fatal.
+    while (true) {
+      bool all_done = true;
+      FragmentRun* failed = nullptr;
+      for (FragmentRun& run : runs) {
+        if (run.needs_attention) failed = &run;
+        if (!run.finished) all_done = false;
+      }
+      if (failed != nullptr) {
+        FragmentRun& run = *failed;
+        run.needs_attention = false;
+        const bool retry = run.replayable &&
+                           run.error.code() == StatusCode::kUnavailable &&
+                           run.attempts <= max_fragment_restarts;
+        if (!retry) {
+          fatal = run.error;
+          break;
+        }
+        // Recovery sequence. 1) Heal every fault that has fired — the
+        // restart *is* the failed site coming back. 2) Rearm the fragment's
+        // operators and advance the sender's epoch. 3) Re-ship Bloom
+        // summaries that never reached a producer during the outage, so
+        // pruning survives recovery. 4) Replay from the scan.
+        if (fault_injector != nullptr) fault_injector->HealFired();
+        for (const auto& op : run.fragment->operators()) {
+          op->ResetForReplay();
+        }
+        for (auto& site : sites) {
+          for (const auto& manager : site->aip_managers()) {
+            reships += manager->ReshipPending();
+          }
+        }
+        ++restarts;
+        launch(&run);
+        continue;
+      }
+      if (all_done) break;
+      progress.wait(lock);
+    }
   }
+  if (!fatal.ok()) cancel_all();
   for (auto& t : threads) t.join();
+  if (!fatal.ok()) return fatal;
 
   for (auto& site : sites) {
     const Status err = site->context().GetError();
@@ -46,6 +182,11 @@ Result<DistQueryStats> DistributedQuery::Run() {
   DistQueryStats stats;
   stats.elapsed_sec = timer.ElapsedSeconds();
   stats.result_rows = root_sink->num_rows();
+  stats.fragment_restarts = restarts;
+  stats.aip_reships = reships;
+  if (fault_injector != nullptr) {
+    stats.faults_injected = fault_injector->faults_injected();
+  }
   for (auto& site : sites) {
     ExecContext& ctx = site->context();
     stats.peak_state_bytes += ctx.state_tracker().peak_bytes();
@@ -55,6 +196,9 @@ Result<DistQueryStats> DistributedQuery::Run() {
       }
       if (auto* scan = dynamic_cast<TableScan*>(op)) {
         stats.rows_source_pruned += scan->rows_source_pruned();
+      }
+      if (auto* recv = dynamic_cast<ExchangeReceiver*>(op)) {
+        stats.batches_discarded += recv->batches_discarded();
       }
     }
     for (const auto& manager : site->aip_managers()) {

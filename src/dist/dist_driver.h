@@ -1,6 +1,19 @@
 // MultiSiteDriver: runs every fragment of a distributed query — one
 // producer thread per source operator across all sites, Tukwila-style —
-// and aggregates the per-site statistics into one DistQueryStats.
+// supervises fragment failures, and aggregates the per-site statistics
+// into one DistQueryStats.
+//
+// Failure handling: a fragment whose source fails with kUnavailable (a
+// downed link or site, usually injected by a FaultInjector) is restarted
+// when it is *replayable* — exactly one TableScan source in window-batch
+// mode, a stateless operator chain, and an ExchangeSender terminal whose
+// frame seqs are bound to the scan's window index. The driver heals fired
+// faults (the site "reboots"), resets the fragment's operators, asks every
+// AIP manager to re-ship Bloom summaries that failed to reach a producer
+// during the outage, and replays the fragment from its scan. Streams are
+// deterministic, so the replay re-produces every frame under its original
+// (epoch-incremented) seq and the consuming receivers drop the prefix they
+// already passed downstream. Any other failure cancels the whole query.
 #ifndef PUSHSIP_DIST_DIST_DRIVER_H_
 #define PUSHSIP_DIST_DIST_DRIVER_H_
 
@@ -31,6 +44,11 @@ struct DistQueryStats {
   int64_t aip_sets = 0;
   int64_t aip_filters = 0;
   double aip_ship_seconds = 0;
+  // Failure/recovery bookkeeping.
+  int64_t fragment_restarts = 0;   ///< replays the supervisor performed
+  int64_t batches_discarded = 0;   ///< duplicate/stale frames dropped
+  int64_t faults_injected = 0;     ///< transmissions the injector failed
+  int64_t aip_reships = 0;         ///< Bloom shipments retried successfully
 
   double shipped_mb() const {
     return static_cast<double>(bytes_shipped) / (1024.0 * 1024.0);
@@ -39,6 +57,17 @@ struct DistQueryStats {
     return static_cast<double>(peak_state_bytes) / (1024.0 * 1024.0);
   }
 };
+
+/// Returns the TableScan a replay of `fragment` would restart from, or
+/// nullptr when the fragment is not replayable (multiple sources, exchange
+/// or non-window-batched sources, stateful operators, or a terminal that
+/// is not an ExchangeSender).
+TableScan* FragmentReplayScan(const PlanBuilder& fragment);
+
+/// Binds the fragment's ExchangeSender to its scan's window index when the
+/// fragment has the replayable shape, making it eligible for restart.
+/// Returns true iff the binding was made.
+bool EnableFragmentReplay(PlanBuilder& fragment);
 
 /// \brief A fully assembled distributed query, ready to run.
 ///
@@ -49,9 +78,27 @@ struct DistributedQuery {
   std::unique_ptr<SiteMesh> mesh;
   std::vector<std::shared_ptr<ExchangeChannel>> channels;
   Sink* root_sink = nullptr;
+  /// The mesh's failure oracle, when chaos is enabled; the supervisor heals
+  /// its fired faults before each restart (the failed site's "reboot").
+  std::shared_ptr<FaultInjector> fault_injector;
+  /// Replays allowed per fragment before its failure is declared fatal.
+  int max_fragment_restarts = 3;
 
-  /// Runs all fragments to completion. On any fragment error every site is
-  /// cancelled and every channel unblocked before the error is returned.
+  /// Unblocks every thread waiting on a channel or context of this query —
+  /// safe to call at any time, including before Run() (the early-error
+  /// path) and repeatedly. Threads the caller started against this query's
+  /// sources must still be joined before the query is destroyed.
+  void Cancel();
+
+  /// Teardown is unconditional: cancels even when Run() was never reached
+  /// or a sender thread never started, so no receiver stays blocked on a
+  /// channel that will never be fed.
+  ~DistributedQuery();
+
+  /// Runs all fragments to completion, restarting replayable fragments
+  /// that fail with kUnavailable. On any fatal fragment error every site
+  /// is cancelled and every channel unblocked before the error is
+  /// returned.
   Result<DistQueryStats> Run();
 };
 

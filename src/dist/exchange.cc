@@ -32,16 +32,27 @@ void ExchangeChannel::SendFinish() {
   can_recv_.notify_all();
 }
 
-bool ExchangeChannel::Receive(std::string* bytes) {
+ExchangeChannel::RecvStatus ExchangeChannel::Receive(
+    std::string* bytes, std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mu_);
-  can_recv_.wait(lock, [this] {
+  const bool ready = can_recv_.wait_for(lock, timeout, [this] {
     return cancelled_ || !queue_.empty() || finished_senders_ >= num_senders_;
   });
-  if (cancelled_ || queue_.empty()) return false;
+  if (!ready) return RecvStatus::kTimeout;
+  if (cancelled_) return RecvStatus::kCancelled;
+  if (queue_.empty()) return RecvStatus::kEndOfStream;
   *bytes = std::move(queue_.front());
   queue_.pop_front();
   can_send_.notify_one();
-  return true;
+  return RecvStatus::kMessage;
+}
+
+bool ExchangeChannel::Receive(std::string* bytes) {
+  while (true) {
+    const RecvStatus r = Receive(bytes, std::chrono::milliseconds(100));
+    if (r == RecvStatus::kTimeout) continue;
+    return r == RecvStatus::kMessage;
+  }
 }
 
 void ExchangeChannel::Cancel() {
@@ -58,23 +69,49 @@ ExchangeSender::ExchangeSender(ExecContext* ctx, std::string name,
     : Operator(ctx, std::move(name), /*num_inputs=*/1, std::move(schema)),
       mode_(mode),
       hash_cols_(std::move(hash_cols)),
-      destinations_(std::move(destinations)) {
+      destinations_(std::move(destinations)),
+      arrival_seq_(destinations_.size()) {
   PUSHSIP_DCHECK(!destinations_.empty());
   PUSHSIP_DCHECK(mode_ != ExchangeMode::kForward ||
                  destinations_.size() == 1);
   PUSHSIP_DCHECK(mode_ != ExchangeMode::kHashPartition ||
                  !hash_cols_.empty());
+  sender_slots_.reserve(destinations_.size());
+  for (const ExchangeDestination& dest : destinations_) {
+    sender_slots_.push_back(dest.channel->AllocSenderSlot());
+  }
 }
 
-Status ExchangeSender::Send(const ExchangeDestination& dest,
-                            const Batch& batch) {
+void ExchangeSender::ResetForReplay() {
+  Operator::ResetForReplay();
+  epoch_.fetch_add(1);
+  for (auto& s : arrival_seq_) s.store(0);
+}
+
+Status ExchangeSender::Send(size_t dest_index, const Batch& batch) {
+  // Fully pruned batches are skipped, leaving a gap in the seq space —
+  // receivers tolerate gaps, and a deterministic replay skips the same
+  // (or a superset of the same) windows.
   if (batch.empty()) return Status::OK();
-  std::string bytes = SerializeBatch(batch);
+  const ExchangeDestination& dest = destinations_[dest_index];
+  BatchFrame frame;
+  frame.sender = static_cast<uint32_t>(sender_slots_[dest_index]);
+  frame.epoch = epoch_.load();
+  frame.replayable = seq_source_ != nullptr;
+  frame.seq = frame.replayable ? seq_source_->current_window()
+                               : arrival_seq_[dest_index].fetch_add(1);
+  std::string bytes = SerializeBatchFrame(frame.sender, frame.epoch,
+                                          frame.seq, frame.replayable, batch);
+  // The link is charged before enqueueing — transfer time blocks this
+  // producer thread, not the receiver — and a downed link fails the
+  // transmission before the frame reaches the queue, so enqueued means
+  // delivered. Counters move only after the transmission succeeded:
+  // frames killed by an injected fault were never sent.
+  if (dest.link != nullptr) {
+    PUSHSIP_RETURN_NOT_OK(dest.link->Transmit(bytes.size()));
+  }
   bytes_sent_.fetch_add(static_cast<int64_t>(bytes.size()));
   batches_sent_.fetch_add(1);
-  // The link is charged before enqueueing — transfer time blocks this
-  // producer thread, not the receiver.
-  if (dest.link != nullptr) dest.link->Transmit(bytes.size());
   if (!dest.channel->SendBatch(std::move(bytes))) {
     return Status::Cancelled("exchange channel cancelled");
   }
@@ -84,10 +121,10 @@ Status ExchangeSender::Send(const ExchangeDestination& dest,
 Status ExchangeSender::DoPush(int, Batch&& batch) {
   switch (mode_) {
     case ExchangeMode::kForward:
-      return Send(destinations_[0], batch);
+      return Send(0, batch);
     case ExchangeMode::kBroadcast: {
-      for (const auto& dest : destinations_) {
-        PUSHSIP_RETURN_NOT_OK(Send(dest, batch));
+      for (size_t i = 0; i < destinations_.size(); ++i) {
+        PUSHSIP_RETURN_NOT_OK(Send(i, batch));
       }
       return Status::OK();
     }
@@ -99,7 +136,7 @@ Status ExchangeSender::DoPush(int, Batch&& batch) {
         parts[dest].rows.push_back(std::move(row));
       }
       for (size_t i = 0; i < destinations_.size(); ++i) {
-        PUSHSIP_RETURN_NOT_OK(Send(destinations_[i], parts[i]));
+        PUSHSIP_RETURN_NOT_OK(Send(i, parts[i]));
       }
       return Status::OK();
     }
@@ -113,12 +150,52 @@ Status ExchangeSender::DoFinish(int) {
 }
 
 Status ExchangeReceiver::Run() {
+  const auto poll = std::chrono::milliseconds(
+      options_.poll_ms > 0 ? options_.poll_ms : 25);
+  double idle_sec = 0;
   std::string bytes;
-  while (channel_->Receive(&bytes)) {
+  while (true) {
+    const ExchangeChannel::RecvStatus r = channel_->Receive(&bytes, poll);
     if (ShouldStop()) return Status::Cancelled("query cancelled");
-    PUSHSIP_ASSIGN_OR_RETURN(Batch batch, DeserializeBatch(bytes));
+    if (r == ExchangeChannel::RecvStatus::kCancelled) {
+      return Status::Cancelled("exchange channel cancelled");
+    }
+    if (r == ExchangeChannel::RecvStatus::kEndOfStream) break;
+    if (r == ExchangeChannel::RecvStatus::kTimeout) {
+      idle_sec += static_cast<double>(poll.count()) / 1e3;
+      if (options_.idle_timeout_sec > 0 &&
+          idle_sec >= options_.idle_timeout_sec) {
+        return Status::Unavailable(
+            name() + ": no exchange traffic for " +
+            std::to_string(idle_sec) +
+            "s — upstream fragment presumed dead");
+      }
+      continue;
+    }
+    idle_sec = 0;
+    PUSHSIP_ASSIGN_OR_RETURN(BatchFrame frame, DeserializeBatchFrame(bytes));
+    if (frame.replayable) {
+      // Only replayable producers ever re-send; their frames carry
+      // deterministic, strictly increasing seqs, so a per-sender
+      // high-water mark identifies every duplicate exactly.
+      SenderProgress& progress = progress_[frame.sender];
+      if (frame.epoch < progress.epoch) {
+        // Leftover of a superseded epoch, still queued when the producer
+        // was restarted. Its content is a (filter-state-dependent) subset
+        // of the already-passed stream prefix, so dropping it is safe.
+        batches_discarded_.fetch_add(1);
+        continue;
+      }
+      progress.epoch = frame.epoch;
+      if (static_cast<int64_t>(frame.seq) <= progress.high_water) {
+        // Replay of a window this receiver already passed downstream.
+        batches_discarded_.fetch_add(1);
+        continue;
+      }
+      progress.high_water = static_cast<int64_t>(frame.seq);
+    }
     batches_received_.fetch_add(1);
-    PUSHSIP_RETURN_NOT_OK(Emit(std::move(batch)));
+    PUSHSIP_RETURN_NOT_OK(Emit(std::move(frame.batch)));
   }
   if (ShouldStop()) return Status::Cancelled("query cancelled");
   return EmitFinish();

@@ -8,16 +8,33 @@
 //   * kForward    — one channel, the whole stream (site-boundary cut)
 //   * kBroadcast  — every batch to every channel (replicate small inputs)
 //   * kHashPartition — rows routed by key hash (co-partitioned joins/aggs)
+//
+// Failure protocol. Every message is a BatchFrame tagged with
+// (sender-slot, epoch, seq): the slot identifies the producing stream
+// within its channel, the epoch counts the producing fragment's
+// (re)starts, and the seq is strictly increasing per sender — for
+// replayable fragments it is the scan's deterministic raw-row window
+// index, so a restarted fragment re-produces every frame under its
+// original seq. Receivers keep a per-sender high-water mark and discard
+// any frame at or below it (duplicates replayed after a restart) as well
+// as frames from a superseded epoch; gaps are legal (fully pruned
+// windows are skipped). Receivers poll with a timeout instead of blocking
+// forever, so a dead upstream fragment surfaces as kUnavailable — the
+// signal the multi-site driver answers with a restart — rather than a
+// hang.
 #ifndef PUSHSIP_DIST_EXCHANGE_H_
 #define PUSHSIP_DIST_EXCHANGE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "exec/scan.h"
 #include "exec/source.h"
 #include "net/sim_link.h"
 
@@ -39,6 +56,11 @@ class ExchangeChannel {
   void set_num_senders(int n) { num_senders_ = n; }
   int num_senders() const { return num_senders_; }
 
+  /// Hands out the next per-channel sender slot; ExchangeSender calls this
+  /// once per destination so concurrent streams into one channel are
+  /// distinguishable in the frame header.
+  int AllocSenderSlot() { return next_slot_.fetch_add(1); }
+
   /// Enqueues one serialized batch. Returns false if the channel was
   /// cancelled while blocked on capacity.
   bool SendBatch(std::string bytes);
@@ -46,9 +68,19 @@ class ExchangeChannel {
   /// Signals that one sender's stream is complete.
   void SendFinish();
 
-  /// Dequeues the next message into `bytes`. Returns false at end of
-  /// stream (all senders finished and the queue is drained) or after
-  /// cancellation.
+  /// Outcome of one bounded Receive call.
+  enum class RecvStatus {
+    kMessage,      ///< `bytes` holds the next message
+    kEndOfStream,  ///< all senders finished and the queue is drained
+    kTimeout,      ///< nothing arrived within the window
+    kCancelled,    ///< the channel was cancelled
+  };
+
+  /// Dequeues the next message into `bytes`, waiting at most `timeout`.
+  RecvStatus Receive(std::string* bytes, std::chrono::milliseconds timeout);
+
+  /// Unbounded variant kept for direct channel users: true iff a message
+  /// was dequeued; false at end of stream or after cancellation.
   bool Receive(std::string* bytes);
 
   /// Unblocks all senders and receivers; subsequent operations fail fast.
@@ -67,6 +99,7 @@ class ExchangeChannel {
   std::deque<std::string> queue_;
   int finished_senders_ = 0;
   bool cancelled_ = false;
+  std::atomic<int> next_slot_{0};
   std::atomic<int64_t> messages_sent_{0};
   std::atomic<int64_t> payload_bytes_{0};
 };
@@ -95,7 +128,20 @@ class ExchangeSender : public Operator {
                  ExchangeMode mode, std::vector<int> hash_cols,
                  std::vector<ExchangeDestination> destinations);
 
+  /// Stamps frame seqs with `scan`'s deterministic raw-row window index
+  /// instead of a per-destination arrival counter. Required for a fragment
+  /// to be restartable: only window seqs survive a replay unchanged. The
+  /// scan must drive this sender synchronously (same fragment) and use
+  /// ScanOptions::window_batches.
+  void BindSeqSource(const TableScan* scan) { seq_source_ = scan; }
+  const TableScan* seq_source() const { return seq_source_; }
+
+  /// Advances the epoch and rewinds the arrival seq counters; part of the
+  /// fragment-restart reset.
+  void ResetForReplay() override;
+
   ExchangeMode mode() const { return mode_; }
+  uint32_t epoch() const { return epoch_.load(); }
   int64_t bytes_sent() const { return bytes_sent_.load(); }
   int64_t batches_sent() const { return batches_sent_.load(); }
 
@@ -104,31 +150,68 @@ class ExchangeSender : public Operator {
   Status DoFinish(int port) override;
 
  private:
-  Status Send(const ExchangeDestination& dest, const Batch& batch);
+  Status Send(size_t dest_index, const Batch& batch);
 
   ExchangeMode mode_;
   std::vector<int> hash_cols_;
   std::vector<ExchangeDestination> destinations_;
+  std::vector<int> sender_slots_;  // per destination
+  /// Per-destination arrival counters for non-bound senders. Atomic:
+  /// compute fragments push into their terminal sender from several
+  /// receiver threads at once. These seqs are informational only — the
+  /// frames carry replayable=false, so receivers never dedup on them
+  /// (arrival order past the counter is not enqueue order).
+  std::vector<std::atomic<uint64_t>> arrival_seq_;
+  const TableScan* seq_source_ = nullptr;
+  std::atomic<uint32_t> epoch_{0};
   std::atomic<int64_t> bytes_sent_{0};
   std::atomic<int64_t> batches_sent_{0};
 };
 
-/// \brief Source operator of a consuming fragment: drains one channel.
+/// Liveness/teardown knobs of an ExchangeReceiver.
+struct ReceiverOptions {
+  /// Give up with kUnavailable after this long without any message — the
+  /// heartbeat that turns a silently dead upstream into a detectable
+  /// failure. Must comfortably exceed the slowest legitimate inter-batch
+  /// gap *including* a full fragment restart + replay. <= 0 disables.
+  double idle_timeout_sec = 30.0;
+  /// Wake-up cadence while waiting; also bounds teardown latency.
+  int poll_ms = 25;
+};
+
+/// \brief Source operator of a consuming fragment: drains one channel,
+/// discarding duplicate/stale frames per the failure protocol above.
 class ExchangeReceiver : public SourceOperator {
  public:
   ExchangeReceiver(ExecContext* ctx, std::string name, Schema schema,
-                   std::shared_ptr<ExchangeChannel> channel)
+                   std::shared_ptr<ExchangeChannel> channel,
+                   ReceiverOptions options = {})
       : SourceOperator(ctx, std::move(name), std::move(schema)),
-        channel_(std::move(channel)) {}
+        channel_(std::move(channel)),
+        options_(options) {}
 
-  /// Dequeues, deserializes, and pushes batches until end of stream.
+  /// Dequeues, deduplicates, deserializes, and pushes batches until end of
+  /// stream, a timeout, or cancellation.
   Status Run() override;
 
+  /// Frames accepted and emitted downstream.
   int64_t batches_received() const { return batches_received_.load(); }
+  /// Frames dropped as duplicates (replay of an already-passed seq) or as
+  /// leftovers of a superseded epoch.
+  int64_t batches_discarded() const { return batches_discarded_.load(); }
 
  private:
+  /// Replay high-water mark of one sender slot.
+  struct SenderProgress {
+    uint32_t epoch = 0;
+    int64_t high_water = -1;
+  };
+
   std::shared_ptr<ExchangeChannel> channel_;
+  ReceiverOptions options_;
+  std::unordered_map<uint32_t, SenderProgress> progress_;
   std::atomic<int64_t> batches_received_{0};
+  std::atomic<int64_t> batches_discarded_{0};
 };
 
 }  // namespace pushsip

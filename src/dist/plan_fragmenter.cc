@@ -140,9 +140,13 @@ Result<PlanBuilder::NodeId> PlanFragmenter::BuildInto(BuildState* state,
         std::vector<ExchangeDestination>{
             {channel, state->query->mesh->link(home, site)}});
     PUSHSIP_RETURN_NOT_OK(pb.FinishWith(sub, std::move(sender)));
+    // Scan-rooted stateless fragments become restartable after a failure.
+    EnableFragmentReplay(pb);
 
+    ReceiverOptions ro;
+    ro.idle_timeout_sec = state->options->exchange_idle_timeout_sec;
     auto receiver = std::make_unique<ExchangeReceiver>(
-        b->context(), "xrecv_s" + std::to_string(home), schema, channel);
+        b->context(), "xrecv_s" + std::to_string(home), schema, channel, ro);
     // Filters built at the consumer ship back over the reverse link and
     // attach inside the producing fragment.
     RemoteFilterShipFn shipper = MakeFilterShipper(
@@ -155,9 +159,12 @@ Result<PlanBuilder::NodeId> PlanFragmenter::BuildInto(BuildState* state,
     case LogicalPlan::Node::Kind::kScan: {
       PUSHSIP_ASSIGN_OR_RETURN(TablePtr table,
                                b->catalog()->GetTable(n.table));
+      // Deterministic batch windows make scan-rooted fragments replayable.
+      ScanOptions options = n.scan_options;
+      options.window_batches = true;
       return b->ScanShard(
           n.table, MakeInstanceSchema(*table, n.alias, state->next_instance++),
-          n.scan_options);
+          std::move(options));
     }
     case LogicalPlan::Node::Kind::kFilter: {
       PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId in,
@@ -211,6 +218,11 @@ Result<std::unique_ptr<DistributedQuery>> PlanFragmenter::Fragment(
   auto query = std::make_unique<DistributedQuery>();
   query->mesh = std::make_unique<SiteMesh>(
       static_cast<int>(catalogs_.size()), bandwidth_bps_, latency_ms_);
+  if (options.fault_injector != nullptr) {
+    query->mesh->InstallFaultInjector(options.fault_injector);
+    query->fault_injector = options.fault_injector;
+  }
+  query->max_fragment_restarts = options.max_fragment_restarts;
   for (size_t s = 0; s < catalogs_.size(); ++s) {
     query->sites.push_back(std::make_unique<SiteEngine>(
         static_cast<int>(s), "site" + std::to_string(s), catalogs_[s]));

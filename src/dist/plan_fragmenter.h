@@ -70,6 +70,12 @@ struct FragmenterOptions {
   bool install_aip = false;
   AipOptions aip;
   CostConstants cost;
+  /// Failure oracle armed on every mesh link (chaos testing).
+  std::shared_ptr<FaultInjector> fault_injector;
+  /// Receiver heartbeat: give up after this long without exchange traffic.
+  double exchange_idle_timeout_sec = 30.0;
+  /// Replays allowed per fragment before a failure becomes fatal.
+  int max_fragment_restarts = 3;
 };
 
 /// \brief Materializes logical plans over a set of site catalogs.

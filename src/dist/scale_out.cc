@@ -113,14 +113,24 @@ struct Assembly {
                           double est_rows,
                           std::unordered_map<AttrId, double> ndv,
                           RemoteFilterShipFn ship, bool partitioned = false) {
+    ReceiverOptions ro;
+    ro.idle_timeout_sec = opts->exchange_idle_timeout_sec;
     auto recv = std::make_unique<ExchangeReceiver>(pb.context(), name,
-                                                   schema, channel);
+                                                   schema, channel, ro);
     return pb.Source(std::move(recv), est_rows, std::move(ndv),
                      std::move(ship), partitioned);
   }
 
-  ScanOptions PacedScan() const {
+  /// Base options of every shard scan: deterministic window batching, so
+  /// scan-rooted fragments are replayable after a site failure.
+  ScanOptions ShardScan() const {
     ScanOptions o;
+    o.window_batches = true;
+    return o;
+  }
+
+  ScanOptions PacedScan() const {
+    ScanOptions o = ShardScan();
     o.delay_every_rows = opts->pace_every_rows;
     o.delay_ms = opts->pace_ms;
     return o;
@@ -171,7 +181,7 @@ Status BuildQ17(Assembly* a, const Catalog& full) {
   {
     PlanBuilder& pb = a->site(0).NewFragment();
     PUSHSIP_ASSIGN_OR_RETURN(const NodeId p,
-                             pb.ScanShard("part", p_schema));
+                             pb.ScanShard("part", p_schema, a->ShardScan()));
     PUSHSIP_ASSIGN_OR_RETURN(ExprPtr brand, pb.ColRef(p, "p_brand"));
     PUSHSIP_ASSIGN_OR_RETURN(ExprPtr container, pb.ColRef(p, "p_container"));
     ExprPtr pred =
@@ -189,6 +199,7 @@ Status BuildQ17(Assembly* a, const Catalog& full) {
         ExchangeMode::kBroadcast, std::vector<int>{},
         a->FanOut(0, ch_part));
     PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+    EnableFragmentReplay(pb);
   }
 
   // --- lineitem map fragments (every site): project + hash shuffle ---
@@ -210,6 +221,7 @@ Status BuildQ17(Assembly* a, const Catalog& full) {
           std::vector<int>{*l1_out.IndexOf("l1.l_partkey")},
           a->FanOut(i, ch_l1));
       PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+      EnableFragmentReplay(pb);
     }
     {
       PlanBuilder& pb = a->site(i).NewFragment();
@@ -226,6 +238,7 @@ Status BuildQ17(Assembly* a, const Catalog& full) {
           std::vector<int>{*l2_out.IndexOf("l2.l_partkey")},
           a->FanOut(i, ch_l2));
       PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+      EnableFragmentReplay(pb);
     }
   }
 
@@ -358,7 +371,8 @@ Status BuildSubquery(Assembly* a, const Catalog& full) {
   Schema part_out;
   {
     PlanBuilder& pb = a->site(0).NewFragment();
-    PUSHSIP_ASSIGN_OR_RETURN(const NodeId p, pb.ScanShard("part", p_schema));
+    PUSHSIP_ASSIGN_OR_RETURN(const NodeId p,
+                             pb.ScanShard("part", p_schema, a->ShardScan()));
     PUSHSIP_ASSIGN_OR_RETURN(ExprPtr size_col, pb.ColRef(p, "p_size"));
     PUSHSIP_ASSIGN_OR_RETURN(ExprPtr type_col, pb.ColRef(p, "p_type"));
     ExprPtr pred = a->opts->weak_part_filter
@@ -375,6 +389,7 @@ Status BuildSubquery(Assembly* a, const Catalog& full) {
         ExchangeMode::kBroadcast, std::vector<int>{},
         a->FanOut(0, ch_part));
     PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+    EnableFragmentReplay(pb);
   }
 
   // --- supplier ⋈ nation[FRANCE] fragments (site 0), one per instance ---
@@ -386,9 +401,11 @@ Status BuildSubquery(Assembly* a, const Catalog& full) {
           Schema* out) -> Status {
     PlanBuilder& pb = a->site(0).NewFragment();
     PUSHSIP_ASSIGN_OR_RETURN(const NodeId s,
-                             pb.ScanShard("supplier", s_schema));
+                             pb.ScanShard("supplier", s_schema,
+                                          a->ShardScan()));
     PUSHSIP_ASSIGN_OR_RETURN(const NodeId n,
-                             pb.ScanShard("nation", n_schema));
+                             pb.ScanShard("nation", n_schema,
+                                          a->ShardScan()));
     PUSHSIP_ASSIGN_OR_RETURN(ExprPtr name_col,
                              pb.ColRef(n, n_alias + ".n_name"));
     PUSHSIP_ASSIGN_OR_RETURN(
@@ -436,7 +453,9 @@ Status BuildSubquery(Assembly* a, const Catalog& full) {
           ExchangeMode::kHashPartition,
           std::vector<int>{*out->IndexOf(alias + ".ps_partkey")},
           a->FanOut(i, chans));
-      return pb.FinishWith(proj, std::move(sender));
+      PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+      EnableFragmentReplay(pb);
+      return Status::OK();
     };
     PUSHSIP_RETURN_NOT_OK(build_ps(ps1_schema, "ps1", ch_ps1, &ps1_out));
     PUSHSIP_RETURN_NOT_OK(build_ps(ps2_schema, "ps2", ch_ps2, &ps2_out));
@@ -547,6 +566,11 @@ Result<std::unique_ptr<DistributedQuery>> BuildScaleOutQuery(
   q->mesh = std::make_unique<SiteMesh>(options.num_sites,
                                        options.bandwidth_bps,
                                        options.latency_ms);
+  if (options.fault_injector != nullptr) {
+    q->mesh->InstallFaultInjector(options.fault_injector);
+    q->fault_injector = options.fault_injector;
+  }
+  q->max_fragment_restarts = options.max_fragment_restarts;
   for (int s = 0; s < options.num_sites; ++s) {
     q->sites.push_back(std::make_unique<SiteEngine>(
         s, "site" + std::to_string(s), catalogs[static_cast<size_t>(s)]));

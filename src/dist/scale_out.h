@@ -35,6 +35,13 @@ struct ScaleOutOptions {
   /// parts) so tiny test-scale catalogs still produce non-empty results.
   bool weak_part_filter = false;
   size_t channel_capacity = 64;
+  /// Failure oracle armed on every mesh link (chaos tests, --kill-site).
+  /// The multi-site driver heals fired faults when it restarts a fragment.
+  std::shared_ptr<FaultInjector> fault_injector;
+  /// Receiver heartbeat: give up after this long without exchange traffic.
+  double exchange_idle_timeout_sec = 30.0;
+  /// Replays allowed per fragment before a failure becomes fatal.
+  int max_fragment_restarts = 3;
 };
 
 /// The two distributed workloads.

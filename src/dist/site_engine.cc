@@ -1,5 +1,8 @@
 #include "dist/site_engine.h"
 
+#include <map>
+#include <mutex>
+
 #include "net/wire_format.h"
 
 namespace pushsip {
@@ -13,6 +16,16 @@ SiteMesh::SiteMesh(int num_sites, double bandwidth_bps, double latency_ms)
       if (from == to) continue;
       links_[static_cast<size_t>(from) * num_sites + to] =
           std::make_shared<SimLink>(bandwidth_bps, latency_ms);
+    }
+  }
+}
+
+void SiteMesh::InstallFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  for (int from = 0; from < num_sites_; ++from) {
+    for (int to = 0; to < num_sites_; ++to) {
+      if (from == to) continue;
+      links_[static_cast<size_t>(from) * num_sites_ + to]->SetFaultInjector(
+          injector, from, to);
     }
   }
 }
@@ -71,6 +84,10 @@ int SiteEngine::AttachRemoteFilter(AttrId attr,
     for (TableScan* scan : fragment->source_scans()) {
       const auto col = scan->output_schema().IndexOfAttr(attr);
       if (!col.ok()) continue;
+      if (scan->HasSourceFilter(label)) {
+        ++attached;  // a previous shipment already covers this scan
+        continue;
+      }
       auto filter = std::make_shared<AipFilter>(label, *col, set);
       scan->AttachSourceFilter(filter);
       ++attached;
@@ -90,15 +107,40 @@ int64_t SiteEngine::remote_filter_pruned() const {
 
 RemoteFilterShipFn MakeFilterShipper(
     std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>> producers) {
-  return [producers](AttrId attr, const BloomFilter& filter,
-                     const std::string& label) -> Result<double> {
+  // Per-label delivery memo, shared across invocations of this shipper: a
+  // re-ship after a link failure retries only the producers the label
+  // never reached, so healthy links are not transmitted over (or billed)
+  // twice, and the accumulated link seconds are reported exactly once —
+  // when the delivery finally completes.
+  struct ShipState {
+    std::mutex mu;
+    std::map<std::string, std::pair<std::vector<bool>, double>> by_label;
+  };
+  auto state = std::make_shared<ShipState>();
+  return [producers, state](AttrId attr, const BloomFilter& filter,
+                            const std::string& label) -> Result<double> {
     const std::string bytes = SerializeFilterMessage(attr, filter);
-    double seconds = 0;
+    std::lock_guard<std::mutex> lock(state->mu);
+    auto& [delivered, seconds] = state->by_label[label];
+    delivered.resize(producers.size(), false);
     int attached = 0;
-    for (const auto& [site, link] : producers) {
+    Status link_failure = Status::OK();
+    for (size_t i = 0; i < producers.size(); ++i) {
+      const auto& [site, link] = producers[i];
+      if (delivered[i]) {
+        ++attached;  // reached on an earlier attempt
+        continue;
+      }
       if (link != nullptr) {
+        const Status sent = link->Transmit(bytes.size());
+        if (!sent.ok()) {
+          // Downed link: this producer keeps streaming unfiltered. Report
+          // the failure so the AIP manager queues a re-ship for after the
+          // recovery, but keep delivering to the reachable producers.
+          if (link_failure.ok()) link_failure = sent;
+          continue;
+        }
         seconds += link->TransferSeconds(bytes.size());
-        link->Transmit(bytes.size());
       }
       // The far end decodes its own copy of the message — the full wire
       // round-trip, exactly as a socket-delivered filter would arrive.
@@ -106,7 +148,9 @@ RemoteFilterShipFn MakeFilterShipper(
                                DeserializeFilterMessage(bytes));
       auto set = std::make_shared<AipSet>(std::move(msg.filter));
       attached += site->AttachRemoteFilter(msg.attr, std::move(set), label);
+      delivered[i] = true;
     }
+    if (!link_failure.ok()) return link_failure;
     if (attached == 0) {
       return Status::NotFound("no remote scan carries the filtered attr");
     }

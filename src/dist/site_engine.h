@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dist/exchange.h"
+#include "net/fault_injector.h"
 #include "sip/aip_manager.h"
 #include "workload/plan_builder.h"
 
@@ -23,6 +24,10 @@ class SiteMesh {
 
   int num_sites() const { return num_sites_; }
   const std::shared_ptr<SimLink>& link(int from, int to) const;
+
+  /// Arms every link of the mesh with `injector` (chaos testing / the
+  /// --kill-site bench mode). Call before the query runs.
+  void InstallFaultInjector(std::shared_ptr<FaultInjector> injector);
 
   /// Traffic summed over every link of the mesh.
   LinkUsage TotalUsage() const;
@@ -64,8 +69,11 @@ class SiteEngine {
 
   /// Attaches `set` as a source filter on every scan of this site whose
   /// schema carries `attr` (the delivery end of cross-site AIP shipping).
-  /// Returns the number of scans the filter was attached to. Thread-safe
-  /// against concurrently running fragments.
+  /// Returns the number of scans now carrying the filter. Idempotent per
+  /// `label`: a scan that already holds a filter with this label (a
+  /// previous shipment, surviving a fragment restart) is counted but not
+  /// double-filtered, which makes post-recovery re-shipping safe.
+  /// Thread-safe against concurrently running fragments.
   int AttachRemoteFilter(AttrId attr, std::shared_ptr<const AipSet> set,
                          const std::string& label);
 

@@ -81,6 +81,10 @@ Status Operator::Finish(int port) {
   return st;
 }
 
+void Operator::ResetForReplay() {
+  for (int i = 0; i < kMaxInputs; ++i) finished_[i].store(false);
+}
+
 void Operator::AttachFilter(int port,
                             std::shared_ptr<const TupleFilter> filter) {
   PUSHSIP_DCHECK(port >= 0 && port < num_inputs_);

@@ -95,6 +95,15 @@ class Operator {
   /// distinct) — the producers and subjects of AIP sets.
   virtual bool IsStateful() const { return false; }
 
+  /// Rearms the operator for a deterministic replay of its fragment after a
+  /// failure: clears the end-of-stream latches so a restarted source can
+  /// push and finish again. Row/prune counters stay cumulative — replayed
+  /// work is real work and shows up as recovery overhead. Only called by
+  /// the multi-site driver, after every thread of the fragment has exited.
+  /// Stateful operators are never part of a replayable fragment, so the
+  /// base implementation is sufficient for all eligible shapes.
+  virtual void ResetForReplay();
+
  protected:
   /// Type-specific batch processing. `port` is 0..num_inputs-1.
   virtual Status DoPush(int port, Batch&& batch) = 0;

@@ -1,5 +1,6 @@
 #include "exec/scan.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -21,12 +22,80 @@ void TableScan::AttachSourceFilter(
   source_filters_.push_back(std::move(filter));
 }
 
+bool TableScan::HasSourceFilter(const std::string& label) const {
+  std::lock_guard<std::mutex> lock(filter_mu_);
+  for (const auto& f : source_filters_) {
+    if (f->label() == label) return true;
+  }
+  return false;
+}
+
+void TableScan::ResetForReplay() {
+  Operator::ResetForReplay();
+  current_window_.store(0, std::memory_order_relaxed);
+}
+
 Status TableScan::Run() {
   if (options_.initial_delay_ms > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         options_.initial_delay_ms));
   }
   const size_t batch_size = ctx_->batch_size();
+
+  if (options_.window_batches) {
+    // Deterministic windows: batch k covers raw rows [k*B, (k+1)*B).
+    // Pruning shrinks a window's batch (possibly to nothing) but never
+    // moves rows across windows, so a replay emits every surviving row
+    // under the same window index it had before the failure.
+    const auto& rows = table_->rows();
+    const size_t num_rows = rows.size();
+    size_t since_delay = 0;
+    for (size_t start = 0; start < num_rows; start += batch_size) {
+      if (ShouldStop()) return Status::Cancelled("query cancelled");
+      current_window_.store(start / batch_size, std::memory_order_relaxed);
+      const size_t end = std::min(num_rows, start + batch_size);
+      Batch batch;
+      batch.rows.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        rows_scanned_.fetch_add(1);
+        if (options_.delay_every_rows > 0 &&
+            ++since_delay >= options_.delay_every_rows) {
+          since_delay = 0;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(options_.delay_ms));
+        }
+        // Per-row filter check, exactly like the compacting path: a filter
+        // attached mid-window starts pruning immediately. Replay stays
+        // exact regardless of filter timing because a row's window index
+        // is its raw position — filters only ever shrink a window's
+        // content, never move rows between windows.
+        bool pass = true;
+        {
+          std::lock_guard<std::mutex> lock(filter_mu_);
+          for (const auto& f : source_filters_) {
+            if (!f->Pass(rows[i])) {
+              pass = false;
+              break;
+            }
+          }
+        }
+        if (!pass) {
+          rows_source_pruned_.fetch_add(1);
+          continue;
+        }
+        batch.rows.push_back(rows[i]);
+      }
+      if (batch.empty()) continue;  // fully pruned window: seq gap, legal
+      if (options_.transfer_hook) {
+        size_t bytes = 0;
+        for (const Tuple& t : batch.rows) bytes += t.FootprintBytes();
+        options_.transfer_hook(bytes);
+      }
+      PUSHSIP_RETURN_NOT_OK(Emit(std::move(batch)));
+    }
+    return EmitFinish();
+  }
+
   Batch batch;
   batch.rows.reserve(batch_size);
   size_t since_delay = 0;

@@ -31,6 +31,15 @@ struct ScanOptions {
   /// The link `transfer_hook` charges, when there is one. Lets the SIP layer
   /// bill filter shipping against the same link the scan transmits over.
   std::shared_ptr<SimLink> link;
+  /// Deterministic batch boundaries: batch k holds the *survivors* of raw
+  /// rows [k*batch_size, (k+1)*batch_size) — possibly fewer than batch_size
+  /// rows, and fully pruned windows are skipped entirely. With the default
+  /// (false) the scan compacts survivors into full batches, which is denser
+  /// but makes batch boundaries depend on when dynamic AIP filters arrive.
+  /// Distributed fragments set this so a replay after a failure re-produces
+  /// each window's (sub)content under the same sequence number, letting
+  /// exchange receivers discard duplicates exactly.
+  bool window_batches = false;
 };
 
 /// \brief Streams the rows of a Table, in generation order, as batches.
@@ -50,8 +59,21 @@ class TableScan : public SourceOperator {
   /// cost-based AIP to prefilter scans feeding stateful operators).
   void AttachSourceFilter(std::shared_ptr<const TupleFilter> filter);
 
+  /// True when a source filter with this diagnostic label is already
+  /// attached — makes re-shipped AIP filters idempotent after a restart.
+  bool HasSourceFilter(const std::string& label) const;
+
   int64_t rows_scanned() const { return rows_scanned_.load(); }
   int64_t rows_source_pruned() const { return rows_source_pruned_.load(); }
+
+  /// Index of the raw-row window the scan is currently emitting (valid on
+  /// the scan's own driver thread; window_batches mode only). An exchange
+  /// sender bound to this scan stamps it into frames as the sequence tag.
+  uint64_t current_window() const {
+    return current_window_.load(std::memory_order_relaxed);
+  }
+
+  void ResetForReplay() override;
 
   const ScanOptions& options() const { return options_; }
 
@@ -59,11 +81,12 @@ class TableScan : public SourceOperator {
   TablePtr table_;
   ScanOptions options_;
 
-  std::mutex filter_mu_;
+  mutable std::mutex filter_mu_;
   std::vector<std::shared_ptr<const TupleFilter>> source_filters_;
 
   std::atomic<int64_t> rows_scanned_{0};
   std::atomic<int64_t> rows_source_pruned_{0};
+  std::atomic<uint64_t> current_window_{0};
 };
 
 }  // namespace pushsip

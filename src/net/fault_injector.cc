@@ -1,0 +1,65 @@
+#include "net/fault_injector.h"
+
+#include <string>
+
+namespace pushsip {
+
+void FaultInjector::AddFault(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.push_back(SpecState{spec, 0, 0, false});
+}
+
+void FaultInjector::DropAfter(int from, int to, int64_t after,
+                              int64_t failures) {
+  FaultSpec spec;
+  spec.from = from;
+  spec.to = to;
+  spec.after_transmits = after;
+  spec.max_failures = failures;
+  AddFault(spec);
+}
+
+void FaultInjector::SiteDown(int site, int64_t after) {
+  FaultSpec spec;
+  spec.site = site;
+  spec.after_transmits = after;
+  AddFault(spec);
+}
+
+Status FaultInjector::Check(int from, int to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SpecState& s : specs_) {
+    if (s.healed) continue;
+    const bool matches =
+        s.spec.site >= 0
+            ? (from == s.spec.site || to == s.spec.site)
+            : (s.spec.from < 0 || s.spec.from == from) &&
+                  (s.spec.to < 0 || s.spec.to == to);
+    if (!matches) continue;
+    ++s.matched;
+    if (s.matched <= s.spec.after_transmits) continue;
+    if (s.fired >= s.spec.max_failures) continue;  // glitch over
+    ++s.fired;
+    fired_total_.fetch_add(1);
+    return Status::Unavailable(
+        "injected fault on link s" + std::to_string(from) + "->s" +
+        std::to_string(to) +
+        (s.spec.site >= 0 ? " (site s" + std::to_string(s.spec.site) + " down)"
+                          : ""));
+  }
+  return Status::OK();
+}
+
+void FaultInjector::HealFired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SpecState& s : specs_) {
+    if (s.fired > 0) s.healed = true;
+  }
+}
+
+void FaultInjector::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SpecState& s : specs_) s.healed = true;
+}
+
+}  // namespace pushsip

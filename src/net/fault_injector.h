@@ -1,0 +1,80 @@
+// FaultInjector: programmable failure schedules for the simulated mesh.
+//
+// Tukwila's motivating environment is wide-area sources that stall and die
+// mid-query; the chaos tests and the --kill-site bench mode reproduce that
+// by installing an injector on a SiteMesh. Every SimLink::Transmit consults
+// the injector first: a transmission matched by an armed fault fails with
+// StatusCode::kUnavailable instead of moving bytes, which the distributed
+// driver classifies as transient and answers with a fragment restart.
+//
+// Two failure shapes cover the interesting space:
+//   * DropAfter(from, to, n, k)  — a single link drops transmissions
+//     n..n+k-1 and then works again (transient network glitch);
+//   * SiteDown(site, n)          — every link touching `site` fails from
+//     its n-th matched transmission until the fault is healed (node crash;
+//     healing models the reboot the driver's restart implies).
+#ifndef PUSHSIP_NET_FAULT_INJECTOR_H_
+#define PUSHSIP_NET_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pushsip {
+
+/// One armed failure. Matching: when `site` >= 0 the spec matches any link
+/// touching that site; otherwise `from`/`to` match the link's endpoints
+/// (-1 is a wildcard).
+struct FaultSpec {
+  int site = -1;
+  int from = -1;
+  int to = -1;
+  /// Matching transmissions that succeed before the fault starts firing.
+  int64_t after_transmits = 0;
+  /// Matching transmissions that fail before the fault self-heals.
+  int64_t max_failures = std::numeric_limits<int64_t>::max();
+};
+
+/// \brief Thread-safe failure oracle shared by all links of one mesh.
+class FaultInjector {
+ public:
+  void AddFault(FaultSpec spec);
+  /// Link from->to drops transmissions `after`..`after+failures-1`.
+  void DropAfter(int from, int to, int64_t after, int64_t failures);
+  /// Every link touching `site` fails from its `after`-th matched
+  /// transmission on, until HealFired()/HealAll() (the "site reboot").
+  void SiteDown(int site, int64_t after);
+
+  /// Consulted by SimLink::Transmit before any bytes move. Returns OK or
+  /// kUnavailable.
+  Status Check(int from, int to);
+
+  /// Disables every fault that has fired at least once — the driver calls
+  /// this when it restarts a fragment, modelling the failed site/link
+  /// coming back before replay begins. Unfired faults stay armed.
+  void HealFired();
+  void HealAll();
+
+  /// Total transmissions failed so far (the chaos bench's fault count).
+  int64_t faults_injected() const { return fired_total_.load(); }
+
+ private:
+  struct SpecState {
+    FaultSpec spec;
+    int64_t matched = 0;
+    int64_t fired = 0;
+    bool healed = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<SpecState> specs_;
+  std::atomic<int64_t> fired_total_{0};
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_NET_FAULT_INJECTOR_H_

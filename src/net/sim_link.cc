@@ -4,10 +4,14 @@
 #include <thread>
 
 #include "exec/exec_context.h"
+#include "net/fault_injector.h"
 
 namespace pushsip {
 
-void SimLink::Transmit(size_t bytes) {
+Status SimLink::Transmit(size_t bytes) {
+  if (injector_ != nullptr) {
+    PUSHSIP_RETURN_NOT_OK(injector_->Check(from_, to_));
+  }
   double secs = TransferSeconds(bytes);
   // One atomic exchange decides the single payer of the one-time latency;
   // concurrent first transmissions cannot both (or neither) pay it.
@@ -19,6 +23,14 @@ void SimLink::Transmit(size_t bytes) {
   if (secs > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(secs));
   }
+  return Status::OK();
+}
+
+void SimLink::SetFaultInjector(std::shared_ptr<FaultInjector> injector,
+                               int from, int to) {
+  injector_ = std::move(injector);
+  from_ = from;
+  to_ = to;
 }
 
 void RegisterLinkWithContext(ExecContext* ctx,

@@ -13,9 +13,12 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/status.h"
+
 namespace pushsip {
 
 class ExecContext;
+class FaultInjector;
 
 /// \brief A point-to-point simulated link.
 class SimLink {
@@ -27,8 +30,15 @@ class SimLink {
 
   /// Blocks the calling thread for the time `bytes` takes to cross the
   /// link. The first transmission also pays the latency (exactly once, even
-  /// under concurrent first transmissions).
-  void Transmit(size_t bytes);
+  /// under concurrent first transmissions). Fails with kUnavailable —
+  /// before any bytes move or are billed — when an installed FaultInjector
+  /// has an armed fault covering this link.
+  Status Transmit(size_t bytes);
+
+  /// Names the link's endpoints and attaches the mesh's failure oracle.
+  /// Links without an injector never fail.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector, int from,
+                        int to);
 
   /// Seconds `bytes` would take (excluding latency) — for cost estimation.
   double TransferSeconds(size_t bytes) const {
@@ -49,6 +59,9 @@ class SimLink {
   std::atomic<int64_t> bytes_transferred_{0};
   std::atomic<int64_t> busy_micros_{0};
   std::atomic<bool> latency_paid_{false};
+  std::shared_ptr<FaultInjector> injector_;
+  int from_ = -1;
+  int to_ = -1;
 };
 
 /// Registers `link` as a usage source of `ctx`, so Driver-level statistics

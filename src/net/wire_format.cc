@@ -7,6 +7,7 @@ namespace pushsip {
 namespace {
 
 constexpr char kBatchTag = 'B';
+constexpr char kBatchFrameTag = 'X';
 constexpr char kBloomTag = 'F';
 constexpr char kFilterMsgTag = 'A';
 constexpr char kVersion = 1;
@@ -145,6 +146,28 @@ Result<Value> ReadValue(WireReader* r) {
   return Status::InvalidArgument("unknown value type tag on the wire");
 }
 
+void AppendBatchBody(const Batch& batch, std::string* out) {
+  PutU32(static_cast<uint32_t>(batch.size()), out);
+  for (const Tuple& row : batch.rows) AppendTuple(row, out);
+}
+
+Result<Batch> ReadBatchBody(WireReader* r) {
+  PUSHSIP_ASSIGN_OR_RETURN(const uint32_t num_rows, r->ReadU32());
+  Batch batch;
+  batch.rows.reserve(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    PUSHSIP_ASSIGN_OR_RETURN(const uint32_t arity, r->ReadU32());
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (uint32_t c = 0; c < arity; ++c) {
+      PUSHSIP_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+      values.push_back(std::move(v));
+    }
+    batch.rows.emplace_back(std::move(values));
+  }
+  return batch;
+}
+
 void AppendBloomBody(const BloomFilter& filter, std::string* out) {
   PutU64(filter.num_bits(), out);
   PutU32(static_cast<uint32_t>(filter.num_hashes()), out);
@@ -182,31 +205,56 @@ std::string SerializeBatch(const Batch& batch) {
   out.reserve(10 + batch.size() * 32);
   PutU8(static_cast<uint8_t>(kBatchTag), &out);
   PutU8(static_cast<uint8_t>(kVersion), &out);
-  PutU32(static_cast<uint32_t>(batch.size()), &out);
-  for (const Tuple& row : batch.rows) AppendTuple(row, &out);
+  AppendBatchBody(batch, &out);
   return out;
 }
 
 Result<Batch> DeserializeBatch(const std::string& bytes) {
   WireReader r(bytes);
   PUSHSIP_RETURN_NOT_OK(r.ExpectHeader(kBatchTag));
-  PUSHSIP_ASSIGN_OR_RETURN(const uint32_t num_rows, r.ReadU32());
-  Batch batch;
-  batch.rows.reserve(num_rows);
-  for (uint32_t i = 0; i < num_rows; ++i) {
-    PUSHSIP_ASSIGN_OR_RETURN(const uint32_t arity, r.ReadU32());
-    std::vector<Value> values;
-    values.reserve(arity);
-    for (uint32_t c = 0; c < arity; ++c) {
-      PUSHSIP_ASSIGN_OR_RETURN(Value v, ReadValue(&r));
-      values.push_back(std::move(v));
-    }
-    batch.rows.emplace_back(std::move(values));
-  }
+  PUSHSIP_ASSIGN_OR_RETURN(Batch batch, ReadBatchBody(&r));
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after batch");
   }
   return batch;
+}
+
+std::string SerializeBatchFrame(uint32_t sender, uint32_t epoch, uint64_t seq,
+                                bool replayable, const Batch& batch) {
+  std::string out;
+  out.reserve(27 + batch.size() * 32);
+  PutU8(static_cast<uint8_t>(kBatchFrameTag), &out);
+  PutU8(static_cast<uint8_t>(kVersion), &out);
+  PutU32(sender, &out);
+  PutU32(epoch, &out);
+  PutU64(seq, &out);
+  PutU8(replayable ? 1 : 0, &out);
+  AppendBatchBody(batch, &out);
+  return out;
+}
+
+std::string SerializeBatchFrame(const BatchFrame& frame) {
+  return SerializeBatchFrame(frame.sender, frame.epoch, frame.seq,
+                             frame.replayable, frame.batch);
+}
+
+Result<BatchFrame> DeserializeBatchFrame(const std::string& bytes) {
+  WireReader r(bytes);
+  PUSHSIP_RETURN_NOT_OK(r.ExpectHeader(kBatchFrameTag));
+  BatchFrame frame;
+  PUSHSIP_ASSIGN_OR_RETURN(frame.sender, r.ReadU32());
+  PUSHSIP_ASSIGN_OR_RETURN(frame.epoch, r.ReadU32());
+  PUSHSIP_ASSIGN_OR_RETURN(frame.seq, r.ReadU64());
+  PUSHSIP_ASSIGN_OR_RETURN(const uint8_t replayable, r.ReadU8());
+  if (replayable > 1) {
+    return Status::InvalidArgument("bad replayable flag in batch frame");
+  }
+  frame.replayable = replayable != 0;
+  PUSHSIP_ASSIGN_OR_RETURN(frame.batch, ReadBatchBody(&r));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after batch frame");
+  }
+  return frame;
 }
 
 std::string SerializeBloomFilter(const BloomFilter& filter) {

@@ -27,6 +27,33 @@ std::string SerializeBatch(const Batch& batch);
 /// value types.
 Result<Batch> DeserializeBatch(const std::string& bytes);
 
+/// One exchange message: a batch plus the provenance header the failure
+/// protocol needs. `sender` identifies the producing stream within its
+/// channel; `epoch` counts the producing fragment's (re)starts. When
+/// `replayable` is set the producer is a restartable fragment: it is
+/// single-threaded and `seq` is the deterministic position of the batch in
+/// its stream (the scan's raw-row window index), strictly increasing but
+/// not necessarily contiguous — fully pruned windows are skipped.
+/// Receivers drop any replayable frame whose (epoch, seq) they have
+/// already passed, which makes replay after a fragment restart exact.
+/// Non-replayable producers (multi-threaded compute fragments) never
+/// re-send, so their frames carry an informational arrival seq that takes
+/// no part in deduplication.
+struct BatchFrame {
+  uint32_t sender = 0;
+  uint32_t epoch = 0;
+  uint64_t seq = 0;
+  bool replayable = false;
+  Batch batch;
+};
+
+std::string SerializeBatchFrame(const BatchFrame& frame);
+/// Copy-free variant for senders that already hold the batch.
+std::string SerializeBatchFrame(uint32_t sender, uint32_t epoch, uint64_t seq,
+                                bool replayable, const Batch& batch);
+/// Fails (never crashes) on truncated or corrupt input.
+Result<BatchFrame> DeserializeBatchFrame(const std::string& bytes);
+
 /// Serializes a Bloom filter (geometry + bit words).
 std::string SerializeBloomFilter(const BloomFilter& filter);
 Result<BloomFilter> DeserializeBloomFilter(const std::string& bytes);

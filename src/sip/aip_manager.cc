@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "exec/distinct.h"
@@ -239,19 +240,31 @@ void AipManager::OnInputFinished(Operator* op, int port) {
           // else branch — a local port filter — because shipping it would
           // prune other partitions' rows at the shared remote scans.)
           const BloomFilter* bloom = set->bloom();
-          const Result<double> secs = u->sp.remote_ship(
-              u->attr,
-              bloom != nullptr ? *bloom
-                               : BloomFromHashes(unique, options_.target_fpr),
-              label);
+          std::optional<BloomFilter> derived;
+          if (bloom == nullptr) {
+            derived = BloomFromHashes(unique, options_.target_fpr);
+            bloom = &*derived;
+          }
+          const Result<double> secs = u->sp.remote_ship(u->attr, *bloom,
+                                                        label);
           if (secs.ok()) {
             filters_attached_.fetch_add(1);
             std::lock_guard<std::mutex> lock(mu_);
             ship_seconds_ += *secs;
             continue;
           }
-          // No remote attach point resolved: fall back to pruning locally
-          // at the port (saves downstream CPU, not the wire).
+          if (secs.status().code() == StatusCode::kUnavailable) {
+            // A downed link kept the summary from (some of) the producers.
+            // Queue a copy (only this failure path pays for it): the
+            // multi-site driver re-ships when the failed fragment
+            // restarts, so pruning survives recovery.
+            std::lock_guard<std::mutex> lock(mu_);
+            pending_ships_.push_back(
+                PendingShip{u->sp.remote_ship, u->attr, *bloom, label});
+          }
+          // Meanwhile (or when no remote attach point resolved) fall back
+          // to pruning locally at the port — saves downstream CPU, not the
+          // wire.
           u->sp.op->AttachFilter(u->sp.port, filter);
         } else if (u->sp.direct_scan != nullptr && u->sp.scan_is_remote) {
           // Ship the Bloom filter across the scan's link before it becomes
@@ -265,7 +278,8 @@ void AipManager::OnInputFinished(Operator* op, int port) {
                              ? *set->bloom()
                              : BloomFromHashes(unique, options_.target_fpr));
             secs = u->sp.scan_link->TransferSeconds(bytes.size());
-            u->sp.scan_link->Transmit(bytes.size());
+            // RemoteNode links carry no fault injector; ignore the status.
+            (void)u->sp.scan_link->Transmit(bytes.size());
           } else {
             secs = static_cast<double>(set->SizeBytes()) /
                    options_.ship_bandwidth_bytes_per_sec;
@@ -292,6 +306,36 @@ void AipManager::OnInputFinished(Operator* op, int port) {
       decisions_.push_back(std::move(decision));
     }
   }
+}
+
+int AipManager::ReshipPending() {
+  std::vector<PendingShip> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(pending_ships_);
+  }
+  int shipped = 0;
+  for (PendingShip& p : pending) {
+    const Result<double> secs = p.ship(p.attr, p.bloom, p.label);
+    if (secs.ok()) {
+      ++shipped;
+      filters_attached_.fetch_add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      ship_seconds_ += *secs;
+      continue;
+    }
+    if (secs.status().code() == StatusCode::kUnavailable) {
+      // Still unreachable; keep it queued for the next recovery round.
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_ships_.push_back(std::move(p));
+    }
+  }
+  return shipped;
+}
+
+int64_t AipManager::pending_reships() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(pending_ships_.size());
 }
 
 int64_t AipManager::total_pruned() const {

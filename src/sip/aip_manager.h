@@ -36,6 +36,15 @@ class AipManager {
   /// events. `info.plan` must be non-null and estimated.
   Status Install(const SipPlanInfo& info);
 
+  /// Re-attempts remote Bloom shipments that failed while a link or site
+  /// was down, so pruning survives recovery. The multi-site driver calls
+  /// this right before replaying a restarted fragment. Idempotent:
+  /// receiving sites dedup attachments by filter label, and shipments that
+  /// fail again stay queued. Returns how many succeeded this time.
+  int ReshipPending();
+  /// Shipments still waiting for a reachable producer.
+  int64_t pending_reships() const;
+
   // --- statistics ---
   int64_t sets_built() const { return sets_built_.load(); }
   int64_t filters_attached() const { return filters_attached_.load(); }
@@ -52,6 +61,15 @@ class AipManager {
     StatefulPort sp;
     int col = 0;      ///< column in sp.schema (or in the op state layout)
     AttrId attr = kInvalidAttr;
+  };
+
+  /// A remote shipment that could not reach every producer (downed link),
+  /// kept for retry after the failed fragment restarts.
+  struct PendingShip {
+    RemoteFilterShipFn ship;
+    AttrId attr = kInvalidAttr;
+    BloomFilter bloom{16};
+    std::string label;
   };
 
   void OnInputFinished(Operator* op, int port);
@@ -79,6 +97,7 @@ class AipManager {
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<AipFilter>> filters_;
   std::vector<std::shared_ptr<const AipSet>> sets_;
+  std::vector<PendingShip> pending_ships_;
   std::vector<AipDecision> decisions_;
   std::atomic<int64_t> sets_built_{0};
   std::atomic<int64_t> filters_attached_{0};

@@ -159,6 +159,11 @@ class PlanBuilder {
   double estimated_rows(NodeId node) const;
   /// Estimated per-attribute distinct counts of `node`'s output.
   const std::unordered_map<AttrId, double>& estimated_ndv(NodeId node) const;
+  /// Every operator the builder owns (scans, interior ops, terminal), in
+  /// creation order — the reset set for a fragment replay.
+  const std::vector<std::unique_ptr<Operator>>& operators() const {
+    return operators_;
+  }
   SipPlanInfo& sip_info() { return sip_info_; }
   Plan& plan() { return plan_; }
   ExecContext* context() const { return ctx_; }

@@ -27,8 +27,13 @@ RunOutcome RunScaleOut(ScaleOutQuery query,
   options.num_sites = sites;
   options.aip = aip;
   options.weak_part_filter = true;  // non-empty results at tiny scale
-  options.pace_every_rows = 256;
-  options.pace_ms = 1.0;
+  // Aggressive pacing: at tiny scale the sharded streams are short (a
+  // partsupp shard is ~500 rows), and the AIP-prunes-before-the-wire
+  // assertions need the shuffle to outlive the build-side completion and
+  // filter shipment by a comfortable margin on any scheduler — including
+  // single-core CI boxes and sanitizer slowdowns.
+  options.pace_every_rows = 64;
+  options.pace_ms = 2.0;
   auto built = BuildScaleOutQuery(query, catalog, options);
   built.status().CheckOK();
   auto stats = (*built)->Run();

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a fresh --json bench report against a committed baseline.
+
+Usage:
+    tools/bench_check.py --baseline BENCH_fig15_scaleout.json \
+        --fresh fresh.json [--threshold 0.25] [--metrics bytes_shipped,elapsed_sec]
+
+Cells are matched on (query, strategy, sites). A metric regresses when
+    fresh > baseline * (1 + threshold)
+for any matched cell whose baseline value is meaningful (> 0 — a few bytes
+or microseconds of baseline would turn scheduling noise into failures).
+Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error.
+
+CI runs this as a non-blocking step (timings on shared runners are noisy;
+bytes_shipped is deterministic modulo replay) and uploads both JSON files
+as artifacts, so a regression leaves an inspectable trail even when the
+step is advisory.
+"""
+
+import argparse
+import json
+import sys
+
+# Below these floors a relative comparison amplifies noise, not signal.
+MEANINGFUL_FLOOR = {
+    "bytes_shipped": 4096,      # bytes
+    "elapsed_sec": 0.005,       # seconds
+    "peak_state_mb": 0.01,      # MB
+}
+
+
+def load_cells(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    cells = report.get("cells")
+    if not isinstance(cells, list) or not cells:
+        print(f"bench_check: {path} has no cells", file=sys.stderr)
+        sys.exit(2)
+    return {
+        (c.get("query"), c.get("strategy"), c.get("sites")): c for c in cells
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative growth (default 0.25 = +25%%)")
+    parser.add_argument("--metrics", default="bytes_shipped,elapsed_sec",
+                        help="comma-separated cell fields to compare")
+    args = parser.parse_args()
+
+    baseline = load_cells(args.baseline)
+    fresh = load_cells(args.fresh)
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+
+    matched = 0
+    regressions = []
+    print(f"{'cell':<44} {'metric':<14} {'baseline':>12} {'fresh':>12} "
+          f"{'ratio':>7}")
+    for key, base_cell in sorted(baseline.items(), key=str):
+        fresh_cell = fresh.get(key)
+        if fresh_cell is None:
+            continue  # sweep shapes may differ (e.g. fewer sites in CI)
+        matched += 1
+        name = f"{key[0]}/{key[1]}/sites={key[2]}"
+        for metric in metrics:
+            base = base_cell.get(metric)
+            new = fresh_cell.get(metric)
+            if not isinstance(base, (int, float)) or \
+               not isinstance(new, (int, float)):
+                continue
+            floor = MEANINGFUL_FLOOR.get(metric, 0)
+            ratio = (new / base) if base > 0 else float("inf") if new else 1.0
+            flag = ""
+            if base > floor and new > base * (1.0 + args.threshold):
+                regressions.append((name, metric, base, new, ratio))
+                flag = "  << REGRESSION"
+            print(f"{name:<44} {metric:<14} {base:>12.6g} {new:>12.6g} "
+                  f"{ratio:>7.2f}{flag}")
+
+    if matched == 0:
+        print("bench_check: no cells matched between the two reports",
+              file=sys.stderr)
+        sys.exit(2)
+    if regressions:
+        print(f"\nbench_check: {len(regressions)} regression(s) beyond "
+              f"+{args.threshold * 100:.0f}%:", file=sys.stderr)
+        for name, metric, base, new, ratio in regressions:
+            print(f"  {name} {metric}: {base:g} -> {new:g} ({ratio:.2f}x)",
+                  file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_check: OK — {matched} cells within +"
+          f"{args.threshold * 100:.0f}% on {', '.join(metrics)}")
+
+
+if __name__ == "__main__":
+    main()
