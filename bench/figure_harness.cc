@@ -93,11 +93,24 @@ bool WriteJsonReport(const std::string& path, const std::string& id,
     std::fprintf(f,
                  ", \"elapsed_sec\": %.6f, \"peak_state_mb\": %.6f,"
                  " \"rows_pruned\": %lld, \"bytes_shipped\": %lld,"
-                 " \"metric_mean\": %.6f, \"metric_ci95\": %.6f}",
+                 " \"metric_mean\": %.6f, \"metric_ci95\": %.6f",
                  r.elapsed_sec, r.peak_state_mb,
                  static_cast<long long>(r.rows_pruned),
                  static_cast<long long>(r.bytes_shipped), r.metric_mean,
                  r.metric_ci95);
+    if (r.fragment_restarts != 0 || r.fragment_migrations != 0 ||
+        r.stragglers_detected != 0 || r.recalibrations != 0) {
+      std::fprintf(f,
+                   ", \"fragment_restarts\": %lld,"
+                   " \"fragment_migrations\": %lld,"
+                   " \"stragglers_detected\": %lld,"
+                   " \"recalibrations\": %lld",
+                   static_cast<long long>(r.fragment_restarts),
+                   static_cast<long long>(r.fragment_migrations),
+                   static_cast<long long>(r.stragglers_detected),
+                   static_cast<long long>(r.recalibrations));
+    }
+    std::fprintf(f, "}");
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);

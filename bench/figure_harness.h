@@ -65,6 +65,12 @@ struct JsonRecord {
   int64_t bytes_shipped = 0;
   double metric_mean = 0;
   double metric_ci95 = 0;
+  // Failure-recovery / adaptive-runtime metrics (multi-site chaos and
+  // straggler modes; zero elsewhere).
+  int64_t fragment_restarts = 0;
+  int64_t fragment_migrations = 0;
+  int64_t stragglers_detected = 0;
+  int64_t recalibrations = 0;
 };
 
 /// Writes the JSON report. Returns false (with a message on stderr) when

@@ -1,0 +1,128 @@
+// ReoptController: the decision layer of the adaptive runtime. At the same
+// boundaries the AIP manager already re-estimates on — window batches and
+// input completion — it chooses, per fragment, among
+//   * continue      — progress is in family with the mesh;
+//   * recalibrate   — a producing fragment finished: feed its observed
+//                     cardinality into the consumers' exchange estimates
+//                     (optimizer/cardinality::FeedObservedExchangeRows), so
+//                     later AIP ship-vs-save decisions use reality;
+//   * migrate       — a fragment is a straggler (its site lags the stage
+//                     median) or keeps failing on its site: preempt it at a
+//                     window boundary and rebuild it on a healthy site.
+//
+// Migration rides entirely on PR 3's replay machinery: the rebuilt
+// fragment adopts the old sender's slots at epoch+1 and replays from
+// window 0, so consumers drop the superseded fragment's frames exactly and
+// the answer is bit-identical to a clean run. What can move is what could
+// already restart: single window-batched scan, stateless chain, seq-bound
+// sender. Stateful/exchange-fed fragments stay put (see ROADMAP).
+#ifndef PUSHSIP_ADAPTIVE_REOPT_CONTROLLER_H_
+#define PUSHSIP_ADAPTIVE_REOPT_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adaptive/stats_monitor.h"
+#include "dist/dist_driver.h"
+
+namespace pushsip {
+namespace adaptive {
+
+/// Tuning knobs of the adaptive runtime.
+struct AdaptiveOptions {
+  /// Supervisor sampling cadence while fragments run.
+  double poll_interval_ms = 20;
+  /// A fragment is a straggler when its progress fraction times this factor
+  /// is still below its stage's median fraction.
+  double straggle_factor = 4.0;
+  /// Detection warm-up: the stage median must have emitted at least this
+  /// many windows before anyone can be called a straggler.
+  uint64_t min_median_windows = 2;
+  /// A fragment must look like a straggler on this many *consecutive*
+  /// polls before it is preempted — one noisy sample (a scan thread the OS
+  /// simply hadn't scheduled yet) must not trigger a migration.
+  int confirm_polls = 2;
+  /// Times one fragment may be moved (each move consumes a restart from
+  /// DistributedQuery::max_fragment_restarts as well).
+  int max_migrations_per_fragment = 1;
+  /// A fragment whose attempt number reaches this count through *genuine*
+  /// failures (not preemption) is rebuilt elsewhere instead of in place —
+  /// the "restart elsewhere" upgrade that makes permanent site loss
+  /// survivable for replayable fragments.
+  int migrate_after_failures = 2;
+  /// Global migration budget per query.
+  int64_t max_total_migrations = 16;
+};
+
+/// \brief Implements the supervisor hooks over a StatsMonitor.
+///
+/// All methods run on the supervisor thread (under its lock); registration
+/// happens before Run().
+class ReoptController : public AdaptiveSupervisor {
+ public:
+  ReoptController(DistributedQuery* query, AdaptiveOptions options);
+
+  // --- AdaptiveSupervisor ---
+  std::chrono::milliseconds poll_interval() const override;
+  void Poll() override;
+  void OnFragmentFinished(PlanBuilder* fragment) override;
+  bool ShouldMigrate(PlanBuilder* fragment, int attempts) override;
+  Result<Migration> Migrate(PlanBuilder* fragment) override;
+
+  int64_t stragglers_detected() const override { return stragglers_; }
+  int64_t fragment_migrations() const override { return migrations_; }
+  int64_t recalibrations() const override { return recalibrations_; }
+
+  StatsMonitor& monitor() { return monitor_; }
+
+ private:
+  struct FragmentState {
+    MigratableFragmentSpec spec;  ///< updated in place on migration
+    int current_site = 0;
+    bool finished = false;
+    int migrations = 0;
+    int suspect_polls = 0;  ///< consecutive polls flagged as a straggler
+    int pending_dest = -1;  ///< preemption issued, migration destination
+  };
+
+  FragmentState* Find(const PlanBuilder* fragment);
+  /// Destination for a migration away from `state`'s site: the most
+  /// advanced same-stage peer's site, else the next site round-robin.
+  int PickDestination(const FragmentState& state,
+                      const ProgressSnapshot& snapshot) const;
+  void PublishObservedCardinality(const FragmentState& state);
+
+  DistributedQuery* query_;
+  AdaptiveOptions options_;
+  StatsMonitor monitor_;
+  std::vector<FragmentState> states_;
+
+  /// Per-channel accumulation of observed producer cardinalities.
+  struct ChannelObservation {
+    int64_t rows = 0;
+    int finished_producers = 0;
+  };
+  std::unordered_map<const ExchangeChannel*, ChannelObservation> observed_;
+  std::unordered_map<const ExchangeChannel*, std::vector<PlanNode*>>
+      consumers_;
+
+  int64_t stragglers_ = 0;
+  int64_t migrations_ = 0;
+  int64_t recalibrations_ = 0;
+};
+
+/// Installs the adaptive runtime over an assembled query: builds a
+/// ReoptController from the query's registered migratable fragments and
+/// exchange consumers, wires the StatsMonitor to every site context and
+/// the mesh, and attaches the controller as the query's supervisor hooks.
+/// Call after BuildScaleOutQuery / PlanFragmenter::Fragment, before Run().
+/// Returns the controller for test introspection; the query owns it.
+std::shared_ptr<ReoptController> InstallAdaptiveRuntime(
+    DistributedQuery* query, AdaptiveOptions options = {});
+
+}  // namespace adaptive
+}  // namespace pushsip
+
+#endif  // PUSHSIP_ADAPTIVE_REOPT_CONTROLLER_H_

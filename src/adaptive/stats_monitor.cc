@@ -1,0 +1,125 @@
+#include "adaptive/stats_monitor.h"
+
+#include <algorithm>
+
+namespace pushsip {
+namespace adaptive {
+
+std::vector<size_t> DetectStragglers(const ProgressSnapshot& snapshot,
+                                     double straggle_factor,
+                                     uint64_t min_median_windows) {
+  std::vector<size_t> stragglers;
+  if (straggle_factor <= 1.0) straggle_factor = 1.0;
+
+  // Group fragment indices by stage.
+  std::vector<std::pair<std::string, std::vector<size_t>>> stages;
+  for (size_t i = 0; i < snapshot.fragments.size(); ++i) {
+    const std::string& stage = snapshot.fragments[i].stage;
+    auto it = std::find_if(stages.begin(), stages.end(),
+                           [&](const auto& s) { return s.first == stage; });
+    if (it == stages.end()) {
+      stages.push_back({stage, {i}});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+
+  for (const auto& [stage, members] : stages) {
+    if (members.size() < 2) continue;  // nothing to lag behind
+    std::vector<double> fractions;
+    std::vector<uint64_t> windows;
+    for (const size_t i : members) {
+      fractions.push_back(snapshot.fragments[i].fraction());
+      windows.push_back(snapshot.fragments[i].finished
+                            ? snapshot.fragments[i].windows_total
+                            : snapshot.fragments[i].windows_done);
+    }
+    // Median by nth_element (even sizes take the upper median: with two
+    // members the faster one sets the bar, which is what we want).
+    const size_t mid = members.size() / 2;
+    std::nth_element(fractions.begin(), fractions.begin() + mid,
+                     fractions.end());
+    std::nth_element(windows.begin(), windows.begin() + mid, windows.end());
+    const double median_fraction = fractions[mid];
+    if (windows[mid] < min_median_windows) continue;  // still warming up
+    for (const size_t i : members) {
+      const FragmentProgress& f = snapshot.fragments[i];
+      if (f.finished) continue;
+      if (f.fraction() * straggle_factor < median_fraction) {
+        stragglers.push_back(i);
+      }
+    }
+  }
+  return stragglers;
+}
+
+void StatsMonitor::TrackFragment(const PlanBuilder* fragment, int site,
+                                 std::string stage, const TableScan* scan) {
+  TrackedFragment t;
+  t.fragment = fragment;
+  t.site = site;
+  t.stage = std::move(stage);
+  t.scan = scan;
+  fragments_.push_back(std::move(t));
+}
+
+void StatsMonitor::MoveFragment(const PlanBuilder* old_fragment,
+                                const PlanBuilder* new_fragment, int new_site,
+                                const TableScan* new_scan) {
+  for (TrackedFragment& t : fragments_) {
+    if (t.fragment == old_fragment) {
+      t.fragment = new_fragment;
+      t.site = new_site;
+      t.scan = new_scan;
+      return;
+    }
+  }
+}
+
+void StatsMonitor::MarkFinished(const PlanBuilder* fragment) {
+  for (TrackedFragment& t : fragments_) {
+    if (t.fragment == fragment) {
+      t.finished = true;
+      return;
+    }
+  }
+}
+
+void StatsMonitor::TrackSite(int site, const ExecContext* ctx) {
+  sites_.push_back({site, ctx});
+}
+
+ProgressSnapshot StatsMonitor::Sample(bool include_sites) const {
+  ProgressSnapshot snap;
+  for (const TrackedFragment& t : fragments_) {
+    FragmentProgress p;
+    p.fragment = t.fragment;
+    p.site = t.site;
+    p.stage = t.stage;
+    p.windows_total = std::max<uint64_t>(1, t.scan->total_windows());
+    p.windows_done =
+        t.finished ? p.windows_total : t.scan->current_window();
+    p.finished = t.finished;
+    snap.fragments.push_back(std::move(p));
+  }
+  if (!include_sites) return snap;
+  for (const TrackedSite& s : sites_) {
+    SiteProgress p;
+    p.site = s.site;
+    for (const Operator* op : s.ctx->operators()) {
+      p.rows_out += op->rows_out();
+      p.batches_out += op->batches_out();
+      p.stall_seconds += op->stall_seconds();
+    }
+    if (mesh_ != nullptr) {
+      const LinkUsage out = mesh_->OutboundUsage(s.site);
+      p.link_bytes_out = out.bytes;
+      p.link_seconds_out = out.seconds;
+    }
+    snap.sites.push_back(p);
+  }
+  return snap;
+}
+
+}  // namespace adaptive
+}  // namespace pushsip

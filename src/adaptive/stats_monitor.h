@@ -1,0 +1,120 @@
+// StatsMonitor: the observation layer of the adaptive runtime (paper
+// lineage: Tukwila re-optimizes mid-query from runtime statistics; the AIP
+// manager already re-estimates within a fragment — this monitor watches
+// *across* fragments and sites). It samples per-fragment window-batch
+// progress from the scans, per-site operator counters (rows, batches,
+// receiver stall time) from each site's ExecContext, and per-site outbound
+// link usage from the mesh, into one immutable ProgressSnapshot.
+//
+// The straggler detector is a pure function over a snapshot: within each
+// stage (the set of peer fragments doing the same work on different
+// sites), a fragment whose window-batch progress lags the stage median by
+// a configurable factor is a straggler — the signal the ReoptController
+// answers with preemption + migration.
+#ifndef PUSHSIP_ADAPTIVE_STATS_MONITOR_H_
+#define PUSHSIP_ADAPTIVE_STATS_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/site_engine.h"
+
+namespace pushsip {
+namespace adaptive {
+
+/// Progress of one tracked (replayable) fragment at sample time.
+struct FragmentProgress {
+  const PlanBuilder* fragment = nullptr;
+  int site = 0;                ///< site currently hosting the fragment
+  std::string stage;           ///< peer group for straggler comparison
+  uint64_t windows_done = 0;   ///< scan windows emitted so far
+  uint64_t windows_total = 1;  ///< windows the whole shard spans
+  bool finished = false;
+
+  double fraction() const {
+    if (finished) return 1.0;
+    if (windows_total == 0) return 1.0;
+    return static_cast<double>(windows_done) /
+           static_cast<double>(windows_total);
+  }
+};
+
+/// Aggregate runtime counters of one site at sample time.
+struct SiteProgress {
+  int site = 0;
+  int64_t rows_out = 0;        ///< summed over the site's operators
+  int64_t batches_out = 0;
+  double stall_seconds = 0;    ///< summed receiver starvation time
+  int64_t link_bytes_out = 0;  ///< outbound mesh traffic
+  double link_seconds_out = 0; ///< outbound link busy time
+};
+
+/// One consistent-enough view of the whole query's progress (counters are
+/// relaxed atomics; exactness is not required for detection).
+struct ProgressSnapshot {
+  std::vector<FragmentProgress> fragments;
+  std::vector<SiteProgress> sites;
+};
+
+/// Indices into `snapshot.fragments` of the fragments lagging their stage
+/// median by more than `straggle_factor`, once the stage median has done at
+/// least `min_median_windows` windows (warm-up guard). Stages with fewer
+/// than two members never produce stragglers (no peer to lag behind).
+std::vector<size_t> DetectStragglers(const ProgressSnapshot& snapshot,
+                                     double straggle_factor,
+                                     uint64_t min_median_windows);
+
+/// \brief Collects runtime statistics for the ReoptController.
+///
+/// Registration happens at assembly time (and again on migration); Sample()
+/// is called from the supervisor thread only.
+class StatsMonitor {
+ public:
+  /// Starts tracking `fragment`'s progress through `scan`'s window index.
+  void TrackFragment(const PlanBuilder* fragment, int site, std::string stage,
+                     const TableScan* scan);
+
+  /// Re-keys a tracked fragment after migration: the rebuilt fragment
+  /// inherits the old entry's stage, with a fresh scan on the new site.
+  void MoveFragment(const PlanBuilder* old_fragment,
+                    const PlanBuilder* new_fragment, int new_site,
+                    const TableScan* new_scan);
+
+  /// Pins the fragment at 100% progress.
+  void MarkFinished(const PlanBuilder* fragment);
+
+  /// Adds a site's ExecContext (operator counters) to the snapshot.
+  void TrackSite(int site, const ExecContext* ctx);
+
+  /// Adds the mesh (per-site outbound link usage) to the snapshot.
+  void TrackMesh(const SiteMesh* mesh) { mesh_ = mesh; }
+
+  /// `include_sites` also aggregates the per-site operator counters and
+  /// link usage — a full health snapshot for diagnostics/tests. The
+  /// supervisor's per-poll hot path samples fragments only: the straggler
+  /// decision needs nothing else, and walking every operator of every
+  /// site dozens of times per second would be pure overhead.
+  ProgressSnapshot Sample(bool include_sites = true) const;
+
+ private:
+  struct TrackedFragment {
+    const PlanBuilder* fragment = nullptr;
+    int site = 0;
+    std::string stage;
+    const TableScan* scan = nullptr;
+    bool finished = false;
+  };
+  struct TrackedSite {
+    int site = 0;
+    const ExecContext* ctx = nullptr;
+  };
+
+  std::vector<TrackedFragment> fragments_;
+  std::vector<TrackedSite> sites_;
+  const SiteMesh* mesh_ = nullptr;
+};
+
+}  // namespace adaptive
+}  // namespace pushsip
+
+#endif  // PUSHSIP_ADAPTIVE_STATS_MONITOR_H_

@@ -29,6 +29,23 @@ bool EnableFragmentReplay(PlanBuilder& fragment) {
   return true;
 }
 
+Result<RebuiltFragment> FinishRebuiltFragment(
+    SiteEngine& host, std::unique_ptr<PlanBuilder> fragment,
+    PlanBuilder::NodeId root, std::unique_ptr<ExchangeSender> sender) {
+  PlanBuilder& pb = *fragment;
+  ExchangeSender* sender_raw = sender.get();
+  PUSHSIP_RETURN_NOT_OK(pb.FinishWith(root, std::move(sender)));
+  if (!EnableFragmentReplay(pb)) {
+    return Status::Internal("rebuilt fragment lost its replayable shape");
+  }
+  host.PublishFragment(std::move(fragment));
+  RebuiltFragment built;
+  built.fragment = &pb;
+  built.scan = pb.source_scans()[0];
+  built.sender = sender_raw;
+  return built;
+}
+
 void DistributedQuery::Cancel() {
   for (auto& channel : channels) {
     if (channel != nullptr) channel->Cancel();
@@ -58,6 +75,7 @@ struct FragmentRun {
   bool finished = false;  ///< an attempt completed without error
   Status error;           ///< error of the current attempt, once drained
   bool needs_attention = false;
+  bool finish_reported = false;  ///< adaptive hook notified of completion
 };
 
 }  // namespace
@@ -91,6 +109,7 @@ Result<DistQueryStats> DistributedQuery::Run() {
 
   int64_t restarts = 0;
   int64_t reships = 0;
+  AdaptiveSupervisor* supervisor = adaptive.get();
 
   // Launches one thread per source of `run`'s fragment (exactly one for
   // replayable fragments). Caller holds `mu`.
@@ -127,12 +146,24 @@ Result<DistQueryStats> DistributedQuery::Run() {
 
     // Supervision loop: wait for a fragment to finish an attempt; restart
     // replayable kUnavailable failures, declare everything else fatal.
+    // With an adaptive supervisor installed the wait becomes a poll: each
+    // wake samples runtime progress, may preempt stragglers (they re-enter
+    // this loop as kUnavailable failures), and recovery may rebuild the
+    // failed fragment on another site instead of in place.
     while (true) {
       bool all_done = true;
       FragmentRun* failed = nullptr;
       for (FragmentRun& run : runs) {
         if (run.needs_attention) failed = &run;
         if (!run.finished) all_done = false;
+        if (run.finished && !run.finish_reported) {
+          run.finish_reported = true;
+          if (supervisor != nullptr) {
+            // Input-completion boundary: feed the finished fragment's
+            // observed cardinalities into its consumers' estimates.
+            supervisor->OnFragmentFinished(run.fragment);
+          }
+        }
       }
       if (failed != nullptr) {
         FragmentRun& run = *failed;
@@ -145,13 +176,29 @@ Result<DistQueryStats> DistributedQuery::Run() {
           break;
         }
         // Recovery sequence. 1) Heal every fault that has fired — the
-        // restart *is* the failed site coming back. 2) Rearm the fragment's
-        // operators and advance the sender's epoch. 3) Re-ship Bloom
-        // summaries that never reached a producer during the outage, so
-        // pruning survives recovery. 4) Replay from the scan.
+        // restart *is* the failed site coming back. 2) Rearm the fragment —
+        // in place (reset operators, advance the sender's epoch), or, when
+        // the adaptive supervisor says so, rebuilt on another site (the
+        // replacement adopts the old sender's stream at the next epoch, so
+        // consumers dedup exactly as for an in-place replay). 3) Re-ship
+        // Bloom summaries that never reached a producer during the outage,
+        // so pruning survives recovery. 4) Replay from the scan.
         if (fault_injector != nullptr) fault_injector->HealFired();
-        for (const auto& op : run.fragment->operators()) {
-          op->ResetForReplay();
+        bool migrated = false;
+        if (supervisor != nullptr &&
+            supervisor->ShouldMigrate(run.fragment, run.attempts)) {
+          auto moved = supervisor->Migrate(run.fragment);
+          if (moved.ok()) {
+            run.fragment = moved->fragment;
+            run.site = moved->site;
+            migrated = true;
+          }
+          // On rebuild failure fall back to an in-place restart below.
+        }
+        if (!migrated) {
+          for (const auto& op : run.fragment->operators()) {
+            op->ResetForReplay();
+          }
         }
         for (auto& site : sites) {
           for (const auto& manager : site->aip_managers()) {
@@ -163,7 +210,12 @@ Result<DistQueryStats> DistributedQuery::Run() {
         continue;
       }
       if (all_done) break;
-      progress.wait(lock);
+      if (supervisor != nullptr) {
+        progress.wait_for(lock, supervisor->poll_interval());
+        supervisor->Poll();
+      } else {
+        progress.wait(lock);
+      }
     }
   }
   if (!fatal.ok()) cancel_all();
@@ -186,6 +238,11 @@ Result<DistQueryStats> DistributedQuery::Run() {
   stats.aip_reships = reships;
   if (fault_injector != nullptr) {
     stats.faults_injected = fault_injector->faults_injected();
+  }
+  if (supervisor != nullptr) {
+    stats.stragglers_detected = supervisor->stragglers_detected();
+    stats.fragment_migrations = supervisor->fragment_migrations();
+    stats.recalibrations = supervisor->recalibrations();
   }
   for (auto& site : sites) {
     ExecContext& ctx = site->context();

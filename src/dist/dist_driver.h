@@ -17,7 +17,10 @@
 #ifndef PUSHSIP_DIST_DIST_DRIVER_H_
 #define PUSHSIP_DIST_DIST_DRIVER_H_
 
+#include <chrono>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dist/site_engine.h"
@@ -49,6 +52,10 @@ struct DistQueryStats {
   int64_t batches_discarded = 0;   ///< duplicate/stale frames dropped
   int64_t faults_injected = 0;     ///< transmissions the injector failed
   int64_t aip_reships = 0;         ///< Bloom shipments retried successfully
+  // Adaptive-runtime bookkeeping (zero unless an AdaptiveSupervisor ran).
+  int64_t stragglers_detected = 0;  ///< fragments preempted for lagging
+  int64_t fragment_migrations = 0;  ///< restarts placed on another site
+  int64_t recalibrations = 0;       ///< observed-cardinality feedbacks
 
   double shipped_mb() const {
     return static_cast<double>(bytes_shipped) / (1024.0 * 1024.0);
@@ -69,6 +76,95 @@ TableScan* FragmentReplayScan(const PlanBuilder& fragment);
 /// Returns true iff the binding was made.
 bool EnableFragmentReplay(PlanBuilder& fragment);
 
+/// A fragment freshly materialized on another site by a rebuild recipe.
+struct RebuiltFragment {
+  PlanBuilder* fragment = nullptr;  ///< owned by the hosting SiteEngine
+  TableScan* scan = nullptr;        ///< the replay scan (seq source)
+  ExchangeSender* sender = nullptr; ///< terminal; AdoptStream pending
+};
+
+/// Shared tail of every rebuild recipe: terminates the fully-built
+/// detached `fragment` with `sender`, re-verifies the replayable shape
+/// (binding the sender's seqs to the scan), publishes it on `host` — the
+/// point it becomes visible to concurrent filter attachment — and returns
+/// the handles migration needs. Keeping this in one place keeps the
+/// publication invariant (never publish a half-built fragment mid-query)
+/// out of the individual recipes.
+Result<RebuiltFragment> FinishRebuiltFragment(
+    SiteEngine& host, std::unique_ptr<PlanBuilder> fragment,
+    PlanBuilder::NodeId root, std::unique_ptr<ExchangeSender> sender);
+
+/// Re-materializes one replayable fragment on an arbitrary host site,
+/// scanning the *original* partition (migration assumes the shard's data is
+/// readable from the destination — a replica; the simulation shares the
+/// TablePtr). The recipe must feed the same channels with the same schema
+/// so consumers cannot tell a migrated producer from a rebooted one.
+using FragmentRebuildFn =
+    std::function<Result<RebuiltFragment>(SiteEngine& host, int host_site)>;
+
+/// Assembly-time registration of a fragment the adaptive runtime may move:
+/// populated by the scale-out builder and the PlanFragmenter for every
+/// replayable fragment, consumed by adaptive::InstallAdaptiveRuntime.
+struct MigratableFragmentSpec {
+  PlanBuilder* fragment = nullptr;
+  TableScan* scan = nullptr;
+  ExchangeSender* sender = nullptr;
+  /// Stage label shared by the peer fragments this one races against (the
+  /// straggler detector compares window progress within a stage).
+  std::string stage;
+  int home_site = 0;
+  /// Null when only monitoring/in-place restart is possible (e.g. the
+  /// fragment's operator chain cannot be rebuilt safely elsewhere).
+  FragmentRebuildFn rebuild;
+};
+
+/// Assembly-time registration of a consumer-side exchange leaf: which plan
+/// node models the stream arriving over `channel`. The adaptive runtime
+/// feeds observed producer cardinalities into the node as producers finish.
+struct ExchangeConsumerSpec {
+  const ExchangeChannel* channel = nullptr;
+  PlanNode* node = nullptr;
+};
+
+/// \brief Hooks the multi-site supervisor consults when an adaptive runtime
+/// is installed (implemented by adaptive::ReoptController; an interface so
+/// dist does not depend on the adaptive library).
+///
+/// All methods are invoked from the supervisor thread, under its lock.
+class AdaptiveSupervisor {
+ public:
+  virtual ~AdaptiveSupervisor() = default;
+
+  /// How often the supervisor wakes to Poll() while fragments run.
+  virtual std::chrono::milliseconds poll_interval() const = 0;
+
+  /// Samples runtime progress; may preempt straggling fragments (their
+  /// sources then fail with kUnavailable and re-enter the restart path).
+  virtual void Poll() = 0;
+
+  /// One fragment attempt completed successfully; triggers
+  /// observed-cardinality feedback for the streams it produced.
+  virtual void OnFragmentFinished(PlanBuilder* fragment) = 0;
+
+  /// Whether the upcoming restart of `fragment` (attempt number `attempts`
+  /// just failed) should be placed on another site instead of in place.
+  virtual bool ShouldMigrate(PlanBuilder* fragment, int attempts) = 0;
+
+  struct Migration {
+    PlanBuilder* fragment = nullptr;
+    SiteEngine* site = nullptr;
+  };
+  /// Rebuilds `fragment` on the chosen destination site and hands back the
+  /// replacement to relaunch. On error the caller falls back to an
+  /// in-place restart.
+  virtual Result<Migration> Migrate(PlanBuilder* fragment) = 0;
+
+  // --- statistics, folded into DistQueryStats after the run ---
+  virtual int64_t stragglers_detected() const = 0;
+  virtual int64_t fragment_migrations() const = 0;
+  virtual int64_t recalibrations() const = 0;
+};
+
 /// \brief A fully assembled distributed query, ready to run.
 ///
 /// Owns the sites, their fragments, the mesh, and the exchange channels;
@@ -83,6 +179,14 @@ struct DistributedQuery {
   std::shared_ptr<FaultInjector> fault_injector;
   /// Replays allowed per fragment before its failure is declared fatal.
   int max_fragment_restarts = 3;
+  /// Assembly-time registry of movable fragments and consumer exchange
+  /// leaves; populated unconditionally (it is cheap), consumed when an
+  /// adaptive runtime is installed over this query.
+  std::vector<MigratableFragmentSpec> migratable_fragments;
+  std::vector<ExchangeConsumerSpec> exchange_consumers;
+  /// The adaptive runtime, when installed (adaptive::InstallAdaptiveRuntime);
+  /// null = PR 3 behaviour (in-place restarts only, no preemption).
+  std::shared_ptr<AdaptiveSupervisor> adaptive;
 
   /// Unblocks every thread waiting on a channel or context of this query —
   /// safe to call at any time, including before Run() (the early-error

@@ -70,7 +70,8 @@ ExchangeSender::ExchangeSender(ExecContext* ctx, std::string name,
       mode_(mode),
       hash_cols_(std::move(hash_cols)),
       destinations_(std::move(destinations)),
-      arrival_seq_(destinations_.size()) {
+      arrival_seq_(destinations_.size()),
+      rows_sent_(destinations_.size()) {
   PUSHSIP_DCHECK(!destinations_.empty());
   PUSHSIP_DCHECK(mode_ != ExchangeMode::kForward ||
                  destinations_.size() == 1);
@@ -86,6 +87,18 @@ void ExchangeSender::ResetForReplay() {
   Operator::ResetForReplay();
   epoch_.fetch_add(1);
   for (auto& s : arrival_seq_) s.store(0);
+  // The replay re-sends the whole stream, so the per-destination observed
+  // cardinality restarts from zero too — otherwise an in-place restart
+  // would feed consumers ~double the real row count at recalibration.
+  for (auto& r : rows_sent_) r.store(0);
+}
+
+void ExchangeSender::AdoptStream(const ExchangeSender& prev) {
+  PUSHSIP_DCHECK(prev.sender_slots_.size() == sender_slots_.size());
+  // The slots this sender's constructor allocated are abandoned (never
+  // used); the consumers only ever knew the predecessor's slots.
+  sender_slots_ = prev.sender_slots_;
+  epoch_.store(prev.epoch_.load() + 1);
 }
 
 Status ExchangeSender::Send(size_t dest_index, const Batch& batch) {
@@ -112,6 +125,7 @@ Status ExchangeSender::Send(size_t dest_index, const Batch& batch) {
   }
   bytes_sent_.fetch_add(static_cast<int64_t>(bytes.size()));
   batches_sent_.fetch_add(1);
+  rows_sent_[dest_index].fetch_add(static_cast<int64_t>(batch.size()));
   if (!dest.channel->SendBatch(std::move(bytes))) {
     return Status::Cancelled("exchange channel cancelled");
   }
@@ -152,6 +166,10 @@ Status ExchangeSender::DoFinish(int) {
 Status ExchangeReceiver::Run() {
   const auto poll = std::chrono::milliseconds(
       options_.poll_ms > 0 ? options_.poll_ms : 25);
+  // Negative = inherit the per-query default from the context.
+  const double idle_timeout_sec =
+      options_.idle_timeout_sec < 0 ? ctx_->exchange_idle_timeout_sec()
+                                    : options_.idle_timeout_sec;
   double idle_sec = 0;
   std::string bytes;
   while (true) {
@@ -163,8 +181,8 @@ Status ExchangeReceiver::Run() {
     if (r == ExchangeChannel::RecvStatus::kEndOfStream) break;
     if (r == ExchangeChannel::RecvStatus::kTimeout) {
       idle_sec += static_cast<double>(poll.count()) / 1e3;
-      if (options_.idle_timeout_sec > 0 &&
-          idle_sec >= options_.idle_timeout_sec) {
+      stall_micros_.fetch_add(poll.count() * 1000);
+      if (idle_timeout_sec > 0 && idle_sec >= idle_timeout_sec) {
         return Status::Unavailable(
             name() + ": no exchange traffic for " +
             std::to_string(idle_sec) +

@@ -140,10 +140,25 @@ class ExchangeSender : public Operator {
   /// fragment-restart reset.
   void ResetForReplay() override;
 
+  /// Takes over `prev`'s logical stream: same per-channel sender slots (so
+  /// consumers apply their existing per-sender high-water marks to this
+  /// sender's frames) at `prev`'s epoch + 1 (so leftovers of the superseded
+  /// attempt are dropped exactly). The migration handshake: a fragment
+  /// rebuilt on another site adopts the stream of the fragment it replaces.
+  /// Both senders must have the same destination count, in the same order.
+  void AdoptStream(const ExchangeSender& prev);
+
   ExchangeMode mode() const { return mode_; }
   uint32_t epoch() const { return epoch_.load(); }
   int64_t bytes_sent() const { return bytes_sent_.load(); }
   int64_t batches_sent() const { return batches_sent_.load(); }
+  /// Rows sent to destination `i` (replays included) — the observed
+  /// per-channel cardinality the adaptive runtime feeds back into consumer
+  /// fragments' exchange estimates.
+  int64_t rows_sent(size_t i) const { return rows_sent_[i].load(); }
+  const std::vector<ExchangeDestination>& destinations() const {
+    return destinations_;
+  }
 
  protected:
   Status DoPush(int port, Batch&& batch) override;
@@ -162,6 +177,7 @@ class ExchangeSender : public Operator {
   /// frames carry replayable=false, so receivers never dedup on them
   /// (arrival order past the counter is not enqueue order).
   std::vector<std::atomic<uint64_t>> arrival_seq_;
+  std::vector<std::atomic<int64_t>> rows_sent_;  // per destination
   const TableScan* seq_source_ = nullptr;
   std::atomic<uint32_t> epoch_{0};
   std::atomic<int64_t> bytes_sent_{0};
@@ -173,8 +189,11 @@ struct ReceiverOptions {
   /// Give up with kUnavailable after this long without any message — the
   /// heartbeat that turns a silently dead upstream into a detectable
   /// failure. Must comfortably exceed the slowest legitimate inter-batch
-  /// gap *including* a full fragment restart + replay. <= 0 disables.
-  double idle_timeout_sec = 30.0;
+  /// gap *including* a full fragment restart + replay. 0 disables; the
+  /// default (negative) inherits ExecContext::exchange_idle_timeout_sec,
+  /// so one per-query knob tunes every receiver (slow-site tests shorten
+  /// it without changing production defaults).
+  double idle_timeout_sec = -1.0;
   /// Wake-up cadence while waiting; also bounds teardown latency.
   int poll_ms = 25;
 };
@@ -199,6 +218,11 @@ class ExchangeReceiver : public SourceOperator {
   /// Frames dropped as duplicates (replay of an already-passed seq) or as
   /// leftovers of a superseded epoch.
   int64_t batches_discarded() const { return batches_discarded_.load(); }
+  /// Cumulative seconds spent waiting with nothing to dequeue — a starving
+  /// receiver points at a slow or dead upstream site.
+  double stall_seconds() const override {
+    return static_cast<double>(stall_micros_.load()) / 1e6;
+  }
 
  private:
   /// Replay high-water mark of one sender slot.
@@ -212,6 +236,7 @@ class ExchangeReceiver : public SourceOperator {
   std::unordered_map<uint32_t, SenderProgress> progress_;
   std::atomic<int64_t> batches_received_{0};
   std::atomic<int64_t> batches_discarded_{0};
+  std::atomic<int64_t> stall_micros_{0};
 };
 
 }  // namespace pushsip

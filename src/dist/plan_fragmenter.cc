@@ -1,6 +1,88 @@
 #include "dist/plan_fragmenter.h"
 
+#include <algorithm>
+
 namespace pushsip {
+
+namespace {
+
+/// One re-buildable step of a replayable producer chain (filter or
+/// project), value-captured so a migration recipe can re-materialize the
+/// chain on another site after the LogicalPlan is gone.
+struct ChainStep {
+  bool is_filter = false;
+  PredicateFn predicate;       // is_filter
+  double selectivity = 1.0;    // is_filter
+  std::vector<std::string> cols;  // !is_filter
+};
+
+/// Builds the migration recipe for the producer fragment rooted at logical
+/// node `id`: re-materializes its scan -> {filter,project}* chain and
+/// forward sender on an arbitrary host site, scanning the home site's table
+/// (readable from the destination — a replica; here the shared TablePtr).
+/// Returns null when the subtree is not a pure unary chain over one scan —
+/// such fragments stay monitorable but only restart in place.
+FragmentRebuildFn MakeRebuildRecipe(
+    const LogicalPlan& plan, LogicalPlan::NodeId id,
+    const std::shared_ptr<Catalog>& home_catalog, SiteMesh* mesh,
+    int dest_site, const std::string& sender_name, const Schema& out_schema,
+    const std::shared_ptr<ExchangeChannel>& channel, const TableScan* scan) {
+  std::vector<ChainStep> steps;  // collected root-down, applied scan-up
+  LogicalPlan::NodeId cur = id;
+  while (true) {
+    const LogicalPlan::Node& n = plan.nodes()[static_cast<size_t>(cur)];
+    if (n.kind == LogicalPlan::Node::Kind::kScan) break;
+    ChainStep step;
+    if (n.kind == LogicalPlan::Node::Kind::kFilter) {
+      step.is_filter = true;
+      step.predicate = n.predicate;
+      step.selectivity = n.selectivity;
+    } else if (n.kind == LogicalPlan::Node::Kind::kProject) {
+      step.cols = n.cols;
+    } else {
+      return nullptr;  // joins/aggregates never sit in a replayable chain
+    }
+    steps.push_back(std::move(step));
+    cur = n.children[0];
+  }
+  std::reverse(steps.begin(), steps.end());
+  const LogicalPlan::Node& scan_node =
+      plan.nodes()[static_cast<size_t>(cur)];
+  const Result<TablePtr> table = home_catalog->GetTable(scan_node.table);
+  if (!table.ok()) return nullptr;
+  // Everything below is value-captured: the recipe outlives the
+  // LogicalPlan and the original fragment.
+  return [table = *table, scan_schema = scan->output_schema(),
+          scan_options = scan->options(), steps = std::move(steps),
+          sender_name, out_schema, channel, mesh,
+          dest_site](SiteEngine& host,
+                     int host_site) -> Result<RebuiltFragment> {
+    // Built detached, published only when complete: this recipe runs
+    // mid-query, concurrently with filter attachment on the host.
+    std::unique_ptr<PlanBuilder> detached = host.NewDetachedFragment();
+    PlanBuilder& pb = *detached;
+    PUSHSIP_ASSIGN_OR_RETURN(PlanBuilder::NodeId n,
+                             pb.ScanTable(table, scan_schema, scan_options));
+    for (const ChainStep& step : steps) {
+      if (step.is_filter) {
+        PUSHSIP_ASSIGN_OR_RETURN(ExprPtr pred, step.predicate(pb.schema(n)));
+        PUSHSIP_ASSIGN_OR_RETURN(
+            n, pb.Filter(n, std::move(pred), step.selectivity));
+      } else {
+        PUSHSIP_ASSIGN_OR_RETURN(n, pb.Project(n, step.cols));
+      }
+    }
+    auto sender = std::make_unique<ExchangeSender>(
+        &host.context(), sender_name, out_schema, ExchangeMode::kForward,
+        std::vector<int>{},
+        std::vector<ExchangeDestination>{
+            {channel, mesh->link(host_site, dest_site)}});
+    return FinishRebuiltFragment(host, std::move(detached), n,
+                                 std::move(sender));
+  };
+}
+
+}  // namespace
 
 LogicalPlan::NodeId LogicalPlan::Add(Node node) {
   nodes_.push_back(std::move(node));
@@ -134,25 +216,44 @@ Result<PlanBuilder::NodeId> PlanFragmenter::BuildInto(BuildState* state,
     channel->set_num_senders(1);
     state->query->channels.push_back(channel);
 
+    const std::string sender_name = "xsend_s" + std::to_string(home);
     auto sender = std::make_unique<ExchangeSender>(
-        &producer.context(), "xsend_s" + std::to_string(home), schema,
-        ExchangeMode::kForward, std::vector<int>{},
+        &producer.context(), sender_name, schema, ExchangeMode::kForward,
+        std::vector<int>{},
         std::vector<ExchangeDestination>{
             {channel, state->query->mesh->link(home, site)}});
     PUSHSIP_RETURN_NOT_OK(pb.FinishWith(sub, std::move(sender)));
-    // Scan-rooted stateless fragments become restartable after a failure.
-    EnableFragmentReplay(pb);
+    // Scan-rooted stateless fragments become restartable after a failure —
+    // and, when their chain can be re-materialized from value captures,
+    // migratable to another site by the adaptive runtime.
+    if (EnableFragmentReplay(pb)) {
+      MigratableFragmentSpec spec;
+      spec.fragment = &pb;
+      spec.scan = FragmentReplayScan(pb);
+      spec.sender = static_cast<ExchangeSender*>(pb.terminal());
+      spec.stage = sender_name;
+      spec.home_site = home;
+      spec.rebuild = MakeRebuildRecipe(*state->plan, id, producer.catalog(),
+                                       state->query->mesh.get(), site,
+                                       sender_name, schema, channel,
+                                       spec.scan);
+      state->query->migratable_fragments.push_back(std::move(spec));
+    }
 
-    ReceiverOptions ro;
-    ro.idle_timeout_sec = state->options->exchange_idle_timeout_sec;
+    ReceiverOptions ro;  // heartbeat inherited from the consumer's context
     auto receiver = std::make_unique<ExchangeReceiver>(
         b->context(), "xrecv_s" + std::to_string(home), schema, channel, ro);
     // Filters built at the consumer ship back over the reverse link and
     // attach inside the producing fragment.
     RemoteFilterShipFn shipper = MakeFilterShipper(
         {{&producer, state->query->mesh->link(site, home)}});
-    return b->Source(std::move(receiver), pb.estimated_rows(sub),
-                     pb.estimated_ndv(sub), std::move(shipper));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const PlanBuilder::NodeId src,
+        b->Source(std::move(receiver), pb.estimated_rows(sub),
+                  pb.estimated_ndv(sub), std::move(shipper)));
+    state->query->exchange_consumers.push_back(
+        {channel.get(), b->plan_node(src)});
+    return src;
   }
 
   switch (n.kind) {
@@ -227,6 +328,8 @@ Result<std::unique_ptr<DistributedQuery>> PlanFragmenter::Fragment(
     query->sites.push_back(std::make_unique<SiteEngine>(
         static_cast<int>(s), "site" + std::to_string(s), catalogs_[s]));
     query->sites.back()->context().set_batch_size(options.batch_size);
+    query->sites.back()->context().set_exchange_idle_timeout_sec(
+        options.exchange_idle_timeout_sec);
   }
 
   BuildState state;

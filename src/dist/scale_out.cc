@@ -106,19 +106,23 @@ struct Assembly {
 
   /// Registers an ExchangeReceiver leaf in `pb` (hosted at site `at`).
   /// `partitioned` marks hash-shuffle inputs: state built from them is
-  /// site-local and must not be shipped to other sites' scans.
+  /// site-local and must not be shipped to other sites' scans. The leaf's
+  /// plan node is recorded in the query's exchange-consumer registry so the
+  /// adaptive runtime can feed observed producer cardinalities into it.
   Result<NodeId> Receiver(PlanBuilder& pb, const std::string& name,
                           const Schema& schema,
                           const std::shared_ptr<ExchangeChannel>& channel,
                           double est_rows,
                           std::unordered_map<AttrId, double> ndv,
                           RemoteFilterShipFn ship, bool partitioned = false) {
-    ReceiverOptions ro;
-    ro.idle_timeout_sec = opts->exchange_idle_timeout_sec;
+    ReceiverOptions ro;  // heartbeat inherited from the site's ExecContext
     auto recv = std::make_unique<ExchangeReceiver>(pb.context(), name,
                                                    schema, channel, ro);
-    return pb.Source(std::move(recv), est_rows, std::move(ndv),
-                     std::move(ship), partitioned);
+    PUSHSIP_ASSIGN_OR_RETURN(
+        const NodeId id, pb.Source(std::move(recv), est_rows, std::move(ndv),
+                                   std::move(ship), partitioned));
+    q->exchange_consumers.push_back({channel.get(), pb.plan_node(id)});
+    return id;
   }
 
   /// Base options of every shard scan: deterministic window batching, so
@@ -148,6 +152,92 @@ struct Assembly {
 AttrId AttrOf(const Schema& schema, const std::string& col) {
   const int idx = *schema.IndexOf(col);
   return schema.field(static_cast<size_t>(idx)).attr;
+}
+
+// ---------------------------------------------------------------------------
+// Map-fragment recipes. The sharded scans' map fragments (scan -> project ->
+// shuffle sender) are built through a value-captured description so the
+// adaptive runtime can re-materialize the identical fragment on any host
+// site: same shard data (the home partition, readable from the destination
+// — a replica in a real deployment, the shared TablePtr here), same
+// instance schema (stable attribute ids keep the streams AIP-correlatable),
+// same channels — only the outgoing links change to the host's.
+// ---------------------------------------------------------------------------
+struct MapFragmentDesc {
+  TablePtr shard;                  ///< the home site's data partition
+  Schema scan_schema;              ///< shared instance schema
+  ScanOptions scan_options;
+  std::vector<std::string> project_cols;
+  std::string sender_name;
+  ExchangeMode mode = ExchangeMode::kForward;
+  std::string hash_col;            ///< set for kHashPartition
+  std::vector<std::shared_ptr<ExchangeChannel>> channels;  ///< per site
+  DistributedQuery* q = nullptr;   ///< for mesh links (heap-stable)
+};
+
+Result<RebuiltFragment> BuildMapFragment(const MapFragmentDesc& d,
+                                         SiteEngine& host, int host_site) {
+  // Built detached, published only when complete: a migration runs this
+  // recipe while AIP filters may be attaching on the host concurrently.
+  std::unique_ptr<PlanBuilder> detached = host.NewDetachedFragment();
+  PlanBuilder& pb = *detached;
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId scan_id,
+      pb.ScanTable(d.shard, d.scan_schema, d.scan_options));
+  PUSHSIP_ASSIGN_OR_RETURN(const NodeId proj,
+                           pb.Project(scan_id, d.project_cols));
+  const Schema out = pb.schema(proj);
+  std::vector<int> hash_cols;
+  if (!d.hash_col.empty()) {
+    PUSHSIP_ASSIGN_OR_RETURN(const int idx, out.IndexOf(d.hash_col));
+    hash_cols.push_back(idx);
+  }
+  std::vector<ExchangeDestination> dests;
+  for (size_t to = 0; to < d.channels.size(); ++to) {
+    dests.push_back(
+        {d.channels[to], d.q->mesh->link(host_site, static_cast<int>(to))});
+  }
+  auto sender = std::make_unique<ExchangeSender>(
+      &host.context(), d.sender_name, out, d.mode, std::move(hash_cols),
+      std::move(dests));
+  return FinishRebuiltFragment(host, std::move(detached), proj,
+                               std::move(sender));
+}
+
+// Builds the map fragment on its home site and registers it as migratable,
+// with a rebuild recipe that re-runs the same description elsewhere.
+Result<Schema> AddMigratableMapFragment(Assembly* a, MapFragmentDesc desc,
+                                        int home_site) {
+  PUSHSIP_ASSIGN_OR_RETURN(
+      RebuiltFragment built,
+      BuildMapFragment(desc, a->site(home_site), home_site));
+  MigratableFragmentSpec spec;
+  spec.fragment = built.fragment;
+  spec.scan = built.scan;
+  spec.sender = built.sender;
+  spec.stage = desc.sender_name;
+  spec.home_site = home_site;
+  spec.rebuild = [desc](SiteEngine& host, int host_site) {
+    return BuildMapFragment(desc, host, host_site);
+  };
+  a->q->migratable_fragments.push_back(std::move(spec));
+  return built.sender->output_schema();
+}
+
+// Registers an already-built replayable fragment for monitoring/in-place
+// restart only (no rebuild recipe — e.g. filter predicates cannot be
+// re-materialized from a value capture yet).
+void RegisterMonitoredFragment(Assembly* a, PlanBuilder& pb,
+                               const std::string& stage, int home_site) {
+  TableScan* scan = FragmentReplayScan(pb);
+  if (scan == nullptr) return;
+  MigratableFragmentSpec spec;
+  spec.fragment = &pb;
+  spec.scan = scan;
+  spec.sender = static_cast<ExchangeSender*>(pb.terminal());
+  spec.stage = stage;
+  spec.home_site = home_site;
+  a->q->migratable_fragments.push_back(std::move(spec));
 }
 
 // ---------------------------------------------------------------------------
@@ -200,45 +290,44 @@ Status BuildQ17(Assembly* a, const Catalog& full) {
         a->FanOut(0, ch_part));
     PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
     EnableFragmentReplay(pb);
+    RegisterMonitoredFragment(a, pb, "xsend_part", 0);
   }
 
-  // --- lineitem map fragments (every site): project + hash shuffle ---
+  // --- lineitem map fragments (every site): project + hash shuffle,
+  // built from migratable recipes so the adaptive runtime can rebuild any
+  // of them on a healthy site mid-query ---
   Schema l1_out, l2_out;
   for (int i = 0; i < N; ++i) {
+    PUSHSIP_ASSIGN_OR_RETURN(TablePtr shard,
+                             a->site(i).catalog()->GetTable("lineitem"));
     {
-      PlanBuilder& pb = a->site(i).NewFragment();
-      PUSHSIP_ASSIGN_OR_RETURN(
-          const NodeId l1,
-          pb.ScanShard("lineitem", l1_schema, a->PacedScan()));
-      PUSHSIP_ASSIGN_OR_RETURN(
-          const NodeId proj,
-          pb.Project(l1, {"l1.l_partkey", "l1.l_quantity",
-                          "l1.l_extendedprice"}));
-      l1_out = pb.schema(proj);
-      auto sender = std::make_unique<ExchangeSender>(
-          &a->site(i).context(), "xsend_l1", l1_out,
-          ExchangeMode::kHashPartition,
-          std::vector<int>{*l1_out.IndexOf("l1.l_partkey")},
-          a->FanOut(i, ch_l1));
-      PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
-      EnableFragmentReplay(pb);
+      MapFragmentDesc d;
+      d.shard = shard;
+      d.scan_schema = l1_schema;
+      d.scan_options = a->PacedScan();
+      d.project_cols = {"l1.l_partkey", "l1.l_quantity",
+                        "l1.l_extendedprice"};
+      d.sender_name = "xsend_l1";
+      d.mode = ExchangeMode::kHashPartition;
+      d.hash_col = "l1.l_partkey";
+      d.channels = ch_l1;
+      d.q = a->q;
+      PUSHSIP_ASSIGN_OR_RETURN(l1_out,
+                               AddMigratableMapFragment(a, std::move(d), i));
     }
     {
-      PlanBuilder& pb = a->site(i).NewFragment();
-      PUSHSIP_ASSIGN_OR_RETURN(
-          const NodeId l2,
-          pb.ScanShard("lineitem", l2_schema, a->PacedScan()));
-      PUSHSIP_ASSIGN_OR_RETURN(
-          const NodeId proj,
-          pb.Project(l2, {"l2.l_partkey", "l2.l_quantity"}));
-      l2_out = pb.schema(proj);
-      auto sender = std::make_unique<ExchangeSender>(
-          &a->site(i).context(), "xsend_l2", l2_out,
-          ExchangeMode::kHashPartition,
-          std::vector<int>{*l2_out.IndexOf("l2.l_partkey")},
-          a->FanOut(i, ch_l2));
-      PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
-      EnableFragmentReplay(pb);
+      MapFragmentDesc d;
+      d.shard = shard;
+      d.scan_schema = l2_schema;
+      d.scan_options = a->PacedScan();
+      d.project_cols = {"l2.l_partkey", "l2.l_quantity"};
+      d.sender_name = "xsend_l2";
+      d.mode = ExchangeMode::kHashPartition;
+      d.hash_col = "l2.l_partkey";
+      d.channels = ch_l2;
+      d.q = a->q;
+      PUSHSIP_ASSIGN_OR_RETURN(l2_out,
+                               AddMigratableMapFragment(a, std::move(d), i));
     }
   }
 
@@ -390,6 +479,7 @@ Status BuildSubquery(Assembly* a, const Catalog& full) {
         a->FanOut(0, ch_part));
     PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
     EnableFragmentReplay(pb);
+    RegisterMonitoredFragment(a, pb, "xsend_part", 0);
   }
 
   // --- supplier ⋈ nation[FRANCE] fragments (site 0), one per instance ---
@@ -432,29 +522,29 @@ Status BuildSubquery(Assembly* a, const Catalog& full) {
   PUSHSIP_RETURN_NOT_OK(
       build_sn(s2_schema, n2_schema, "s2", "n2", ch_sn2, &sn2_out));
 
-  // --- partsupp map fragments (every site): hash shuffle by partkey ---
+  // --- partsupp map fragments (every site): hash shuffle by partkey,
+  // migratable recipes as in Q17 ---
   Schema ps1_out, ps2_out;
   for (int i = 0; i < N; ++i) {
+    PUSHSIP_ASSIGN_OR_RETURN(TablePtr shard,
+                             a->site(i).catalog()->GetTable("partsupp"));
     const auto build_ps =
         [&](const Schema& schema, const std::string& alias,
             const std::vector<std::shared_ptr<ExchangeChannel>>& chans,
             Schema* out) -> Status {
-      PlanBuilder& pb = a->site(i).NewFragment();
-      PUSHSIP_ASSIGN_OR_RETURN(
-          const NodeId ps,
-          pb.ScanShard("partsupp", schema, a->PacedScan()));
-      PUSHSIP_ASSIGN_OR_RETURN(
-          const NodeId proj,
-          pb.Project(ps, {alias + ".ps_partkey", alias + ".ps_suppkey",
-                          alias + ".ps_supplycost"}));
-      *out = pb.schema(proj);
-      auto sender = std::make_unique<ExchangeSender>(
-          &a->site(i).context(), "xsend_" + alias, *out,
-          ExchangeMode::kHashPartition,
-          std::vector<int>{*out->IndexOf(alias + ".ps_partkey")},
-          a->FanOut(i, chans));
-      PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
-      EnableFragmentReplay(pb);
+      MapFragmentDesc d;
+      d.shard = shard;
+      d.scan_schema = schema;
+      d.scan_options = a->PacedScan();
+      d.project_cols = {alias + ".ps_partkey", alias + ".ps_suppkey",
+                        alias + ".ps_supplycost"};
+      d.sender_name = "xsend_" + alias;
+      d.mode = ExchangeMode::kHashPartition;
+      d.hash_col = alias + ".ps_partkey";
+      d.channels = chans;
+      d.q = a->q;
+      PUSHSIP_ASSIGN_OR_RETURN(*out,
+                               AddMigratableMapFragment(a, std::move(d), i));
       return Status::OK();
     };
     PUSHSIP_RETURN_NOT_OK(build_ps(ps1_schema, "ps1", ch_ps1, &ps1_out));
@@ -575,6 +665,8 @@ Result<std::unique_ptr<DistributedQuery>> BuildScaleOutQuery(
     q->sites.push_back(std::make_unique<SiteEngine>(
         s, "site" + std::to_string(s), catalogs[static_cast<size_t>(s)]));
     q->sites.back()->context().set_batch_size(options.batch_size);
+    q->sites.back()->context().set_exchange_idle_timeout_sec(
+        options.exchange_idle_timeout_sec);
   }
 
   Assembly a;

@@ -37,6 +37,26 @@ const std::shared_ptr<SimLink>& SiteMesh::link(int from, int to) const {
   return links_[static_cast<size_t>(from) * num_sites_ + to];
 }
 
+LinkUsage SiteMesh::OutboundUsage(int site) const {
+  LinkUsage total;
+  if (site < 0 || site >= num_sites_) return total;
+  for (int to = 0; to < num_sites_; ++to) {
+    const auto& l = link(site, to);
+    if (l == nullptr) continue;
+    total.bytes += l->bytes_transferred();
+    total.seconds += l->busy_seconds();
+  }
+  return total;
+}
+
+void SiteMesh::ThrottleOutbound(int site, double bandwidth_bps) {
+  if (site < 0 || site >= num_sites_) return;
+  for (int to = 0; to < num_sites_; ++to) {
+    const auto& l = link(site, to);
+    if (l != nullptr) l->set_bandwidth_bps(bandwidth_bps);
+  }
+}
+
 LinkUsage SiteMesh::TotalUsage() const {
   LinkUsage total;
   for (const auto& link : links_) {
@@ -54,7 +74,17 @@ SiteEngine::SiteEngine(int id, std::string name,
 SiteEngine::~SiteEngine() = default;
 
 PlanBuilder& SiteEngine::NewFragment() {
-  fragments_.push_back(std::make_unique<PlanBuilder>(&ctx_, catalog_));
+  return PublishFragment(NewDetachedFragment());
+}
+
+std::unique_ptr<PlanBuilder> SiteEngine::NewDetachedFragment() {
+  return std::make_unique<PlanBuilder>(&ctx_, catalog_);
+}
+
+PlanBuilder& SiteEngine::PublishFragment(
+    std::unique_ptr<PlanBuilder> fragment) {
+  std::lock_guard<std::mutex> lock(fragments_mu_);
+  fragments_.push_back(std::move(fragment));
   return *fragments_.back();
 }
 
@@ -70,6 +100,7 @@ Status SiteEngine::InstallAip(size_t index, const AipOptions& options,
 
 std::vector<SourceOperator*> SiteEngine::AllSources() const {
   std::vector<SourceOperator*> sources;
+  std::lock_guard<std::mutex> lock(fragments_mu_);
   for (const auto& fragment : fragments_) {
     for (SourceOperator* s : fragment->sources()) sources.push_back(s);
   }
@@ -80,6 +111,9 @@ int SiteEngine::AttachRemoteFilter(AttrId attr,
                                    std::shared_ptr<const AipSet> set,
                                    const std::string& label) {
   int attached = 0;
+  // Under fragments_mu_: a migration may publish a rebuilt fragment on
+  // this site while filters are being delivered.
+  std::lock_guard<std::mutex> fragments_lock(fragments_mu_);
   for (const auto& fragment : fragments_) {
     for (TableScan* scan : fragment->source_scans()) {
       const auto col = scan->output_schema().IndexOfAttr(attr);

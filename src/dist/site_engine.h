@@ -32,6 +32,14 @@ class SiteMesh {
   /// Traffic summed over every link of the mesh.
   LinkUsage TotalUsage() const;
 
+  /// Traffic summed over `site`'s outgoing links (a per-site progress
+  /// signal for the adaptive StatsMonitor).
+  LinkUsage OutboundUsage(int site) const;
+
+  /// Re-rates every outgoing link of `site` — the straggler injection used
+  /// by tests and bench_fig15_scaleout --straggle-site. Safe mid-query.
+  void ThrottleOutbound(int site, double bandwidth_bps);
+
  private:
   int num_sites_;
   std::shared_ptr<SimLink> null_link_;
@@ -51,7 +59,18 @@ class SiteEngine {
 
   /// Creates a new (empty) plan fragment hosted on this site. The returned
   /// builder is owned by the engine and shares the site's ExecContext.
+  /// Assembly-time only: the fragment is immediately visible to
+  /// AttachRemoteFilter, so it must not be populated while the query runs
+  /// (use NewDetachedFragment/PublishFragment for that).
   PlanBuilder& NewFragment();
+
+  /// Mid-query fragment construction (migration rebuilds): the returned
+  /// builder is bound to this site's context and catalog but not yet
+  /// visible to concurrent AttachRemoteFilter calls; hand it to
+  /// PublishFragment once fully built.
+  std::unique_ptr<PlanBuilder> NewDetachedFragment();
+  PlanBuilder& PublishFragment(std::unique_ptr<PlanBuilder> fragment);
+
   const std::vector<std::unique_ptr<PlanBuilder>>& fragments() const {
     return fragments_;
   }
@@ -85,6 +104,9 @@ class SiteEngine {
   std::string name_;
   std::shared_ptr<Catalog> catalog_;
   ExecContext ctx_;
+  /// Guards fragments_ against the one mid-query mutation (PublishFragment
+  /// during a migration) racing concurrent AttachRemoteFilter iterations.
+  mutable std::mutex fragments_mu_;
   std::vector<std::unique_ptr<PlanBuilder>> fragments_;
   std::vector<std::unique_ptr<AipManager>> aip_managers_;
 

@@ -53,6 +53,18 @@ class ExecContext {
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
 
+  /// Heartbeat every exchange receiver of this query inherits unless its
+  /// ReceiverOptions override it explicitly: give up with kUnavailable
+  /// after this long without traffic (0 disables). A per-context knob so
+  /// slow-site/straggler tests can shorten it without touching production
+  /// defaults. Set before the query runs.
+  double exchange_idle_timeout_sec() const {
+    return exchange_idle_timeout_sec_;
+  }
+  void set_exchange_idle_timeout_sec(double sec) {
+    exchange_idle_timeout_sec_ = sec;
+  }
+
   /// Registers a provider of link-traffic statistics (one per SimLink this
   /// query transmits over); Driver sums them into QueryStats. Keeping the
   /// registry callback-based avoids an exec -> net dependency.
@@ -69,6 +81,7 @@ class ExecContext {
   std::vector<InputFinishedHook> hooks_;
   std::vector<LinkUsageFn> link_usage_;
   size_t batch_size_ = 1024;
+  double exchange_idle_timeout_sec_ = 30.0;
 };
 
 }  // namespace pushsip

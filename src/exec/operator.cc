@@ -102,6 +102,7 @@ void Operator::AttachTap(int port, std::shared_ptr<TupleTap> tap) {
 
 Status Operator::Emit(Batch&& batch) {
   rows_out_.fetch_add(static_cast<int64_t>(batch.size()));
+  if (!batch.empty()) batches_out_.fetch_add(1);
   if (out_ == nullptr || batch.empty()) return Status::OK();
   return out_->Push(out_port_, std::move(batch));
 }

@@ -83,8 +83,14 @@ class Operator {
   // cardinality counters", exposed to the optimizer / AIP Manager) ---
   int64_t rows_in(int port) const { return rows_in_[port].load(); }
   int64_t rows_out() const { return rows_out_.load(); }
+  int64_t batches_out() const { return batches_out_.load(); }
   int64_t rows_pruned(int port) const { return rows_pruned_[port].load(); }
   bool input_finished(int port) const { return finished_[port].load(); }
+
+  /// Seconds this operator spent stalled waiting for input to arrive (only
+  /// exchange receivers measure this today) — a progress-snapshot signal
+  /// for the adaptive runtime's straggler detector.
+  virtual double stall_seconds() const { return 0; }
 
   /// Bytes of intermediate state currently buffered by this operator.
   virtual int64_t StateBytes() const { return 0; }
@@ -136,6 +142,7 @@ class Operator {
 
   std::atomic<int64_t> rows_in_[kMaxInputs];
   std::atomic<int64_t> rows_out_{0};
+  std::atomic<int64_t> batches_out_{0};
   std::atomic<int64_t> rows_pruned_[kMaxInputs];
   std::atomic<bool> finished_[kMaxInputs];
 };

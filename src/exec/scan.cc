@@ -22,6 +22,11 @@ void TableScan::AttachSourceFilter(
   source_filters_.push_back(std::move(filter));
 }
 
+uint64_t TableScan::total_windows() const {
+  const size_t batch = ctx_->batch_size();
+  return (table_->num_rows() + batch - 1) / batch;
+}
+
 bool TableScan::HasSourceFilter(const std::string& label) const {
   std::lock_guard<std::mutex> lock(filter_mu_);
   for (const auto& f : source_filters_) {
@@ -31,7 +36,7 @@ bool TableScan::HasSourceFilter(const std::string& label) const {
 }
 
 void TableScan::ResetForReplay() {
-  Operator::ResetForReplay();
+  SourceOperator::ResetForReplay();  // also clears a pending preemption
   current_window_.store(0, std::memory_order_relaxed);
 }
 
@@ -52,6 +57,14 @@ Status TableScan::Run() {
     size_t since_delay = 0;
     for (size_t start = 0; start < num_rows; start += batch_size) {
       if (ShouldStop()) return Status::Cancelled("query cancelled");
+      if (preempt_requested()) {
+        // Window boundaries are the replay-exact points: every window up to
+        // here was fully emitted (or skipped), so a restart — in place or
+        // on another site — re-produces the remaining stream under seqs
+        // the consumers can dedup exactly.
+        return Status::Unavailable(name() + ": preempted at window " +
+                                   std::to_string(start / batch_size));
+      }
       current_window_.store(start / batch_size, std::memory_order_relaxed);
       const size_t end = std::min(num_rows, start + batch_size);
       Batch batch;

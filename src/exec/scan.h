@@ -73,6 +73,11 @@ class TableScan : public SourceOperator {
     return current_window_.load(std::memory_order_relaxed);
   }
 
+  /// Number of raw-row windows the whole table spans at the context's batch
+  /// size — the denominator of a fragment's progress fraction (the adaptive
+  /// StatsMonitor's straggler detector compares these across sites).
+  uint64_t total_windows() const;
+
   void ResetForReplay() override;
 
   const ScanOptions& options() const { return options_; }

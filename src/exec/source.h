@@ -19,6 +19,24 @@ class SourceOperator : public Operator {
   /// Finish. Called once, on a driver thread.
   virtual Status Run() = 0;
 
+  /// Asks the source to stop at its next safe (replay-exact) boundary and
+  /// return kUnavailable, as if its site had failed — the adaptive runtime
+  /// uses this to hand a straggling fragment to the supervisor's existing
+  /// restart/migrate path. Sources that do not support preemption (no safe
+  /// boundary) ignore it. Thread-safe; cleared by ResetForReplay.
+  void Preempt() { preempt_.store(true, std::memory_order_relaxed); }
+  bool preempt_requested() const {
+    return preempt_.load(std::memory_order_relaxed);
+  }
+
+  void ResetForReplay() override {
+    Operator::ResetForReplay();
+    preempt_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> preempt_{false};
+
  protected:
   Status DoPush(int, Batch&&) override {
     return Status::Internal(name() + " has no inputs");

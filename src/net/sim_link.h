@@ -42,7 +42,15 @@ class SimLink {
 
   /// Seconds `bytes` would take (excluding latency) — for cost estimation.
   double TransferSeconds(size_t bytes) const {
-    return static_cast<double>(bytes) * 8.0 / bandwidth_bps_;
+    return static_cast<double>(bytes) * 8.0 /
+           bandwidth_bps_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-rates the link, possibly while transmissions are in flight (the
+  /// straggler-injection knob: throttling one site's outbound links makes
+  /// it lag the mesh). In-flight transmissions keep the rate they sampled.
+  void set_bandwidth_bps(double bps) {
+    bandwidth_bps_.store(bps <= 0 ? 1.0 : bps, std::memory_order_relaxed);
   }
 
   int64_t bytes_transferred() const { return bytes_transferred_.load(); }
@@ -50,11 +58,13 @@ class SimLink {
   double busy_seconds() const {
     return static_cast<double>(busy_micros_.load()) / 1e6;
   }
-  double bandwidth_bps() const { return bandwidth_bps_; }
+  double bandwidth_bps() const {
+    return bandwidth_bps_.load(std::memory_order_relaxed);
+  }
   double latency_ms() const { return latency_ms_; }
 
  private:
-  double bandwidth_bps_;
+  std::atomic<double> bandwidth_bps_;
   double latency_ms_;
   std::atomic<int64_t> bytes_transferred_{0};
   std::atomic<int64_t> busy_micros_{0};

@@ -29,6 +29,12 @@ double SemijoinSelectivity(double set_keys, double node_ndv) {
   return std::min(1.0, set_keys / node_ndv);
 }
 
+void FeedObservedExchangeRows(PlanNode* node, double observed_rows) {
+  if (node == nullptr || node->kind != PlanNode::Kind::kExchange) return;
+  node->exchange_est_rows.store(std::max(0.0, observed_rows),
+                                std::memory_order_relaxed);
+}
+
 void EstimateCardinality(PlanNode* n) {
   n->ndv.clear();
   switch (n->kind) {
@@ -126,7 +132,7 @@ void EstimateCardinality(PlanNode* n) {
       break;
     }
     case PlanNode::Kind::kExchange: {
-      n->est_rows = n->exchange_est_rows;
+      n->est_rows = n->exchange_est_rows.load(std::memory_order_relaxed);
       for (const auto& [attr, d] : n->exchange_ndv) {
         if (n->schema().HasAttr(attr)) n->ndv[attr] = d;
       }

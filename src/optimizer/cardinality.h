@@ -17,6 +17,16 @@ void EstimateCardinality(PlanNode* node);
 /// whose `attr` has `node_ndv` distinct values (uniformity assumption).
 double SemijoinSelectivity(double set_keys, double node_ndv);
 
+/// Runtime cost-model recalibration across a fragment boundary: replaces a
+/// kExchange leaf's static cardinality guess with the rows the producing
+/// fragments actually sent (exact once every producer finished, an
+/// extrapolation before that). The new value takes effect at the consumer's
+/// next Reestimate — the same input-completion trigger the AIP manager
+/// already re-estimates on — so later ship-vs-save decisions use observed
+/// cardinalities instead of assembly-time guesses. No-op on non-exchange
+/// nodes. Thread-safe against concurrent re-estimation.
+void FeedObservedExchangeRows(PlanNode* node, double observed_rows);
+
 }  // namespace pushsip
 
 #endif  // PUSHSIP_OPTIMIZER_CARDINALITY_H_

@@ -5,6 +5,7 @@
 #ifndef PUSHSIP_OPTIMIZER_PLAN_H_
 #define PUSHSIP_OPTIMIZER_PLAN_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -45,10 +46,13 @@ struct PlanNode {
   double selectivity = 1.0;  ///< kFilter / join residual selectivity hint
   std::vector<std::pair<AttrId, AttrId>> join_attrs;  ///< kJoin key pairs
   std::vector<AttrId> group_attrs;                    ///< kAggregate keys
-  /// kExchange: static estimates supplied by the fragmenter (derived from
-  /// the producing fragment's plan — this fragment cannot see past the
-  /// wire).
-  double exchange_est_rows = 0;
+  /// kExchange: estimated rows arriving over the wire. Seeded with the
+  /// fragmenter's static estimate (this fragment cannot see past the wire);
+  /// the adaptive runtime overwrites it with the producing fragments'
+  /// *observed* cardinalities as they complete (FeedObservedExchangeRows).
+  /// Atomic because the writer is the supervisor thread while readers
+  /// re-estimate under their own AIP-manager locks.
+  std::atomic<double> exchange_est_rows{0};
   std::unordered_map<AttrId, double> exchange_ndv;
 
   /// Which input port of `parent->op` this node feeds.

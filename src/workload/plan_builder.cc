@@ -92,14 +92,23 @@ Result<PlanBuilder::NodeId> PlanBuilder::ScanShard(
     const std::string& table_name, Schema instance_schema, ScanOptions options,
     bool remote) {
   PUSHSIP_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(table_name));
+  return ScanTable(std::move(table), std::move(instance_schema),
+                   std::move(options), remote);
+}
+
+Result<PlanBuilder::NodeId> PlanBuilder::ScanTable(TablePtr table,
+                                                   Schema instance_schema,
+                                                   ScanOptions options,
+                                                   bool remote) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
   if (instance_schema.num_fields() != table->schema().num_fields()) {
     return Status::InvalidArgument("shard schema arity mismatch for " +
-                                   table_name);
+                                   table->name());
   }
   const std::string& name = instance_schema.field(0).name;
   const size_t dot = name.find('.');
   const std::string alias =
-      dot != std::string::npos ? name.substr(0, dot) : table_name;
+      dot != std::string::npos ? name.substr(0, dot) : table->name();
   auto scan = std::make_unique<TableScan>(ctx_, "scan_" + alias, table,
                                           std::move(instance_schema),
                                           std::move(options));
@@ -115,6 +124,11 @@ Result<PlanBuilder::NodeId> PlanBuilder::ScanShard(
   rec.remote = remote;
   rec.scan_link = raw->options().link;
   return Register(std::move(scan), std::move(pnode), std::move(rec));
+}
+
+PlanNode* PlanBuilder::plan_node(NodeId node) const {
+  if (node < 0 || node >= static_cast<NodeId>(nodes_.size())) return nullptr;
+  return nodes_[static_cast<size_t>(node)].pnode;
 }
 
 Result<PlanBuilder::NodeId> PlanBuilder::Source(

@@ -67,6 +67,14 @@ class PlanBuilder {
   Result<NodeId> ScanShard(const std::string& table, Schema instance_schema,
                            ScanOptions options = {}, bool remote = false);
 
+  /// Like ScanShard but over an explicit TablePtr, bypassing this builder's
+  /// catalog. The adaptive runtime's migration recipes use it to rebuild a
+  /// fragment on a site whose catalog does not hold the scanned partition —
+  /// the data is the *original* site's shard (a replica, in the simulation
+  /// the shared table).
+  Result<NodeId> ScanTable(TablePtr table, Schema instance_schema,
+                           ScanOptions options = {}, bool remote = false);
+
   /// Registers an externally created source (an exchange receiver) as a
   /// leaf. `est_rows`/`ndv` seed the estimator — this fragment cannot see
   /// past the wire. `remote_ship`, when set, lets cost-based AIP deliver
@@ -166,6 +174,10 @@ class PlanBuilder {
   }
   SipPlanInfo& sip_info() { return sip_info_; }
   Plan& plan() { return plan_; }
+  /// The estimated-plan node mirroring `node`'s operator (nullptr for an
+  /// out-of-range id). Exchange-consumer registration uses this to hand
+  /// the adaptive runtime its recalibration target.
+  PlanNode* plan_node(NodeId node) const;
   ExecContext* context() const { return ctx_; }
   const std::shared_ptr<Catalog>& catalog() const { return catalog_; }
 

@@ -138,6 +138,34 @@ TEST(ChaosTest, TransientLinkDropReplaysExactly) {
   EXPECT_GT(chaos.stats.fragment_restarts, 0);
 }
 
+// Two consecutive faults on the same link: the per-sender high-water marks
+// must survive across epochs, so the second replay still discards exactly
+// the already-passed prefix and the answer stays identical to a clean run.
+TEST(ChaosTest, ConsecutiveFaultsReplayDedupStillExact) {
+  const uint64_t seed = TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+  auto catalog = TinyTpchCatalog();
+
+  const ChaosOutcome clean = RunQ17(catalog, ChaosOptions(3, /*aip=*/false));
+
+  ScaleOutOptions options = ChaosOptions(3, /*aip=*/false);
+  options.fault_injector = std::make_shared<FaultInjector>();
+  // Both faults land early in the shuffle (map frames dominate the link
+  // then), two transmissions apart, so the second one fires while the
+  // first replay is still streaming — a restart of a restart.
+  const int64_t first = 3 + static_cast<int64_t>(seed % 23);
+  options.fault_injector->DropAfter(/*from=*/1, /*to=*/0, first,
+                                    /*failures=*/1);
+  options.fault_injector->DropAfter(/*from=*/1, /*to=*/0, first + 2,
+                                    /*failures=*/1);
+  const ChaosOutcome chaos = RunQ17(catalog, options);
+
+  ExpectSameQ17Answer(clean, chaos);
+  EXPECT_EQ(chaos.stats.faults_injected, 2);
+  EXPECT_GE(chaos.stats.fragment_restarts, 2);
+  EXPECT_GT(chaos.stats.batches_discarded, 0);
+}
+
 // The restart budget is finite: a site that never comes back (faults
 // rearmed faster than the driver heals them) must surface kUnavailable to
 // the caller instead of looping or hanging.

@@ -230,6 +230,72 @@ TEST(ExchangeTest, ReplayAfterResetIsDeduplicatedExactly) {
   }
 }
 
+// Double restart: two faults, two resets, three epochs of the same sender.
+// The receiver's per-sender high-water mark carries across epochs, so each
+// replay is deduplicated against everything already passed downstream —
+// the invariant that keeps consecutive failures (or a failure during a
+// recovery) exact.
+TEST(ExchangeTest, DoubleReplayAfterTwoResetsIsDeduplicatedExactly) {
+  const Schema schema({Field{"t.k", TypeId::kInt64, 0}});
+  auto table = std::make_shared<Table>("t", schema);
+  constexpr int64_t kRows = 100;
+  for (int64_t k = 0; k < kRows; ++k) {
+    table->AppendRow(Tuple({Value::Int64(k)}));
+  }
+
+  ExecContext send_ctx, recv_ctx;
+  send_ctx.set_batch_size(16);  // 7 windows
+  auto channel = std::make_shared<ExchangeChannel>();
+  channel->set_num_senders(1);
+
+  auto injector = std::make_shared<FaultInjector>();
+  // Attempt 1 dies on its 4th transmission (windows 0-2 delivered).
+  // Attempt 2 replays from window 0 and dies on its 6th (the second spec
+  // counts 3 consults during attempt 1 — the firing first spec returns
+  // before it — plus 5 more during the replay): windows 3-4 are new,
+  // 0-2 are dups. Attempt 3 runs clean: 0-4 dups, 5-6 new.
+  injector->DropAfter(/*from=*/0, /*to=*/1, /*after=*/3, /*failures=*/1);
+  injector->DropAfter(/*from=*/0, /*to=*/1, /*after=*/8, /*failures=*/1);
+  auto link = std::make_shared<SimLink>(1e12, 0);
+  link->SetFaultInjector(injector, 0, 1);
+
+  ScanOptions options;
+  options.window_batches = true;
+  TableScan scan(&send_ctx, "scan", table, schema, options);
+  ExchangeSender sender(&send_ctx, "xsend", schema, ExchangeMode::kForward,
+                        {}, {{channel, link}});
+  scan.SetOutput(&sender);
+  sender.BindSeqSource(&scan);
+
+  ExchangeReceiver receiver(&recv_ctx, "xrecv", schema, channel);
+  Sink sink(&recv_ctx, "sink", schema);
+  receiver.SetOutput(&sink);
+  std::thread recv_thread([&] { receiver.Run().CheckOK(); });
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Status failed = scan.Run();
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+    scan.ResetForReplay();
+    sender.ResetForReplay();
+  }
+  EXPECT_EQ(sender.epoch(), 2u);
+  scan.Run().CheckOK();
+  recv_thread.join();
+
+  EXPECT_EQ(sink.num_rows(), kRows);  // nothing lost, nothing duplicated
+  EXPECT_TRUE(sink.finished());
+  EXPECT_EQ(receiver.batches_received(), 7);   // one per window, ever
+  EXPECT_EQ(receiver.batches_discarded(), 8);  // 3 dups in epoch 1, 5 in 2
+  std::vector<Tuple> rows = sink.TakeRows();
+  std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
+    return a.at(0).AsInt64() < b.at(0).AsInt64();
+  });
+  for (int64_t k = 0; k < kRows; ++k) {
+    EXPECT_EQ(rows[static_cast<size_t>(k)].at(0).AsInt64(), k);
+  }
+}
+
 // Protocol-level dedup: stale epochs and already-passed seqs are dropped,
 // later seqs of the new epoch are accepted, and non-replayable frames
 // bypass deduplication entirely (their seqs are informational).

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for tools/bench_check.py.
+
+Run directly (python3 tests/tools/bench_check_test.py) or via ctest
+(tools_bench_check). Each case invokes the script as CI does — a fresh
+subprocess — and asserts the documented exit codes:
+    0 = no regression, 1 = regression found, 2 = usage/IO/malformed input.
+Malformed input must produce a clear message on stderr, never a traceback.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.environ.get(
+    "BENCH_CHECK",
+    os.path.join(os.path.dirname(__file__), "..", "..", "tools",
+                 "bench_check.py"))
+
+
+def report(cells):
+    return {"bench": "t", "title": "t", "cells": cells}
+
+
+def cell(query="Q", strategy="S", sites=2, **metrics):
+    c = {"query": query, "strategy": strategy, "sites": sites,
+         "bytes_shipped": 100000, "elapsed_sec": 1.0}
+    c.update(metrics)
+    return c
+
+
+class BenchCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, name, payload):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_check(self, baseline, fresh):
+        return subprocess.run(
+            [sys.executable, SCRIPT, "--baseline", baseline,
+             "--fresh", fresh],
+            capture_output=True, text=True)
+
+    def assert_graceful(self, proc, want_exit):
+        self.assertEqual(proc.returncode, want_exit,
+                         msg=proc.stdout + proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr, msg=proc.stderr)
+
+    def test_identical_reports_pass(self):
+        base = self.write("base.json", report([cell()]))
+        proc = self.run_check(base, base)
+        self.assert_graceful(proc, 0)
+
+    def test_regression_fails_with_exit_1(self):
+        base = self.write("base.json", report([cell()]))
+        fresh = self.write("fresh.json",
+                           report([cell(bytes_shipped=200000)]))
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 1)
+        self.assertIn("regression", proc.stderr.lower())
+
+    def test_extra_fresh_keys_are_tolerated(self):
+        base = self.write("base.json", report([cell()]))
+        fresh = self.write("fresh.json",
+                           report([cell(fragment_migrations=2)]))
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 0)
+
+    def test_missing_file_exits_2(self):
+        base = self.write("base.json", report([cell()]))
+        proc = self.run_check(base, os.path.join(self.dir.name, "no.json"))
+        self.assert_graceful(proc, 2)
+
+    def test_invalid_json_exits_2(self):
+        base = self.write("base.json", report([cell()]))
+        fresh = self.write("fresh.json", "{not json")
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 2)
+
+    def test_top_level_array_exits_2(self):
+        base = self.write("base.json", report([cell()]))
+        fresh = self.write("fresh.json", [1, 2, 3])
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 2)
+        self.assertIn("expected an object", proc.stderr)
+
+    def test_cells_not_a_list_exits_2(self):
+        base = self.write("base.json", report([cell()]))
+        fresh = self.write("fresh.json", {"cells": "oops"})
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 2)
+
+    def test_non_object_cell_exits_2(self):
+        base = self.write("base.json", report([cell()]))
+        fresh = self.write("fresh.json", report([cell(), 42]))
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 2)
+        self.assertIn("cells[1]", proc.stderr)
+
+    def test_cell_missing_keys_exits_2(self):
+        base = self.write("base.json", report([cell()]))
+        fresh = self.write("fresh.json",
+                           report([{"bytes_shipped": 1}]))
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 2)
+        self.assertIn("missing key", proc.stderr)
+
+    def test_disjoint_reports_exit_2(self):
+        base = self.write("base.json", report([cell(query="A")]))
+        fresh = self.write("fresh.json", report([cell(query="B")]))
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 2)
+        self.assertIn("no cells matched", proc.stderr)
+
+    def test_non_numeric_metric_is_skipped_not_fatal(self):
+        base = self.write("base.json", report([cell()]))
+        fresh = self.write("fresh.json",
+                           report([cell(bytes_shipped="lots")]))
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -30,19 +30,43 @@ MEANINGFUL_FLOOR = {
 
 
 def load_cells(path):
+    """Loads a report's cells keyed by (query, strategy, sites).
+
+    Malformed input — unreadable file, invalid JSON, a non-object report,
+    a missing/empty/non-list "cells", non-object cells, or cells missing
+    their identifying keys — exits 2 with a clear message instead of
+    tracebacking: CI treats exit 2 as "the comparison never ran".
+    """
     try:
         with open(path, "r", encoding="utf-8") as f:
             report = json.load(f)
     except (OSError, ValueError) as e:
         print(f"bench_check: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    if not isinstance(report, dict):
+        print(f"bench_check: {path}: top-level JSON is "
+              f"{type(report).__name__}, expected an object",
+              file=sys.stderr)
+        sys.exit(2)
     cells = report.get("cells")
     if not isinstance(cells, list) or not cells:
         print(f"bench_check: {path} has no cells", file=sys.stderr)
         sys.exit(2)
-    return {
-        (c.get("query"), c.get("strategy"), c.get("sites")): c for c in cells
-    }
+    loaded = {}
+    for i, c in enumerate(cells):
+        if not isinstance(c, dict):
+            print(f"bench_check: {path}: cells[{i}] is "
+                  f"{type(c).__name__}, expected an object",
+                  file=sys.stderr)
+            sys.exit(2)
+        missing = [k for k in ("query", "strategy") if k not in c]
+        if missing:
+            print(f"bench_check: {path}: cells[{i}] is missing key(s) "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            sys.exit(2)
+        # "sites" is legitimately absent for single-site benchmarks.
+        loaded[(c["query"], c["strategy"], c.get("sites"))] = c
+    return loaded
 
 
 def main():
