@@ -1,0 +1,333 @@
+// Micro benchmarks for the vectorized hot paths: batch filter throughput
+// (selection vectors vs the row-at-a-time reference), one-pass key hashing
+// (the Batch key-hash lane vs recomputing per consumer), and the wire
+// codecs (v1 row-major vs v2 columnar compressed — encode/decode time,
+// bytes, and compression ratio).
+//
+// Flags: the shared harness flags (--reps=, --seed=, --json <path>) plus
+//   --rows=N    rows per batch            (default 1024)
+//   --batches=N batches per measurement   (default 256)
+//   --check     exit non-zero unless the vectorized filter pipeline is
+//               >= 2x the row-at-a-time reference and the v2 encoding is
+//               >= 30% smaller than v1 (used to validate committed numbers;
+//               off by default so noisy CI smoke runs stay advisory).
+#include <cstring>
+#include <memory>
+
+#include "bench/figure_harness.h"
+#include "exec/operator.h"
+#include "exec/sink.h"
+#include "net/wire_format.h"
+#include "sip/aip_set.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+using namespace pushsip;
+using namespace pushsip::bench;
+
+namespace {
+
+/// Terminal operator that drops its input: the measurement isolates the
+/// filter stage in Operator::Push, not result accumulation.
+class NullOp : public Operator {
+ public:
+  NullOp(ExecContext* ctx, Schema schema)
+      : Operator(ctx, "null", 1, std::move(schema)) {}
+
+ protected:
+  Status DoPush(int, Batch&&) override { return Status::OK(); }
+  Status DoFinish(int) override { return Status::OK(); }
+};
+
+Schema TwoIntSchema() {
+  return Schema({Field{"t.a", TypeId::kInt64, kInvalidAttr},
+                 Field{"t.b", TypeId::kInt64, kInvalidAttr}});
+}
+
+/// A fresh stream of `batches` batches of `rows` two-int rows.
+std::vector<Batch> MakeIntStream(size_t rows, size_t batches, uint64_t seed,
+                                 int64_t key_range) {
+  Random rng(seed);
+  std::vector<Batch> stream(batches);
+  for (Batch& b : stream) {
+    b.rows.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      b.rows.push_back(
+          Tuple({Value::Int64(rng.UniformInt(0, key_range)),
+                 Value::Int64(rng.UniformInt(0, key_range))}));
+    }
+  }
+  return stream;
+}
+
+/// Four sealed Bloom AIP filters over the SAME key column, each passing
+/// ~85% of the key range — the registry's common shape: several published
+/// sets of one equivalence class all attach to the same join key, so the
+/// batch path hashes the column once and probes it four times.
+std::vector<std::shared_ptr<const TupleFilter>> MakeAipFilters(
+    int64_t key_range, uint64_t seed) {
+  std::vector<std::shared_ptr<const TupleFilter>> filters;
+  Random rng(seed);
+  for (int f = 0; f < 4; ++f) {
+    auto set = std::make_shared<AipSet>(
+        AipSetKind::kBloom, static_cast<size_t>(key_range), 0.05);
+    for (int64_t k = 0; k <= key_range; ++k) {
+      if (rng.UniformInt(0, 6) != 0) set->Insert(Value::Int64(k).Hash());
+    }
+    set->Seal();
+    filters.push_back(
+        std::make_shared<AipFilter>("bench:f" + std::to_string(f), 0, set));
+  }
+  return filters;
+}
+
+/// The pre-vectorization Operator::Push filter stage, kept as the
+/// reference: per-row virtual Pass() calls (each taking the summary's
+/// shared lock and bumping its counters), compacting as it goes.
+size_t RowAtATimeFilter(
+    const std::vector<std::shared_ptr<const TupleFilter>>& filters,
+    Batch&& batch) {
+  size_t kept = 0;
+  for (size_t i = 0; i < batch.rows.size(); ++i) {
+    bool pass = true;
+    for (const auto& f : filters) {
+      if (!f->Pass(batch.rows[i])) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      if (kept != i) batch.rows[kept] = std::move(batch.rows[i]);
+      ++kept;
+    }
+  }
+  batch.rows.resize(kept);
+  return kept;
+}
+
+struct Throughput {
+  double rows_per_sec = 0;
+  double elapsed_sec = 0;
+};
+
+/// Filter-pipeline cell: pushes `stream` (copied per repetition) through
+/// the filters, row-at-a-time or via the vectorized Operator::Push.
+Throughput RunFilterPipeline(const std::vector<Batch>& stream, bool vectorized,
+                             int reps, uint64_t seed) {
+  const auto filters = MakeAipFilters(/*key_range=*/4096, seed);
+  double total_sec = 0;
+  int64_t total_rows = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<Batch> copy = stream;
+    if (vectorized) {
+      ExecContext ctx;
+      NullOp op(&ctx, TwoIntSchema());
+      for (const auto& f : filters) op.AttachFilter(0, f);
+      Stopwatch sw;
+      for (Batch& b : copy) {
+        total_rows += static_cast<int64_t>(b.size());
+        op.Push(0, std::move(b)).CheckOK();
+      }
+      total_sec += sw.ElapsedSeconds();
+    } else {
+      Stopwatch sw;
+      for (Batch& b : copy) {
+        total_rows += static_cast<int64_t>(b.size());
+        RowAtATimeFilter(filters, std::move(b));
+      }
+      total_sec += sw.ElapsedSeconds();
+    }
+  }
+  return {static_cast<double>(total_rows) / total_sec, total_sec};
+}
+
+/// Key-hash cell: four consumers (filter probe, shuffle routing, join
+/// build, tap insert) each need the per-row hash of column 0 — either every
+/// consumer recomputes it, or the first fills the Batch lane and the rest
+/// reuse it.
+Throughput RunKeyHash(const std::vector<Batch>& stream, bool cached,
+                      int reps) {
+  constexpr int kConsumers = 4;
+  const std::vector<int> cols{0};
+  double total_sec = 0;
+  int64_t total_rows = 0;
+  uint64_t sink = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<Batch> copy = stream;
+    Stopwatch sw;
+    for (Batch& b : copy) {
+      total_rows += static_cast<int64_t>(b.size());
+      if (cached) {
+        std::vector<uint64_t> scratch;
+        for (int c = 0; c < kConsumers; ++c) {
+          const std::vector<uint64_t>& h = b.KeyHashes(cols, &scratch);
+          sink ^= h[b.size() / 2];
+        }
+      } else {
+        for (int c = 0; c < kConsumers; ++c) {
+          uint64_t acc = 0;
+          for (const Tuple& row : b.rows) acc ^= row.HashColumns(cols);
+          sink ^= acc;
+        }
+      }
+    }
+    total_sec += sw.ElapsedSeconds();
+  }
+  // Keep the hashes observable so the loops cannot be optimized away.
+  if (sink == 0x5ca1ab1e) std::fprintf(stderr, "#\n");
+  return {static_cast<double>(total_rows) / total_sec, total_sec};
+}
+
+/// A shuffle-shaped batch: ints, a date, a double, and a low-cardinality
+/// string column (the Q17/subquery wire mix).
+Batch MakeWireBatch(size_t rows, uint64_t seed) {
+  Random rng(seed);
+  static const char* kBrands[] = {"Brand#11", "Brand#23", "Brand#34",
+                                  "Brand#45", "Brand#55"};
+  Batch b;
+  b.rows.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    b.rows.push_back(Tuple({
+        Value::Int64(rng.UniformInt(1, 200000)),
+        Value::Int64(rng.UniformInt(1, 10000)),
+        Value::Date(10000 + rng.UniformInt(0, 2500)),
+        Value::Double(static_cast<double>(rng.UniformInt(100, 99999)) / 100),
+        Value::String(kBrands[rng.UniformInt(0, 4)]),
+    }));
+  }
+  return b;
+}
+
+struct WireResult {
+  double rows_per_sec = 0;  ///< encode+decode round trips
+  double elapsed_sec = 0;
+  int64_t bytes = 0;  ///< encoded size of one batch
+};
+
+WireResult RunWireRoundTrip(const Batch& batch, WireFormatVersion version,
+                            size_t batches, int reps) {
+  WireResult out;
+  out.bytes = static_cast<int64_t>(SerializeBatch(batch, version).size());
+  double total_sec = 0;
+  int64_t total_rows = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch sw;
+    for (size_t i = 0; i < batches; ++i) {
+      const std::string bytes = SerializeBatch(batch, version);
+      auto decoded = DeserializeBatch(bytes);
+      decoded.status().CheckOK();
+      total_rows += static_cast<int64_t>(decoded->size());
+    }
+    total_sec += sw.ElapsedSeconds();
+  }
+  out.rows_per_sec = static_cast<double>(total_rows) / total_sec;
+  out.elapsed_sec = total_sec;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const HarnessOptions opts = ParseArgs(argc, argv);
+  size_t rows = 1024;
+  size_t batches = 256;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      rows = static_cast<size_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--batches=", 10) == 0) {
+      batches = static_cast<size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    }
+  }
+  const int reps = opts.repetitions > 0 ? opts.repetitions : 1;
+
+  std::printf("# micro_hotpath: rows/batch=%zu batches=%zu reps=%d\n", rows,
+              batches, reps);
+  std::printf("%-18s %-14s %14s %12s %12s\n", "bench", "strategy", "rows/s",
+              "elapsed(s)", "bytes");
+
+  std::vector<JsonRecord> records;
+  const auto record = [&](const std::string& query,
+                          const std::string& strategy, double rows_per_sec,
+                          double elapsed, int64_t bytes) {
+    std::printf("%-18s %-14s %14.3g %12.4f %12lld\n", query.c_str(),
+                strategy.c_str(), rows_per_sec, elapsed,
+                static_cast<long long>(bytes));
+    JsonRecord r;
+    r.query = query;
+    r.strategy = strategy;
+    r.elapsed_sec = elapsed;
+    r.bytes_shipped = bytes;
+    r.metric_mean = rows_per_sec;
+    records.push_back(std::move(r));
+  };
+
+  // --- filter pipeline ---
+  const std::vector<Batch> stream =
+      MakeIntStream(rows, batches, opts.seed, /*key_range=*/4096);
+  const Throughput row_based =
+      RunFilterPipeline(stream, /*vectorized=*/false, reps, opts.seed);
+  const Throughput vectorized =
+      RunFilterPipeline(stream, /*vectorized=*/true, reps, opts.seed);
+  record("filter_pipeline", "row_at_a_time", row_based.rows_per_sec,
+         row_based.elapsed_sec, 0);
+  record("filter_pipeline", "vectorized", vectorized.rows_per_sec,
+         vectorized.elapsed_sec, 0);
+  const double filter_speedup =
+      vectorized.rows_per_sec / row_based.rows_per_sec;
+
+  // --- key-hash reuse ---
+  const Throughput recompute = RunKeyHash(stream, /*cached=*/false, reps);
+  const Throughput cached = RunKeyHash(stream, /*cached=*/true, reps);
+  record("key_hash", "recompute", recompute.rows_per_sec,
+         recompute.elapsed_sec, 0);
+  record("key_hash", "cached", cached.rows_per_sec, cached.elapsed_sec, 0);
+
+  // --- wire round trip ---
+  const Batch wire_batch = MakeWireBatch(rows, opts.seed);
+  const WireResult v1 = RunWireRoundTrip(wire_batch,
+                                         WireFormatVersion::kRowMajor,
+                                         batches / 4 + 1, reps);
+  const WireResult v2 = RunWireRoundTrip(wire_batch,
+                                         WireFormatVersion::kColumnar,
+                                         batches / 4 + 1, reps);
+  record("wire_roundtrip", "v1_row_major", v1.rows_per_sec, v1.elapsed_sec,
+         v1.bytes);
+  record("wire_roundtrip", "v2_columnar", v2.rows_per_sec, v2.elapsed_sec,
+         v2.bytes);
+  const double ratio =
+      static_cast<double>(v2.bytes) / static_cast<double>(v1.bytes);
+
+  std::printf(
+      "# filter speedup: %.2fx   hash-reuse speedup: %.2fx   "
+      "v2/v1 bytes: %.2f (%.0f%% smaller)\n",
+      filter_speedup, cached.rows_per_sec / recompute.rows_per_sec, ratio,
+      (1 - ratio) * 100);
+
+  if (!opts.json_path.empty() &&
+      !WriteJsonReport(opts.json_path, "micro_hotpath",
+                       "Vectorized hot-path micro benchmarks", opts,
+                       records)) {
+    return 1;
+  }
+
+  if (check) {
+    if (filter_speedup < 2.0) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: vectorized filter pipeline is only %.2fx "
+                   "the row-at-a-time reference (need >= 2x)\n",
+                   filter_speedup);
+      return 1;
+    }
+    if (ratio > 0.7) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: v2 encoding is %.0f%% of v1 (need <= "
+                   "70%%)\n",
+                   ratio * 100);
+      return 1;
+    }
+  }
+  return 0;
+}

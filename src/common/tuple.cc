@@ -9,6 +9,13 @@ Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
 }
 
 uint64_t Tuple::HashColumns(const std::vector<int>& cols) const {
+  // Single-column key hashes ARE the raw value hash: AIP summaries insert
+  // and probe Value::Hash() directly, and the batch key-hash lane lets one
+  // per-row hash serve semijoin probes, shuffle routing, and hash-table
+  // keys alike — so all single-column consumers must agree on the formula.
+  if (cols.size() == 1) {
+    return values_[static_cast<size_t>(cols[0])].Hash();
+  }
   uint64_t h = 0x9e3779b97f4a7c15ULL;
   for (const int c : cols) {
     const uint64_t vh = values_[static_cast<size_t>(c)].Hash();
@@ -47,6 +54,56 @@ size_t Tuple::FootprintBytes() const {
     }
   }
   return bytes;
+}
+
+const std::vector<uint64_t>& Batch::KeyHashes(
+    const std::vector<int>& cols, std::vector<uint64_t>* scratch) const {
+  if (const std::vector<uint64_t>* cached = CachedKeyHashes(cols)) {
+    return *cached;
+  }
+  scratch->clear();
+  scratch->reserve(rows.size());
+  for (const Tuple& row : rows) scratch->push_back(row.HashColumns(cols));
+  if (hash_cols_.empty()) {
+    // First consumer installs the lane (stealing the scratch storage);
+    // later mismatching consumers keep their scratch so one popular lane
+    // survives the whole pipeline.
+    hash_cols_ = cols;
+    hashes_ = std::move(*scratch);
+    return hashes_;
+  }
+  return *scratch;
+}
+
+const std::vector<uint64_t>* Batch::CachedKeyHashes(
+    const std::vector<int>& cols) const {
+  if (hash_cols_.empty() || hash_cols_ != cols ||
+      hashes_.size() != rows.size()) {
+    return nullptr;
+  }
+  return &hashes_;
+}
+
+void Batch::ClearKeyHashes() {
+  hash_cols_.clear();
+  hashes_.clear();
+}
+
+void Batch::CompactInPlace(const std::vector<uint32_t>& sel) {
+  const bool lane = !hash_cols_.empty() && hashes_.size() == rows.size();
+  for (size_t i = 0; i < sel.size(); ++i) {
+    const size_t from = sel[i];
+    if (from != i) {
+      rows[i] = std::move(rows[from]);
+      if (lane) hashes_[i] = hashes_[from];
+    }
+  }
+  rows.resize(sel.size());
+  if (lane) {
+    hashes_.resize(sel.size());
+  } else {
+    ClearKeyHashes();
+  }
 }
 
 std::string Tuple::ToString() const {

@@ -2,6 +2,7 @@
 #ifndef PUSHSIP_COMMON_TUPLE_H_
 #define PUSHSIP_COMMON_TUPLE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/value.h"
@@ -45,11 +46,52 @@ class Tuple {
 };
 
 /// A batch of tuples pushed through the plan at once.
+///
+/// Besides the rows, a batch can carry one cached *key-hash lane*: the
+/// per-row HashColumns() result for one column set, computed by the first
+/// consumer that needs it and reused by everyone downstream on the same
+/// thread (shuffle partitioning, Bloom probes, join build/probe,
+/// Feed-Forward tap inserts). The lane is single-threaded scratch state —
+/// batches are owned by exactly one thread while they flow — and never
+/// crosses the wire. Anything that rewrites rows (projection, join output,
+/// deserialization) simply produces a batch without a lane; in-place
+/// compaction keeps the lane consistent via CompactInPlace().
 struct Batch {
   std::vector<Tuple> rows;
 
   bool empty() const { return rows.empty(); }
   size_t size() const { return rows.size(); }
+
+  /// Returns the per-row hashes of `cols`, computing them at most once per
+  /// batch. When the cached lane matches `cols` it is returned directly;
+  /// otherwise the hashes are computed into `*scratch`. The first column
+  /// set requested installs the lane (logically-const caching, hence the
+  /// mutable members), so later consumers of the *same* keys hit the cache
+  /// while consumers of other keys fall back to their own scratch without
+  /// clobbering it. `*scratch` must outlive the returned reference.
+  const std::vector<uint64_t>& KeyHashes(
+      const std::vector<int>& cols, std::vector<uint64_t>* scratch) const;
+
+  /// The cached lane for `cols`, or nullptr when none matches. Never
+  /// computes.
+  const std::vector<uint64_t>* CachedKeyHashes(
+      const std::vector<int>& cols) const;
+
+  /// Drops the cached lane. Must be called by anything that reorders or
+  /// rewrites rows without going through CompactInPlace.
+  void ClearKeyHashes();
+
+  /// Keeps exactly the rows at the (strictly increasing) indices in `sel`,
+  /// moving them into place, and compacts the cached hash lane alongside so
+  /// it stays row-parallel.
+  void CompactInPlace(const std::vector<uint32_t>& sel);
+
+ private:
+  // Cached key-hash lane; valid iff hash_cols_ is non-empty and hashes_ is
+  // row-parallel. Mutable: filling the cache on first use is logically
+  // const, and a batch is only ever touched by one thread at a time.
+  mutable std::vector<int> hash_cols_;
+  mutable std::vector<uint64_t> hashes_;
 };
 
 /// Default number of rows per pushed batch.

@@ -101,7 +101,8 @@ void ExchangeSender::AdoptStream(const ExchangeSender& prev) {
   epoch_.store(prev.epoch_.load() + 1);
 }
 
-Status ExchangeSender::Send(size_t dest_index, const Batch& batch) {
+Status ExchangeSender::Send(size_t dest_index, const Batch& batch,
+                            const std::string* body) {
   // Fully pruned batches are skipped, leaving a gap in the seq space —
   // receivers tolerate gaps, and a deterministic replay skips the same
   // (or a superset of the same) windows.
@@ -113,8 +114,12 @@ Status ExchangeSender::Send(size_t dest_index, const Batch& batch) {
   frame.replayable = seq_source_ != nullptr;
   frame.seq = frame.replayable ? seq_source_->current_window()
                                : arrival_seq_[dest_index].fetch_add(1);
-  std::string bytes = SerializeBatchFrame(frame.sender, frame.epoch,
-                                          frame.seq, frame.replayable, batch);
+  std::string bytes =
+      body != nullptr
+          ? AssembleBatchFrame(frame.sender, frame.epoch, frame.seq,
+                               frame.replayable, *body, dest.wire)
+          : SerializeBatchFrame(frame.sender, frame.epoch, frame.seq,
+                                frame.replayable, batch, dest.wire);
   // The link is charged before enqueueing — transfer time blocks this
   // producer thread, not the receiver — and a downed link fails the
   // transmission before the frame reaches the queue, so enqueued means
@@ -126,6 +131,11 @@ Status ExchangeSender::Send(size_t dest_index, const Batch& batch) {
   bytes_sent_.fetch_add(static_cast<int64_t>(bytes.size()));
   batches_sent_.fetch_add(1);
   rows_sent_[dest_index].fetch_add(static_cast<int64_t>(batch.size()));
+  // Feed the observed wire bytes/row back to the AIP ship-vs-save cost
+  // model, so its link-savings term reflects the compressed sizes actually
+  // crossing the mesh.
+  ctx_->RecordWireSample(static_cast<int64_t>(batch.size()),
+                         static_cast<int64_t>(bytes.size()));
   if (!dest.channel->SendBatch(std::move(bytes))) {
     return Status::Cancelled("exchange channel cancelled");
   }
@@ -137,17 +147,35 @@ Status ExchangeSender::DoPush(int, Batch&& batch) {
     case ExchangeMode::kForward:
       return Send(0, batch);
     case ExchangeMode::kBroadcast: {
+      if (batch.empty()) return Status::OK();
+      // Serialize the payload once per wire version in use (headers carry
+      // the per-destination sender slot and seq, so only the body is
+      // shareable) instead of re-encoding per destination.
+      std::string bodies[2];
       for (size_t i = 0; i < destinations_.size(); ++i) {
-        PUSHSIP_RETURN_NOT_OK(Send(i, batch));
+        const size_t v =
+            destinations_[i].wire == WireFormatVersion::kColumnar ? 1 : 0;
+        if (bodies[v].empty()) {
+          bodies[v] = SerializeBatchBody(batch, destinations_[i].wire);
+        }
+        PUSHSIP_RETURN_NOT_OK(Send(i, batch, &bodies[v]));
       }
       return Status::OK();
     }
     case ExchangeMode::kHashPartition: {
+      // Key hashes come from the batch's cached lane when an upstream
+      // consumer (filter, tap) already hashed these columns.
+      std::vector<uint64_t> scratch;
+      const std::vector<uint64_t>& key_hashes =
+          batch.KeyHashes(hash_cols_, &scratch);
       std::vector<Batch> parts(destinations_.size());
-      for (Tuple& row : batch.rows) {
-        const size_t dest = static_cast<size_t>(
-            row.HashColumns(hash_cols_) % destinations_.size());
-        parts[dest].rows.push_back(std::move(row));
+      const size_t per_part_hint =
+          batch.rows.size() / destinations_.size() + 1;
+      for (Batch& part : parts) part.rows.reserve(per_part_hint);
+      for (size_t r = 0; r < batch.rows.size(); ++r) {
+        const size_t dest =
+            static_cast<size_t>(key_hashes[r] % destinations_.size());
+        parts[dest].rows.push_back(std::move(batch.rows[r]));
       }
       for (size_t i = 0; i < destinations_.size(); ++i) {
         PUSHSIP_RETURN_NOT_OK(Send(i, parts[i]));

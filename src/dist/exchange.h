@@ -37,6 +37,7 @@
 #include "exec/scan.h"
 #include "exec/source.h"
 #include "net/sim_link.h"
+#include "net/wire_format.h"
 
 namespace pushsip {
 
@@ -118,6 +119,10 @@ const char* ExchangeModeName(ExchangeMode mode);
 struct ExchangeDestination {
   std::shared_ptr<ExchangeChannel> channel;
   std::shared_ptr<SimLink> link;
+  /// Wire version negotiated for this link. Receivers dispatch on the
+  /// frame header's version byte, so a mesh can mix old (row-major) and
+  /// new (columnar compressed) links frame by frame.
+  WireFormatVersion wire = kDefaultWireVersion;
 };
 
 /// \brief Terminal operator of a producing fragment.
@@ -165,7 +170,12 @@ class ExchangeSender : public Operator {
   Status DoFinish(int port) override;
 
  private:
-  Status Send(size_t dest_index, const Batch& batch);
+  /// Serializes and transmits one frame. When `body` is non-null it is the
+  /// batch payload already encoded at this destination's wire version
+  /// (broadcast encodes once and stamps per-destination headers); otherwise
+  /// the batch is serialized here.
+  Status Send(size_t dest_index, const Batch& batch,
+              const std::string* body = nullptr);
 
   ExchangeMode mode_;
   std::vector<int> hash_cols_;

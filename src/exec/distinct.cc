@@ -31,11 +31,17 @@ int64_t DistinctOp::NumDistinct() const {
 }
 
 Status DistinctOp::DoPush(int, Batch&& batch) {
+  // All-column hashes, computed once per batch outside the lock (or reused
+  // from the cached lane when an upstream consumer shares the column set).
+  std::vector<uint64_t> scratch;
+  const std::vector<uint64_t>& key_hashes =
+      batch.KeyHashes(all_cols_, &scratch);
   Batch out;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (Tuple& row : batch.rows) {
-      const uint64_t h = row.HashColumns(all_cols_);
+    for (size_t r = 0; r < batch.rows.size(); ++r) {
+      Tuple& row = batch.rows[r];
+      const uint64_t h = key_hashes[r];
       bool duplicate = false;
       const auto [lo, hi] = seen_.equal_range(h);
       for (auto it = lo; it != hi; ++it) {

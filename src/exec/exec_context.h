@@ -72,6 +72,25 @@ class ExecContext {
   void AddLinkUsageSource(LinkUsageFn fn);
   LinkUsage TotalLinkUsage() const;
 
+  /// Records one serialized exchange transmission (`rows` rows became
+  /// `bytes` wire bytes, compression included) — the recalibration feed for
+  /// the AIP ship-vs-save decision, which multiplies pruned-row estimates
+  /// by the bytes a row actually costs on this query's (compressed) links.
+  void RecordWireSample(int64_t rows, int64_t bytes) {
+    if (rows <= 0) return;
+    wire_rows_.fetch_add(rows, std::memory_order_relaxed);
+    wire_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Observed average wire bytes per shipped row, or 0 when nothing has
+  /// been shipped yet (callers fall back to their static estimate).
+  double observed_wire_bytes_per_row() const {
+    const int64_t rows = wire_rows_.load(std::memory_order_relaxed);
+    if (rows <= 0) return 0;
+    return static_cast<double>(wire_bytes_.load(std::memory_order_relaxed)) /
+           static_cast<double>(rows);
+  }
+
  private:
   MemoryTracker state_tracker_;
   std::atomic<bool> cancelled_{false};
@@ -82,6 +101,8 @@ class ExecContext {
   std::vector<LinkUsageFn> link_usage_;
   size_t batch_size_ = 1024;
   double exchange_idle_timeout_sec_ = 30.0;
+  std::atomic<int64_t> wire_rows_{0};
+  std::atomic<int64_t> wire_bytes_{0};
 };
 
 }  // namespace pushsip

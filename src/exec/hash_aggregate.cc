@@ -54,14 +54,21 @@ int64_t HashAggregate::NumGroups() const {
 }
 
 Status HashAggregate::DoPush(int, Batch&& batch) {
+  // Group-key hashes come from the batch's cached lane when available
+  // (e.g. computed by an AIP filter or shuffle on the same keys), and are
+  // computed outside the lock otherwise.
+  std::vector<uint64_t> scratch;
+  const std::vector<uint64_t>& key_hashes =
+      batch.KeyHashes(group_cols_, &scratch);
   std::lock_guard<std::mutex> lock(mu_);
   const std::vector<int> identity = [&] {
     std::vector<int> v(group_cols_.size());
     for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
     return v;
   }();
-  for (const Tuple& row : batch.rows) {
-    const uint64_t h = row.HashColumns(group_cols_);
+  for (size_t r = 0; r < batch.rows.size(); ++r) {
+    const Tuple& row = batch.rows[r];
+    const uint64_t h = key_hashes[r];
     Group* group = nullptr;
     const auto [lo, hi] = groups_.equal_range(h);
     for (auto it = lo; it != hi; ++it) {

@@ -70,13 +70,20 @@ Status SymmetricHashJoin::DoPush(int port, Batch&& batch) {
   const std::vector<int>& my_keys = port == 0 ? left_keys_ : right_keys_;
   const std::vector<int>& other_keys = port == 0 ? right_keys_ : left_keys_;
 
+  // One-pass key hashing: reuse the batch's cached lane when an upstream
+  // consumer (AIP filter, shuffle, tap) already hashed these keys; either
+  // way the hashes are computed outside the lock.
+  std::vector<uint64_t> scratch;
+  const std::vector<uint64_t>& key_hashes = batch.KeyHashes(my_keys, &scratch);
+
   Batch out;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Side& mine = sides_[port];
     Side& theirs = sides_[other];
-    for (Tuple& row : batch.rows) {
-      const uint64_t h = row.HashColumns(my_keys);
+    for (size_t r = 0; r < batch.rows.size(); ++r) {
+      Tuple& row = batch.rows[r];
+      const uint64_t h = key_hashes[r];
       // Probe the opposite side.
       const auto [lo, hi] = theirs.table.equal_range(h);
       for (auto it = lo; it != hi; ++it) {

@@ -41,23 +41,20 @@ Status Operator::Push(int port, Batch&& batch) {
   }
 
   if (!filters.empty()) {
-    size_t kept = 0;
-    for (size_t i = 0; i < batch.rows.size(); ++i) {
-      bool pass = true;
-      for (const auto& f : filters) {
-        if (!f->Pass(batch.rows[i])) {
-          pass = false;
-          break;
-        }
-      }
-      if (pass) {
-        if (kept != i) batch.rows[kept] = std::move(batch.rows[i]);
-        ++kept;
-      }
+    // Vectorized pruning: each filter narrows one shared selection vector
+    // (in attach order — later filters only see earlier survivors, exactly
+    // like the row-at-a-time loop), then the surviving rows are compacted
+    // once. No intermediate copies, and hash-probing filters amortize
+    // their key hashing and synchronization per batch.
+    const size_t n = batch.rows.size();
+    std::vector<uint32_t> sel(n);
+    for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+    for (const auto& f : filters) {
+      if (sel.empty()) break;
+      f->PassBatch(batch, &sel);
     }
-    rows_pruned_[port].fetch_add(
-        static_cast<int64_t>(batch.rows.size() - kept));
-    batch.rows.resize(kept);
+    rows_pruned_[port].fetch_add(static_cast<int64_t>(n - sel.size()));
+    if (sel.size() != n) batch.CompactInPlace(sel);
   }
 
   for (const auto& tap : taps) tap->ObserveBatch(batch);

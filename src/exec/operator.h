@@ -24,7 +24,8 @@ namespace pushsip {
 
 /// \brief A dynamically injected semijoin filter.
 ///
-/// Implementations must be thread-safe for concurrent Pass() calls.
+/// Implementations must be thread-safe for concurrent Pass()/PassBatch()
+/// calls.
 class TupleFilter {
  public:
   virtual ~TupleFilter() = default;
@@ -32,17 +33,36 @@ class TupleFilter {
   /// Returns false to prune the tuple.
   virtual bool Pass(const Tuple& tuple) const = 0;
 
+  /// Batch variant over a selection vector: `*sel` holds the indices of the
+  /// rows still alive after the filters applied so far (strictly
+  /// increasing); the filter keeps only the passing indices, preserving
+  /// order. The base implementation is the row-at-a-time reference loop;
+  /// hash-probing filters override it to hash key columns once per batch
+  /// and probe in a tight loop with one lock/bulk-counter update per batch
+  /// instead of per row. Must prune exactly the rows Pass() would.
+  virtual void PassBatch(const Batch& batch,
+                         std::vector<uint32_t>* sel) const {
+    size_t kept = 0;
+    for (const uint32_t idx : *sel) {
+      if (Pass(batch.rows[idx])) (*sel)[kept++] = idx;
+    }
+    sel->resize(kept);
+  }
+
   /// Human-readable label for diagnostics.
   virtual std::string label() const = 0;
 };
 
 /// Observer invoked for every tuple that survived the port's filters.
+///
+/// ObserveBatch receives the batch mutably only so it can use (and warm)
+/// the batch's cached key-hash lane; taps must never modify the rows.
 class TupleTap {
  public:
   virtual ~TupleTap() = default;
   virtual void Observe(const Tuple& tuple) = 0;
   /// Batch variant; override to amortize per-call synchronization.
-  virtual void ObserveBatch(const Batch& batch) {
+  virtual void ObserveBatch(Batch& batch) {
     for (const Tuple& row : batch.rows) Observe(row);
   }
 };

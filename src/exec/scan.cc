@@ -20,6 +20,7 @@ void TableScan::AttachSourceFilter(
     std::shared_ptr<const TupleFilter> filter) {
   std::lock_guard<std::mutex> lock(filter_mu_);
   source_filters_.push_back(std::move(filter));
+  filter_version_.fetch_add(1, std::memory_order_release);
 }
 
 uint64_t TableScan::total_windows() const {
@@ -46,6 +47,21 @@ Status TableScan::Run() {
         options_.initial_delay_ms));
   }
   const size_t batch_size = ctx_->batch_size();
+
+  // Lock-free snapshot of the dynamic source filters, refreshed whenever
+  // AttachSourceFilter bumps the version — one relaxed atomic load per row
+  // instead of a mutex acquisition, while a filter shipped mid-stream
+  // still starts pruning on the very next row.
+  std::vector<std::shared_ptr<const TupleFilter>> filters;
+  uint64_t seen_version = ~uint64_t{0};
+  const auto refresh_filters = [&] {
+    const uint64_t v = filter_version_.load(std::memory_order_acquire);
+    if (v == seen_version) return;
+    std::lock_guard<std::mutex> lock(filter_mu_);
+    filters = source_filters_;
+    seen_version = v;
+  };
+  refresh_filters();
 
   if (options_.window_batches) {
     // Deterministic windows: batch k covers raw rows [k*B, (k+1)*B).
@@ -82,14 +98,12 @@ Status TableScan::Run() {
         // exact regardless of filter timing because a row's window index
         // is its raw position — filters only ever shrink a window's
         // content, never move rows between windows.
+        refresh_filters();
         bool pass = true;
-        {
-          std::lock_guard<std::mutex> lock(filter_mu_);
-          for (const auto& f : source_filters_) {
-            if (!f->Pass(rows[i])) {
-              pass = false;
-              break;
-            }
+        for (const auto& f : filters) {
+          if (!f->Pass(rows[i])) {
+            pass = false;
+            break;
           }
         }
         if (!pass) {
@@ -121,16 +135,12 @@ Status TableScan::Run() {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(options_.delay_ms));
     }
-    // Source-side filters (snapshot per row batch would also work; the list
-    // is short and contention is negligible at this granularity).
+    refresh_filters();
     bool pass = true;
-    {
-      std::lock_guard<std::mutex> lock(filter_mu_);
-      for (const auto& f : source_filters_) {
-        if (!f->Pass(row)) {
-          pass = false;
-          break;
-        }
+    for (const auto& f : filters) {
+      if (!f->Pass(row)) {
+        pass = false;
+        break;
       }
     }
     if (!pass) {

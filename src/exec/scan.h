@@ -88,6 +88,11 @@ class TableScan : public SourceOperator {
 
   mutable std::mutex filter_mu_;
   std::vector<std::shared_ptr<const TupleFilter>> source_filters_;
+  /// Bumped by AttachSourceFilter; the scan loop holds a lock-free
+  /// snapshot of the filter list and re-snapshots only when this moves, so
+  /// a filter shipped mid-stream still starts pruning immediately without
+  /// a mutex acquisition per row.
+  std::atomic<uint64_t> filter_version_{0};
 
   std::atomic<int64_t> rows_scanned_{0};
   std::atomic<int64_t> rows_source_pruned_{0};

@@ -1,6 +1,10 @@
 #include "net/wire_format.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
+#include <string_view>
+#include <unordered_map>
 
 namespace pushsip {
 
@@ -10,7 +14,23 @@ constexpr char kBatchTag = 'B';
 constexpr char kBatchFrameTag = 'X';
 constexpr char kBloomTag = 'F';
 constexpr char kFilterMsgTag = 'A';
-constexpr char kVersion = 1;
+
+// v2 columnar payload: per-column encodings.
+enum ColTag : uint8_t {
+  kColMixed = 0,        ///< per-value self-describing (ragged/mixed types)
+  kColInt64 = 1,        ///< zigzag varints
+  kColDate = 2,         ///< zigzag varints
+  kColDouble = 3,       ///< raw 8-byte doubles
+  kColStringDict = 4,   ///< per-batch dictionary + varint indices
+  kColStringPlain = 5,  ///< varint length + bytes per value
+  kColNull = 6,         ///< every value NULL; no payload
+};
+
+// Decode-side sanity caps: a corrupt count must not turn into a huge
+// up-front allocation. Growth past the cap happens via push_back, which a
+// truncated stream cuts short long before it matters.
+constexpr uint64_t kMaxReserveRows = 1u << 20;
+constexpr uint64_t kMaxPlausibleCols = 1u << 16;
 
 void PutU8(uint8_t v, std::string* out) {
   out->push_back(static_cast<char>(v));
@@ -32,6 +52,23 @@ void PutDouble(double v, std::string* out) {
   uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
   PutU64(bits, out);
+}
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t u) {
+  return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
 }
 
 /// Bounds-checked sequential reader over a serialized message.
@@ -66,6 +103,26 @@ class WireReader {
     return v;
   }
 
+  Result<uint64_t> ReadVarint() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= bytes_.size()) return Truncated();
+      const uint8_t byte = static_cast<uint8_t>(bytes_[pos_++]);
+      if (shift == 63 && byte > 1) {
+        // The 10th byte contributes one bit; anything else would be
+        // silently discarded — corrupt data, not a value.
+        return Status::InvalidArgument("overlong varint on the wire");
+      }
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    return Status::InvalidArgument("overlong varint on the wire");
+  }
+
+  /// Bytes not yet consumed — decode-side sanity bound for counts that
+  /// would otherwise drive large allocations before touching the input.
+  size_t remaining() const { return bytes_.size() - pos_; }
+
   Result<double> ReadDouble() {
     PUSHSIP_ASSIGN_OR_RETURN(const uint64_t bits, ReadU64());
     double v;
@@ -74,20 +131,25 @@ class WireReader {
   }
 
   Result<std::string> ReadString(size_t len) {
-    if (pos_ + len > bytes_.size()) return Truncated();
+    if (pos_ + len > bytes_.size() || pos_ + len < pos_) return Truncated();
     std::string s = bytes_.substr(pos_, len);
     pos_ += len;
     return s;
   }
 
-  Status ExpectHeader(char tag) {
+  /// Validates the tag and returns the payload's wire version (all message
+  /// kinds exist in both versions).
+  Result<WireFormatVersion> ExpectVersionedHeader(char tag) {
     PUSHSIP_ASSIGN_OR_RETURN(const uint8_t t, ReadU8());
     PUSHSIP_ASSIGN_OR_RETURN(const uint8_t ver, ReadU8());
-    if (t != static_cast<uint8_t>(tag) ||
-        ver != static_cast<uint8_t>(kVersion)) {
+    if (t != static_cast<uint8_t>(tag)) {
       return Status::InvalidArgument("bad wire message header");
     }
-    return Status::OK();
+    if (ver != static_cast<uint8_t>(WireFormatVersion::kRowMajor) &&
+        ver != static_cast<uint8_t>(WireFormatVersion::kColumnar)) {
+      return Status::InvalidArgument("unknown batch wire version");
+    }
+    return static_cast<WireFormatVersion>(ver);
   }
 
   bool AtEnd() const { return pos_ == bytes_.size(); }
@@ -146,19 +208,22 @@ Result<Value> ReadValue(WireReader* r) {
   return Status::InvalidArgument("unknown value type tag on the wire");
 }
 
-void AppendBatchBody(const Batch& batch, std::string* out) {
+// ---------------------------------------------------------------------------
+// v1 payload: row-major, fixed-width, self-describing per value.
+
+void AppendBatchBodyV1(const Batch& batch, std::string* out) {
   PutU32(static_cast<uint32_t>(batch.size()), out);
   for (const Tuple& row : batch.rows) AppendTuple(row, out);
 }
 
-Result<Batch> ReadBatchBody(WireReader* r) {
+Result<Batch> ReadBatchBodyV1(WireReader* r) {
   PUSHSIP_ASSIGN_OR_RETURN(const uint32_t num_rows, r->ReadU32());
   Batch batch;
-  batch.rows.reserve(num_rows);
+  batch.rows.reserve(std::min<uint64_t>(num_rows, kMaxReserveRows));
   for (uint32_t i = 0; i < num_rows; ++i) {
     PUSHSIP_ASSIGN_OR_RETURN(const uint32_t arity, r->ReadU32());
     std::vector<Value> values;
-    values.reserve(arity);
+    values.reserve(std::min<uint64_t>(arity, kMaxPlausibleCols));
     for (uint32_t c = 0; c < arity; ++c) {
       PUSHSIP_ASSIGN_OR_RETURN(Value v, ReadValue(r));
       values.push_back(std::move(v));
@@ -168,28 +233,396 @@ Result<Batch> ReadBatchBody(WireReader* r) {
   return batch;
 }
 
-void AppendBloomBody(const BloomFilter& filter, std::string* out) {
+// ---------------------------------------------------------------------------
+// v2 payload: column-major with per-column compression.
+
+/// Appends the null bitmap preamble: u8 has_nulls, then (when any) an
+/// LSB-first bitmap with bit r set iff row r is NULL in this column.
+void AppendNullBitmap(const Batch& batch, size_t col, size_t null_count,
+                      std::string* out) {
+  const size_t n = batch.size();
+  PutU8(null_count > 0 ? 1 : 0, out);
+  if (null_count == 0) return;
+  std::string bitmap((n + 7) / 8, '\0');
+  for (size_t r = 0; r < n; ++r) {
+    if (batch.rows[r].at(col).is_null()) {
+      bitmap[r >> 3] |= static_cast<char>(1u << (r & 7));
+    }
+  }
+  out->append(bitmap);
+}
+
+void AppendColumnV2(const Batch& batch, size_t col, std::string* out) {
+  const size_t n = batch.size();
+  // Classify: NULL count plus the set of non-null physical types.
+  size_t null_count = 0;
+  TypeId type = TypeId::kNull;
+  bool mixed = false;
+  for (const Tuple& row : batch.rows) {
+    const Value& v = row.at(col);
+    if (v.is_null()) {
+      ++null_count;
+      continue;
+    }
+    if (type == TypeId::kNull) {
+      type = v.type();
+    } else if (v.type() != type) {
+      mixed = true;
+      break;
+    }
+  }
+
+  if (mixed) {
+    PutU8(kColMixed, out);
+    for (const Tuple& row : batch.rows) AppendValue(row.at(col), out);
+    return;
+  }
+  if (null_count == n) {
+    PutU8(kColNull, out);
+    return;
+  }
+
+  switch (type) {
+    case TypeId::kInt64:
+    case TypeId::kDate: {
+      PutU8(type == TypeId::kInt64 ? kColInt64 : kColDate, out);
+      AppendNullBitmap(batch, col, null_count, out);
+      for (const Tuple& row : batch.rows) {
+        const Value& v = row.at(col);
+        if (!v.is_null()) PutVarint(ZigZagEncode(v.AsInt64()), out);
+      }
+      return;
+    }
+    case TypeId::kDouble: {
+      PutU8(kColDouble, out);
+      AppendNullBitmap(batch, col, null_count, out);
+      for (const Tuple& row : batch.rows) {
+        const Value& v = row.at(col);
+        if (!v.is_null()) PutDouble(v.AsDouble(), out);
+      }
+      return;
+    }
+    case TypeId::kString: {
+      // Dictionary-encode when at least half the values repeat; the dict
+      // stores each distinct string once and rows carry varint indices.
+      std::unordered_map<std::string_view, uint32_t> dict;
+      std::vector<std::string_view> order;
+      const size_t non_null = n - null_count;
+      for (const Tuple& row : batch.rows) {
+        const Value& v = row.at(col);
+        if (v.is_null()) continue;
+        const std::string_view s = v.AsString();
+        if (dict.emplace(s, static_cast<uint32_t>(order.size())).second) {
+          order.push_back(s);
+        }
+      }
+      if (order.size() * 2 <= non_null) {
+        PutU8(kColStringDict, out);
+        AppendNullBitmap(batch, col, null_count, out);
+        PutVarint(order.size(), out);
+        for (const std::string_view s : order) {
+          PutVarint(s.size(), out);
+          out->append(s);
+        }
+        for (const Tuple& row : batch.rows) {
+          const Value& v = row.at(col);
+          if (!v.is_null()) PutVarint(dict.at(v.AsString()), out);
+        }
+      } else {
+        PutU8(kColStringPlain, out);
+        AppendNullBitmap(batch, col, null_count, out);
+        for (const Tuple& row : batch.rows) {
+          const Value& v = row.at(col);
+          if (v.is_null()) continue;
+          PutVarint(v.AsString().size(), out);
+          out->append(v.AsString());
+        }
+      }
+      return;
+    }
+    case TypeId::kNull:
+      break;  // unreachable: null_count == n handled above
+  }
+  PUSHSIP_DCHECK(false);
+}
+
+void AppendBatchBodyV2(const Batch& batch, std::string* out) {
+  const size_t n = batch.size();
+  PutVarint(n, out);
+  if (n == 0) return;
+  // Columnar layout needs uniform arity; ragged batches (never produced by
+  // the engine, but representable) fall back to per-row encoding.
+  const size_t num_cols = batch.rows[0].size();
+  bool uniform = true;
+  for (const Tuple& row : batch.rows) {
+    if (row.size() != num_cols) {
+      uniform = false;
+      break;
+    }
+  }
+  PutU8(uniform ? 1 : 0, out);
+  if (!uniform) {
+    for (const Tuple& row : batch.rows) AppendTuple(row, out);
+    return;
+  }
+  PutVarint(num_cols, out);
+  for (size_t c = 0; c < num_cols; ++c) AppendColumnV2(batch, c, out);
+}
+
+/// Reads the null-bitmap preamble; resizes `*is_null` to n (all false when
+/// the column declares no NULLs).
+Status ReadNullBitmap(WireReader* r, size_t n, std::vector<bool>* is_null) {
+  is_null->assign(n, false);
+  PUSHSIP_ASSIGN_OR_RETURN(const uint8_t has_nulls, r->ReadU8());
+  if (has_nulls > 1) {
+    return Status::InvalidArgument("bad null-bitmap flag on the wire");
+  }
+  if (has_nulls == 0) return Status::OK();
+  PUSHSIP_ASSIGN_OR_RETURN(const std::string bitmap,
+                           r->ReadString((n + 7) / 8));
+  for (size_t i = 0; i < n; ++i) {
+    (*is_null)[i] =
+        (static_cast<uint8_t>(bitmap[i >> 3]) >> (i & 7)) & 1;
+  }
+  return Status::OK();
+}
+
+Status ReadColumnV2(WireReader* r, size_t col, std::vector<Tuple>* rows) {
+  const size_t n = rows->size();
+  PUSHSIP_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
+  std::vector<bool> is_null;
+  switch (tag) {
+    case kColMixed: {
+      for (size_t i = 0; i < n; ++i) {
+        PUSHSIP_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+        (*rows)[i].at(col) = std::move(v);
+      }
+      return Status::OK();
+    }
+    case kColNull:
+      return Status::OK();  // rows are pre-filled with NULLs
+    case kColInt64:
+    case kColDate: {
+      PUSHSIP_RETURN_NOT_OK(ReadNullBitmap(r, n, &is_null));
+      for (size_t i = 0; i < n; ++i) {
+        if (is_null[i]) continue;
+        PUSHSIP_ASSIGN_OR_RETURN(const uint64_t u, r->ReadVarint());
+        const int64_t v = ZigZagDecode(u);
+        (*rows)[i].at(col) =
+            tag == kColInt64 ? Value::Int64(v) : Value::Date(v);
+      }
+      return Status::OK();
+    }
+    case kColDouble: {
+      PUSHSIP_RETURN_NOT_OK(ReadNullBitmap(r, n, &is_null));
+      for (size_t i = 0; i < n; ++i) {
+        if (is_null[i]) continue;
+        PUSHSIP_ASSIGN_OR_RETURN(const double v, r->ReadDouble());
+        (*rows)[i].at(col) = Value::Double(v);
+      }
+      return Status::OK();
+    }
+    case kColStringDict: {
+      PUSHSIP_RETURN_NOT_OK(ReadNullBitmap(r, n, &is_null));
+      PUSHSIP_ASSIGN_OR_RETURN(const uint64_t dict_size, r->ReadVarint());
+      if (dict_size > n) {
+        return Status::InvalidArgument(
+            "string dictionary larger than the batch");
+      }
+      std::vector<std::string> dict;
+      dict.reserve(dict_size);
+      for (uint64_t d = 0; d < dict_size; ++d) {
+        PUSHSIP_ASSIGN_OR_RETURN(const uint64_t len, r->ReadVarint());
+        PUSHSIP_ASSIGN_OR_RETURN(std::string s, r->ReadString(len));
+        dict.push_back(std::move(s));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (is_null[i]) continue;
+        PUSHSIP_ASSIGN_OR_RETURN(const uint64_t idx, r->ReadVarint());
+        if (idx >= dict.size()) {
+          return Status::InvalidArgument(
+              "string dictionary index out of range");
+        }
+        (*rows)[i].at(col) = Value::String(dict[idx]);
+      }
+      return Status::OK();
+    }
+    case kColStringPlain: {
+      PUSHSIP_RETURN_NOT_OK(ReadNullBitmap(r, n, &is_null));
+      for (size_t i = 0; i < n; ++i) {
+        if (is_null[i]) continue;
+        PUSHSIP_ASSIGN_OR_RETURN(const uint64_t len, r->ReadVarint());
+        PUSHSIP_ASSIGN_OR_RETURN(std::string s, r->ReadString(len));
+        (*rows)[i].at(col) = Value::String(std::move(s));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("unknown column tag on the wire");
+  }
+}
+
+Result<Batch> ReadBatchBodyV2(WireReader* r) {
+  PUSHSIP_ASSIGN_OR_RETURN(const uint64_t num_rows, r->ReadVarint());
+  Batch batch;
+  if (num_rows == 0) return batch;
+  PUSHSIP_ASSIGN_OR_RETURN(const uint8_t layout, r->ReadU8());
+  if (layout > 1) {
+    return Status::InvalidArgument("bad batch layout byte on the wire");
+  }
+  batch.rows.reserve(std::min<uint64_t>(num_rows, kMaxReserveRows));
+  if (layout == 0) {
+    // Ragged fallback: per-row encoding.
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      PUSHSIP_ASSIGN_OR_RETURN(const uint32_t arity, r->ReadU32());
+      std::vector<Value> values;
+      values.reserve(std::min<uint64_t>(arity, kMaxPlausibleCols));
+      for (uint32_t c = 0; c < arity; ++c) {
+        PUSHSIP_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+        values.push_back(std::move(v));
+      }
+      batch.rows.emplace_back(std::move(values));
+    }
+    return batch;
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const uint64_t num_cols, r->ReadVarint());
+  if (num_cols > kMaxPlausibleCols) {
+    return Status::InvalidArgument("implausible column count on the wire");
+  }
+  // The columnar pre-fill materializes num_rows * num_cols Values before
+  // reading any column payload, so the row count must be bounded by the
+  // input actually present: every encoded column costs at least
+  // ceil(rows/8) payload bytes (null bitmap / varints / bitmap-free
+  // values) except all-NULL columns, which the slack term covers for any
+  // realistically sized batch. A corrupt varint row count can therefore
+  // never force a large allocation from a tiny frame.
+  const uint64_t value_budget =
+      64 * static_cast<uint64_t>(r->remaining()) + 4096;
+  if (num_rows > value_budget || num_rows * num_cols > value_budget) {
+    return Status::InvalidArgument(
+        "batch row count implausible for the bytes on the wire");
+  }
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    batch.rows.emplace_back(
+        std::vector<Value>(num_cols));  // pre-filled with NULLs
+  }
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    PUSHSIP_RETURN_NOT_OK(ReadColumnV2(r, c, &batch.rows));
+  }
+  return batch;
+}
+
+void AppendBatchBody(const Batch& batch, WireFormatVersion version,
+                     std::string* out) {
+  if (version == WireFormatVersion::kColumnar) {
+    AppendBatchBodyV2(batch, out);
+  } else {
+    AppendBatchBodyV1(batch, out);
+  }
+}
+
+Result<Batch> ReadBatchBody(WireReader* r, WireFormatVersion version) {
+  return version == WireFormatVersion::kColumnar ? ReadBatchBodyV2(r)
+                                                 : ReadBatchBodyV1(r);
+}
+
+// Bloom bodies: v1 is always the dense word array; v2 prefixes an encoding
+// byte and ships varint set-bit-position deltas instead when smaller.
+enum BloomEncoding : uint8_t {
+  kBloomDense = 0,
+  kBloomSparse = 1,
+};
+
+void AppendBloomBody(const BloomFilter& filter, WireFormatVersion version,
+                     std::string* out) {
   PutU64(filter.num_bits(), out);
   PutU32(static_cast<uint32_t>(filter.num_hashes()), out);
   PutU64(filter.inserted_count(), out);
-  for (const uint64_t w : filter.words()) PutU64(w, out);
+  const std::vector<uint64_t>& words = filter.words();
+  if (version == WireFormatVersion::kColumnar) {
+    // Try the sparse encoding: varint count, then varint deltas between
+    // successive set bit positions (first delta = first position).
+    std::string sparse;
+    uint64_t count = 0;
+    uint64_t prev = 0;
+    for (size_t w = 0; w < words.size(); ++w) {
+      uint64_t word = words[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        const uint64_t pos = w * 64 + static_cast<uint64_t>(bit);
+        PutVarint(pos - prev, &sparse);
+        prev = pos;
+        ++count;
+      }
+    }
+    std::string count_prefix;
+    PutVarint(count, &count_prefix);
+    if (1 + count_prefix.size() + sparse.size() < 1 + words.size() * 8) {
+      PutU8(kBloomSparse, out);
+      out->append(count_prefix);
+      out->append(sparse);
+      return;
+    }
+    PutU8(kBloomDense, out);
+  }
+  for (const uint64_t w : words) PutU64(w, out);
 }
 
-Result<BloomFilter> ReadBloomBody(WireReader* r) {
+Result<BloomFilter> ReadBloomBody(WireReader* r, WireFormatVersion version) {
   PUSHSIP_ASSIGN_OR_RETURN(const uint64_t num_bits, r->ReadU64());
   PUSHSIP_ASSIGN_OR_RETURN(const uint32_t num_hashes, r->ReadU32());
   PUSHSIP_ASSIGN_OR_RETURN(const uint64_t inserted, r->ReadU64());
   if (num_bits == 0 || num_bits % 64 != 0 || num_bits > (1ULL << 36)) {
     return Status::InvalidArgument("implausible bloom geometry on the wire");
   }
+  uint8_t encoding = kBloomDense;
+  if (version == WireFormatVersion::kColumnar) {
+    PUSHSIP_ASSIGN_OR_RETURN(encoding, r->ReadU8());
+    if (encoding > kBloomSparse) {
+      return Status::InvalidArgument("unknown bloom encoding on the wire");
+    }
+  }
   std::vector<uint64_t> words(num_bits / 64);
-  for (uint64_t& w : words) {
-    PUSHSIP_ASSIGN_OR_RETURN(w, r->ReadU64());
+  if (encoding == kBloomSparse) {
+    PUSHSIP_ASSIGN_OR_RETURN(const uint64_t count, r->ReadVarint());
+    if (count > num_bits) {
+      return Status::InvalidArgument("bloom set-bit count exceeds geometry");
+    }
+    uint64_t pos = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      PUSHSIP_ASSIGN_OR_RETURN(const uint64_t delta, r->ReadVarint());
+      if (i > 0 && delta == 0) {
+        return Status::InvalidArgument("non-increasing bloom bit position");
+      }
+      // Overflow-safe range check: pos + delta must stay below num_bits
+      // (a wrapped sum would slip past both guards and set wrong bits).
+      if (delta > num_bits - 1 - pos) {
+        return Status::InvalidArgument("bloom bit position out of range");
+      }
+      pos += delta;
+      words[pos / 64] |= 1ULL << (pos % 64);
+    }
+  } else {
+    for (uint64_t& w : words) {
+      PUSHSIP_ASSIGN_OR_RETURN(w, r->ReadU64());
+    }
   }
   return BloomFilter::FromParts(static_cast<size_t>(num_bits),
                                 static_cast<int>(num_hashes),
                                 static_cast<size_t>(inserted),
                                 std::move(words));
+}
+
+void AppendBatchFrameHeader(uint32_t sender, uint32_t epoch, uint64_t seq,
+                            bool replayable, WireFormatVersion version,
+                            std::string* out) {
+  PutU8(static_cast<uint8_t>(kBatchFrameTag), out);
+  PutU8(static_cast<uint8_t>(version), out);
+  PutU32(sender, out);
+  PutU32(epoch, out);
+  PutU64(seq, out);
+  PutU8(replayable ? 1 : 0, out);
 }
 
 }  // namespace
@@ -199,48 +632,65 @@ void AppendTuple(const Tuple& tuple, std::string* out) {
   for (const Value& v : tuple.values()) AppendValue(v, out);
 }
 
-std::string SerializeBatch(const Batch& batch) {
+std::string SerializeBatch(const Batch& batch, WireFormatVersion version) {
   std::string out;
   // Rough pre-size: header + ~16 bytes per value.
   out.reserve(10 + batch.size() * 32);
   PutU8(static_cast<uint8_t>(kBatchTag), &out);
-  PutU8(static_cast<uint8_t>(kVersion), &out);
-  AppendBatchBody(batch, &out);
+  PutU8(static_cast<uint8_t>(version), &out);
+  AppendBatchBody(batch, version, &out);
   return out;
 }
 
 Result<Batch> DeserializeBatch(const std::string& bytes) {
   WireReader r(bytes);
-  PUSHSIP_RETURN_NOT_OK(r.ExpectHeader(kBatchTag));
-  PUSHSIP_ASSIGN_OR_RETURN(Batch batch, ReadBatchBody(&r));
+  PUSHSIP_ASSIGN_OR_RETURN(const WireFormatVersion version,
+                           r.ExpectVersionedHeader(kBatchTag));
+  PUSHSIP_ASSIGN_OR_RETURN(Batch batch, ReadBatchBody(&r, version));
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after batch");
   }
   return batch;
 }
 
-std::string SerializeBatchFrame(uint32_t sender, uint32_t epoch, uint64_t seq,
-                                bool replayable, const Batch& batch) {
+std::string SerializeBatchBody(const Batch& batch,
+                               WireFormatVersion version) {
   std::string out;
-  out.reserve(27 + batch.size() * 32);
-  PutU8(static_cast<uint8_t>(kBatchFrameTag), &out);
-  PutU8(static_cast<uint8_t>(kVersion), &out);
-  PutU32(sender, &out);
-  PutU32(epoch, &out);
-  PutU64(seq, &out);
-  PutU8(replayable ? 1 : 0, &out);
-  AppendBatchBody(batch, &out);
+  out.reserve(8 + batch.size() * 32);
+  AppendBatchBody(batch, version, &out);
   return out;
 }
 
-std::string SerializeBatchFrame(const BatchFrame& frame) {
+std::string AssembleBatchFrame(uint32_t sender, uint32_t epoch, uint64_t seq,
+                               bool replayable, const std::string& body,
+                               WireFormatVersion version) {
+  std::string out;
+  out.reserve(19 + body.size());
+  AppendBatchFrameHeader(sender, epoch, seq, replayable, version, &out);
+  out.append(body);
+  return out;
+}
+
+std::string SerializeBatchFrame(uint32_t sender, uint32_t epoch, uint64_t seq,
+                                bool replayable, const Batch& batch,
+                                WireFormatVersion version) {
+  std::string out;
+  out.reserve(27 + batch.size() * 32);
+  AppendBatchFrameHeader(sender, epoch, seq, replayable, version, &out);
+  AppendBatchBody(batch, version, &out);
+  return out;
+}
+
+std::string SerializeBatchFrame(const BatchFrame& frame,
+                                WireFormatVersion version) {
   return SerializeBatchFrame(frame.sender, frame.epoch, frame.seq,
-                             frame.replayable, frame.batch);
+                             frame.replayable, frame.batch, version);
 }
 
 Result<BatchFrame> DeserializeBatchFrame(const std::string& bytes) {
   WireReader r(bytes);
-  PUSHSIP_RETURN_NOT_OK(r.ExpectHeader(kBatchFrameTag));
+  PUSHSIP_ASSIGN_OR_RETURN(const WireFormatVersion version,
+                           r.ExpectVersionedHeader(kBatchFrameTag));
   BatchFrame frame;
   PUSHSIP_ASSIGN_OR_RETURN(frame.sender, r.ReadU32());
   PUSHSIP_ASSIGN_OR_RETURN(frame.epoch, r.ReadU32());
@@ -250,47 +700,51 @@ Result<BatchFrame> DeserializeBatchFrame(const std::string& bytes) {
     return Status::InvalidArgument("bad replayable flag in batch frame");
   }
   frame.replayable = replayable != 0;
-  PUSHSIP_ASSIGN_OR_RETURN(frame.batch, ReadBatchBody(&r));
+  PUSHSIP_ASSIGN_OR_RETURN(frame.batch, ReadBatchBody(&r, version));
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after batch frame");
   }
   return frame;
 }
 
-std::string SerializeBloomFilter(const BloomFilter& filter) {
+std::string SerializeBloomFilter(const BloomFilter& filter,
+                                 WireFormatVersion version) {
   std::string out;
   out.reserve(22 + filter.SizeBytes());
   PutU8(static_cast<uint8_t>(kBloomTag), &out);
-  PutU8(static_cast<uint8_t>(kVersion), &out);
-  AppendBloomBody(filter, &out);
+  PutU8(static_cast<uint8_t>(version), &out);
+  AppendBloomBody(filter, version, &out);
   return out;
 }
 
 Result<BloomFilter> DeserializeBloomFilter(const std::string& bytes) {
   WireReader r(bytes);
-  PUSHSIP_RETURN_NOT_OK(r.ExpectHeader(kBloomTag));
-  PUSHSIP_ASSIGN_OR_RETURN(BloomFilter f, ReadBloomBody(&r));
+  PUSHSIP_ASSIGN_OR_RETURN(const WireFormatVersion version,
+                           r.ExpectVersionedHeader(kBloomTag));
+  PUSHSIP_ASSIGN_OR_RETURN(BloomFilter f, ReadBloomBody(&r, version));
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after bloom filter");
   }
   return f;
 }
 
-std::string SerializeFilterMessage(AttrId attr, const BloomFilter& filter) {
+std::string SerializeFilterMessage(AttrId attr, const BloomFilter& filter,
+                                   WireFormatVersion version) {
   std::string out;
   out.reserve(26 + filter.SizeBytes());
   PutU8(static_cast<uint8_t>(kFilterMsgTag), &out);
-  PutU8(static_cast<uint8_t>(kVersion), &out);
+  PutU8(static_cast<uint8_t>(version), &out);
   PutU32(static_cast<uint32_t>(attr), &out);
-  AppendBloomBody(filter, &out);
+  AppendBloomBody(filter, version, &out);
   return out;
 }
 
 Result<FilterMessage> DeserializeFilterMessage(const std::string& bytes) {
   WireReader r(bytes);
-  PUSHSIP_RETURN_NOT_OK(r.ExpectHeader(kFilterMsgTag));
+  PUSHSIP_ASSIGN_OR_RETURN(const WireFormatVersion version,
+                           r.ExpectVersionedHeader(kFilterMsgTag));
   PUSHSIP_ASSIGN_OR_RETURN(const uint32_t attr, r.ReadU32());
-  PUSHSIP_ASSIGN_OR_RETURN(BloomFilter f, ReadBloomBody(&r));
+  PUSHSIP_ASSIGN_OR_RETURN(BloomFilter f, ReadBloomBody(&r, version));
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after filter message");
   }

@@ -2,10 +2,20 @@
 // Bloom-filter messages (cross-site AIP shipping) are serialized to byte
 // strings, moved across a SimLink, and deserialized at the receiving site.
 //
-// Encoding is little-endian, fixed-width, self-describing per value. Every
-// message starts with a one-byte tag plus a version byte so a receiver can
-// reject garbage instead of crashing. Sizes reported by the serializers are
-// what the link is charged — the same bytes a real socket would carry.
+// Every message starts with a one-byte tag plus a version byte so a
+// receiver can reject garbage instead of crashing. Sizes reported by the
+// serializers are what the link is charged — the same bytes a real socket
+// would carry.
+//
+// Batch payloads exist in two wire versions, negotiated per link (the
+// version byte in the header tells the receiver which decoder to use, so
+// old-format frames stay decodable forever):
+//   * v1 (kRowMajor)  — little-endian, fixed-width, self-describing per
+//     value; simple and the original format.
+//   * v2 (kColumnar)  — column-major re-encoding: one type tag per column,
+//     a null bitmap only when the column has NULLs, zigzag-varint ints and
+//     dates, and a per-batch dictionary for low-cardinality string columns.
+//     Falls back to per-value encoding for ragged or mixed-type columns.
 #ifndef PUSHSIP_NET_WIRE_FORMAT_H_
 #define PUSHSIP_NET_WIRE_FORMAT_H_
 
@@ -17,14 +27,24 @@
 
 namespace pushsip {
 
-/// Appends the wire encoding of one tuple to `out`.
+/// Batch payload encoding, carried in the message header's version byte.
+enum class WireFormatVersion : uint8_t {
+  kRowMajor = 1,  ///< v1: row-major, fixed-width, self-describing values
+  kColumnar = 2,  ///< v2: column-major, varint + dictionary compressed
+};
+
+/// The version new senders use unless a link negotiates otherwise.
+constexpr WireFormatVersion kDefaultWireVersion = WireFormatVersion::kColumnar;
+
+/// Appends the wire encoding of one tuple to `out` (v1 row encoding).
 void AppendTuple(const Tuple& tuple, std::string* out);
 
-/// Serializes a whole batch (tag + version + row count + rows).
-std::string SerializeBatch(const Batch& batch);
+/// Serializes a whole batch (tag + version + payload).
+std::string SerializeBatch(const Batch& batch,
+                           WireFormatVersion version = kDefaultWireVersion);
 
-/// Parses a serialized batch; fails on truncation, bad tags, or unknown
-/// value types.
+/// Parses a serialized batch (either wire version); fails on truncation,
+/// bad tags, or unknown value types.
 Result<Batch> DeserializeBatch(const std::string& bytes);
 
 /// One exchange message: a batch plus the provenance header the failure
@@ -47,15 +67,35 @@ struct BatchFrame {
   Batch batch;
 };
 
-std::string SerializeBatchFrame(const BatchFrame& frame);
+std::string SerializeBatchFrame(const BatchFrame& frame,
+                                WireFormatVersion version =
+                                    kDefaultWireVersion);
 /// Copy-free variant for senders that already hold the batch.
 std::string SerializeBatchFrame(uint32_t sender, uint32_t epoch, uint64_t seq,
-                                bool replayable, const Batch& batch);
-/// Fails (never crashes) on truncated or corrupt input.
+                                bool replayable, const Batch& batch,
+                                WireFormatVersion version =
+                                    kDefaultWireVersion);
+/// Fails (never crashes) on truncated or corrupt input, either version.
 Result<BatchFrame> DeserializeBatchFrame(const std::string& bytes);
 
-/// Serializes a Bloom filter (geometry + bit words).
-std::string SerializeBloomFilter(const BloomFilter& filter);
+/// Split serialization for senders that reuse one encoded payload across
+/// several frame headers (a broadcast exchange serializes the batch body
+/// once and stamps a per-destination header in front of it). The `version`
+/// passed to AssembleBatchFrame must match the one the body was encoded
+/// with.
+std::string SerializeBatchBody(const Batch& batch, WireFormatVersion version);
+std::string AssembleBatchFrame(uint32_t sender, uint32_t epoch, uint64_t seq,
+                               bool replayable, const std::string& body,
+                               WireFormatVersion version);
+
+/// Serializes a Bloom filter. v1 ships the dense bit-word array; v2 ships
+/// varint deltas of the set bit positions instead whenever that is smaller
+/// (lightly filled filters — the common case for AIP summaries sized from
+/// optimistic NDV estimates — shrink several-fold). Either version
+/// deserializes.
+std::string SerializeBloomFilter(const BloomFilter& filter,
+                                 WireFormatVersion version =
+                                     kDefaultWireVersion);
 Result<BloomFilter> DeserializeBloomFilter(const std::string& bytes);
 
 /// An AIP set shipped to a remote fragment: the Bloom summary plus the
@@ -66,7 +106,9 @@ struct FilterMessage {
   BloomFilter filter{16};
 };
 
-std::string SerializeFilterMessage(AttrId attr, const BloomFilter& filter);
+std::string SerializeFilterMessage(AttrId attr, const BloomFilter& filter,
+                                   WireFormatVersion version =
+                                       kDefaultWireVersion);
 Result<FilterMessage> DeserializeFilterMessage(const std::string& bytes);
 
 }  // namespace pushsip

@@ -145,10 +145,14 @@ std::vector<const AipManager::Candidate*> AipManager::EstimateBenefit(
         (u->sp.direct_scan != nullptr && u->sp.scan_is_remote) ||
         (u->sp.remote_ship != nullptr && !source.sp.state_is_partitioned);
     if (remote_target) {
-      // Distributed extension: pruned tuples also skip the link. Use an
-      // average row footprint; only ratios matter for the decision.
-      constexpr double kRowBytes = 64.0;
-      benefit += pruned * kRowBytes * cost_.constants().ship_per_byte;
+      // Distributed extension: pruned tuples also skip the link. Prefer
+      // the observed wire bytes/row (which reflects the negotiated
+      // compressed format) over the static average-footprint guess, so
+      // compression shifts the ship-vs-save tradeoff the way it should.
+      constexpr double kDefaultRowBytes = 64.0;
+      double row_bytes = ctx_->observed_wire_bytes_per_row();
+      if (row_bytes <= 0) row_bytes = kDefaultRowBytes;
+      benefit += pruned * row_bytes * cost_.constants().ship_per_byte;
     }
     if (benefit > 0) {
       savings += benefit;

@@ -27,21 +27,57 @@ void AipSet::Insert(uint64_t hash) {
   inserted_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void AipSet::InsertMany(const std::vector<uint64_t>& hashes) {
+void AipSet::InsertMany(const uint64_t* hashes, size_t n) {
   PUSHSIP_DCHECK(!sealed_.load());
   std::unique_lock lock(mu_);
   if (kind_ == AipSetKind::kBloom) {
-    for (const uint64_t h : hashes) bloom_.Insert(h);
+    for (size_t i = 0; i < n; ++i) bloom_.Insert(hashes[i]);
   } else {
-    for (const uint64_t h : hashes) hash_.Insert(h);
+    for (size_t i = 0; i < n; ++i) hash_.Insert(hashes[i]);
   }
-  inserted_.fetch_add(hashes.size(), std::memory_order_relaxed);
+  inserted_.fetch_add(n, std::memory_order_relaxed);
 }
 
 bool AipSet::MightContain(uint64_t hash) const {
   std::shared_lock lock(mu_);
   return kind_ == AipSetKind::kBloom ? bloom_.MightContain(hash)
                                      : hash_.MightContain(hash);
+}
+
+size_t AipSet::RetainMightContain(const std::vector<uint64_t>& hashes,
+                                  std::vector<uint32_t>* sel) const {
+  const size_t before = sel->size();
+  std::shared_lock lock(mu_);
+  size_t kept = 0;
+  if (kind_ == AipSetKind::kBloom) {
+    for (const uint32_t idx : *sel) {
+      if (bloom_.MightContain(hashes[idx])) (*sel)[kept++] = idx;
+    }
+  } else {
+    for (const uint32_t idx : *sel) {
+      if (hash_.MightContain(hashes[idx])) (*sel)[kept++] = idx;
+    }
+  }
+  sel->resize(kept);
+  return before - kept;
+}
+
+size_t AipSet::RetainMightContainDense(const uint64_t* hashes,
+                                       std::vector<uint32_t>* sel) const {
+  const size_t before = sel->size();
+  std::shared_lock lock(mu_);
+  size_t kept = 0;
+  if (kind_ == AipSetKind::kBloom) {
+    for (size_t j = 0; j < before; ++j) {
+      if (bloom_.MightContain(hashes[j])) (*sel)[kept++] = (*sel)[j];
+    }
+  } else {
+    for (size_t j = 0; j < before; ++j) {
+      if (hash_.MightContain(hashes[j])) (*sel)[kept++] = (*sel)[j];
+    }
+  }
+  sel->resize(kept);
+  return before - kept;
 }
 
 size_t AipSet::SizeBytes() const {

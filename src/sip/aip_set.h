@@ -36,12 +36,29 @@ class AipSet {
 
   void Insert(uint64_t hash);
 
-  /// Inserts many hashes under one lock acquisition (hot path for the
-  /// Feed-Forward working sets, which observe whole batches).
-  void InsertMany(const std::vector<uint64_t>& hashes);
+  /// Inserts `n` hashes under one lock acquisition (hot path for the
+  /// Feed-Forward working sets, which observe whole batches). Span-style so
+  /// callers holding a batch's hash lane or a scratch buffer pass it
+  /// without an extra vector copy.
+  void InsertMany(const uint64_t* hashes, size_t n);
+  void InsertMany(const std::vector<uint64_t>& hashes) {
+    InsertMany(hashes.data(), hashes.size());
+  }
 
   /// Returns false only when the hash definitely has no match.
   bool MightContain(uint64_t hash) const;
+
+  /// Bulk probe: keeps only the entries of `*sel` whose hash (indexed into
+  /// `hashes`, a row-parallel lane) might be contained, preserving order.
+  /// One lock acquisition for the whole batch. Returns the number pruned.
+  size_t RetainMightContain(const std::vector<uint64_t>& hashes,
+                            std::vector<uint32_t>* sel) const;
+
+  /// Like RetainMightContain, but `hashes[j]` is the hash of row
+  /// `(*sel)[j]` (sel-parallel, not row-parallel) — the shape produced when
+  /// a filter hashes only the rows still alive in a narrowed selection.
+  size_t RetainMightContainDense(const uint64_t* hashes,
+                                 std::vector<uint32_t>* sel) const;
 
   /// Marks the set complete. After sealing, Insert is a programming error.
   void Seal() { sealed_.store(true); }
@@ -78,13 +95,45 @@ class AipFilter : public TupleFilter {
  public:
   /// Probes input column `col` of each tuple against `set`.
   AipFilter(std::string label, int col, std::shared_ptr<const AipSet> set)
-      : label_(std::move(label)), col_(col), set_(std::move(set)) {}
+      : label_(std::move(label)),
+        col_(col),
+        cols_({col}),
+        set_(std::move(set)) {}
 
   bool Pass(const Tuple& tuple) const override {
     const bool pass =
         set_->MightContain(tuple.at(static_cast<size_t>(col_)).Hash());
     (pass ? passed_ : pruned_).fetch_add(1, std::memory_order_relaxed);
     return pass;
+  }
+
+  /// Vectorized probe: hashes the key column once per batch (reusing the
+  /// batch's cached lane when any consumer already computed it — e.g. an
+  /// earlier filter on the same key), probes the summary under one lock,
+  /// and updates the counters in bulk. When the selection is already
+  /// narrowed and no lane exists, only the surviving rows are hashed.
+  void PassBatch(const Batch& batch,
+                 std::vector<uint32_t>* sel) const override {
+    const size_t before = sel->size();
+    const std::vector<uint64_t>* lane = batch.CachedKeyHashes(cols_);
+    std::vector<uint64_t> scratch;
+    if (lane == nullptr && before == batch.rows.size()) {
+      lane = &batch.KeyHashes(cols_, &scratch);  // installs the lane
+    }
+    if (lane != nullptr) {
+      set_->RetainMightContain(*lane, sel);
+    } else {
+      scratch.resize(before);
+      const size_t col = static_cast<size_t>(col_);
+      for (size_t j = 0; j < before; ++j) {
+        scratch[j] = batch.rows[(*sel)[j]].at(col).Hash();
+      }
+      set_->RetainMightContainDense(scratch.data(), sel);
+    }
+    passed_.fetch_add(static_cast<int64_t>(sel->size()),
+                      std::memory_order_relaxed);
+    pruned_.fetch_add(static_cast<int64_t>(before - sel->size()),
+                      std::memory_order_relaxed);
   }
 
   std::string label() const override { return label_; }
@@ -96,6 +145,7 @@ class AipFilter : public TupleFilter {
  private:
   std::string label_;
   int col_;
+  std::vector<int> cols_;  ///< {col_}, cached for lane lookups
   std::shared_ptr<const AipSet> set_;
   mutable std::atomic<int64_t> pruned_{0};
   mutable std::atomic<int64_t> passed_{0};

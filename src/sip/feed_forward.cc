@@ -7,7 +7,10 @@ namespace pushsip {
 // operator's local AIP set").
 class FeedForwardAip::BuildTap : public TupleTap {
  public:
-  explicit BuildTap(std::vector<WorkingSet*> sets) : sets_(std::move(sets)) {}
+  explicit BuildTap(std::vector<WorkingSet*> sets) : sets_(std::move(sets)) {
+    cols_.reserve(sets_.size());
+    for (const WorkingSet* ws : sets_) cols_.push_back({ws->col});
+  }
 
   void Observe(const Tuple& tuple) override {
     for (WorkingSet* ws : sets_) {
@@ -15,20 +18,22 @@ class FeedForwardAip::BuildTap : public TupleTap {
     }
   }
 
-  void ObserveBatch(const Batch& batch) override {
-    std::vector<uint64_t> hashes;
-    hashes.reserve(batch.size());
-    for (WorkingSet* ws : sets_) {
-      hashes.clear();
-      for (const Tuple& row : batch.rows) {
-        hashes.push_back(row.at(static_cast<size_t>(ws->col)).Hash());
-      }
-      ws->set->InsertMany(hashes);
+  void ObserveBatch(Batch& batch) override {
+    // Reuse the batch's cached key-hash lane when a filter or downstream
+    // consumer shares this working set's key column; otherwise hash into a
+    // scratch buffer once per set. InsertMany takes the span directly — no
+    // copy either way.
+    std::vector<uint64_t> scratch;
+    for (size_t s = 0; s < sets_.size(); ++s) {
+      const std::vector<uint64_t>& hashes =
+          batch.KeyHashes(cols_[s], &scratch);
+      sets_[s]->set->InsertMany(hashes.data(), hashes.size());
     }
   }
 
  private:
   std::vector<WorkingSet*> sets_;
+  std::vector<std::vector<int>> cols_;  ///< per-set {col}, for lane lookups
 };
 
 FeedForwardAip::FeedForwardAip(ExecContext* ctx, AipRegistry* registry,

@@ -9,6 +9,11 @@ void MagicSetState::Insert(uint64_t hash) {
   keys_.insert(hash);
 }
 
+void MagicSetState::InsertMany(const uint64_t* hashes, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < n; ++i) keys_.insert(hashes[i]);
+}
+
 void MagicSetState::Seal() {
   sealed_.store(true);
   cv_.notify_all();
@@ -24,6 +29,16 @@ void MagicSetState::WaitSealedFor(int ms) {
 bool MagicSetState::Contains(uint64_t hash) const {
   std::lock_guard<std::mutex> lock(mu_);
   return keys_.count(hash) > 0;
+}
+
+void MagicSetState::RetainContains(const std::vector<uint64_t>& hashes,
+                                   std::vector<uint32_t>* sel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t kept = 0;
+  for (const uint32_t idx : *sel) {
+    if (keys_.count(hashes[idx]) > 0) (*sel)[kept++] = idx;
+  }
+  sel->resize(kept);
 }
 
 size_t MagicSetState::size() const {
@@ -44,9 +59,9 @@ MagicSetBuilder::MagicSetBuilder(ExecContext* ctx, std::string name,
       state_(std::move(state)) {}
 
 Status MagicSetBuilder::DoPush(int, Batch&& batch) {
-  for (const Tuple& row : batch.rows) {
-    state_->Insert(row.HashColumns(key_cols_));
-  }
+  std::vector<uint64_t> scratch;
+  const std::vector<uint64_t>& hashes = batch.KeyHashes(key_cols_, &scratch);
+  state_->InsertMany(hashes.data(), hashes.size());
   return Emit(std::move(batch));
 }
 
@@ -76,14 +91,14 @@ int64_t MagicGate::StateBytes() const {
 }
 
 Status MagicGate::FilterAndEmit(Batch&& batch) {
-  size_t kept = 0;
-  for (size_t i = 0; i < batch.rows.size(); ++i) {
-    if (state_->Contains(batch.rows[i].HashColumns(key_cols_))) {
-      if (kept != i) batch.rows[kept] = std::move(batch.rows[i]);
-      ++kept;
-    }
-  }
-  batch.rows.resize(kept);
+  // Hash the semijoin keys once per batch, probe the set under one lock,
+  // compact once.
+  std::vector<uint64_t> scratch;
+  const std::vector<uint64_t>& hashes = batch.KeyHashes(key_cols_, &scratch);
+  std::vector<uint32_t> sel(batch.rows.size());
+  for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
+  state_->RetainContains(hashes, &sel);
+  if (sel.size() != batch.rows.size()) batch.CompactInPlace(sel);
   return Emit(std::move(batch));
 }
 

@@ -22,6 +22,10 @@ class MagicSetState {
   /// Inserts a key hash (builder side, before sealing).
   void Insert(uint64_t hash);
 
+  /// Inserts `n` key hashes under one lock acquisition (the builder's
+  /// per-batch path; hashes come from the batch's key-hash lane).
+  void InsertMany(const uint64_t* hashes, size_t n);
+
   /// Marks the filter set complete and wakes all gates.
   void Seal();
 
@@ -30,6 +34,12 @@ class MagicSetState {
   void WaitSealedFor(int ms);
 
   bool Contains(uint64_t hash) const;
+
+  /// Bulk semijoin probe: keeps only the entries of `*sel` whose hash (from
+  /// the row-parallel `hashes` lane) is in the set, in order, under one
+  /// lock acquisition.
+  void RetainContains(const std::vector<uint64_t>& hashes,
+                      std::vector<uint32_t>* sel) const;
   bool sealed() const { return sealed_.load(); }
   size_t size() const;
   size_t SizeBytes() const;

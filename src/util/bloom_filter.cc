@@ -5,15 +5,6 @@
 
 namespace pushsip {
 
-namespace {
-// Derives the i-th probe position from a base hash (Kirsch–Mitzenmacher).
-inline size_t ProbeBit(uint64_t hash, int i, size_t num_bits) {
-  const uint64_t h2 = (hash >> 33) | (hash << 31);
-  return static_cast<size_t>((hash + static_cast<uint64_t>(i) * (h2 | 1)) %
-                             num_bits);
-}
-}  // namespace
-
 BloomFilter::BloomFilter(size_t expected_entries, double target_fpr,
                          int num_hashes) {
   num_hashes_ = num_hashes < 1 ? 1 : num_hashes;
@@ -57,18 +48,10 @@ Result<BloomFilter> BloomFilter::FromParts(size_t num_bits, int num_hashes,
 
 void BloomFilter::Insert(uint64_t hash) {
   for (int i = 0; i < num_hashes_; ++i) {
-    const size_t bit = ProbeBit(hash, i, num_bits_);
+    const size_t bit = ProbeBit(hash, i);
     words_[bit >> 6] |= 1ULL << (bit & 63);
   }
   ++inserted_;
-}
-
-bool BloomFilter::MightContain(uint64_t hash) const {
-  for (int i = 0; i < num_hashes_; ++i) {
-    const size_t bit = ProbeBit(hash, i, num_bits_);
-    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
-  }
-  return true;
 }
 
 Status BloomFilter::IntersectWith(const BloomFilter& other) {

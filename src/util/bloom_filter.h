@@ -36,7 +36,16 @@ class BloomFilter {
                                        std::vector<uint64_t> words);
 
   void Insert(uint64_t hash);
-  bool MightContain(uint64_t hash) const;
+
+  /// Probe. Inline and division-free (multiply-shift range reduction): this
+  /// sits on the per-row hot path of every AIP filter.
+  bool MightContain(uint64_t hash) const {
+    for (int i = 0; i < num_hashes_; ++i) {
+      const size_t bit = ProbeBit(hash, i);
+      if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+    }
+    return true;
+  }
 
   /// Bitwise-intersects `other` into this filter. Both filters must have the
   /// same geometry (bit count and hash count).
@@ -63,6 +72,18 @@ class BloomFilter {
 
  private:
   BloomFilter() = default;
+
+  /// Derives the i-th probe position from a base hash
+  /// (Kirsch–Mitzenmacher), mapped into [0, num_bits) with a multiply-shift
+  /// instead of a modulo — no integer division on the probe path. The
+  /// mapping is a pure function of (hash, i, num_bits), so serialized
+  /// filters probe identically on every site.
+  size_t ProbeBit(uint64_t hash, int i) const {
+    const uint64_t h2 = (hash >> 33) | (hash << 31);
+    const uint64_t h = hash + static_cast<uint64_t>(i) * (h2 | 1);
+    return static_cast<size_t>(
+        ((h >> 32) * static_cast<uint64_t>(num_bits_)) >> 32);
+  }
 
   size_t num_bits_ = 0;
   int num_hashes_ = 1;

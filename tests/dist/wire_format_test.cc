@@ -212,6 +212,241 @@ TEST(WireFormatTest, BloomFilterRoundTripProperty) {
   }
 }
 
+// Both wire versions must decode any batch identically — the per-link
+// negotiation means one receiver can see v1 and v2 frames interleaved, and
+// a rolling upgrade must never change row content. Covers NULLs, empty
+// strings, mixed-type and ragged shapes.
+TEST(WireFormatTest, OldAndNewBatchEncodingsDecodeIdentically) {
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom(21);
+  for (int round = 0; round < 60; ++round) {
+    Batch batch;
+    const int rows = static_cast<int>(rng.UniformInt(0, 30));
+    // Half the rounds build uniform-arity batches (the engine's shape,
+    // which v2 encodes columnar); the rest are ragged (v2's row fallback).
+    const bool uniform = rng.UniformInt(0, 2) == 0;
+    const int fixed_arity = static_cast<int>(rng.UniformInt(1, 7));
+    // Per-column type picks keep uniform batches mostly single-typed so
+    // the typed column encodings (varint, dict) are actually exercised.
+    std::vector<int> col_type(static_cast<size_t>(fixed_arity));
+    for (int& t : col_type) t = static_cast<int>(rng.UniformInt(0, 5));
+    for (int r = 0; r < rows; ++r) {
+      Tuple t;
+      const int arity =
+          uniform ? fixed_arity : static_cast<int>(rng.UniformInt(0, 8));
+      for (int c = 0; c < arity; ++c) {
+        // Occasional NULLs and type flips inside a column.
+        int pick = uniform ? col_type[static_cast<size_t>(c)]
+                           : static_cast<int>(rng.UniformInt(0, 5));
+        if (rng.UniformInt(0, 8) == 0) {
+          pick = static_cast<int>(rng.UniformInt(0, 5));
+        }
+        t.Append(RandomValue(&rng, pick));
+      }
+      batch.rows.push_back(std::move(t));
+    }
+
+    const std::string v1 =
+        SerializeBatch(batch, WireFormatVersion::kRowMajor);
+    const std::string v2 =
+        SerializeBatch(batch, WireFormatVersion::kColumnar);
+    auto from_v1 = DeserializeBatch(v1);
+    auto from_v2 = DeserializeBatch(v2);
+    ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
+    ASSERT_TRUE(from_v2.ok()) << from_v2.status().ToString();
+    ASSERT_EQ(from_v1->size(), batch.size());
+    ASSERT_EQ(from_v2->size(), batch.size());
+    for (size_t r = 0; r < batch.size(); ++r) {
+      ASSERT_EQ(from_v2->rows[r].size(), batch.rows[r].size());
+      for (size_t c = 0; c < batch.rows[r].size(); ++c) {
+        const Value& want = batch.rows[r].at(c);
+        EXPECT_EQ(from_v1->rows[r].at(c).type(), want.type());
+        EXPECT_EQ(from_v1->rows[r].at(c).Compare(want), 0);
+        EXPECT_EQ(from_v2->rows[r].at(c).type(), want.type())
+            << "row " << r << " col " << c;
+        EXPECT_EQ(from_v2->rows[r].at(c).Compare(want), 0)
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+// Replayed frames keep their exact (sender, epoch, seq, replayable)
+// provenance in both versions — the dedup protocol must survive a wire
+// upgrade mid-query.
+TEST(WireFormatTest, BatchFrameEpochSeqSurviveBothVersions) {
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom(22);
+  for (int round = 0; round < 30; ++round) {
+    BatchFrame frame;
+    frame.sender = static_cast<uint32_t>(rng.NextUint64());
+    frame.epoch = static_cast<uint32_t>(rng.NextUint64());
+    frame.seq = rng.NextUint64();
+    frame.replayable = rng.UniformInt(0, 2) == 1;
+    const int rows = static_cast<int>(rng.UniformInt(0, 8));
+    for (int r = 0; r < rows; ++r) {
+      frame.batch.rows.push_back(Tuple(
+          {Value::Int64(rng.UniformInt(-100, 100)), Value::String(""),
+           rng.UniformInt(0, 2) ? Value::Null()
+                                : Value::Date(rng.UniformInt(0, 30000))}));
+    }
+    for (const WireFormatVersion v :
+         {WireFormatVersion::kRowMajor, WireFormatVersion::kColumnar}) {
+      auto decoded = DeserializeBatchFrame(SerializeBatchFrame(frame, v));
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded->sender, frame.sender);
+      EXPECT_EQ(decoded->epoch, frame.epoch);
+      EXPECT_EQ(decoded->seq, frame.seq);
+      EXPECT_EQ(decoded->replayable, frame.replayable);
+      ASSERT_EQ(decoded->batch.size(), frame.batch.size());
+      for (size_t r = 0; r < frame.batch.size(); ++r) {
+        for (size_t c = 0; c < frame.batch.rows[r].size(); ++c) {
+          EXPECT_EQ(decoded->batch.rows[r].at(c).Compare(
+                        frame.batch.rows[r].at(c)),
+                    0);
+        }
+      }
+    }
+  }
+}
+
+// The split broadcast serialization (shared body + per-destination header)
+// must produce byte-identical frames to the one-shot serializer.
+TEST(WireFormatTest, AssembledFrameMatchesOneShotSerialization) {
+  Batch batch;
+  for (int r = 0; r < 10; ++r) {
+    batch.rows.push_back(
+        Tuple({Value::Int64(r), Value::String("dup"), Value::Double(1.5)}));
+  }
+  for (const WireFormatVersion v :
+       {WireFormatVersion::kRowMajor, WireFormatVersion::kColumnar}) {
+    const std::string body = SerializeBatchBody(batch, v);
+    const std::string assembled =
+        AssembleBatchFrame(/*sender=*/7, /*epoch=*/3, /*seq=*/99,
+                           /*replayable=*/true, body, v);
+    const std::string oneshot =
+        SerializeBatchFrame(7, 3, 99, true, batch, v);
+    EXPECT_EQ(assembled, oneshot);
+  }
+}
+
+// v2 truncation/corruption robustness: the columnar decoder must fail
+// cleanly on every cut and never crash on byte flips.
+TEST(WireFormatTest, ColumnarBatchRejectsTruncationAndCorruption) {
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom(23);
+  Batch batch;
+  for (int r = 0; r < 8; ++r) {
+    batch.rows.push_back(Tuple({Value::Int64(r * 1000),
+                                Value::String(r % 2 ? "left" : "right"),
+                                r % 3 ? Value::Null() : Value::Double(2.25),
+                                Value::Date(12000 + r)}));
+  }
+  const std::string bytes =
+      SerializeBatch(batch, WireFormatVersion::kColumnar);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DeserializeBatch(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(DeserializeBatch(bytes + "z").ok());
+  for (int round = 0; round < 300; ++round) {
+    std::string corrupt = bytes;
+    const size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corrupt.size()) - 1));
+    corrupt[pos] =
+        static_cast<char>(corrupt[pos] ^ (1 << rng.UniformInt(0, 7)));
+    auto decoded = DeserializeBatch(corrupt);  // must not crash
+    if (decoded.ok()) {
+      EXPECT_LE(decoded->size(), corrupt.size());
+    }
+  }
+}
+
+// A tiny frame claiming a gigantic row count must be rejected before the
+// decoder materializes anything — the columnar pre-fill reads no payload
+// bytes per row, so the row count has to be bounded by the input present.
+TEST(WireFormatTest, ColumnarRejectsImplausibleRowCount) {
+  std::string bytes;
+  bytes.push_back('B');  // batch tag
+  bytes.push_back(2);    // v2
+  // varint num_rows = 2^50
+  uint64_t v = 1ULL << 50;
+  while (v >= 0x80) {
+    bytes.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  bytes.push_back(static_cast<char>(v));
+  bytes.push_back(1);  // columnar layout
+  bytes.push_back(1);  // num_cols = 1
+  bytes.push_back(6);  // kColNull: consumes no further input
+  auto decoded = DeserializeBatch(bytes);
+  EXPECT_FALSE(decoded.ok());
+}
+
+// A sparse bloom delta that wraps uint64 must be rejected, not decoded
+// into a filter with the wrong bits set (false negatives would silently
+// over-prune).
+TEST(WireFormatTest, SparseBloomRejectsWrappingDelta) {
+  BloomFilter filter(4096, 0.05, 1);
+  for (uint64_t k = 0; k < 8; ++k) filter.Insert(k * 7919);
+  std::string bytes =
+      SerializeBloomFilter(filter, WireFormatVersion::kColumnar);
+  ASSERT_EQ(static_cast<uint8_t>(bytes[22]), 1u);  // sparse encoding byte
+  // Replace the payload after the count with one maximal varint delta.
+  std::string evil = bytes.substr(0, 23);
+  evil.push_back(1);  // count = 1
+  for (int i = 0; i < 9; ++i) evil.push_back(static_cast<char>(0xff));
+  evil.push_back(1);  // 10-byte varint = 2^64 - 1: wraps pos
+  EXPECT_FALSE(DeserializeBloomFilter(evil).ok());
+}
+
+// Dictionary evidence: a low-cardinality string column must shrink the
+// encoding well below v1; a unique-string column must still round-trip.
+TEST(WireFormatTest, ColumnarCompressesLowCardinalityStrings) {
+  Batch repeated, unique;
+  for (int r = 0; r < 256; ++r) {
+    repeated.rows.push_back(
+        Tuple({Value::Int64(r), Value::String(r % 2 ? "Brand#34"
+                                                    : "Brand#11")}));
+    unique.rows.push_back(
+        Tuple({Value::Int64(r), Value::String("key-" + std::to_string(r))}));
+  }
+  const size_t v1_rep =
+      SerializeBatch(repeated, WireFormatVersion::kRowMajor).size();
+  const size_t v2_rep =
+      SerializeBatch(repeated, WireFormatVersion::kColumnar).size();
+  EXPECT_LT(v2_rep * 2, v1_rep);  // at least 2x smaller with the dict
+  auto decoded = DeserializeBatch(
+      SerializeBatch(unique, WireFormatVersion::kColumnar));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->rows[255].at(1).AsString(), "key-255");
+}
+
+// A lightly filled Bloom filter ships sparse in v2 and reconstructs the
+// exact bit array; both versions stay decodable.
+TEST(WireFormatTest, SparseBloomEncodingShrinksAndRoundTrips) {
+  BloomFilter filter(4096, 0.05, 1);
+  for (uint64_t k = 0; k < 64; ++k) filter.Insert(k * 7919);
+  const std::string v1 =
+      SerializeBloomFilter(filter, WireFormatVersion::kRowMajor);
+  const std::string v2 =
+      SerializeBloomFilter(filter, WireFormatVersion::kColumnar);
+  EXPECT_LT(v2.size() * 4, v1.size());  // 64 set bits of ~80k: sparse wins
+  for (const std::string* bytes : {&v1, &v2}) {
+    auto decoded = DeserializeBloomFilter(*bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->words(), filter.words());
+    EXPECT_EQ(decoded->inserted_count(), filter.inserted_count());
+  }
+  // A saturated filter falls back to the dense words inside v2 framing.
+  BloomFilter dense = BloomFilter::WithBitCount(256, 1);
+  for (uint64_t k = 0; k < 4096; ++k) dense.Insert(k);
+  auto decoded = DeserializeBloomFilter(
+      SerializeBloomFilter(dense, WireFormatVersion::kColumnar));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->words(), dense.words());
+}
+
 TEST(WireFormatTest, FilterMessageRoundTrip) {
   BloomFilter filter(128, 0.05, 1);
   for (uint64_t k = 0; k < 100; ++k) filter.Insert(k * 977);

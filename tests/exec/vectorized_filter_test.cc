@@ -1,0 +1,247 @@
+// Semantics of the vectorized filter path: selection-vector filtering in
+// Operator::Push must be indistinguishable from the row-at-a-time
+// reference — same surviving rows, same attach-order short-circuiting,
+// same rows_pruned counters — and taps must observe exactly the survivors.
+// Also covers the Batch key-hash lane invariants (install, reuse,
+// compaction, invalidation).
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "exec/operator.h"
+#include "exec/sink.h"
+#include "sip/aip_set.h"
+#include "tests/testing/test_rng.h"
+
+namespace pushsip {
+namespace {
+
+using testing::SeededRandom;
+using testing::TestSeed;
+
+Schema TwoIntSchema() {
+  return Schema({Field{"t.a", TypeId::kInt64, kInvalidAttr},
+                 Field{"t.b", TypeId::kInt64, kInvalidAttr}});
+}
+
+Batch MakeBatch(const std::vector<std::pair<int64_t, int64_t>>& rows) {
+  Batch b;
+  for (const auto& [a, v] : rows) {
+    b.rows.push_back(Tuple({Value::Int64(a), Value::Int64(v)}));
+  }
+  return b;
+}
+
+/// Row filter with the default (row-loop) PassBatch that records every
+/// value it was asked about — the probe for attach-order semantics.
+class RecordingFilter : public TupleFilter {
+ public:
+  RecordingFilter(std::string label, std::function<bool(int64_t)> pred)
+      : label_(std::move(label)), pred_(std::move(pred)) {}
+
+  bool Pass(const Tuple& t) const override {
+    const int64_t v = t.at(0).AsInt64();
+    seen_.push_back(v);
+    return pred_(v);
+  }
+
+  std::string label() const override { return label_; }
+  const std::vector<int64_t>& seen() const { return seen_; }
+
+ private:
+  std::string label_;
+  std::function<bool(int64_t)> pred_;
+  mutable std::vector<int64_t> seen_;
+};
+
+/// Tap recording the rows it observes.
+class RecordingTap : public TupleTap {
+ public:
+  void Observe(const Tuple& t) override {
+    observed_.push_back(t.at(0).AsInt64());
+  }
+  const std::vector<int64_t>& observed() const { return observed_; }
+
+ private:
+  std::vector<int64_t> observed_;
+};
+
+std::shared_ptr<const AipSet> SetOf(const std::vector<int64_t>& keys) {
+  auto set = std::make_shared<AipSet>(AipSetKind::kHash, 0);
+  for (const int64_t k : keys) set->Insert(Value::Int64(k).Hash());
+  set->Seal();
+  return set;
+}
+
+TEST(VectorizedFilterTest, FiltersApplyInAttachOrder) {
+  ExecContext ctx;
+  Sink sink(&ctx, "sink", TwoIntSchema());
+  auto first = std::make_shared<RecordingFilter>(
+      "first", [](int64_t v) { return v % 2 == 0; });
+  auto second = std::make_shared<RecordingFilter>(
+      "second", [](int64_t v) { return v < 6; });
+  sink.AttachFilter(0, first);
+  sink.AttachFilter(0, second);
+
+  sink.Push(0, MakeBatch({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0},
+                          {5, 0}, {6, 0}, {7, 0}}))
+      .CheckOK();
+
+  // The first filter saw every row; the second only the first's survivors,
+  // in order — later filters never probe rows an earlier filter pruned.
+  EXPECT_EQ(first->seen(), (std::vector<int64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(second->seen(), (std::vector<int64_t>{0, 2, 4, 6}));
+  ASSERT_EQ(sink.num_rows(), 3);
+  EXPECT_EQ(sink.rows()[0].at(0).AsInt64(), 0);
+  EXPECT_EQ(sink.rows()[1].at(0).AsInt64(), 2);
+  EXPECT_EQ(sink.rows()[2].at(0).AsInt64(), 4);
+  EXPECT_EQ(sink.rows_pruned(0), 5);
+}
+
+TEST(VectorizedFilterTest, MixedAipAndRowFiltersShortCircuitInOrder) {
+  ExecContext ctx;
+  Sink sink(&ctx, "sink", TwoIntSchema());
+  // A row filter first (narrows the selection), then an AipFilter — this
+  // drives the AipFilter's narrowed-selection (dense) probe path.
+  auto odd_killer = std::make_shared<RecordingFilter>(
+      "odds", [](int64_t v) { return v % 2 == 0; });
+  auto aip = std::make_shared<AipFilter>("aip", 0, SetOf({2, 4, 5}));
+  sink.AttachFilter(0, odd_killer);
+  sink.AttachFilter(0, aip);
+
+  sink.Push(0, MakeBatch({{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {6, 0}}))
+      .CheckOK();
+
+  ASSERT_EQ(sink.num_rows(), 2);
+  EXPECT_EQ(sink.rows()[0].at(0).AsInt64(), 2);
+  EXPECT_EQ(sink.rows()[1].at(0).AsInt64(), 4);
+  EXPECT_EQ(sink.rows_pruned(0), 4);
+  // The AipFilter only probed the even survivors: 2, 4, 6 -> pruned 6.
+  EXPECT_EQ(aip->passed_count(), 2);
+  EXPECT_EQ(aip->pruned_count(), 1);
+}
+
+TEST(VectorizedFilterTest, CountersMatchRowAtATimeReference) {
+  PUSHSIP_SEED_TRACE(TestSeed());
+  Random rng = SeededRandom(11);
+  for (int round = 0; round < 25; ++round) {
+    // Random batch + random filter stack (row filters and AIP filters on
+    // both columns, in random order).
+    Batch batch;
+    const int n = static_cast<int>(rng.UniformInt(0, 200));
+    for (int i = 0; i < n; ++i) {
+      batch.rows.push_back(Tuple({Value::Int64(rng.UniformInt(0, 50)),
+                                  Value::Int64(rng.UniformInt(0, 50))}));
+    }
+    std::vector<std::shared_ptr<const TupleFilter>> filters;
+    const int num_filters = static_cast<int>(rng.UniformInt(1, 4));
+    for (int f = 0; f < num_filters; ++f) {
+      if (rng.UniformInt(0, 2) == 0) {
+        const int64_t cutoff = rng.UniformInt(0, 50);
+        filters.push_back(std::make_shared<RecordingFilter>(
+            "cut", [cutoff](int64_t v) { return v < cutoff; }));
+      } else {
+        std::vector<int64_t> keys;
+        const int k = static_cast<int>(rng.UniformInt(0, 40));
+        for (int i = 0; i < k; ++i) keys.push_back(rng.UniformInt(0, 50));
+        filters.push_back(std::make_shared<AipFilter>(
+            "aip", static_cast<int>(rng.UniformInt(0, 1)), SetOf(keys)));
+      }
+    }
+
+    // Row-at-a-time reference over a copy.
+    std::vector<int64_t> want;
+    for (const Tuple& row : batch.rows) {
+      bool pass = true;
+      for (const auto& f : filters) {
+        if (!f->Pass(row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) want.push_back(row.at(0).AsInt64());
+    }
+
+    ExecContext ctx;
+    Sink sink(&ctx, "sink", TwoIntSchema());
+    for (const auto& f : filters) sink.AttachFilter(0, f);
+    const int64_t total = static_cast<int64_t>(batch.size());
+    sink.Push(0, std::move(batch)).CheckOK();
+
+    ASSERT_EQ(sink.num_rows(), static_cast<int64_t>(want.size()))
+        << "round " << round;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(sink.rows()[i].at(0).AsInt64(), want[i]);
+    }
+    EXPECT_EQ(sink.rows_pruned(0),
+              total - static_cast<int64_t>(want.size()));
+  }
+}
+
+TEST(VectorizedFilterTest, TapsObserveExactlyTheSurvivors) {
+  ExecContext ctx;
+  Sink sink(&ctx, "sink", TwoIntSchema());
+  auto aip = std::make_shared<AipFilter>("aip", 0, SetOf({1, 3, 5}));
+  auto tap = std::make_shared<RecordingTap>();
+  sink.AttachFilter(0, aip);
+  sink.AttachTap(0, tap);
+
+  sink.Push(0, MakeBatch({{0, 0}, {1, 0}, {2, 0}, {3, 0}})).CheckOK();
+  sink.Push(0, MakeBatch({{4, 0}, {5, 0}})).CheckOK();
+
+  EXPECT_EQ(tap->observed(), (std::vector<int64_t>{1, 3, 5}));
+  EXPECT_EQ(sink.num_rows(), 3);
+}
+
+TEST(VectorizedFilterTest, KeyHashLaneInstallReuseAndCompaction) {
+  Batch b = MakeBatch({{10, 100}, {11, 101}, {12, 102}, {13, 103}});
+  const std::vector<int> col0{0};
+  const std::vector<int> col1{1};
+
+  // First consumer installs the lane.
+  std::vector<uint64_t> scratch;
+  const std::vector<uint64_t>& lane = b.KeyHashes(col0, &scratch);
+  ASSERT_EQ(lane.size(), 4u);
+  EXPECT_EQ(lane[2], b.rows[2].HashColumns(col0));
+  EXPECT_NE(b.CachedKeyHashes(col0), nullptr);
+
+  // A different column set computes into scratch without clobbering it.
+  std::vector<uint64_t> scratch2;
+  const std::vector<uint64_t>& other = b.KeyHashes(col1, &scratch2);
+  EXPECT_EQ(other[0], b.rows[0].HashColumns(col1));
+  EXPECT_NE(b.CachedKeyHashes(col0), nullptr);
+  EXPECT_EQ(b.CachedKeyHashes(col1), nullptr);
+
+  // Compaction keeps the lane row-parallel.
+  b.CompactInPlace({1, 3});
+  ASSERT_EQ(b.size(), 2u);
+  const std::vector<uint64_t>* compacted = b.CachedKeyHashes(col0);
+  ASSERT_NE(compacted, nullptr);
+  ASSERT_EQ(compacted->size(), 2u);
+  EXPECT_EQ((*compacted)[0], b.rows[0].HashColumns(col0));
+  EXPECT_EQ((*compacted)[1], b.rows[1].HashColumns(col0));
+  EXPECT_EQ(b.rows[0].at(0).AsInt64(), 11);
+  EXPECT_EQ(b.rows[1].at(0).AsInt64(), 13);
+
+  // Explicit invalidation drops the lane.
+  b.ClearKeyHashes();
+  EXPECT_EQ(b.CachedKeyHashes(col0), nullptr);
+}
+
+TEST(VectorizedFilterTest, EmptySelectionShortCircuits) {
+  ExecContext ctx;
+  Sink sink(&ctx, "sink", TwoIntSchema());
+  auto kill_all = std::make_shared<RecordingFilter>(
+      "none", [](int64_t) { return false; });
+  auto after = std::make_shared<RecordingFilter>(
+      "after", [](int64_t) { return true; });
+  sink.AttachFilter(0, kill_all);
+  sink.AttachFilter(0, after);
+  sink.Push(0, MakeBatch({{1, 0}, {2, 0}})).CheckOK();
+  EXPECT_EQ(sink.num_rows(), 0);
+  EXPECT_EQ(sink.rows_pruned(0), 2);
+  EXPECT_TRUE(after->seen().empty());  // nothing left to probe
+}
+
+}  // namespace
+}  // namespace pushsip

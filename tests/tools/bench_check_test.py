@@ -54,6 +54,12 @@ class BenchCheckTest(unittest.TestCase):
              "--fresh", fresh],
             capture_output=True, text=True)
 
+    def run_check_pairs(self, *pairs):
+        cmd = [sys.executable, SCRIPT]
+        for baseline, fresh in pairs:
+            cmd += ["--baseline", baseline, "--fresh", fresh]
+        return subprocess.run(cmd, capture_output=True, text=True)
+
     def assert_graceful(self, proc, want_exit):
         self.assertEqual(proc.returncode, want_exit,
                          msg=proc.stdout + proc.stderr)
@@ -131,6 +137,41 @@ class BenchCheckTest(unittest.TestCase):
                            report([cell(bytes_shipped="lots")]))
         proc = self.run_check(base, fresh)
         self.assert_graceful(proc, 0)
+
+    def test_multiple_baseline_pairs_all_clean(self):
+        b1 = self.write("b1.json", report([cell(query="A")]))
+        b2 = self.write("b2.json", report([cell(query="B")]))
+        proc = self.run_check_pairs((b1, b1), (b2, b2))
+        self.assert_graceful(proc, 0)
+
+    def test_regression_in_second_pair_fails(self):
+        b1 = self.write("b1.json", report([cell(query="A")]))
+        b2 = self.write("b2.json", report([cell(query="B")]))
+        f2 = self.write("f2.json",
+                        report([cell(query="B", bytes_shipped=900000)]))
+        proc = self.run_check_pairs((b1, b1), (b2, f2))
+        self.assert_graceful(proc, 1)
+        self.assertIn("regression", proc.stderr.lower())
+
+    def test_unbalanced_pairs_exit_2(self):
+        b1 = self.write("b1.json", report([cell()]))
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "--baseline", b1, "--fresh", b1,
+             "--baseline", b1],
+            capture_output=True, text=True)
+        self.assert_graceful(proc, 2)
+        self.assertIn("pair", proc.stderr)
+
+    def test_pairs_do_not_cross_match(self):
+        # A cell key present in baseline 1 and fresh 2 must not match: the
+        # reports pair positionally, exit 2 because pair 2 shares nothing.
+        b1 = self.write("b1.json", report([cell(query="A")]))
+        f1 = self.write("f1.json", report([cell(query="A")]))
+        b2 = self.write("b2.json", report([cell(query="B")]))
+        f2 = self.write("f2.json", report([cell(query="A")]))
+        proc = self.run_check_pairs((b1, f1), (b2, f2))
+        self.assert_graceful(proc, 2)
+        self.assertIn("no cells matched", proc.stderr)
 
 
 if __name__ == "__main__":

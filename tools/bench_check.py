@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
-"""Compare a fresh --json bench report against a committed baseline.
+"""Compare fresh --json bench reports against committed baselines.
 
 Usage:
     tools/bench_check.py --baseline BENCH_fig15_scaleout.json \
         --fresh fresh.json [--threshold 0.25] [--metrics bytes_shipped,elapsed_sec]
 
-Cells are matched on (query, strategy, sites). A metric regresses when
+--baseline/--fresh may be repeated to check several bench reports in one
+invocation; the i-th baseline is compared against the i-th fresh report
+(so `--baseline A.json --fresh a.json --baseline B.json --fresh b.json`
+checks A vs a and B vs b). Threshold and metrics apply to every pair.
+
+Within a pair, cells are matched on (query, strategy, sites). A metric
+regresses when
     fresh > baseline * (1 + threshold)
 for any matched cell whose baseline value is meaningful (> 0 — a few bytes
 or microseconds of baseline would turn scheduling noise into failures).
 Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error.
 
 CI runs this as a non-blocking step (timings on shared runners are noisy;
-bytes_shipped is deterministic modulo replay) and uploads both JSON files
+bytes_shipped is deterministic modulo replay) and uploads the JSON files
 as artifacts, so a regression leaves an inspectable trail even when the
 step is advisory.
 """
@@ -69,22 +75,17 @@ def load_cells(path):
     return loaded
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--fresh", required=True)
-    parser.add_argument("--threshold", type=float, default=0.25,
-                        help="allowed relative growth (default 0.25 = +25%%)")
-    parser.add_argument("--metrics", default="bytes_shipped,elapsed_sec",
-                        help="comma-separated cell fields to compare")
-    args = parser.parse_args()
+def check_pair(baseline_path, fresh_path, metrics, threshold):
+    """Compares one (baseline, fresh) report pair.
 
-    baseline = load_cells(args.baseline)
-    fresh = load_cells(args.fresh)
-    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
-
+    Returns (matched_cell_count, regression list). Exits 2 on malformed
+    input, like load_cells.
+    """
+    baseline = load_cells(baseline_path)
+    fresh = load_cells(fresh_path)
     matched = 0
     regressions = []
+    print(f"== {baseline_path} vs {fresh_path}")
     print(f"{'cell':<44} {'metric':<14} {'baseline':>12} {'fresh':>12} "
           f"{'ratio':>7}")
     for key, base_cell in sorted(baseline.items(), key=str):
@@ -102,16 +103,46 @@ def main():
             floor = MEANINGFUL_FLOOR.get(metric, 0)
             ratio = (new / base) if base > 0 else float("inf") if new else 1.0
             flag = ""
-            if base > floor and new > base * (1.0 + args.threshold):
+            if base > floor and new > base * (1.0 + threshold):
                 regressions.append((name, metric, base, new, ratio))
                 flag = "  << REGRESSION"
             print(f"{name:<44} {metric:<14} {base:>12.6g} {new:>12.6g} "
                   f"{ratio:>7.2f}{flag}")
-
     if matched == 0:
-        print("bench_check: no cells matched between the two reports",
+        print(f"bench_check: no cells matched between {baseline_path} and "
+              f"{fresh_path}", file=sys.stderr)
+        sys.exit(2)
+    return matched, regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, action="append",
+                        help="committed report; repeatable, paired with the "
+                             "--fresh at the same position")
+    parser.add_argument("--fresh", required=True, action="append",
+                        help="fresh report; repeatable")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative growth (default 0.25 = +25%%)")
+    parser.add_argument("--metrics", default="bytes_shipped,elapsed_sec",
+                        help="comma-separated cell fields to compare")
+    args = parser.parse_args()
+
+    if len(args.baseline) != len(args.fresh):
+        print(f"bench_check: {len(args.baseline)} --baseline but "
+              f"{len(args.fresh)} --fresh; they pair positionally",
               file=sys.stderr)
         sys.exit(2)
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+
+    matched = 0
+    regressions = []
+    for baseline_path, fresh_path in zip(args.baseline, args.fresh):
+        pair_matched, pair_regressions = check_pair(
+            baseline_path, fresh_path, metrics, args.threshold)
+        matched += pair_matched
+        regressions.extend(pair_regressions)
+
     if regressions:
         print(f"\nbench_check: {len(regressions)} regression(s) beyond "
               f"+{args.threshold * 100:.0f}%:", file=sys.stderr)
