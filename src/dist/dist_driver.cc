@@ -264,7 +264,15 @@ Result<DistQueryStats> DistributedQuery::Run() {
       stats.aip_ship_seconds += manager->ship_seconds();
     }
   }
-  if (mesh != nullptr) {
+  if (mesh_shared) {
+    // The mesh carries other queries' traffic too: report only what this
+    // query's contexts were billed for at their Transmit call sites.
+    for (auto& site : sites) {
+      const LinkUsage own = site->context().OwnLinkUsage();
+      stats.bytes_shipped += own.bytes;
+      stats.link_seconds += own.seconds;
+    }
+  } else if (mesh != nullptr) {
     const LinkUsage usage = mesh->TotalUsage();
     stats.bytes_shipped = usage.bytes;
     stats.link_seconds = usage.seconds;

@@ -171,7 +171,14 @@ class AdaptiveSupervisor {
 /// the root fragment's Sink holds the result after Run().
 struct DistributedQuery {
   std::vector<std::unique_ptr<SiteEngine>> sites;
-  std::unique_ptr<SiteMesh> mesh;
+  /// Shared so a serving layer can run many concurrent queries over one
+  /// mesh; a standalone query still constructs (and solely owns) its own.
+  std::shared_ptr<SiteMesh> mesh;
+  /// True when `mesh` is shared with other concurrent queries. Run() then
+  /// reports bytes_shipped/link_seconds from this query's per-context
+  /// billing (ExecContext::OwnLinkUsage) instead of the mesh-wide totals,
+  /// which would double-count the neighbours' traffic.
+  bool mesh_shared = false;
   std::vector<std::shared_ptr<ExchangeChannel>> channels;
   Sink* root_sink = nullptr;
   /// The mesh's failure oracle, when chaos is enabled; the supervisor heals

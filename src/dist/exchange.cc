@@ -126,7 +126,7 @@ Status ExchangeSender::Send(size_t dest_index, const Batch& batch,
   // delivered. Counters move only after the transmission succeeded:
   // frames killed by an injected fault were never sent.
   if (dest.link != nullptr) {
-    PUSHSIP_RETURN_NOT_OK(dest.link->Transmit(bytes.size()));
+    PUSHSIP_RETURN_NOT_OK(dest.link->Transmit(bytes.size(), ctx_));
   }
   bytes_sent_.fetch_add(static_cast<int64_t>(bytes.size()));
   batches_sent_.fetch_add(1);

@@ -246,7 +246,7 @@ Result<PlanBuilder::NodeId> PlanFragmenter::BuildInto(BuildState* state,
     // Filters built at the consumer ship back over the reverse link and
     // attach inside the producing fragment.
     RemoteFilterShipFn shipper = MakeFilterShipper(
-        {{&producer, state->query->mesh->link(site, home)}});
+        {{&producer, state->query->mesh->link(site, home)}}, b->context());
     PUSHSIP_ASSIGN_OR_RETURN(
         const PlanBuilder::NodeId src,
         b->Source(std::move(receiver), pb.estimated_rows(sub),
@@ -317,7 +317,7 @@ Result<std::unique_ptr<DistributedQuery>> PlanFragmenter::Fragment(
   }
 
   auto query = std::make_unique<DistributedQuery>();
-  query->mesh = std::make_unique<SiteMesh>(
+  query->mesh = std::make_shared<SiteMesh>(
       static_cast<int>(catalogs_.size()), bandwidth_bps_, latency_ms_);
   if (options.fault_injector != nullptr) {
     query->mesh->InstallFaultInjector(options.fault_injector);

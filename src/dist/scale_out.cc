@@ -101,7 +101,7 @@ struct Assembly {
     for (int to = 0; to < sites; ++to) {
       producers.emplace_back(&site(to), link(at, to));
     }
-    return MakeFilterShipper(std::move(producers));
+    return MakeFilterShipper(std::move(producers), &site(at).context());
   }
 
   /// Registers an ExchangeReceiver leaf in `pb` (hosted at site `at`).
@@ -653,9 +653,17 @@ Result<std::unique_ptr<DistributedQuery>> BuildScaleOutQuery(
       PartitionCatalog(*full_catalog, {shard_table}, options.num_sites);
 
   auto q = std::make_unique<DistributedQuery>();
-  q->mesh = std::make_unique<SiteMesh>(options.num_sites,
-                                       options.bandwidth_bps,
-                                       options.latency_ms);
+  if (options.shared_mesh != nullptr) {
+    if (options.shared_mesh->num_sites() < options.num_sites) {
+      return Status::InvalidArgument("shared mesh spans too few sites");
+    }
+    q->mesh = options.shared_mesh;
+    q->mesh_shared = true;
+  } else {
+    q->mesh = std::make_shared<SiteMesh>(options.num_sites,
+                                         options.bandwidth_bps,
+                                         options.latency_ms);
+  }
   if (options.fault_injector != nullptr) {
     q->mesh->InstallFaultInjector(options.fault_injector);
     q->fault_injector = options.fault_injector;

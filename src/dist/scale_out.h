@@ -42,6 +42,11 @@ struct ScaleOutOptions {
   double exchange_idle_timeout_sec = 30.0;
   /// Replays allowed per fragment before a failure becomes fatal.
   int max_fragment_restarts = 3;
+  /// Run over this existing mesh (which must span >= num_sites sites)
+  /// instead of constructing a private one — the serving layer's
+  /// many-queries-one-mesh mode. Sets DistributedQuery::mesh_shared, so
+  /// the query reports only its own link traffic.
+  std::shared_ptr<SiteMesh> shared_mesh;
 };
 
 /// The two distributed workloads.

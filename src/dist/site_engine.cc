@@ -140,7 +140,8 @@ int64_t SiteEngine::remote_filter_pruned() const {
 }
 
 RemoteFilterShipFn MakeFilterShipper(
-    std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>> producers) {
+    std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>> producers,
+    ExecContext* bill_to) {
   // Per-label delivery memo, shared across invocations of this shipper: a
   // re-ship after a link failure retries only the producers the label
   // never reached, so healthy links are not transmitted over (or billed)
@@ -151,8 +152,9 @@ RemoteFilterShipFn MakeFilterShipper(
     std::map<std::string, std::pair<std::vector<bool>, double>> by_label;
   };
   auto state = std::make_shared<ShipState>();
-  return [producers, state](AttrId attr, const BloomFilter& filter,
-                            const std::string& label) -> Result<double> {
+  return [producers, state, bill_to](AttrId attr, const BloomFilter& filter,
+                                     const std::string& label)
+             -> Result<double> {
     const std::string bytes = SerializeFilterMessage(attr, filter);
     std::lock_guard<std::mutex> lock(state->mu);
     auto& [delivered, seconds] = state->by_label[label];
@@ -166,7 +168,7 @@ RemoteFilterShipFn MakeFilterShipper(
         continue;
       }
       if (link != nullptr) {
-        const Status sent = link->Transmit(bytes.size());
+        const Status sent = link->Transmit(bytes.size(), bill_to);
         if (!sent.ok()) {
           // Downed link: this producer keeps streaming unfiltered. Report
           // the failure so the AIP manager queues a re-ship for after the

@@ -118,9 +118,12 @@ class SiteEngine {
 /// `producers` (one entry per producing site): serializes the Bloom
 /// summary once, transmits it over each producer's link, deserializes at
 /// the far end, and attaches it to the producer's matching scans. Returns
-/// the simulated seconds the shipments occupied the links.
+/// the simulated seconds the shipments occupied the links. `bill_to`, when
+/// non-null, receives per-query billing of the shipped bytes (for links
+/// shared across concurrent sessions).
 RemoteFilterShipFn MakeFilterShipper(
-    std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>> producers);
+    std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>> producers,
+    ExecContext* bill_to = nullptr);
 
 }  // namespace pushsip
 

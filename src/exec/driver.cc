@@ -30,11 +30,16 @@ Result<QueryStats> Driver::Run() {
         "sink did not finish although all sources completed");
   }
 
+  return CollectQueryStats(ctx_, sink_, timer.ElapsedSeconds());
+}
+
+QueryStats CollectQueryStats(ExecContext* ctx, Sink* sink,
+                             double elapsed_sec) {
   QueryStats stats;
-  stats.elapsed_sec = timer.ElapsedSeconds();
-  stats.result_rows = sink_->num_rows();
-  stats.peak_state_bytes = ctx_->state_tracker().peak_bytes();
-  for (Operator* op : ctx_->operators()) {
+  stats.elapsed_sec = elapsed_sec;
+  stats.result_rows = sink->num_rows();
+  stats.peak_state_bytes = ctx->state_tracker().peak_bytes();
+  for (Operator* op : ctx->operators()) {
     for (int p = 0; p < op->num_inputs(); ++p) {
       stats.rows_pruned += op->rows_pruned(p);
     }
@@ -42,7 +47,7 @@ Result<QueryStats> Driver::Run() {
       stats.rows_source_pruned += scan->rows_source_pruned();
     }
   }
-  const LinkUsage links = ctx_->TotalLinkUsage();
+  const LinkUsage links = ctx->TotalLinkUsage();
   stats.bytes_shipped = links.bytes;
   stats.link_seconds = links.seconds;
   return stats;

@@ -38,6 +38,13 @@ struct QueryStats {
   }
 };
 
+/// Folds a finished plan's counters (sink rows, per-operator pruning, state
+/// peak, link usage) into a QueryStats. Shared by Driver and the serving
+/// layer, which runs sources on pooled workers instead of fresh threads but
+/// reports the same statistics shape.
+QueryStats CollectQueryStats(ExecContext* ctx, Sink* sink,
+                             double elapsed_sec);
+
 /// \brief Owns the threads that drive a plan's sources to completion.
 class Driver {
  public:

@@ -72,6 +72,27 @@ class ExecContext {
   void AddLinkUsageSource(LinkUsageFn fn);
   LinkUsage TotalLinkUsage() const;
 
+  /// Bills one transmission to *this* query. Callback-based link-usage
+  /// sources (above) read whole-link totals, which is correct only while a
+  /// link carries a single query; when a SiteMesh is shared by concurrent
+  /// sessions, transmit paths call this instead so every context owns
+  /// exactly the traffic it sent.
+  void RecordLinkTraffic(int64_t bytes, double seconds) {
+    own_link_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    own_link_micros_.fetch_add(static_cast<int64_t>(seconds * 1e6),
+                               std::memory_order_relaxed);
+  }
+
+  /// Traffic billed to this context via RecordLinkTraffic.
+  LinkUsage OwnLinkUsage() const {
+    LinkUsage u;
+    u.bytes = own_link_bytes_.load(std::memory_order_relaxed);
+    u.seconds = static_cast<double>(
+                    own_link_micros_.load(std::memory_order_relaxed)) /
+                1e6;
+    return u;
+  }
+
   /// Records one serialized exchange transmission (`rows` rows became
   /// `bytes` wire bytes, compression included) — the recalibration feed for
   /// the AIP ship-vs-save decision, which multiplies pruned-row estimates
@@ -103,6 +124,8 @@ class ExecContext {
   double exchange_idle_timeout_sec_ = 30.0;
   std::atomic<int64_t> wire_rows_{0};
   std::atomic<int64_t> wire_bytes_{0};
+  std::atomic<int64_t> own_link_bytes_{0};
+  std::atomic<int64_t> own_link_micros_{0};
 };
 
 }  // namespace pushsip

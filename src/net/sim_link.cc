@@ -8,7 +8,7 @@
 
 namespace pushsip {
 
-Status SimLink::Transmit(size_t bytes) {
+Status SimLink::Transmit(size_t bytes, ExecContext* bill_to) {
   if (injector_ != nullptr) {
     PUSHSIP_RETURN_NOT_OK(injector_->Check(from_, to_));
   }
@@ -20,6 +20,9 @@ Status SimLink::Transmit(size_t bytes) {
   }
   bytes_transferred_.fetch_add(static_cast<int64_t>(bytes));
   busy_micros_.fetch_add(static_cast<int64_t>(secs * 1e6));
+  if (bill_to != nullptr) {
+    bill_to->RecordLinkTraffic(static_cast<int64_t>(bytes), secs);
+  }
   if (secs > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(secs));
   }

@@ -32,8 +32,11 @@ class SimLink {
   /// link. The first transmission also pays the latency (exactly once, even
   /// under concurrent first transmissions). Fails with kUnavailable —
   /// before any bytes move or are billed — when an installed FaultInjector
-  /// has an armed fault covering this link.
-  Status Transmit(size_t bytes);
+  /// has an armed fault covering this link. When `bill_to` is non-null the
+  /// same bytes/seconds are additionally billed to that context via
+  /// ExecContext::RecordLinkTraffic, giving per-query accounting on links
+  /// shared by concurrent sessions (the link's own totals stay global).
+  Status Transmit(size_t bytes, ExecContext* bill_to = nullptr);
 
   /// Names the link's endpoints and attaches the mesh's failure oracle.
   /// Links without an injector never fail.

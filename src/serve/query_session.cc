@@ -1,0 +1,569 @@
+#include "serve/query_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dist/exchange.h"
+#include "dist/scale_out.h"
+#include "expr/expression.h"
+#include "util/stopwatch.h"
+#include "workload/plan_builder.h"
+
+namespace pushsip {
+
+namespace {
+
+/// Pass-through scan tap that collects the Bloom summary of the build-side
+/// predicate while the build scan streams. As a source filter it observes
+/// every raw row (and prunes none), so the summary has no false negatives:
+/// every build key that can satisfy the predicate is inserted. Bloom false
+/// positives only let extra probe rows through, which the join then drops.
+class SummaryCollector : public TupleFilter {
+ public:
+  SummaryCollector(std::string label, int filter_col, int64_t upper,
+                   int key_col, std::shared_ptr<AipSet> set)
+      : label_(std::move(label)),
+        filter_col_(static_cast<size_t>(filter_col)),
+        upper_(upper),
+        key_col_(static_cast<size_t>(key_col)),
+        set_(std::move(set)) {}
+
+  bool Pass(const Tuple& t) const override {
+    const Value& v = t.at(filter_col_);
+    if (!v.is_null() && v.AsInt64() < upper_) {
+      set_->Insert(t.at(key_col_).Hash());
+    }
+    return true;  // pure tap: the scan's output is unchanged
+  }
+
+  std::string label() const override { return label_; }
+
+ private:
+  std::string label_;
+  size_t filter_col_;
+  int64_t upper_;
+  size_t key_col_;
+  std::shared_ptr<AipSet> set_;
+};
+
+/// Canonical string of the cacheable build-side predicate.
+std::string PredicateFingerprint(const ServeQuery& q) {
+  return q.build_filter_col + "<" + std::to_string(q.build_filter_upper);
+}
+
+}  // namespace
+
+struct QueryServer::Session {
+  SessionId id = 0;
+  uint64_t ticket = 0;
+  ServeQuery query;
+  int64_t admit_bytes = 0;
+  bool run_on_mesh = false;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  SessionState state = SessionState::kQueued;
+  bool cancel_requested = false;
+  /// Interrupts the running execution; set under mu while the session's
+  /// contexts are alive, cleared (under mu) before they are destroyed.
+  std::function<void()> cancel_hook;
+  Status error = Status::OK();
+  SessionResult result;
+
+  bool terminal() const {  // caller holds mu
+    return state == SessionState::kFinished ||
+           state == SessionState::kFailed ||
+           state == SessionState::kCancelled;
+  }
+};
+
+QueryServer::QueryServer(std::shared_ptr<Catalog> catalog,
+                         ServeOptions options)
+    : catalog_(std::move(catalog)),
+      opts_(options),
+      cache_(options.aip_cache_budget_bytes),
+      pool_(options.worker_threads) {
+  if (opts_.num_sites > 1) {
+    mesh_ = std::make_shared<SiteMesh>(opts_.num_sites, opts_.bandwidth_bps,
+                                       opts_.latency_ms);
+    shards_ = std::make_shared<const ShardCatalogs>(PartitionCatalog(
+        *catalog_, opts_.sharded_tables, opts_.num_sites));
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+void QueryServer::Shutdown() {
+  accepting_.store(false);
+  pool_.Shutdown();
+}
+
+Result<QueryServer::SessionId> QueryServer::Submit(const ServeQuery& query) {
+  if (!accepting_.load()) {
+    return Status::Unavailable("server is shut down");
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(TablePtr probe,
+                           catalog_->GetTable(query.probe_table));
+  PUSHSIP_ASSIGN_OR_RETURN(TablePtr build,
+                           catalog_->GetTable(query.build_table));
+  PUSHSIP_ASSIGN_OR_RETURN(const int pk,
+                           probe->schema().IndexOf(query.probe_key));
+  PUSHSIP_ASSIGN_OR_RETURN(const int bk,
+                           build->schema().IndexOf(query.build_key));
+  PUSHSIP_ASSIGN_OR_RETURN(const int bf,
+                           build->schema().IndexOf(query.build_filter_col));
+  (void)pk; (void)bk; (void)bf;
+  if (!query.probe_agg_col.empty()) {
+    PUSHSIP_ASSIGN_OR_RETURN(const int pa,
+                             probe->schema().IndexOf(query.probe_agg_col));
+    (void)pa;
+  }
+
+  auto s = std::make_shared<Session>();
+  s->query = query;
+  s->admit_bytes =
+      query.est_state_bytes > 0
+          ? query.est_state_bytes
+          : static_cast<int64_t>(probe->FootprintBytes() +
+                                 build->FootprintBytes());
+  s->run_on_mesh =
+      opts_.num_sites > 1 &&
+      std::find(opts_.sharded_tables.begin(), opts_.sharded_tables.end(),
+                query.probe_table) != opts_.sharded_tables.end();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    s->id = next_id_++;
+    sessions_[s->id] = s;
+  }
+  {
+    // Ticket assignment and pool submission under one lock: the worker
+    // pool pops FIFO, so the set of *started* session tasks is always a
+    // ticket-order prefix — the invariant that makes waiting for
+    // admission headship on a pool worker deadlock-free.
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    s->ticket = next_ticket_++;
+    if (!pool_.Submit([this, s] { RunSession(s); })) {
+      --next_ticket_;
+      std::lock_guard<std::mutex> slock(sessions_mu_);
+      sessions_.erase(s->id);
+      return Status::Unavailable("server is shut down");
+    }
+  }
+  submitted_.fetch_add(1);
+  return s->id;
+}
+
+bool QueryServer::AdmitOrAbort(const SessionPtr& s) {
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  admit_cv_.wait(lock, [&] { return s->ticket == admit_head_; });
+  bool admitted = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> slock(s->mu);
+      if (s->cancel_requested) break;
+    }
+    if (admission_.TryAdd(s->admit_bytes, opts_.admission_budget_bytes)) {
+      admitted = true;
+      break;
+    }
+    if (admitted_running_ == 0) {
+      // Oversized head with an empty engine: admit anyway (accounting
+      // overshoots deliberately) so a session larger than the budget can
+      // still run — admission may stall but never wedges.
+      admission_.Add(s->admit_bytes);
+      admitted = true;
+      break;
+    }
+    admit_cv_.wait(lock);
+  }
+  ++admit_head_;
+  if (admitted) ++admitted_running_;
+  admit_cv_.notify_all();
+  return admitted;
+}
+
+void QueryServer::ReleaseAdmission(const SessionPtr& s) {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  admission_.Release(s->admit_bytes);
+  --admitted_running_;
+  admit_cv_.notify_all();
+}
+
+void QueryServer::RunSession(const SessionPtr& s) {
+  if (!AdmitOrAbort(s)) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->state = SessionState::kCancelled;
+    s->error = Status::Cancelled("session cancelled while queued");
+    cancelled_.fetch_add(1);
+    s->cv.notify_all();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->state = SessionState::kRunning;
+  }
+  Result<SessionResult> r = Execute(s);
+  ReleaseAdmission(s);
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (r.ok()) {
+    // A cancel that raced a completed execution still reports the result.
+    s->result = std::move(*r);
+    s->state = SessionState::kFinished;
+    finished_.fetch_add(1);
+  } else if (r.status().code() == StatusCode::kCancelled ||
+             s->cancel_requested) {
+    s->state = SessionState::kCancelled;
+    s->error = Status::Cancelled("session cancelled");
+    cancelled_.fetch_add(1);
+  } else {
+    s->state = SessionState::kFailed;
+    s->error = r.status();
+    failed_.fetch_add(1);
+  }
+  s->cv.notify_all();
+}
+
+Result<SessionResult> QueryServer::Execute(const SessionPtr& s) {
+  return s->run_on_mesh ? RunOnMesh(s) : RunLocal(s);
+}
+
+Status QueryServer::PrepareAipCache(const ServeQuery& q,
+                                    uint64_t build_version,
+                                    size_t build_rows,
+                                    const Schema& build_schema,
+                                    const Schema& probe_schema,
+                                    const std::vector<TableScan*>& probe_scans,
+                                    TableScan* build_scan,
+                                    SessionResult* out,
+                                    std::shared_ptr<AipSet>* collected,
+                                    AipCacheKey* key) {
+  collected->reset();
+  if (opts_.aip_cache_budget_bytes <= 0) return Status::OK();
+  *key = AipCacheKey{q.build_table, build_version, PredicateFingerprint(q),
+                     q.build_key};
+  const std::string label = "aipcache:" + q.build_table + ":" +
+                            key->predicate + "->" + q.build_key;
+  const std::shared_ptr<const AipSet> cached = cache_.Lookup(*key);
+  if (cached != nullptr) {
+    PUSHSIP_ASSIGN_OR_RETURN(const int probe_col,
+                             probe_schema.IndexOf("r." + q.probe_key));
+    for (TableScan* scan : probe_scans) {
+      scan->AttachSourceFilter(
+          std::make_shared<AipFilter>(label, probe_col, cached));
+    }
+    out->aip_cache_hit = true;
+    return Status::OK();
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const int filter_col,
+                           build_schema.IndexOf("b." + q.build_filter_col));
+  PUSHSIP_ASSIGN_OR_RETURN(const int key_col,
+                           build_schema.IndexOf("b." + q.build_key));
+  auto set = std::make_shared<AipSet>(
+      AipSetKind::kBloom, std::max<size_t>(64, build_rows), /*fpr=*/0.01);
+  build_scan->AttachSourceFilter(std::make_shared<SummaryCollector>(
+      label + ":collect", filter_col, q.build_filter_upper, key_col, set));
+  *collected = std::move(set);
+  return Status::OK();
+}
+
+Result<SessionResult> QueryServer::RunLocal(const SessionPtr& s) {
+  const ServeQuery& q = s->query;
+  // Atomic (table, version) snapshot: the version must be the one these
+  // exact rows carry, or a summary cached from regenerated data could be
+  // keyed as current and wrongly prune (see serve_cache_test).
+  PUSHSIP_ASSIGN_OR_RETURN(VersionedTable build,
+                           catalog_->GetTableWithVersion(q.build_table));
+  PUSHSIP_ASSIGN_OR_RETURN(TablePtr probe, catalog_->GetTable(q.probe_table));
+
+  ExecContext ctx;
+  ctx.set_batch_size(opts_.batch_size);
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->cancel_requested) return Status::Cancelled("session cancelled");
+    s->cancel_hook = [&ctx] { ctx.Cancel(); };
+  }
+  struct HookGuard {
+    SessionPtr s;
+    ~HookGuard() {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->cancel_hook = nullptr;
+    }
+  } hook_guard{s};
+
+  ScanOptions scan_opts;
+  scan_opts.delay_every_rows = opts_.scan_delay_every_rows;
+  scan_opts.delay_ms = opts_.scan_delay_ms;
+
+  PlanBuilder pb(&ctx, catalog_);
+  const Schema build_schema = MakeInstanceSchema(*build.table, "b", 0);
+  const Schema probe_schema = MakeInstanceSchema(*probe, "r", 1);
+  PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId bn,
+                           pb.ScanTable(build.table, build_schema, scan_opts));
+  PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId rn,
+                           pb.ScanTable(probe, probe_schema, scan_opts));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr fcol, pb.ColRef(bn, q.build_filter_col));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const PlanBuilder::NodeId bf,
+      pb.Filter(bn,
+                Cmp(CmpOp::kLt, std::move(fcol),
+                    LitInt(q.build_filter_upper)),
+                q.build_selectivity));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const PlanBuilder::NodeId jn,
+      pb.Join(bf, rn, {{"b." + q.build_key, "r." + q.probe_key}}));
+  std::vector<AggDesc> aggs{{AggFunc::kCount, "", "cnt"}};
+  if (!q.probe_agg_col.empty()) {
+    aggs.push_back({AggFunc::kSum, "r." + q.probe_agg_col, "total"});
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId an,
+                           pb.Aggregate(jn, {}, aggs));
+  PUSHSIP_RETURN_NOT_OK(pb.Finish(an));
+
+  TableScan* build_scan = pb.source_scans()[0];
+  TableScan* probe_scan = pb.source_scans()[1];
+
+  SessionResult out;
+  std::shared_ptr<AipSet> collected;
+  AipCacheKey key;
+  PUSHSIP_RETURN_NOT_OK(PrepareAipCache(
+      q, build.version, build.table->num_rows(), build_schema, probe_schema,
+      {probe_scan}, build_scan, &out, &collected, &key));
+
+  // The session occupies exactly one pooled worker: sources run
+  // sequentially on this thread, which the symmetric (doubly-pipelined)
+  // join accepts as just another input interleaving.
+  Stopwatch timer;
+  for (SourceOperator* src : pb.sources()) {
+    if (ctx.cancelled()) break;
+    const Status st = src->Run();
+    if (!st.ok() && st.code() != StatusCode::kCancelled) ctx.SetError(st);
+    if (!ctx.GetError().ok()) break;
+  }
+  PUSHSIP_RETURN_NOT_OK(ctx.GetError());
+  if (ctx.cancelled()) return Status::Cancelled("session cancelled");
+  if (!pb.sink()->finished()) {
+    return Status::Internal("sink did not finish");
+  }
+  out.stats = CollectQueryStats(&ctx, pb.sink(), timer.ElapsedSeconds());
+  out.rows = pb.sink()->TakeRows();
+  if (collected != nullptr) {
+    collected->Seal();
+    out.summary_entries = static_cast<int64_t>(collected->inserted_count());
+    out.summary_cached = cache_.Insert(key, collected);
+  }
+  return out;
+}
+
+Result<SessionResult> QueryServer::RunOnMesh(const SessionPtr& s) {
+  const ServeQuery& q = s->query;
+  const int N = opts_.num_sites;
+  PUSHSIP_ASSIGN_OR_RETURN(VersionedTable build,
+                           catalog_->GetTableWithVersion(q.build_table));
+  PUSHSIP_ASSIGN_OR_RETURN(TablePtr probe_full,
+                           catalog_->GetTable(q.probe_table));
+  std::shared_ptr<const ShardCatalogs> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards = shards_;
+  }
+
+  // Per-session sites/channels over the server's one shared mesh: links
+  // are the only contended resource, and Transmit bills this session's
+  // contexts, so DistQueryStats::bytes_shipped stays per-query.
+  auto dq = std::make_unique<DistributedQuery>();
+  dq->mesh = mesh_;
+  dq->mesh_shared = true;
+  for (int i = 0; i < N; ++i) {
+    dq->sites.push_back(std::make_unique<SiteEngine>(
+        i, "serve" + std::to_string(s->id) + "_s" + std::to_string(i),
+        (*shards)[static_cast<size_t>(i)]));
+    dq->sites.back()->context().set_batch_size(opts_.batch_size);
+    dq->sites.back()->context().set_exchange_idle_timeout_sec(
+        opts_.exchange_idle_timeout_sec);
+  }
+  auto ch = std::make_shared<ExchangeChannel>(opts_.channel_capacity);
+  ch->set_num_senders(N);
+  dq->channels.push_back(ch);
+
+  ScanOptions scan_opts;
+  scan_opts.delay_every_rows = opts_.scan_delay_every_rows;
+  scan_opts.delay_ms = opts_.scan_delay_ms;
+
+  const Schema probe_schema = MakeInstanceSchema(*probe_full, "r", 0);
+  const Schema build_schema = MakeInstanceSchema(*build.table, "b", 1);
+
+  // Shard fragments: scan the site's probe shard, project the needed
+  // columns, forward to the coordinator. A cached AIP summary attaches to
+  // every shard scan, so pruned rows never reach the wire.
+  std::vector<TableScan*> probe_scans;
+  std::vector<std::string> ship_cols{"r." + q.probe_key};
+  if (!q.probe_agg_col.empty()) ship_cols.push_back("r." + q.probe_agg_col);
+  Schema probe_out;
+  for (int i = 0; i < N; ++i) {
+    SiteEngine& site = *dq->sites[static_cast<size_t>(i)];
+    PlanBuilder& pb = site.NewFragment();
+    PUSHSIP_ASSIGN_OR_RETURN(
+        TablePtr shard,
+        (*shards)[static_cast<size_t>(i)]->GetTable(q.probe_table));
+    PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId rn,
+                             pb.ScanTable(shard, probe_schema, scan_opts));
+    PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId proj,
+                             pb.Project(rn, ship_cols));
+    probe_out = pb.schema(proj);
+    auto sender = std::make_unique<ExchangeSender>(
+        &site.context(), "xsend_probe", probe_out, ExchangeMode::kForward,
+        std::vector<int>{},
+        std::vector<ExchangeDestination>{{ch, mesh_->link(i, 0)}});
+    PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
+    probe_scans.push_back(pb.source_scans()[0]);
+  }
+
+  // Coordinator fragment (site 0): build-side scan + filter, join against
+  // the merged probe stream, global aggregate.
+  SiteEngine& coord = *dq->sites[0];
+  PlanBuilder& pb = coord.NewFragment();
+  auto recv = std::make_unique<ExchangeReceiver>(&coord.context(),
+                                                 "xrecv_probe", probe_out, ch);
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const PlanBuilder::NodeId rn,
+      pb.Source(std::move(recv),
+                static_cast<double>(probe_full->num_rows())));
+  PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId bn,
+                           pb.ScanTable(build.table, build_schema, scan_opts));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr fcol, pb.ColRef(bn, q.build_filter_col));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const PlanBuilder::NodeId bf,
+      pb.Filter(bn,
+                Cmp(CmpOp::kLt, std::move(fcol),
+                    LitInt(q.build_filter_upper)),
+                q.build_selectivity));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const PlanBuilder::NodeId jn,
+      pb.Join(bf, rn, {{"b." + q.build_key, "r." + q.probe_key}}));
+  std::vector<AggDesc> aggs{{AggFunc::kCount, "", "cnt"}};
+  if (!q.probe_agg_col.empty()) {
+    aggs.push_back({AggFunc::kSum, "r." + q.probe_agg_col, "total"});
+  }
+  PUSHSIP_ASSIGN_OR_RETURN(const PlanBuilder::NodeId an,
+                           pb.Aggregate(jn, {}, aggs));
+  PUSHSIP_RETURN_NOT_OK(pb.Finish(an));
+  dq->root_sink = pb.sink();
+  TableScan* build_scan = pb.source_scans()[0];
+
+  SessionResult out;
+  std::shared_ptr<AipSet> collected;
+  AipCacheKey key;
+  PUSHSIP_RETURN_NOT_OK(PrepareAipCache(
+      q, build.version, build.table->num_rows(), build_schema, probe_schema,
+      probe_scans, build_scan, &out, &collected, &key));
+
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->cancel_requested) return Status::Cancelled("session cancelled");
+    DistributedQuery* raw = dq.get();
+    s->cancel_hook = [raw] { raw->Cancel(); };
+  }
+  struct HookGuard {
+    SessionPtr s;
+    ~HookGuard() {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->cancel_hook = nullptr;
+    }
+  } hook_guard{s};
+
+  PUSHSIP_ASSIGN_OR_RETURN(const DistQueryStats d, dq->Run());
+  out.stats.elapsed_sec = d.elapsed_sec;
+  out.stats.result_rows = d.result_rows;
+  out.stats.peak_state_bytes = d.peak_state_bytes;
+  out.stats.rows_pruned = d.rows_pruned;
+  out.stats.rows_source_pruned = d.rows_source_pruned;
+  out.stats.bytes_shipped = d.bytes_shipped;
+  out.stats.link_seconds = d.link_seconds;
+  out.rows = dq->root_sink->TakeRows();
+  if (collected != nullptr) {
+    collected->Seal();
+    out.summary_entries = static_cast<int64_t>(collected->inserted_count());
+    out.summary_cached = cache_.Insert(key, collected);
+  }
+  return out;
+}
+
+Result<SessionResult> QueryServer::Wait(SessionId id) {
+  SessionPtr s;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return Status::NotFound("no such session");
+    s = it->second;
+  }
+  std::unique_lock<std::mutex> lock(s->mu);
+  s->cv.wait(lock, [&] { return s->terminal(); });
+  if (s->state == SessionState::kFinished) return s->result;
+  return s->error;
+}
+
+Status QueryServer::Cancel(SessionId id) {
+  SessionPtr s;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return Status::NotFound("no such session");
+    s = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->terminal()) return Status::OK();
+    s->cancel_requested = true;
+    // Invoked under s->mu so it cannot race the HookGuard that clears it
+    // just before the session's contexts are destroyed.
+    if (s->cancel_hook) s->cancel_hook();
+  }
+  {
+    // Empty critical section orders the flag write before the wakeup, so
+    // a session blocked in AdmitOrAbort cannot miss it.
+    std::lock_guard<std::mutex> lock(admit_mu_);
+  }
+  admit_cv_.notify_all();
+  return Status::OK();
+}
+
+SessionState QueryServer::state(SessionId id) const {
+  SessionPtr s;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return SessionState::kFailed;
+    s = it->second;
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->state;
+}
+
+Status QueryServer::ReplaceTable(TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  const std::string name = table->name();
+  PUSHSIP_RETURN_NOT_OK(catalog_->ReplaceTable(std::move(table)));
+  // Version-keying already makes the old summaries unreachable; eviction
+  // just frees their bytes immediately.
+  cache_.Invalidate(name);
+  if (opts_.num_sites > 1) {
+    auto fresh = std::make_shared<const ShardCatalogs>(PartitionCatalog(
+        *catalog_, opts_.sharded_tables, opts_.num_sites));
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards_ = std::move(fresh);
+  }
+  return Status::OK();
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats st;
+  st.submitted = submitted_.load();
+  st.finished = finished_.load();
+  st.failed = failed_.load();
+  st.cancelled = cancelled_.load();
+  st.admission_peak_bytes = admission_.peak_bytes();
+  st.cache = cache_.stats();
+  return st;
+}
+
+}  // namespace pushsip

@@ -1,0 +1,84 @@
+#include "sip/aip_cache.h"
+
+namespace pushsip {
+
+AipCache::AipCache(int64_t budget_bytes)
+    : budget_bytes_(budget_bytes < 0 ? 0 : budget_bytes) {}
+
+std::shared_ptr<const AipSet> AipCache::Lookup(const AipCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  return it->second->set;
+}
+
+bool AipCache::Insert(const AipCacheKey& key,
+                      std::shared_ptr<const AipSet> set) {
+  if (set == nullptr || !set->sealed()) return false;
+  const int64_t bytes = static_cast<int64_t>(set->SizeBytes());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) RemoveLocked(it->second);
+  if (bytes > budget_bytes_) return false;  // can never fit
+  EvictFor(bytes);
+  resident_.Add(bytes);
+  lru_.push_front(Entry{key, std::move(set), bytes});
+  index_[key] = lru_.begin();
+  ++stats_.inserts;
+  return true;
+}
+
+void AipCache::Invalidate(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.table == table) {
+      ++stats_.invalidations;
+      const auto victim = it++;
+      RemoveLocked(victim);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AipCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+  resident_.Release(resident_.current_bytes());
+}
+
+AipCacheStats AipCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t AipCache::resident_bytes() const {
+  return resident_.current_bytes();
+}
+
+size_t AipCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void AipCache::EvictFor(int64_t need) {
+  while (!lru_.empty() &&
+         resident_.current_bytes() + need > budget_bytes_) {
+    ++stats_.evictions;
+    RemoveLocked(std::prev(lru_.end()));
+  }
+}
+
+void AipCache::RemoveLocked(LruList::iterator it) {
+  resident_.Release(it->bytes);
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace pushsip

@@ -1,0 +1,120 @@
+// AipCache: cross-query reuse of AIP summaries. One query's sealed
+// Bloom/magic-set summary of a (table, predicate) pair is keyed here so a
+// later query over the same predicate attaches the cached summary instead
+// of rebuilding it — amortizing the paper's sideways-information-passing
+// work across a served workload rather than within one query.
+//
+// Correctness contract: a summary is only reusable against the *exact*
+// table contents it was built from. Keys therefore carry the catalog's
+// table version; regenerating a table bumps the version, making every
+// older summary unreachable (Invalidate additionally drops them eagerly).
+// A hit hands out a sealed, immutable set — concurrent sessions share the
+// shared_ptr without copying.
+#ifndef PUSHSIP_SIP_AIP_CACHE_H_
+#define PUSHSIP_SIP_AIP_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sip/aip_set.h"
+#include "util/memory_tracker.h"
+
+namespace pushsip {
+
+/// Identity of a cached summary: the exact rows it covers (table name at a
+/// catalog version) and the derivation that produced it (the predicate
+/// fingerprint — a canonical string of the source predicate — and the key
+/// column whose value hashes were collected).
+struct AipCacheKey {
+  std::string table;
+  uint64_t table_version = 0;
+  std::string predicate;
+  std::string key_column;
+
+  bool operator==(const AipCacheKey& o) const {
+    return table_version == o.table_version && table == o.table &&
+           predicate == o.predicate && key_column == o.key_column;
+  }
+};
+
+struct AipCacheKeyHash {
+  size_t operator()(const AipCacheKey& k) const {
+    std::hash<std::string> h;
+    size_t seed = h(k.table);
+    seed ^= std::hash<uint64_t>()(k.table_version) + 0x9e3779b97f4a7c15ULL +
+            (seed << 6) + (seed >> 2);
+    seed ^= h(k.predicate) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+            (seed >> 2);
+    seed ^= h(k.key_column) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+            (seed >> 2);
+    return seed;
+  }
+};
+
+/// Usage counters (monotonic; read at any time).
+struct AipCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserts = 0;
+  int64_t evictions = 0;       ///< dropped by the byte budget (LRU)
+  int64_t invalidations = 0;   ///< dropped by Invalidate(table)
+};
+
+/// \brief Shared, budgeted, versioned store of sealed AIP summaries.
+///
+/// Thread-safe. Eviction is LRU over a MemoryTracker byte budget: an
+/// insert that would exceed the budget evicts cold entries first; a single
+/// summary larger than the whole budget is not cached at all.
+class AipCache {
+ public:
+  /// `budget_bytes` caps the summed SizeBytes() of resident summaries.
+  explicit AipCache(int64_t budget_bytes);
+
+  /// Looks up `key`, refreshing its recency. Returns nullptr (and counts a
+  /// miss) when absent.
+  std::shared_ptr<const AipSet> Lookup(const AipCacheKey& key);
+
+  /// Caches `set` (which must be sealed) under `key`, evicting LRU entries
+  /// to fit the budget. Re-inserting an existing key refreshes the entry.
+  /// Returns whether the set is resident afterwards.
+  bool Insert(const AipCacheKey& key, std::shared_ptr<const AipSet> set);
+
+  /// Eagerly drops every entry of `table`, any version. Versioned keys
+  /// already make stale entries unreachable — this just frees their bytes
+  /// at the moment the table is replaced.
+  void Invalidate(const std::string& table);
+
+  void Clear();
+
+  AipCacheStats stats() const;
+  int64_t resident_bytes() const;
+  size_t entry_count() const;
+  int64_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Entry {
+    AipCacheKey key;
+    std::shared_ptr<const AipSet> set;
+    int64_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Drops the LRU tail until `need` more bytes fit. Caller holds mu_.
+  void EvictFor(int64_t need);
+  void RemoveLocked(LruList::iterator it);
+
+  const int64_t budget_bytes_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<AipCacheKey, LruList::iterator, AipCacheKeyHash> index_;
+  MemoryTracker resident_;
+  AipCacheStats stats_;
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_SIP_AIP_CACHE_H_

@@ -283,7 +283,7 @@ void AipManager::OnInputFinished(Operator* op, int port) {
                              : BloomFromHashes(unique, options_.target_fpr));
             secs = u->sp.scan_link->TransferSeconds(bytes.size());
             // RemoteNode links carry no fault injector; ignore the status.
-            (void)u->sp.scan_link->Transmit(bytes.size());
+            (void)u->sp.scan_link->Transmit(bytes.size(), ctx_);
           } else {
             secs = static_cast<double>(set->SizeBytes()) /
                    options_.ship_bandwidth_bytes_per_sec;

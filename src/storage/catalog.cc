@@ -7,19 +7,52 @@ namespace pushsip {
 Status Catalog::RegisterTable(TablePtr table) {
   if (!table) return Status::InvalidArgument("null table");
   const std::string name = table->name();
-  if (!tables_.emplace(name, std::move(table)).second) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tables_.emplace(name, VersionedTable{std::move(table), 1}).second) {
     return Status::AlreadyExists("table already registered: " + name);
   }
   return Status::OK();
 }
 
+Status Catalog::ReplaceTable(TablePtr table) {
+  if (!table) return Status::InvalidArgument("null table");
+  const std::string name = table->name();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  it->second.table = std::move(table);
+  ++it->second.version;
+  return Status::OK();
+}
+
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return it->second.table;
+}
+
+Result<VersionedTable> Catalog::GetTableWithVersion(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no table named " + name);
   return it->second;
 }
 
+uint64_t Catalog::TableVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? 0 : it->second.version;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
 std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
@@ -28,8 +61,9 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 size_t Catalog::FootprintBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t bytes = 0;
-  for (const auto& [_, table] : tables_) bytes += table->FootprintBytes();
+  for (const auto& [_, vt] : tables_) bytes += vt.table->FootprintBytes();
   return bytes;
 }
 

@@ -2,22 +2,52 @@
 #ifndef PUSHSIP_STORAGE_CATALOG_H_
 #define PUSHSIP_STORAGE_CATALOG_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "storage/table.h"
 
 namespace pushsip {
 
+/// A (table, version) snapshot taken atomically under the catalog lock.
+/// `version` starts at 1 on registration and increments on every
+/// ReplaceTable, so it keys cached derived artifacts (AIP summaries): a
+/// summary labeled with the version it was built from can never be
+/// mistaken for one over regenerated data.
+struct VersionedTable {
+  TablePtr table;
+  uint64_t version = 0;
+};
+
 /// \brief Registry of base tables available to queries.
+///
+/// Thread-safe: the serving layer shares one catalog across concurrent
+/// sessions and may regenerate tables between queries. Tables themselves
+/// stay immutable — "mutation" is replacing the TablePtr, which bumps the
+/// version while in-flight queries keep scanning their old snapshot.
 class Catalog {
  public:
   Status RegisterTable(TablePtr table);
+
+  /// Swaps the table registered under `table->name()` for `table` and bumps
+  /// its version. NotFound if no table of that name was ever registered.
+  Status ReplaceTable(TablePtr table);
+
   Result<TablePtr> GetTable(const std::string& name) const;
-  bool HasTable(const std::string& name) const {
-    return tables_.count(name) > 0;
-  }
+
+  /// Atomic (table, version) snapshot — the two must be read under one
+  /// lock: pairing a new version with an older TablePtr (or vice versa)
+  /// would let a cached summary carry a version it was not built from.
+  Result<VersionedTable> GetTableWithVersion(const std::string& name) const;
+
+  /// Current version of `name` (0 if absent).
+  uint64_t TableVersion(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
 
   std::vector<std::string> TableNames() const;
 
@@ -25,7 +55,8 @@ class Catalog {
   size_t FootprintBytes() const;
 
  private:
-  std::unordered_map<std::string, TablePtr> tables_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, VersionedTable> tables_;
 };
 
 }  // namespace pushsip

@@ -21,6 +21,24 @@ class MemoryTracker {
     }
   }
 
+  /// Reserves `bytes` only if the post-reservation total stays within
+  /// `limit`; returns whether the reservation was taken. CAS loop so
+  /// concurrent admitters never overshoot the budget between the check and
+  /// the add. A successful TryAdd is released with Release(), like Add.
+  bool TryAdd(int64_t bytes, int64_t limit) {
+    int64_t cur = current_.load(std::memory_order_relaxed);
+    do {
+      if (cur + bytes > limit) return false;
+    } while (!current_.compare_exchange_weak(cur, cur + bytes,
+                                             std::memory_order_relaxed));
+    const int64_t now = cur + bytes;
+    int64_t prev = peak_.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
   void Release(int64_t bytes) { current_.fetch_sub(bytes); }
 
   int64_t current_bytes() const { return current_.load(); }

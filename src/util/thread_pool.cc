@@ -12,12 +12,14 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
     tasks_.push(std::move(task));
   }
   cv_task_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {

@@ -21,8 +21,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Must not be called after Shutdown().
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Returns false (dropping the task) if Shutdown() has
+  /// already begun — safe to race with Shutdown from other threads, which
+  /// the serving layer does when tearing down while sessions are still
+  /// being submitted.
+  bool Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void WaitIdle();

@@ -1,0 +1,253 @@
+// Cross-query AIP cache: LRU/byte-budget mechanics of AipCache itself,
+// and the serving-layer invalidation contract — a summary built from one
+// version of a table must never prune a query over another version (a
+// stale Bloom summary silently drops answer rows, so these tests are
+// adversarial: they mutate the table so a stale attach WOULD change the
+// answer, then assert it didn't).
+#include "sip/aip_cache.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/serve/serve_test_util.h"
+#include "tests/testing/catalog_factory.h"
+
+namespace pushsip {
+namespace {
+
+using testing::ExpectRowsEqual;
+using testing::PartQuery;
+using testing::ReferenceRows;
+using testing::TinyTpchCatalog;
+
+std::shared_ptr<const AipSet> SealedSet(size_t entries) {
+  auto set = std::make_shared<AipSet>(AipSetKind::kBloom, entries, 0.01);
+  for (size_t i = 0; i < entries; ++i) set->Insert(i * 0x9e3779b9ULL);
+  set->Seal();
+  return set;
+}
+
+AipCacheKey Key(const std::string& table, uint64_t version,
+                const std::string& pred = "p_size<25") {
+  return AipCacheKey{table, version, pred, "p_partkey"};
+}
+
+TEST(AipCacheTest, LookupMissThenInsertThenHit) {
+  AipCache cache(1 << 20);
+  const AipCacheKey key = Key("part", 1);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  auto set = SealedSet(64);
+  EXPECT_TRUE(cache.Insert(key, set));
+  EXPECT_EQ(cache.Lookup(key), set);
+  const AipCacheStats st = cache.stats();
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.inserts, 1);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_GT(cache.resident_bytes(), 0);
+}
+
+TEST(AipCacheTest, RejectsUnsealedAndOversized) {
+  AipCache cache(1 << 20);
+  auto unsealed = std::make_shared<AipSet>(AipSetKind::kBloom, 64, 0.01);
+  EXPECT_FALSE(cache.Insert(Key("part", 1), unsealed));
+  EXPECT_FALSE(cache.Insert(Key("part", 1), nullptr));
+
+  AipCache tiny(1);  // smaller than any summary
+  EXPECT_FALSE(tiny.Insert(Key("part", 1), SealedSet(64)));
+  EXPECT_EQ(tiny.entry_count(), 0u);
+  EXPECT_EQ(tiny.resident_bytes(), 0);
+}
+
+TEST(AipCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  auto a = SealedSet(256), b = SealedSet(256), c = SealedSet(256);
+  const int64_t one = static_cast<int64_t>(a->SizeBytes());
+  AipCache cache(2 * one);  // room for exactly two summaries
+  ASSERT_TRUE(cache.Insert(Key("part", 1, "pa"), a));
+  ASSERT_TRUE(cache.Insert(Key("part", 1, "pb"), b));
+  // Touch A so B becomes the LRU victim.
+  ASSERT_NE(cache.Lookup(Key("part", 1, "pa")), nullptr);
+  ASSERT_TRUE(cache.Insert(Key("part", 1, "pc"), c));
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_NE(cache.Lookup(Key("part", 1, "pa")), nullptr);
+  EXPECT_NE(cache.Lookup(Key("part", 1, "pc")), nullptr);
+  EXPECT_EQ(cache.Lookup(Key("part", 1, "pb")), nullptr);
+  EXPECT_LE(cache.resident_bytes(), 2 * one);
+}
+
+TEST(AipCacheTest, VersionsAreDistinctKeysAndInvalidateDropsAll) {
+  AipCache cache(1 << 20);
+  auto v1 = SealedSet(64), v2 = SealedSet(64), other = SealedSet(64);
+  ASSERT_TRUE(cache.Insert(Key("part", 1), v1));
+  ASSERT_TRUE(cache.Insert(Key("part", 2), v2));
+  ASSERT_TRUE(cache.Insert(Key("supplier", 1), other));
+  EXPECT_EQ(cache.Lookup(Key("part", 1)), v1);
+  EXPECT_EQ(cache.Lookup(Key("part", 2)), v2);
+
+  cache.Invalidate("part");  // every version of the table
+  EXPECT_EQ(cache.Lookup(Key("part", 1)), nullptr);
+  EXPECT_EQ(cache.Lookup(Key("part", 2)), nullptr);
+  EXPECT_NE(cache.Lookup(Key("supplier", 1)), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2);
+}
+
+// ---- serving-layer invalidation ----
+
+/// A replacement "part" whose qualifying set under p_size < 25 is flipped:
+/// same keys, p_size' = 51 - p_size, so exactly the previously-failing
+/// rows now pass. A stale summary would prune precisely the wrong keys.
+TablePtr FlippedPart(const Catalog& catalog) {
+  const TablePtr old = *catalog.GetTable("part");
+  auto fresh = std::make_shared<Table>("part", old->schema());
+  const int size_col = *old->schema().IndexOf("p_size");
+  for (const Tuple& row : old->rows()) {
+    Tuple copy = row;
+    copy.at(static_cast<size_t>(size_col)) =
+        Value::Int64(51 - row.at(static_cast<size_t>(size_col)).AsInt64());
+    fresh->AppendRow(std::move(copy));
+  }
+  fresh->SetPrimaryKey(old->primary_key());
+  for (const Table::ForeignKey& fk : old->foreign_keys()) {
+    fresh->AddForeignKey(fk.col, fk.ref_table, fk.ref_col);
+  }
+  fresh->ComputeStats();
+  return fresh;
+}
+
+TEST(ServeCacheTest, StaleSummaryNeverAttachedAfterReplaceTable) {
+  auto catalog = TinyTpchCatalog();
+  const ServeQuery q = PartQuery(25);
+
+  ServeOptions opts;
+  opts.worker_threads = 1;
+  QueryServer server(catalog, opts);
+
+  auto cold_id = server.Submit(q);
+  ASSERT_TRUE(cold_id.ok());
+  auto cold = server.Wait(*cold_id);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_TRUE(cold->summary_cached);  // a stale candidate now exists
+
+  const uint64_t v_before = server.catalog()->TableVersion("part");
+  ASSERT_TRUE(server.ReplaceTable(FlippedPart(*catalog)).ok());
+  EXPECT_GT(server.catalog()->TableVersion("part"), v_before);
+  EXPECT_GE(server.cache_stats().invalidations, 1);
+
+  auto want = ReferenceRows(server.catalog(), q);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  auto id = server.Submit(q);
+  ASSERT_TRUE(id.ok());
+  auto res = server.Wait(*id);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  // Version keying: the old summary is unreachable, so this is a miss...
+  EXPECT_FALSE(res->aip_cache_hit);
+  // ...and the answer matches a fresh reference over the NEW data. Had the
+  // stale summary attached, it would prune the newly-qualifying keys.
+  ExpectRowsEqual(res->rows, *want);
+  // Guard that the mutation really changed the answer (the test would be
+  // vacuous otherwise).
+  EXPECT_FALSE(res->rows[0].at(0) == cold->rows[0].at(0));
+}
+
+TEST(ServeCacheTest, ReplaceTableOnlyAffectsLaterSessions) {
+  auto catalog = TinyTpchCatalog();
+  const ServeQuery q = PartQuery(25);
+  auto want_old = ReferenceRows(catalog, q);
+  ASSERT_TRUE(want_old.ok());
+
+  ServeOptions opts;
+  opts.worker_threads = 2;
+  QueryServer server(catalog, opts);
+  // Submissions race the replacement; each must match the reference for
+  // whichever version it snapshotted — old answer or new answer, never a
+  // cross-breed.
+  std::vector<QueryServer::SessionId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = server.Submit(q);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(server.ReplaceTable(FlippedPart(*catalog)).ok());
+  for (int i = 0; i < 4; ++i) {
+    auto id = server.Submit(q);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  auto want_new = ReferenceRows(server.catalog(), q);
+  ASSERT_TRUE(want_new.ok());
+  for (const auto id : ids) {
+    auto res = server.Wait(id);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    const bool matches_old = res->rows[0].at(0) == (*want_old)[0].at(0) &&
+                             res->rows[0].at(1) == (*want_old)[0].at(1);
+    const bool matches_new = res->rows[0].at(0) == (*want_new)[0].at(0) &&
+                             res->rows[0].at(1) == (*want_new)[0].at(1);
+    EXPECT_TRUE(matches_old || matches_new)
+        << "answer matches neither table version: "
+        << res->rows[0].at(0).ToString() << ", "
+        << res->rows[0].at(1).ToString();
+  }
+}
+
+TEST(ServeCacheTest, ThrashingEvictionKeepsAnswersCorrect) {
+  auto catalog = TinyTpchCatalog();
+  const TablePtr part = *catalog->GetTable("part");
+  // A budget of exactly one summary: every insert evicts the previous one,
+  // so alternating predicates never hit and always recollect.
+  const AipSet probe_size(AipSetKind::kBloom, part->num_rows(), 0.01);
+  ServeOptions opts;
+  opts.worker_threads = 1;
+  opts.aip_cache_budget_bytes = static_cast<int64_t>(probe_size.SizeBytes());
+  QueryServer server(catalog, opts);
+
+  const ServeQuery qa = PartQuery(15), qb = PartQuery(35);
+  auto want_a = ReferenceRows(catalog, qa);
+  auto want_b = ReferenceRows(catalog, qb);
+  ASSERT_TRUE(want_a.ok());
+  ASSERT_TRUE(want_b.ok());
+  for (int round = 0; round < 3; ++round) {
+    for (const ServeQuery* q : {&qa, &qb}) {
+      auto id = server.Submit(*q);
+      ASSERT_TRUE(id.ok());
+      auto res = server.Wait(*id);
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      EXPECT_FALSE(res->aip_cache_hit);
+      EXPECT_GT(res->summary_entries, 0);  // rebuilt every time
+      ExpectRowsEqual(res->rows, q == &qa ? *want_a : *want_b);
+    }
+  }
+  const AipCacheStats cs = server.cache_stats();
+  EXPECT_EQ(cs.hits, 0);
+  EXPECT_EQ(cs.misses, 6);
+  EXPECT_GE(cs.evictions, 5);  // each insert after the first evicts
+  EXPECT_EQ(server.cache_stats().inserts, 6);
+}
+
+TEST(ServeCacheTest, ZeroBudgetDisablesCachingButNotAnswers) {
+  auto catalog = TinyTpchCatalog();
+  const ServeQuery q = PartQuery(25);
+  auto want = ReferenceRows(catalog, q);
+  ASSERT_TRUE(want.ok());
+
+  ServeOptions opts;
+  opts.worker_threads = 1;
+  opts.aip_cache_budget_bytes = 0;
+  QueryServer server(catalog, opts);
+  for (int run = 0; run < 2; ++run) {
+    auto id = server.Submit(q);
+    ASSERT_TRUE(id.ok());
+    auto res = server.Wait(*id);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_FALSE(res->aip_cache_hit);
+    EXPECT_FALSE(res->summary_cached);
+    ExpectRowsEqual(res->rows, *want);
+  }
+  const AipCacheStats cs = server.cache_stats();
+  EXPECT_EQ(cs.hits, 0);
+  EXPECT_EQ(cs.misses, 0);  // the cache was never even consulted
+}
+
+}  // namespace
+}  // namespace pushsip

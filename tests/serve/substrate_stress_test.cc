@@ -1,0 +1,120 @@
+// Stress tests for the concurrency substrate the serving layer leans on:
+// ThreadPool's shutdown/drain contract (queued work still runs; Submit
+// after shutdown refuses instead of wedging) and MemoryTracker::TryAdd's
+// reservation loop (concurrent reserve/release never overshoots the
+// limit, and nothing leaks).
+#include "util/memory_tracker.h"
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_rng.h"
+
+namespace pushsip {
+namespace {
+
+TEST(ThreadPoolStressTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(1);
+  // Head task holds the single worker so the rest genuinely queue.
+  ASSERT_TRUE(pool.Submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ran.fetch_add(1);
+  }));
+  constexpr int kQueued = 16;
+  for (int i = 0; i < kQueued; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();  // must drain, not drop
+  EXPECT_EQ(ran.load(), kQueued + 1);
+}
+
+TEST(ThreadPoolStressTest, SubmitAfterShutdownReturnsFalse) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([&] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 0);
+}
+
+// Submissions racing Shutdown: every accepted task (Submit returned true)
+// runs exactly once; refused tasks run zero times. No count ever goes
+// missing in the race window.
+TEST(ThreadPoolStressTest, SubmitShutdownRaceLosesNoAcceptedTask) {
+  const uint64_t seed = testing::TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+
+  std::atomic<int> accepted{0};
+  std::atomic<int> executed{0};
+  auto pool = std::make_unique<ThreadPool>(4);
+  constexpr int kSubmitters = 4;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (pool->Submit([&] { executed.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  pool->Shutdown();
+  for (std::thread& t : submitters) t.join();
+  pool.reset();
+  EXPECT_EQ(executed.load(), accepted.load());
+}
+
+TEST(MemoryTrackerStressTest, TryAddBoundary) {
+  MemoryTracker tracker;
+  const int64_t limit = 1000;
+  EXPECT_TRUE(tracker.TryAdd(1000, limit));
+  EXPECT_FALSE(tracker.TryAdd(1, limit));
+  tracker.Release(500);
+  EXPECT_TRUE(tracker.TryAdd(500, limit));
+  EXPECT_FALSE(tracker.TryAdd(1, limit));
+  tracker.Release(1000);
+  EXPECT_EQ(tracker.current_bytes(), 0);
+  EXPECT_EQ(tracker.peak_bytes(), 1000);
+}
+
+// Hammer TryAdd/Release from many threads: at no observable instant does
+// the reservation exceed the limit (TryAdd reserves with a CAS loop, so
+// there is no add-then-check overshoot window), and after all releases the
+// tracker is exactly empty.
+TEST(MemoryTrackerStressTest, ConcurrentTryAddNeverExceedsLimit) {
+  const uint64_t seed = testing::TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+
+  MemoryTracker tracker;
+  const int64_t limit = 1 << 20;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  std::atomic<bool> overshoot{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng = testing::SeededRandom(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        const int64_t bytes = rng.UniformInt(1, 64 << 10);
+        if (tracker.TryAdd(bytes, limit)) {
+          if (tracker.current_bytes() > limit) overshoot.store(true);
+          tracker.Release(bytes);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(overshoot.load());
+  EXPECT_EQ(tracker.current_bytes(), 0);
+  EXPECT_LE(tracker.peak_bytes(), limit);
+  EXPECT_GT(tracker.peak_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace pushsip

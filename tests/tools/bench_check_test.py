@@ -138,6 +138,43 @@ class BenchCheckTest(unittest.TestCase):
         proc = self.run_check(base, fresh)
         self.assert_graceful(proc, 0)
 
+    def run_check_metrics(self, baseline, fresh, metrics):
+        return subprocess.run(
+            [sys.executable, SCRIPT, "--baseline", baseline,
+             "--fresh", fresh, "--metrics", metrics],
+            capture_output=True, text=True)
+
+    def test_latency_percentile_regression_fails(self):
+        base = self.write("base.json", report([cell(p50_ms=4.0, p99_ms=9.0)]))
+        fresh = self.write("fresh.json",
+                           report([cell(p50_ms=4.0, p99_ms=30.0)]))
+        proc = self.run_check_metrics(base, fresh, "p50_ms,p99_ms")
+        self.assert_graceful(proc, 1)
+        self.assertIn("p99_ms", proc.stderr)
+
+    def test_qps_drop_is_a_regression(self):
+        # qps is higher-is-better: a big DROP fails...
+        base = self.write("base.json", report([cell(qps=100.0)]))
+        fresh = self.write("fresh.json", report([cell(qps=50.0)]))
+        proc = self.run_check_metrics(base, fresh, "qps")
+        self.assert_graceful(proc, 1)
+        self.assertIn("qps", proc.stderr)
+
+    def test_qps_gain_is_not_a_regression(self):
+        # ...while the same-magnitude GAIN passes (the lower-is-better rule
+        # would flag it).
+        base = self.write("base.json", report([cell(qps=100.0)]))
+        fresh = self.write("fresh.json", report([cell(qps=200.0)]))
+        proc = self.run_check_metrics(base, fresh, "qps")
+        self.assert_graceful(proc, 0)
+
+    def test_sub_floor_latencies_are_ignored(self):
+        # Sub-floor baselines (here p50 < 0.5 ms) are noise, not signal.
+        base = self.write("base.json", report([cell(p50_ms=0.2)]))
+        fresh = self.write("fresh.json", report([cell(p50_ms=0.45)]))
+        proc = self.run_check_metrics(base, fresh, "p50_ms")
+        self.assert_graceful(proc, 0)
+
     def test_multiple_baseline_pairs_all_clean(self):
         b1 = self.write("b1.json", report([cell(query="A")]))
         b2 = self.write("b2.json", report([cell(query="B")]))

@@ -32,7 +32,14 @@ MEANINGFUL_FLOOR = {
     "bytes_shipped": 4096,      # bytes
     "elapsed_sec": 0.005,       # seconds
     "peak_state_mb": 0.01,      # MB
+    "p50_ms": 0.5,              # milliseconds
+    "p99_ms": 0.5,              # milliseconds
+    "qps": 1.0,                 # queries/second
 }
+
+# Most metrics are costs (lower is better); throughput metrics invert: a
+# regression is fresh *dropping* below baseline * (1 - threshold).
+HIGHER_IS_BETTER = {"qps"}
 
 
 def load_cells(path):
@@ -103,7 +110,11 @@ def check_pair(baseline_path, fresh_path, metrics, threshold):
             floor = MEANINGFUL_FLOOR.get(metric, 0)
             ratio = (new / base) if base > 0 else float("inf") if new else 1.0
             flag = ""
-            if base > floor and new > base * (1.0 + threshold):
+            if metric in HIGHER_IS_BETTER:
+                regressed = base > floor and new < base * (1.0 - threshold)
+            else:
+                regressed = base > floor and new > base * (1.0 + threshold)
+            if regressed:
                 regressions.append((name, metric, base, new, ratio))
                 flag = "  << REGRESSION"
             print(f"{name:<44} {metric:<14} {base:>12.6g} {new:>12.6g} "
