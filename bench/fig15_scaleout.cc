@@ -20,11 +20,19 @@
 // site. The report compares the runs — straggler-recovery overhead plus
 // migration/recalibration counters, all emitted in --json — and fails if
 // no migration happened or the answers differ.
+//
+// --transport=tcp switches to the multi-process mode: each query runs once
+// in-process over the simulated mesh and once as N pushsip_site processes
+// over real loopback TCP (both with deterministic receiver merging), and
+// the two serialized answers must be bit-identical. The report compares
+// wall time and wire bytes across the backends.
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
 #include "adaptive/reopt_controller.h"
 #include "bench/figure_harness.h"
+#include "dist/multi_process.h"
 #include "dist/scale_out.h"
 #include "net/fault_injector.h"
 
@@ -240,6 +248,106 @@ int RunStraggleSiteMode(const HarnessOptions& opts, int straggle_site,
   return 0;
 }
 
+/// --transport=tcp: sim (in-process) vs TCP (multi-process) on `sites`
+/// sites; the serialized answers must match byte for byte.
+int RunTcpTransportMode(const HarnessOptions& opts, int sites,
+                        bool weak_filter) {
+  TpchConfig gen;
+  gen.scale_factor = opts.scale_factor;
+  gen.seed = opts.seed;
+  auto catalog = MakeTpchCatalog(gen);
+
+  std::printf("# Fig. 15 transport mode: %d sites, sim in-process vs tcp "
+              "multi-process (sf=%g)\n",
+              sites, opts.scale_factor);
+  std::printf("%-18s %-5s %12s %14s %10s\n", "query", "wire", "time(ms)",
+              "shipped MB", "rows");
+
+  std::vector<JsonRecord> records;
+  for (const ScaleOutQuery q :
+       {ScaleOutQuery::kQ17, ScaleOutQuery::kSubquery}) {
+    // Reference: the whole query in this process over the simulated mesh,
+    // receivers merging deterministically.
+    ScaleOutOptions so;
+    so.num_sites = sites;
+    so.aip = true;
+    so.weak_part_filter = weak_filter;
+    so.deterministic_merge = true;
+    auto query = BuildScaleOutQuery(q, catalog, so);
+    if (!query.ok()) {
+      std::fprintf(stderr, "FAILED build: %s\n",
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    auto sim_stats = (*query)->Run();
+    if (!sim_stats.ok()) {
+      std::fprintf(stderr, "FAILED sim run: %s\n",
+                   sim_stats.status().ToString().c_str());
+      return 1;
+    }
+    Batch sim_rows;
+    sim_rows.rows = (*query)->root_sink->TakeRows();
+    std::sort(sim_rows.rows.begin(), sim_rows.rows.end(),
+              [](const Tuple& a, const Tuple& b) { return a.Compare(b) < 0; });
+    const std::string sim_wire =
+        SerializeBatch(sim_rows, WireFormatVersion::kRowMajor);
+
+    // The same query as N real processes over loopback TCP.
+    MultiProcessOptions mp;
+    mp.query = q;
+    mp.scale_factor = opts.scale_factor;
+    mp.seed = opts.seed;
+    mp.num_sites = sites;
+    mp.aip = true;
+    mp.weak_part_filter = weak_filter;
+    mp.deterministic_merge = true;
+    auto tcp = RunMultiProcess(mp);
+    if (!tcp.ok()) {
+      std::fprintf(stderr, "FAILED tcp run: %s\n",
+                   tcp.status().ToString().c_str());
+      return 1;
+    }
+
+    if (tcp->rows_wire != sim_wire) {
+      std::fprintf(stderr,
+                   "FAILED: %s answers differ between sim and tcp (%zu vs "
+                   "%zu serialized bytes)\n",
+                   ScaleOutQueryName(q), sim_wire.size(),
+                   tcp->rows_wire.size());
+      return 1;
+    }
+
+    for (const bool is_tcp : {false, true}) {
+      const DistQueryStats& stats = is_tcp ? tcp->stats : *sim_stats;
+      std::printf("%-18s %-5s %12.1f %14.3f %10lld\n", ScaleOutQueryName(q),
+                  is_tcp ? "tcp" : "sim", stats.elapsed_sec * 1e3,
+                  stats.shipped_mb(),
+                  static_cast<long long>(is_tcp ? stats.result_rows
+                                                : sim_stats->result_rows));
+      JsonRecord record;
+      record.query = ScaleOutQueryName(q);
+      record.strategy = "Cost-based";
+      record.transport = is_tcp ? "tcp" : "sim";
+      record.sites = sites;
+      record.elapsed_sec = stats.elapsed_sec;
+      record.peak_state_mb = stats.peak_state_mb();
+      record.rows_pruned = stats.rows_pruned + stats.rows_source_pruned;
+      record.bytes_shipped = stats.bytes_shipped;
+      record.metric_mean = stats.elapsed_sec;
+      records.push_back(record);
+    }
+    std::printf("# %s: answers bit-identical (%zu serialized bytes)\n",
+                ScaleOutQueryName(q), sim_wire.size());
+  }
+  if (!opts.json_path.empty() &&
+      !WriteJsonReport(opts.json_path, "fig15_scaleout_tcp",
+                       "Fig. 15 transport - sim vs tcp multi-process", opts,
+                       records)) {
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -250,6 +358,7 @@ int main(int argc, char** argv) {
   int64_t kill_after = 200;
   int straggle_site = -1;
   double straggle_bw = 2e5;
+  bool tcp_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--max-sites=", 12) == 0) {
       max_sites = std::atoi(argv[i] + 12);
@@ -267,7 +376,15 @@ int main(int argc, char** argv) {
       straggle_site = 1;
     } else if (std::strncmp(argv[i], "--straggle-bw=", 14) == 0) {
       straggle_bw = std::atof(argv[i] + 14);
+    } else if (std::strcmp(argv[i], "--transport=tcp") == 0) {
+      tcp_mode = true;
+    } else if (std::strcmp(argv[i], "--transport=sim") == 0) {
+      tcp_mode = false;
     }
+  }
+  if (tcp_mode) {
+    const int sites = max_sites >= 2 ? std::min(max_sites, 4) : 4;
+    return RunTcpTransportMode(opts, sites, opts.scale_factor < 0.01);
   }
   if (kill_site >= 0) {
     const int sites = max_sites >= 2 ? max_sites : 4;

@@ -90,6 +90,10 @@ bool WriteJsonReport(const std::string& path, const std::string& id,
                  i == 0 ? "" : ",", JsonEscape(r.query).c_str(),
                  JsonEscape(r.strategy).c_str());
     if (r.sites > 0) std::fprintf(f, ", \"sites\": %d", r.sites);
+    if (!r.transport.empty() && r.transport != "sim") {
+      std::fprintf(f, ", \"transport\": \"%s\"",
+                   JsonEscape(r.transport).c_str());
+    }
     std::fprintf(f,
                  ", \"elapsed_sec\": %.6f, \"peak_state_mb\": %.6f,"
                  " \"rows_pruned\": %lld, \"bytes_shipped\": %lld,"

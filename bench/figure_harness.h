@@ -58,6 +58,10 @@ HarnessOptions ParseArgs(int argc, char** argv);
 struct JsonRecord {
   std::string query;
   std::string strategy;
+  /// Which transport carried the exchange traffic: "sim" (the simulated
+  /// mesh, the default everywhere) or "tcp" (real loopback sockets,
+  /// multi-process). bench_check compares like vs like only.
+  std::string transport = "sim";
   int sites = 0;  ///< 0 for single-site benchmarks
   double elapsed_sec = 0;
   double peak_state_mb = 0;

@@ -89,6 +89,9 @@ Result<DistQueryStats> DistributedQuery::Run() {
   const auto cancel_all = [this] {
     for (auto& site : sites) site->context().Cancel();
     for (auto& channel : channels) channel->Cancel();
+    // A fatal error must also unblock senders stalled on transport flow
+    // control (credits that will never be granted) and stop feeding peers.
+    if (transport != nullptr) transport->Shutdown();
   };
 
   std::mutex mu;
@@ -96,6 +99,10 @@ Result<DistQueryStats> DistributedQuery::Run() {
   std::vector<std::thread> threads;
   std::vector<FragmentRun> runs;
   for (auto& site : sites) {
+    // Multi-process mode: every process assembles the full topology (so
+    // channel ids and sender slots agree everywhere) but runs only the
+    // fragments its site hosts.
+    if (local_site >= 0 && site->id() != local_site) continue;
     for (const auto& fragment : site->fragments()) {
       FragmentRun run;
       run.site = site.get();
@@ -183,7 +190,14 @@ Result<DistQueryStats> DistributedQuery::Run() {
         // consumers dedup exactly as for an in-place replay). 3) Re-ship
         // Bloom summaries that never reached a producer during the outage,
         // so pruning survives recovery. 4) Replay from the scan.
-        if (fault_injector != nullptr) fault_injector->HealFired();
+        if (transport != nullptr) {
+          // Redial dead connections (TCP) / heal fired faults (sim). A
+          // failed heal is not fatal here: the replay will fail again and
+          // re-enter this path until the restart budget runs out.
+          (void)transport->Heal();
+        } else if (fault_injector != nullptr) {
+          fault_injector->HealFired();
+        }
         bool migrated = false;
         if (supervisor != nullptr &&
             supervisor->ShouldMigrate(run.fragment, run.attempts)) {
@@ -226,14 +240,15 @@ Result<DistQueryStats> DistributedQuery::Run() {
     const Status err = site->context().GetError();
     if (!err.ok()) return err;
   }
-  if (!root_sink->finished()) {
+  const bool root_is_local = local_site < 0 || local_site == root_site;
+  if (root_is_local && !root_sink->finished()) {
     return Status::Internal(
         "root sink did not finish although all fragments completed");
   }
 
   DistQueryStats stats;
   stats.elapsed_sec = timer.ElapsedSeconds();
-  stats.result_rows = root_sink->num_rows();
+  stats.result_rows = root_is_local ? root_sink->num_rows() : 0;
   stats.fragment_restarts = restarts;
   stats.aip_reships = reships;
   if (fault_injector != nullptr) {
@@ -264,7 +279,13 @@ Result<DistQueryStats> DistributedQuery::Run() {
       stats.aip_ship_seconds += manager->ship_seconds();
     }
   }
-  if (mesh_shared) {
+  if (transport != nullptr) {
+    // Bytes this endpoint pushed onto the wire (data + control frames). In
+    // multi-process mode the coordinator sums the per-site reports.
+    const LinkUsage usage = transport->TotalUsage();
+    stats.bytes_shipped = usage.bytes;
+    stats.link_seconds = usage.seconds;
+  } else if (mesh_shared) {
     // The mesh carries other queries' traffic too: report only what this
     // query's contexts were billed for at their Transmit call sites.
     for (auto& site : sites) {

@@ -194,6 +194,20 @@ struct DistributedQuery {
   /// The adaptive runtime, when installed (adaptive::InstallAdaptiveRuntime);
   /// null = PR 3 behaviour (in-place restarts only, no preemption).
   std::shared_ptr<AdaptiveSupervisor> adaptive;
+  /// This process's transport endpoint, when the query runs over one (the
+  /// sim or TCP backend behind the Transport interface). Run() then calls
+  /// transport->Heal() in the recovery sequence and folds
+  /// transport->TotalUsage() into bytes_shipped/link_seconds.
+  std::shared_ptr<Transport> transport;
+  /// Multi-process execution: when >= 0, Run() launches only the fragments
+  /// hosted on this site (the full topology is still assembled everywhere
+  /// so channel ids and sender slots agree across processes). Negative =
+  /// run every fragment in this process.
+  int local_site = -1;
+  /// Site hosting the root fragment (whose Sink holds the answer). Result
+  /// rows and the sink-finished invariant are only checked where the root
+  /// actually ran.
+  int root_site = 0;
 
   /// Unblocks every thread waiting on a channel or context of this query —
   /// safe to call at any time, including before Run() (the early-error

@@ -1,5 +1,7 @@
 #include "dist/exchange.h"
 
+#include <algorithm>
+
 #include "net/wire_format.h"
 
 namespace pushsip {
@@ -11,55 +13,6 @@ const char* ExchangeModeName(ExchangeMode mode) {
     case ExchangeMode::kHashPartition: return "hash";
   }
   return "?";
-}
-
-bool ExchangeChannel::SendBatch(std::string bytes) {
-  const int64_t payload = static_cast<int64_t>(bytes.size());
-  std::unique_lock<std::mutex> lock(mu_);
-  can_send_.wait(lock,
-                 [this] { return cancelled_ || queue_.size() < capacity_; });
-  if (cancelled_) return false;
-  queue_.push_back(std::move(bytes));
-  messages_sent_.fetch_add(1);
-  payload_bytes_.fetch_add(payload);
-  can_recv_.notify_one();
-  return true;
-}
-
-void ExchangeChannel::SendFinish() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++finished_senders_;
-  can_recv_.notify_all();
-}
-
-ExchangeChannel::RecvStatus ExchangeChannel::Receive(
-    std::string* bytes, std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const bool ready = can_recv_.wait_for(lock, timeout, [this] {
-    return cancelled_ || !queue_.empty() || finished_senders_ >= num_senders_;
-  });
-  if (!ready) return RecvStatus::kTimeout;
-  if (cancelled_) return RecvStatus::kCancelled;
-  if (queue_.empty()) return RecvStatus::kEndOfStream;
-  *bytes = std::move(queue_.front());
-  queue_.pop_front();
-  can_send_.notify_one();
-  return RecvStatus::kMessage;
-}
-
-bool ExchangeChannel::Receive(std::string* bytes) {
-  while (true) {
-    const RecvStatus r = Receive(bytes, std::chrono::milliseconds(100));
-    if (r == RecvStatus::kTimeout) continue;
-    return r == RecvStatus::kMessage;
-  }
-}
-
-void ExchangeChannel::Cancel() {
-  std::lock_guard<std::mutex> lock(mu_);
-  cancelled_ = true;
-  can_send_.notify_all();
-  can_recv_.notify_all();
 }
 
 ExchangeSender::ExchangeSender(ExecContext* ctx, std::string name,
@@ -120,25 +73,35 @@ Status ExchangeSender::Send(size_t dest_index, const Batch& batch,
                                frame.replayable, *body, dest.wire)
           : SerializeBatchFrame(frame.sender, frame.epoch, frame.seq,
                                 frame.replayable, batch, dest.wire);
-  // The link is charged before enqueueing — transfer time blocks this
-  // producer thread, not the receiver — and a downed link fails the
-  // transmission before the frame reaches the queue, so enqueued means
-  // delivered. Counters move only after the transmission succeeded:
-  // frames killed by an injected fault were never sent.
-  if (dest.link != nullptr) {
-    PUSHSIP_RETURN_NOT_OK(dest.link->Transmit(bytes.size(), ctx_));
+  const size_t wire_bytes = bytes.size();
+  if (dest.remote != nullptr) {
+    // Out-of-process consumer: the transport edge carries the frame
+    // (billing + flow control happen inside SendFrame). kUnavailable on a
+    // dead connection is the same restart signal a downed SimLink raises.
+    PUSHSIP_RETURN_NOT_OK(
+        dest.remote->SendFrame(std::move(bytes), ctx_, nullptr));
+  } else {
+    // The link is charged before enqueueing — transfer time blocks this
+    // producer thread, not the receiver — and a downed link fails the
+    // transmission before the frame reaches the queue, so enqueued means
+    // delivered. Counters move only after the transmission succeeded:
+    // frames killed by an injected fault were never sent.
+    if (dest.link != nullptr) {
+      PUSHSIP_RETURN_NOT_OK(dest.link->Transmit(wire_bytes, ctx_));
+    }
+    double stalled = 0;
+    const bool sent = dest.channel->SendBatch(std::move(bytes), &stalled);
+    stall_micros_.fetch_add(static_cast<int64_t>(stalled * 1e6));
+    if (!sent) return Status::Cancelled("exchange channel cancelled");
   }
-  bytes_sent_.fetch_add(static_cast<int64_t>(bytes.size()));
+  bytes_sent_.fetch_add(static_cast<int64_t>(wire_bytes));
   batches_sent_.fetch_add(1);
   rows_sent_[dest_index].fetch_add(static_cast<int64_t>(batch.size()));
   // Feed the observed wire bytes/row back to the AIP ship-vs-save cost
   // model, so its link-savings term reflects the compressed sizes actually
   // crossing the mesh.
   ctx_->RecordWireSample(static_cast<int64_t>(batch.size()),
-                         static_cast<int64_t>(bytes.size()));
-  if (!dest.channel->SendBatch(std::move(bytes))) {
-    return Status::Cancelled("exchange channel cancelled");
-  }
+                         static_cast<int64_t>(wire_bytes));
   return Status::OK();
 }
 
@@ -187,7 +150,13 @@ Status ExchangeSender::DoPush(int, Batch&& batch) {
 }
 
 Status ExchangeSender::DoFinish(int) {
-  for (const auto& dest : destinations_) dest.channel->SendFinish();
+  for (const auto& dest : destinations_) {
+    if (dest.remote != nullptr) {
+      PUSHSIP_RETURN_NOT_OK(dest.remote->SendFinish());
+    } else {
+      dest.channel->SendFinish();
+    }
+  }
   return Status::OK();
 }
 
@@ -200,6 +169,7 @@ Status ExchangeReceiver::Run() {
                                     : options_.idle_timeout_sec;
   double idle_sec = 0;
   std::string bytes;
+  std::vector<HeldFrame> held;
   while (true) {
     const ExchangeChannel::RecvStatus r = channel_->Receive(&bytes, poll);
     if (ShouldStop()) return Status::Cancelled("query cancelled");
@@ -241,9 +211,29 @@ Status ExchangeReceiver::Run() {
       progress.high_water = static_cast<int64_t>(frame.seq);
     }
     batches_received_.fetch_add(1);
+    if (options_.ordered_merge) {
+      held.push_back(HeldFrame{frame.sender, frame.seq,
+                               std::move(frame.batch)});
+      continue;
+    }
     PUSHSIP_RETURN_NOT_OK(Emit(std::move(frame.batch)));
   }
   if (ShouldStop()) return Status::Cancelled("query cancelled");
+  if (options_.ordered_merge) {
+    // Deterministic merge: the accepted set is arrival-order-independent
+    // (dedup is by content identity), so sorting it by (sender, seq)
+    // yields one canonical emission order regardless of backend or
+    // scheduler interleave.
+    std::sort(held.begin(), held.end(),
+              [](const HeldFrame& a, const HeldFrame& b) {
+                return a.sender != b.sender ? a.sender < b.sender
+                                            : a.seq < b.seq;
+              });
+    for (HeldFrame& frame : held) {
+      PUSHSIP_RETURN_NOT_OK(Emit(std::move(frame.batch)));
+      if (ShouldStop()) return Status::Cancelled("query cancelled");
+    }
+  }
   return EmitFinish();
 }
 

@@ -1,8 +1,9 @@
 // Exchange operators: the cut points of a fragmented plan. An
 // ExchangeSender terminates a fragment, serializes every batch, moves the
-// bytes across a SimLink, and enqueues them on one or more channels; the
-// paired ExchangeReceiver is a source operator of the consuming fragment
-// that deserializes and re-emits the stream on its own site's thread.
+// bytes across the transport (a SimLink or a real TCP connection), and
+// enqueues them on the consumer's channel; the paired ExchangeReceiver is
+// a source operator of the consuming fragment that deserializes and
+// re-emits the stream on its own site's thread.
 //
 // Modes (Carnot/Exchange-style):
 //   * kForward    — one channel, the whole stream (site-boundary cut)
@@ -26,10 +27,7 @@
 #define PUSHSIP_DIST_EXCHANGE_H_
 
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,73 +35,11 @@
 #include "exec/scan.h"
 #include "exec/source.h"
 #include "net/sim_link.h"
+#include "net/transport/channel.h"
+#include "net/transport/transport.h"
 #include "net/wire_format.h"
 
 namespace pushsip {
-
-/// \brief A bounded MPSC queue of serialized batches feeding one receiver.
-///
-/// Senders block for queue capacity (backpressure); the simulated links are
-/// charged by the senders before enqueueing, since each producing site
-/// reaches the channel over its own link.
-class ExchangeChannel {
- public:
-  explicit ExchangeChannel(size_t capacity = 64)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
-
-  /// Declares how many ExchangeSenders feed this channel; the receiver sees
-  /// end-of-stream after that many SendFinish calls. Must be set before the
-  /// query runs.
-  void set_num_senders(int n) { num_senders_ = n; }
-  int num_senders() const { return num_senders_; }
-
-  /// Hands out the next per-channel sender slot; ExchangeSender calls this
-  /// once per destination so concurrent streams into one channel are
-  /// distinguishable in the frame header.
-  int AllocSenderSlot() { return next_slot_.fetch_add(1); }
-
-  /// Enqueues one serialized batch. Returns false if the channel was
-  /// cancelled while blocked on capacity.
-  bool SendBatch(std::string bytes);
-
-  /// Signals that one sender's stream is complete.
-  void SendFinish();
-
-  /// Outcome of one bounded Receive call.
-  enum class RecvStatus {
-    kMessage,      ///< `bytes` holds the next message
-    kEndOfStream,  ///< all senders finished and the queue is drained
-    kTimeout,      ///< nothing arrived within the window
-    kCancelled,    ///< the channel was cancelled
-  };
-
-  /// Dequeues the next message into `bytes`, waiting at most `timeout`.
-  RecvStatus Receive(std::string* bytes, std::chrono::milliseconds timeout);
-
-  /// Unbounded variant kept for direct channel users: true iff a message
-  /// was dequeued; false at end of stream or after cancellation.
-  bool Receive(std::string* bytes);
-
-  /// Unblocks all senders and receivers; subsequent operations fail fast.
-  void Cancel();
-
-  int64_t messages_sent() const { return messages_sent_.load(); }
-  int64_t payload_bytes() const { return payload_bytes_.load(); }
-
- private:
-  const size_t capacity_;
-  int num_senders_ = 1;
-
-  std::mutex mu_;
-  std::condition_variable can_send_;
-  std::condition_variable can_recv_;
-  std::deque<std::string> queue_;
-  int finished_senders_ = 0;
-  bool cancelled_ = false;
-  std::atomic<int> next_slot_{0};
-  std::atomic<int64_t> messages_sent_{0};
-  std::atomic<int64_t> payload_bytes_{0};
-};
 
 /// Routing policy of an ExchangeSender.
 enum class ExchangeMode {
@@ -114,11 +50,17 @@ enum class ExchangeMode {
 
 const char* ExchangeModeName(ExchangeMode mode);
 
-/// One outgoing edge of an ExchangeSender: the queue it feeds and the link
-/// the bytes cross to reach it (nullptr for a site-local loopback).
+/// One outgoing edge of an ExchangeSender. In-process (simulated) edges
+/// carry `channel` (the consumer's queue, enqueued directly after charging
+/// `link`); edges whose consumer lives in another process carry `remote`
+/// (a transport ChannelSender) instead, and the local channel/link are
+/// bypassed entirely.
 struct ExchangeDestination {
   std::shared_ptr<ExchangeChannel> channel;
   std::shared_ptr<SimLink> link;
+  /// Transport edge toward an out-of-process consumer; when set it
+  /// supersedes channel+link for this destination.
+  std::shared_ptr<ChannelSender> remote = nullptr;
   /// Wire version negotiated for this link. Receivers dispatch on the
   /// frame header's version byte, so a mesh can mix old (row-major) and
   /// new (columnar compressed) links frame by frame.
@@ -140,6 +82,12 @@ class ExchangeSender : public Operator {
   /// ScanOptions::window_batches.
   void BindSeqSource(const TableScan* scan) { seq_source_ = scan; }
   const TableScan* seq_source() const { return seq_source_; }
+
+  /// Reroutes destination `i` over the transport (multi-process wiring:
+  /// the consumer runs in another process). Call before the query runs.
+  void SetRemote(size_t dest_index, std::shared_ptr<ChannelSender> remote) {
+    destinations_[dest_index].remote = std::move(remote);
+  }
 
   /// Advances the epoch and rewinds the arrival seq counters; part of the
   /// fragment-restart reset.
@@ -163,6 +111,16 @@ class ExchangeSender : public Operator {
   int64_t rows_sent(size_t i) const { return rows_sent_[i].load(); }
   const std::vector<ExchangeDestination>& destinations() const {
     return destinations_;
+  }
+
+  /// Cumulative seconds this sender spent blocked on backpressure: local
+  /// queue-capacity waits plus the transport senders' credit stalls.
+  double stall_seconds() const override {
+    double total = static_cast<double>(stall_micros_.load()) / 1e6;
+    for (const ExchangeDestination& dest : destinations_) {
+      if (dest.remote != nullptr) total += dest.remote->stall_seconds();
+    }
+    return total;
   }
 
  protected:
@@ -192,6 +150,7 @@ class ExchangeSender : public Operator {
   std::atomic<uint32_t> epoch_{0};
   std::atomic<int64_t> bytes_sent_{0};
   std::atomic<int64_t> batches_sent_{0};
+  std::atomic<int64_t> stall_micros_{0};
 };
 
 /// Liveness/teardown knobs of an ExchangeReceiver.
@@ -206,6 +165,13 @@ struct ReceiverOptions {
   double idle_timeout_sec = -1.0;
   /// Wake-up cadence while waiting; also bounds teardown latency.
   int poll_ms = 25;
+  /// Buffer every accepted frame and emit the whole stream sorted by
+  /// (sender slot, seq) at end-of-stream. Arrival interleave across
+  /// senders is scheduler- (and network-) dependent; the sorted order is
+  /// not, so a query whose receivers all merge deterministically produces
+  /// bit-identical output across backends — what the sim-vs-TCP parity
+  /// check asserts. Costs the stream's full buffering; off by default.
+  bool ordered_merge = false;
 };
 
 /// \brief Source operator of a consuming fragment: drains one channel,
@@ -239,6 +205,12 @@ class ExchangeReceiver : public SourceOperator {
   struct SenderProgress {
     uint32_t epoch = 0;
     int64_t high_water = -1;
+  };
+  /// One buffered frame of an ordered_merge receiver.
+  struct HeldFrame {
+    uint32_t sender;
+    uint64_t seq;
+    Batch batch;
   };
 
   std::shared_ptr<ExchangeChannel> channel_;

@@ -95,8 +95,18 @@ struct Assembly {
   }
 
   /// A shipper delivering AIP filters from consumer site `at` to every
-  /// site (the producers of a hash/broadcast shuffle).
+  /// site (the producers of a hash/broadcast shuffle). Multi-process
+  /// builds route the shipments over the transport instead of the
+  /// (meaningless in that mode) private sim mesh.
   RemoteFilterShipFn ShipToAllSites(int at) {
+    if (opts->transport != nullptr) {
+      std::vector<std::pair<int, SiteEngine*>> producers;
+      for (int to = 0; to < sites; ++to) {
+        producers.emplace_back(to, &site(to));
+      }
+      return MakeTransportFilterShipper(std::move(producers),
+                                        opts->transport);
+    }
     std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>> producers;
     for (int to = 0; to < sites; ++to) {
       producers.emplace_back(&site(to), link(at, to));
@@ -116,11 +126,21 @@ struct Assembly {
                           std::unordered_map<AttrId, double> ndv,
                           RemoteFilterShipFn ship, bool partitioned = false) {
     ReceiverOptions ro;  // heartbeat inherited from the site's ExecContext
+    ro.ordered_merge = opts->deterministic_merge;
     auto recv = std::make_unique<ExchangeReceiver>(pb.context(), name,
                                                    schema, channel, ro);
     PUSHSIP_ASSIGN_OR_RETURN(
         const NodeId id, pb.Source(std::move(recv), est_rows, std::move(ndv),
                                    std::move(ship), partitioned));
+    // Record which site consumes this channel — the multi-process wiring
+    // pass needs it to decide which exchange edges cross process
+    // boundaries.
+    for (int s = 0; s < sites; ++s) {
+      if (&site(s).context() == pb.context()) {
+        channel->set_consumer_site(s);
+        break;
+      }
+    }
     q->exchange_consumers.push_back({channel.get(), pb.plan_node(id)});
     return id;
   }

@@ -47,6 +47,18 @@ struct ScaleOutOptions {
   /// many-queries-one-mesh mode. Sets DistributedQuery::mesh_shared, so
   /// the query reports only its own link traffic.
   std::shared_ptr<SiteMesh> shared_mesh;
+  /// Multi-process execution: this process's transport endpoint. When set,
+  /// the build still assembles the full topology (channel ids and sender
+  /// slots must agree across processes) but AIP filter shipping goes over
+  /// the transport, and the caller is expected to wire the exchange edges
+  /// (dist/multi_process.h) and set DistributedQuery::local_site before
+  /// running. Null = classic single-process simulation.
+  std::shared_ptr<Transport> transport;
+  /// Give every receiver ReceiverOptions::ordered_merge: buffer the stream
+  /// and emit it sorted by (sender, seq) at end-of-stream, making the
+  /// final answer bit-identical across backends and schedulers. Used by
+  /// the sim-vs-TCP parity check; costs full stream buffering.
+  bool deterministic_merge = false;
 };
 
 /// The two distributed workloads.

@@ -7,66 +7,6 @@
 
 namespace pushsip {
 
-SiteMesh::SiteMesh(int num_sites, double bandwidth_bps, double latency_ms)
-    : num_sites_(num_sites) {
-  PUSHSIP_DCHECK(num_sites > 0);
-  links_.resize(static_cast<size_t>(num_sites) * num_sites);
-  for (int from = 0; from < num_sites; ++from) {
-    for (int to = 0; to < num_sites; ++to) {
-      if (from == to) continue;
-      links_[static_cast<size_t>(from) * num_sites + to] =
-          std::make_shared<SimLink>(bandwidth_bps, latency_ms);
-    }
-  }
-}
-
-void SiteMesh::InstallFaultInjector(std::shared_ptr<FaultInjector> injector) {
-  for (int from = 0; from < num_sites_; ++from) {
-    for (int to = 0; to < num_sites_; ++to) {
-      if (from == to) continue;
-      links_[static_cast<size_t>(from) * num_sites_ + to]->SetFaultInjector(
-          injector, from, to);
-    }
-  }
-}
-
-const std::shared_ptr<SimLink>& SiteMesh::link(int from, int to) const {
-  PUSHSIP_DCHECK(from >= 0 && from < num_sites_);
-  PUSHSIP_DCHECK(to >= 0 && to < num_sites_);
-  if (from == to) return null_link_;
-  return links_[static_cast<size_t>(from) * num_sites_ + to];
-}
-
-LinkUsage SiteMesh::OutboundUsage(int site) const {
-  LinkUsage total;
-  if (site < 0 || site >= num_sites_) return total;
-  for (int to = 0; to < num_sites_; ++to) {
-    const auto& l = link(site, to);
-    if (l == nullptr) continue;
-    total.bytes += l->bytes_transferred();
-    total.seconds += l->busy_seconds();
-  }
-  return total;
-}
-
-void SiteMesh::ThrottleOutbound(int site, double bandwidth_bps) {
-  if (site < 0 || site >= num_sites_) return;
-  for (int to = 0; to < num_sites_; ++to) {
-    const auto& l = link(site, to);
-    if (l != nullptr) l->set_bandwidth_bps(bandwidth_bps);
-  }
-}
-
-LinkUsage SiteMesh::TotalUsage() const {
-  LinkUsage total;
-  for (const auto& link : links_) {
-    if (link == nullptr) continue;
-    total.bytes += link->bytes_transferred();
-    total.seconds += link->busy_seconds();
-  }
-  return total;
-}
-
 SiteEngine::SiteEngine(int id, std::string name,
                        std::shared_ptr<Catalog> catalog)
     : id_(id), name_(std::move(name)), catalog_(std::move(catalog)) {}
@@ -190,6 +130,52 @@ RemoteFilterShipFn MakeFilterShipper(
     if (attached == 0) {
       return Status::NotFound("no remote scan carries the filtered attr");
     }
+    return seconds;
+  };
+}
+
+RemoteFilterShipFn MakeTransportFilterShipper(
+    std::vector<std::pair<int, SiteEngine*>> producers,
+    std::shared_ptr<Transport> transport) {
+  struct ShipState {
+    std::mutex mu;
+    std::map<std::string, std::pair<std::vector<bool>, double>> by_label;
+  };
+  auto state = std::make_shared<ShipState>();
+  return [producers, state, transport](AttrId attr, const BloomFilter& filter,
+                                       const std::string& label)
+             -> Result<double> {
+    std::lock_guard<std::mutex> lock(state->mu);
+    auto& [delivered, seconds] = state->by_label[label];
+    delivered.resize(producers.size(), false);
+    Status ship_failure = Status::OK();
+    for (size_t i = 0; i < producers.size(); ++i) {
+      const auto& [site, engine] = producers[i];
+      if (delivered[i]) continue;
+      if (site == transport->local_site()) {
+        // Local producer: same serialize/deserialize round-trip a socket
+        // delivery would perform, then a direct attach.
+        const std::string bytes = SerializeFilterMessage(attr, filter);
+        PUSHSIP_ASSIGN_OR_RETURN(FilterMessage msg,
+                                 DeserializeFilterMessage(bytes));
+        auto set = std::make_shared<AipSet>(std::move(msg.filter));
+        engine->AttachRemoteFilter(msg.attr, std::move(set), label);
+        delivered[i] = true;
+        continue;
+      }
+      Result<double> shipped =
+          transport->ShipFilter(site, label, attr, filter);
+      if (!shipped.ok()) {
+        // Unreachable site: it keeps streaming unfiltered for now. Report
+        // the failure so the AIP manager queues a re-ship after recovery,
+        // but keep delivering to the reachable producers.
+        if (ship_failure.ok()) ship_failure = shipped.status();
+        continue;
+      }
+      seconds += *shipped;
+      delivered[i] = true;
+    }
+    if (!ship_failure.ok()) return ship_failure;
     return seconds;
   };
 }

@@ -11,40 +11,12 @@
 
 #include "dist/exchange.h"
 #include "net/fault_injector.h"
+#include "net/mesh.h"
+#include "net/transport/transport.h"
 #include "sip/aip_manager.h"
 #include "workload/plan_builder.h"
 
 namespace pushsip {
-
-/// \brief The pairwise links of a set of sites. link(i, i) is nullptr: a
-/// site-local exchange is a loopback that costs nothing.
-class SiteMesh {
- public:
-  SiteMesh(int num_sites, double bandwidth_bps, double latency_ms);
-
-  int num_sites() const { return num_sites_; }
-  const std::shared_ptr<SimLink>& link(int from, int to) const;
-
-  /// Arms every link of the mesh with `injector` (chaos testing / the
-  /// --kill-site bench mode). Call before the query runs.
-  void InstallFaultInjector(std::shared_ptr<FaultInjector> injector);
-
-  /// Traffic summed over every link of the mesh.
-  LinkUsage TotalUsage() const;
-
-  /// Traffic summed over `site`'s outgoing links (a per-site progress
-  /// signal for the adaptive StatsMonitor).
-  LinkUsage OutboundUsage(int site) const;
-
-  /// Re-rates every outgoing link of `site` — the straggler injection used
-  /// by tests and bench_fig15_scaleout --straggle-site. Safe mid-query.
-  void ThrottleOutbound(int site, double bandwidth_bps);
-
- private:
-  int num_sites_;
-  std::shared_ptr<SimLink> null_link_;
-  std::vector<std::shared_ptr<SimLink>> links_;  // row-major, diagonal null
-};
 
 /// \brief One site: catalog partition + execution context + fragments.
 class SiteEngine {
@@ -124,6 +96,18 @@ class SiteEngine {
 RemoteFilterShipFn MakeFilterShipper(
     std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>> producers,
     ExecContext* bill_to = nullptr);
+
+/// Transport-backed variant for multi-process queries: each producer is a
+/// (site id, engine) pair where `engine` is non-null only for the local
+/// site. Local producers get the filter attached directly (after a full
+/// serialize/deserialize round-trip, for symmetry); remote producers
+/// receive it via Transport::ShipFilter, delivered by the far side's
+/// filter handler. The same per-label memo semantics as MakeFilterShipper:
+/// a re-ship after a connection failure retries only the producers the
+/// label never reached.
+RemoteFilterShipFn MakeTransportFilterShipper(
+    std::vector<std::pair<int, SiteEngine*>> producers,
+    std::shared_ptr<Transport> transport);
 
 }  // namespace pushsip
 

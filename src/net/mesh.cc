@@ -1,0 +1,66 @@
+#include "net/mesh.h"
+
+namespace pushsip {
+
+SiteMesh::SiteMesh(int num_sites, double bandwidth_bps, double latency_ms)
+    : num_sites_(num_sites) {
+  PUSHSIP_DCHECK(num_sites > 0);
+  links_.resize(static_cast<size_t>(num_sites) * num_sites);
+  for (int from = 0; from < num_sites; ++from) {
+    for (int to = 0; to < num_sites; ++to) {
+      if (from == to) continue;
+      links_[static_cast<size_t>(from) * num_sites + to] =
+          std::make_shared<SimLink>(bandwidth_bps, latency_ms);
+    }
+  }
+}
+
+void SiteMesh::InstallFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  injector_ = injector;
+  for (int from = 0; from < num_sites_; ++from) {
+    for (int to = 0; to < num_sites_; ++to) {
+      if (from == to) continue;
+      links_[static_cast<size_t>(from) * num_sites_ + to]->SetFaultInjector(
+          injector, from, to);
+    }
+  }
+}
+
+const std::shared_ptr<SimLink>& SiteMesh::link(int from, int to) const {
+  PUSHSIP_DCHECK(from >= 0 && from < num_sites_);
+  PUSHSIP_DCHECK(to >= 0 && to < num_sites_);
+  if (from == to) return null_link_;
+  return links_[static_cast<size_t>(from) * num_sites_ + to];
+}
+
+LinkUsage SiteMesh::OutboundUsage(int site) const {
+  LinkUsage total;
+  if (site < 0 || site >= num_sites_) return total;
+  for (int to = 0; to < num_sites_; ++to) {
+    const auto& l = link(site, to);
+    if (l == nullptr) continue;
+    total.bytes += l->bytes_transferred();
+    total.seconds += l->busy_seconds();
+  }
+  return total;
+}
+
+void SiteMesh::ThrottleOutbound(int site, double bandwidth_bps) {
+  if (site < 0 || site >= num_sites_) return;
+  for (int to = 0; to < num_sites_; ++to) {
+    const auto& l = link(site, to);
+    if (l != nullptr) l->set_bandwidth_bps(bandwidth_bps);
+  }
+}
+
+LinkUsage SiteMesh::TotalUsage() const {
+  LinkUsage total;
+  for (const auto& link : links_) {
+    if (link == nullptr) continue;
+    total.bytes += link->bytes_transferred();
+    total.seconds += link->busy_seconds();
+  }
+  return total;
+}
+
+}  // namespace pushsip

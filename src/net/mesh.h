@@ -1,0 +1,52 @@
+// SiteMesh: the pairwise simulated links of a set of sites. Lives in net/
+// (below dist/) so transport backends can be built over it; dist re-exports
+// it through site_engine.h.
+#ifndef PUSHSIP_NET_MESH_H_
+#define PUSHSIP_NET_MESH_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "net/fault_injector.h"
+#include "net/sim_link.h"
+
+namespace pushsip {
+
+/// \brief The pairwise links of a set of sites. link(i, i) is nullptr: a
+/// site-local exchange is a loopback that costs nothing.
+class SiteMesh {
+ public:
+  SiteMesh(int num_sites, double bandwidth_bps, double latency_ms);
+
+  int num_sites() const { return num_sites_; }
+  const std::shared_ptr<SimLink>& link(int from, int to) const;
+
+  /// Arms every link of the mesh with `injector` (chaos testing / the
+  /// --kill-site bench mode). Call before the query runs.
+  void InstallFaultInjector(std::shared_ptr<FaultInjector> injector);
+  const std::shared_ptr<FaultInjector>& fault_injector() const {
+    return injector_;
+  }
+
+  /// Traffic summed over every link of the mesh.
+  LinkUsage TotalUsage() const;
+
+  /// Traffic summed over `site`'s outgoing links (a per-site progress
+  /// signal for the adaptive StatsMonitor).
+  LinkUsage OutboundUsage(int site) const;
+
+  /// Re-rates every outgoing link of `site` — the straggler injection used
+  /// by tests and bench_fig15_scaleout --straggle-site. Safe mid-query.
+  void ThrottleOutbound(int site, double bandwidth_bps);
+
+ private:
+  int num_sites_;
+  std::shared_ptr<SimLink> null_link_;
+  std::shared_ptr<FaultInjector> injector_;
+  std::vector<std::shared_ptr<SimLink>> links_;  // row-major, diagonal null
+};
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_NET_MESH_H_

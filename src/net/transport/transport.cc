@@ -1,0 +1,37 @@
+#include "net/transport/transport.h"
+
+namespace pushsip {
+
+std::string EncodeFilterShipment(const std::string& label, AttrId attr,
+                                 const BloomFilter& filter) {
+  std::string out;
+  const uint16_t len = static_cast<uint16_t>(
+      label.size() > 0xffff ? 0xffff : label.size());
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.append(label.data(), len);
+  out.append(SerializeFilterMessage(attr, filter));
+  return out;
+}
+
+Result<FilterShipment> DecodeFilterShipment(const std::string& payload) {
+  if (payload.size() < 2) {
+    return Status::InvalidArgument("filter shipment: truncated header");
+  }
+  const size_t len =
+      static_cast<size_t>(static_cast<uint8_t>(payload[0])) |
+      static_cast<size_t>(static_cast<uint8_t>(payload[1])) << 8;
+  if (payload.size() < 2 + len) {
+    return Status::InvalidArgument("filter shipment: truncated label");
+  }
+  FilterShipment out;
+  out.label.assign(payload.data() + 2, len);
+  PUSHSIP_ASSIGN_OR_RETURN(
+      FilterMessage msg,
+      DeserializeFilterMessage(payload.substr(2 + len)));
+  out.attr = msg.attr;
+  out.filter = std::move(msg.filter);
+  return out;
+}
+
+}  // namespace pushsip

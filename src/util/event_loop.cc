@@ -1,0 +1,141 @@
+#include "util/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pushsip {
+
+EventLoop::~EventLoop() { Stop(); }
+
+Status EventLoop::Start() {
+  if (running_.load()) return Status::OK();
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+    return Status::Internal(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    close(wake_fd_);
+    close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+    return Status::Internal(std::string("epoll_ctl(wake): ") +
+                            std::strerror(errno));
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void EventLoop::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Nudge the loop out of epoll_wait.
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks_.clear();
+    posted_.clear();
+  }
+  close(wake_fd_);
+  close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+Status EventLoop::Watch(int fd, uint32_t events, FdCallback cb) {
+  if (!running_.load()) return Status::Internal("loop not running");
+  auto shared = std::make_shared<FdCallback>(std::move(cb));
+  bool replace = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = callbacks_.try_emplace(fd, shared);
+    if (!inserted) {
+      it->second = std::move(shared);
+      replace = true;
+    }
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, replace ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, fd,
+                &ev) != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks_.erase(fd);
+    return Status::Internal(std::string("epoll_ctl: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Unwatch(int fd) {
+  bool known = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    known = callbacks_.erase(fd) > 0;
+  }
+  if (known && epoll_fd_ >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load()) return;
+    posted_.push_back(std::move(fn));
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load()) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone — only happens during teardown races
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      std::shared_ptr<FdCallback> cb;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = callbacks_.find(fd);
+        if (it != callbacks_.end()) cb = it->second;
+      }
+      if (cb != nullptr) (*cb)(events[i].events);
+    }
+    // Posted tasks run after fd dispatch, outside the lock.
+    std::vector<std::function<void()>> tasks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks.swap(posted_);
+    }
+    for (auto& t : tasks) t();
+  }
+}
+
+}  // namespace pushsip

@@ -335,6 +335,66 @@ TEST(ExchangeTest, ReceiverDropsStaleEpochsAndDuplicateSeqs) {
 }
 
 // A corrupt frame fails the receiver with an error — never a crash.
+TEST(ExchangeTest, SlowConsumerNeverGrowsTheQueuePastItsByteCap) {
+  // Regression: a producer outrunning a slow consumer must park on the
+  // channel's byte cap, never accumulate an unbounded queue (OOM). The
+  // frame cap is deliberately huge so the byte cap is what binds.
+  constexpr size_t kMaxBytes = 64 << 10;
+  constexpr size_t kFrameBytes = 8 << 10;
+  constexpr int kFrames = 100;
+  auto channel = std::make_shared<ExchangeChannel>(/*capacity=*/1 << 20,
+                                                   kMaxBytes);
+  channel->set_num_senders(1);
+
+  double stalled = 0;
+  std::thread producer([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      EXPECT_TRUE(channel->SendBatch(std::string(kFrameBytes, 'x'),
+                                     &stalled));
+    }
+    channel->SendFinish();
+  });
+
+  size_t peak_bytes = 0;
+  int received = 0;
+  std::string bytes;
+  while (channel->Receive(&bytes)) {
+    peak_bytes = std::max(peak_bytes,
+                          channel->queued_bytes() + bytes.size());
+    ++received;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // slow
+  }
+  producer.join();
+
+  EXPECT_EQ(received, kFrames);
+  // The cap plus at most the one frame admitted at the boundary.
+  EXPECT_LE(peak_bytes, kMaxBytes + kFrameBytes);
+  EXPECT_GT(stalled, 0.0);  // the producer really was held back
+}
+
+TEST(ExchangeTest, OversizedFrameIsAdmittedAloneNotDeadlocked) {
+  // A single frame larger than the byte cap must pass when the queue is
+  // empty (stall, not deadlock) and still count toward backpressure.
+  constexpr size_t kMaxBytes = 4 << 10;
+  auto channel = std::make_shared<ExchangeChannel>(/*capacity=*/8,
+                                                   kMaxBytes);
+  channel->set_num_senders(1);
+
+  std::thread producer([&] {
+    EXPECT_TRUE(channel->SendBatch(std::string(3 * kMaxBytes, 'y')));
+    EXPECT_TRUE(channel->SendBatch("after"));  // blocks until the drain
+    channel->SendFinish();
+  });
+
+  std::string bytes;
+  ASSERT_TRUE(channel->Receive(&bytes));
+  EXPECT_EQ(bytes.size(), 3 * kMaxBytes);
+  ASSERT_TRUE(channel->Receive(&bytes));
+  EXPECT_EQ(bytes, "after");
+  EXPECT_FALSE(channel->Receive(&bytes));  // end of stream
+  producer.join();
+}
+
 TEST(ExchangeTest, ReceiverErrorsOnCorruptFrame) {
   const Schema schema = TwoIntSchema();
   ExecContext recv_ctx;

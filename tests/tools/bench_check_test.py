@@ -175,6 +175,36 @@ class BenchCheckTest(unittest.TestCase):
         proc = self.run_check_metrics(base, fresh, "p50_ms")
         self.assert_graceful(proc, 0)
 
+    def test_transport_cells_compare_like_vs_like(self):
+        # sim and tcp cells of the same (query, strategy, sites) are
+        # different cells: a tcp regression must be caught even when the
+        # sim cell next to it is clean.
+        base = self.write("base.json", report([
+            cell(), cell(transport="tcp", elapsed_sec=2.0)]))
+        fresh = self.write("fresh.json", report([
+            cell(), cell(transport="tcp", elapsed_sec=8.0)]))
+        proc = self.run_check_metrics(base, fresh, "elapsed_sec")
+        self.assert_graceful(proc, 1)
+        self.assertIn("tcp", proc.stderr)
+
+    def test_transport_cells_never_cross_match(self):
+        # A tcp-only fresh report shares no cell with a sim-only baseline
+        # even at identical (query, strategy, sites): exit 2, not a bogus
+        # sim-vs-tcp ratio.
+        base = self.write("base.json", report([cell()]))
+        fresh = self.write("fresh.json", report([cell(transport="tcp")]))
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 2)
+        self.assertIn("no cells matched", proc.stderr)
+
+    def test_absent_transport_means_sim(self):
+        # Reports written before the transport field existed match
+        # explicit "sim" cells — the default keeps old baselines alive.
+        base = self.write("base.json", report([cell()]))
+        fresh = self.write("fresh.json", report([cell(transport="sim")]))
+        proc = self.run_check(base, fresh)
+        self.assert_graceful(proc, 0)
+
     def test_multiple_baseline_pairs_all_clean(self):
         b1 = self.write("b1.json", report([cell(query="A")]))
         b2 = self.write("b2.json", report([cell(query="B")]))

@@ -1,0 +1,194 @@
+// EventLoop: the epoll reactor under the TCP transport. Covers readiness
+// dispatch, Post, Unwatch semantics, re-watching, and idempotent
+// lifecycle — the primitives every socket above it leans on.
+#include "util/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace pushsip {
+namespace {
+
+/// A connected socketpair whose fds close with the fixture.
+class EventLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+    ASSERT_TRUE(loop_.Start().ok());
+  }
+  void TearDown() override {
+    loop_.Stop();
+    close(fds_[0]);
+    close(fds_[1]);
+  }
+
+  /// Waits until `pred` holds, failing after ~2 s.
+  template <typename Pred>
+  void WaitFor(Pred pred) {
+    for (int i = 0; i < 1000 && !pred(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_TRUE(pred());
+  }
+
+  EventLoop loop_;
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(EventLoopTest, StartIsIdempotent) {
+  EXPECT_TRUE(loop_.running());
+  EXPECT_TRUE(loop_.Start().ok());
+  EXPECT_TRUE(loop_.running());
+}
+
+TEST_F(EventLoopTest, DispatchesReadableFd) {
+  std::mutex mu;
+  std::string got;
+  loop_.Watch(fds_[0], EPOLLIN, [&](uint32_t events) {
+    if ((events & EPOLLIN) == 0) return;
+    char buf[64];
+    const ssize_t n = read(fds_[0], buf, sizeof(buf));
+    if (n > 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      got.append(buf, static_cast<size_t>(n));
+    }
+  });
+  ASSERT_EQ(write(fds_[1], "ping", 4), 4);
+  WaitFor([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return got == "ping";
+  });
+}
+
+TEST_F(EventLoopTest, CallbacksRunOnTheLoopThread) {
+  std::atomic<bool> checked{false};
+  std::atomic<bool> on_loop{false};
+  loop_.Watch(fds_[0], EPOLLIN, [&](uint32_t) {
+    char buf[8];
+    (void)read(fds_[0], buf, sizeof(buf));
+    on_loop.store(loop_.IsLoopThread());
+    checked.store(true);
+  });
+  EXPECT_FALSE(loop_.IsLoopThread());
+  ASSERT_EQ(write(fds_[1], "x", 1), 1);
+  WaitFor([&] { return checked.load(); });
+  EXPECT_TRUE(on_loop.load());
+}
+
+TEST_F(EventLoopTest, PostRunsSoonOnTheLoopThread) {
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    loop_.Post([&] { ran.fetch_add(1); });
+  }
+  WaitFor([&] { return ran.load() == 10; });
+}
+
+TEST_F(EventLoopTest, UnwatchStopsDispatch) {
+  std::atomic<int> fires{0};
+  loop_.Watch(fds_[0], EPOLLIN, [&](uint32_t) {
+    char buf[8];
+    (void)read(fds_[0], buf, sizeof(buf));
+    fires.fetch_add(1);
+  });
+  ASSERT_EQ(write(fds_[1], "a", 1), 1);
+  WaitFor([&] { return fires.load() == 1; });
+
+  loop_.Unwatch(fds_[0]);
+  ASSERT_EQ(write(fds_[1], "b", 1), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(fires.load(), 1);  // the unwatched fd stays silent
+}
+
+TEST_F(EventLoopTest, RewatchReplacesTheCallback) {
+  std::atomic<int> first{0}, second{0};
+  auto drain = [&] {
+    char buf[8];
+    (void)read(fds_[0], buf, sizeof(buf));
+  };
+  loop_.Watch(fds_[0], EPOLLIN, [&, drain](uint32_t) {
+    drain();
+    first.fetch_add(1);
+  });
+  ASSERT_EQ(write(fds_[1], "a", 1), 1);
+  WaitFor([&] { return first.load() >= 1; });
+
+  loop_.Watch(fds_[0], EPOLLIN, [&, drain](uint32_t) {
+    drain();
+    second.fetch_add(1);
+  });
+  const int first_before = first.load();
+  ASSERT_EQ(write(fds_[1], "b", 1), 1);
+  WaitFor([&] { return second.load() >= 1; });
+  EXPECT_EQ(first.load(), first_before);
+}
+
+TEST_F(EventLoopTest, PeerHangupIsDelivered) {
+  std::atomic<bool> hup{false};
+  loop_.Watch(fds_[0], EPOLLIN, [&](uint32_t events) {
+    char buf[8];
+    if (read(fds_[0], buf, sizeof(buf)) == 0 || (events & EPOLLHUP) != 0) {
+      hup.store(true);
+      loop_.Unwatch(fds_[0]);  // level-triggered: stop the EOF storm
+    }
+  });
+  close(fds_[1]);
+  fds_[1] = -1;
+  // Reopen a dummy so TearDown's close targets a valid fd.
+  WaitFor([&] { return hup.load(); });
+  int dummy[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, dummy), 0);
+  close(dummy[0]);
+  fds_[1] = dummy[1];
+}
+
+TEST_F(EventLoopTest, StopJoinsAndFurtherPostsAreDropped) {
+  loop_.Stop();
+  EXPECT_FALSE(loop_.running());
+  loop_.Post([] { FAIL() << "posted after Stop must not run"; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  loop_.Stop();  // idempotent
+}
+
+TEST_F(EventLoopTest, ManyWatchersDispatchIndependently) {
+  constexpr int kPairs = 8;
+  int pairs[kPairs][2];
+  std::atomic<int> seen[kPairs];
+  for (int i = 0; i < kPairs; ++i) {
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, pairs[i]), 0);
+    seen[i].store(0);
+    loop_.Watch(pairs[i][0], EPOLLIN, [&, i](uint32_t) {
+      char buf[16];
+      const ssize_t n = read(pairs[i][0], buf, sizeof(buf));
+      if (n > 0) seen[i].fetch_add(static_cast<int>(n));
+    });
+  }
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < kPairs; ++i) {
+      ASSERT_EQ(write(pairs[i][1], "z", 1), 1);
+    }
+  }
+  WaitFor([&] {
+    for (int i = 0; i < kPairs; ++i) {
+      if (seen[i].load() != 5) return false;
+    }
+    return true;
+  });
+  for (int i = 0; i < kPairs; ++i) {
+    loop_.Unwatch(pairs[i][0]);
+    close(pairs[i][0]);
+    close(pairs[i][1]);
+  }
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -10,8 +10,12 @@ invocation; the i-th baseline is compared against the i-th fresh report
 (so `--baseline A.json --fresh a.json --baseline B.json --fresh b.json`
 checks A vs a and B vs b). Threshold and metrics apply to every pair.
 
-Within a pair, cells are matched on (query, strategy, sites). A metric
-regresses when
+Within a pair, cells are matched on (query, strategy, sites, transport) —
+transport defaults to "sim" when absent, so simulated-mesh cells are only
+ever compared against simulated-mesh baselines and real-TCP cells against
+TCP baselines (loopback sockets and the simulator price a byte
+differently; cross-transport ratios are meaningless). A metric regresses
+when
     fresh > baseline * (1 + threshold)
 for any matched cell whose baseline value is meaningful (> 0 — a few bytes
 or microseconds of baseline would turn scheduling noise into failures).
@@ -43,7 +47,7 @@ HIGHER_IS_BETTER = {"qps"}
 
 
 def load_cells(path):
-    """Loads a report's cells keyed by (query, strategy, sites).
+    """Loads a report's cells keyed by (query, strategy, sites, transport).
 
     Malformed input — unreadable file, invalid JSON, a non-object report,
     a missing/empty/non-list "cells", non-object cells, or cells missing
@@ -77,8 +81,11 @@ def load_cells(path):
             print(f"bench_check: {path}: cells[{i}] is missing key(s) "
                   f"{', '.join(missing)}", file=sys.stderr)
             sys.exit(2)
-        # "sites" is legitimately absent for single-site benchmarks.
-        loaded[(c["query"], c["strategy"], c.get("sites"))] = c
+        # "sites" is legitimately absent for single-site benchmarks, and
+        # "transport" for anything predating (or not using) the TCP
+        # backend — both of which mean the simulated mesh.
+        loaded[(c["query"], c["strategy"], c.get("sites"),
+                c.get("transport", "sim"))] = c
     return loaded
 
 
@@ -101,6 +108,8 @@ def check_pair(baseline_path, fresh_path, metrics, threshold):
             continue  # sweep shapes may differ (e.g. fewer sites in CI)
         matched += 1
         name = f"{key[0]}/{key[1]}/sites={key[2]}"
+        if key[3] != "sim":
+            name += f"/{key[3]}"
         for metric in metrics:
             base = base_cell.get(metric)
             new = fresh_cell.get(metric)

@@ -19,10 +19,15 @@
 //   pushsip_cli --sites=4 --dist=q17 --strategy=cb
 //   --dist=<q17|subq>      which scale-out scenario (default q17)
 //   (--strategy baseline|cb selects no-AIP vs cost-based AIP)
+//   --transport=<sim|tcp>  sim (default) runs every site in this process
+//                          over the simulated mesh; tcp is the coordinator
+//                          mode — one pushsip_site process per site over
+//                          real loopback sockets, answers merged here.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "dist/multi_process.h"
 #include "dist/scale_out.h"
 #include "storage/tpch_generator.h"
 #include "workload/experiment.h"
@@ -63,6 +68,7 @@ int main(int argc, char** argv) {
   size_t pace = 512;
   int sites = 0;
   ScaleOutQuery dist_query = ScaleOutQuery::kQ17;
+  bool tcp_transport = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,14 +100,18 @@ int main(int argc, char** argv) {
       dist_query = ScaleOutQuery::kQ17;
     } else if (arg == "--dist=subq") {
       dist_query = ScaleOutQuery::kSubquery;
+    } else if (arg == "--transport=sim") {
+      tcp_transport = false;
+    } else if (arg == "--transport=tcp") {
+      tcp_transport = true;
     } else if (arg == "--rows") {
       print_rows = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: pushsip_cli [--query=Q1A] [--strategy=baseline|"
                   "magic|ff|cb]\n  [--sf=0.01] [--seed=42] [--skewed] "
                   "[--delay] [--pace=512]\n  [--remote-bw=1e8] [--rows]\n"
-                  "  [--sites=N --dist=q17|subq]  (distributed scale-out "
-                  "mode)\n");
+                  "  [--sites=N --dist=q17|subq --transport=sim|tcp]  "
+                  "(distributed scale-out mode)\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
@@ -115,10 +125,56 @@ int main(int argc, char** argv) {
                    "distributed mode supports --strategy=baseline|cb\n");
       return 2;
     }
+    if (tcp_transport) {
+      // Coordinator mode: one pushsip_site process per site over loopback
+      // TCP; their STATS/ROWS reports are folded here.
+      MultiProcessOptions mp;
+      mp.query = dist_query;
+      mp.scale_factor = gen.scale_factor;
+      mp.seed = gen.seed;
+      mp.num_sites = sites;
+      mp.aip = strategy == Strategy::kCostBased;
+      mp.weak_part_filter = gen.scale_factor < 0.01;
+      auto r = RunMultiProcess(mp);
+      if (!r.ok()) {
+        std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      auto rows = DeserializeBatch(r->rows_wire);
+      if (!rows.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     rows.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("query          : %s on %d sites (sf=%g, tcp "
+                  "multi-process)\n",
+                  ScaleOutQueryName(dist_query), sites, gen.scale_factor);
+      std::printf("strategy       : %s\n", StrategyName(strategy));
+      std::printf("result rows    : %lld\n",
+                  static_cast<long long>(r->stats.result_rows));
+      std::printf("running time   : %.2f ms (slowest site)\n",
+                  r->stats.elapsed_sec * 1e3);
+      std::printf("bytes on wire  : %.3f MB\n", r->stats.shipped_mb());
+      std::printf("pruned @source : %lld\n",
+                  static_cast<long long>(r->stats.rows_source_pruned));
+      std::printf("AIP sets/filters shipped: %lld / %lld\n",
+                  static_cast<long long>(r->stats.aip_sets),
+                  static_cast<long long>(r->stats.aip_filters));
+      if (print_rows) {
+        for (const Tuple& row : rows->rows) {
+          std::printf("%s\n", row.ToString().c_str());
+        }
+      }
+      return 0;
+    }
     gen.skewed = force_skew;
     ScaleOutOptions opts;
     opts.num_sites = sites;
     opts.aip = strategy == Strategy::kCostBased;
+    // Same fallback the benches use: tiny catalogs need the weaker part
+    // filter to produce non-empty results (and the tcp coordinator mode
+    // applies the same rule, so the two transports stay comparable).
+    opts.weak_part_filter = gen.scale_factor < 0.01;
     auto built = BuildScaleOutQuery(dist_query, MakeTpchCatalog(gen), opts);
     if (!built.ok()) {
       std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());

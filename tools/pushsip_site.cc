@@ -1,0 +1,135 @@
+// pushsip_site: one site of a multi-process scale-out query.
+//
+// Every site process is started with the same (query, sf, seed) — it
+// rebuilds the full topology deterministically, wires the cross-process
+// exchange edges over the TCP transport, runs only its own fragments, and
+// reports on stdout:
+//   STATS k=v ...   this site's DistQueryStats (doubles in hexfloat)
+//   ROWS <hex>      site 0 only: the serialized, sorted result batch
+//
+// Flags (all assigned by the coordinator — see dist/multi_process.h):
+//   --site=I --sites=N --query=q17|subquery --sf=F --seed=S
+//   --port=P                this site's listen port (0 = ephemeral)
+//   --peers=0=host:p,...    every site's address, including this one
+//   --host=ADDR             listen address      (default 127.0.0.1)
+//   --aip=0|1 --weak-filter=0|1 --merge=0|1 --window=W --batch=B
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "dist/multi_process.h"
+
+using namespace pushsip;
+
+namespace {
+
+/// "0=127.0.0.1:5000,1=127.0.0.1:5001" -> TcpPeer list.
+bool ParsePeers(const std::string& spec, std::vector<TcpPeer>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t eq = entry.find('=');
+    const size_t colon = entry.rfind(':');
+    if (eq == std::string::npos || colon == std::string::npos || colon < eq) {
+      return false;
+    }
+    TcpPeer peer;
+    peer.site = std::atoi(entry.substr(0, eq).c_str());
+    peer.host = entry.substr(eq + 1, colon - eq - 1);
+    peer.port = static_cast<uint16_t>(
+        std::atoi(entry.substr(colon + 1).c_str()));
+    out->push_back(std::move(peer));
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SiteProcessOptions opts;
+  TcpTransportOptions net;
+  std::string peers_spec;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--site=", 0) == 0) {
+      opts.site = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--sites=", 0) == 0) {
+      opts.num_sites = std::atoi(arg.c_str() + 8);
+    } else if (arg == "--query=q17") {
+      opts.query = ScaleOutQuery::kQ17;
+    } else if (arg == "--query=subquery" || arg == "--query=subq") {
+      opts.query = ScaleOutQuery::kSubquery;
+    } else if (arg.rfind("--sf=", 0) == 0) {
+      opts.scale_factor = std::atof(arg.c_str() + 5);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opts.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--port=", 0) == 0) {
+      net.listen_port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--host=", 0) == 0) {
+      net.listen_host = arg.substr(7);
+    } else if (arg.rfind("--peers=", 0) == 0) {
+      peers_spec = arg.substr(8);
+    } else if (arg.rfind("--aip=", 0) == 0) {
+      opts.aip = std::atoi(arg.c_str() + 6) != 0;
+    } else if (arg.rfind("--weak-filter=", 0) == 0) {
+      opts.weak_part_filter = std::atoi(arg.c_str() + 14) != 0;
+    } else if (arg.rfind("--merge=", 0) == 0) {
+      opts.deterministic_merge = std::atoi(arg.c_str() + 8) != 0;
+    } else if (arg.rfind("--window=", 0) == 0) {
+      net.credit_window = static_cast<uint32_t>(std::atoi(arg.c_str() + 9));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      opts.batch_size = static_cast<size_t>(std::atoll(arg.c_str() + 8));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: pushsip_site --site=I --sites=N --port=P "
+          "--peers=0=host:p,...\n  [--query=q17|subquery] [--sf=0.005] "
+          "[--seed=42] [--host=127.0.0.1]\n  [--aip=1] [--weak-filter=1] "
+          "[--merge=1] [--window=64] [--batch=1024]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (opts.num_sites < 1 || opts.site < 0 || opts.site >= opts.num_sites) {
+    std::fprintf(stderr, "bad --site/--sites\n");
+    return 2;
+  }
+  std::vector<TcpPeer> peers;
+  if (!peers_spec.empty() && !ParsePeers(peers_spec, &peers)) {
+    std::fprintf(stderr, "malformed --peers\n");
+    return 2;
+  }
+  net.local_site = opts.site;
+  net.num_sites = opts.num_sites;
+  for (const TcpPeer& peer : peers) {
+    if (peer.site != opts.site) net.peers.push_back(peer);
+  }
+
+  auto transport = std::make_shared<TcpTransport>(net);
+  const Status listening = transport->Listen();
+  if (!listening.ok()) {
+    std::fprintf(stderr, "site %d listen failed: %s\n", opts.site,
+                 listening.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "site %d listening on %s:%u\n", opts.site,
+               net.listen_host.c_str(), transport->listen_port());
+
+  auto run = RunScaleOutSite(opts, transport);
+  if (!run.ok()) {
+    std::fprintf(stderr, "site %d failed: %s\n", opts.site,
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", EncodeStatsLine(run->stats).c_str());
+  if (!run->rows_wire.empty()) {
+    std::printf("ROWS %s\n", HexEncode(run->rows_wire).c_str());
+  }
+  std::fflush(stdout);
+  return 0;
+}
