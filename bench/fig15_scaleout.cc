@@ -285,12 +285,11 @@ int RunTcpTransportMode(const HarnessOptions& opts, int sites,
                    sim_stats.status().ToString().c_str());
       return 1;
     }
-    Batch sim_rows;
-    sim_rows.rows = (*query)->root_sink->TakeRows();
-    std::sort(sim_rows.rows.begin(), sim_rows.rows.end(),
+    std::vector<Tuple> sim_rows = (*query)->root_sink->TakeRows();
+    std::sort(sim_rows.begin(), sim_rows.end(),
               [](const Tuple& a, const Tuple& b) { return a.Compare(b) < 0; });
-    const std::string sim_wire =
-        SerializeBatch(sim_rows, WireFormatVersion::kRowMajor);
+    const std::string sim_wire = SerializeBatch(Batch::FromRows(sim_rows),
+                                                WireFormatVersion::kRowMajor);
 
     // The same query as N real processes over loopback TCP.
     MultiProcessOptions mp;
@@ -334,9 +333,24 @@ int RunTcpTransportMode(const HarnessOptions& opts, int sites,
       record.rows_pruned = stats.rows_pruned + stats.rows_source_pruned;
       record.bytes_shipped = stats.bytes_shipped;
       record.metric_mean = stats.elapsed_sec;
+      record.encode_transposes = stats.encode_transposes;
+      record.dict_reships = stats.dict_reships;
       records.push_back(record);
+      // Cross-batch dictionary streams must never re-ship an entry, and the
+      // typed pipeline must never fall back to per-value encoding — on
+      // either backend.
+      if (stats.dict_reships != 0 || stats.encode_transposes != 0) {
+        std::fprintf(stderr,
+                     "FAILED: %s (%s) wire encoding degraded: "
+                     "dict_reships=%lld encode_transposes=%lld\n",
+                     ScaleOutQueryName(q), is_tcp ? "tcp" : "sim",
+                     static_cast<long long>(stats.dict_reships),
+                     static_cast<long long>(stats.encode_transposes));
+        return 1;
+      }
     }
-    std::printf("# %s: answers bit-identical (%zu serialized bytes)\n",
+    std::printf("# %s: answers bit-identical (%zu serialized bytes, "
+                "0 dictionary re-ships)\n",
                 ScaleOutQueryName(q), sim_wire.size());
   }
   if (!opts.json_path.empty() &&
@@ -469,6 +483,8 @@ int main(int argc, char** argv) {
           record.peak_state_mb += stats->peak_state_mb();
           record.rows_pruned += stats->rows_pruned + stats->rows_source_pruned;
           record.bytes_shipped += stats->bytes_shipped;
+          record.encode_transposes += stats->encode_transposes;
+          record.dict_reships += stats->dict_reships;
           if (aip) pruned = stats->rows_source_pruned;
         }
         // Per-repetition means (sums above avoid integer truncation).

@@ -75,6 +75,11 @@ struct JsonRecord {
   int64_t fragment_migrations = 0;
   int64_t stragglers_detected = 0;
   int64_t recalibrations = 0;
+  // Wire-encoding health (multi-site benchmarks; zero elsewhere). A typed
+  // columnar pipeline ships every dictionary entry once and never falls
+  // back to per-value encoding, so both should stay 0.
+  int64_t encode_transposes = 0;
+  int64_t dict_reships = 0;
 };
 
 /// Writes the JSON report. Returns false (with a message on stderr) when

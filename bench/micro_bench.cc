@@ -53,9 +53,11 @@ void BM_AipFilterPass(benchmark::State& state) {
   for (int i = 0; i < 10000; ++i) set->Insert(rng.NextUint64());
   set->Seal();
   AipFilter filter("bench", 0, set);
-  Tuple t({Value::Int64(12345)});
+  Batch b;
+  b.SetArity(1);
+  b.AppendRow(std::vector<Value>{Value::Int64(12345)});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(filter.Pass(t));
+    benchmark::DoNotOptimize(filter.Pass(b, 0));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -79,11 +81,15 @@ void BM_SymmetricHashJoin(benchmark::State& state) {
                  Field{"t.b", TypeId::kInt64, kInvalidAttr}});
   Random rng(5);
   Batch left, right;
+  left.SetArity(2);
+  right.SetArity(2);
+  left.Reserve(static_cast<size_t>(n));
+  right.Reserve(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
-    left.rows.push_back(
-        Tuple({Value::Int64(rng.UniformInt(0, n)), Value::Int64(i)}));
-    right.rows.push_back(
-        Tuple({Value::Int64(rng.UniformInt(0, n)), Value::Int64(i)}));
+    left.AppendRow(std::vector<Value>{Value::Int64(rng.UniformInt(0, n)),
+                                      Value::Int64(i)});
+    right.AppendRow(std::vector<Value>{Value::Int64(rng.UniformInt(0, n)),
+                                       Value::Int64(i)});
   }
   for (auto _ : state) {
     ExecContext ctx;

@@ -1,16 +1,18 @@
 // Micro benchmarks for the vectorized hot paths: batch filter throughput
-// (selection vectors vs the row-at-a-time reference), one-pass key hashing
-// (the Batch key-hash lane vs recomputing per consumer), and the wire
-// codecs (v1 row-major vs v2 columnar compressed — encode/decode time,
-// bytes, and compression ratio).
+// (selection vectors over typed columns vs the row-at-a-time reference),
+// one-pass key hashing (the Batch key-hash lane vs recomputing per
+// consumer), and the wire codecs (v1 row-major vs v2 columnar compressed —
+// encode/decode time, bytes, and compression ratio — plus the cross-batch
+// dictionary stream encoding vs per-batch dictionaries).
 //
 // Flags: the shared harness flags (--reps=, --seed=, --json <path>) plus
 //   --rows=N    rows per batch            (default 1024)
 //   --batches=N batches per measurement   (default 256)
 //   --check     exit non-zero unless the vectorized filter pipeline is
-//               >= 2x the row-at-a-time reference and the v2 encoding is
-//               >= 30% smaller than v1 (used to validate committed numbers;
-//               off by default so noisy CI smoke runs stay advisory).
+//               >= 2x the row-at-a-time reference, the v2 encoding is
+//               >= 30% smaller than v1, and the dictionary stream encoder
+//               re-ships nothing (used to validate committed numbers; off
+//               by default so noisy CI smoke runs stay advisory).
 #include <cstring>
 #include <memory>
 
@@ -44,18 +46,23 @@ Schema TwoIntSchema() {
                  Field{"t.b", TypeId::kInt64, kInvalidAttr}});
 }
 
-/// A fresh stream of `batches` batches of `rows` two-int rows.
+/// A fresh stream of `batches` batches of `rows` two-int rows, built as
+/// typed column vectors.
 std::vector<Batch> MakeIntStream(size_t rows, size_t batches, uint64_t seed,
                                  int64_t key_range) {
   Random rng(seed);
   std::vector<Batch> stream(batches);
   for (Batch& b : stream) {
-    b.rows.reserve(rows);
+    Column a(TypeId::kInt64);
+    Column c(TypeId::kInt64);
+    a.Reserve(rows);
+    c.Reserve(rows);
     for (size_t i = 0; i < rows; ++i) {
-      b.rows.push_back(
-          Tuple({Value::Int64(rng.UniformInt(0, key_range)),
-                 Value::Int64(rng.UniformInt(0, key_range))}));
+      a.AppendI64(rng.UniformInt(0, key_range));
+      c.AppendI64(rng.UniformInt(0, key_range));
     }
+    b.AddColumn(std::move(a));
+    b.AddColumn(std::move(c));
   }
   return stream;
 }
@@ -82,26 +89,25 @@ std::vector<std::shared_ptr<const TupleFilter>> MakeAipFilters(
 }
 
 /// The pre-vectorization Operator::Push filter stage, kept as the
-/// reference: per-row virtual Pass() calls (each taking the summary's
-/// shared lock and bumping its counters), compacting as it goes.
+/// reference: per-row virtual Pass() calls (each hashing the key and
+/// taking the summary's shared lock), compacting once at the end.
 size_t RowAtATimeFilter(
     const std::vector<std::shared_ptr<const TupleFilter>>& filters,
     Batch&& batch) {
-  size_t kept = 0;
-  for (size_t i = 0; i < batch.rows.size(); ++i) {
+  std::vector<uint32_t> sel;
+  sel.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
     bool pass = true;
     for (const auto& f : filters) {
-      if (!f->Pass(batch.rows[i])) {
+      if (!f->Pass(batch, i)) {
         pass = false;
         break;
       }
     }
-    if (pass) {
-      if (kept != i) batch.rows[kept] = std::move(batch.rows[i]);
-      ++kept;
-    }
+    if (pass) sel.push_back(static_cast<uint32_t>(i));
   }
-  batch.rows.resize(kept);
+  const size_t kept = sel.size();
+  if (kept != batch.size()) batch.CompactInPlace(sel);
   return kept;
 }
 
@@ -166,7 +172,9 @@ Throughput RunKeyHash(const std::vector<Batch>& stream, bool cached,
       } else {
         for (int c = 0; c < kConsumers; ++c) {
           uint64_t acc = 0;
-          for (const Tuple& row : b.rows) acc ^= row.HashColumns(cols);
+          for (size_t r = 0; r < b.size(); ++r) {
+            acc ^= b.RowHashColumns(r, cols);
+          }
           sink ^= acc;
         }
       }
@@ -179,21 +187,22 @@ Throughput RunKeyHash(const std::vector<Batch>& stream, bool cached,
 }
 
 /// A shuffle-shaped batch: ints, a date, a double, and a low-cardinality
-/// string column (the Q17/subquery wire mix).
-Batch MakeWireBatch(size_t rows, uint64_t seed) {
-  Random rng(seed);
+/// string column (the Q17/subquery wire mix). `rng` continues across
+/// batches so a stream of these repeats the same small brand dictionary.
+Batch MakeWireBatch(size_t rows, Random* rng) {
   static const char* kBrands[] = {"Brand#11", "Brand#23", "Brand#34",
                                   "Brand#45", "Brand#55"};
   Batch b;
-  b.rows.reserve(rows);
+  b.SetArity(5);
+  b.Reserve(rows);
   for (size_t i = 0; i < rows; ++i) {
-    b.rows.push_back(Tuple({
-        Value::Int64(rng.UniformInt(1, 200000)),
-        Value::Int64(rng.UniformInt(1, 10000)),
-        Value::Date(10000 + rng.UniformInt(0, 2500)),
-        Value::Double(static_cast<double>(rng.UniformInt(100, 99999)) / 100),
-        Value::String(kBrands[rng.UniformInt(0, 4)]),
-    }));
+    b.AppendRow(std::vector<Value>{
+        Value::Int64(rng->UniformInt(1, 200000)),
+        Value::Int64(rng->UniformInt(1, 10000)),
+        Value::Date(10000 + rng->UniformInt(0, 2500)),
+        Value::Double(static_cast<double>(rng->UniformInt(100, 99999)) / 100),
+        Value::String(kBrands[rng->UniformInt(0, 4)]),
+    });
   }
   return b;
 }
@@ -201,7 +210,9 @@ Batch MakeWireBatch(size_t rows, uint64_t seed) {
 struct WireResult {
   double rows_per_sec = 0;  ///< encode+decode round trips
   double elapsed_sec = 0;
-  int64_t bytes = 0;  ///< encoded size of one batch
+  int64_t bytes = 0;  ///< encoded size of one batch (or whole stream)
+  int64_t encode_transposes = 0;
+  int64_t dict_reships = 0;
 };
 
 WireResult RunWireRoundTrip(const Batch& batch, WireFormatVersion version,
@@ -219,6 +230,40 @@ WireResult RunWireRoundTrip(const Batch& batch, WireFormatVersion version,
       total_rows += static_cast<int64_t>(decoded->size());
     }
     total_sec += sw.ElapsedSeconds();
+  }
+  out.rows_per_sec = static_cast<double>(total_rows) / total_sec;
+  out.elapsed_sec = total_sec;
+  return out;
+}
+
+/// Dictionary-stream cell: one exchange stream of `stream.size()` distinct
+/// batches through a WireStreamEncoder/WireStreamDecoder pair. With
+/// `stream_dicts` the brand dictionary crosses the wire once for the whole
+/// stream; without it every batch re-ships its own copy (the per-batch
+/// re-shipping the counter exposes).
+WireResult RunWireStream(const std::vector<Batch>& stream, bool stream_dicts,
+                         int reps) {
+  WireResult out;
+  double total_sec = 0;
+  int64_t total_rows = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    WireStreamEncoder encoder(WireFormatVersion::kColumnar, stream_dicts);
+    WireStreamDecoder decoder;
+    int64_t stream_bytes = 0;
+    Stopwatch sw;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      const std::string bytes = encoder.SerializeFrame(
+          /*sender=*/0, /*epoch=*/0, /*seq=*/i, /*replayable=*/false,
+          stream[i]);
+      stream_bytes += static_cast<int64_t>(bytes.size());
+      auto frame = decoder.DecodeFrame(bytes);
+      frame.status().CheckOK();
+      total_rows += static_cast<int64_t>(frame->batch.size());
+    }
+    total_sec += sw.ElapsedSeconds();
+    out.bytes = stream_bytes;
+    out.encode_transposes = encoder.encode_transposes();
+    out.dict_reships = encoder.dict_reships();
   }
   out.rows_per_sec = static_cast<double>(total_rows) / total_sec;
   out.elapsed_sec = total_sec;
@@ -250,18 +295,27 @@ int main(int argc, char** argv) {
 
   std::vector<JsonRecord> records;
   const auto record = [&](const std::string& query,
-                          const std::string& strategy, double rows_per_sec,
-                          double elapsed, int64_t bytes) {
+                          const std::string& strategy, const WireResult& w) {
     std::printf("%-18s %-14s %14.3g %12.4f %12lld\n", query.c_str(),
-                strategy.c_str(), rows_per_sec, elapsed,
-                static_cast<long long>(bytes));
+                strategy.c_str(), w.rows_per_sec, w.elapsed_sec,
+                static_cast<long long>(w.bytes));
     JsonRecord r;
     r.query = query;
     r.strategy = strategy;
-    r.elapsed_sec = elapsed;
-    r.bytes_shipped = bytes;
-    r.metric_mean = rows_per_sec;
+    r.elapsed_sec = w.elapsed_sec;
+    r.bytes_shipped = w.bytes;
+    r.metric_mean = w.rows_per_sec;
+    r.encode_transposes = w.encode_transposes;
+    r.dict_reships = w.dict_reships;
     records.push_back(std::move(r));
+  };
+  const auto record_tp = [&](const std::string& query,
+                             const std::string& strategy,
+                             const Throughput& t) {
+    WireResult w;
+    w.rows_per_sec = t.rows_per_sec;
+    w.elapsed_sec = t.elapsed_sec;
+    record(query, strategy, w);
   };
 
   // --- filter pipeline ---
@@ -271,40 +325,56 @@ int main(int argc, char** argv) {
       RunFilterPipeline(stream, /*vectorized=*/false, reps, opts.seed);
   const Throughput vectorized =
       RunFilterPipeline(stream, /*vectorized=*/true, reps, opts.seed);
-  record("filter_pipeline", "row_at_a_time", row_based.rows_per_sec,
-         row_based.elapsed_sec, 0);
-  record("filter_pipeline", "vectorized", vectorized.rows_per_sec,
-         vectorized.elapsed_sec, 0);
+  record_tp("filter_pipeline", "row_at_a_time", row_based);
+  record_tp("filter_pipeline", "vectorized", vectorized);
   const double filter_speedup =
       vectorized.rows_per_sec / row_based.rows_per_sec;
 
   // --- key-hash reuse ---
   const Throughput recompute = RunKeyHash(stream, /*cached=*/false, reps);
   const Throughput cached = RunKeyHash(stream, /*cached=*/true, reps);
-  record("key_hash", "recompute", recompute.rows_per_sec,
-         recompute.elapsed_sec, 0);
-  record("key_hash", "cached", cached.rows_per_sec, cached.elapsed_sec, 0);
+  record_tp("key_hash", "recompute", recompute);
+  record_tp("key_hash", "cached", cached);
 
   // --- wire round trip ---
-  const Batch wire_batch = MakeWireBatch(rows, opts.seed);
+  Random wire_rng(opts.seed);
+  const Batch wire_batch = MakeWireBatch(rows, &wire_rng);
   const WireResult v1 = RunWireRoundTrip(wire_batch,
                                          WireFormatVersion::kRowMajor,
                                          batches / 4 + 1, reps);
   const WireResult v2 = RunWireRoundTrip(wire_batch,
                                          WireFormatVersion::kColumnar,
                                          batches / 4 + 1, reps);
-  record("wire_roundtrip", "v1_row_major", v1.rows_per_sec, v1.elapsed_sec,
-         v1.bytes);
-  record("wire_roundtrip", "v2_columnar", v2.rows_per_sec, v2.elapsed_sec,
-         v2.bytes);
+  record("wire_roundtrip", "v1_row_major", v1);
+  record("wire_roundtrip", "v2_columnar", v2);
   const double ratio =
       static_cast<double>(v2.bytes) / static_cast<double>(v1.bytes);
+
+  // --- cross-batch dictionary stream ---
+  std::vector<Batch> wire_stream;
+  wire_stream.reserve(batches / 4 + 1);
+  for (size_t i = 0; i < batches / 4 + 1; ++i) {
+    wire_stream.push_back(MakeWireBatch(rows, &wire_rng));
+  }
+  const WireResult per_batch =
+      RunWireStream(wire_stream, /*stream_dicts=*/false, reps);
+  const WireResult dict_stream =
+      RunWireStream(wire_stream, /*stream_dicts=*/true, reps);
+  record("wire_stream", "per_batch_dict", per_batch);
+  record("wire_stream", "dict_stream", dict_stream);
 
   std::printf(
       "# filter speedup: %.2fx   hash-reuse speedup: %.2fx   "
       "v2/v1 bytes: %.2f (%.0f%% smaller)\n",
       filter_speedup, cached.rows_per_sec / recompute.rows_per_sec, ratio,
       (1 - ratio) * 100);
+  std::printf(
+      "# dict stream: %lld entries re-shipped (per-batch: %lld), "
+      "%.1f%% of the per-batch stream bytes\n",
+      static_cast<long long>(dict_stream.dict_reships),
+      static_cast<long long>(per_batch.dict_reships),
+      100.0 * static_cast<double>(dict_stream.bytes) /
+          static_cast<double>(per_batch.bytes));
 
   if (!opts.json_path.empty() &&
       !WriteJsonReport(opts.json_path, "micro_hotpath",
@@ -326,6 +396,28 @@ int main(int argc, char** argv) {
                    "CHECK FAILED: v2 encoding is %.0f%% of v1 (need <= "
                    "70%%)\n",
                    ratio * 100);
+      return 1;
+    }
+    if (dict_stream.dict_reships != 0 || dict_stream.encode_transposes != 0) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: dictionary stream degraded: "
+                   "dict_reships=%lld encode_transposes=%lld (need 0/0)\n",
+                   static_cast<long long>(dict_stream.dict_reships),
+                   static_cast<long long>(dict_stream.encode_transposes));
+      return 1;
+    }
+    if (per_batch.dict_reships == 0) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: per-batch reference shipped no duplicate "
+                   "dictionary entries — the comparison is vacuous\n");
+      return 1;
+    }
+    if (dict_stream.bytes >= per_batch.bytes) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: dictionary stream (%lld bytes) is not "
+                   "smaller than per-batch dictionaries (%lld bytes)\n",
+                   static_cast<long long>(dict_stream.bytes),
+                   static_cast<long long>(per_batch.bytes));
       return 1;
     }
   }

@@ -1,5 +1,7 @@
 #include "common/tuple.h"
 
+#include "common/status.h"
+
 namespace pushsip {
 
 Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
@@ -56,14 +58,188 @@ size_t Tuple::FootprintBytes() const {
   return bytes;
 }
 
+std::string Tuple::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+void Batch::AddColumn(Column c) {
+  PUSHSIP_DCHECK(cols_.empty() || c.size() == num_rows_);
+  if (cols_.empty()) num_rows_ = c.size();
+  cols_.push_back(std::move(c));
+}
+
+void Batch::SetArity(size_t arity) {
+  PUSHSIP_DCHECK(cols_.empty() && num_rows_ == 0);
+  cols_.resize(arity);
+}
+
+void Batch::Reserve(size_t rows) {
+  for (Column& c : cols_) c.Reserve(rows);
+}
+
+void Batch::AppendRow(const Tuple& t) {
+  if (cols_.empty() && num_rows_ == 0) SetArity(t.size());
+  PUSHSIP_DCHECK(t.size() == cols_.size());
+  for (size_t i = 0; i < cols_.size(); ++i) cols_[i].AppendValue(t.at(i));
+  ++num_rows_;
+}
+
+void Batch::AppendRow(const std::vector<Value>& values) {
+  if (cols_.empty() && num_rows_ == 0) SetArity(values.size());
+  PUSHSIP_DCHECK(values.size() == cols_.size());
+  for (size_t i = 0; i < cols_.size(); ++i) cols_[i].AppendValue(values[i]);
+  ++num_rows_;
+}
+
+void Batch::AppendRowFrom(const Batch& src, size_t row) {
+  if (cols_.empty() && num_rows_ == 0) SetArity(src.num_cols());
+  PUSHSIP_DCHECK(src.num_cols() == cols_.size());
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    cols_[i].AppendFrom(src.cols_[i], row);
+  }
+  ++num_rows_;
+}
+
+void Batch::AppendConcatRow(const Batch& left, size_t lr, const Batch& right,
+                            size_t rr) {
+  PUSHSIP_DCHECK(cols_.size() == left.num_cols() + right.num_cols());
+  size_t c = 0;
+  for (size_t i = 0; i < left.num_cols(); ++i) {
+    cols_[c++].AppendFrom(left.cols_[i], lr);
+  }
+  for (size_t i = 0; i < right.num_cols(); ++i) {
+    cols_[c++].AppendFrom(right.cols_[i], rr);
+  }
+  ++num_rows_;
+}
+
+void Batch::PopBackRow() {
+  PUSHSIP_DCHECK(num_rows_ > 0);
+  for (Column& c : cols_) c.PopBack();
+  --num_rows_;
+  ClearKeyHashes();
+}
+
+Batch Batch::FromRows(const std::vector<Tuple>& rows) {
+  Batch b;
+  if (!rows.empty()) {
+    b.SetArity(rows.front().size());
+    b.Reserve(rows.size());
+  }
+  for (const Tuple& t : rows) b.AppendRow(t);
+  return b;
+}
+
+Tuple Batch::MaterializeRow(size_t r) const {
+  std::vector<Value> values;
+  values.reserve(cols_.size());
+  for (const Column& c : cols_) values.push_back(c.GetValue(r));
+  return Tuple(std::move(values));
+}
+
+std::vector<Tuple> Batch::MaterializeRows() const {
+  std::vector<Tuple> rows;
+  rows.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) rows.push_back(MaterializeRow(r));
+  return rows;
+}
+
+uint64_t Batch::RowHashColumns(size_t r,
+                               const std::vector<int>& cols) const {
+  if (cols.size() == 1) {
+    return cols_[static_cast<size_t>(cols[0])].HashAt(r);
+  }
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const int c : cols) {
+    const uint64_t vh = cols_[static_cast<size_t>(c)].HashAt(r);
+    h ^= vh + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool Batch::RowsEqualOn(const Batch& a, size_t ra,
+                        const std::vector<int>& a_cols, const Batch& b,
+                        size_t rb, const std::vector<int>& b_cols) {
+  PUSHSIP_DCHECK(a_cols.size() == b_cols.size());
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    const Column& ca = a.cols_[static_cast<size_t>(a_cols[i])];
+    const Column& cb = b.cols_[static_cast<size_t>(b_cols[i])];
+    if (!ca.KeyEqualAt(ra, cb, rb)) return false;
+  }
+  return true;
+}
+
+bool Batch::RowEqualsTupleOn(size_t r, const std::vector<int>& cols,
+                             const Tuple& key,
+                             const std::vector<int>& key_cols) const {
+  PUSHSIP_DCHECK(cols.size() == key_cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const Column& c = cols_[static_cast<size_t>(cols[i])];
+    const Value& kv = key.at(static_cast<size_t>(key_cols[i]));
+    if (c.IsNull(r) || kv.is_null()) return false;
+    if (c.GetValue(r).Compare(kv) != 0) return false;
+  }
+  return true;
+}
+
+int Batch::CompareRows(size_t r, const Batch& other, size_t ro) const {
+  const size_t n = std::min(cols_.size(), other.cols_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = cols_[i].CompareAt(r, other.cols_[i], ro);
+    if (c != 0) return c;
+  }
+  if (cols_.size() < other.cols_.size()) return -1;
+  return cols_.size() > other.cols_.size() ? 1 : 0;
+}
+
+std::string Batch::RowToString(size_t r) const {
+  std::string out = "[";
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i) out += ", ";
+    out += cols_[i].GetValue(r).ToString();
+  }
+  out += "]";
+  return out;
+}
+
+size_t Batch::FootprintBytes() const {
+  size_t bytes = sizeof(Batch) + hashes_.capacity() * sizeof(uint64_t);
+  for (const Column& c : cols_) bytes += c.FootprintBytes();
+  return bytes;
+}
+
+size_t Batch::PayloadBytes() const {
+  size_t bytes = 0;
+  for (const Column& c : cols_) bytes += c.PayloadBytes();
+  return bytes;
+}
+
+void Batch::ComputeKeyHashes(const std::vector<int>& cols,
+                             std::vector<uint64_t>* out) const {
+  out->clear();
+  if (cols.size() == 1) {
+    // Single-column lane IS the raw value hash (see Tuple::HashColumns).
+    cols_[static_cast<size_t>(cols[0])].HashAll(out);
+    return;
+  }
+  out->assign(num_rows_, 0x9e3779b97f4a7c15ULL);
+  for (const int c : cols) {
+    cols_[static_cast<size_t>(c)].HashCombine(out);
+  }
+}
+
 const std::vector<uint64_t>& Batch::KeyHashes(
     const std::vector<int>& cols, std::vector<uint64_t>* scratch) const {
   if (const std::vector<uint64_t>* cached = CachedKeyHashes(cols)) {
     return *cached;
   }
-  scratch->clear();
-  scratch->reserve(rows.size());
-  for (const Tuple& row : rows) scratch->push_back(row.HashColumns(cols));
+  ComputeKeyHashes(cols, scratch);
   if (hash_cols_.empty()) {
     // First consumer installs the lane (stealing the scratch storage);
     // later mismatching consumers keep their scratch so one popular lane
@@ -78,7 +254,7 @@ const std::vector<uint64_t>& Batch::KeyHashes(
 const std::vector<uint64_t>* Batch::CachedKeyHashes(
     const std::vector<int>& cols) const {
   if (hash_cols_.empty() || hash_cols_ != cols ||
-      hashes_.size() != rows.size()) {
+      hashes_.size() != num_rows_) {
     return nullptr;
   }
   return &hashes_;
@@ -90,30 +266,18 @@ void Batch::ClearKeyHashes() {
 }
 
 void Batch::CompactInPlace(const std::vector<uint32_t>& sel) {
-  const bool lane = !hash_cols_.empty() && hashes_.size() == rows.size();
-  for (size_t i = 0; i < sel.size(); ++i) {
-    const size_t from = sel[i];
-    if (from != i) {
-      rows[i] = std::move(rows[from]);
-      if (lane) hashes_[i] = hashes_[from];
-    }
-  }
-  rows.resize(sel.size());
+  const bool lane = !hash_cols_.empty() && hashes_.size() == num_rows_;
+  for (Column& c : cols_) c.CompactInPlace(sel);
   if (lane) {
+    for (size_t i = 0; i < sel.size(); ++i) {
+      const size_t from = sel[i];
+      if (from != i) hashes_[i] = hashes_[from];
+    }
     hashes_.resize(sel.size());
   } else {
     ClearKeyHashes();
   }
-}
-
-std::string Tuple::ToString() const {
-  std::string out = "[";
-  for (size_t i = 0; i < values_.size(); ++i) {
-    if (i) out += ", ";
-    out += values_[i].ToString();
-  }
-  out += "]";
-  return out;
+  num_rows_ = sel.size();
 }
 
 }  // namespace pushsip

@@ -78,41 +78,36 @@ int Value::Compare(const Value& other) const {
   return a > b ? 1 : 0;
 }
 
+uint64_t HashOfDouble(double v) {
+  const int64_t as_int = static_cast<int64_t>(v);
+  if (static_cast<double>(as_int) == v) {
+    return HashMix64(static_cast<uint64_t>(as_int));
+  }
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashMix64(bits);
+}
+
+uint64_t HashOfStringBytes(const char* data, size_t len) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return HashMix64(h);
+}
+
 uint64_t Value::Hash() const {
-  // 64-bit mix (splitmix64 finalizer) over a canonical representation.
-  auto mix = [](uint64_t x) {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-  };
   switch (type_) {
     case TypeId::kNull:
-      return mix(0xdeadbeefULL);
+      return HashOfNull();
     case TypeId::kInt64:
     case TypeId::kDate:
-      return mix(static_cast<uint64_t>(i64_));
-    case TypeId::kDouble: {
-      // Hash integral doubles as their integer value so that Int64(3) and
-      // Double(3.0), which Compare() as equal, hash equally.
-      const double v = f64_;
-      const int64_t as_int = static_cast<int64_t>(v);
-      if (static_cast<double>(as_int) == v) {
-        return mix(static_cast<uint64_t>(as_int));
-      }
-      uint64_t bits;
-      std::memcpy(&bits, &v, sizeof(bits));
-      return mix(bits);
-    }
-    case TypeId::kString: {
-      // FNV-1a over the bytes, then mixed.
-      uint64_t h = 1469598103934665603ULL;
-      for (const char c : str_) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ULL;
-      }
-      return mix(h);
-    }
+      return HashOfInt64(i64_);
+    case TypeId::kDouble:
+      return HashOfDouble(f64_);
+    case TypeId::kString:
+      return HashOfStringBytes(str_.data(), str_.size());
   }
   return 0;
 }

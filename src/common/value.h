@@ -21,6 +21,35 @@ enum class TypeId : uint8_t {
 /// Returns a printable name for a TypeId.
 const char* TypeName(TypeId t);
 
+// --- canonical scalar hash primitives ---
+//
+// Every hash consumer in the engine (AIP summaries, shuffle routing, join
+// and group-by keys, the batch key-hash lane) must agree on one formula per
+// logical value, whether the value lives in a row Tuple or a typed column
+// vector. These free functions are that single source of truth;
+// Value::Hash() and Column::HashAt() both delegate here.
+
+/// splitmix64 finalizer.
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashOfNull() { return HashMix64(0xdeadbeefULL); }
+
+inline uint64_t HashOfInt64(int64_t v) {
+  return HashMix64(static_cast<uint64_t>(v));
+}
+
+/// Integral doubles hash as their integer value so that Int64(3) and
+/// Double(3.0), which Compare() as equal, hash equally.
+uint64_t HashOfDouble(double v);
+
+/// FNV-1a over the bytes, then mixed.
+uint64_t HashOfStringBytes(const char* data, size_t len);
+
 /// \brief A single scalar value (NULL, INT64, DOUBLE, DATE, or STRING).
 ///
 /// Values are small (40 bytes + string payload) and used row-at-a-time in the

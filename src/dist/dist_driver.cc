@@ -272,6 +272,10 @@ Result<DistQueryStats> DistributedQuery::Run() {
       if (auto* recv = dynamic_cast<ExchangeReceiver*>(op)) {
         stats.batches_discarded += recv->batches_discarded();
       }
+      if (auto* sender = dynamic_cast<ExchangeSender*>(op)) {
+        stats.encode_transposes += sender->encode_transposes();
+        stats.dict_reships += sender->dict_reships();
+      }
     }
     for (const auto& manager : site->aip_managers()) {
       stats.aip_sets += manager->sets_built();

@@ -56,6 +56,9 @@ struct DistQueryStats {
   int64_t stragglers_detected = 0;  ///< fragments preempted for lagging
   int64_t fragment_migrations = 0;  ///< restarts placed on another site
   int64_t recalibrations = 0;       ///< observed-cardinality feedbacks
+  // Wire-encoding bookkeeping, summed over all exchange senders.
+  int64_t encode_transposes = 0;  ///< per-value encode fallbacks (mixed cols)
+  int64_t dict_reships = 0;       ///< dictionary entries shipped repeatedly
 
   double shipped_mb() const {
     return static_cast<double>(bytes_shipped) / (1024.0 * 1024.0);

@@ -34,11 +34,79 @@ ExchangeSender::ExchangeSender(ExecContext* ctx, std::string name,
   for (const ExchangeDestination& dest : destinations_) {
     sender_slots_.push_back(dest.channel->AllocSenderSlot());
   }
+  if (mode_ == ExchangeMode::kBroadcast) {
+    // One stream per wire version in use; every destination of a group
+    // receives the identical body sequence, so their decoders stay in sync
+    // with the shared encoder.
+    broadcast_streams_.resize(2);
+    for (const ExchangeDestination& dest : destinations_) {
+      const size_t v = dest.wire == WireFormatVersion::kColumnar ? 1 : 0;
+      if (broadcast_streams_[v] == nullptr) {
+        broadcast_streams_[v] = std::make_unique<Stream>(dest.wire);
+      }
+    }
+  } else {
+    streams_.reserve(destinations_.size());
+    for (const ExchangeDestination& dest : destinations_) {
+      streams_.push_back(std::make_unique<Stream>(dest.wire));
+    }
+  }
+}
+
+void ExchangeSender::ResetStreams() {
+  for (const auto& s : streams_) {
+    if (s != nullptr) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->encoder.Reset();
+    }
+  }
+  for (const auto& s : broadcast_streams_) {
+    if (s != nullptr) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->encoder.Reset();
+    }
+  }
+}
+
+int64_t ExchangeSender::encode_transposes() const {
+  int64_t total = 0;
+  for (const auto& s : streams_) {
+    if (s != nullptr) total += s->encoder.encode_transposes();
+  }
+  for (const auto& s : broadcast_streams_) {
+    if (s != nullptr) total += s->encoder.encode_transposes();
+  }
+  return total;
+}
+
+int64_t ExchangeSender::dict_reships() const {
+  int64_t total = 0;
+  for (const auto& s : streams_) {
+    if (s != nullptr) total += s->encoder.dict_reships();
+  }
+  for (const auto& s : broadcast_streams_) {
+    if (s != nullptr) total += s->encoder.dict_reships();
+  }
+  return total;
+}
+
+int64_t ExchangeSender::dict_entries_shipped() const {
+  int64_t total = 0;
+  for (const auto& s : streams_) {
+    if (s != nullptr) total += s->encoder.dict_entries_shipped();
+  }
+  for (const auto& s : broadcast_streams_) {
+    if (s != nullptr) total += s->encoder.dict_entries_shipped();
+  }
+  return total;
 }
 
 void ExchangeSender::ResetForReplay() {
   Operator::ResetForReplay();
   epoch_.fetch_add(1);
+  // The new epoch resets the receivers' stream dictionaries, so the
+  // encoders must forget what they shipped and start over too.
+  ResetStreams();
   for (auto& s : arrival_seq_) s.store(0);
   // The replay re-sends the whole stream, so the per-destination observed
   // cardinality restarts from zero too — otherwise an in-place restart
@@ -52,6 +120,9 @@ void ExchangeSender::AdoptStream(const ExchangeSender& prev) {
   // used); the consumers only ever knew the predecessor's slots.
   sender_slots_ = prev.sender_slots_;
   epoch_.store(prev.epoch_.load() + 1);
+  // Fresh epoch, fresh dictionaries on both sides (this sender's encoders
+  // are new, but a defensive reset keeps the invariant obvious).
+  ResetStreams();
 }
 
 Status ExchangeSender::Send(size_t dest_index, const Batch& batch,
@@ -67,12 +138,31 @@ Status ExchangeSender::Send(size_t dest_index, const Batch& batch,
   frame.replayable = seq_source_ != nullptr;
   frame.seq = frame.replayable ? seq_source_->current_window()
                                : arrival_seq_[dest_index].fetch_add(1);
-  std::string bytes =
-      body != nullptr
-          ? AssembleBatchFrame(frame.sender, frame.epoch, frame.seq,
-                               frame.replayable, *body, dest.wire)
-          : SerializeBatchFrame(frame.sender, frame.epoch, frame.seq,
-                                frame.replayable, batch, dest.wire);
+  if (body != nullptr) {
+    // Broadcast: the caller already holds the group stream's lock across
+    // encode and the whole fan-out, so stamping a header is all that's
+    // left here.
+    return TransmitFrame(
+        dest_index,
+        AssembleBatchFrame(frame.sender, frame.epoch, frame.seq,
+                           frame.replayable, *body, dest.wire),
+        batch.size());
+  }
+  // Encode and enqueue under the stream's lock: a frame that carries
+  // dictionary entries must reach the channel before the next frame that
+  // references them.
+  Stream& stream = *streams_[dest_index];
+  std::lock_guard<std::mutex> lock(stream.mu);
+  return TransmitFrame(dest_index,
+                       stream.encoder.SerializeFrame(
+                           frame.sender, frame.epoch, frame.seq,
+                           frame.replayable, batch),
+                       batch.size());
+}
+
+Status ExchangeSender::TransmitFrame(size_t dest_index, std::string bytes,
+                                     size_t rows) {
+  const ExchangeDestination& dest = destinations_[dest_index];
   const size_t wire_bytes = bytes.size();
   if (dest.remote != nullptr) {
     // Out-of-process consumer: the transport edge carries the frame
@@ -96,11 +186,11 @@ Status ExchangeSender::Send(size_t dest_index, const Batch& batch,
   }
   bytes_sent_.fetch_add(static_cast<int64_t>(wire_bytes));
   batches_sent_.fetch_add(1);
-  rows_sent_[dest_index].fetch_add(static_cast<int64_t>(batch.size()));
+  rows_sent_[dest_index].fetch_add(static_cast<int64_t>(rows));
   // Feed the observed wire bytes/row back to the AIP ship-vs-save cost
   // model, so its link-savings term reflects the compressed sizes actually
   // crossing the mesh.
-  ctx_->RecordWireSample(static_cast<int64_t>(batch.size()),
+  ctx_->RecordWireSample(static_cast<int64_t>(rows),
                          static_cast<int64_t>(wire_bytes));
   return Status::OK();
 }
@@ -113,13 +203,18 @@ Status ExchangeSender::DoPush(int, Batch&& batch) {
       if (batch.empty()) return Status::OK();
       // Serialize the payload once per wire version in use (headers carry
       // the per-destination sender slot and seq, so only the body is
-      // shareable) instead of re-encoding per destination.
+      // shareable) instead of re-encoding per destination. The group
+      // stream's lock is held across encode *and* the fan-out so every
+      // destination's frame order matches the shared encoder's state.
       std::string bodies[2];
+      std::unique_lock<std::mutex> locks[2];
       for (size_t i = 0; i < destinations_.size(); ++i) {
         const size_t v =
             destinations_[i].wire == WireFormatVersion::kColumnar ? 1 : 0;
         if (bodies[v].empty()) {
-          bodies[v] = SerializeBatchBody(batch, destinations_[i].wire);
+          Stream& stream = *broadcast_streams_[v];
+          locks[v] = std::unique_lock<std::mutex>(stream.mu);
+          bodies[v] = stream.encoder.SerializeBody(batch);
         }
         PUSHSIP_RETURN_NOT_OK(Send(i, batch, &bodies[v]));
       }
@@ -127,20 +222,24 @@ Status ExchangeSender::DoPush(int, Batch&& batch) {
     }
     case ExchangeMode::kHashPartition: {
       // Key hashes come from the batch's cached lane when an upstream
-      // consumer (filter, tap) already hashed these columns.
+      // consumer (filter, tap) already hashed these columns; the routed
+      // partitions are built with columnar gathers (same-dictionary string
+      // columns move codes, not bytes).
       std::vector<uint64_t> scratch;
       const std::vector<uint64_t>& key_hashes =
           batch.KeyHashes(hash_cols_, &scratch);
-      std::vector<Batch> parts(destinations_.size());
-      const size_t per_part_hint =
-          batch.rows.size() / destinations_.size() + 1;
-      for (Batch& part : parts) part.rows.reserve(per_part_hint);
-      for (size_t r = 0; r < batch.rows.size(); ++r) {
-        const size_t dest =
-            static_cast<size_t>(key_hashes[r] % destinations_.size());
-        parts[dest].rows.push_back(std::move(batch.rows[r]));
+      const size_t n = batch.size();
+      const size_t ndest = destinations_.size();
+      std::vector<Batch> parts(ndest);
+      for (Batch& part : parts) {
+        part.SetArity(batch.num_cols());
+        part.Reserve(n / ndest + 1);
       }
-      for (size_t i = 0; i < destinations_.size(); ++i) {
+      for (size_t r = 0; r < n; ++r) {
+        parts[static_cast<size_t>(key_hashes[r] % ndest)].AppendRowFrom(
+            batch, r);
+      }
+      for (size_t i = 0; i < ndest; ++i) {
         PUSHSIP_RETURN_NOT_OK(Send(i, parts[i]));
       }
       return Status::OK();
@@ -189,7 +288,16 @@ Status ExchangeReceiver::Run() {
       continue;
     }
     idle_sec = 0;
-    PUSHSIP_ASSIGN_OR_RETURN(BatchFrame frame, DeserializeBatchFrame(bytes));
+    // Decode through the stream decoder *before* any dedup decision: even
+    // a frame that ends up discarded as a duplicate advanced the sender's
+    // encoder state, so it must advance this side's dictionaries too.
+    PUSHSIP_ASSIGN_OR_RETURN(BatchFrame frame, decoder_.DecodeFrame(bytes));
+    if (frame.stale) {
+      // Pre-restart leftover; its dictionary context is gone and the epoch
+      // dedup below would discard it anyway.
+      batches_discarded_.fetch_add(1);
+      continue;
+    }
     if (frame.replayable) {
       // Only replayable producers ever re-send; their frames carry
       // deterministic, strictly increasing seqs, so a per-sender

@@ -10,6 +10,13 @@
 //   * kBroadcast  — every batch to every channel (replicate small inputs)
 //   * kHashPartition — rows routed by key hash (co-partitioned joins/aggs)
 //
+// Wire encoding. Each sender owns one WireStreamEncoder per outgoing
+// stream (per destination, or per wire-version group for broadcast), so
+// low-cardinality string columns ship their dictionary entries once per
+// stream instead of once per batch; the receiver's WireStreamDecoder keeps
+// the matching per-(sender, column) dictionaries. Stream state is keyed by
+// the frame epoch: a restart/migration bumps it, resetting both sides.
+//
 // Failure protocol. Every message is a BatchFrame tagged with
 // (sender-slot, epoch, seq): the slot identifies the producing stream
 // within its channel, the epoch counts the producing fragment's
@@ -28,6 +35,7 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -105,6 +113,13 @@ class ExchangeSender : public Operator {
   uint32_t epoch() const { return epoch_.load(); }
   int64_t bytes_sent() const { return bytes_sent_.load(); }
   int64_t batches_sent() const { return batches_sent_.load(); }
+  /// Mixed-type columns that needed per-value encode fallbacks, summed
+  /// over this sender's stream encoders (zero for typed pipelines).
+  int64_t encode_transposes() const;
+  /// Dictionary entries re-shipped (zero on the streaming wire encoding by
+  /// construction) and total entries shipped, summed over the encoders.
+  int64_t dict_reships() const;
+  int64_t dict_entries_shipped() const;
   /// Rows sent to destination `i` (replays included) — the observed
   /// per-channel cardinality the adaptive runtime feeds back into consumer
   /// fragments' exchange estimates.
@@ -128,17 +143,39 @@ class ExchangeSender : public Operator {
   Status DoFinish(int port) override;
 
  private:
+  /// One outgoing wire stream: the encoder plus the lock that keeps encode
+  /// order equal to enqueue order (the cross-batch dictionary protocol
+  /// requires in-order frames per stream). Forward and hash-partition
+  /// senders run one stream per destination; broadcast runs one per
+  /// wire-version group and stamps per-destination headers on the shared
+  /// body.
+  struct Stream {
+    explicit Stream(WireFormatVersion version) : encoder(version) {}
+    std::mutex mu;
+    WireStreamEncoder encoder;
+  };
+
   /// Serializes and transmits one frame. When `body` is non-null it is the
   /// batch payload already encoded at this destination's wire version
   /// (broadcast encodes once and stamps per-destination headers); otherwise
-  /// the batch is serialized here.
+  /// the batch is encoded here under the destination stream's lock.
   Status Send(size_t dest_index, const Batch& batch,
               const std::string* body = nullptr);
+  /// Bills the link, enqueues (or transports) the bytes, and bumps the
+  /// send-side counters.
+  Status TransmitFrame(size_t dest_index, std::string bytes, size_t rows);
+  /// Drops every stream's dictionary state (epoch transitions).
+  void ResetStreams();
 
   ExchangeMode mode_;
   std::vector<int> hash_cols_;
   std::vector<ExchangeDestination> destinations_;
   std::vector<int> sender_slots_;  // per destination
+  /// Per-destination streams (forward / hash-partition modes).
+  std::vector<std::unique_ptr<Stream>> streams_;
+  /// Per-wire-version shared streams (broadcast mode); the mutex also
+  /// orders the whole encode-and-fan-out section.
+  std::vector<std::unique_ptr<Stream>> broadcast_streams_;
   /// Per-destination arrival counters for non-bound senders. Atomic:
   /// compute fragments push into their terminal sender from several
   /// receiver threads at once. These seqs are informational only — the
@@ -215,6 +252,9 @@ class ExchangeReceiver : public SourceOperator {
 
   std::shared_ptr<ExchangeChannel> channel_;
   ReceiverOptions options_;
+  /// Stream-dictionary decode state, per sender slot. Run() is the only
+  /// caller (one thread per receiver), matching the decoder's contract.
+  WireStreamDecoder decoder_;
   std::unordered_map<uint32_t, SenderProgress> progress_;
   std::atomic<int64_t> batches_received_{0};
   std::atomic<int64_t> batches_discarded_{0};

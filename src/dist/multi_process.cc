@@ -113,13 +113,13 @@ Result<SiteRunResult> RunScaleOutSite(const SiteProcessOptions& options,
   SiteRunResult out;
   out.stats = stats;
   if (options.site == query->root_site) {
-    Batch result;
-    result.rows = query->root_sink->TakeRows();
+    std::vector<Tuple> rows = query->root_sink->TakeRows();
     // Result normalization: sorted v1 rows are the canonical answer bytes
     // the coordinator bit-compares against the in-process run.
-    std::sort(result.rows.begin(), result.rows.end(),
+    std::sort(rows.begin(), rows.end(),
               [](const Tuple& a, const Tuple& b) { return a.Compare(b) < 0; });
-    out.rows_wire = SerializeBatch(result, WireFormatVersion::kRowMajor);
+    out.rows_wire =
+        SerializeBatch(Batch::FromRows(rows), WireFormatVersion::kRowMajor);
   }
   // Our fragments are done, which means every peer feeding us already sent
   // its finish markers and everything we owed peers has been written;
@@ -136,12 +136,14 @@ std::string EncodeStatsLine(const DistQueryStats& s) {
       " src_pruned=%" PRId64 " bytes=%" PRId64 " link=%a sets=%" PRId64
       " filters=%" PRId64 " ship=%a restarts=%" PRId64 " discarded=%" PRId64
       " faults=%" PRId64 " reships=%" PRId64 " stragglers=%" PRId64
-      " migrations=%" PRId64 " recalibs=%" PRId64,
+      " migrations=%" PRId64 " recalibs=%" PRId64 " transposes=%" PRId64
+      " dictreships=%" PRId64,
       s.elapsed_sec, s.result_rows, s.peak_state_bytes, s.rows_pruned,
       s.rows_source_pruned, s.bytes_shipped, s.link_seconds, s.aip_sets,
       s.aip_filters, s.aip_ship_seconds, s.fragment_restarts,
       s.batches_discarded, s.faults_injected, s.aip_reships,
-      s.stragglers_detected, s.fragment_migrations, s.recalibrations);
+      s.stragglers_detected, s.fragment_migrations, s.recalibrations,
+      s.encode_transposes, s.dict_reships);
   return buf;
 }
 
@@ -155,13 +157,15 @@ Result<DistQueryStats> ParseStatsLine(const std::string& line) {
       " src_pruned=%" SCNd64 " bytes=%" SCNd64 " link=%la sets=%" SCNd64
       " filters=%" SCNd64 " ship=%la restarts=%" SCNd64 " discarded=%" SCNd64
       " faults=%" SCNd64 " reships=%" SCNd64 " stragglers=%" SCNd64
-      " migrations=%" SCNd64 " recalibs=%" SCNd64,
+      " migrations=%" SCNd64 " recalibs=%" SCNd64 " transposes=%" SCNd64
+      " dictreships=%" SCNd64,
       &s.elapsed_sec, &s.result_rows, &s.peak_state_bytes, &s.rows_pruned,
       &s.rows_source_pruned, &s.bytes_shipped, &s.link_seconds, &s.aip_sets,
       &s.aip_filters, &s.aip_ship_seconds, &s.fragment_restarts,
       &s.batches_discarded, &s.faults_injected, &s.aip_reships,
-      &s.stragglers_detected, &s.fragment_migrations, &s.recalibrations);
-  if (matched != 17) {
+      &s.stragglers_detected, &s.fragment_migrations, &s.recalibrations,
+      &s.encode_transposes, &s.dict_reships);
+  if (matched != 19) {
     return Status::InvalidArgument("malformed STATS line: " + line);
   }
   return s;
@@ -417,6 +421,8 @@ Result<MultiProcessResult> RunMultiProcess(const MultiProcessOptions& options) {
         t.stragglers_detected += s.stragglers_detected;
         t.fragment_migrations += s.fragment_migrations;
         t.recalibrations += s.recalibrations;
+        t.encode_transposes += s.encode_transposes;
+        t.dict_reships += s.dict_reships;
         got_stats = true;
       } else if (line.rfind("ROWS ", 0) == 0) {
         PUSHSIP_ASSIGN_OR_RETURN(result.rows_wire, HexDecode(line.substr(5)));

@@ -38,9 +38,8 @@ std::vector<std::shared_ptr<Catalog>> PartitionCatalog(
       }
       shards.push_back(std::move(shard));
     }
-    size_t i = 0;
-    for (const Tuple& row : table->rows()) {
-      shards[i++ % static_cast<size_t>(num_sites)]->AppendRow(row);
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      shards[r % static_cast<size_t>(num_sites)]->AppendRowFrom(*table, r);
     }
     for (int s = 0; s < num_sites; ++s) {
       shards[static_cast<size_t>(s)]->ComputeStats();

@@ -36,33 +36,39 @@ Status DistinctOp::DoPush(int, Batch&& batch) {
   std::vector<uint64_t> scratch;
   const std::vector<uint64_t>& key_hashes =
       batch.KeyHashes(all_cols_, &scratch);
-  Batch out;
+  const size_t n = batch.size();
+  // First occurrences are collected as a selection vector and the batch is
+  // compacted to them; only the rows entering the seen-set materialize as
+  // Tuples (state bounded by the distinct cardinality, not the flow).
+  std::vector<uint32_t> sel;
+  sel.reserve(n);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t r = 0; r < batch.rows.size(); ++r) {
-      Tuple& row = batch.rows[r];
+    for (size_t r = 0; r < n; ++r) {
       const uint64_t h = key_hashes[r];
       bool duplicate = false;
       const auto [lo, hi] = seen_.equal_range(h);
       for (auto it = lo; it != hi; ++it) {
-        if (row.EqualsOn(all_cols_, it->second, all_cols_)) {
+        if (batch.RowEqualsTupleOn(r, all_cols_, it->second, all_cols_)) {
           duplicate = true;
           break;
         }
       }
       if (duplicate) continue;
+      Tuple row = batch.MaterializeRow(r);
       const int64_t bytes = static_cast<int64_t>(row.FootprintBytes()) + 16;
       state_bytes_ += bytes;
       ctx_->state_tracker().Add(bytes);
-      out.rows.push_back(row);
       seen_.emplace(h, std::move(row));
+      sel.push_back(static_cast<uint32_t>(r));
     }
     int64_t prev = peak_state_.load(std::memory_order_relaxed);
     while (state_bytes_ > prev &&
            !peak_state_.compare_exchange_weak(prev, state_bytes_)) {
     }
   }
-  return Emit(std::move(out));
+  if (sel.size() != n) batch.CompactInPlace(sel);
+  return Emit(std::move(batch));
 }
 
 }  // namespace pushsip

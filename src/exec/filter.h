@@ -20,15 +20,13 @@ class FilterOp : public Operator {
 
  protected:
   Status DoPush(int, Batch&& batch) override {
-    size_t kept = 0;
-    for (size_t i = 0; i < batch.rows.size(); ++i) {
-      const Value v = predicate_->Eval(batch.rows[i]);
-      if (!v.is_null() && v.AsInt64() != 0) {
-        if (kept != i) batch.rows[kept] = std::move(batch.rows[i]);
-        ++kept;
-      }
-    }
-    batch.rows.resize(kept);
+    // Vectorized: the predicate narrows a selection vector with typed
+    // column kernels, then the survivors are compacted once.
+    const size_t n = batch.size();
+    std::vector<uint32_t> sel(n);
+    for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+    predicate_->EvalSelection(batch, &sel);
+    if (sel.size() != n) batch.CompactInPlace(sel);
     return Emit(std::move(batch));
   }
 

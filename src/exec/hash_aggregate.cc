@@ -1,5 +1,7 @@
 #include "exec/hash_aggregate.h"
 
+#include <algorithm>
+
 namespace pushsip {
 
 HashAggregate::HashAggregate(ExecContext* ctx, std::string name,
@@ -66,23 +68,25 @@ Status HashAggregate::DoPush(int, Batch&& batch) {
     for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
     return v;
   }();
-  for (size_t r = 0; r < batch.rows.size(); ++r) {
-    const Tuple& row = batch.rows[r];
+  const size_t n = batch.size();
+  for (size_t r = 0; r < n; ++r) {
     const uint64_t h = key_hashes[r];
     Group* group = nullptr;
     const auto [lo, hi] = groups_.equal_range(h);
     for (auto it = lo; it != hi; ++it) {
-      if (it->second.key.EqualsOn(identity, row, group_cols_)) {
+      if (batch.RowEqualsTupleOn(r, group_cols_, it->second.key, identity)) {
         group = &it->second;
         break;
       }
     }
     if (group == nullptr) {
+      // Group keys are state, not flow: materializing one Tuple per group
+      // is bounded by the group cardinality, not the input size.
       Group g;
       std::vector<Value> key_values;
       key_values.reserve(group_cols_.size());
       for (const int c : group_cols_) {
-        key_values.push_back(row.at(static_cast<size_t>(c)));
+        key_values.push_back(batch.ValueAt(r, static_cast<size_t>(c)));
       }
       g.key = Tuple(std::move(key_values));
       g.states.reserve(aggs_.size());
@@ -98,7 +102,7 @@ Status HashAggregate::DoPush(int, Batch&& batch) {
       if (a.func == AggFunc::kCount && !a.input) {
         group->states[i].Update(Value::Int64(1));  // COUNT(*)
       } else {
-        group->states[i].Update(a.input->Eval(row));
+        group->states[i].Update(a.input->Eval(batch, r));
       }
     }
   }
@@ -111,42 +115,39 @@ Status HashAggregate::DoPush(int, Batch&& batch) {
 
 Status HashAggregate::DoFinish(int) {
   const size_t batch_size = ctx_->batch_size();
-  Batch out;
+  const size_t arity = output_schema().num_fields();
+  std::vector<std::vector<Value>> rows;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    out.rows.reserve(groups_.size());
+    rows.reserve(groups_.size());
     // NULL-key groups never arise: group keys with NULLs are legal SQL but
     // the workload's grouping keys are key columns; handled uniformly here
     // regardless.
     for (const auto& [_, g] : groups_) {
       std::vector<Value> values;
-      values.reserve(group_cols_.size() + aggs_.size());
+      values.reserve(arity);
       for (const Value& v : g.key.values()) values.push_back(v);
       for (const AggState& s : g.states) values.push_back(s.Finalize());
-      out.rows.emplace_back(std::move(values));
+      rows.push_back(std::move(values));
     }
     // Empty input with no group columns: SQL scalar aggregates still
     // produce one row (e.g. SUM(..) over zero rows is NULL).
-    if (out.rows.empty() && group_cols_.empty()) {
+    if (rows.empty() && group_cols_.empty()) {
       std::vector<Value> values;
       for (const AggSpec& a : aggs_) {
         values.push_back(AggState(a.func).Finalize());
       }
-      out.rows.emplace_back(std::move(values));
+      rows.push_back(std::move(values));
     }
   }
-  // Emit outside the lock, in batches.
-  Batch chunk;
-  chunk.rows.reserve(batch_size);
-  for (Tuple& row : out.rows) {
-    chunk.rows.push_back(std::move(row));
-    if (chunk.rows.size() >= batch_size) {
-      PUSHSIP_RETURN_NOT_OK(Emit(std::move(chunk)));
-      chunk = Batch{};
-      chunk.rows.reserve(batch_size);
-    }
-  }
-  if (!chunk.empty()) {
+  // Emit outside the lock, in columnar chunks (row-at-a-time building is
+  // fine here: output size is the group cardinality, not the input size).
+  for (size_t start = 0; start < rows.size(); start += batch_size) {
+    const size_t end = std::min(rows.size(), start + batch_size);
+    Batch chunk;
+    chunk.SetArity(arity);
+    chunk.Reserve(end - start);
+    for (size_t i = start; i < end; ++i) chunk.AppendRow(rows[i]);
     PUSHSIP_RETURN_NOT_OK(Emit(std::move(chunk)));
   }
   return EmitFinish();

@@ -33,8 +33,10 @@ std::vector<uint64_t> SymmetricHashJoin::StateColumnHashes(int port,
   std::lock_guard<std::mutex> lock(mu_);
   const Side& side = sides_[port];
   hashes.reserve(side.table.size());
-  for (const auto& [_, tuple] : side.table) {
-    hashes.push_back(tuple.at(static_cast<size_t>(col)).Hash());
+  for (const auto& [_, ref] : side.table) {
+    hashes.push_back(
+        side.batches[ref.first].col(static_cast<size_t>(col)).HashAt(
+            ref.second));
   }
   return hashes;
 }
@@ -55,6 +57,7 @@ void SymmetricHashJoin::ReleaseSide(Side* side) {
     side->state_bytes = 0;
   }
   side->table.clear();
+  side->batches.clear();
   side->buffering = false;
 }
 
@@ -76,35 +79,50 @@ Status SymmetricHashJoin::DoPush(int port, Batch&& batch) {
   std::vector<uint64_t> scratch;
   const std::vector<uint64_t>& key_hashes = batch.KeyHashes(my_keys, &scratch);
 
+  const size_t n = batch.size();
   Batch out;
+  out.SetArity(output_schema().num_fields());
   {
     std::lock_guard<std::mutex> lock(mu_);
     Side& mine = sides_[port];
     Side& theirs = sides_[other];
-    for (size_t r = 0; r < batch.rows.size(); ++r) {
-      Tuple& row = batch.rows[r];
+    for (size_t r = 0; r < n; ++r) {
       const uint64_t h = key_hashes[r];
       // Probe the opposite side.
       const auto [lo, hi] = theirs.table.equal_range(h);
       for (auto it = lo; it != hi; ++it) {
-        if (!row.EqualsOn(my_keys, it->second, other_keys)) continue;
-        Tuple joined = port == 0 ? Tuple::Concat(row, it->second)
-                                 : Tuple::Concat(it->second, row);
-        if (residual_) {
-          const Value v = residual_->Eval(joined);
-          if (v.is_null() || v.AsInt64() == 0) continue;
+        const Batch& ob = theirs.batches[it->second.first];
+        const size_t orow = it->second.second;
+        if (!Batch::RowsEqualOn(batch, r, my_keys, ob, orow, other_keys)) {
+          continue;
         }
-        out.rows.push_back(std::move(joined));
+        // Gather the output row column-wise (string columns copy dictionary
+        // codes); a failing residual pops it right back off.
+        if (port == 0) {
+          out.AppendConcatRow(batch, r, ob, orow);
+        } else {
+          out.AppendConcatRow(ob, orow, batch, r);
+        }
+        if (residual_) {
+          const Value v = residual_->Eval(out, out.size() - 1);
+          if (v.is_null() || v.AsInt64() == 0) out.PopBackRow();
+        }
       }
-      // Buffer for future probes from the other side — unless that side has
-      // already finished (short-circuit: no future probes can arrive).
-      if (mine.buffering && !theirs.finished) {
-        const int64_t bytes =
-            static_cast<int64_t>(row.FootprintBytes()) + 16 /*bucket*/;
-        mine.state_bytes += bytes;
-        ctx_->state_tracker().Add(bytes);
-        mine.table.emplace(h, std::move(row));
+    }
+    // Buffer for future probes from the other side — unless that side has
+    // already finished (short-circuit: no future probes can arrive). The
+    // whole batch is retained as-is; the table rows point into it.
+    if (mine.buffering && !theirs.finished && n > 0) {
+      const uint32_t bi = static_cast<uint32_t>(mine.batches.size());
+      for (size_t r = 0; r < n; ++r) {
+        mine.table.emplace(key_hashes[r],
+                           std::make_pair(bi, static_cast<uint32_t>(r)));
       }
+      const int64_t bytes = static_cast<int64_t>(batch.FootprintBytes()) +
+                            static_cast<int64_t>(n) * 48 /*table entries*/;
+      mine.state_bytes += bytes;
+      ctx_->state_tracker().Add(bytes);
+      mine.batches.push_back(std::move(batch));
     }
     BumpPeak();
   }

@@ -57,9 +57,14 @@ class SymmetricHashJoin : public Operator {
 
  private:
   struct Side {
-    // hash(key) -> tuples with that key hash (collisions verified by
-    // EqualsOn before emitting).
-    std::unordered_multimap<uint64_t, Tuple> table;
+    // Build state stays columnar: arriving batches are retained whole and
+    // the hash table stores (batch index, row index) references, so builds
+    // are O(1) per batch (no row materialization) and probe hits gather
+    // output columns with code-copying string appends.
+    std::vector<Batch> batches;
+    // hash(key) -> rows with that key hash (collisions verified by
+    // RowsEqualOn before emitting).
+    std::unordered_multimap<uint64_t, std::pair<uint32_t, uint32_t>> table;
     bool finished = false;
     bool buffering = true;
     bool complete_at_finish = false;

@@ -46,7 +46,7 @@ Status Operator::Push(int port, Batch&& batch) {
     // like the row-at-a-time loop), then the surviving rows are compacted
     // once. No intermediate copies, and hash-probing filters amortize
     // their key hashing and synchronization per batch.
-    const size_t n = batch.rows.size();
+    const size_t n = batch.size();
     std::vector<uint32_t> sel(n);
     for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
     for (const auto& f : filters) {

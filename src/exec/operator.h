@@ -30,8 +30,8 @@ class TupleFilter {
  public:
   virtual ~TupleFilter() = default;
 
-  /// Returns false to prune the tuple.
-  virtual bool Pass(const Tuple& tuple) const = 0;
+  /// Returns false to prune row `row` of `batch`.
+  virtual bool Pass(const Batch& batch, size_t row) const = 0;
 
   /// Batch variant over a selection vector: `*sel` holds the indices of the
   /// rows still alive after the filters applied so far (strictly
@@ -44,7 +44,7 @@ class TupleFilter {
                          std::vector<uint32_t>* sel) const {
     size_t kept = 0;
     for (const uint32_t idx : *sel) {
-      if (Pass(batch.rows[idx])) (*sel)[kept++] = idx;
+      if (Pass(batch, idx)) (*sel)[kept++] = idx;
     }
     sel->resize(kept);
   }
@@ -53,17 +53,17 @@ class TupleFilter {
   virtual std::string label() const = 0;
 };
 
-/// Observer invoked for every tuple that survived the port's filters.
+/// Observer invoked for every row that survived the port's filters.
 ///
 /// ObserveBatch receives the batch mutably only so it can use (and warm)
 /// the batch's cached key-hash lane; taps must never modify the rows.
 class TupleTap {
  public:
   virtual ~TupleTap() = default;
-  virtual void Observe(const Tuple& tuple) = 0;
+  virtual void Observe(const Batch& batch, size_t row) = 0;
   /// Batch variant; override to amortize per-call synchronization.
   virtual void ObserveBatch(Batch& batch) {
-    for (const Tuple& row : batch.rows) Observe(row);
+    for (size_t r = 0; r < batch.size(); ++r) Observe(batch, r);
   }
 };
 

@@ -22,13 +22,37 @@ class ProjectOp : public Operator {
 
  protected:
   Status DoPush(int, Batch&& batch) override {
+    const size_t n = batch.size();
     Batch out;
-    out.rows.reserve(batch.rows.size());
-    for (const Tuple& row : batch.rows) {
-      std::vector<Value> values;
-      values.reserve(exprs_.size());
-      for (const ExprPtr& e : exprs_) values.push_back(e->Eval(row));
-      out.rows.emplace_back(std::move(values));
+    // Pass-through columns are taken whole (no per-row work). Moving is
+    // only safe when every expression is a bare reference — a computed
+    // expression may read any input column — and each column is taken
+    // at most once.
+    std::vector<int> refs(batch.num_cols(), 0);
+    bool all_bare = true;
+    for (const ExprPtr& e : exprs_) {
+      const int ci = e->column_index();
+      if (ci >= 0) {
+        ++refs[static_cast<size_t>(ci)];
+      } else {
+        all_bare = false;
+      }
+    }
+    for (const ExprPtr& e : exprs_) {
+      const int ci = e->column_index();
+      if (ci >= 0) {
+        Column& src = batch.col(static_cast<size_t>(ci));
+        if (all_bare && --refs[static_cast<size_t>(ci)] == 0) {
+          out.AddColumn(std::move(src));
+        } else {
+          out.AddColumn(src);
+        }
+        continue;
+      }
+      Column c;
+      c.Reserve(n);
+      for (size_t r = 0; r < n; ++r) c.AppendValue(e->Eval(batch, r));
+      out.AddColumn(std::move(c));
     }
     return Emit(std::move(out));
   }

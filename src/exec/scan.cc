@@ -49,9 +49,9 @@ Status TableScan::Run() {
   const size_t batch_size = ctx_->batch_size();
 
   // Lock-free snapshot of the dynamic source filters, refreshed whenever
-  // AttachSourceFilter bumps the version — one relaxed atomic load per row
-  // instead of a mutex acquisition, while a filter shipped mid-stream
-  // still starts pruning on the very next row.
+  // AttachSourceFilter bumps the version — one relaxed atomic load per
+  // window instead of a mutex acquisition, while a filter shipped
+  // mid-stream still starts pruning on the very next window.
   std::vector<std::shared_ptr<const TupleFilter>> filters;
   uint64_t seen_version = ~uint64_t{0};
   const auto refresh_filters = [&] {
@@ -63,107 +63,62 @@ Status TableScan::Run() {
   };
   refresh_filters();
 
-  if (options_.window_batches) {
-    // Deterministic windows: batch k covers raw rows [k*B, (k+1)*B).
-    // Pruning shrinks a window's batch (possibly to nothing) but never
-    // moves rows across windows, so a replay emits every surviving row
-    // under the same window index it had before the failure.
-    const auto& rows = table_->rows();
-    const size_t num_rows = rows.size();
-    size_t since_delay = 0;
-    for (size_t start = 0; start < num_rows; start += batch_size) {
-      if (ShouldStop()) return Status::Cancelled("query cancelled");
+  // Both modes stream the table window by window: batch k is a typed
+  // column slice of raw rows [k*B, (k+1)*B) sharing the table columns'
+  // dictionaries (no per-row materialization), narrowed by the source
+  // filters through one selection vector and compacted once.
+  //
+  // With window_batches the window index is the batch's deterministic
+  // identity: pruning shrinks a window's batch (possibly to nothing, a
+  // legal seq gap) but never moves rows across windows, so a replay
+  // emits every surviving row under the same window index it had before
+  // the failure — regardless of when filters arrived.
+  const size_t num_rows = table_->num_rows();
+  size_t since_delay = 0;
+  for (size_t start = 0; start < num_rows; start += batch_size) {
+    if (ShouldStop()) return Status::Cancelled("query cancelled");
+    if (options_.window_batches) {
       if (preempt_requested()) {
-        // Window boundaries are the replay-exact points: every window up to
-        // here was fully emitted (or skipped), so a restart — in place or
-        // on another site — re-produces the remaining stream under seqs
-        // the consumers can dedup exactly.
+        // Window boundaries are the replay-exact points: every window up
+        // to here was fully emitted (or skipped), so a restart — in place
+        // or on another site — re-produces the remaining stream under
+        // seqs the consumers can dedup exactly.
         return Status::Unavailable(name() + ": preempted at window " +
                                    std::to_string(start / batch_size));
       }
       current_window_.store(start / batch_size, std::memory_order_relaxed);
-      const size_t end = std::min(num_rows, start + batch_size);
-      Batch batch;
-      batch.rows.reserve(end - start);
-      for (size_t i = start; i < end; ++i) {
-        rows_scanned_.fetch_add(1);
-        if (options_.delay_every_rows > 0 &&
-            ++since_delay >= options_.delay_every_rows) {
-          since_delay = 0;
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(options_.delay_ms));
-        }
-        // Per-row filter check, exactly like the compacting path: a filter
-        // attached mid-window starts pruning immediately. Replay stays
-        // exact regardless of filter timing because a row's window index
-        // is its raw position — filters only ever shrink a window's
-        // content, never move rows between windows.
-        refresh_filters();
-        bool pass = true;
-        for (const auto& f : filters) {
-          if (!f->Pass(rows[i])) {
-            pass = false;
-            break;
-          }
-        }
-        if (!pass) {
-          rows_source_pruned_.fetch_add(1);
-          continue;
-        }
-        batch.rows.push_back(rows[i]);
-      }
-      if (batch.empty()) continue;  // fully pruned window: seq gap, legal
-      if (options_.transfer_hook) {
-        size_t bytes = 0;
-        for (const Tuple& t : batch.rows) bytes += t.FootprintBytes();
-        options_.transfer_hook(bytes);
-      }
-      PUSHSIP_RETURN_NOT_OK(Emit(std::move(batch)));
     }
-    return EmitFinish();
-  }
-
-  Batch batch;
-  batch.rows.reserve(batch_size);
-  size_t since_delay = 0;
-  for (const Tuple& row : table_->rows()) {
-    if (ShouldStop()) return Status::Cancelled("query cancelled");
-    rows_scanned_.fetch_add(1);
-    if (options_.delay_every_rows > 0 &&
-        ++since_delay >= options_.delay_every_rows) {
-      since_delay = 0;
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(options_.delay_ms));
+    const size_t end = std::min(num_rows, start + batch_size);
+    rows_scanned_.fetch_add(static_cast<int64_t>(end - start));
+    if (options_.delay_every_rows > 0) {
+      // Rate limiting at window granularity, preserving the cumulative
+      // sleep budget of the per-row schedule.
+      since_delay += end - start;
+      while (since_delay >= options_.delay_every_rows) {
+        since_delay -= options_.delay_every_rows;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(options_.delay_ms));
+      }
     }
     refresh_filters();
-    bool pass = true;
-    for (const auto& f : filters) {
-      if (!f->Pass(row)) {
-        pass = false;
-        break;
+    Batch batch = table_->SliceRows(start, end);
+    if (!filters.empty()) {
+      const size_t n = batch.size();
+      std::vector<uint32_t> sel(n);
+      for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+      for (const auto& f : filters) {
+        if (sel.empty()) break;
+        f->PassBatch(batch, &sel);
       }
+      rows_source_pruned_.fetch_add(static_cast<int64_t>(n - sel.size()));
+      if (sel.size() != n) batch.CompactInPlace(sel);
     }
-    if (!pass) {
-      rows_source_pruned_.fetch_add(1);
-      continue;
-    }
-    batch.rows.push_back(row);
-    if (batch.rows.size() >= batch_size) {
-      if (options_.transfer_hook) {
-        size_t bytes = 0;
-        for (const Tuple& t : batch.rows) bytes += t.FootprintBytes();
-        options_.transfer_hook(bytes);
-      }
-      PUSHSIP_RETURN_NOT_OK(Emit(std::move(batch)));
-      batch = Batch{};
-      batch.rows.reserve(batch_size);
-    }
-  }
-  if (!batch.empty()) {
+    if (batch.empty()) continue;  // fully pruned window: seq gap, legal
     if (options_.transfer_hook) {
-      size_t bytes = 0;
-      for (const Tuple& t : batch.rows) bytes += t.FootprintBytes();
-      options_.transfer_hook(bytes);
+      // Charge live payload bytes, not heap footprint: after source-filter
+      // compaction the vectors keep their capacity, but only surviving rows
+      // cross the link.
+      options_.transfer_hook(batch.PayloadBytes());
     }
     PUSHSIP_RETURN_NOT_OK(Emit(std::move(batch)));
   }

@@ -18,8 +18,13 @@ void Sink::WaitFinished() {
 }
 
 Status Sink::DoPush(int, Batch&& batch) {
+  // Terminal materialization: the only place a full query result becomes
+  // row-major Tuples, for the client API.
   std::lock_guard<std::mutex> lock(mu_);
-  for (Tuple& row : batch.rows) rows_.push_back(std::move(row));
+  rows_.reserve(rows_.size() + batch.size());
+  for (size_t r = 0; r < batch.size(); ++r) {
+    rows_.push_back(batch.MaterializeRow(r));
+  }
   return Status::OK();
 }
 

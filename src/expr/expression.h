@@ -1,5 +1,14 @@
-// Row-at-a-time expression evaluation: column refs, literals, comparisons,
-// arithmetic, boolean connectives, and SQL LIKE.
+// Expression evaluation over columnar batches: column refs, literals,
+// comparisons, arithmetic, boolean connectives, and SQL LIKE.
+//
+// Two evaluation modes:
+//   * Eval(batch, row) — row-at-a-time Value semantics (projection of
+//     computed columns, join residuals, aggregates' inputs).
+//   * EvalSelection(batch, sel) — vector-at-a-time predicate filtering
+//     over a selection vector. Comparisons against typed columns run
+//     tight branch-light loops on the raw column data (no Value variant
+//     per row); everything else falls back to the row loop. A row
+//     survives iff the predicate evaluates to a non-NULL non-zero value.
 #ifndef PUSHSIP_EXPR_EXPRESSION_H_
 #define PUSHSIP_EXPR_EXPRESSION_H_
 
@@ -19,13 +28,28 @@ using ExprPtr = std::shared_ptr<Expression>;
 ///
 /// Expressions are bound to column *indices* at plan-construction time (the
 /// PlanBuilder resolves names against the operator's input schema), so
-/// evaluation is a pure function of the tuple.
+/// evaluation is a pure function of the batch row.
 class Expression {
  public:
   virtual ~Expression() = default;
 
-  /// Evaluates against one row. Predicates return Int64(0/1) or NULL.
-  virtual Value Eval(const Tuple& row) const = 0;
+  /// Evaluates against one batch row. Predicates return Int64(0/1) or NULL.
+  virtual Value Eval(const Batch& batch, size_t row) const = 0;
+
+  /// Narrows `*sel` (strictly increasing row indices into `batch`) to the
+  /// rows where this predicate is non-NULL and non-zero, preserving order.
+  /// The base implementation is the row-at-a-time reference loop; typed
+  /// comparisons override it with vectorized kernels. Must keep exactly
+  /// the rows Eval() would.
+  virtual void EvalSelection(const Batch& batch,
+                             std::vector<uint32_t>* sel) const {
+    size_t kept = 0;
+    for (const uint32_t idx : *sel) {
+      const Value v = Eval(batch, idx);
+      if (!v.is_null() && v.AsInt64() != 0) (*sel)[kept++] = idx;
+    }
+    sel->resize(kept);
+  }
 
   /// Static result type (best effort; kNull when data-dependent).
   virtual TypeId type() const = 0;
@@ -34,6 +58,9 @@ class Expression {
 
   /// Column index if this is a bare column reference, else -1.
   virtual int column_index() const { return -1; }
+
+  /// The constant if this is a literal, else nullptr (kernel dispatch).
+  virtual const Value* literal_value() const { return nullptr; }
 };
 
 /// Comparison operators.

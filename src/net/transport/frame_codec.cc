@@ -42,6 +42,17 @@ void AppendTransportMsg(const TransportMsg& msg, std::string* out) {
   out->append(msg.payload);
 }
 
+std::string EncodeTransportFrameHeader(TransportMsgKind kind,
+                                       uint32_t channel,
+                                       size_t payload_size) {
+  std::string out;
+  out.reserve(4 + kHeaderAfterLen);
+  AppendU32(static_cast<uint32_t>(kHeaderAfterLen + payload_size), &out);
+  out.push_back(static_cast<char>(kind));
+  AppendU32(channel, &out);
+  return out;
+}
+
 std::string EncodeTransportMsg(const TransportMsg& msg) {
   std::string out;
   AppendTransportMsg(msg, &out);

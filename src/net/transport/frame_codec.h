@@ -43,6 +43,12 @@ struct TransportMsg {
 void AppendTransportMsg(const TransportMsg& msg, std::string* out);
 std::string EncodeTransportMsg(const TransportMsg& msg);
 
+/// The 9-byte frame header (length prefix + kind + channel) for a payload
+/// of `payload_size` bytes. Lets a sender gather-write header and payload
+/// (writev) instead of concatenating them into a fresh buffer.
+std::string EncodeTransportFrameHeader(TransportMsgKind kind,
+                                       uint32_t channel, size_t payload_size);
+
 /// \brief Incremental decoder: feed bytes as they arrive, pull messages out.
 class TransportFrameDecoder {
  public:

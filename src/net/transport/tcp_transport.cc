@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -509,14 +510,36 @@ void TcpTransport::OnChannelDrain(uint32_t channel_id, int origin_site,
 
 Status TcpTransport::WriteFrame(const ConnPtr& conn,
                                 const std::string& encoded, double* seconds) {
+  return WriteFrameV(conn, encoded, std::string_view(), seconds);
+}
+
+Status TcpTransport::WriteFrameV(const ConnPtr& conn, std::string_view header,
+                                 std::string_view payload, double* seconds) {
   Stopwatch timer;
   std::lock_guard<std::mutex> lock(conn->write_mu);
+  const size_t total = header.size() + payload.size();
   size_t put = 0;
-  while (put < encoded.size()) {
+  while (put < total) {
     if (!conn->up.load()) return Status::Unavailable("connection is down");
-    const ssize_t w =
-        send(conn->fd, encoded.data() + put, encoded.size() - put,
-             MSG_NOSIGNAL);
+    // Gather whatever is still unsent of header then payload; sendmsg is
+    // writev with MSG_NOSIGNAL.
+    iovec iov[2];
+    size_t iovcnt = 0;
+    if (put < header.size()) {
+      iov[iovcnt++] = {const_cast<char*>(header.data() + put),
+                       header.size() - put};
+      if (!payload.empty()) {
+        iov[iovcnt++] = {const_cast<char*>(payload.data()), payload.size()};
+      }
+    } else {
+      const size_t off = put - header.size();
+      iov[iovcnt++] = {const_cast<char*>(payload.data() + off),
+                       payload.size() - off};
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = iovcnt;
+    const ssize_t w = sendmsg(conn->fd, &mh, MSG_NOSIGNAL);
     if (w >= 0) {
       put += static_cast<size_t>(w);
       continue;
@@ -537,7 +560,7 @@ Status TcpTransport::WriteFrame(const ConnPtr& conn,
   }
   const double secs = timer.ElapsedSeconds();
   if (seconds != nullptr) *seconds += secs;
-  bytes_sent_.fetch_add(static_cast<int64_t>(encoded.size()));
+  bytes_sent_.fetch_add(static_cast<int64_t>(total));
   wire_micros_.fetch_add(static_cast<int64_t>(secs * 1e6));
   return Status::OK();
 }
@@ -563,18 +586,19 @@ class TcpChannelSender : public ChannelSender {
       return Status::Unavailable("no live connection to site " +
                                  std::to_string(to_site_));
     }
-    TransportMsg msg;
-    msg.kind = TransportMsgKind::kData;
-    msg.channel = channel_id_;
-    msg.payload = std::move(bytes);
-    const std::string encoded = EncodeTransportMsg(msg);
+    // Gather-write the 9-byte frame header and the serialized batch: the
+    // (potentially large) payload goes to the socket from its own buffer
+    // instead of being copied into a concatenated frame first.
+    const std::string header = EncodeTransportFrameHeader(
+        TransportMsgKind::kData, channel_id_, bytes.size());
     double secs = 0;
-    PUSHSIP_RETURN_NOT_OK(transport_->WriteFrame(conn, encoded, &secs));
+    PUSHSIP_RETURN_NOT_OK(transport_->WriteFrameV(conn, header, bytes, &secs));
+    const size_t sent = header.size() + bytes.size();
     if (link_seconds != nullptr) *link_seconds += secs;
     if (bill_to != nullptr) {
-      bill_to->RecordLinkTraffic(static_cast<int64_t>(encoded.size()), secs);
+      bill_to->RecordLinkTraffic(static_cast<int64_t>(sent), secs);
     }
-    bytes_sent_.fetch_add(static_cast<int64_t>(encoded.size()));
+    bytes_sent_.fetch_add(static_cast<int64_t>(sent));
     transport_->MaybeChaosKill();
     return Status::OK();
   }

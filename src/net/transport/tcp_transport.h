@@ -39,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -151,6 +152,10 @@ class TcpTransport : public Transport {
   /// Writes one encoded frame on `conn`; marks it down on failure.
   Status WriteFrame(const ConnPtr& conn, const std::string& encoded,
                     double* seconds);
+  /// Gathered write of `header` + `payload` in one sendmsg (zero-copy on
+  /// the payload — data frames skip the header+payload concatenation).
+  Status WriteFrameV(const ConnPtr& conn, std::string_view header,
+                     std::string_view payload, double* seconds);
   ConnPtr OutboundFor(int site);
   uint8_t local_wire_bits() const;
 

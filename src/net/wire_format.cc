@@ -4,7 +4,6 @@
 #include <bit>
 #include <cstring>
 #include <string_view>
-#include <unordered_map>
 
 namespace pushsip {
 
@@ -17,13 +16,14 @@ constexpr char kFilterMsgTag = 'A';
 
 // v2 columnar payload: per-column encodings.
 enum ColTag : uint8_t {
-  kColMixed = 0,        ///< per-value self-describing (ragged/mixed types)
-  kColInt64 = 1,        ///< zigzag varints
-  kColDate = 2,         ///< zigzag varints
-  kColDouble = 3,       ///< raw 8-byte doubles
-  kColStringDict = 4,   ///< per-batch dictionary + varint indices
-  kColStringPlain = 5,  ///< varint length + bytes per value
-  kColNull = 6,         ///< every value NULL; no payload
+  kColMixed = 0,            ///< per-value self-describing (mixed types)
+  kColInt64 = 1,            ///< zigzag varints
+  kColDate = 2,             ///< zigzag varints
+  kColDouble = 3,           ///< raw 8-byte doubles
+  kColStringDict = 4,       ///< per-batch dictionary + varint indices
+  kColStringPlain = 5,      ///< varint length + bytes per value
+  kColNull = 6,             ///< every value NULL; no payload
+  kColStringDictStream = 7, ///< cross-batch dictionary delta + varint codes
 };
 
 // Decode-side sanity caps: a corrupt count must not turn into a huge
@@ -31,6 +31,8 @@ enum ColTag : uint8_t {
 // truncated stream cuts short long before it matters.
 constexpr uint64_t kMaxReserveRows = 1u << 20;
 constexpr uint64_t kMaxPlausibleCols = 1u << 16;
+
+constexpr uint32_t kNoStreamCode = ~uint32_t{0};
 
 void PutU8(uint8_t v, std::string* out) {
   out->push_back(static_cast<char>(v));
@@ -182,6 +184,40 @@ void AppendValue(const Value& v, std::string* out) {
   }
 }
 
+/// v1 value encoding straight from a column row — same bytes AppendValue
+/// produces, without constructing a Value (strings go out as views).
+void AppendValueFromCol(const Column& col, size_t r, std::string* out) {
+  if (col.is_variant()) {
+    AppendValue(col.GetValue(r), out);
+    return;
+  }
+  if (col.IsNull(r)) {
+    PutU8(static_cast<uint8_t>(TypeId::kNull), out);
+    return;
+  }
+  switch (col.type()) {
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      PutU8(static_cast<uint8_t>(col.type()), out);
+      PutU64(static_cast<uint64_t>(col.I64At(r)), out);
+      return;
+    case TypeId::kDouble:
+      PutU8(static_cast<uint8_t>(TypeId::kDouble), out);
+      PutDouble(col.F64At(r), out);
+      return;
+    case TypeId::kString: {
+      const std::string_view s = col.StringAt(r);
+      PutU8(static_cast<uint8_t>(TypeId::kString), out);
+      PutU32(static_cast<uint32_t>(s.size()), out);
+      out->append(s);
+      return;
+    }
+    case TypeId::kNull:
+      PutU8(static_cast<uint8_t>(TypeId::kNull), out);
+      return;
+  }
+}
+
 Result<Value> ReadValue(WireReader* r) {
   PUSHSIP_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
   switch (static_cast<TypeId>(tag)) {
@@ -209,170 +245,189 @@ Result<Value> ReadValue(WireReader* r) {
 }
 
 // ---------------------------------------------------------------------------
-// v1 payload: row-major, fixed-width, self-describing per value.
+// v1 payload: row-major, fixed-width, self-describing per value. Legacy —
+// the one place encode walks rows instead of columns.
 
 void AppendBatchBodyV1(const Batch& batch, std::string* out) {
-  PutU32(static_cast<uint32_t>(batch.size()), out);
-  for (const Tuple& row : batch.rows) AppendTuple(row, out);
+  const size_t n = batch.size();
+  const size_t num_cols = batch.num_cols();
+  PutU32(static_cast<uint32_t>(n), out);
+  for (size_t r = 0; r < n; ++r) {
+    PutU32(static_cast<uint32_t>(num_cols), out);
+    for (size_t c = 0; c < num_cols; ++c) {
+      AppendValueFromCol(batch.col(c), r, out);
+    }
+  }
 }
 
 Result<Batch> ReadBatchBodyV1(WireReader* r) {
   PUSHSIP_ASSIGN_OR_RETURN(const uint32_t num_rows, r->ReadU32());
   Batch batch;
-  batch.rows.reserve(std::min<uint64_t>(num_rows, kMaxReserveRows));
   for (uint32_t i = 0; i < num_rows; ++i) {
     PUSHSIP_ASSIGN_OR_RETURN(const uint32_t arity, r->ReadU32());
+    if (i == 0) {
+      if (arity > kMaxPlausibleCols) {
+        return Status::InvalidArgument(
+            "implausible column count on the wire");
+      }
+      batch.SetArity(arity);
+      batch.Reserve(std::min<uint64_t>(num_rows, kMaxReserveRows));
+    } else if (arity != batch.num_cols()) {
+      // Batches are rectangular; ragged rows no longer deserialize.
+      return Status::InvalidArgument("ragged batch on the wire");
+    }
     std::vector<Value> values;
-    values.reserve(std::min<uint64_t>(arity, kMaxPlausibleCols));
+    values.reserve(arity);
     for (uint32_t c = 0; c < arity; ++c) {
       PUSHSIP_ASSIGN_OR_RETURN(Value v, ReadValue(r));
       values.push_back(std::move(v));
     }
-    batch.rows.emplace_back(std::move(values));
+    batch.AppendRow(values);
   }
   return batch;
 }
 
 // ---------------------------------------------------------------------------
-// v2 payload: column-major with per-column compression.
+// v2 payload: column-major with per-column compression, encoded directly
+// from the Batch's typed column vectors (no row materialization).
 
 /// Appends the null bitmap preamble: u8 has_nulls, then (when any) an
 /// LSB-first bitmap with bit r set iff row r is NULL in this column.
-void AppendNullBitmap(const Batch& batch, size_t col, size_t null_count,
-                      std::string* out) {
-  const size_t n = batch.size();
+void AppendNullBitmapCol(const Column& col, size_t n, size_t null_count,
+                         std::string* out) {
   PutU8(null_count > 0 ? 1 : 0, out);
   if (null_count == 0) return;
   std::string bitmap((n + 7) / 8, '\0');
   for (size_t r = 0; r < n; ++r) {
-    if (batch.rows[r].at(col).is_null()) {
+    if (col.IsNull(r)) {
       bitmap[r >> 3] |= static_cast<char>(1u << (r & 7));
     }
   }
   out->append(bitmap);
 }
 
-void AppendColumnV2(const Batch& batch, size_t col, std::string* out) {
-  const size_t n = batch.size();
-  // Classify: NULL count plus the set of non-null physical types.
-  size_t null_count = 0;
-  TypeId type = TypeId::kNull;
-  bool mixed = false;
-  for (const Tuple& row : batch.rows) {
-    const Value& v = row.at(col);
-    if (v.is_null()) {
-      ++null_count;
-      continue;
-    }
-    if (type == TypeId::kNull) {
-      type = v.type();
-    } else if (v.type() != type) {
-      mixed = true;
-      break;
-    }
-  }
-
-  if (mixed) {
-    PutU8(kColMixed, out);
-    for (const Tuple& row : batch.rows) AppendValue(row.at(col), out);
-    return;
-  }
+/// Shared typed encodings for everything except string columns (whose
+/// layout differs between the stateless and the streaming encoder).
+/// Returns false when the column needs the mixed per-value fallback.
+bool AppendTypedColumnV2(const Column& col, size_t n, std::string* out) {
+  if (col.is_variant()) return false;
+  const size_t null_count = col.NullCount();
   if (null_count == n) {
     PutU8(kColNull, out);
-    return;
+    return true;
   }
-
-  switch (type) {
+  switch (col.type()) {
     case TypeId::kInt64:
     case TypeId::kDate: {
-      PutU8(type == TypeId::kInt64 ? kColInt64 : kColDate, out);
-      AppendNullBitmap(batch, col, null_count, out);
-      for (const Tuple& row : batch.rows) {
-        const Value& v = row.at(col);
-        if (!v.is_null()) PutVarint(ZigZagEncode(v.AsInt64()), out);
+      PutU8(col.type() == TypeId::kInt64 ? kColInt64 : kColDate, out);
+      AppendNullBitmapCol(col, n, null_count, out);
+      const int64_t* data = col.i64_data();
+      if (null_count == 0) {
+        for (size_t r = 0; r < n; ++r) {
+          PutVarint(ZigZagEncode(data[r]), out);
+        }
+      } else {
+        for (size_t r = 0; r < n; ++r) {
+          if (!col.IsNull(r)) PutVarint(ZigZagEncode(data[r]), out);
+        }
       }
-      return;
+      return true;
     }
     case TypeId::kDouble: {
       PutU8(kColDouble, out);
-      AppendNullBitmap(batch, col, null_count, out);
-      for (const Tuple& row : batch.rows) {
-        const Value& v = row.at(col);
-        if (!v.is_null()) PutDouble(v.AsDouble(), out);
+      AppendNullBitmapCol(col, n, null_count, out);
+      const double* data = col.f64_data();
+      for (size_t r = 0; r < n; ++r) {
+        if (null_count == 0 || !col.IsNull(r)) PutDouble(data[r], out);
       }
-      return;
+      return true;
     }
-    case TypeId::kString: {
-      // Dictionary-encode when at least half the values repeat; the dict
-      // stores each distinct string once and rows carry varint indices.
-      std::unordered_map<std::string_view, uint32_t> dict;
-      std::vector<std::string_view> order;
-      const size_t non_null = n - null_count;
-      for (const Tuple& row : batch.rows) {
-        const Value& v = row.at(col);
-        if (v.is_null()) continue;
-        const std::string_view s = v.AsString();
-        if (dict.emplace(s, static_cast<uint32_t>(order.size())).second) {
-          order.push_back(s);
-        }
-      }
-      if (order.size() * 2 <= non_null) {
-        PutU8(kColStringDict, out);
-        AppendNullBitmap(batch, col, null_count, out);
-        PutVarint(order.size(), out);
-        for (const std::string_view s : order) {
-          PutVarint(s.size(), out);
-          out->append(s);
-        }
-        for (const Tuple& row : batch.rows) {
-          const Value& v = row.at(col);
-          if (!v.is_null()) PutVarint(dict.at(v.AsString()), out);
-        }
-      } else {
-        PutU8(kColStringPlain, out);
-        AppendNullBitmap(batch, col, null_count, out);
-        for (const Tuple& row : batch.rows) {
-          const Value& v = row.at(col);
-          if (v.is_null()) continue;
-          PutVarint(v.AsString().size(), out);
-          out->append(v.AsString());
-        }
-      }
-      return;
-    }
+    case TypeId::kString:
+      return false;  // caller picks a string layout
     case TypeId::kNull:
-      break;  // unreachable: null_count == n handled above
+      break;
   }
   PUSHSIP_DCHECK(false);
+  return true;
+}
+
+void AppendMixedColumnV2(const Column& col, size_t n, std::string* out) {
+  PutU8(kColMixed, out);
+  for (size_t r = 0; r < n; ++r) AppendValueFromCol(col, r, out);
+}
+
+/// Self-contained string column: per-batch dictionary when at least half
+/// the values repeat (the dictionary ships only referenced strings, in
+/// first-reference order), plain length-prefixed strings otherwise.
+/// `order_out`, when given, receives the dictionary strings shipped (for
+/// the encoder's re-ship accounting); left empty for the plain layout.
+void AppendStringColumnPerBatch(const Column& col, size_t n,
+                                std::string* out,
+                                std::vector<std::string_view>* order_out) {
+  const size_t null_count = col.NullCount();
+  const size_t non_null = n - null_count;
+  // Remap referenced dictionary codes to dense batch-local indices.
+  std::unordered_map<uint32_t, uint32_t> remap;
+  std::vector<std::string_view> order;
+  remap.reserve(64);
+  for (size_t r = 0; r < n; ++r) {
+    if (col.IsNull(r)) continue;
+    const uint32_t code = col.CodeAt(r);
+    if (remap.emplace(code, static_cast<uint32_t>(order.size())).second) {
+      order.push_back(col.dict()->entry(code));
+    }
+  }
+  if (order.size() * 2 <= non_null) {
+    PutU8(kColStringDict, out);
+    AppendNullBitmapCol(col, n, null_count, out);
+    PutVarint(order.size(), out);
+    for (const std::string_view s : order) {
+      PutVarint(s.size(), out);
+      out->append(s);
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (!col.IsNull(r)) PutVarint(remap.at(col.CodeAt(r)), out);
+    }
+    if (order_out != nullptr) *order_out = std::move(order);
+  } else {
+    PutU8(kColStringPlain, out);
+    AppendNullBitmapCol(col, n, null_count, out);
+    for (size_t r = 0; r < n; ++r) {
+      if (col.IsNull(r)) continue;
+      const std::string_view s = col.StringAt(r);
+      PutVarint(s.size(), out);
+      out->append(s);
+    }
+  }
+}
+
+void AppendColumnV2(const Column& col, size_t n, std::string* out) {
+  if (AppendTypedColumnV2(col, n, out)) return;
+  if (col.is_variant()) {
+    AppendMixedColumnV2(col, n, out);
+    return;
+  }
+  AppendStringColumnPerBatch(col, n, out, nullptr);
 }
 
 void AppendBatchBodyV2(const Batch& batch, std::string* out) {
   const size_t n = batch.size();
   PutVarint(n, out);
   if (n == 0) return;
-  // Columnar layout needs uniform arity; ragged batches (never produced by
-  // the engine, but representable) fall back to per-row encoding.
-  const size_t num_cols = batch.rows[0].size();
-  bool uniform = true;
-  for (const Tuple& row : batch.rows) {
-    if (row.size() != num_cols) {
-      uniform = false;
-      break;
-    }
+  // Layout byte kept for format stability; batches are always rectangular
+  // now, so only the uniform columnar layout is ever written.
+  PutU8(1, out);
+  PutVarint(batch.num_cols(), out);
+  for (size_t c = 0; c < batch.num_cols(); ++c) {
+    AppendColumnV2(batch.col(c), n, out);
   }
-  PutU8(uniform ? 1 : 0, out);
-  if (!uniform) {
-    for (const Tuple& row : batch.rows) AppendTuple(row, out);
-    return;
-  }
-  PutVarint(num_cols, out);
-  for (size_t c = 0; c < num_cols; ++c) AppendColumnV2(batch, c, out);
 }
 
-/// Reads the null-bitmap preamble; resizes `*is_null` to n (all false when
-/// the column declares no NULLs).
-Status ReadNullBitmap(WireReader* r, size_t n, std::vector<bool>* is_null) {
-  is_null->assign(n, false);
+/// Reads the null-bitmap preamble into `*is_null` words (empty when the
+/// column declares no NULLs); bit layout matches Column::null_words().
+Status ReadNullBitmap(WireReader* r, size_t n,
+                      std::vector<uint8_t>* is_null) {
+  is_null->clear();
   PUSHSIP_ASSIGN_OR_RETURN(const uint8_t has_nulls, r->ReadU8());
   if (has_nulls > 1) {
     return Status::InvalidArgument("bad null-bitmap flag on the wire");
@@ -380,6 +435,7 @@ Status ReadNullBitmap(WireReader* r, size_t n, std::vector<bool>* is_null) {
   if (has_nulls == 0) return Status::OK();
   PUSHSIP_ASSIGN_OR_RETURN(const std::string bitmap,
                            r->ReadString((n + 7) / 8));
+  is_null->assign(n, 0);
   for (size_t i = 0; i < n; ++i) {
     (*is_null)[i] =
         (static_cast<uint8_t>(bitmap[i >> 3]) >> (i & 7)) & 1;
@@ -387,40 +443,61 @@ Status ReadNullBitmap(WireReader* r, size_t n, std::vector<bool>* is_null) {
   return Status::OK();
 }
 
-Status ReadColumnV2(WireReader* r, size_t col, std::vector<Tuple>* rows) {
-  const size_t n = rows->size();
+/// Per-(sender, column) dictionaries a stream decoder threads through the
+/// body decode; nullptr for the stateless entry points (then only
+/// self-contained frames — stream columns starting at base 0 — decode).
+struct StreamDecodeState {
+  std::vector<std::shared_ptr<StringDict>>* dicts = nullptr;
+};
+
+Result<Column> ReadColumnV2(WireReader* r, size_t n, size_t col_index,
+                            StreamDecodeState* stream) {
   PUSHSIP_ASSIGN_OR_RETURN(const uint8_t tag, r->ReadU8());
-  std::vector<bool> is_null;
+  const size_t reserve = std::min<uint64_t>(n, kMaxReserveRows);
+  std::vector<uint8_t> is_null;
   switch (tag) {
     case kColMixed: {
+      Column col;
+      col.Reserve(reserve);
       for (size_t i = 0; i < n; ++i) {
         PUSHSIP_ASSIGN_OR_RETURN(Value v, ReadValue(r));
-        (*rows)[i].at(col) = std::move(v);
+        col.AppendValue(v);
       }
-      return Status::OK();
+      return col;
     }
-    case kColNull:
-      return Status::OK();  // rows are pre-filled with NULLs
+    case kColNull: {
+      Column col;
+      for (size_t i = 0; i < n; ++i) col.AppendNull();
+      return col;
+    }
     case kColInt64:
     case kColDate: {
       PUSHSIP_RETURN_NOT_OK(ReadNullBitmap(r, n, &is_null));
+      Column col(tag == kColInt64 ? TypeId::kInt64 : TypeId::kDate);
+      col.Reserve(reserve);
       for (size_t i = 0; i < n; ++i) {
-        if (is_null[i]) continue;
+        if (!is_null.empty() && is_null[i]) {
+          col.AppendNull();
+          continue;
+        }
         PUSHSIP_ASSIGN_OR_RETURN(const uint64_t u, r->ReadVarint());
-        const int64_t v = ZigZagDecode(u);
-        (*rows)[i].at(col) =
-            tag == kColInt64 ? Value::Int64(v) : Value::Date(v);
+        col.AppendI64(ZigZagDecode(u));
       }
-      return Status::OK();
+      return col;
     }
     case kColDouble: {
       PUSHSIP_RETURN_NOT_OK(ReadNullBitmap(r, n, &is_null));
+      Column col(TypeId::kDouble);
+      col.Reserve(reserve);
       for (size_t i = 0; i < n; ++i) {
-        if (is_null[i]) continue;
+        if (!is_null.empty() && is_null[i]) {
+          col.AppendNull();
+          continue;
+        }
         PUSHSIP_ASSIGN_OR_RETURN(const double v, r->ReadDouble());
-        (*rows)[i].at(col) = Value::Double(v);
+        col.AppendF64(v);
       }
-      return Status::OK();
+      return col;
     }
     case kColStringDict: {
       PUSHSIP_RETURN_NOT_OK(ReadNullBitmap(r, n, &is_null));
@@ -429,85 +506,128 @@ Status ReadColumnV2(WireReader* r, size_t col, std::vector<Tuple>* rows) {
         return Status::InvalidArgument(
             "string dictionary larger than the batch");
       }
-      std::vector<std::string> dict;
-      dict.reserve(dict_size);
+      auto dict = std::make_shared<StringDict>();
       for (uint64_t d = 0; d < dict_size; ++d) {
         PUSHSIP_ASSIGN_OR_RETURN(const uint64_t len, r->ReadVarint());
         PUSHSIP_ASSIGN_OR_RETURN(std::string s, r->ReadString(len));
-        dict.push_back(std::move(s));
+        dict->SetEntry(static_cast<uint32_t>(d), std::move(s));
       }
+      Column col = Column::StringWithDict(std::move(dict));
+      col.Reserve(reserve);
       for (size_t i = 0; i < n; ++i) {
-        if (is_null[i]) continue;
+        if (!is_null.empty() && is_null[i]) {
+          col.AppendNull();
+          continue;
+        }
         PUSHSIP_ASSIGN_OR_RETURN(const uint64_t idx, r->ReadVarint());
-        if (idx >= dict.size()) {
+        if (idx >= dict_size) {
           return Status::InvalidArgument(
               "string dictionary index out of range");
         }
-        (*rows)[i].at(col) = Value::String(dict[idx]);
+        col.AppendCode(static_cast<uint32_t>(idx));
       }
-      return Status::OK();
+      return col;
+    }
+    case kColStringDictStream: {
+      PUSHSIP_RETURN_NOT_OK(ReadNullBitmap(r, n, &is_null));
+      PUSHSIP_ASSIGN_OR_RETURN(const uint64_t base, r->ReadVarint());
+      PUSHSIP_ASSIGN_OR_RETURN(const uint64_t num_new, r->ReadVarint());
+      if (num_new > r->remaining()) {
+        return Status::InvalidArgument(
+            "dictionary update larger than the bytes on the wire");
+      }
+      std::shared_ptr<StringDict> dict;
+      if (stream != nullptr && stream->dicts != nullptr) {
+        if (stream->dicts->size() <= col_index) {
+          stream->dicts->resize(col_index + 1);
+        }
+        auto& slot = (*stream->dicts)[col_index];
+        if (slot == nullptr) slot = std::make_shared<StringDict>();
+        dict = slot;
+      } else {
+        // Stateless decode can only handle self-contained stream frames
+        // (first frame of a stream); continuations need decoder state.
+        if (base != 0) {
+          return Status::InvalidArgument(
+              "dictionary stream continuation without stream state");
+        }
+        dict = std::make_shared<StringDict>();
+      }
+      if (base != dict->size()) {
+        return Status::InvalidArgument(
+            "dictionary stream out of sync with decoder state");
+      }
+      for (uint64_t d = 0; d < num_new; ++d) {
+        PUSHSIP_ASSIGN_OR_RETURN(const uint64_t len, r->ReadVarint());
+        PUSHSIP_ASSIGN_OR_RETURN(std::string s, r->ReadString(len));
+        dict->SetEntry(static_cast<uint32_t>(base + d), std::move(s));
+      }
+      const uint64_t limit = base + num_new;
+      Column col = Column::StringWithDict(std::move(dict));
+      col.Reserve(reserve);
+      for (size_t i = 0; i < n; ++i) {
+        if (!is_null.empty() && is_null[i]) {
+          col.AppendNull();
+          continue;
+        }
+        PUSHSIP_ASSIGN_OR_RETURN(const uint64_t code, r->ReadVarint());
+        if (code >= limit) {
+          return Status::InvalidArgument(
+              "stream dictionary code out of range");
+        }
+        col.AppendCode(static_cast<uint32_t>(code));
+      }
+      return col;
     }
     case kColStringPlain: {
       PUSHSIP_RETURN_NOT_OK(ReadNullBitmap(r, n, &is_null));
+      Column col(TypeId::kString);
+      col.Reserve(reserve);
       for (size_t i = 0; i < n; ++i) {
-        if (is_null[i]) continue;
+        if (!is_null.empty() && is_null[i]) {
+          col.AppendNull();
+          continue;
+        }
         PUSHSIP_ASSIGN_OR_RETURN(const uint64_t len, r->ReadVarint());
         PUSHSIP_ASSIGN_OR_RETURN(std::string s, r->ReadString(len));
-        (*rows)[i].at(col) = Value::String(std::move(s));
+        col.AppendValue(Value::String(std::move(s)));
       }
-      return Status::OK();
+      return col;
     }
     default:
       return Status::InvalidArgument("unknown column tag on the wire");
   }
 }
 
-Result<Batch> ReadBatchBodyV2(WireReader* r) {
+Result<Batch> ReadBatchBodyV2(WireReader* r, StreamDecodeState* stream) {
   PUSHSIP_ASSIGN_OR_RETURN(const uint64_t num_rows, r->ReadVarint());
   Batch batch;
   if (num_rows == 0) return batch;
   PUSHSIP_ASSIGN_OR_RETURN(const uint8_t layout, r->ReadU8());
-  if (layout > 1) {
-    return Status::InvalidArgument("bad batch layout byte on the wire");
-  }
-  batch.rows.reserve(std::min<uint64_t>(num_rows, kMaxReserveRows));
-  if (layout == 0) {
-    // Ragged fallback: per-row encoding.
-    for (uint64_t i = 0; i < num_rows; ++i) {
-      PUSHSIP_ASSIGN_OR_RETURN(const uint32_t arity, r->ReadU32());
-      std::vector<Value> values;
-      values.reserve(std::min<uint64_t>(arity, kMaxPlausibleCols));
-      for (uint32_t c = 0; c < arity; ++c) {
-        PUSHSIP_ASSIGN_OR_RETURN(Value v, ReadValue(r));
-        values.push_back(std::move(v));
-      }
-      batch.rows.emplace_back(std::move(values));
-    }
-    return batch;
+  if (layout != 1) {
+    // Layout 0 was the ragged per-row fallback; batches are rectangular
+    // and ragged payloads no longer deserialize.
+    return Status::InvalidArgument("ragged batch on the wire");
   }
   PUSHSIP_ASSIGN_OR_RETURN(const uint64_t num_cols, r->ReadVarint());
-  if (num_cols > kMaxPlausibleCols) {
+  if (num_cols == 0 || num_cols > kMaxPlausibleCols) {
     return Status::InvalidArgument("implausible column count on the wire");
   }
-  // The columnar pre-fill materializes num_rows * num_cols Values before
-  // reading any column payload, so the row count must be bounded by the
-  // input actually present: every encoded column costs at least
-  // ceil(rows/8) payload bytes (null bitmap / varints / bitmap-free
-  // values) except all-NULL columns, which the slack term covers for any
-  // realistically sized batch. A corrupt varint row count can therefore
-  // never force a large allocation from a tiny frame.
+  // Row count must be bounded by the input actually present: every encoded
+  // column costs at least ceil(rows/8) payload bytes (null bitmap /
+  // varints / values) except all-NULL columns, which the slack term covers
+  // for any realistically sized batch. A corrupt varint row count can
+  // therefore never force a large allocation from a tiny frame.
   const uint64_t value_budget =
       64 * static_cast<uint64_t>(r->remaining()) + 4096;
   if (num_rows > value_budget || num_rows * num_cols > value_budget) {
     return Status::InvalidArgument(
         "batch row count implausible for the bytes on the wire");
   }
-  for (uint64_t i = 0; i < num_rows; ++i) {
-    batch.rows.emplace_back(
-        std::vector<Value>(num_cols));  // pre-filled with NULLs
-  }
   for (uint64_t c = 0; c < num_cols; ++c) {
-    PUSHSIP_RETURN_NOT_OK(ReadColumnV2(r, c, &batch.rows));
+    PUSHSIP_ASSIGN_OR_RETURN(Column col,
+                             ReadColumnV2(r, num_rows, c, stream));
+    batch.AddColumn(std::move(col));
   }
   return batch;
 }
@@ -521,9 +641,11 @@ void AppendBatchBody(const Batch& batch, WireFormatVersion version,
   }
 }
 
-Result<Batch> ReadBatchBody(WireReader* r, WireFormatVersion version) {
-  return version == WireFormatVersion::kColumnar ? ReadBatchBodyV2(r)
-                                                 : ReadBatchBodyV1(r);
+Result<Batch> ReadBatchBody(WireReader* r, WireFormatVersion version,
+                            StreamDecodeState* stream) {
+  return version == WireFormatVersion::kColumnar
+             ? ReadBatchBodyV2(r, stream)
+             : ReadBatchBodyV1(r);
 }
 
 // Bloom bodies: v1 is always the dense word array; v2 prefixes an encoding
@@ -646,7 +768,7 @@ Result<Batch> DeserializeBatch(const std::string& bytes) {
   WireReader r(bytes);
   PUSHSIP_ASSIGN_OR_RETURN(const WireFormatVersion version,
                            r.ExpectVersionedHeader(kBatchTag));
-  PUSHSIP_ASSIGN_OR_RETURN(Batch batch, ReadBatchBody(&r, version));
+  PUSHSIP_ASSIGN_OR_RETURN(Batch batch, ReadBatchBody(&r, version, nullptr));
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after batch");
   }
@@ -700,7 +822,175 @@ Result<BatchFrame> DeserializeBatchFrame(const std::string& bytes) {
     return Status::InvalidArgument("bad replayable flag in batch frame");
   }
   frame.replayable = replayable != 0;
-  PUSHSIP_ASSIGN_OR_RETURN(frame.batch, ReadBatchBody(&r, version));
+  PUSHSIP_ASSIGN_OR_RETURN(frame.batch, ReadBatchBody(&r, version, nullptr));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after batch frame");
+  }
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Stream encoder / decoder.
+
+struct WireStreamEncoder::ColState {
+  /// Stream code space: strings interned in first-reference order, so the
+  /// entries of each frame's update are exactly the contiguous tail
+  /// [shipped, size) and ship without explicit codes.
+  std::shared_ptr<StringDict> stream_dict = std::make_shared<StringDict>();
+  /// Identity of the last source dictionary, for the code-to-code cache.
+  const StringDict* src_dict = nullptr;
+  std::vector<uint32_t> src_to_stream;
+  uint32_t shipped = 0;
+  /// Scratch: per-row stream codes of the batch being encoded.
+  std::vector<uint32_t> row_codes;
+};
+
+WireStreamEncoder::WireStreamEncoder(WireFormatVersion version,
+                                     bool stream_dicts)
+    : version_(version), stream_dicts_(stream_dicts) {}
+
+WireStreamEncoder::~WireStreamEncoder() = default;
+
+void WireStreamEncoder::Reset() {
+  cols_.clear();
+}
+
+void WireStreamEncoder::EncodeStringColumn(const Column& col,
+                                           size_t col_index,
+                                           std::string* out) {
+  if (cols_.size() <= col_index) cols_.resize(col_index + 1);
+  if (cols_[col_index] == nullptr) {
+    cols_[col_index] = std::make_unique<ColState>();
+  }
+  ColState& st = *cols_[col_index];
+  const size_t n = col.size();
+  const size_t null_count = col.NullCount();
+
+  if (!stream_dicts_) {
+    // Self-contained per-batch layout; account what streaming would save.
+    std::vector<std::string_view> order;
+    AppendStringColumnPerBatch(col, n, out, &order);
+    for (const std::string_view s : order) {
+      uint32_t code;
+      if (st.stream_dict->Find(s, &code)) {
+        ++dict_reships_;
+      } else {
+        st.stream_dict->Intern(s);
+      }
+    }
+    dict_entries_shipped_ += static_cast<int64_t>(order.size());
+    return;
+  }
+
+  // Map source dictionary codes to stream codes, interning strings first
+  // referenced by this batch. The code-to-code cache makes the steady
+  // state one array lookup per row; it survives as long as the source
+  // dictionary identity does (a changed source just re-warms the cache —
+  // stream codes, and therefore the bytes already shipped, stay valid).
+  const StringDict* src = col.dict().get();
+  if (src != st.src_dict) {
+    st.src_dict = src;
+    st.src_to_stream.assign(src->size(), kNoStreamCode);
+  } else if (st.src_to_stream.size() < src->size()) {
+    st.src_to_stream.resize(src->size(), kNoStreamCode);
+  }
+  st.row_codes.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (null_count > 0 && col.IsNull(r)) continue;
+    const uint32_t sc = col.CodeAt(r);
+    uint32_t mapped = st.src_to_stream[sc];
+    if (mapped == kNoStreamCode) {
+      mapped = st.stream_dict->Intern(src->entry(sc));
+      st.src_to_stream[sc] = mapped;
+    }
+    st.row_codes[r] = mapped;
+  }
+
+  PutU8(kColStringDictStream, out);
+  AppendNullBitmapCol(col, n, null_count, out);
+  const uint32_t size_now = st.stream_dict->size();
+  PutVarint(st.shipped, out);              // base: decoder's dict size
+  PutVarint(size_now - st.shipped, out);   // new entries, contiguous codes
+  for (uint32_t c = st.shipped; c < size_now; ++c) {
+    const std::string& s = st.stream_dict->entry(c);
+    PutVarint(s.size(), out);
+    out->append(s);
+  }
+  dict_entries_shipped_ += static_cast<int64_t>(size_now - st.shipped);
+  st.shipped = size_now;
+  for (size_t r = 0; r < n; ++r) {
+    if (null_count == 0 || !col.IsNull(r)) PutVarint(st.row_codes[r], out);
+  }
+}
+
+void WireStreamEncoder::AppendBody(const Batch& batch, std::string* out) {
+  if (version_ != WireFormatVersion::kColumnar) {
+    AppendBatchBodyV1(batch, out);
+    return;
+  }
+  const size_t n = batch.size();
+  PutVarint(n, out);
+  if (n == 0) return;
+  PutU8(1, out);
+  PutVarint(batch.num_cols(), out);
+  for (size_t c = 0; c < batch.num_cols(); ++c) {
+    const Column& col = batch.col(c);
+    if (AppendTypedColumnV2(col, n, out)) continue;
+    if (col.is_variant()) {
+      ++encode_transposes_;
+      AppendMixedColumnV2(col, n, out);
+      continue;
+    }
+    EncodeStringColumn(col, c, out);
+  }
+}
+
+std::string WireStreamEncoder::SerializeBody(const Batch& batch) {
+  std::string out;
+  out.reserve(8 + batch.size() * 32);
+  AppendBody(batch, &out);
+  return out;
+}
+
+std::string WireStreamEncoder::SerializeFrame(uint32_t sender, uint32_t epoch,
+                                              uint64_t seq, bool replayable,
+                                              const Batch& batch) {
+  std::string out;
+  out.reserve(27 + batch.size() * 32);
+  AppendBatchFrameHeader(sender, epoch, seq, replayable, version_, &out);
+  AppendBody(batch, &out);
+  return out;
+}
+
+Result<BatchFrame> WireStreamDecoder::DecodeFrame(const std::string& bytes) {
+  WireReader r(bytes);
+  PUSHSIP_ASSIGN_OR_RETURN(const WireFormatVersion version,
+                           r.ExpectVersionedHeader(kBatchFrameTag));
+  BatchFrame frame;
+  PUSHSIP_ASSIGN_OR_RETURN(frame.sender, r.ReadU32());
+  PUSHSIP_ASSIGN_OR_RETURN(frame.epoch, r.ReadU32());
+  PUSHSIP_ASSIGN_OR_RETURN(frame.seq, r.ReadU64());
+  PUSHSIP_ASSIGN_OR_RETURN(const uint8_t replayable, r.ReadU8());
+  if (replayable > 1) {
+    return Status::InvalidArgument("bad replayable flag in batch frame");
+  }
+  frame.replayable = replayable != 0;
+
+  SenderState& st = senders_[frame.sender];
+  if (!st.seen || frame.epoch > st.epoch) {
+    // New stream epoch: the (restarted or migrated) sender's encoder
+    // starts with empty dictionaries, so this side must too.
+    st.seen = true;
+    st.epoch = frame.epoch;
+    st.dicts.clear();
+  } else if (frame.epoch < st.epoch) {
+    // A straggler from before a restart. Its dictionary context is gone;
+    // the receiver discards pre-restart frames anyway, so skip the body.
+    frame.stale = true;
+    return frame;
+  }
+  StreamDecodeState sds{&st.dicts};
+  PUSHSIP_ASSIGN_OR_RETURN(frame.batch, ReadBatchBody(&r, version, &sds));
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after batch frame");
   }

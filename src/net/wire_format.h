@@ -12,14 +12,31 @@
 // old-format frames stay decodable forever):
 //   * v1 (kRowMajor)  — little-endian, fixed-width, self-describing per
 //     value; simple and the original format.
-//   * v2 (kColumnar)  — column-major re-encoding: one type tag per column,
-//     a null bitmap only when the column has NULLs, zigzag-varint ints and
-//     dates, and a per-batch dictionary for low-cardinality string columns.
-//     Falls back to per-value encoding for ragged or mixed-type columns.
+//   * v2 (kColumnar)  — column-major: one type tag per column, a null
+//     bitmap only when the column has NULLs, zigzag-varint ints and dates,
+//     and dictionary encoding for low-cardinality string columns. Since the
+//     in-memory Batch is itself columnar, v2 encode/decode walks each
+//     column's typed vector directly — no row materialization ("zero
+//     transpose"); only mixed-type variant columns fall back to per-value
+//     encoding (counted by the encoder's encode_transposes()).
+//
+// Exchange streams use WireStreamEncoder/WireStreamDecoder pairs, which
+// extend v2 with *cross-batch* string dictionaries: the encoder ships each
+// distinct string once per (stream, column) and later batches carry only
+// dictionary codes, instead of re-shipping a per-batch dictionary every
+// ~1024 rows. Stream state is keyed by the frame's (sender, epoch): a
+// fragment restart or migration bumps the epoch, which resets both sides.
+// The stateless Serialize*/Deserialize* functions remain self-contained
+// (every batch carries its own dictionary) and are what non-stream callers
+// and tests use.
 #ifndef PUSHSIP_NET_WIRE_FORMAT_H_
 #define PUSHSIP_NET_WIRE_FORMAT_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/schema.h"
 #include "common/tuple.h"
@@ -64,6 +81,11 @@ struct BatchFrame {
   uint32_t epoch = 0;
   uint64_t seq = 0;
   bool replayable = false;
+  /// Set by WireStreamDecoder when the frame's epoch is older than the
+  /// stream's current epoch: the body was skipped (its dictionary state is
+  /// gone) and the receiver must discard the frame — which it would anyway,
+  /// by the epoch dedup rule.
+  bool stale = false;
   Batch batch;
 };
 
@@ -87,6 +109,89 @@ std::string SerializeBatchBody(const Batch& batch, WireFormatVersion version);
 std::string AssembleBatchFrame(uint32_t sender, uint32_t epoch, uint64_t seq,
                                bool replayable, const std::string& body,
                                WireFormatVersion version);
+
+/// \brief Stateful v2 encoder for one exchange stream (one sender's frames
+/// toward one destination, or one shared broadcast body).
+///
+/// String columns are re-interned into a per-column *stream dictionary*;
+/// each frame ships only the entries first referenced by its rows (pruned
+/// rows' strings never ship) and rows carry stream codes, so a distinct
+/// string crosses the wire exactly once per stream. Not thread-safe: the
+/// owner serializes encode+enqueue under its own lock (frame order on the
+/// wire must match encode order, or decoder dictionaries desynchronize).
+class WireStreamEncoder {
+ public:
+  /// `stream_dicts` = false keeps the self-contained per-batch dictionary
+  /// encoding (used for comparison benchmarks and non-stream callers); the
+  /// re-ship counter then measures what streaming would have saved.
+  explicit WireStreamEncoder(WireFormatVersion version,
+                             bool stream_dicts = true);
+  ~WireStreamEncoder();  // out-of-line: ColState is private to the .cc
+
+  WireFormatVersion version() const { return version_; }
+
+  /// Serializes a full frame (header + body) advancing the stream state.
+  std::string SerializeFrame(uint32_t sender, uint32_t epoch, uint64_t seq,
+                             bool replayable, const Batch& batch);
+  /// Body-only variant for broadcast senders that stamp several headers in
+  /// front of one encoded body (AssembleBatchFrame).
+  std::string SerializeBody(const Batch& batch);
+
+  /// Drops all stream dictionary state. Call when the stream's epoch bumps
+  /// (fragment restart / migration): the decoder resets on the new epoch,
+  /// so every dictionary entry must ship again.
+  void Reset();
+
+  // --- counters (cumulative across Reset) ---
+  /// Columns that required per-row value materialization to encode (mixed
+  /// -type variant columns). Zero for everything the engine's typed
+  /// pipeline produces.
+  int64_t encode_transposes() const { return encode_transposes_; }
+  /// Dictionary entries emitted whose string this encoder had already
+  /// shipped before. Zero on the streaming path by construction; with
+  /// `stream_dicts` = false this counts the per-batch re-shipping the
+  /// stream encoding eliminates.
+  int64_t dict_reships() const { return dict_reships_; }
+  /// Total dictionary entries emitted.
+  int64_t dict_entries_shipped() const { return dict_entries_shipped_; }
+
+ private:
+  struct ColState;
+
+  void EncodeStringColumn(const Column& col, size_t col_index,
+                          std::string* out);
+  void AppendBody(const Batch& batch, std::string* out);
+
+  WireFormatVersion version_;
+  bool stream_dicts_;
+  std::vector<std::unique_ptr<ColState>> cols_;
+  int64_t encode_transposes_ = 0;
+  int64_t dict_reships_ = 0;
+  int64_t dict_entries_shipped_ = 0;
+};
+
+/// \brief Stateful decoder for the exchange frames of one receiver.
+///
+/// Keeps one shared StringDict per (sender, column); stream-encoded columns
+/// install their shipped entries into it and decoded batches reference it
+/// directly (code-copy, no string materialization). Epoch transitions:
+/// a newer epoch resets the sender's dictionaries (the restarted sender's
+/// encoder also starts empty); an older epoch marks the frame stale and
+/// skips the body. Frames of one sender must be decoded in arrival order.
+/// Not thread-safe.
+class WireStreamDecoder {
+ public:
+  Result<BatchFrame> DecodeFrame(const std::string& bytes);
+
+ private:
+  struct SenderState {
+    bool seen = false;
+    uint32_t epoch = 0;
+    std::vector<std::shared_ptr<StringDict>> dicts;
+  };
+
+  std::unordered_map<uint32_t, SenderState> senders_;
+};
 
 /// Serializes a Bloom filter. v1 ships the dense bit-word array; v2 ships
 /// varint deltas of the set bit positions instead whenever that is smaller

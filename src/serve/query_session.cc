@@ -28,12 +28,29 @@ class SummaryCollector : public TupleFilter {
         key_col_(static_cast<size_t>(key_col)),
         set_(std::move(set)) {}
 
-  bool Pass(const Tuple& t) const override {
-    const Value& v = t.at(filter_col_);
-    if (!v.is_null() && v.AsInt64() < upper_) {
-      set_->Insert(t.at(key_col_).Hash());
+  bool Pass(const Batch& batch, size_t row) const override {
+    const Column& filter_col = batch.col(filter_col_);
+    if (!filter_col.IsNull(row) &&
+        batch.ValueAt(row, filter_col_).AsInt64() < upper_) {
+      set_->Insert(batch.col(key_col_).HashAt(row));
     }
     return true;  // pure tap: the scan's output is unchanged
+  }
+
+  void PassBatch(const Batch& batch,
+                 std::vector<uint32_t>* sel) const override {
+    // Tight typed loop over the surviving rows; everything passes, so the
+    // selection vector is untouched.
+    const Column& filter_col = batch.col(filter_col_);
+    const Column& key_col = batch.col(key_col_);
+    if (filter_col.is_variant()) {
+      TupleFilter::PassBatch(batch, sel);
+      return;
+    }
+    for (const uint32_t idx : *sel) {
+      if (filter_col.IsNull(idx)) continue;
+      if (filter_col.I64At(idx) < upper_) set_->Insert(key_col.HashAt(idx));
+    }
   }
 
   std::string label() const override { return label_; }

@@ -100,9 +100,9 @@ class AipFilter : public TupleFilter {
         cols_({col}),
         set_(std::move(set)) {}
 
-  bool Pass(const Tuple& tuple) const override {
-    const bool pass =
-        set_->MightContain(tuple.at(static_cast<size_t>(col_)).Hash());
+  bool Pass(const Batch& batch, size_t row) const override {
+    const bool pass = set_->MightContain(
+        batch.col(static_cast<size_t>(col_)).HashAt(row));
     (pass ? passed_ : pruned_).fetch_add(1, std::memory_order_relaxed);
     return pass;
   }
@@ -117,16 +117,16 @@ class AipFilter : public TupleFilter {
     const size_t before = sel->size();
     const std::vector<uint64_t>* lane = batch.CachedKeyHashes(cols_);
     std::vector<uint64_t> scratch;
-    if (lane == nullptr && before == batch.rows.size()) {
+    if (lane == nullptr && before == batch.size()) {
       lane = &batch.KeyHashes(cols_, &scratch);  // installs the lane
     }
     if (lane != nullptr) {
       set_->RetainMightContain(*lane, sel);
     } else {
       scratch.resize(before);
-      const size_t col = static_cast<size_t>(col_);
+      const Column& col = batch.col(static_cast<size_t>(col_));
       for (size_t j = 0; j < before; ++j) {
-        scratch[j] = batch.rows[(*sel)[j]].at(col).Hash();
+        scratch[j] = col.HashAt((*sel)[j]);
       }
       set_->RetainMightContainDense(scratch.data(), sel);
     }

@@ -12,9 +12,9 @@ class FeedForwardAip::BuildTap : public TupleTap {
     for (const WorkingSet* ws : sets_) cols_.push_back({ws->col});
   }
 
-  void Observe(const Tuple& tuple) override {
+  void Observe(const Batch& batch, size_t row) override {
     for (WorkingSet* ws : sets_) {
-      ws->set->Insert(tuple.at(static_cast<size_t>(ws->col)).Hash());
+      ws->set->Insert(batch.col(static_cast<size_t>(ws->col)).HashAt(row));
     }
   }
 

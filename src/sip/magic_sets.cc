@@ -95,24 +95,27 @@ Status MagicGate::FilterAndEmit(Batch&& batch) {
   // compact once.
   std::vector<uint64_t> scratch;
   const std::vector<uint64_t>& hashes = batch.KeyHashes(key_cols_, &scratch);
-  std::vector<uint32_t> sel(batch.rows.size());
+  std::vector<uint32_t> sel(batch.size());
   for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
   state_->RetainContains(hashes, &sel);
-  if (sel.size() != batch.rows.size()) batch.CompactInPlace(sel);
+  if (sel.size() != batch.size()) batch.CompactInPlace(sel);
   return Emit(std::move(batch));
 }
 
 Status MagicGate::FlushBuffer() {
-  Batch pending;
+  std::vector<Batch> pending;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (buffer_.empty()) return Status::OK();
-    pending.rows = std::move(buffer_);
+    pending = std::move(buffer_);
     buffer_.clear();
     ctx_->state_tracker().Release(buffer_bytes_);
     buffer_bytes_ = 0;
   }
-  return FilterAndEmit(std::move(pending));
+  for (Batch& b : pending) {
+    PUSHSIP_RETURN_NOT_OK(FilterAndEmit(std::move(b)));
+  }
+  return Status::OK();
 }
 
 Status MagicGate::DoPush(int, Batch&& batch) {
@@ -124,11 +127,8 @@ Status MagicGate::DoPush(int, Batch&& batch) {
     std::unique_lock<std::mutex> lock(mu_);
     if (!state_->sealed()) {
       rows_gated_.fetch_add(static_cast<int64_t>(batch.size()));
-      int64_t added = 0;
-      for (Tuple& row : batch.rows) {
-        added += static_cast<int64_t>(row.FootprintBytes());
-        buffer_.push_back(std::move(row));
-      }
+      const int64_t added = static_cast<int64_t>(batch.FootprintBytes());
+      buffer_.push_back(std::move(batch));
       buffer_bytes_ += added;
       int64_t prev = peak_state_.load(std::memory_order_relaxed);
       while (buffer_bytes_ > prev &&

@@ -105,7 +105,7 @@ class MagicGate : public Operator {
   std::atomic<int64_t> rows_gated_{0};
 
   std::mutex mu_;
-  std::vector<Tuple> buffer_;
+  std::vector<Batch> buffer_;  ///< gated batches, retained columnar
   int64_t buffer_bytes_ = 0;
   std::atomic<int64_t> peak_state_{0};
 };

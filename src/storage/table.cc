@@ -9,11 +9,12 @@ void Table::ComputeStats() {
   for (size_t c = 0; c < schema_.num_fields(); ++c) {
     std::unordered_set<uint64_t> distinct;
     ColumnStats& st = stats_[c];
+    const Column& column = cols_[c];
     bool first = true;
-    for (const Tuple& row : rows_) {
-      const Value& v = row.at(c);
-      if (v.is_null()) continue;
-      distinct.insert(v.Hash());
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (column.IsNull(r)) continue;
+      distinct.insert(column.HashAt(r));
+      const Value v = column.GetValue(r);
       if (first || v.Compare(st.min_value) < 0) st.min_value = v;
       if (first || v.Compare(st.max_value) > 0) st.max_value = v;
       first = false;
@@ -24,7 +25,7 @@ void Table::ComputeStats() {
 
 size_t Table::FootprintBytes() const {
   size_t bytes = 0;
-  for (const Tuple& row : rows_) bytes += row.FootprintBytes();
+  for (const Column& c : cols_) bytes += c.FootprintBytes();
   return bytes;
 }
 

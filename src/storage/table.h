@@ -22,19 +22,63 @@ struct ColumnStats {
   Value max_value;
 };
 
-/// \brief An immutable in-memory relation.
+/// \brief An immutable in-memory relation, stored column-major.
+///
+/// Rows are appended during load (row-at-a-time builder API kept for the
+/// generators), then queries slice column ranges zero-copy-on-strings:
+/// every scan batch shares the table columns' dictionaries.
 class Table {
  public:
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)), schema_(std::move(schema)) {
+    cols_.reserve(schema_.num_fields());
+    for (const Field& f : schema_.fields()) cols_.emplace_back(f.type);
+  }
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  const std::vector<Tuple>& rows() const { return rows_; }
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return num_rows_; }
+  const Column& col(size_t i) const { return cols_[i]; }
+  size_t num_cols() const { return cols_.size(); }
 
-  void AppendRow(Tuple row) { rows_.push_back(std::move(row)); }
-  void Reserve(size_t n) { rows_.reserve(n); }
+  void AppendRow(const Tuple& row) {
+    PUSHSIP_DCHECK(row.size() == cols_.size());
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      cols_[c].AppendValue(row.at(c));
+    }
+    ++num_rows_;
+  }
+  /// Copies row `row` of `src` column-wise (sharding without Value
+  /// round-trips; dictionaries are re-interned per shard).
+  void AppendRowFrom(const Table& src, size_t row) {
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      cols_[c].AppendFrom(src.cols_[c], row);
+    }
+    ++num_rows_;
+  }
+  void Reserve(size_t n) {
+    for (Column& c : cols_) c.Reserve(n);
+  }
+
+  /// Materializes row `r` (test oracles / debugging only).
+  Tuple row(size_t r) const {
+    std::vector<Value> values;
+    values.reserve(cols_.size());
+    for (const Column& c : cols_) values.push_back(c.GetValue(r));
+    return Tuple(std::move(values));
+  }
+
+  /// A batch of rows [begin, end): typed column slices sharing this
+  /// table's string dictionaries.
+  Batch SliceRows(size_t begin, size_t end) const {
+    Batch b;
+    for (const Column& c : cols_) {
+      Column out;
+      out.AppendRange(c, begin, end);
+      b.AddColumn(std::move(out));
+    }
+    return b;
+  }
 
   /// Marks column `col` as a (component of the) primary key.
   void SetPrimaryKey(std::vector<int> cols) { primary_key_ = std::move(cols); }
@@ -63,7 +107,8 @@ class Table {
  private:
   std::string name_;
   Schema schema_;
-  std::vector<Tuple> rows_;
+  std::vector<Column> cols_;
+  size_t num_rows_ = 0;
   std::vector<int> primary_key_;
   std::vector<ForeignKey> foreign_keys_;
   std::vector<ColumnStats> stats_;

@@ -1,0 +1,201 @@
+// Columnar-Batch edge cases: all-NULL columns, randomized CompactInPlace
+// against a row-at-a-time reference, and the shared BatchBuilder fixture.
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/tuple.h"
+#include "tests/testing/batch_builder.h"
+#include "tests/testing/test_rng.h"
+
+namespace pushsip {
+namespace {
+
+using testing::BatchBuilder;
+using testing::SeededRandom;
+
+// One random rectangular batch: typed columns with NULL sprinkles, a
+// low-cardinality string column, and occasionally an all-NULL or
+// mixed-type (variant) column.
+Batch RandomBatch(Random* rng, size_t rows) {
+  Batch b;
+  const int ncols = static_cast<int>(rng->UniformInt(1, 5));
+  for (int c = 0; c < ncols; ++c) {
+    Column col;
+    switch (rng->UniformInt(0, 4)) {
+      case 0: {
+        col = Column(TypeId::kInt64);
+        for (size_t r = 0; r < rows; ++r) {
+          if (rng->Bernoulli(0.1)) {
+            col.AppendNull();
+          } else {
+            col.AppendI64(rng->UniformInt(-1000, 1000));
+          }
+        }
+        break;
+      }
+      case 1: {
+        col = Column(TypeId::kDouble);
+        for (size_t r = 0; r < rows; ++r) {
+          if (rng->Bernoulli(0.1)) {
+            col.AppendNull();
+          } else {
+            col.AppendF64(rng->UniformDouble());
+          }
+        }
+        break;
+      }
+      case 2: {
+        col = Column(TypeId::kString);
+        for (size_t r = 0; r < rows; ++r) {
+          if (rng->Bernoulli(0.1)) {
+            col.AppendNull();
+          } else {
+            col.AppendValue(Value::String(
+                "s" + std::to_string(rng->UniformInt(0, 7))));
+          }
+        }
+        break;
+      }
+      case 3: {
+        // All-NULL, never typed.
+        for (size_t r = 0; r < rows; ++r) col.AppendNull();
+        break;
+      }
+      default: {
+        // Mixed types force the variant fallback.
+        for (size_t r = 0; r < rows; ++r) {
+          col.AppendValue(rng->Bernoulli(0.5)
+                              ? Value::Int64(rng->UniformInt(0, 9))
+                              : Value::String("mix"));
+        }
+        break;
+      }
+    }
+    b.AddColumn(std::move(col));
+  }
+  return b;
+}
+
+TEST(ColumnarBatchTest, CompactInPlaceMatchesRowAtATimeReference) {
+  Random rng = SeededRandom(101);
+  for (int iter = 0; iter < 200; ++iter) {
+    PUSHSIP_SEED_TRACE(testing::TestSeed());
+    const size_t rows = static_cast<size_t>(rng.UniformInt(0, 40));
+    Batch b = RandomBatch(&rng, rows);
+
+    // Random strictly-increasing selection (possibly empty or full).
+    std::vector<uint32_t> sel;
+    for (size_t r = 0; r < rows; ++r) {
+      if (rng.Bernoulli(0.6)) sel.push_back(static_cast<uint32_t>(r));
+    }
+
+    // Reference: materialize the selected rows before compacting, and
+    // snapshot the key hashes the cached lane must preserve.
+    std::vector<Tuple> expect;
+    for (const uint32_t r : sel) expect.push_back(b.MaterializeRow(r));
+    std::vector<int> hash_cols;
+    for (size_t c = 0; c < b.num_cols(); ++c) {
+      hash_cols.push_back(static_cast<int>(c));
+    }
+    std::vector<uint64_t> scratch;
+    const std::vector<uint64_t>& pre = b.KeyHashes(hash_cols, &scratch);
+    std::vector<uint64_t> expect_hashes;
+    for (const uint32_t r : sel) expect_hashes.push_back(pre[r]);
+
+    b.CompactInPlace(sel);
+
+    ASSERT_EQ(b.size(), sel.size());
+    for (size_t r = 0; r < b.size(); ++r) {
+      EXPECT_EQ(b.MaterializeRow(r).Compare(expect[r]), 0)
+          << "iter " << iter << " row " << r << ": " << b.RowToString(r);
+    }
+    // The cached hash lane compacts alongside the rows.
+    const std::vector<uint64_t>* cached = b.CachedKeyHashes(hash_cols);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(*cached, expect_hashes);
+  }
+}
+
+TEST(ColumnarBatchTest, AllNullColumnStaysUntypedThroughCompaction) {
+  Batch b = BatchBuilder()
+                .I64({1, 2, 3, 4})
+                .Nulls(4)
+                .Build();
+  const Column& nulls = b.col(1);
+  EXPECT_EQ(nulls.type(), TypeId::kNull);
+  EXPECT_EQ(nulls.NullCount(), 4u);
+  EXPECT_TRUE(nulls.has_nulls());
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_TRUE(nulls.IsNull(r));
+    EXPECT_TRUE(b.ValueAt(r, 1).is_null());
+  }
+
+  b.CompactInPlace({1, 3});
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.col(0).I64At(0), 2);
+  EXPECT_EQ(b.col(0).I64At(1), 4);
+  EXPECT_EQ(b.col(1).NullCount(), 2u);
+  EXPECT_TRUE(b.col(1).IsNull(0));
+  EXPECT_TRUE(b.col(1).IsNull(1));
+}
+
+TEST(ColumnarBatchTest, AllNullColumnAdoptsTypeOfFirstNonNull) {
+  Column c;
+  c.AppendNull();
+  c.AppendNull();
+  EXPECT_EQ(c.type(), TypeId::kNull);
+  c.AppendValue(Value::Int64(7));
+  EXPECT_EQ(c.type(), TypeId::kInt64);
+  EXPECT_TRUE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_FALSE(c.IsNull(2));
+  EXPECT_EQ(c.I64At(2), 7);
+  EXPECT_EQ(c.NullCount(), 2u);
+}
+
+TEST(ColumnarBatchTest, BatchBuilderCoversEveryColumnKind) {
+  Batch b = BatchBuilder()
+                .I64({1, std::nullopt, 3})
+                .F64({0.5, 1.5, std::nullopt})
+                .Str({"a", std::nullopt, "a"})
+                .Date({10957, 0, std::nullopt})
+                .Build();
+  ASSERT_EQ(b.num_cols(), 4u);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.col(0).type(), TypeId::kInt64);
+  EXPECT_EQ(b.col(1).type(), TypeId::kDouble);
+  EXPECT_EQ(b.col(2).type(), TypeId::kString);
+  EXPECT_EQ(b.col(3).type(), TypeId::kDate);
+  EXPECT_TRUE(b.col(0).IsNull(1));
+  EXPECT_TRUE(b.col(1).IsNull(2));
+  EXPECT_TRUE(b.col(2).IsNull(1));
+  EXPECT_TRUE(b.col(3).IsNull(2));
+  EXPECT_EQ(b.col(0).I64At(2), 3);
+  EXPECT_EQ(b.col(1).F64At(1), 1.5);
+  EXPECT_EQ(b.col(2).StringAt(0), "a");
+  // Both "a" rows share one dictionary code.
+  EXPECT_EQ(b.col(2).CodeAt(0), b.col(2).CodeAt(2));
+  EXPECT_EQ(b.col(3).I64At(0), 10957);
+}
+
+TEST(ColumnarBatchTest, PayloadBytesShrinksWithCompactionUnlikeFootprint) {
+  std::vector<int64_t> keys(1024);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<int64_t>(i);
+  Batch b = testing::MakeKeyBatch(keys);
+  const size_t payload_before = b.PayloadBytes();
+  const size_t footprint_before = b.FootprintBytes();
+  EXPECT_GE(payload_before, 1024 * sizeof(int64_t));
+
+  b.CompactInPlace({0, 1, 2, 3});
+  // Payload tracks live rows; footprint keeps charging retained capacity.
+  EXPECT_LE(b.PayloadBytes(), 4 * sizeof(int64_t) + 8);
+  EXPECT_LT(b.PayloadBytes(), payload_before / 64);
+  EXPECT_GE(b.FootprintBytes(), footprint_before / 2);
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -12,6 +12,7 @@
 #include "net/fault_injector.h"
 #include "net/wire_format.h"
 #include "storage/table.h"
+#include "tests/testing/batch_builder.h"
 
 namespace pushsip {
 namespace {
@@ -22,12 +23,9 @@ Schema TwoIntSchema() {
 }
 
 Batch MakeBatch(int64_t first_key, int64_t count) {
-  Batch batch;
-  for (int64_t i = 0; i < count; ++i) {
-    batch.rows.push_back(
-        Tuple({Value::Int64(first_key + i), Value::Int64(i)}));
-  }
-  return batch;
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < count; ++i) rows.push_back({first_key + i, i});
+  return testing::MakePairBatch(rows);
 }
 
 TEST(ExchangeTest, ForwardMovesTheWholeStream) {
@@ -91,7 +89,8 @@ TEST(ExchangeTest, HashPartitionIsADisjointCover) {
   // Every row landed at the partition its key hashes to.
   for (int i = 0; i < 2; ++i) {
     for (const Tuple& row : sinks[i]->rows()) {
-      EXPECT_EQ(row.HashColumns({0}) % 2, static_cast<uint64_t>(i));
+      EXPECT_EQ(row.HashColumns(std::vector<int>{0}) % 2,
+                static_cast<uint64_t>(i));
     }
   }
 }
@@ -296,9 +295,12 @@ TEST(ExchangeTest, DoubleReplayAfterTwoResetsIsDeduplicatedExactly) {
   }
 }
 
-// Protocol-level dedup: stale epochs and already-passed seqs are dropped,
-// later seqs of the new epoch are accepted, and non-replayable frames
-// bypass deduplication entirely (their seqs are informational).
+// Protocol-level dedup: stale epochs are dropped regardless of
+// replayability (the columnar stream decoder resets its dictionaries on an
+// epoch bump, so a straggler's codes are meaningless), already-passed seqs
+// of the current epoch are dropped, later seqs are accepted, and
+// non-replayable frames of the current epoch bypass seq deduplication
+// entirely (their seqs are informational).
 TEST(ExchangeTest, ReceiverDropsStaleEpochsAndDuplicateSeqs) {
   const Schema schema = TwoIntSchema();
   ExecContext recv_ctx;
@@ -319,9 +321,9 @@ TEST(ExchangeTest, ReceiverDropsStaleEpochsAndDuplicateSeqs) {
   ASSERT_TRUE(channel->SendBatch(frame(1, 3, true, 20)));
   // A straggler from epoch 0, still queued at restart time: stale.
   ASSERT_TRUE(channel->SendBatch(frame(0, 7, true, 99)));
-  // Non-replayable frames with colliding seqs all pass.
-  ASSERT_TRUE(channel->SendBatch(frame(0, 0, false, 30)));
-  ASSERT_TRUE(channel->SendBatch(frame(0, 0, false, 40)));
+  // Non-replayable current-epoch frames with colliding seqs all pass.
+  ASSERT_TRUE(channel->SendBatch(frame(1, 0, false, 30)));
+  ASSERT_TRUE(channel->SendBatch(frame(1, 0, false, 40)));
   channel->SendFinish();
 
   ExchangeReceiver receiver(&recv_ctx, "xrecv", schema, channel);

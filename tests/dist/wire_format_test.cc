@@ -30,35 +30,54 @@ Value RandomValue(Random* rng, int type_pick) {
   }
 }
 
+/// A random rectangular batch: one type pick per column, occasional NULLs
+/// and type flips inside a column (flips degrade that column to the
+/// variant fallback, exercising the kColMixed wire path).
+Batch RandomBatch(Random* rng, int rows, int arity) {
+  Batch batch;
+  batch.SetArity(static_cast<size_t>(arity));
+  std::vector<int> col_type(static_cast<size_t>(arity));
+  for (int& t : col_type) t = static_cast<int>(rng->UniformInt(0, 5));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Value> values;
+    values.reserve(static_cast<size_t>(arity));
+    for (int c = 0; c < arity; ++c) {
+      int pick = col_type[static_cast<size_t>(c)];
+      if (rng->UniformInt(0, 8) == 0) {
+        pick = static_cast<int>(rng->UniformInt(0, 5));
+      }
+      values.push_back(RandomValue(rng, pick));
+    }
+    batch.AppendRow(values);
+  }
+  return batch;
+}
+
+void ExpectSameContent(const Batch& got, const Batch& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t r = 0; r < want.size(); ++r) {
+    for (size_t c = 0; c < want.num_cols(); ++c) {
+      const Value w = want.ValueAt(r, c);
+      const Value g = got.ValueAt(r, c);
+      EXPECT_EQ(g.type(), w.type()) << "row " << r << " col " << c;
+      EXPECT_EQ(g.Compare(w), 0) << "row " << r << " col " << c;
+    }
+  }
+}
+
 TEST(WireFormatTest, BatchRoundTripProperty) {
   PUSHSIP_SEED_TRACE(TestSeed());
   Random rng = SeededRandom(1);
   for (int round = 0; round < 50; ++round) {
-    Batch batch;
+    const int arity = static_cast<int>(rng.UniformInt(1, 8));
     const int rows = static_cast<int>(rng.UniformInt(0, 20));
-    for (int r = 0; r < rows; ++r) {
-      Tuple t;
-      const int arity = static_cast<int>(rng.UniformInt(0, 8));
-      for (int c = 0; c < arity; ++c) {
-        t.Append(RandomValue(&rng, static_cast<int>(rng.UniformInt(0, 5))));
-      }
-      batch.rows.push_back(std::move(t));
-    }
+    Batch batch = RandomBatch(&rng, rows, arity);
 
     const std::string bytes = SerializeBatch(batch);
     auto decoded = DeserializeBatch(bytes);
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     ASSERT_EQ(decoded->size(), batch.size());
-    for (size_t r = 0; r < batch.size(); ++r) {
-      const Tuple& in = batch.rows[r];
-      const Tuple& out = decoded->rows[r];
-      ASSERT_EQ(out.size(), in.size());
-      for (size_t c = 0; c < in.size(); ++c) {
-        EXPECT_EQ(out.at(c).type(), in.at(c).type());
-        EXPECT_EQ(out.at(c).Compare(in.at(c)), 0)
-            << "row " << r << " col " << c;
-      }
-    }
+    ExpectSameContent(*decoded, batch);
   }
 }
 
@@ -71,23 +90,26 @@ TEST(WireFormatTest, EmptyBatch) {
 
 TEST(WireFormatTest, NullAndStringColumns) {
   Batch batch;
-  batch.rows.push_back(Tuple({Value::Null(), Value::String(""),
-                              Value::String(std::string("a\0b", 3)),
-                              Value::Int64(-1)}));
+  batch.SetArity(4);
+  batch.AppendRow(std::vector<Value>{Value::Null(), Value::String(""),
+                                     Value::String(std::string("a\0b", 3)),
+                                     Value::Int64(-1)});
   auto decoded = DeserializeBatch(SerializeBatch(batch));
   ASSERT_TRUE(decoded.ok());
-  EXPECT_TRUE(decoded->rows[0].at(0).is_null());
-  EXPECT_EQ(decoded->rows[0].at(1).AsString(), "");
-  EXPECT_EQ(decoded->rows[0].at(2).AsString(), std::string("a\0b", 3));
-  EXPECT_EQ(decoded->rows[0].at(3).AsInt64(), -1);
+  EXPECT_TRUE(decoded->ValueAt(0, 0).is_null());
+  EXPECT_EQ(decoded->ValueAt(0, 1).AsString(), "");
+  EXPECT_EQ(decoded->ValueAt(0, 2).AsString(), std::string("a\0b", 3));
+  EXPECT_EQ(decoded->ValueAt(0, 3).AsInt64(), -1);
 }
 
 TEST(WireFormatTest, BatchRejectsGarbageAndTruncation) {
   PUSHSIP_SEED_TRACE(TestSeed());
   Random rng = SeededRandom(2);
   Batch batch;
+  batch.SetArity(2);
   for (int r = 0; r < 5; ++r) {
-    batch.rows.push_back(Tuple({Value::Int64(r), Value::String("abcdef")}));
+    batch.AppendRow(
+        std::vector<Value>{Value::Int64(r), Value::String("abcdef")});
   }
   const std::string bytes = SerializeBatch(batch);
   EXPECT_FALSE(DeserializeBatch("").ok());
@@ -102,6 +124,26 @@ TEST(WireFormatTest, BatchRejectsGarbageAndTruncation) {
   EXPECT_FALSE(DeserializeBatch(bytes + "x").ok());
 }
 
+// Batches are rectangular; a legacy row-major payload whose rows disagree
+// on arity must be rejected, not silently reshaped.
+TEST(WireFormatTest, RowMajorRejectsRaggedPayload) {
+  auto put_u32 = [](uint32_t v, std::string* out) {
+    for (int i = 0; i < 4; ++i) {
+      out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  std::string bytes;
+  bytes.push_back('B');  // batch tag
+  bytes.push_back(1);    // v1
+  put_u32(2, &bytes);    // two rows
+  put_u32(0, &bytes);    // row 0: arity 0
+  put_u32(1, &bytes);    // row 1: arity 1
+  bytes.push_back(0);    // ... one NULL value
+  auto decoded = DeserializeBatch(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("ragged"), std::string::npos);
+}
+
 TEST(WireFormatTest, BatchFrameRoundTripProperty) {
   PUSHSIP_SEED_TRACE(TestSeed());
   Random rng = SeededRandom(7);
@@ -111,15 +153,9 @@ TEST(WireFormatTest, BatchFrameRoundTripProperty) {
     frame.epoch = static_cast<uint32_t>(rng.NextUint64());
     frame.seq = rng.NextUint64();
     frame.replayable = rng.UniformInt(0, 2) == 1;
+    const int arity = static_cast<int>(rng.UniformInt(1, 6));
     const int rows = static_cast<int>(rng.UniformInt(0, 12));
-    for (int r = 0; r < rows; ++r) {
-      Tuple t;
-      const int arity = static_cast<int>(rng.UniformInt(0, 6));
-      for (int c = 0; c < arity; ++c) {
-        t.Append(RandomValue(&rng, static_cast<int>(rng.UniformInt(0, 5))));
-      }
-      frame.batch.rows.push_back(std::move(t));
-    }
+    frame.batch = RandomBatch(&rng, rows, arity);
 
     auto decoded = DeserializeBatchFrame(SerializeBatchFrame(frame));
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -127,15 +163,7 @@ TEST(WireFormatTest, BatchFrameRoundTripProperty) {
     EXPECT_EQ(decoded->epoch, frame.epoch);
     EXPECT_EQ(decoded->seq, frame.seq);
     EXPECT_EQ(decoded->replayable, frame.replayable);
-    ASSERT_EQ(decoded->batch.size(), frame.batch.size());
-    for (size_t r = 0; r < frame.batch.size(); ++r) {
-      ASSERT_EQ(decoded->batch.rows[r].size(), frame.batch.rows[r].size());
-      for (size_t c = 0; c < frame.batch.rows[r].size(); ++c) {
-        EXPECT_EQ(decoded->batch.rows[r].at(c).Compare(
-                      frame.batch.rows[r].at(c)),
-                  0);
-      }
-    }
+    ExpectSameContent(decoded->batch, frame.batch);
   }
 }
 
@@ -151,9 +179,10 @@ TEST(WireFormatTest, BatchFrameRejectsTruncationAndCorruption) {
   frame.epoch = 2;
   frame.seq = 41;
   frame.replayable = true;
+  frame.batch.SetArity(3);
   for (int r = 0; r < 6; ++r) {
-    frame.batch.rows.push_back(
-        Tuple({Value::Int64(r), Value::String("payload"), Value::Null()}));
+    frame.batch.AppendRow(std::vector<Value>{
+        Value::Int64(r), Value::String("payload"), Value::Null()});
   }
   const std::string bytes = SerializeBatchFrame(frame);
 
@@ -215,36 +244,14 @@ TEST(WireFormatTest, BloomFilterRoundTripProperty) {
 // Both wire versions must decode any batch identically — the per-link
 // negotiation means one receiver can see v1 and v2 frames interleaved, and
 // a rolling upgrade must never change row content. Covers NULLs, empty
-// strings, mixed-type and ragged shapes.
+// strings, and mixed-type (variant) columns.
 TEST(WireFormatTest, OldAndNewBatchEncodingsDecodeIdentically) {
   PUSHSIP_SEED_TRACE(TestSeed());
   Random rng = SeededRandom(21);
   for (int round = 0; round < 60; ++round) {
-    Batch batch;
+    const int arity = static_cast<int>(rng.UniformInt(1, 7));
     const int rows = static_cast<int>(rng.UniformInt(0, 30));
-    // Half the rounds build uniform-arity batches (the engine's shape,
-    // which v2 encodes columnar); the rest are ragged (v2's row fallback).
-    const bool uniform = rng.UniformInt(0, 2) == 0;
-    const int fixed_arity = static_cast<int>(rng.UniformInt(1, 7));
-    // Per-column type picks keep uniform batches mostly single-typed so
-    // the typed column encodings (varint, dict) are actually exercised.
-    std::vector<int> col_type(static_cast<size_t>(fixed_arity));
-    for (int& t : col_type) t = static_cast<int>(rng.UniformInt(0, 5));
-    for (int r = 0; r < rows; ++r) {
-      Tuple t;
-      const int arity =
-          uniform ? fixed_arity : static_cast<int>(rng.UniformInt(0, 8));
-      for (int c = 0; c < arity; ++c) {
-        // Occasional NULLs and type flips inside a column.
-        int pick = uniform ? col_type[static_cast<size_t>(c)]
-                           : static_cast<int>(rng.UniformInt(0, 5));
-        if (rng.UniformInt(0, 8) == 0) {
-          pick = static_cast<int>(rng.UniformInt(0, 5));
-        }
-        t.Append(RandomValue(&rng, pick));
-      }
-      batch.rows.push_back(std::move(t));
-    }
+    Batch batch = RandomBatch(&rng, rows, arity);
 
     const std::string v1 =
         SerializeBatch(batch, WireFormatVersion::kRowMajor);
@@ -254,20 +261,8 @@ TEST(WireFormatTest, OldAndNewBatchEncodingsDecodeIdentically) {
     auto from_v2 = DeserializeBatch(v2);
     ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
     ASSERT_TRUE(from_v2.ok()) << from_v2.status().ToString();
-    ASSERT_EQ(from_v1->size(), batch.size());
-    ASSERT_EQ(from_v2->size(), batch.size());
-    for (size_t r = 0; r < batch.size(); ++r) {
-      ASSERT_EQ(from_v2->rows[r].size(), batch.rows[r].size());
-      for (size_t c = 0; c < batch.rows[r].size(); ++c) {
-        const Value& want = batch.rows[r].at(c);
-        EXPECT_EQ(from_v1->rows[r].at(c).type(), want.type());
-        EXPECT_EQ(from_v1->rows[r].at(c).Compare(want), 0);
-        EXPECT_EQ(from_v2->rows[r].at(c).type(), want.type())
-            << "row " << r << " col " << c;
-        EXPECT_EQ(from_v2->rows[r].at(c).Compare(want), 0)
-            << "row " << r << " col " << c;
-      }
-    }
+    ExpectSameContent(*from_v1, batch);
+    ExpectSameContent(*from_v2, batch);
   }
 }
 
@@ -283,12 +278,13 @@ TEST(WireFormatTest, BatchFrameEpochSeqSurviveBothVersions) {
     frame.epoch = static_cast<uint32_t>(rng.NextUint64());
     frame.seq = rng.NextUint64();
     frame.replayable = rng.UniformInt(0, 2) == 1;
+    frame.batch.SetArity(3);
     const int rows = static_cast<int>(rng.UniformInt(0, 8));
     for (int r = 0; r < rows; ++r) {
-      frame.batch.rows.push_back(Tuple(
-          {Value::Int64(rng.UniformInt(-100, 100)), Value::String(""),
-           rng.UniformInt(0, 2) ? Value::Null()
-                                : Value::Date(rng.UniformInt(0, 30000))}));
+      frame.batch.AppendRow(std::vector<Value>{
+          Value::Int64(rng.UniformInt(-100, 100)), Value::String(""),
+          rng.UniformInt(0, 2) ? Value::Null()
+                               : Value::Date(rng.UniformInt(0, 30000))});
     }
     for (const WireFormatVersion v :
          {WireFormatVersion::kRowMajor, WireFormatVersion::kColumnar}) {
@@ -298,14 +294,7 @@ TEST(WireFormatTest, BatchFrameEpochSeqSurviveBothVersions) {
       EXPECT_EQ(decoded->epoch, frame.epoch);
       EXPECT_EQ(decoded->seq, frame.seq);
       EXPECT_EQ(decoded->replayable, frame.replayable);
-      ASSERT_EQ(decoded->batch.size(), frame.batch.size());
-      for (size_t r = 0; r < frame.batch.size(); ++r) {
-        for (size_t c = 0; c < frame.batch.rows[r].size(); ++c) {
-          EXPECT_EQ(decoded->batch.rows[r].at(c).Compare(
-                        frame.batch.rows[r].at(c)),
-                    0);
-        }
-      }
+      ExpectSameContent(decoded->batch, frame.batch);
     }
   }
 }
@@ -314,9 +303,10 @@ TEST(WireFormatTest, BatchFrameEpochSeqSurviveBothVersions) {
 // must produce byte-identical frames to the one-shot serializer.
 TEST(WireFormatTest, AssembledFrameMatchesOneShotSerialization) {
   Batch batch;
+  batch.SetArity(3);
   for (int r = 0; r < 10; ++r) {
-    batch.rows.push_back(
-        Tuple({Value::Int64(r), Value::String("dup"), Value::Double(1.5)}));
+    batch.AppendRow(std::vector<Value>{Value::Int64(r), Value::String("dup"),
+                                       Value::Double(1.5)});
   }
   for (const WireFormatVersion v :
        {WireFormatVersion::kRowMajor, WireFormatVersion::kColumnar}) {
@@ -336,11 +326,11 @@ TEST(WireFormatTest, ColumnarBatchRejectsTruncationAndCorruption) {
   PUSHSIP_SEED_TRACE(TestSeed());
   Random rng = SeededRandom(23);
   Batch batch;
+  batch.SetArity(4);
   for (int r = 0; r < 8; ++r) {
-    batch.rows.push_back(Tuple({Value::Int64(r * 1000),
-                                Value::String(r % 2 ? "left" : "right"),
-                                r % 3 ? Value::Null() : Value::Double(2.25),
-                                Value::Date(12000 + r)}));
+    batch.AppendRow(std::vector<Value>{
+        Value::Int64(r * 1000), Value::String(r % 2 ? "left" : "right"),
+        r % 3 ? Value::Null() : Value::Double(2.25), Value::Date(12000 + r)});
   }
   const std::string bytes =
       SerializeBatch(batch, WireFormatVersion::kColumnar);
@@ -404,12 +394,13 @@ TEST(WireFormatTest, SparseBloomRejectsWrappingDelta) {
 // encoding well below v1; a unique-string column must still round-trip.
 TEST(WireFormatTest, ColumnarCompressesLowCardinalityStrings) {
   Batch repeated, unique;
+  repeated.SetArity(2);
+  unique.SetArity(2);
   for (int r = 0; r < 256; ++r) {
-    repeated.rows.push_back(
-        Tuple({Value::Int64(r), Value::String(r % 2 ? "Brand#34"
-                                                    : "Brand#11")}));
-    unique.rows.push_back(
-        Tuple({Value::Int64(r), Value::String("key-" + std::to_string(r))}));
+    repeated.AppendRow(std::vector<Value>{
+        Value::Int64(r), Value::String(r % 2 ? "Brand#34" : "Brand#11")});
+    unique.AppendRow(std::vector<Value>{
+        Value::Int64(r), Value::String("key-" + std::to_string(r))});
   }
   const size_t v1_rep =
       SerializeBatch(repeated, WireFormatVersion::kRowMajor).size();
@@ -419,7 +410,7 @@ TEST(WireFormatTest, ColumnarCompressesLowCardinalityStrings) {
   auto decoded = DeserializeBatch(
       SerializeBatch(unique, WireFormatVersion::kColumnar));
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded->rows[255].at(1).AsString(), "key-255");
+  EXPECT_EQ(decoded->ValueAt(255, 1).AsString(), "key-255");
 }
 
 // A lightly filled Bloom filter ships sparse in v2 and reconstructs the

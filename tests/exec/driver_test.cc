@@ -35,7 +35,7 @@ TEST(DriverTest, RunsTwoSourceJoinPlan) {
 TEST(DriverTest, ReportsPrunedRows) {
   class DropAll : public TupleFilter {
    public:
-    bool Pass(const Tuple&) const override { return false; }
+    bool Pass(const Batch&, size_t) const override { return false; }
     std::string label() const override { return "drop-all"; }
   };
   ExecContext ctx;

@@ -53,7 +53,7 @@ TEST(SymmetricHashJoinTest, MatchesNestedLoopReference) {
   JoinHarness h(left, right);
   ASSERT_TRUE(h.RunParallel().ok());
   ASSERT_TRUE(h.sink.finished());
-  const auto expected = NestedLoopJoin(left->rows(), right->rows(), 0, 0);
+  const auto expected = NestedLoopJoin(testing::TableRows(left), testing::TableRows(right), 0, 0);
   EXPECT_TRUE(SameBag(h.sink.rows(), expected));
   EXPECT_EQ(h.sink.num_rows(), 5);  // 2x2 for key 2 + 1 for key 3
 }
@@ -186,7 +186,7 @@ TEST_P(JoinRandomizedTest, EquivalentToReference) {
   JoinHarness h(left, right);
   h.ctx.set_batch_size(static_cast<size_t>(rng.UniformInt(1, 64)));
   ASSERT_TRUE(h.RunParallel().ok());
-  const auto expected = NestedLoopJoin(left->rows(), right->rows(), 0, 0);
+  const auto expected = NestedLoopJoin(testing::TableRows(left), testing::TableRows(right), 0, 0);
   EXPECT_TRUE(SameBag(h.sink.rows(), expected))
       << "seed=" << GetParam() << " got=" << h.sink.num_rows()
       << " want=" << expected.size();

@@ -6,6 +6,7 @@
 
 #include "exec/sink.h"
 #include "tests/exec/exec_test_util.h"
+#include "tests/testing/batch_builder.h"
 
 namespace pushsip {
 namespace {
@@ -26,7 +27,9 @@ class PassThrough : public Operator {
 class ThresholdFilter : public TupleFilter {
  public:
   explicit ThresholdFilter(int64_t min) : min_(min) {}
-  bool Pass(const Tuple& t) const override { return t.at(0).AsInt64() >= min_; }
+  bool Pass(const Batch& batch, size_t row) const override {
+    return batch.col(0).I64At(row) >= min_;
+  }
   std::string label() const override { return "threshold"; }
 
  private:
@@ -35,7 +38,7 @@ class ThresholdFilter : public TupleFilter {
 
 class CountingTap : public TupleTap {
  public:
-  void Observe(const Tuple&) override { ++count_; }
+  void Observe(const Batch&, size_t) override { ++count_; }
   int count() const { return count_; }
 
  private:
@@ -43,9 +46,7 @@ class CountingTap : public TupleTap {
 };
 
 Batch MakeBatch(std::initializer_list<int64_t> keys) {
-  Batch b;
-  for (int64_t k : keys) b.rows.push_back(Tuple({Value::Int64(k)}));
-  return b;
+  return testing::MakeKeyBatch(std::vector<int64_t>(keys));
 }
 
 Schema OneCol() { return Schema({Field{"t.a", TypeId::kInt64, kInvalidAttr}}); }

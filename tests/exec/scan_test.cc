@@ -72,8 +72,8 @@ TEST(ScanTest, RateLimitDelayObserved) {
 namespace {
 class EvenFilter : public TupleFilter {
  public:
-  bool Pass(const Tuple& t) const override {
-    return t.at(0).AsInt64() % 2 == 0;
+  bool Pass(const Batch& batch, size_t row) const override {
+    return batch.col(0).I64At(row) % 2 == 0;
   }
   std::string label() const override { return "even(a)"; }
 };

@@ -11,6 +11,7 @@
 #include "exec/operator.h"
 #include "exec/sink.h"
 #include "sip/aip_set.h"
+#include "tests/testing/batch_builder.h"
 #include "tests/testing/test_rng.h"
 
 namespace pushsip {
@@ -25,11 +26,7 @@ Schema TwoIntSchema() {
 }
 
 Batch MakeBatch(const std::vector<std::pair<int64_t, int64_t>>& rows) {
-  Batch b;
-  for (const auto& [a, v] : rows) {
-    b.rows.push_back(Tuple({Value::Int64(a), Value::Int64(v)}));
-  }
-  return b;
+  return testing::MakePairBatch(rows);
 }
 
 /// Row filter with the default (row-loop) PassBatch that records every
@@ -39,8 +36,8 @@ class RecordingFilter : public TupleFilter {
   RecordingFilter(std::string label, std::function<bool(int64_t)> pred)
       : label_(std::move(label)), pred_(std::move(pred)) {}
 
-  bool Pass(const Tuple& t) const override {
-    const int64_t v = t.at(0).AsInt64();
+  bool Pass(const Batch& batch, size_t row) const override {
+    const int64_t v = batch.col(0).I64At(row);
     seen_.push_back(v);
     return pred_(v);
   }
@@ -57,8 +54,8 @@ class RecordingFilter : public TupleFilter {
 /// Tap recording the rows it observes.
 class RecordingTap : public TupleTap {
  public:
-  void Observe(const Tuple& t) override {
-    observed_.push_back(t.at(0).AsInt64());
+  void Observe(const Batch& batch, size_t row) override {
+    observed_.push_back(batch.col(0).I64At(row));
   }
   const std::vector<int64_t>& observed() const { return observed_; }
 
@@ -127,12 +124,12 @@ TEST(VectorizedFilterTest, CountersMatchRowAtATimeReference) {
   for (int round = 0; round < 25; ++round) {
     // Random batch + random filter stack (row filters and AIP filters on
     // both columns, in random order).
-    Batch batch;
+    std::vector<std::pair<int64_t, int64_t>> rows;
     const int n = static_cast<int>(rng.UniformInt(0, 200));
     for (int i = 0; i < n; ++i) {
-      batch.rows.push_back(Tuple({Value::Int64(rng.UniformInt(0, 50)),
-                                  Value::Int64(rng.UniformInt(0, 50))}));
+      rows.push_back({rng.UniformInt(0, 50), rng.UniformInt(0, 50)});
     }
+    Batch batch = testing::MakePairBatch(rows);
     std::vector<std::shared_ptr<const TupleFilter>> filters;
     const int num_filters = static_cast<int>(rng.UniformInt(1, 4));
     for (int f = 0; f < num_filters; ++f) {
@@ -149,17 +146,17 @@ TEST(VectorizedFilterTest, CountersMatchRowAtATimeReference) {
       }
     }
 
-    // Row-at-a-time reference over a copy.
+    // Row-at-a-time reference.
     std::vector<int64_t> want;
-    for (const Tuple& row : batch.rows) {
+    for (size_t r = 0; r < batch.size(); ++r) {
       bool pass = true;
       for (const auto& f : filters) {
-        if (!f->Pass(row)) {
+        if (!f->Pass(batch, r)) {
           pass = false;
           break;
         }
       }
-      if (pass) want.push_back(row.at(0).AsInt64());
+      if (pass) want.push_back(batch.col(0).I64At(r));
     }
 
     ExecContext ctx;
@@ -202,13 +199,13 @@ TEST(VectorizedFilterTest, KeyHashLaneInstallReuseAndCompaction) {
   std::vector<uint64_t> scratch;
   const std::vector<uint64_t>& lane = b.KeyHashes(col0, &scratch);
   ASSERT_EQ(lane.size(), 4u);
-  EXPECT_EQ(lane[2], b.rows[2].HashColumns(col0));
+  EXPECT_EQ(lane[2], b.RowHashColumns(2, col0));
   EXPECT_NE(b.CachedKeyHashes(col0), nullptr);
 
   // A different column set computes into scratch without clobbering it.
   std::vector<uint64_t> scratch2;
   const std::vector<uint64_t>& other = b.KeyHashes(col1, &scratch2);
-  EXPECT_EQ(other[0], b.rows[0].HashColumns(col1));
+  EXPECT_EQ(other[0], b.RowHashColumns(0, col1));
   EXPECT_NE(b.CachedKeyHashes(col0), nullptr);
   EXPECT_EQ(b.CachedKeyHashes(col1), nullptr);
 
@@ -218,10 +215,10 @@ TEST(VectorizedFilterTest, KeyHashLaneInstallReuseAndCompaction) {
   const std::vector<uint64_t>* compacted = b.CachedKeyHashes(col0);
   ASSERT_NE(compacted, nullptr);
   ASSERT_EQ(compacted->size(), 2u);
-  EXPECT_EQ((*compacted)[0], b.rows[0].HashColumns(col0));
-  EXPECT_EQ((*compacted)[1], b.rows[1].HashColumns(col0));
-  EXPECT_EQ(b.rows[0].at(0).AsInt64(), 11);
-  EXPECT_EQ(b.rows[1].at(0).AsInt64(), 13);
+  EXPECT_EQ((*compacted)[0], b.RowHashColumns(0, col0));
+  EXPECT_EQ((*compacted)[1], b.RowHashColumns(1, col0));
+  EXPECT_EQ(b.col(0).I64At(0), 11);
+  EXPECT_EQ(b.col(0).I64At(1), 13);
 
   // Explicit invalidation drops the lane.
   b.ClearKeyHashes();

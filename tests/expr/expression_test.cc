@@ -2,19 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/batch_builder.h"
+
 namespace pushsip {
 namespace {
 
-Tuple Row() {
-  return Tuple({Value::Int64(10), Value::Double(2.5),
-                Value::String("STANDARD ANODIZED TIN"),
-                std::move(Value::DateFromString("1995-06-15")).ValueOrDie(),
-                Value::Null()});
+Batch Row() {
+  return testing::MakeBatch(
+      {{Value::Int64(10), Value::Double(2.5),
+        Value::String("STANDARD ANODIZED TIN"),
+        std::move(Value::DateFromString("1995-06-15")).ValueOrDie(),
+        Value::Null()}});
 }
 
 TEST(ExpressionTest, ColumnRefReadsValue) {
   auto c = Col(0, TypeId::kInt64, "x");
-  EXPECT_EQ(c->Eval(Row()).AsInt64(), 10);
+  EXPECT_EQ(c->Eval(Row(), 0).AsInt64(), 10);
   EXPECT_EQ(c->column_index(), 0);
   EXPECT_EQ(c->ToString(), "x");
 }
@@ -28,98 +31,98 @@ TEST(ExpressionTest, ColNamedResolves) {
 }
 
 TEST(ExpressionTest, LiteralEvaluatesToItself) {
-  EXPECT_EQ(LitInt(7)->Eval(Row()).AsInt64(), 7);
-  EXPECT_DOUBLE_EQ(LitDouble(1.5)->Eval(Row()).AsDouble(), 1.5);
-  EXPECT_EQ(LitString("x")->Eval(Row()).AsString(), "x");
-  EXPECT_EQ(LitDate("1995-06-15")->Eval(Row()).ToString(), "1995-06-15");
+  EXPECT_EQ(LitInt(7)->Eval(Row(), 0).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(LitDouble(1.5)->Eval(Row(), 0).AsDouble(), 1.5);
+  EXPECT_EQ(LitString("x")->Eval(Row(), 0).AsString(), "x");
+  EXPECT_EQ(LitDate("1995-06-15")->Eval(Row(), 0).ToString(), "1995-06-15");
 }
 
 TEST(ExpressionTest, Comparisons) {
-  const Tuple row = Row();
+  const Batch row = Row();
   EXPECT_EQ(Cmp(CmpOp::kEq, Col(0, TypeId::kInt64), LitInt(10))
-                ->Eval(row).AsInt64(), 1);
+                ->Eval(row, 0).AsInt64(), 1);
   EXPECT_EQ(Cmp(CmpOp::kNe, Col(0, TypeId::kInt64), LitInt(10))
-                ->Eval(row).AsInt64(), 0);
+                ->Eval(row, 0).AsInt64(), 0);
   EXPECT_EQ(Cmp(CmpOp::kLt, Col(0, TypeId::kInt64), LitInt(11))
-                ->Eval(row).AsInt64(), 1);
+                ->Eval(row, 0).AsInt64(), 1);
   EXPECT_EQ(Cmp(CmpOp::kLe, Col(0, TypeId::kInt64), LitInt(10))
-                ->Eval(row).AsInt64(), 1);
+                ->Eval(row, 0).AsInt64(), 1);
   EXPECT_EQ(Cmp(CmpOp::kGt, Col(0, TypeId::kInt64), LitInt(10))
-                ->Eval(row).AsInt64(), 0);
+                ->Eval(row, 0).AsInt64(), 0);
   EXPECT_EQ(Cmp(CmpOp::kGe, Col(0, TypeId::kInt64), LitInt(10))
-                ->Eval(row).AsInt64(), 1);
+                ->Eval(row, 0).AsInt64(), 1);
 }
 
 TEST(ExpressionTest, MixedTypeComparison) {
   // 10 (int col) vs 2.5 (double col): cross-type numeric comparison.
   EXPECT_EQ(Cmp(CmpOp::kGt, Col(0, TypeId::kInt64), Col(1, TypeId::kDouble))
-                ->Eval(Row()).AsInt64(), 1);
+                ->Eval(Row(), 0).AsInt64(), 1);
 }
 
 TEST(ExpressionTest, DateComparison) {
   auto pred = Cmp(CmpOp::kGt, Col(3, TypeId::kDate), LitDate("1995-01-01"));
-  EXPECT_EQ(pred->Eval(Row()).AsInt64(), 1);
+  EXPECT_EQ(pred->Eval(Row(), 0).AsInt64(), 1);
   auto pred2 = Cmp(CmpOp::kGt, Col(3, TypeId::kDate), LitDate("1996-01-01"));
-  EXPECT_EQ(pred2->Eval(Row()).AsInt64(), 0);
+  EXPECT_EQ(pred2->Eval(Row(), 0).AsInt64(), 0);
 }
 
 TEST(ExpressionTest, NullComparisonYieldsNull) {
   auto pred = Cmp(CmpOp::kEq, Col(4, TypeId::kNull), LitInt(1));
-  EXPECT_TRUE(pred->Eval(Row()).is_null());
+  EXPECT_TRUE(pred->Eval(Row(), 0).is_null());
 }
 
 TEST(ExpressionTest, ArithmeticIntAndDouble) {
-  const Tuple row = Row();
+  const Batch row = Row();
   EXPECT_EQ(Arith(ArithOp::kAdd, Col(0, TypeId::kInt64), LitInt(5))
-                ->Eval(row).AsInt64(), 15);
+                ->Eval(row, 0).AsInt64(), 15);
   EXPECT_EQ(Arith(ArithOp::kMul, Col(0, TypeId::kInt64), LitInt(3))
-                ->Eval(row).AsInt64(), 30);
+                ->Eval(row, 0).AsInt64(), 30);
   EXPECT_EQ(Arith(ArithOp::kSub, Col(0, TypeId::kInt64), LitInt(1))
-                ->Eval(row).AsInt64(), 9);
+                ->Eval(row, 0).AsInt64(), 9);
   // Division always yields double.
   const Value div =
-      Arith(ArithOp::kDiv, Col(0, TypeId::kInt64), LitInt(4))->Eval(row);
+      Arith(ArithOp::kDiv, Col(0, TypeId::kInt64), LitInt(4))->Eval(row, 0);
   EXPECT_EQ(div.type(), TypeId::kDouble);
   EXPECT_DOUBLE_EQ(div.AsDouble(), 2.5);
   // Mixed int/double promotes.
   EXPECT_DOUBLE_EQ(Arith(ArithOp::kMul, Col(1, TypeId::kDouble), LitInt(2))
-                       ->Eval(row).AsDouble(), 5.0);
+                       ->Eval(row, 0).AsDouble(), 5.0);
 }
 
 TEST(ExpressionTest, DivisionByZeroIsNull) {
   EXPECT_TRUE(Arith(ArithOp::kDiv, LitInt(1), LitInt(0))
-                  ->Eval(Row()).is_null());
+                  ->Eval(Row(), 0).is_null());
 }
 
 TEST(ExpressionTest, ArithmeticWithNullIsNull) {
   EXPECT_TRUE(Arith(ArithOp::kAdd, Col(4, TypeId::kNull), LitInt(1))
-                  ->Eval(Row()).is_null());
+                  ->Eval(Row(), 0).is_null());
 }
 
 TEST(ExpressionTest, BooleanConnectives) {
   auto t = Cmp(CmpOp::kEq, LitInt(1), LitInt(1));
   auto f = Cmp(CmpOp::kEq, LitInt(1), LitInt(2));
-  const Tuple row = Row();
-  EXPECT_EQ(And(t, t)->Eval(row).AsInt64(), 1);
-  EXPECT_EQ(And(t, f)->Eval(row).AsInt64(), 0);
-  EXPECT_EQ(Or(f, t)->Eval(row).AsInt64(), 1);
-  EXPECT_EQ(Or(f, f)->Eval(row).AsInt64(), 0);
-  EXPECT_EQ(Not(f)->Eval(row).AsInt64(), 1);
-  EXPECT_EQ(Not(t)->Eval(row).AsInt64(), 0);
+  const Batch row = Row();
+  EXPECT_EQ(And(t, t)->Eval(row, 0).AsInt64(), 1);
+  EXPECT_EQ(And(t, f)->Eval(row, 0).AsInt64(), 0);
+  EXPECT_EQ(Or(f, t)->Eval(row, 0).AsInt64(), 1);
+  EXPECT_EQ(Or(f, f)->Eval(row, 0).AsInt64(), 0);
+  EXPECT_EQ(Not(f)->Eval(row, 0).AsInt64(), 1);
+  EXPECT_EQ(Not(t)->Eval(row, 0).AsInt64(), 0);
 }
 
 TEST(ExpressionTest, ThreeValuedLogic) {
   auto null_pred = Cmp(CmpOp::kEq, Col(4, TypeId::kNull), LitInt(1));
   auto t = Cmp(CmpOp::kEq, LitInt(1), LitInt(1));
   auto f = Cmp(CmpOp::kEq, LitInt(1), LitInt(2));
-  const Tuple row = Row();
+  const Batch row = Row();
   // NULL AND false = false; NULL AND true = NULL.
-  EXPECT_EQ(And(null_pred, f)->Eval(row).AsInt64(), 0);
-  EXPECT_TRUE(And(null_pred, t)->Eval(row).is_null());
+  EXPECT_EQ(And(null_pred, f)->Eval(row, 0).AsInt64(), 0);
+  EXPECT_TRUE(And(null_pred, t)->Eval(row, 0).is_null());
   // NULL OR true = true; NULL OR false = NULL.
-  EXPECT_EQ(Or(null_pred, t)->Eval(row).AsInt64(), 1);
-  EXPECT_TRUE(Or(null_pred, f)->Eval(row).is_null());
-  EXPECT_TRUE(Not(null_pred)->Eval(row).is_null());
+  EXPECT_EQ(Or(null_pred, t)->Eval(row, 0).AsInt64(), 1);
+  EXPECT_TRUE(Or(null_pred, f)->Eval(row, 0).is_null());
+  EXPECT_TRUE(Not(null_pred)->Eval(row, 0).is_null());
 }
 
 TEST(LikeMatchTest, Wildcards) {
@@ -142,19 +145,19 @@ TEST(LikeMatchTest, Wildcards) {
 
 TEST(ExpressionTest, LikeOperator) {
   auto pred = Like(Col(2, TypeId::kString), "%TIN");
-  EXPECT_EQ(pred->Eval(Row()).AsInt64(), 1);
+  EXPECT_EQ(pred->Eval(Row(), 0).AsInt64(), 1);
   auto pred2 = Like(Col(2, TypeId::kString), "%BRASS");
-  EXPECT_EQ(pred2->Eval(Row()).AsInt64(), 0);
+  EXPECT_EQ(pred2->Eval(Row(), 0).AsInt64(), 0);
   auto on_null = Like(Col(4, TypeId::kNull), "%");
-  EXPECT_TRUE(on_null->Eval(Row()).is_null());
+  EXPECT_TRUE(on_null->Eval(Row(), 0).is_null());
 }
 
 TEST(ExpressionTest, YearOf) {
-  EXPECT_EQ(YearOf(LitDate("1995-06-15"))->Eval(Row()).AsInt64(), 1995);
-  EXPECT_EQ(YearOf(LitDate("1992-01-01"))->Eval(Row()).AsInt64(), 1992);
-  EXPECT_EQ(YearOf(LitDate("1998-12-31"))->Eval(Row()).AsInt64(), 1998);
-  EXPECT_EQ(YearOf(LitDate("2000-02-29"))->Eval(Row()).AsInt64(), 2000);
-  EXPECT_TRUE(YearOf(Col(4, TypeId::kNull))->Eval(Row()).is_null());
+  EXPECT_EQ(YearOf(LitDate("1995-06-15"))->Eval(Row(), 0).AsInt64(), 1995);
+  EXPECT_EQ(YearOf(LitDate("1992-01-01"))->Eval(Row(), 0).AsInt64(), 1992);
+  EXPECT_EQ(YearOf(LitDate("1998-12-31"))->Eval(Row(), 0).AsInt64(), 1998);
+  EXPECT_EQ(YearOf(LitDate("2000-02-29"))->Eval(Row(), 0).AsInt64(), 2000);
+  EXPECT_TRUE(YearOf(Col(4, TypeId::kNull))->Eval(Row(), 0).is_null());
 }
 
 TEST(ExpressionTest, StaticTypes) {

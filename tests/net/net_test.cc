@@ -65,8 +65,8 @@ TEST(RemoteNodeTest, ScanChargesLink) {
   scan->SetOutput(&sink);
   Stopwatch timer;
   ASSERT_TRUE(scan->Run().ok());
-  // ~1000 tuples * ~100B each = ~100KB at 1MB/s ~ 0.1s.
-  EXPECT_GT(remote.link()->bytes_transferred(), 50000);
+  // 1000 rows * two INT64 columns = ~16KB of columnar payload.
+  EXPECT_GT(remote.link()->bytes_transferred(), 15000);
   EXPECT_GE(timer.ElapsedMillis(),
             remote.link()->TransferSeconds(
                 static_cast<size_t>(remote.link()->bytes_transferred())) *
@@ -77,8 +77,8 @@ TEST(RemoteNodeTest, ScanChargesLink) {
 TEST(RemoteNodeTest, SourceFilterSavesBandwidth) {
   class OddFilter : public TupleFilter {
    public:
-    bool Pass(const Tuple& t) const override {
-      return t.at(0).AsInt64() % 2 == 1;
+    bool Pass(const Batch& batch, size_t row) const override {
+      return batch.col(0).I64At(row) % 2 == 1;
     }
     std::string label() const override { return "odd"; }
   };

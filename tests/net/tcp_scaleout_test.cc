@@ -68,11 +68,10 @@ std::string SimReferenceWire() {
     ADD_FAILURE() << "sim run failed: " << stats.status().ToString();
     return {};
   }
-  Batch rows;
-  rows.rows = (*query)->root_sink->TakeRows();
-  std::sort(rows.rows.begin(), rows.rows.end(),
+  std::vector<Tuple> rows = (*query)->root_sink->TakeRows();
+  std::sort(rows.begin(), rows.end(),
             [](const Tuple& a, const Tuple& b) { return a.Compare(b) < 0; });
-  return SerializeBatch(rows, WireFormatVersion::kRowMajor);
+  return SerializeBatch(Batch::FromRows(rows), WireFormatVersion::kRowMajor);
 }
 
 struct ClusterRun {

@@ -22,6 +22,7 @@
 #include "net/transport/tcp_transport.h"
 #include "net/transport/transport.h"
 #include "net/wire_format.h"
+#include "tests/testing/batch_builder.h"
 #include "util/bloom_filter.h"
 
 namespace pushsip {
@@ -35,12 +36,9 @@ Schema TwoIntSchema() {
 }
 
 Batch MakeBatch(int64_t first_key, int64_t count) {
-  Batch batch;
-  for (int64_t i = 0; i < count; ++i) {
-    batch.rows.push_back(
-        Tuple({Value::Int64(first_key + i), Value::Int64(i)}));
-  }
-  return batch;
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < count; ++i) rows.push_back({first_key + i, i});
+  return testing::MakePairBatch(rows);
 }
 
 class TransportConformanceTest

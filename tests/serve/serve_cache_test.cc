@@ -102,10 +102,10 @@ TablePtr FlippedPart(const Catalog& catalog) {
   const TablePtr old = *catalog.GetTable("part");
   auto fresh = std::make_shared<Table>("part", old->schema());
   const int size_col = *old->schema().IndexOf("p_size");
-  for (const Tuple& row : old->rows()) {
-    Tuple copy = row;
-    copy.at(static_cast<size_t>(size_col)) =
-        Value::Int64(51 - row.at(static_cast<size_t>(size_col)).AsInt64());
+  for (size_t r = 0; r < old->num_rows(); ++r) {
+    Tuple copy = old->row(r);
+    copy.at(static_cast<size_t>(size_col)) = Value::Int64(
+        51 - copy.at(static_cast<size_t>(size_col)).AsInt64());
     fresh->AppendRow(std::move(copy));
   }
   fresh->SetPrimaryKey(old->primary_key());

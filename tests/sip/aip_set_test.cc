@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/batch_builder.h"
+
 #include <thread>
 
 #include "util/random.h"
@@ -88,10 +90,11 @@ TEST(AipFilterTest, PassAndPruneCounting) {
   set->Insert(Value::Int64(3).Hash());
   set->Seal();
   AipFilter filter("f", 0, set);
-  EXPECT_TRUE(filter.Pass(Tuple({Value::Int64(1)})));
-  EXPECT_FALSE(filter.Pass(Tuple({Value::Int64(2)})));
-  EXPECT_TRUE(filter.Pass(Tuple({Value::Int64(3)})));
-  EXPECT_FALSE(filter.Pass(Tuple({Value::Int64(4)})));
+  const Batch probes = testing::MakeKeyBatch({1, 2, 3, 4});
+  EXPECT_TRUE(filter.Pass(probes, 0));
+  EXPECT_FALSE(filter.Pass(probes, 1));
+  EXPECT_TRUE(filter.Pass(probes, 2));
+  EXPECT_FALSE(filter.Pass(probes, 3));
   EXPECT_EQ(filter.passed_count(), 2);
   EXPECT_EQ(filter.pruned_count(), 2);
   EXPECT_EQ(filter.label(), "f");
@@ -102,8 +105,9 @@ TEST(AipFilterTest, ProbesConfiguredColumn) {
   set->Insert(Value::Int64(7).Hash());
   set->Seal();
   AipFilter filter("f", 1, set);
-  EXPECT_TRUE(filter.Pass(Tuple({Value::Int64(0), Value::Int64(7)})));
-  EXPECT_FALSE(filter.Pass(Tuple({Value::Int64(7), Value::Int64(0)})));
+  const Batch probes = testing::MakePairBatch({{0, 7}, {7, 0}});
+  EXPECT_TRUE(filter.Pass(probes, 0));
+  EXPECT_FALSE(filter.Pass(probes, 1));
 }
 
 }  // namespace

@@ -42,8 +42,9 @@ TEST_F(TpchGeneratorTest, ForeignKeysResolve) {
   auto part = *catalog_->GetTable("part");
   auto lineitem = *catalog_->GetTable("lineitem");
   const int64_t num_part = static_cast<int64_t>(part->num_rows());
-  for (const Tuple& row : lineitem->rows()) {
-    const int64_t pk = row.at(1).AsInt64();
+  const Column& partkey = lineitem->col(1);
+  for (size_t r = 0; r < lineitem->num_rows(); ++r) {
+    const int64_t pk = partkey.I64At(r);
     ASSERT_GE(pk, 1);
     ASSERT_LE(pk, num_part);
   }
@@ -52,8 +53,10 @@ TEST_F(TpchGeneratorTest, ForeignKeysResolve) {
 TEST_F(TpchGeneratorTest, PartsuppKeysUnique) {
   auto partsupp = *catalog_->GetTable("partsupp");
   std::unordered_set<int64_t> seen;
-  for (const Tuple& row : partsupp->rows()) {
-    const int64_t key = row.at(0).AsInt64() * 1000000 + row.at(1).AsInt64();
+  const Column& pk = partsupp->col(0);
+  const Column& sk = partsupp->col(1);
+  for (size_t r = 0; r < partsupp->num_rows(); ++r) {
+    const int64_t key = pk.I64At(r) * 1000000 + sk.I64At(r);
     EXPECT_TRUE(seen.insert(key).second) << "duplicate (partkey, suppkey)";
   }
 }
@@ -61,13 +64,15 @@ TEST_F(TpchGeneratorTest, PartsuppKeysUnique) {
 TEST_F(TpchGeneratorTest, ValueDomains) {
   auto part = *catalog_->GetTable("part");
   bool saw_tin = false;
-  for (const Tuple& row : part->rows()) {
-    const std::string& brand = row.at(3).AsString();
+  for (size_t r = 0; r < part->num_rows(); ++r) {
+    const std::string_view brand = part->col(3).StringAt(r);
     ASSERT_EQ(brand.substr(0, 6), "Brand#");
-    const int64_t size = row.at(5).AsInt64();
+    const int64_t size = part->col(5).I64At(r);
     ASSERT_GE(size, 1);
     ASSERT_LE(size, 50);
-    if (row.at(4).AsString().find("TIN") != std::string::npos) saw_tin = true;
+    if (part->col(4).StringAt(r).find("TIN") != std::string_view::npos) {
+      saw_tin = true;
+    }
   }
   EXPECT_TRUE(saw_tin);
 }
@@ -75,15 +80,15 @@ TEST_F(TpchGeneratorTest, ValueDomains) {
 TEST_F(TpchGeneratorTest, NationsCoverQueryConstants) {
   auto nation = *catalog_->GetTable("nation");
   bool france = false;
-  for (const Tuple& row : nation->rows()) {
-    if (row.at(1).AsString() == "FRANCE") france = true;
+  for (size_t r = 0; r < nation->num_rows(); ++r) {
+    if (nation->col(1).StringAt(r) == "FRANCE") france = true;
   }
   EXPECT_TRUE(france);
   auto region = *catalog_->GetTable("region");
   bool africa = false, mideast = false;
-  for (const Tuple& row : region->rows()) {
-    if (row.at(1).AsString() == "AFRICA") africa = true;
-    if (row.at(1).AsString() == "MIDDLE EAST") mideast = true;
+  for (size_t r = 0; r < region->num_rows(); ++r) {
+    if (region->col(1).StringAt(r) == "AFRICA") africa = true;
+    if (region->col(1).StringAt(r) == "MIDDLE EAST") mideast = true;
   }
   EXPECT_TRUE(africa);
   EXPECT_TRUE(mideast);
@@ -105,7 +110,7 @@ TEST(TpchGeneratorDeterminismTest, SameSeedSameData) {
   auto l2 = *c2->GetTable("lineitem");
   ASSERT_EQ(l1->num_rows(), l2->num_rows());
   for (size_t i = 0; i < l1->num_rows(); i += 97) {
-    EXPECT_EQ(l1->rows()[i].Compare(l2->rows()[i]), 0);
+    EXPECT_EQ(l1->row(i).Compare(l2->row(i)), 0);
   }
 }
 
@@ -120,7 +125,7 @@ TEST(TpchGeneratorDeterminismTest, DifferentSeedDifferentData) {
   int diffs = 0;
   const size_t n = std::min(la->num_rows(), lb->num_rows());
   for (size_t i = 0; i < n; i += 37) {
-    if (la->rows()[i].Compare(lb->rows()[i]) != 0) ++diffs;
+    if (la->row(i).Compare(lb->row(i)) != 0) ++diffs;
   }
   EXPECT_GT(diffs, 0);
 }
@@ -135,8 +140,9 @@ TEST(TpchGeneratorSkewTest, ZipfSkewsLineitemPartKeys) {
 
   auto count_top_share = [](const TablePtr& lineitem, size_t num_part) {
     std::vector<int64_t> counts(num_part + 1, 0);
-    for (const Tuple& row : lineitem->rows()) {
-      ++counts[static_cast<size_t>(row.at(1).AsInt64())];
+    const Column& partkey = lineitem->col(1);
+    for (size_t r = 0; r < lineitem->num_rows(); ++r) {
+      ++counts[static_cast<size_t>(partkey.I64At(r))];
     }
     // Share of references going to the lowest 1% of part keys.
     int64_t head = 0, total = 0;

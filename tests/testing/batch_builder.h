@@ -1,0 +1,141 @@
+// Columnar batch construction for tests. Every suite used to hand-roll its
+// own loop over `batch.rows.push_back(Tuple(...))`; with the columnar Batch
+// there is one fixture instead: typed column-wise builds (with nulls) and a
+// row-wise convenience for small literal fixtures.
+#ifndef PUSHSIP_TESTS_TESTING_BATCH_BUILDER_H_
+#define PUSHSIP_TESTS_TESTING_BATCH_BUILDER_H_
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/tuple.h"
+
+namespace pushsip {
+namespace testing {
+
+/// Builds a columnar Batch column by column; `std::nullopt` rows are NULL.
+///
+///   Batch b = BatchBuilder()
+///                 .I64({1, std::nullopt, 3})
+///                 .Str({"a", "b", std::nullopt})
+///                 .Build();
+///
+/// Columns must all end up the same length (Batch::AddColumn checks).
+class BatchBuilder {
+ public:
+  BatchBuilder& I64(std::initializer_list<std::optional<int64_t>> vals) {
+    return Typed(TypeId::kInt64, vals);
+  }
+  BatchBuilder& Date(std::initializer_list<std::optional<int64_t>> vals) {
+    return Typed(TypeId::kDate, vals);
+  }
+  BatchBuilder& F64(std::initializer_list<std::optional<double>> vals) {
+    Column c(TypeId::kDouble);
+    for (const auto& v : vals) {
+      if (v.has_value()) {
+        c.AppendF64(*v);
+      } else {
+        c.AppendNull();
+      }
+    }
+    batch_.AddColumn(std::move(c));
+    return *this;
+  }
+  BatchBuilder& Str(
+      std::initializer_list<std::optional<std::string_view>> vals) {
+    Column c(TypeId::kString);
+    for (const auto& v : vals) {
+      if (v.has_value()) {
+        c.AppendValue(Value::String(std::string(*v)));
+      } else {
+        c.AppendNull();
+      }
+    }
+    batch_.AddColumn(std::move(c));
+    return *this;
+  }
+  /// An all-NULL column that never saw a type (Rep::kNone).
+  BatchBuilder& Nulls(size_t n) {
+    Column c;
+    for (size_t i = 0; i < n; ++i) c.AppendNull();
+    batch_.AddColumn(std::move(c));
+    return *this;
+  }
+  /// Escape hatch for pre-built columns (shared dictionaries etc.).
+  BatchBuilder& Col(Column c) {
+    batch_.AddColumn(std::move(c));
+    return *this;
+  }
+
+  Batch Build() { return std::move(batch_); }
+
+ private:
+  template <typename T>
+  BatchBuilder& Typed(TypeId type,
+                      std::initializer_list<std::optional<T>> vals) {
+    Column c(type);
+    for (const auto& v : vals) {
+      if (v.has_value()) {
+        c.AppendI64(*v);
+      } else {
+        c.AppendNull();
+      }
+    }
+    batch_.AddColumn(std::move(c));
+    return *this;
+  }
+
+  Batch batch_;
+};
+
+/// Row-wise convenience for small literal fixtures: each initializer list is
+/// one row of Values. Mixed-type columns degrade to the variant fallback,
+/// same as any row-at-a-time append.
+inline Batch MakeBatch(std::initializer_list<std::vector<Value>> rows) {
+  Batch b;
+  bool first = true;
+  for (const auto& row : rows) {
+    if (first) {
+      b.SetArity(row.size());
+      first = false;
+    }
+    b.AppendRow(row);
+  }
+  return b;
+}
+
+/// One-column INT64 batch from a flat list of keys.
+inline Batch MakeKeyBatch(const std::vector<int64_t>& keys) {
+  Column c(TypeId::kInt64);
+  c.Reserve(keys.size());
+  for (const int64_t k : keys) c.AppendI64(k);
+  Batch b;
+  b.AddColumn(std::move(c));
+  return b;
+}
+
+/// Two-column INT64 batch from (a, b) pairs — the shape most operator
+/// suites push.
+inline Batch MakePairBatch(
+    const std::vector<std::pair<int64_t, int64_t>>& rows) {
+  Column a(TypeId::kInt64), b(TypeId::kInt64);
+  a.Reserve(rows.size());
+  b.Reserve(rows.size());
+  for (const auto& [x, y] : rows) {
+    a.AppendI64(x);
+    b.AppendI64(y);
+  }
+  Batch out;
+  out.AddColumn(std::move(a));
+  out.AddColumn(std::move(b));
+  return out;
+}
+
+}  // namespace testing
+}  // namespace pushsip
+
+#endif  // PUSHSIP_TESTS_TESTING_BATCH_BUILDER_H_

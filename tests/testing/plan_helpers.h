@@ -43,6 +43,14 @@ inline std::unique_ptr<TableScan> MakeScan(ExecContext* ctx,
                                      table->schema(), options);
 }
 
+/// Materializes every table row (reference-semantics oracles only).
+inline std::vector<Tuple> TableRows(const TablePtr& t) {
+  std::vector<Tuple> out;
+  out.reserve(t->num_rows());
+  for (size_t r = 0; r < t->num_rows(); ++r) out.push_back(t->row(r));
+  return out;
+}
+
 /// Sorts rows into a deterministic order for comparison.
 inline std::vector<Tuple> Sorted(std::vector<Tuple> rows) {
   std::sort(rows.begin(), rows.end(),

@@ -229,6 +229,43 @@ class BenchCheckTest(unittest.TestCase):
         self.assert_graceful(proc, 2)
         self.assertIn("pair", proc.stderr)
 
+    def run_check_hard(self, baseline, fresh):
+        return subprocess.run(
+            [sys.executable, SCRIPT, "--baseline", baseline,
+             "--fresh", fresh, "--hard-only"],
+            capture_output=True, text=True)
+
+    def hard_cell(self, query, strategy, metric_mean):
+        return cell(query=query, strategy=strategy, sites=None,
+                    metric_mean=metric_mean)
+
+    def test_hard_only_drop_beyond_threshold_fails(self):
+        # The columnar floor cells gate on their throughput metric: a >25%
+        # drop on the vectorized filter cell exits 1.
+        base = self.write("base.json", report([
+            self.hard_cell("filter_pipeline", "vectorized", 50e6),
+            self.hard_cell("wire_roundtrip", "v2_columnar", 11e6)]))
+        fresh = self.write("fresh.json", report([
+            self.hard_cell("filter_pipeline", "vectorized", 20e6),
+            self.hard_cell("wire_roundtrip", "v2_columnar", 11e6)]))
+        proc = self.run_check_hard(base, fresh)
+        self.assert_graceful(proc, 1)
+        self.assertIn("filter_pipeline", proc.stderr)
+
+    def test_hard_only_ignores_non_floor_cells(self):
+        # A regression on a non-floor cell (and on a cost metric the floor
+        # cells don't gate) is invisible to --hard-only.
+        base = self.write("base.json", report([
+            self.hard_cell("filter_pipeline", "vectorized", 50e6),
+            cell(query="wire_stream", strategy="per_batch_dict",
+                 metric_mean=10e6)]))
+        fresh = self.write("fresh.json", report([
+            self.hard_cell("filter_pipeline", "vectorized", 51e6),
+            cell(query="wire_stream", strategy="per_batch_dict",
+                 metric_mean=1e6, bytes_shipped=900000)]))
+        proc = self.run_check_hard(base, fresh)
+        self.assert_graceful(proc, 0)
+
     def test_pairs_do_not_cross_match(self):
         # A cell key present in baseline 1 and fresh 2 must not match: the
         # reports pair positionally, exit 2 because pair 2 shares nothing.

@@ -25,6 +25,12 @@ CI runs this as a non-blocking step (timings on shared runners are noisy;
 bytes_shipped is deterministic modulo replay) and uploads the JSON files
 as artifacts, so a regression leaves an inspectable trail even when the
 step is advisory.
+
+--hard-only switches to the blocking mode: only the columnar hot-path
+cells in HARD_FLOOR_CELLS are checked, each on its throughput metric, and
+any drop beyond the threshold exits 1. CI runs this as a separate step
+WITHOUT continue-on-error — the columnar speedups are a contract, not an
+advisory.
 """
 
 import argparse
@@ -39,11 +45,23 @@ MEANINGFUL_FLOOR = {
     "p50_ms": 0.5,              # milliseconds
     "p99_ms": 0.5,              # milliseconds
     "qps": 1.0,                 # queries/second
+    "metric_mean": 1.0,         # bench-specific throughput (rows/s etc.)
 }
 
 # Most metrics are costs (lower is better); throughput metrics invert: a
 # regression is fresh *dropping* below baseline * (1 - threshold).
-HIGHER_IS_BETTER = {"qps"}
+HIGHER_IS_BETTER = {"qps", "metric_mean"}
+
+# The columnar hot-path cells gated with --hard-only: the typed filter
+# kernel, the zero-transpose v2 encode, and the cross-batch dictionary
+# stream. These are the cells the columnar Batch redesign bought its
+# speedup on; a >threshold throughput drop here fails the (blocking) CI
+# step, unlike the advisory full comparison.
+HARD_FLOOR_CELLS = {
+    ("filter_pipeline", "vectorized"): "metric_mean",
+    ("wire_roundtrip", "v2_columnar"): "metric_mean",
+    ("wire_stream", "dict_stream"): "metric_mean",
+}
 
 
 def load_cells(path):
@@ -89,11 +107,13 @@ def load_cells(path):
     return loaded
 
 
-def check_pair(baseline_path, fresh_path, metrics, threshold):
+def check_pair(baseline_path, fresh_path, metrics, threshold,
+               hard_only=False):
     """Compares one (baseline, fresh) report pair.
 
-    Returns (matched_cell_count, regression list). Exits 2 on malformed
-    input, like load_cells.
+    With hard_only, only the HARD_FLOOR_CELLS are compared, each on its
+    designated metric. Returns (matched_cell_count, regression list).
+    Exits 2 on malformed input, like load_cells.
     """
     baseline = load_cells(baseline_path)
     fresh = load_cells(fresh_path)
@@ -103,6 +123,8 @@ def check_pair(baseline_path, fresh_path, metrics, threshold):
     print(f"{'cell':<44} {'metric':<14} {'baseline':>12} {'fresh':>12} "
           f"{'ratio':>7}")
     for key, base_cell in sorted(baseline.items(), key=str):
+        if hard_only and (key[0], key[1]) not in HARD_FLOOR_CELLS:
+            continue
         fresh_cell = fresh.get(key)
         if fresh_cell is None:
             continue  # sweep shapes may differ (e.g. fewer sites in CI)
@@ -110,7 +132,9 @@ def check_pair(baseline_path, fresh_path, metrics, threshold):
         name = f"{key[0]}/{key[1]}/sites={key[2]}"
         if key[3] != "sim":
             name += f"/{key[3]}"
-        for metric in metrics:
+        cell_metrics = ([HARD_FLOOR_CELLS[(key[0], key[1])]] if hard_only
+                        else metrics)
+        for metric in cell_metrics:
             base = base_cell.get(metric)
             new = fresh_cell.get(metric)
             if not isinstance(base, (int, float)) or \
@@ -146,6 +170,10 @@ def main():
                         help="allowed relative growth (default 0.25 = +25%%)")
     parser.add_argument("--metrics", default="bytes_shipped,elapsed_sec",
                         help="comma-separated cell fields to compare")
+    parser.add_argument("--hard-only", action="store_true",
+                        help="check only the columnar hot-path floor cells "
+                             "(see HARD_FLOOR_CELLS); meant for a blocking "
+                             "CI gate, exits 1 on any drop > threshold")
     args = parser.parse_args()
 
     if len(args.baseline) != len(args.fresh):
@@ -159,7 +187,8 @@ def main():
     regressions = []
     for baseline_path, fresh_path in zip(args.baseline, args.fresh):
         pair_matched, pair_regressions = check_pair(
-            baseline_path, fresh_path, metrics, args.threshold)
+            baseline_path, fresh_path, metrics, args.threshold,
+            hard_only=args.hard_only)
         matched += pair_matched
         regressions.extend(pair_regressions)
 

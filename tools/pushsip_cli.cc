@@ -161,8 +161,8 @@ int main(int argc, char** argv) {
                   static_cast<long long>(r->stats.aip_sets),
                   static_cast<long long>(r->stats.aip_filters));
       if (print_rows) {
-        for (const Tuple& row : rows->rows) {
-          std::printf("%s\n", row.ToString().c_str());
+        for (size_t r = 0; r < rows->size(); ++r) {
+          std::printf("%s\n", rows->RowToString(r).c_str());
         }
       }
       return 0;
