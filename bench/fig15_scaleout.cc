@@ -35,6 +35,7 @@
 #include "dist/multi_process.h"
 #include "dist/scale_out.h"
 #include "net/fault_injector.h"
+#include "obs/trace.h"
 
 using namespace pushsip;
 using namespace pushsip::bench;
@@ -50,6 +51,7 @@ struct KillRun {
 int RunKillSiteMode(const HarnessOptions& opts, int kill_site,
                     int64_t kill_after, int sites, double bandwidth_bps,
                     bool weak_filter) {
+  InitObs(opts);
   TpchConfig gen;
   gen.scale_factor = opts.scale_factor;
   gen.seed = opts.seed;
@@ -136,12 +138,14 @@ int RunKillSiteMode(const HarnessOptions& opts, int kill_site,
                        opts, records)) {
     return 1;
   }
+  FinishObs(opts);
   return 0;
 }
 
 int RunStraggleSiteMode(const HarnessOptions& opts, int straggle_site,
                         double straggle_bw, int sites, double bandwidth_bps,
                         bool weak_filter) {
+  InitObs(opts);
   TpchConfig gen;
   gen.scale_factor = opts.scale_factor;
   gen.seed = opts.seed;
@@ -245,13 +249,64 @@ int RunStraggleSiteMode(const HarnessOptions& opts, int straggle_site,
                        opts, records)) {
     return 1;
   }
+  FinishObs(opts);
+  return 0;
+}
+
+/// Verifies the profile forest's counters sum to the run's DistQueryStats
+/// (the EXPLAIN-ANALYZE tree and the stats line must tell one story).
+/// Per-site state *peaks* aren't summable per op, so state is not checked.
+int CheckProfileTotals(const obs::QueryProfile& prof,
+                       const DistQueryStats& stats) {
+  int64_t pruned = 0, source_pruned = 0, bytes_sent = 0;
+  for (const obs::OperatorProfile& op : prof.ops) {
+    pruned += op.rows_pruned;
+    source_pruned += op.rows_source_pruned;
+    bytes_sent += op.bytes_sent;
+  }
+  if (pruned != stats.rows_pruned ||
+      source_pruned != stats.rows_source_pruned) {
+    std::fprintf(stderr,
+                 "FAILED: profile prune totals (%lld/%lld) != stats "
+                 "(%lld/%lld)\n",
+                 static_cast<long long>(pruned),
+                 static_cast<long long>(source_pruned),
+                 static_cast<long long>(stats.rows_pruned),
+                 static_cast<long long>(stats.rows_source_pruned));
+    return 1;
+  }
+  if (bytes_sent <= 0 || bytes_sent != stats.payload_bytes) {
+    std::fprintf(stderr,
+                 "FAILED: profile bytes_sent=%lld != stats payload_bytes="
+                 "%lld\n",
+                 static_cast<long long>(bytes_sent),
+                 static_cast<long long>(stats.payload_bytes));
+    return 1;
+  }
+  if (prof.result_rows != stats.result_rows) {
+    std::fprintf(stderr, "FAILED: profile result_rows=%lld != stats %lld\n",
+                 static_cast<long long>(prof.result_rows),
+                 static_cast<long long>(stats.result_rows));
+    return 1;
+  }
   return 0;
 }
 
 /// --transport=tcp: sim (in-process) vs TCP (multi-process) on `sites`
-/// sites; the serialized answers must match byte for byte.
+/// sites; the serialized answers must match byte for byte. With
+/// --trace-out the merged Chrome trace carries every site process's
+/// events on one time axis; with --profile the sim reference run prints
+/// its profile tree, cross-checked against its stats totals.
 int RunTcpTransportMode(const HarnessOptions& opts, int sites,
                         bool weak_filter) {
+  const bool tracing = !opts.trace_path.empty();
+  if (tracing) {
+    // Coordinator events get pid = the site count; site processes report
+    // under their own site ids 0..N-1.
+    obs::Trace::SetProcessId(sites);
+  }
+  InitObs(opts);
+
   TpchConfig gen;
   gen.scale_factor = opts.scale_factor;
   gen.seed = opts.seed;
@@ -264,6 +319,7 @@ int RunTcpTransportMode(const HarnessOptions& opts, int sites,
               "shipped MB", "rows");
 
   std::vector<JsonRecord> records;
+  std::string site_trace_events;
   for (const ScaleOutQuery q :
        {ScaleOutQuery::kQ17, ScaleOutQuery::kSubquery}) {
     // Reference: the whole query in this process over the simulated mesh,
@@ -279,11 +335,22 @@ int RunTcpTransportMode(const HarnessOptions& opts, int sites,
                    query.status().ToString().c_str());
       return 1;
     }
+    if (opts.profile) {
+      for (auto& site : (*query)->sites) {
+        site->context().set_profiling(true);
+      }
+    }
     auto sim_stats = (*query)->Run();
     if (!sim_stats.ok()) {
       std::fprintf(stderr, "FAILED sim run: %s\n",
                    sim_stats.status().ToString().c_str());
       return 1;
+    }
+    if (opts.profile) {
+      const obs::QueryProfile prof = CollectDistProfile(**query, *sim_stats);
+      std::printf("\n# profile %s (sim reference)\n%s\n",
+                  ScaleOutQueryName(q), prof.ToText().c_str());
+      if (CheckProfileTotals(prof, *sim_stats) != 0) return 1;
     }
     std::vector<Tuple> sim_rows = (*query)->root_sink->TakeRows();
     std::sort(sim_rows.begin(), sim_rows.end(),
@@ -300,11 +367,20 @@ int RunTcpTransportMode(const HarnessOptions& opts, int sites,
     mp.aip = true;
     mp.weak_part_filter = weak_filter;
     mp.deterministic_merge = true;
+    mp.trace = tracing;
+    // A one-frame credit window under tracing makes senders actually hit
+    // the credit-stall path (every frame waits out the peer's ack
+    // round-trip), so the trace demonstrably carries those spans.
+    if (tracing) mp.credit_window = 1;
     auto tcp = RunMultiProcess(mp);
     if (!tcp.ok()) {
       std::fprintf(stderr, "FAILED tcp run: %s\n",
                    tcp.status().ToString().c_str());
       return 1;
+    }
+    if (tracing && !tcp->trace_events_json.empty()) {
+      if (!site_trace_events.empty()) site_trace_events += ",";
+      site_trace_events += tcp->trace_events_json;
     }
 
     if (tcp->rows_wire != sim_wire) {
@@ -359,6 +435,19 @@ int RunTcpTransportMode(const HarnessOptions& opts, int sites,
                        records)) {
     return 1;
   }
+  if (tracing) {
+    // The merged trace must demonstrably carry the SIP and flow-control
+    // story: filters shipping/attaching and senders hitting credit stalls.
+    for (const char* needed :
+         {"\"aip_ship\"", "\"aip_attach\"", "\"exchange_credit_stall\""}) {
+      if (site_trace_events.find(needed) == std::string::npos) {
+        std::fprintf(stderr, "FAILED: merged site trace lacks %s events\n",
+                     needed);
+        return 1;
+      }
+    }
+  }
+  FinishObs(opts, site_trace_events);
   return 0;
 }
 
@@ -428,6 +517,7 @@ int main(int argc, char** argv) {
                                bandwidth_bps, opts.scale_factor < 0.01);
   }
 
+  InitObs(opts);
   TpchConfig gen;
   gen.scale_factor = opts.scale_factor;
   gen.seed = opts.seed;
@@ -509,5 +599,6 @@ int main(int argc, char** argv) {
                        records)) {
     return 1;
   }
+  FinishObs(opts);
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <map>
 
+#include "obs/trace.h"
+
 namespace pushsip {
 namespace bench {
 
@@ -28,9 +30,28 @@ HarnessOptions ParseArgs(int argc, char** argv) {
       opts.initial_delay_ms = 100;
       opts.delay_ms = 5;
       opts.delay_every_rows = 1000;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      opts.trace_path = arg + 12;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      opts.profile = true;
     }
   }
   return opts;
+}
+
+void InitObs(const HarnessOptions& opts) {
+  if (!opts.trace_path.empty()) obs::Trace::EnableWithProcessEpoch();
+}
+
+void FinishObs(const HarnessOptions& opts, const std::string& extra_events) {
+  if (opts.trace_path.empty()) return;
+  if (obs::TraceBuffer::Global().WriteChromeJson(opts.trace_path,
+                                                 extra_events)) {
+    std::fprintf(stderr, "trace written to %s\n", opts.trace_path.c_str());
+  } else {
+    std::fprintf(stderr, "trace write failed: %s\n",
+                 opts.trace_path.c_str());
+  }
 }
 
 namespace {
@@ -97,11 +118,12 @@ bool WriteJsonReport(const std::string& path, const std::string& id,
     std::fprintf(f,
                  ", \"elapsed_sec\": %.6f, \"peak_state_mb\": %.6f,"
                  " \"rows_pruned\": %lld, \"bytes_shipped\": %lld,"
+                 " \"stall_seconds\": %.6f, \"link_seconds\": %.6f,"
                  " \"metric_mean\": %.6f, \"metric_ci95\": %.6f",
                  r.elapsed_sec, r.peak_state_mb,
                  static_cast<long long>(r.rows_pruned),
-                 static_cast<long long>(r.bytes_shipped), r.metric_mean,
-                 r.metric_ci95);
+                 static_cast<long long>(r.bytes_shipped), r.stall_seconds,
+                 r.link_seconds, r.metric_mean, r.metric_ci95);
     if (r.fragment_restarts != 0 || r.fragment_migrations != 0 ||
         r.stragglers_detected != 0 || r.recalibrations != 0) {
       std::fprintf(f,
@@ -128,6 +150,7 @@ bool WriteJsonReport(const std::string& path, const std::string& id,
 
 int RunFigure(const FigureSpec& spec, int argc, char** argv) {
   const HarnessOptions opts = ParseArgs(argc, argv);
+  InitObs(opts);
 
   // Catalogs built once, lazily, per skew flavour.
   std::map<bool, std::shared_ptr<Catalog>> catalogs;
@@ -194,6 +217,7 @@ int RunFigure(const FigureSpec& spec, int argc, char** argv) {
         cfg.remote_bandwidth_bps = opts.remote_bandwidth_bps;
         cfg.pace_every_rows = opts.pace_every_rows;
         cfg.pace_ms = opts.pace_ms;
+        cfg.profiling = opts.profile;
         auto r = RunExperiment(cfg);
         if (!r.ok()) {
           std::fprintf(stderr, "FAILED %s/%s: %s\n", QueryName(q),
@@ -221,6 +245,12 @@ int RunFigure(const FigureSpec& spec, int argc, char** argv) {
         record.peak_state_mb += r->total_state_mb();
         record.rows_pruned += r->aip_pruned;
         record.bytes_shipped += r->stats.bytes_shipped;
+        record.stall_seconds += r->stats.stall_seconds;
+        record.link_seconds += r->stats.link_seconds;
+        if (opts.profile && rep == opts.repetitions - 1) {
+          std::printf("\n# profile %s/%s\n%s", QueryName(q),
+                      StrategyName(s), r->profile.ToText().c_str());
+        }
       }
       // Report per-repetition means; sums were accumulated above so the
       // integer counters don't truncate rep by rep.
@@ -229,6 +259,8 @@ int RunFigure(const FigureSpec& spec, int argc, char** argv) {
       record.peak_state_mb /= reps;
       record.rows_pruned /= reps;
       record.bytes_shipped /= reps;
+      record.stall_seconds /= reps;
+      record.link_seconds /= reps;
       const CellStats cell = Summarize(samples);
       record.metric_mean = cell.mean;
       record.metric_ci95 = cell.ci95;
@@ -249,6 +281,7 @@ int RunFigure(const FigureSpec& spec, int argc, char** argv) {
       !WriteJsonReport(opts.json_path, spec.id, spec.title, opts, records)) {
     return 1;
   }
+  FinishObs(opts);
   return 0;
 }
 

@@ -49,10 +49,27 @@ struct HarnessOptions {
   /// disables it.
   size_t pace_every_rows = 512;
   double pace_ms = 0.5;
+  /// --trace-out=FILE: trace the whole bench run and write a Chrome
+  /// trace_event JSON there at the end (see obs/trace.h).
+  std::string trace_path;
+  /// --profile: per-operator timings; RunFigure prints each cell's
+  /// EXPLAIN-ANALYZE profile tree (last repetition).
+  bool profile = false;
 };
 
-/// Parses --sf=, --reps=, --seed=, --json, --paper-delays from argv.
+/// Parses --sf=, --reps=, --seed=, --json, --paper-delays, --trace-out=,
+/// --profile from argv.
 HarnessOptions ParseArgs(int argc, char** argv);
+
+/// Enables tracing when opts.trace_path is set (process epoch anchored at
+/// "now"). Benches with custom mains call this before running; RunFigure
+/// does it itself.
+void InitObs(const HarnessOptions& opts);
+
+/// Writes the Chrome trace when opts.trace_path is set. `extra_events` is
+/// a pre-serialized fragment merged in (e.g. site-process traces).
+void FinishObs(const HarnessOptions& opts,
+               const std::string& extra_events = "");
 
 /// One measured cell of a benchmark, as emitted to the JSON report.
 struct JsonRecord {
@@ -67,6 +84,10 @@ struct JsonRecord {
   double peak_state_mb = 0;
   int64_t rows_pruned = 0;
   int64_t bytes_shipped = 0;
+  /// Seconds operators spent stalled (receivers idle, senders on
+  /// backpressure/credits) and simulated link transmit-seconds.
+  double stall_seconds = 0;
+  double link_seconds = 0;
   double metric_mean = 0;
   double metric_ci95 = 0;
   // Failure-recovery / adaptive-runtime metrics (multi-site chaos and

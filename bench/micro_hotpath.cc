@@ -20,6 +20,8 @@
 #include "exec/operator.h"
 #include "exec/sink.h"
 #include "net/wire_format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sip/aip_set.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -117,9 +119,11 @@ struct Throughput {
 };
 
 /// Filter-pipeline cell: pushes `stream` (copied per repetition) through
-/// the filters, row-at-a-time or via the vectorized Operator::Push.
+/// the filters, row-at-a-time or via the vectorized Operator::Push. With
+/// `profiled` the context collects per-operator timings (the obs_overhead
+/// cell measures what that costs on the hottest path).
 Throughput RunFilterPipeline(const std::vector<Batch>& stream, bool vectorized,
-                             int reps, uint64_t seed) {
+                             int reps, uint64_t seed, bool profiled = false) {
   const auto filters = MakeAipFilters(/*key_range=*/4096, seed);
   double total_sec = 0;
   int64_t total_rows = 0;
@@ -127,6 +131,7 @@ Throughput RunFilterPipeline(const std::vector<Batch>& stream, bool vectorized,
     std::vector<Batch> copy = stream;
     if (vectorized) {
       ExecContext ctx;
+      ctx.set_profiling(profiled);
       NullOp op(&ctx, TwoIntSchema());
       for (const auto& f : filters) op.AttachFilter(0, f);
       Stopwatch sw;
@@ -330,6 +335,23 @@ int main(int argc, char** argv) {
   const double filter_speedup =
       vectorized.rows_per_sec / row_based.rows_per_sec;
 
+  // --- observability overhead ---
+  // The same vectorized pipeline, A/B: everything off (the shipping
+  // default) vs profiling + tracing + metrics gates all enabled. NullOp
+  // emits no trace events, so "enabled" isolates the per-Push gate checks
+  // and clock reads — the worst case for the overhead contract.
+  const Throughput obs_disabled =
+      RunFilterPipeline(stream, /*vectorized=*/true, reps, opts.seed);
+  const bool trace_was_on = obs::Trace::enabled();
+  obs::Trace::Enable(true);
+  obs::Metrics::Enable(true);
+  const Throughput obs_enabled = RunFilterPipeline(
+      stream, /*vectorized=*/true, reps, opts.seed, /*profiled=*/true);
+  obs::Metrics::Enable(false);
+  obs::Trace::Enable(trace_was_on);
+  record_tp("obs_overhead", "disabled", obs_disabled);
+  record_tp("obs_overhead", "enabled", obs_enabled);
+
   // --- key-hash reuse ---
   const Throughput recompute = RunKeyHash(stream, /*cached=*/false, reps);
   const Throughput cached = RunKeyHash(stream, /*cached=*/true, reps);
@@ -368,6 +390,11 @@ int main(int argc, char** argv) {
       "v2/v1 bytes: %.2f (%.0f%% smaller)\n",
       filter_speedup, cached.rows_per_sec / recompute.rows_per_sec, ratio,
       (1 - ratio) * 100);
+  std::printf(
+      "# obs enabled/disabled throughput: %.3f (profiling+tracing+metrics "
+      "gates on, %.1f%% overhead)\n",
+      obs_enabled.rows_per_sec / obs_disabled.rows_per_sec,
+      100.0 * (1.0 - obs_enabled.rows_per_sec / obs_disabled.rows_per_sec));
   std::printf(
       "# dict stream: %lld entries re-shipped (per-batch: %lld), "
       "%.1f%% of the per-batch stream bytes\n",

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace pushsip {
@@ -127,7 +128,21 @@ Result<DistQueryStats> DistributedQuery::Run() {
     for (SourceOperator* source : run->fragment->sources()) {
       ++run->active_threads;
       threads.emplace_back([&, run, source] {
-        const Status st = source->Run();
+        Status st;
+        {
+          obs::TraceSpan span("fragment_run",
+                              "\"site\":" + std::to_string(run->site->id()) +
+                                  ",\"source\":\"" + source->name() + "\"");
+          // Sources are driven rather than pushed into; credit their busy
+          // time here (Emit's downstream measurement subtracts back out).
+          const bool profiling = run->site->context().profiling();
+          Stopwatch source_timer;
+          st = source->Run();
+          if (profiling) {
+            source->AddBusyMicros(
+                static_cast<int64_t>(source_timer.ElapsedSeconds() * 1e6));
+          }
+        }
         std::lock_guard<std::mutex> lock(mu);
         if (!st.ok() && st.code() != StatusCode::kCancelled &&
             run->error.ok()) {
@@ -145,6 +160,7 @@ Result<DistQueryStats> DistributedQuery::Run() {
     }
   };
 
+  obs::TraceSpan query_span("dist_query");
   Stopwatch timer;
   Status fatal = Status::OK();
   {
@@ -206,6 +222,9 @@ Result<DistQueryStats> DistributedQuery::Run() {
             run.fragment = moved->fragment;
             run.site = moved->site;
             migrated = true;
+            obs::TraceInstant(
+                "fragment_migrate",
+                "\"to_site\":" + std::to_string(run.site->id()));
           }
           // On rebuild failure fall back to an in-place restart below.
         }
@@ -220,6 +239,9 @@ Result<DistQueryStats> DistributedQuery::Run() {
           }
         }
         ++restarts;
+        obs::TraceInstant("fragment_restart",
+                          "\"site\":" + std::to_string(run.site->id()) +
+                              ",\"attempt\":" + std::to_string(run.attempts));
         launch(&run);
         continue;
       }
@@ -266,6 +288,7 @@ Result<DistQueryStats> DistributedQuery::Run() {
       for (int p = 0; p < op->num_inputs(); ++p) {
         stats.rows_pruned += op->rows_pruned(p);
       }
+      stats.stall_seconds += op->stall_seconds();
       if (auto* scan = dynamic_cast<TableScan*>(op)) {
         stats.rows_source_pruned += scan->rows_source_pruned();
       }
@@ -275,6 +298,7 @@ Result<DistQueryStats> DistributedQuery::Run() {
       if (auto* sender = dynamic_cast<ExchangeSender*>(op)) {
         stats.encode_transposes += sender->encode_transposes();
         stats.dict_reships += sender->dict_reships();
+        stats.payload_bytes += sender->bytes_sent();
       }
     }
     for (const auto& manager : site->aip_managers()) {
@@ -303,6 +327,28 @@ Result<DistQueryStats> DistributedQuery::Run() {
     stats.link_seconds = usage.seconds;
   }
   return stats;
+}
+
+obs::QueryProfile CollectDistProfile(const DistributedQuery& query,
+                                     const DistQueryStats& stats) {
+  obs::QueryProfile profile;
+  profile.elapsed_seconds = stats.elapsed_sec;
+  profile.result_rows = stats.result_rows;
+  for (const auto& site : query.sites) {
+    if (query.local_site >= 0 && site->id() != query.local_site) continue;
+    int frag_index = 0;
+    for (const auto& fragment : site->fragments()) {
+      std::vector<Operator*> ops;
+      ops.reserve(fragment->operators().size());
+      for (const auto& op : fragment->operators()) ops.push_back(op.get());
+      std::string frag_label = "f";
+      frag_label += std::to_string(frag_index);
+      AppendOperatorProfiles(ops, site->id(), site->name(), frag_label,
+                             &profile);
+      ++frag_index;
+    }
+  }
+  return profile;
 }
 
 }  // namespace pushsip

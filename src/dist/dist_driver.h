@@ -25,6 +25,7 @@
 
 #include "dist/site_engine.h"
 #include "exec/driver.h"
+#include "exec/profile.h"
 
 namespace pushsip {
 
@@ -41,8 +42,15 @@ struct DistQueryStats {
   int64_t rows_source_pruned = 0;
   /// Bytes that crossed the mesh (batches and shipped filters).
   int64_t bytes_shipped = 0;
+  /// Payload bytes handed to exchange senders — includes same-site
+  /// deliveries that never crossed a link, so it can exceed bytes_shipped.
+  /// The profile tree's per-sender bytes sum to exactly this.
+  int64_t payload_bytes = 0;
   /// Simulated seconds the mesh links spent transmitting.
   double link_seconds = 0;
+  /// Seconds operators spent stalled, summed over all sites — receivers
+  /// waiting for traffic, senders blocked on backpressure/credits.
+  double stall_seconds = 0;
   // AIP bookkeeping, summed over all sites' managers.
   int64_t aip_sets = 0;
   int64_t aip_filters = 0;
@@ -229,6 +237,12 @@ struct DistributedQuery {
   /// returned.
   Result<DistQueryStats> Run();
 };
+
+/// Snapshots every site's operators into one profile (fragment x site x
+/// operator forest; see obs/profile.h). Call after Run(); in multi-process
+/// mode this covers the local process's sites only.
+obs::QueryProfile CollectDistProfile(const DistributedQuery& query,
+                                     const DistQueryStats& stats);
 
 }  // namespace pushsip
 

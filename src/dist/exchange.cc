@@ -1,8 +1,11 @@
 #include "dist/exchange.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "net/wire_format.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace pushsip {
 
@@ -182,11 +185,24 @@ Status ExchangeSender::TransmitFrame(size_t dest_index, std::string bytes,
     double stalled = 0;
     const bool sent = dest.channel->SendBatch(std::move(bytes), &stalled);
     stall_micros_.fetch_add(static_cast<int64_t>(stalled * 1e6));
+    if (stalled > 0 && obs::Trace::enabled()) {
+      // The stall already elapsed inside SendBatch; backdate the span.
+      const int64_t end_us = obs::Trace::NowMicros();
+      obs::TraceCompleteSpan("exchange_credit_stall",
+                             end_us - static_cast<int64_t>(stalled * 1e6),
+                             end_us, "\"op\":\"" + name() + "\"");
+    }
     if (!sent) return Status::Cancelled("exchange channel cancelled");
   }
   bytes_sent_.fetch_add(static_cast<int64_t>(wire_bytes));
   batches_sent_.fetch_add(1);
   rows_sent_[dest_index].fetch_add(static_cast<int64_t>(rows));
+  if (obs::Trace::enabled()) {
+    char args[96];
+    std::snprintf(args, sizeof(args), "\"bytes\":%zu,\"rows\":%zu,\"dest\":%zu",
+                  wire_bytes, rows, dest_index);
+    obs::TraceInstant("exchange_send", args);
+  }
   // Feed the observed wire bytes/row back to the AIP ship-vs-save cost
   // model, so its link-savings term reflects the compressed sizes actually
   // crossing the mesh.
@@ -259,6 +275,19 @@ Status ExchangeSender::DoFinish(int) {
   return Status::OK();
 }
 
+void ExchangeSender::AddProfileDetail(obs::OperatorProfile* profile) const {
+  profile->detail = ExchangeModeName(mode_);
+  profile->bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+}
+
+void ExchangeReceiver::AddProfileDetail(
+    obs::OperatorProfile* profile) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "frames=%lld",
+                static_cast<long long>(batches_received_.load()));
+  profile->detail = buf;
+}
+
 Status ExchangeReceiver::Run() {
   const auto poll = std::chrono::milliseconds(
       options_.poll_ms > 0 ? options_.poll_ms : 25);
@@ -319,6 +348,12 @@ Status ExchangeReceiver::Run() {
       progress.high_water = static_cast<int64_t>(frame.seq);
     }
     batches_received_.fetch_add(1);
+    if (obs::Trace::enabled()) {
+      char args[96];
+      std::snprintf(args, sizeof(args), "\"rows\":%zu,\"sender\":%u",
+                    frame.batch.size(), frame.sender);
+      obs::TraceInstant("exchange_recv", args);
+    }
     if (options_.ordered_merge) {
       held.push_back(HeldFrame{frame.sender, frame.seq,
                                std::move(frame.batch)});

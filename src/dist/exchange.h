@@ -138,6 +138,8 @@ class ExchangeSender : public Operator {
     return total;
   }
 
+  void AddProfileDetail(obs::OperatorProfile* profile) const override;
+
  protected:
   Status DoPush(int port, Batch&& batch) override;
   Status DoFinish(int port) override;
@@ -236,6 +238,8 @@ class ExchangeReceiver : public SourceOperator {
   double stall_seconds() const override {
     return static_cast<double>(stall_micros_.load()) / 1e6;
   }
+
+  void AddProfileDetail(obs::OperatorProfile* profile) const override;
 
  private:
   /// Replay high-water mark of one sender slot.

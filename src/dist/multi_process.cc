@@ -16,6 +16,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "sip/aip_set.h"
 #include "storage/tpch_generator.h"
 
@@ -137,13 +138,13 @@ std::string EncodeStatsLine(const DistQueryStats& s) {
       " filters=%" PRId64 " ship=%a restarts=%" PRId64 " discarded=%" PRId64
       " faults=%" PRId64 " reships=%" PRId64 " stragglers=%" PRId64
       " migrations=%" PRId64 " recalibs=%" PRId64 " transposes=%" PRId64
-      " dictreships=%" PRId64,
+      " dictreships=%" PRId64 " stall=%a payload=%" PRId64,
       s.elapsed_sec, s.result_rows, s.peak_state_bytes, s.rows_pruned,
       s.rows_source_pruned, s.bytes_shipped, s.link_seconds, s.aip_sets,
       s.aip_filters, s.aip_ship_seconds, s.fragment_restarts,
       s.batches_discarded, s.faults_injected, s.aip_reships,
       s.stragglers_detected, s.fragment_migrations, s.recalibrations,
-      s.encode_transposes, s.dict_reships);
+      s.encode_transposes, s.dict_reships, s.stall_seconds, s.payload_bytes);
   return buf;
 }
 
@@ -158,14 +159,15 @@ Result<DistQueryStats> ParseStatsLine(const std::string& line) {
       " filters=%" SCNd64 " ship=%la restarts=%" SCNd64 " discarded=%" SCNd64
       " faults=%" SCNd64 " reships=%" SCNd64 " stragglers=%" SCNd64
       " migrations=%" SCNd64 " recalibs=%" SCNd64 " transposes=%" SCNd64
-      " dictreships=%" SCNd64,
+      " dictreships=%" SCNd64 " stall=%la payload=%" SCNd64,
       &s.elapsed_sec, &s.result_rows, &s.peak_state_bytes, &s.rows_pruned,
       &s.rows_source_pruned, &s.bytes_shipped, &s.link_seconds, &s.aip_sets,
       &s.aip_filters, &s.aip_ship_seconds, &s.fragment_restarts,
       &s.batches_discarded, &s.faults_injected, &s.aip_reships,
       &s.stragglers_detected, &s.fragment_migrations, &s.recalibrations,
-      &s.encode_transposes, &s.dict_reships);
-  if (matched != 19) {
+      &s.encode_transposes, &s.dict_reships, &s.stall_seconds,
+      &s.payload_bytes);
+  if (matched != 21) {
     return Status::InvalidArgument("malformed STATS line: " + line);
   }
   return s;
@@ -338,6 +340,13 @@ Result<MultiProcessResult> RunMultiProcess(const MultiProcessOptions& options) {
         "--window=" + std::to_string(options.credit_window),
         "--batch=" + std::to_string(options.batch_size),
     };
+    if (options.trace) {
+      args.push_back("--trace-hex=1");
+      // Align every child's clock to the coordinator's epoch so the merged
+      // trace shares one time axis without a handshake.
+      args.push_back("--trace-epoch=" +
+                     std::to_string(obs::Trace::epoch_micros()));
+    }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& a : args) argv.push_back(a.data());
@@ -423,9 +432,24 @@ Result<MultiProcessResult> RunMultiProcess(const MultiProcessOptions& options) {
         t.recalibrations += s.recalibrations;
         t.encode_transposes += s.encode_transposes;
         t.dict_reships += s.dict_reships;
+        t.stall_seconds += s.stall_seconds;
+        t.payload_bytes += s.payload_bytes;
+        if (result.per_site.size() < static_cast<size_t>(i + 1)) {
+          result.per_site.resize(i + 1);
+        }
+        result.per_site[i] = s;
         got_stats = true;
       } else if (line.rfind("ROWS ", 0) == 0) {
         PUSHSIP_ASSIGN_OR_RETURN(result.rows_wire, HexDecode(line.substr(5)));
+      } else if (line.rfind("TRACE ", 0) == 0) {
+        PUSHSIP_ASSIGN_OR_RETURN(const std::string events,
+                                 HexDecode(line.substr(6)));
+        if (!events.empty()) {
+          if (!result.trace_events_json.empty()) {
+            result.trace_events_json += ",";
+          }
+          result.trace_events_json += events;
+        }
       }
     }
     if (!got_stats) {

@@ -89,13 +89,22 @@ struct MultiProcessOptions {
   /// Path to the pushsip_site executable; empty = search next to this
   /// executable (FindSiteBinary).
   std::string site_binary;
+  /// Ask every site process to trace its run and report the events on a
+  /// TRACE stdout line. Site timestamps are aligned to the coordinator's
+  /// trace epoch (obs::Trace), so the merged events share one time axis.
+  bool trace = false;
 };
 
 struct MultiProcessResult {
   /// Folded over all sites: elapsed is the slowest site, counters are
   /// summed.
   DistQueryStats stats;
+  /// Each site's own report, index = site id (per-session breakdowns).
+  std::vector<DistQueryStats> per_site;
   std::string rows_wire;  ///< the root site's serialized result batch
+  /// With `trace`: the sites' serialized Chrome trace events, comma-joined
+  /// (append to the coordinator's own via TraceBuffer::WriteChromeJson).
+  std::string trace_events_json;
 };
 
 /// Locates pushsip_site relative to /proc/self/exe ("." and "../tools");

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "net/wire_format.h"
+#include "obs/trace.h"
 
 namespace pushsip {
 
@@ -69,6 +70,12 @@ int SiteEngine::AttachRemoteFilter(AttrId attr,
       remote_filters_.push_back(std::move(filter));
     }
   }
+  if (attached > 0 && obs::Trace::enabled()) {
+    obs::TraceInstant("aip_attach", "\"site\":" + std::to_string(id_) +
+                                        ",\"label\":\"" + label +
+                                        "\",\"scans\":" +
+                                        std::to_string(attached));
+  }
   return attached;
 }
 
@@ -95,6 +102,7 @@ RemoteFilterShipFn MakeFilterShipper(
   return [producers, state, bill_to](AttrId attr, const BloomFilter& filter,
                                      const std::string& label)
              -> Result<double> {
+    obs::TraceSpan ship_span("aip_ship", "\"label\":\"" + label + "\"");
     const std::string bytes = SerializeFilterMessage(attr, filter);
     std::lock_guard<std::mutex> lock(state->mu);
     auto& [delivered, seconds] = state->by_label[label];
@@ -145,6 +153,7 @@ RemoteFilterShipFn MakeTransportFilterShipper(
   return [producers, state, transport](AttrId attr, const BloomFilter& filter,
                                        const std::string& label)
              -> Result<double> {
+    obs::TraceSpan ship_span("aip_ship", "\"label\":\"" + label + "\"");
     std::lock_guard<std::mutex> lock(state->mu);
     auto& [delivered, seconds] = state->by_label[label];
     delivered.resize(producers.size(), false);

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace pushsip {
@@ -10,12 +11,22 @@ Result<QueryStats> Driver::Run() {
   if (sink_ == nullptr) return Status::InvalidArgument("null sink");
   if (sources_.empty()) return Status::InvalidArgument("no source operators");
 
+  obs::TraceSpan query_span("query");
   Stopwatch timer;
   std::vector<std::thread> threads;
   threads.reserve(sources_.size());
   for (SourceOperator* source : sources_) {
     threads.emplace_back([this, source] {
+      // Sources are driven rather than pushed into, so their busy time is
+      // credited here; the downstream time Emit measures inside Run is
+      // subtracted back out by self_seconds().
+      const bool profiling = ctx_->profiling();
+      Stopwatch source_timer;
       const Status st = source->Run();
+      if (profiling) {
+        source->AddBusyMicros(
+            static_cast<int64_t>(source_timer.ElapsedSeconds() * 1e6));
+      }
       if (!st.ok() && st.code() != StatusCode::kCancelled) {
         ctx_->SetError(st);
       }
@@ -43,6 +54,7 @@ QueryStats CollectQueryStats(ExecContext* ctx, Sink* sink,
     for (int p = 0; p < op->num_inputs(); ++p) {
       stats.rows_pruned += op->rows_pruned(p);
     }
+    stats.stall_seconds += op->stall_seconds();
     if (auto* scan = dynamic_cast<TableScan*>(op)) {
       stats.rows_source_pruned += scan->rows_source_pruned();
     }

@@ -29,6 +29,9 @@ struct QueryStats {
   int64_t bytes_shipped = 0;
   /// Simulated seconds those links spent transmitting.
   double link_seconds = 0;
+  /// Seconds operators spent stalled — exchange receivers waiting for
+  /// traffic, senders blocked on backpressure/credit (summed over ops).
+  double stall_seconds = 0;
 
   double peak_state_mb() const {
     return static_cast<double>(peak_state_bytes) / (1024.0 * 1024.0);

@@ -53,6 +53,14 @@ class ExecContext {
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
 
+  /// Per-operator timing (busy/downstream micros) is measured only when
+  /// profiling is on — a relaxed load per Push keeps the disabled cost to
+  /// one predictable branch. Row/batch counters are always maintained.
+  bool profiling() const { return profiling_.load(std::memory_order_relaxed); }
+  void set_profiling(bool on) {
+    profiling_.store(on, std::memory_order_relaxed);
+  }
+
   /// Heartbeat every exchange receiver of this query inherits unless its
   /// ReceiverOptions override it explicitly: give up with kUnavailable
   /// after this long without traffic (0 disables). A per-context knob so
@@ -121,6 +129,7 @@ class ExecContext {
   std::vector<InputFinishedHook> hooks_;
   std::vector<LinkUsageFn> link_usage_;
   size_t batch_size_ = 1024;
+  std::atomic<bool> profiling_{false};
   double exchange_idle_timeout_sec_ = 30.0;
   std::atomic<int64_t> wire_rows_{0};
   std::atomic<int64_t> wire_bytes_{0};

@@ -1,8 +1,21 @@
 #include "exec/operator.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/profile.h"
 
 namespace pushsip {
+
+namespace {
+
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Operator::Operator(ExecContext* ctx, std::string name, int num_inputs,
                    Schema output_schema)
@@ -29,6 +42,8 @@ void Operator::SetOutput(Operator* op, int port) {
 Status Operator::Push(int port, Batch&& batch) {
   PUSHSIP_DCHECK(port >= 0 && port < num_inputs_);
   if (ShouldStop()) return Status::Cancelled("query cancelled");
+  const bool profiling = ctx_->profiling();
+  const int64_t start_us = profiling ? SteadyMicros() : 0;
   rows_in_[port].fetch_add(static_cast<int64_t>(batch.size()));
 
   // Snapshot the dynamic hooks (filters may be injected mid-query by AIP).
@@ -47,6 +62,8 @@ Status Operator::Push(int port, Batch&& batch) {
     // once. No intermediate copies, and hash-probing filters amortize
     // their key hashing and synchronization per batch.
     const size_t n = batch.size();
+    aip_probe_rows_.fetch_add(static_cast<int64_t>(n),
+                              std::memory_order_relaxed);
     std::vector<uint32_t> sel(n);
     for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
     for (const auto& f : filters) {
@@ -59,8 +76,17 @@ Status Operator::Push(int port, Batch&& batch) {
 
   for (const auto& tap : taps) tap->ObserveBatch(batch);
 
-  if (batch.empty()) return Status::OK();
-  return DoPush(port, std::move(batch));
+  Status st;
+  if (batch.empty()) {
+    st = Status::OK();
+  } else {
+    st = DoPush(port, std::move(batch));
+  }
+  if (profiling) {
+    busy_micros_.fetch_add(SteadyMicros() - start_us,
+                           std::memory_order_relaxed);
+  }
+  return st;
 }
 
 Status Operator::Finish(int port) {
@@ -69,11 +95,17 @@ Status Operator::Finish(int port) {
   if (!finished_[port].compare_exchange_strong(expected, true)) {
     return Status::OK();  // already finished
   }
+  const bool profiling = ctx_->profiling();
+  const int64_t start_us = profiling ? SteadyMicros() : 0;
   const Status st = DoFinish(port);
   if (st.ok() && IsStateful() && !ShouldStop()) {
     // Trigger point for cost-based AIP: an input subexpression to a stateful
     // operator has completed (paper §IV-B "Query execution").
     ctx_->NotifyInputFinished(this, port);
+  }
+  if (profiling) {
+    busy_micros_.fetch_add(SteadyMicros() - start_us,
+                           std::memory_order_relaxed);
   }
   return st;
 }
@@ -101,12 +133,49 @@ Status Operator::Emit(Batch&& batch) {
   rows_out_.fetch_add(static_cast<int64_t>(batch.size()));
   if (!batch.empty()) batches_out_.fetch_add(1);
   if (out_ == nullptr || batch.empty()) return Status::OK();
-  return out_->Push(out_port_, std::move(batch));
+  if (!ctx_->profiling()) return out_->Push(out_port_, std::move(batch));
+  // Downstream time is subtracted from this operator's inclusive busy time
+  // to get self time; see Operator::self_seconds().
+  const int64_t start_us = SteadyMicros();
+  Status st = out_->Push(out_port_, std::move(batch));
+  downstream_micros_.fetch_add(SteadyMicros() - start_us,
+                               std::memory_order_relaxed);
+  return st;
 }
 
 Status Operator::EmitFinish() {
   if (out_ == nullptr) return Status::OK();
-  return out_->Finish(out_port_);
+  if (!ctx_->profiling()) return out_->Finish(out_port_);
+  const int64_t start_us = SteadyMicros();
+  Status st = out_->Finish(out_port_);
+  downstream_micros_.fetch_add(SteadyMicros() - start_us,
+                               std::memory_order_relaxed);
+  return st;
 }
+
+void Operator::FillProfile(obs::OperatorProfile* profile) const {
+  profile->name = name_;
+  profile->num_inputs = num_inputs_;
+  for (int p = 0; p < kMaxInputs; ++p) {
+    profile->rows_in[p] = rows_in_[p].load(std::memory_order_relaxed);
+  }
+  profile->rows_out = rows_out_.load(std::memory_order_relaxed);
+  profile->batches_out = batches_out_.load(std::memory_order_relaxed);
+  int64_t pruned = 0;
+  for (int p = 0; p < kMaxInputs; ++p) {
+    pruned += rows_pruned_[p].load(std::memory_order_relaxed);
+  }
+  profile->rows_pruned = pruned;
+  profile->aip_probe_rows = aip_probe_rows_.load(std::memory_order_relaxed);
+  profile->busy_seconds = busy_seconds();
+  profile->self_seconds = self_seconds();
+  profile->stall_seconds = stall_seconds();
+  profile->peak_state_bytes = PeakStateBytes();
+  profile->stateful = IsStateful();
+  profile->is_source = IsSource();
+  AddProfileDetail(profile);
+}
+
+void Operator::AddProfileDetail(obs::OperatorProfile*) const {}
 
 }  // namespace pushsip

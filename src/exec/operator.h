@@ -22,6 +22,10 @@
 
 namespace pushsip {
 
+namespace obs {
+struct OperatorProfile;
+}  // namespace obs
+
 /// \brief A dynamically injected semijoin filter.
 ///
 /// Implementations must be thread-safe for concurrent Pass()/PassBatch()
@@ -85,6 +89,7 @@ class Operator {
   /// Connects this operator's output to `op` input `port`.
   void SetOutput(Operator* op, int port = 0);
   Operator* output() const { return out_; }
+  int output_port() const { return out_port_; }
 
   /// Pushes a batch into input `port`. Applies attached filters and taps,
   /// then forwards to DoPush. Thread-safe.
@@ -106,6 +111,47 @@ class Operator {
   int64_t batches_out() const { return batches_out_.load(); }
   int64_t rows_pruned(int port) const { return rows_pruned_[port].load(); }
   bool input_finished(int port) const { return finished_[port].load(); }
+
+  // --- profiling (measured only while ExecContext::profiling() is on) ---
+
+  /// Rows probed against attached AIP filters (pruned + passed).
+  int64_t aip_probe_rows() const {
+    return aip_probe_rows_.load(std::memory_order_relaxed);
+  }
+  /// Inclusive seconds inside this operator's Push/Finish bodies. Push-style
+  /// execution nests downstream work inside the producer's call, so this
+  /// includes everything below; see self_seconds().
+  double busy_seconds() const {
+    return static_cast<double>(
+               busy_micros_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+  /// Seconds spent inside the downstream Push/Finish calls Emit makes.
+  double downstream_seconds() const {
+    return static_cast<double>(
+               downstream_micros_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+  /// busy minus downstream, clamped at zero: the operator's own work.
+  double self_seconds() const {
+    const double s = busy_seconds() - downstream_seconds();
+    return s > 0 ? s : 0;
+  }
+  /// Credits externally measured busy time — drivers wrap each source's
+  /// Run() with this, since sources are driven rather than pushed into.
+  void AddBusyMicros(int64_t micros) {
+    busy_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  /// Snapshots this operator's counters into `profile` (name, rows, times,
+  /// state). Subclasses annotate via AddProfileDetail.
+  void FillProfile(obs::OperatorProfile* profile) const;
+  /// Subclass hook: add operator-specific profile fields (scan prune
+  /// counts, exchange bytes, a detail string). Default: nothing.
+  virtual void AddProfileDetail(obs::OperatorProfile* profile) const;
+
+  /// True for plan leaves driven by their own thread (SourceOperator).
+  virtual bool IsSource() const { return false; }
 
   /// Seconds this operator spent stalled waiting for input to arrive (only
   /// exchange receivers measure this today) — a progress-snapshot signal
@@ -165,6 +211,9 @@ class Operator {
   std::atomic<int64_t> batches_out_{0};
   std::atomic<int64_t> rows_pruned_[kMaxInputs];
   std::atomic<bool> finished_[kMaxInputs];
+  std::atomic<int64_t> aip_probe_rows_{0};
+  std::atomic<int64_t> busy_micros_{0};
+  std::atomic<int64_t> downstream_micros_{0};
 };
 
 }  // namespace pushsip

@@ -1,0 +1,53 @@
+#include "exec/profile.h"
+
+#include <unordered_map>
+
+#include "exec/exec_context.h"
+#include "exec/operator.h"
+
+namespace pushsip {
+
+void AppendOperatorProfiles(const std::vector<Operator*>& ops, int site_id,
+                            const std::string& site,
+                            const std::string& fragment,
+                            obs::QueryProfile* profile) {
+  const int base = static_cast<int>(profile->ops.size());
+  std::unordered_map<const Operator*, int> index;
+  index.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    index[ops[i]] = base + static_cast<int>(i);
+  }
+  for (const Operator* op : ops) {
+    obs::OperatorProfile p;
+    op->FillProfile(&p);
+    p.site_id = site_id;
+    p.site = site;
+    p.fragment = fragment;
+    profile->ops.push_back(std::move(p));
+  }
+  // Edges: each operator knows its consumer; record the link on the
+  // consumer's input port when the consumer was appended in this batch.
+  for (const Operator* op : ops) {
+    const Operator* consumer = op->output();
+    if (consumer == nullptr) continue;
+    auto it = index.find(consumer);
+    if (it == index.end()) continue;
+    const int port = op->output_port();
+    if (port < 0 || port > 1) continue;
+    profile->ops[it->second].child[port] = index[op];
+  }
+  profile->ComputeRoots();
+}
+
+obs::QueryProfile CollectQueryProfile(const ExecContext& ctx,
+                                      double elapsed_sec,
+                                      int64_t result_rows) {
+  obs::QueryProfile profile;
+  profile.elapsed_seconds = elapsed_sec;
+  profile.result_rows = result_rows;
+  AppendOperatorProfiles(ctx.operators(), /*site_id=*/0, /*site=*/"",
+                         /*fragment=*/"", &profile);
+  return profile;
+}
+
+}  // namespace pushsip

@@ -1,0 +1,36 @@
+// Profile collection: snapshots the operators registered with an
+// ExecContext into an obs::QueryProfile (see obs/profile.h for the data
+// model and timing semantics). The distributed driver calls the append
+// form once per (site, fragment); edges are recovered from each
+// operator's output() pointer, so cross-site exchange hops appear as
+// separate trees (sender roots one, receiver leafs the next).
+#ifndef PUSHSIP_EXEC_PROFILE_H_
+#define PUSHSIP_EXEC_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/profile.h"
+
+namespace pushsip {
+
+class ExecContext;
+class Operator;
+
+/// Appends one OperatorProfile per operator in `ops` to `profile`, tagged
+/// with site/fragment, linking producer->consumer edges among the appended
+/// operators and recomputing the root set.
+void AppendOperatorProfiles(const std::vector<Operator*>& ops, int site_id,
+                            const std::string& site,
+                            const std::string& fragment,
+                            obs::QueryProfile* profile);
+
+/// Single-context convenience: snapshot every operator registered with
+/// `ctx` into a fresh profile.
+obs::QueryProfile CollectQueryProfile(const ExecContext& ctx,
+                                      double elapsed_sec,
+                                      int64_t result_rows);
+
+}  // namespace pushsip
+
+#endif  // PUSHSIP_EXEC_PROFILE_H_

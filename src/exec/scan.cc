@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/profile.h"
+
 namespace pushsip {
 
 TableScan::TableScan(ExecContext* ctx, std::string name, TablePtr table,
@@ -123,6 +125,12 @@ Status TableScan::Run() {
     PUSHSIP_RETURN_NOT_OK(Emit(std::move(batch)));
   }
   return EmitFinish();
+}
+
+void TableScan::AddProfileDetail(obs::OperatorProfile* profile) const {
+  profile->detail = table_->name();
+  profile->rows_source_pruned =
+      rows_source_pruned_.load(std::memory_order_relaxed);
 }
 
 }  // namespace pushsip

@@ -80,6 +80,8 @@ class TableScan : public SourceOperator {
 
   void ResetForReplay() override;
 
+  void AddProfileDetail(obs::OperatorProfile* profile) const override;
+
   const ScanOptions& options() const { return options_; }
 
  private:

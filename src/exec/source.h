@@ -34,6 +34,8 @@ class SourceOperator : public Operator {
     preempt_.store(false, std::memory_order_relaxed);
   }
 
+  bool IsSource() const override { return true; }
+
  private:
   std::atomic<bool> preempt_{false};
 

@@ -16,6 +16,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace pushsip {
@@ -289,6 +291,12 @@ void TcpTransport::AdoptOutbound(ConnPtr conn, const TransportHello& hello) {
     }
     if (old != nullptr || outbound_ever_[site] != 0) {
       reconnects_.fetch_add(1);
+      if (obs::Metrics::enabled()) {
+        obs::MetricsRegistry::Default()
+            .GetCounter("pushsip_transport_reconnects_total",
+                        "TCP connections re-established after a drop")
+            ->Inc();
+      }
     }
     outbound_ever_[site] = 1;
   }
@@ -599,6 +607,19 @@ class TcpChannelSender : public ChannelSender {
       bill_to->RecordLinkTraffic(static_cast<int64_t>(sent), secs);
     }
     bytes_sent_.fetch_add(static_cast<int64_t>(sent));
+    if (obs::Metrics::enabled()) {
+      // Registration is once per name; the registry hands back the same
+      // counters on every frame, so the steady-state cost is two relaxed
+      // adds behind one predictable branch.
+      static obs::Counter* frames = obs::MetricsRegistry::Default().GetCounter(
+          "pushsip_transport_frames_total", "Data frames sent over TCP");
+      static obs::Counter* bytes_total =
+          obs::MetricsRegistry::Default().GetCounter(
+              "pushsip_transport_bytes_total",
+              "Payload + header bytes sent over TCP");
+      frames->Inc();
+      bytes_total->Inc(static_cast<int64_t>(sent));
+    }
     transport_->MaybeChaosKill();
     return Status::OK();
   }
@@ -647,8 +668,17 @@ class TcpChannelSender : public ChannelSender {
       if (it->second > 0) {
         --it->second;
         if (stalled) {
-          stall_micros_.fetch_add(
-              static_cast<int64_t>(stall.ElapsedSeconds() * 1e6));
+          const double stalled_sec = stall.ElapsedSeconds();
+          stall_micros_.fetch_add(static_cast<int64_t>(stalled_sec * 1e6));
+          if (obs::Trace::enabled()) {
+            // The wait already elapsed; backdate the span over it.
+            const int64_t end_us = obs::Trace::NowMicros();
+            obs::TraceCompleteSpan(
+                "exchange_credit_stall",
+                end_us - static_cast<int64_t>(stalled_sec * 1e6), end_us,
+                "\"to_site\":" + std::to_string(to_site_) +
+                    ",\"channel\":" + std::to_string(channel_id_));
+          }
         }
         return Status::OK();
       }

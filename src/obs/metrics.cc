@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pushsip {
+namespace obs {
+
+std::atomic<bool> Metrics::enabled_{false};
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(static_cast<int64_t>(value * 1e6),
+                        std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         1e6;
+}
+
+double Histogram::Percentile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0;
+  q = std::max(0.0, std::min(1.0, q));
+  const double target = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    const int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative + in_bucket >= target && in_bucket > 0) {
+      // Linear interpolation within [lower, bounds_[i]].
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + frac * (bounds_[i] - lower);
+    }
+    cumulative += in_bucket;
+  }
+  // Observations past the last finite bound: report that bound (the
+  // histogram cannot resolve further).
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+void Histogram::Merge(const Histogram& other) {
+  const size_t n = std::min(bounds_.size(), other.bounds_.size());
+  for (size_t i = 0; i < n; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  buckets_[bounds_.size()].fetch_add(
+      other.buckets_[other.bounds_.size()].load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_micros_.fetch_add(
+      other.sum_micros_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::LatencyBounds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+          0.025,  0.05,    0.1,    0.25,  0.5,    1.0,   2.5,
+          5.0,    10.0,    25.0,   50.0,  100.0};
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(name)) return e->counter.get();
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = Kind::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(name)) return e->gauge.get();
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = Kind::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* out = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(name)) return e->histogram.get();
+  if (bounds.empty()) bounds = Histogram::LatencyBounds();
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = Kind::kHistogram;
+  entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[256];
+  const auto append_num = [&out, &buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    out += buf;
+  };
+  for (const auto& entry : entries_) {
+    if (!entry->help.empty()) {
+      out += "# HELP " + entry->name + " " + entry->help + "\n";
+    }
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + entry->name + " counter\n";
+        out += entry->name + " ";
+        append_num(static_cast<double>(entry->counter->Value()));
+        out += "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + entry->name + " gauge\n";
+        out += entry->name + " ";
+        append_num(static_cast<double>(entry->gauge->Value()));
+        out += "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        out += "# TYPE " + entry->name + " histogram\n";
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          out += entry->name + "_bucket{le=\"";
+          append_num(h.bounds()[i]);
+          out += "\"} ";
+          append_num(static_cast<double>(cumulative));
+          out += "\n";
+        }
+        out += entry->name + "_bucket{le=\"+Inf\"} ";
+        append_num(static_cast<double>(h.count()));
+        out += "\n" + entry->name + "_sum ";
+        append_num(h.sum());
+        out += "\n" + entry->name + "_count ";
+        append_num(static_cast<double>(h.count()));
+        out += "\n" + entry->name + "_p50 ";
+        append_num(h.Percentile(0.5));
+        out += "\n" + entry->name + "_p99 ";
+        append_num(h.Percentile(0.99));
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pushsip

@@ -1,0 +1,153 @@
+// MetricsRegistry: process-wide counters, gauges, and fixed-bucket
+// histograms, snapshotted in Prometheus text exposition format.
+//
+// Design constraints (the observability contract):
+//   * Updates are lock-free atomics — a counter bump is one relaxed
+//     fetch_add, safe from any thread, including transport loop threads.
+//   * Registration is mutex-guarded but happens once per metric name;
+//     callers cache the returned pointer, which stays valid for the
+//     registry's lifetime.
+//   * Hot-path instrumentation sites (per-frame transport counters) gate
+//     on Metrics::enabled(), an inlined relaxed load, so the disabled
+//     cost is one predictable branch. Cold-path sites (admission, session
+//     completion) record unconditionally.
+#ifndef PUSHSIP_OBS_METRICS_H_
+#define PUSHSIP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pushsip {
+namespace obs {
+
+/// Global enable switch for hot-path metric updates. Off by default;
+/// benches/tools/servers flip it on. Cold-path updates ignore it.
+class Metrics {
+ public:
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static void Enable(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Inc(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Settable instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket bounds are chosen at registration and
+/// never change, so Observe is a linear scan over a handful of bounds plus
+/// two relaxed adds — no locks, no allocation.
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper bounds of the finite buckets, in
+  /// strictly increasing order; an implicit +Inf bucket catches the rest.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count of observations in finite bucket `i` (not cumulative).
+  int64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  int64_t overflow_count() const {
+    return buckets_[bounds_.size()].load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation within the
+  /// containing bucket; observations beyond the last finite bound report
+  /// that bound. Returns 0 when empty.
+  double Percentile(double q) const;
+
+  /// Folds another histogram's counts into this one. The bucket bounds
+  /// must match (same registration); used to merge per-site snapshots.
+  void Merge(const Histogram& other);
+
+  /// Commonly useful default bounds for latencies in seconds:
+  /// 100us .. ~100s, roughly 2.5x apart.
+  static std::vector<double> LatencyBounds();
+
+ private:
+  std::vector<double> bounds_;
+  /// bounds_.size() finite buckets + 1 overflow bucket.
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_micros_{0};  ///< sum scaled by 1e6 (atomic int)
+};
+
+/// \brief Named metric registry. Get* registers on first use and returns
+/// the same instance on every subsequent call with that name.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry instrumentation points default to.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// Registers with `bounds` on first use; later calls with the same name
+  /// return the existing histogram regardless of `bounds`.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "",
+                          std::vector<double> bounds = {});
+
+  /// Prometheus text exposition format: one # HELP/# TYPE pair per metric,
+  /// histogram quantiles additionally exported as <name>_p50/<name>_p99
+  /// gauges for scrapers that do not compute them. Metrics are emitted in
+  /// registration order (stable across snapshots).
+  std::string TextExposition() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* Find(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace obs
+}  // namespace pushsip
+
+#endif  // PUSHSIP_OBS_METRICS_H_

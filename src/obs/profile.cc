@@ -1,0 +1,176 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+namespace pushsip {
+namespace obs {
+
+void QueryProfile::ComputeRoots() {
+  std::vector<bool> is_child(ops.size(), false);
+  for (const OperatorProfile& op : ops) {
+    for (int port = 0; port < 2; ++port) {
+      const int c = op.child[port];
+      if (c >= 0 && static_cast<size_t>(c) < ops.size()) is_child[c] = true;
+    }
+  }
+  roots.clear();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!is_child[i]) roots.push_back(static_cast<int>(i));
+  }
+}
+
+namespace {
+
+void AppendSeconds(std::string* out, double sec) {
+  char buf[48];
+  if (sec >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", sec);
+  } else if (sec >= 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", sec * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", sec * 1e6);
+  }
+  *out += buf;
+}
+
+void AppendOpLine(const QueryProfile& qp, int idx, int depth,
+                  std::string* out) {
+  const OperatorProfile& op = qp.ops[idx];
+  for (int i = 0; i < depth; ++i) *out += "  ";
+  *out += depth > 0 ? "-> " : "";
+  *out += op.name;
+  if (!op.detail.empty()) {
+    *out += "(" + op.detail + ")";
+  }
+  if (!op.site.empty() || !op.fragment.empty()) {
+    *out += " [";
+    if (!op.site.empty()) *out += "site=" + op.site;
+    if (!op.fragment.empty()) {
+      if (!op.site.empty()) *out += " ";
+      *out += "frag=" + op.fragment;
+    }
+    *out += "]";
+  }
+  char buf[160];
+  if (op.is_source) {
+    std::snprintf(buf, sizeof(buf), " rows_out=%lld",
+                  static_cast<long long>(op.rows_out));
+  } else if (op.num_inputs > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  " rows_in=%lld+%lld rows_out=%lld",
+                  static_cast<long long>(op.rows_in[0]),
+                  static_cast<long long>(op.rows_in[1]),
+                  static_cast<long long>(op.rows_out));
+  } else {
+    std::snprintf(buf, sizeof(buf), " rows_in=%lld rows_out=%lld",
+                  static_cast<long long>(op.rows_in[0]),
+                  static_cast<long long>(op.rows_out));
+  }
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), " batches=%lld",
+                static_cast<long long>(op.batches_out));
+  *out += buf;
+  *out += " self=";
+  AppendSeconds(out, op.self_seconds);
+  *out += " busy=";
+  AppendSeconds(out, op.busy_seconds);
+  if (op.stall_seconds > 0) {
+    *out += " stall=";
+    AppendSeconds(out, op.stall_seconds);
+  }
+  if (op.rows_pruned > 0) {
+    std::snprintf(buf, sizeof(buf), " pruned=%lld",
+                  static_cast<long long>(op.rows_pruned));
+    *out += buf;
+  }
+  if (op.rows_source_pruned > 0) {
+    std::snprintf(buf, sizeof(buf), " source_pruned=%lld",
+                  static_cast<long long>(op.rows_source_pruned));
+    *out += buf;
+  }
+  if (op.aip_probe_rows > 0) {
+    std::snprintf(buf, sizeof(buf), " aip_probed=%lld",
+                  static_cast<long long>(op.aip_probe_rows));
+    *out += buf;
+  }
+  if (op.bytes_sent > 0) {
+    std::snprintf(buf, sizeof(buf), " sent=%.1fKB",
+                  static_cast<double>(op.bytes_sent) / 1024.0);
+    *out += buf;
+  }
+  if (op.stateful) {
+    std::snprintf(buf, sizeof(buf), " peak_state=%.1fKB",
+                  static_cast<double>(op.peak_state_bytes) / 1024.0);
+    *out += buf;
+  }
+  *out += "\n";
+  for (int port = 0; port < 2; ++port) {
+    if (op.child[port] >= 0) {
+      AppendOpLine(qp, op.child[port], depth + 1, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string QueryProfile::ToText() const {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "Query profile (elapsed=%.3fs result_rows=%lld)\n",
+                elapsed_seconds, static_cast<long long>(result_rows));
+  out += buf;
+  for (int root : roots) {
+    AppendOpLine(*this, root, 0, &out);
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"elapsed_sec\":%.6f,\"result_rows\":%lld,\"operators\":[",
+                elapsed_seconds, static_cast<long long>(result_rows));
+  out += buf;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OperatorProfile& op = ops[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + op.name + "\"";
+    if (!op.detail.empty()) out += ",\"detail\":\"" + op.detail + "\"";
+    if (!op.site.empty()) out += ",\"site\":\"" + op.site + "\"";
+    if (!op.fragment.empty()) out += ",\"fragment\":\"" + op.fragment + "\"";
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"site_id\":%d,\"rows_in\":[%lld,%lld],\"rows_out\":%lld,"
+        "\"batches_out\":%lld,\"rows_pruned\":%lld",
+        op.site_id, static_cast<long long>(op.rows_in[0]),
+        static_cast<long long>(op.rows_in[1]),
+        static_cast<long long>(op.rows_out),
+        static_cast<long long>(op.batches_out),
+        static_cast<long long>(op.rows_pruned));
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"rows_source_pruned\":%lld,\"aip_probe_rows\":%lld,"
+        "\"bytes_sent\":%lld,\"peak_state_bytes\":%lld",
+        static_cast<long long>(op.rows_source_pruned),
+        static_cast<long long>(op.aip_probe_rows),
+        static_cast<long long>(op.bytes_sent),
+        static_cast<long long>(op.peak_state_bytes));
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"busy_sec\":%.6f,\"self_sec\":%.6f,\"stall_sec\":%.6f,"
+        "\"stateful\":%s,\"source\":%s,\"children\":[%d,%d]}",
+        op.busy_seconds, op.self_seconds, op.stall_seconds,
+        op.stateful ? "true" : "false", op.is_source ? "true" : "false",
+        op.child[0], op.child[1]);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pushsip

@@ -1,0 +1,83 @@
+// Per-operator query profile: the EXPLAIN-ANALYZE layer.
+//
+// Every Operator/SourceOperator accumulates counters while running
+// (rows in/out, batches, busy + downstream + stall time, peak state
+// bytes, AIP probe/prune counts); after a query finishes, the driver
+// walks the registered operators and snapshots them into OperatorProfile
+// records, stitched into a QueryProfile — a forest of per-site,
+// per-fragment operator trees rendered as a text tree (ToText) or JSON
+// (ToJson).
+//
+// Timing model. Push-style execution nests *downstream* work inside the
+// producer's Push call (Emit pushes synchronously into the consumer), so
+// an operator's inclusive "busy" time includes everything below it.
+// Operators therefore track busy time (inside Push/Finish bodies) and
+// downstream time (inside the out_->Push/Finish calls Emit makes); the
+// profile reports self = busy - downstream, which sums to wall-clock
+// across a pipeline instead of multiple-counting it.
+#ifndef PUSHSIP_OBS_PROFILE_H_
+#define PUSHSIP_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pushsip {
+namespace obs {
+
+/// Snapshot of one operator's counters after a query completes.
+struct OperatorProfile {
+  std::string name;        ///< operator class / role, e.g. "HashJoin"
+  std::string detail;      ///< free-form annotation, e.g. table or attr
+  int site_id = 0;
+  std::string site;        ///< site name ("" single-site)
+  std::string fragment;    ///< fragment label ("" single-fragment)
+
+  int64_t rows_in[2] = {0, 0};  ///< per input port
+  int64_t rows_out = 0;
+  int64_t batches_out = 0;
+  int64_t rows_pruned = 0;         ///< dropped by attached AIP filters
+  int64_t rows_source_pruned = 0;  ///< pruned at the scan (source filters)
+  int64_t aip_probe_rows = 0;      ///< rows probed against AIP filters
+  int64_t bytes_sent = 0;          ///< exchange senders: wire bytes
+  int64_t peak_state_bytes = 0;
+  double busy_seconds = 0;       ///< inclusive: Push/Finish bodies + Run
+  double self_seconds = 0;       ///< busy minus downstream, clamped >= 0
+  double stall_seconds = 0;      ///< backpressure / credit waits
+  bool stateful = false;
+  bool is_source = false;
+
+  int num_inputs = 0;
+  /// Children = upstream operators feeding this one, by input port.
+  /// Indices into QueryProfile::ops; -1 = no producer on that port.
+  int child[2] = {-1, -1};
+
+  int64_t total_rows_in() const { return rows_in[0] + rows_in[1]; }
+};
+
+/// \brief A query's full profile: operator forest plus query-level totals.
+struct QueryProfile {
+  std::vector<OperatorProfile> ops;
+  /// Indices of tree roots (operators nothing downstream consumes —
+  /// sinks' producers, exchange senders), render order.
+  std::vector<int> roots;
+  double elapsed_seconds = 0;
+  int64_t result_rows = 0;
+
+  /// Recomputes `roots` from the `child` links (an op is a root when no
+  /// other op lists it as a child). Idempotent; call after appending ops.
+  void ComputeRoots();
+
+  /// EXPLAIN-ANALYZE-style indented tree, one operator per line:
+  ///   HashJoin [site=1/frag=probe] rows=1234 self=1.2ms ...
+  std::string ToText() const;
+
+  /// JSON object {"elapsed_sec":..,"result_rows":..,"operators":[...]}
+  /// with explicit child indices (machine-readable form of the tree).
+  std::string ToJson() const;
+};
+
+}  // namespace obs
+}  // namespace pushsip
+
+#endif  // PUSHSIP_OBS_PROFILE_H_

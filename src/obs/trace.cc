@@ -1,0 +1,242 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <ctime>
+
+#include <algorithm>
+
+namespace pushsip {
+namespace obs {
+
+std::atomic<bool> Trace::enabled_{false};
+std::atomic<int64_t> Trace::epoch_us_{0};
+std::atomic<int> Trace::pid_{0};
+
+namespace {
+
+int64_t RealtimeMicros() {
+  timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+std::atomic<int> next_thread_id{0};
+
+// Minimal JSON string escaping for event names/args content we control
+// (ASCII identifiers); covers quotes/backslash/control bytes defensively.
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendEvent(std::string* out, const TraceEvent& e) {
+  char buf[128];
+  *out += "{\"name\":\"";
+  AppendEscaped(out, e.name);
+  *out += "\",\"ph\":\"";
+  *out += e.phase;
+  std::snprintf(buf, sizeof(buf), "\",\"ts\":%lld,",
+                static_cast<long long>(e.ts_us));
+  *out += buf;
+  if (e.phase == 'X') {
+    std::snprintf(buf, sizeof(buf), "\"dur\":%lld,",
+                  static_cast<long long>(e.dur_us));
+    *out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "\"pid\":%d,\"tid\":%d", e.pid, e.tid);
+  *out += buf;
+  if (!e.args.empty()) {
+    *out += ",\"args\":{";
+    *out += e.args;
+    *out += "}";
+  } else if (e.phase == 'i') {
+    // The trace_event spec requires a scope for instants; "t" (thread)
+    // matches how we shard them.
+    *out += ",\"s\":\"t\"";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+void Trace::EnableWithProcessEpoch() {
+  if (epoch_us_.load(std::memory_order_relaxed) == 0) {
+    epoch_us_.store(RealtimeMicros(), std::memory_order_relaxed);
+  }
+  Enable(true);
+}
+
+int64_t Trace::NowMicros() {
+  return RealtimeMicros() - epoch_us_.load(std::memory_order_relaxed);
+}
+
+int Trace::ThreadId() {
+  thread_local int id = next_thread_id.fetch_add(1) + 1;
+  return id;
+}
+
+TraceBuffer::TraceBuffer(size_t shard_capacity)
+    : shard_capacity_(shard_capacity) {}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void TraceBuffer::Record(TraceEvent event) {
+  Shard& shard = shards_[Trace::ThreadId() % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.events.size() >= shard_capacity_) {
+    ++shard.dropped;
+    return;
+  }
+  shard.events.push_back(std::move(event));
+}
+
+int64_t TraceBuffer::dropped() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.dropped;
+  }
+  return total;
+}
+
+size_t TraceBuffer::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.events.size();
+  }
+  return total;
+}
+
+void TraceBuffer::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.events.clear();
+    shard.dropped = 0;
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.events.begin(), shard.events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::string TraceBuffer::SerializeEvents() const {
+  std::vector<TraceEvent> events = Snapshot();
+  const int64_t lost = dropped();
+  if (lost > 0) {
+    TraceEvent note;
+    note.name = "trace_events_dropped";
+    note.phase = 'i';
+    note.ts_us = events.empty() ? 0 : events.back().ts_us;
+    note.pid = Trace::process_id();
+    note.tid = 0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"dropped\":%lld",
+                  static_cast<long long>(lost));
+    note.args = buf;
+    events.push_back(std::move(note));
+  }
+  std::string out;
+  out.reserve(events.size() * 96);
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendEvent(&out, events[i]);
+  }
+  return out;
+}
+
+std::string TraceBuffer::WrapChromeJson(const std::string& events) {
+  return "{\"traceEvents\":[" + events + "]}\n";
+}
+
+bool TraceBuffer::WriteChromeJson(const std::string& path,
+                                  const std::string& extra_events) const {
+  std::string events = SerializeEvents();
+  if (!extra_events.empty()) {
+    if (!events.empty()) events += ",";
+    events += extra_events;
+  }
+  const std::string doc = WrapChromeJson(events);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (written != doc.size()) std::fclose(f);
+  return ok;
+}
+
+void TraceInstant(const char* name, std::string args) {
+  if (!Trace::enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'i';
+  e.ts_us = Trace::NowMicros();
+  e.pid = Trace::process_id();
+  e.tid = Trace::ThreadId();
+  e.args = std::move(args);
+  TraceBuffer::Global().Record(std::move(e));
+}
+
+void TraceCompleteSpan(const char* name, int64_t start_us, int64_t end_us,
+                       std::string args) {
+  if (!Trace::enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'X';
+  e.ts_us = start_us;
+  e.dur_us = end_us > start_us ? end_us - start_us : 0;
+  e.pid = Trace::process_id();
+  e.tid = Trace::ThreadId();
+  e.args = std::move(args);
+  TraceBuffer::Global().Record(std::move(e));
+}
+
+TraceSpan::TraceSpan(const char* name, std::string args)
+    : name_(name), args_(std::move(args)) {
+  if (Trace::enabled()) {
+    active_ = true;
+    start_us_ = Trace::NowMicros();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceCompleteSpan(name_, start_us_, Trace::NowMicros(), std::move(args_));
+}
+
+}  // namespace obs
+}  // namespace pushsip

@@ -1,0 +1,158 @@
+// Structured trace spans and events, exported as Chrome trace_event JSON
+// (chrome://tracing / Perfetto "traceEvents" array format).
+//
+// Model. Tracing is process-global and off by default: every emission
+// point first checks Trace::enabled(), an inlined relaxed atomic load, so
+// the disabled cost is one predictable branch. When enabled, events land
+// in a lock-sharded bounded TraceBuffer — each shard is a fixed-capacity
+// vector behind its own mutex, and a full shard drops the event while
+// counting it exactly (dropped() is the precise number of lost events,
+// which the exporter records in the trace metadata).
+//
+// Spans are emitted as Chrome 'X' (complete) events — one record carrying
+// ts + dur, scoped by the RAII TraceSpan — and point events as 'i'
+// (instant) records. Timestamps are CLOCK_REALTIME microseconds minus a
+// settable epoch: multi-process runs align clocks by having the
+// coordinator pass its own epoch to every site process (--trace-epoch),
+// so the merged trace shares one time axis without a handshake protocol.
+#ifndef PUSHSIP_OBS_TRACE_H_
+#define PUSHSIP_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pushsip {
+namespace obs {
+
+/// Global tracing switch + clock configuration.
+class Trace {
+ public:
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static void Enable(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Sets the epoch subtracted from every timestamp. 0 (the default until
+  /// EnableWithProcessEpoch) keeps absolute realtime micros. Multi-process
+  /// coordinators pass their own epoch to every child.
+  static void SetEpochMicros(int64_t epoch_us) {
+    epoch_us_.store(epoch_us, std::memory_order_relaxed);
+  }
+  static int64_t epoch_micros() {
+    return epoch_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Enables tracing with the epoch anchored at "now" unless an epoch was
+  /// already set (the common single-process path: timestamps start near 0).
+  static void EnableWithProcessEpoch();
+
+  /// The trace-local "pid": the site id in merged multi-process traces,
+  /// letting one JSON file carry every process's events side by side.
+  static void SetProcessId(int pid) {
+    pid_.store(pid, std::memory_order_relaxed);
+  }
+  static int process_id() { return pid_.load(std::memory_order_relaxed); }
+
+  /// CLOCK_REALTIME micros minus the epoch.
+  static int64_t NowMicros();
+  /// Small dense id of the calling thread (cached thread_local).
+  static int ThreadId();
+
+ private:
+  static std::atomic<bool> enabled_;
+  static std::atomic<int64_t> epoch_us_;
+  static std::atomic<int> pid_;
+};
+
+/// One recorded event. `args` is either empty or a pre-rendered JSON
+/// object body (e.g. "\"site\":2,\"bytes\":4096") spliced into "args":{...}.
+struct TraceEvent {
+  std::string name;
+  char phase = 'i';  ///< 'X' span, 'i' instant, 'M' metadata
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;  ///< 'X' only
+  int pid = 0;
+  int tid = 0;
+  std::string args;
+};
+
+/// \brief Lock-sharded bounded event buffer with exact drop accounting.
+class TraceBuffer {
+ public:
+  /// `shard_capacity` events per shard; kShards shards. The global buffer
+  /// holds kShards * shard_capacity events before dropping.
+  explicit TraceBuffer(size_t shard_capacity = 16384);
+
+  static TraceBuffer& Global();
+
+  /// Records one event (sharded by thread); drops — counting exactly —
+  /// when the shard is full. Callers gate on Trace::enabled().
+  void Record(TraceEvent event);
+
+  /// Exact number of events dropped to the capacity bound.
+  int64_t dropped() const;
+  size_t size() const;
+  void Clear();
+
+  /// Snapshots every shard's events, ordered by timestamp.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// The comma-joined serialized event objects (no enclosing array) — the
+  /// merge unit: a coordinator concatenates its own and every site's
+  /// fragments before wrapping. Appends one metadata instant recording
+  /// dropped-event counts when any were lost.
+  std::string SerializeEvents() const;
+
+  /// Writes {"traceEvents":[<events>]} to `path`; `extra_events`, when
+  /// non-empty, is a pre-serialized fragment (e.g. merged site traces)
+  /// appended to this buffer's own events. False on I/O failure.
+  bool WriteChromeJson(const std::string& path,
+                       const std::string& extra_events = "") const;
+
+  /// Wraps a pre-serialized fragment into a complete Chrome JSON document.
+  static std::string WrapChromeJson(const std::string& events);
+
+ private:
+  static constexpr int kShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    int64_t dropped = 0;
+  };
+
+  const size_t shard_capacity_;
+  Shard shards_[kShards];
+};
+
+/// Records an instant event on the global buffer (when tracing is on).
+void TraceInstant(const char* name, std::string args = "");
+
+/// Records a span with explicit bounds (when tracing is on) — for call
+/// sites that already measured the interval, e.g. a credit stall.
+void TraceCompleteSpan(const char* name, int64_t start_us, int64_t end_us,
+                       std::string args = "");
+
+/// \brief RAII span: records one 'X' event covering its lifetime. Capture
+/// of enabled() at construction makes mid-span Enable changes harmless.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::string args = "");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::string args_;
+  int64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace pushsip
+
+#endif  // PUSHSIP_OBS_TRACE_H_

@@ -6,6 +6,8 @@
 #include "dist/exchange.h"
 #include "dist/scale_out.h"
 #include "expr/expression.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "workload/plan_builder.h"
 
@@ -171,7 +173,14 @@ Result<QueryServer::SessionId> QueryServer::Submit(const ServeQuery& query) {
 }
 
 bool QueryServer::AdmitOrAbort(const SessionPtr& s) {
+  Stopwatch queue_wait;
   std::unique_lock<std::mutex> lock(admit_mu_);
+  if (obs::Metrics::enabled()) {
+    obs::MetricsRegistry::Default()
+        .GetGauge("pushsip_admission_queue_depth",
+                  "Sessions waiting for admission")
+        ->Set(static_cast<int64_t>(next_ticket_ - admit_head_));
+  }
   admit_cv_.wait(lock, [&] { return s->ticket == admit_head_; });
   bool admitted = false;
   for (;;) {
@@ -196,6 +205,23 @@ bool QueryServer::AdmitOrAbort(const SessionPtr& s) {
   ++admit_head_;
   if (admitted) ++admitted_running_;
   admit_cv_.notify_all();
+  const double waited_sec = queue_wait.ElapsedSeconds();
+  if (obs::Metrics::enabled()) {
+    obs::MetricsRegistry::Default()
+        .GetHistogram("pushsip_admission_wait_seconds",
+                      "Queue wait from submission to admission decision",
+                      obs::Histogram::LatencyBounds())
+        ->Observe(waited_sec);
+  }
+  if (obs::Trace::enabled()) {
+    // The wait already elapsed; backdate the span over it.
+    const int64_t end_us = obs::Trace::NowMicros();
+    obs::TraceCompleteSpan(
+        "admission_wait", end_us - static_cast<int64_t>(waited_sec * 1e6),
+        end_us,
+        "\"session\":" + std::to_string(s->id) +
+            ",\"admitted\":" + (admitted ? "true" : "false"));
+  }
   return admitted;
 }
 
@@ -219,7 +245,11 @@ void QueryServer::RunSession(const SessionPtr& s) {
     std::lock_guard<std::mutex> lock(s->mu);
     s->state = SessionState::kRunning;
   }
-  Result<SessionResult> r = Execute(s);
+  Result<SessionResult> r = [&] {
+    obs::TraceSpan span("session_run",
+                        "\"session\":" + std::to_string(s->id));
+    return Execute(s);
+  }();
   ReleaseAdmission(s);
   std::lock_guard<std::mutex> lock(s->mu);
   if (r.ok()) {
@@ -261,6 +291,17 @@ Status QueryServer::PrepareAipCache(const ServeQuery& q,
   const std::string label = "aipcache:" + q.build_table + ":" +
                             key->predicate + "->" + q.build_key;
   const std::shared_ptr<const AipSet> cached = cache_.Lookup(*key);
+  if (obs::Metrics::enabled()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter(cached != nullptr ? "pushsip_aip_cache_hits_total"
+                                      : "pushsip_aip_cache_misses_total",
+                    "Cross-query AIP cache lookups by outcome")
+        ->Inc();
+  }
+  if (obs::Trace::enabled()) {
+    obs::TraceInstant(cached != nullptr ? "aip_cache_hit" : "aip_cache_miss",
+                      "\"table\":\"" + q.build_table + "\"");
+  }
   if (cached != nullptr) {
     PUSHSIP_ASSIGN_OR_RETURN(const int probe_col,
                              probe_schema.IndexOf("r." + q.probe_key));
@@ -581,6 +622,33 @@ ServerStats QueryServer::stats() const {
   st.admission_peak_bytes = admission_.peak_bytes();
   st.cache = cache_.stats();
   return st;
+}
+
+std::string QueryServer::MetricsText() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const ServerStats st = stats();
+  const auto set = [&reg](const char* name, const char* help, int64_t v) {
+    reg.GetGauge(name, help)->Set(v);
+  };
+  set("pushsip_sessions_submitted", "Sessions accepted by Submit",
+      st.submitted);
+  set("pushsip_sessions_finished", "Sessions that produced a result",
+      st.finished);
+  set("pushsip_sessions_failed", "Sessions that ended in error", st.failed);
+  set("pushsip_sessions_cancelled", "Sessions cancelled before finishing",
+      st.cancelled);
+  set("pushsip_admission_bytes", "Bytes currently admitted against the budget",
+      admission_.current_bytes());
+  set("pushsip_admission_peak_bytes", "High-water mark of admitted bytes",
+      st.admission_peak_bytes);
+  set("pushsip_aip_cache_inserts", "Summaries inserted into the AIP cache",
+      st.cache.inserts);
+  set("pushsip_aip_cache_evictions", "AIP cache LRU evictions",
+      st.cache.evictions);
+  set("pushsip_aip_cache_invalidations",
+      "AIP cache entries dropped on table-version change",
+      st.cache.invalidations);
+  return reg.TextExposition();
 }
 
 }  // namespace pushsip

@@ -153,6 +153,12 @@ class QueryServer {
 
   AipCacheStats cache_stats() const { return cache_.stats(); }
   ServerStats stats() const;
+
+  /// Snapshots the server's session/admission/cache state into the
+  /// process-wide obs::MetricsRegistry and returns the full registry in
+  /// Prometheus text exposition format (server gauges plus whatever the
+  /// engine's own instrumentation points have accumulated).
+  std::string MetricsText();
   const std::shared_ptr<SiteMesh>& mesh() const { return mesh_; }
   const std::shared_ptr<Catalog>& catalog() const { return catalog_; }
 

@@ -10,6 +10,7 @@
 #include "exec/hash_join.h"
 #include "net/sim_link.h"
 #include "net/wire_format.h"
+#include "obs/trace.h"
 #include "optimizer/cardinality.h"
 
 namespace pushsip {
@@ -324,6 +325,7 @@ int AipManager::ReshipPending() {
     if (secs.ok()) {
       ++shipped;
       filters_attached_.fetch_add(1);
+      obs::TraceInstant("aip_reship", "\"label\":\"" + p.label + "\"");
       std::lock_guard<std::mutex> lock(mu_);
       ship_seconds_ += *secs;
       continue;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/profile.h"
 #include "sip/aip_manager.h"
 #include "sip/feed_forward.h"
 
@@ -36,6 +37,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
 
   ExecContext ctx;
   ctx.set_batch_size(config.batch_size);
+  ctx.set_profiling(config.profiling);
   PlanBuilder builder(&ctx, config.catalog);
   if (config.pace_every_rows > 0) {
     builder.set_default_pacing(config.pace_every_rows, config.pace_ms);
@@ -86,6 +88,10 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   std::vector<Tuple> rows = builder.sink()->TakeRows();
   result.result_hash = HashRows(rows);
   if (config.keep_rows) result.rows = std::move(rows);
+  if (config.profiling) {
+    result.profile =
+        CollectQueryProfile(ctx, stats.elapsed_sec, stats.result_rows);
+  }
 
   if (ff) {
     result.aip_sets = ff->sets_published();

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "obs/profile.h"
 #include "optimizer/cost_model.h"
 #include "workload/queries.h"
 
@@ -41,6 +42,9 @@ struct ExperimentConfig {
   /// Retain the result rows in the ExperimentResult (tests use this;
   /// benches don't).
   bool keep_rows = false;
+  /// Collect per-operator timings and a QueryProfile (obs/profile.h) —
+  /// adds two clock reads per Push, so off by default.
+  bool profiling = false;
 };
 
 /// Measurements of one run.
@@ -65,6 +69,8 @@ struct ExperimentResult {
   }
 
   std::vector<Tuple> rows;  ///< populated when keep_rows was set
+  /// Populated when profiling was set: the EXPLAIN-ANALYZE operator forest.
+  obs::QueryProfile profile;
 };
 
 /// Order-insensitive result hash; doubles rounded to 1e-2 so that benign

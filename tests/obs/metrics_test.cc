@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace pushsip {
+namespace obs {
+namespace {
+
+TEST(HistogramTest, BucketsObservationsByUpperBound) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(4.0);   // bucket 2
+  h.Observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.overflow_count(), 1);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0, 1e-4);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 40.0});
+  // 100 observations spread uniformly through the (0,10] bucket.
+  for (int i = 1; i <= 100; ++i) h.Observe(i * 0.1);
+  // All mass is in bucket 0; the median interpolates to its middle.
+  EXPECT_NEAR(h.Percentile(0.5), 5.0, 1.0);
+  EXPECT_LE(h.Percentile(0.99), 10.0);
+  EXPECT_GE(h.Percentile(0.99), 9.0);
+}
+
+TEST(HistogramTest, PercentileEmptyAndOverflow) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  h.Observe(50.0);  // beyond the last finite bound
+  // Overflow observations report the last finite bound, not +Inf.
+  EXPECT_EQ(h.Percentile(0.99), 2.0);
+}
+
+TEST(HistogramTest, MergeFoldsCountsAndSum) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.Observe(0.5);
+  b.Observe(1.5);
+  b.Observe(9.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.bucket_count(0), 1);
+  EXPECT_EQ(a.bucket_count(1), 1);
+  EXPECT_EQ(a.overflow_count(), 1);
+  EXPECT_NEAR(a.sum(), 0.5 + 1.5 + 9.0, 1e-4);
+}
+
+TEST(HistogramTest, LatencyBoundsStrictlyIncreasing) {
+  const std::vector<double> bounds = Histogram::LatencyBounds();
+  ASSERT_GE(bounds.size(), 4u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, RegistersOncePerName) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("requests_total", "help");
+  Counter* c2 = reg.GetCounter("requests_total");
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = reg.GetGauge("depth");
+  Gauge* g2 = reg.GetGauge("depth");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = reg.GetHistogram("latency", "help", {1.0, 2.0});
+  Histogram* h2 = reg.GetHistogram("latency", "", {99.0});
+  EXPECT_EQ(h1, h2);
+  // First registration's bounds win.
+  EXPECT_EQ(h1->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, TextExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("frames_total", "Frames sent")->Inc(7);
+  reg.GetGauge("queue_depth", "Waiting sessions")->Set(3);
+  Histogram* h = reg.GetHistogram("wait_seconds", "Wait", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  const std::string text = reg.TextExposition();
+  EXPECT_NE(text.find("# TYPE frames_total counter"), std::string::npos);
+  EXPECT_NE(text.find("frames_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wait_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_p50"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_p99"), std::string::npos);
+  // Cumulative buckets plus the +Inf catch-all.
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreExact) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Registration races with updates from other threads on purpose.
+      Counter* c = reg.GetCounter("contended_total");
+      Histogram* h = reg.GetHistogram("contended_seconds", "", {0.5, 1.0});
+      Gauge* g = reg.GetGauge("contended_gauge");
+      for (int i = 0; i < kIters; ++i) {
+        c->Inc();
+        h->Observe((t + i) % 2 == 0 ? 0.25 : 0.75);
+        g->Set(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.GetCounter("contended_total")->Value(), kThreads * kIters);
+  EXPECT_EQ(reg.GetHistogram("contended_seconds")->count(),
+            kThreads * kIters);
+}
+
+TEST(MetricsTest, EnableToggleIsGlobal) {
+  const bool was = Metrics::enabled();
+  Metrics::Enable(true);
+  EXPECT_TRUE(Metrics::enabled());
+  Metrics::Enable(false);
+  EXPECT_FALSE(Metrics::enabled());
+  Metrics::Enable(was);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pushsip

@@ -1,0 +1,147 @@
+#include "exec/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "exec/driver.h"
+#include "exec/hash_join.h"
+#include "obs/profile.h"
+#include "tests/exec/exec_test_util.h"
+
+namespace pushsip {
+namespace {
+
+using testutil::MakeIntTable;
+using testutil::MakeScan;
+
+/// Runs a two-scan symmetric-hash-join plan with profiling on and returns
+/// its profile. `drop_left` attaches a drop-all filter on the join's left
+/// input port.
+obs::QueryProfile RunJoinProfile(bool drop_left = false) {
+  class DropAll : public TupleFilter {
+   public:
+    bool Pass(const Batch&, size_t) const override { return false; }
+    std::string label() const override { return "drop-all"; }
+  };
+  ExecContext ctx;
+  ctx.set_profiling(true);
+  auto left = MakeIntTable("l", {{1, 10}, {2, 20}, {3, 30}});
+  auto right = MakeIntTable("r", {{2, 200}, {3, 300}, {4, 400}});
+  auto lscan = MakeScan(&ctx, left);
+  auto rscan = MakeScan(&ctx, right);
+  SymmetricHashJoin join(&ctx, "join", left->schema(), right->schema(), {0},
+                         {0});
+  Sink sink(&ctx, "sink", join.output_schema());
+  lscan->SetOutput(&join, 0);
+  rscan->SetOutput(&join, 1);
+  join.SetOutput(&sink);
+  if (drop_left) join.AttachFilter(0, std::make_shared<DropAll>());
+
+  Driver driver(&ctx, {lscan.get(), rscan.get()}, &sink);
+  auto stats = driver.Run();
+  EXPECT_TRUE(stats.ok());
+  return CollectQueryProfile(ctx, stats->elapsed_sec, stats->result_rows);
+}
+
+const obs::OperatorProfile* FindOp(const obs::QueryProfile& prof,
+                                   const std::string& name) {
+  for (const auto& op : prof.ops) {
+    if (op.name.find(name) != std::string::npos) return &op;
+  }
+  return nullptr;
+}
+
+TEST(ProfileTest, RowConservationAcrossEdges) {
+  const obs::QueryProfile prof = RunJoinProfile();
+  ASSERT_FALSE(prof.ops.empty());
+  // Every producer->consumer edge conserves rows: the child's output is
+  // exactly what arrived on the parent's input port (rows_in counts
+  // pre-filter arrivals, so this holds even with pruning filters).
+  int edges = 0;
+  for (const auto& op : prof.ops) {
+    for (int p = 0; p < 2; ++p) {
+      if (op.child[p] < 0) continue;
+      ++edges;
+      const obs::OperatorProfile& child = prof.ops[op.child[p]];
+      EXPECT_EQ(child.rows_out, op.rows_in[p])
+          << op.name << " port " << p << " <- " << child.name;
+    }
+  }
+  EXPECT_GE(edges, 3);  // two scan->join edges plus join->sink
+
+  const obs::OperatorProfile* join = FindOp(prof, "join");
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->rows_in[0], 3);
+  EXPECT_EQ(join->rows_in[1], 3);
+  EXPECT_EQ(join->rows_out, 2);  // keys 2 and 3 match
+  EXPECT_TRUE(join->stateful);
+  EXPECT_GT(join->peak_state_bytes, 0);
+  EXPECT_EQ(prof.result_rows, 2);
+}
+
+TEST(ProfileTest, PrunedRowsAttributeToTheFilteredPort) {
+  const obs::QueryProfile prof = RunJoinProfile(/*drop_left=*/true);
+  const obs::OperatorProfile* join = FindOp(prof, "join");
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->rows_in[0], 3);  // arrivals counted before the filter
+  EXPECT_EQ(join->rows_pruned, 3);
+  EXPECT_GE(join->aip_probe_rows, 3);
+  EXPECT_EQ(prof.result_rows, 0);
+}
+
+TEST(ProfileTest, RootsAndTimingModel) {
+  const obs::QueryProfile prof = RunJoinProfile();
+  // The sink is the only operator nothing consumes.
+  ASSERT_EQ(prof.roots.size(), 1u);
+  EXPECT_TRUE(prof.ops[prof.roots[0]].name.find("sink") !=
+              std::string::npos);
+  for (const auto& op : prof.ops) {
+    EXPECT_GE(op.self_seconds, 0.0) << op.name;
+    EXPECT_LE(op.self_seconds, op.busy_seconds + 1e-9) << op.name;
+  }
+  // Sources are flagged so renderers can label them.
+  const obs::OperatorProfile* scan = FindOp(prof, "scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_TRUE(scan->is_source);
+}
+
+TEST(ProfileTest, TextAndJsonRenderings) {
+  const obs::QueryProfile prof = RunJoinProfile();
+  const std::string text = prof.ToText();
+  EXPECT_NE(text.find("join"), std::string::npos);
+  EXPECT_NE(text.find("sink"), std::string::npos);
+  EXPECT_NE(text.find("rows_out="), std::string::npos);
+
+  const std::string json = prof.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"operators\":["), std::string::npos);
+  EXPECT_NE(json.find("\"result_rows\":2"), std::string::npos);
+  // Tree edges survive the flattening.
+  EXPECT_NE(json.find("\"children\":"), std::string::npos);
+}
+
+TEST(ProfileTest, DisabledProfilingRecordsNoTime) {
+  ExecContext ctx;  // profiling off (the default)
+  auto table = MakeIntTable("t", {{1, 1}, {2, 2}});
+  auto scan = MakeScan(&ctx, table);
+  Sink sink(&ctx, "sink", table->schema());
+  scan->SetOutput(&sink);
+  Driver driver(&ctx, {scan.get()}, &sink);
+  auto stats = driver.Run();
+  ASSERT_TRUE(stats.ok());
+  const obs::QueryProfile prof =
+      CollectQueryProfile(ctx, stats->elapsed_sec, stats->result_rows);
+  // Row counters are always maintained; timing is only measured when
+  // profiling is enabled.
+  const obs::OperatorProfile* s = FindOp(prof, "sink");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->rows_in[0], 2);
+  for (const auto& op : prof.ops) {
+    EXPECT_EQ(op.busy_seconds, 0.0) << op.name;
+  }
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for tools/trace_check.py.
+
+Run directly (python3 tests/tools/trace_check_test.py) or via ctest
+(tools_trace_check). Each case invokes the script as CI does — a fresh
+subprocess — and asserts the documented exit codes:
+    0 = valid, 1 = validation failure, 2 = usage/IO/parse error.
+Malformed input must produce a clear message on stderr, never a traceback.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.environ.get(
+    "TRACE_CHECK",
+    os.path.join(os.path.dirname(__file__), "..", "..", "tools",
+                 "trace_check.py"))
+
+
+def event(name="e", ph="i", ts=0, pid=0, tid=1, **extra):
+    ev = {"name": name, "ph": ph, "ts": ts, "pid": pid, "tid": tid}
+    if ph == "i" and "args" not in extra and "s" not in extra:
+        extra["s"] = "t"
+    ev.update(extra)
+    return ev
+
+
+class TraceCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, payload, name="trace.json"):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_check(self, path, *extra_args):
+        return subprocess.run(
+            [sys.executable, SCRIPT, path, *extra_args],
+            capture_output=True, text=True)
+
+    def assert_no_traceback(self, result):
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_valid_trace(self):
+        path = self.write({"traceEvents": [
+            event("dist_query", "X", ts=0, dur=100),
+            event("aip_ship", ts=10, args={"bytes": 42}),
+            event("meta", "M", args={"k": "v"}),
+        ]})
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("OK", result.stdout)
+
+    def test_bare_array_accepted(self):
+        path = self.write([event("a", "X", dur=5)])
+        self.assertEqual(self.run_check(path).returncode, 0)
+
+    def test_missing_file(self):
+        result = self.run_check(os.path.join(self.dir.name, "nope.json"))
+        self.assertEqual(result.returncode, 2)
+        self.assert_no_traceback(result)
+
+    def test_malformed_json(self):
+        path = self.write('{"traceEvents": [{]}')
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 2)
+        self.assert_no_traceback(result)
+
+    def test_wrong_top_level(self):
+        path = self.write({"events": []})
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 2)
+        self.assert_no_traceback(result)
+
+    def test_empty_trace_fails(self):
+        path = self.write({"traceEvents": []})
+        self.assertEqual(self.run_check(path).returncode, 1)
+
+    def test_missing_key(self):
+        ev = event()
+        del ev["tid"]
+        result = self.run_check(self.write({"traceEvents": [ev]}))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("tid", result.stderr)
+
+    def test_unknown_phase(self):
+        path = self.write({"traceEvents": [event(ph="Z")]})
+        self.assertEqual(self.run_check(path).returncode, 1)
+
+    def test_complete_event_needs_dur(self):
+        path = self.write({"traceEvents": [event("span", "X")]})
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("dur", result.stderr)
+
+    def test_negative_dur_rejected(self):
+        path = self.write({"traceEvents": [event("span", "X", dur=-5)]})
+        self.assertEqual(self.run_check(path).returncode, 1)
+
+    def test_instant_needs_args_or_scope(self):
+        ev = {"name": "bare", "ph": "i", "ts": 0, "pid": 0, "tid": 1}
+        path = self.write({"traceEvents": [ev]})
+        self.assertEqual(self.run_check(path).returncode, 1)
+
+    def test_unbalanced_begin_end(self):
+        path = self.write({"traceEvents": [
+            event("open", "B"),
+            event("open", "B", ts=1),
+            event("open", "E", ts=2),
+        ]})
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("never closed", result.stderr)
+
+    def test_end_without_begin(self):
+        path = self.write({"traceEvents": [event("orphan", "E")]})
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no open", result.stderr)
+
+    def test_balanced_begin_end_per_thread(self):
+        path = self.write({"traceEvents": [
+            event("a", "B", tid=1),
+            event("b", "B", tid=2, ts=1),
+            event("b", "E", tid=2, ts=2),
+            event("a", "E", tid=1, ts=3),
+        ]})
+        self.assertEqual(self.run_check(path).returncode, 0)
+
+    def test_disjoint_clocks_fail(self):
+        # pid 1 never had the coordinator epoch applied: its absolute
+        # realtime timestamps sit eras away from pid 0's anchored ones.
+        path = self.write({"traceEvents": [
+            event("a", "X", ts=0, dur=10, pid=0),
+            event("a", "X", ts=100, dur=10, pid=0),
+            event("b", "X", ts=1_700_000_000_000_000, dur=10, pid=1),
+        ]})
+        result = self.run_check(path)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("clock", result.stderr)
+
+    def test_overlapping_clocks_pass(self):
+        path = self.write({"traceEvents": [
+            event("a", "X", ts=0, dur=10, pid=0),
+            event("b", "X", ts=5, dur=10, pid=1),
+        ]})
+        self.assertEqual(self.run_check(path).returncode, 0)
+
+    def test_require_present_and_absent(self):
+        path = self.write({"traceEvents": [
+            event("aip_ship", ts=1, args={}),
+            event("exchange_send", ts=2, args={}),
+        ]})
+        ok = self.run_check(path, "--require", "aip_ship",
+                            "--require", "exchange_send")
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+        missing = self.run_check(path, "--require", "fragment_migrate")
+        self.assertEqual(missing.returncode, 1)
+        self.assertIn("fragment_migrate", missing.stderr)
+
+    def test_min_pids(self):
+        path = self.write({"traceEvents": [
+            event("a", pid=0, ts=0),
+            event("b", pid=1, ts=1),
+        ]})
+        self.assertEqual(
+            self.run_check(path, "--min-pids", "2").returncode, 0)
+        result = self.run_check(path, "--min-pids", "3")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("pid", result.stderr)
+
+    def test_summary_output(self):
+        path = self.write({"traceEvents": [
+            event("hot", ts=0), event("hot", ts=1), event("cold", ts=2),
+        ]})
+        result = self.run_check(path, "--summary")
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("hot", result.stdout)
+        self.assertIn("2", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -23,12 +23,19 @@
 //                          over the simulated mesh; tcp is the coordinator
 //                          mode — one pushsip_site process per site over
 //                          real loopback sockets, answers merged here.
+//
+// Observability: --profile collects per-operator timings and prints the
+// EXPLAIN-ANALYZE profile tree, --explain is --profile plus the plan shape
+// (the tree carries both), --trace-out=FILE writes a Chrome trace_event
+// JSON of the run (merged across site processes under --transport=tcp).
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 
 #include "dist/multi_process.h"
 #include "dist/scale_out.h"
+#include "obs/trace.h"
 #include "storage/tpch_generator.h"
 #include "workload/experiment.h"
 
@@ -55,6 +62,53 @@ bool ParseStrategy(const std::string& name, Strategy* out) {
   return true;
 }
 
+/// Per-site rollup of an operator-profile forest (counters are collected
+/// unconditionally, so this works with or without --profile).
+struct SiteRollup {
+  int64_t rows_out = 0;
+  int64_t pruned = 0;
+  int64_t source_pruned = 0;
+  int64_t bytes_sent = 0;
+  int64_t peak_state = 0;
+  double stall_sec = 0;
+};
+
+void PrintSimSiteStats(const DistributedQuery& query,
+                       const DistQueryStats& stats) {
+  const obs::QueryProfile prof = CollectDistProfile(query, stats);
+  std::map<int, SiteRollup> by_site;
+  for (const obs::OperatorProfile& op : prof.ops) {
+    SiteRollup& s = by_site[op.site_id];
+    s.rows_out += op.rows_out;
+    s.pruned += op.rows_pruned;
+    s.source_pruned += op.rows_source_pruned;
+    s.bytes_sent += op.bytes_sent;
+    s.peak_state += op.peak_state_bytes;
+    s.stall_sec += op.stall_seconds;
+  }
+  std::printf("per-site stats :\n");
+  for (const auto& [site, s] : by_site) {
+    std::printf("  site %-2d rows_out=%-10lld pruned=%-8lld "
+                "src_pruned=%-8lld sent=%.3fMB state=%.3fMB stall=%.1fms\n",
+                site, static_cast<long long>(s.rows_out),
+                static_cast<long long>(s.pruned),
+                static_cast<long long>(s.source_pruned),
+                static_cast<double>(s.bytes_sent) / (1 << 20),
+                static_cast<double>(s.peak_state) / (1 << 20),
+                s.stall_sec * 1e3);
+  }
+}
+
+void WriteTraceIfAsked(const std::string& trace_out,
+                       const std::string& extra_events = "") {
+  if (trace_out.empty()) return;
+  if (obs::TraceBuffer::Global().WriteChromeJson(trace_out, extra_events)) {
+    std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+  } else {
+    std::fprintf(stderr, "trace write failed: %s\n", trace_out.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,6 +123,8 @@ int main(int argc, char** argv) {
   int sites = 0;
   ScaleOutQuery dist_query = ScaleOutQuery::kQ17;
   bool tcp_transport = false;
+  bool profile = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,10 +162,17 @@ int main(int argc, char** argv) {
       tcp_transport = true;
     } else if (arg == "--rows") {
       print_rows = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--explain") {
+      profile = true;  // the profile tree is the plan, annotated
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: pushsip_cli [--query=Q1A] [--strategy=baseline|"
                   "magic|ff|cb]\n  [--sf=0.01] [--seed=42] [--skewed] "
                   "[--delay] [--pace=512]\n  [--remote-bw=1e8] [--rows]\n"
+                  "  [--profile] [--explain] [--trace-out=FILE]\n"
                   "  [--sites=N --dist=q17|subq --transport=sim|tcp]  "
                   "(distributed scale-out mode)\n");
       return 0;
@@ -117,6 +180,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (!trace_out.empty()) {
+    // Coordinator events get pid = the site count so they never collide
+    // with a site process's own pid (= its site id).
+    if (sites > 0) obs::Trace::SetProcessId(sites);
+    obs::Trace::EnableWithProcessEpoch();
   }
 
   if (sites > 0) {
@@ -135,6 +205,7 @@ int main(int argc, char** argv) {
       mp.num_sites = sites;
       mp.aip = strategy == Strategy::kCostBased;
       mp.weak_part_filter = gen.scale_factor < 0.01;
+      mp.trace = !trace_out.empty();
       auto r = RunMultiProcess(mp);
       if (!r.ok()) {
         std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
@@ -160,11 +231,29 @@ int main(int argc, char** argv) {
       std::printf("AIP sets/filters shipped: %lld / %lld\n",
                   static_cast<long long>(r->stats.aip_sets),
                   static_cast<long long>(r->stats.aip_filters));
+      std::printf("per-site stats :\n");
+      for (size_t i = 0; i < r->per_site.size(); ++i) {
+        const DistQueryStats& s = r->per_site[i];
+        std::printf("  site %-2zu elapsed=%7.2fms rows_pruned=%-8lld "
+                    "src_pruned=%-8lld sent=%.3fMB state=%.3fMB "
+                    "stall=%.1fms\n",
+                    i, s.elapsed_sec * 1e3,
+                    static_cast<long long>(s.rows_pruned),
+                    static_cast<long long>(s.rows_source_pruned),
+                    s.shipped_mb(), s.peak_state_mb(),
+                    s.stall_seconds * 1e3);
+      }
+      if (profile) {
+        std::printf("(profile tree unavailable over --transport=tcp: the "
+                    "operators live in the site processes; use "
+                    "--transport=sim)\n");
+      }
       if (print_rows) {
         for (size_t r = 0; r < rows->size(); ++r) {
           std::printf("%s\n", rows->RowToString(r).c_str());
         }
       }
+      WriteTraceIfAsked(trace_out, r->trace_events_json);
       return 0;
     }
     gen.skewed = force_skew;
@@ -179,6 +268,9 @@ int main(int argc, char** argv) {
     if (!built.ok()) {
       std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
       return 1;
+    }
+    if (profile) {
+      for (auto& site : (*built)->sites) site->context().set_profiling(true);
     }
     auto r = (*built)->Run();
     if (!r.ok()) {
@@ -200,11 +292,16 @@ int main(int argc, char** argv) {
     std::printf("AIP sets/filters shipped: %lld / %lld\n",
                 static_cast<long long>(r->aip_sets),
                 static_cast<long long>(r->aip_filters));
+    PrintSimSiteStats(**built, *r);
+    if (profile) {
+      std::printf("%s", CollectDistProfile(**built, *r).ToText().c_str());
+    }
     if (print_rows) {
       for (const Tuple& row : (*built)->root_sink->rows()) {
         std::printf("%s\n", row.ToString().c_str());
       }
     }
+    WriteTraceIfAsked(trace_out);
     return 0;
   }
 
@@ -215,6 +312,7 @@ int main(int argc, char** argv) {
   cfg.pace_every_rows = pace;
   cfg.pace_ms = 0.5;
   cfg.keep_rows = print_rows;
+  cfg.profiling = profile;
 
   auto r = RunExperiment(cfg);
   if (!r.ok()) {
@@ -235,10 +333,14 @@ int main(int argc, char** argv) {
               static_cast<long long>(r->aip_sets),
               static_cast<long long>(r->aip_filters),
               static_cast<long long>(r->aip_pruned));
+  if (profile) {
+    std::printf("%s", r->profile.ToText().c_str());
+  }
   if (print_rows) {
     for (const Tuple& row : r->rows) {
       std::printf("%s\n", row.ToString().c_str());
     }
   }
+  WriteTraceIfAsked(trace_out);
   return 0;
 }

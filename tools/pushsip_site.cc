@@ -13,11 +13,15 @@
 //   --peers=0=host:p,...    every site's address, including this one
 //   --host=ADDR             listen address      (default 127.0.0.1)
 //   --aip=0|1 --weak-filter=0|1 --merge=0|1 --window=W --batch=B
+//   --trace-hex=0|1         also report "TRACE <hex>" (serialized events)
+//   --trace-epoch=MICROS    trace time origin (coordinator's epoch)
+//   --trace-out=FILE        write this site's own Chrome trace JSON
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "dist/multi_process.h"
+#include "obs/trace.h"
 
 using namespace pushsip;
 
@@ -52,6 +56,9 @@ int main(int argc, char** argv) {
   SiteProcessOptions opts;
   TcpTransportOptions net;
   std::string peers_spec;
+  std::string trace_out;
+  bool trace_hex = false;
+  int64_t trace_epoch = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +90,12 @@ int main(int argc, char** argv) {
       net.credit_window = static_cast<uint32_t>(std::atoi(arg.c_str() + 9));
     } else if (arg.rfind("--batch=", 0) == 0) {
       opts.batch_size = static_cast<size_t>(std::atoll(arg.c_str() + 8));
+    } else if (arg.rfind("--trace-hex=", 0) == 0) {
+      trace_hex = std::atoi(arg.c_str() + 12) != 0;
+    } else if (arg.rfind("--trace-epoch=", 0) == 0) {
+      trace_epoch = std::atoll(arg.c_str() + 14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: pushsip_site --site=I --sites=N --port=P "
@@ -104,6 +117,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "malformed --peers\n");
     return 2;
   }
+  if (trace_hex || !trace_out.empty()) {
+    // Events are stamped relative to the coordinator's epoch so the merged
+    // trace shares one time axis across processes.
+    if (trace_epoch > 0) obs::Trace::SetEpochMicros(trace_epoch);
+    obs::Trace::SetProcessId(opts.site);
+    obs::Trace::Enable(true);
+  }
+
   net.local_site = opts.site;
   net.num_sites = opts.num_sites;
   for (const TcpPeer& peer : peers) {
@@ -129,6 +150,15 @@ int main(int argc, char** argv) {
   std::printf("%s\n", EncodeStatsLine(run->stats).c_str());
   if (!run->rows_wire.empty()) {
     std::printf("ROWS %s\n", HexEncode(run->rows_wire).c_str());
+  }
+  if (trace_hex) {
+    std::printf("TRACE %s\n",
+                HexEncode(obs::TraceBuffer::Global().SerializeEvents()).c_str());
+  }
+  if (!trace_out.empty() &&
+      !obs::TraceBuffer::Global().WriteChromeJson(trace_out)) {
+    std::fprintf(stderr, "site %d trace write failed: %s\n", opts.site,
+                 trace_out.c_str());
   }
   std::fflush(stdout);
   return 0;

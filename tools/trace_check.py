@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file emitted by --trace-out.
+
+Usage:
+    tools/trace_check.py trace.json [--require NAME]... [--min-pids N]
+        [--summary]
+
+Checks, in order:
+  * the file parses as JSON and is either {"traceEvents": [...]} or a bare
+    event array;
+  * every event is an object carrying the required keys (name, ph, ts,
+    pid, tid) with sane types;
+  * the phase is one we emit or Chrome defines for our exporters:
+    X (complete), i (instant), B/E (duration begin/end), M (metadata);
+  * 'X' events carry a non-negative integer dur;
+  * 'i' events carry either an args object or an instant scope "s";
+  * B/E events balance per (pid, tid) stack — every B is closed by an E
+    and no E arrives on an empty stack;
+  * timestamps share one clock: in a merged multi-process trace the
+    per-pid time ranges must overlap pairwise-ish (each pid's range must
+    intersect the union of the others), catching sites that never had the
+    coordinator epoch applied (their absolute-realtime timestamps sit
+    ~epoch microseconds away from everyone else's);
+  * every --require NAME (repeatable) matches at least one event name.
+
+--min-pids asserts the merged trace carries events from at least N
+distinct pids (a 4-site run should show the coordinator plus 4 sites).
+--summary prints an event-name histogram to stdout after validation.
+
+Exit status: 0 = valid, 1 = validation failure, 2 = usage/IO/parse error.
+Failures print one line per problem (capped) to stderr, never a traceback.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "B", "E", "M"}
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+MAX_REPORTED = 20
+
+
+def fail(msg):
+    print(f"trace_check: {msg}", file=sys.stderr)
+
+
+def load_events(path):
+    """Returns the event list, or raises ValueError with a message."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, list):
+        return doc
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if isinstance(events, list):
+            return events
+        raise ValueError('top-level object lacks a "traceEvents" array')
+    raise ValueError("top-level JSON is neither an object nor an array")
+
+
+def check_event(i, ev, problems):
+    if not isinstance(ev, dict):
+        problems.append(f"event {i}: not an object")
+        return False
+    for key in REQUIRED_KEYS:
+        if key not in ev:
+            problems.append(f"event {i}: missing key {key!r}")
+            return False
+    name, ph = ev["name"], ev["ph"]
+    if not isinstance(name, str) or not name:
+        problems.append(f"event {i}: name is not a non-empty string")
+        return False
+    if ph not in VALID_PHASES:
+        problems.append(f"event {i} ({name}): unknown phase {ph!r}")
+        return False
+    for key in ("ts", "pid", "tid"):
+        if not isinstance(ev[key], int):
+            problems.append(f"event {i} ({name}): {key} is not an integer")
+            return False
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, int) or dur < 0:
+            problems.append(
+                f"event {i} ({name}): 'X' event needs integer dur >= 0, "
+                f"got {dur!r}")
+            return False
+    if ph == "i" and "args" not in ev and "s" not in ev:
+        problems.append(
+            f"event {i} ({name}): instant carries neither args nor a "
+            "scope 's'")
+        return False
+    if "args" in ev and not isinstance(ev["args"], dict):
+        problems.append(f"event {i} ({name}): args is not an object")
+        return False
+    return True
+
+
+def check_duration_balance(events, problems):
+    stacks = collections.defaultdict(list)
+    for i, ev in enumerate(events):
+        key = (ev["pid"], ev["tid"])
+        if ev["ph"] == "B":
+            stacks[key].append((i, ev["name"]))
+        elif ev["ph"] == "E":
+            if not stacks[key]:
+                problems.append(
+                    f"event {i} ({ev['name']}): 'E' with no open 'B' on "
+                    f"pid={ev['pid']} tid={ev['tid']}")
+            else:
+                stacks[key].pop()
+    for (pid, tid), stack in stacks.items():
+        for i, name in stack:
+            problems.append(
+                f"event {i} ({name}): 'B' never closed on pid={pid} "
+                f"tid={tid}")
+
+
+CLOCK_SLACK_US = 10_000_000  # 10s; a missed epoch is off by ~10^15 us
+
+
+def check_clock_alignment(events, problems):
+    """Each pid's [min_ts, max_ts] must come near the union of the rest.
+
+    Short traces from different processes may not literally overlap, so a
+    generous slack is allowed; a site that never had the coordinator epoch
+    applied carries absolute-realtime timestamps ~50 years away, which no
+    slack forgives.
+    """
+    ranges = {}
+    for ev in events:
+        if ev["ph"] == "M":
+            continue
+        end = ev["ts"] + ev.get("dur", 0)
+        lo, hi = ranges.get(ev["pid"], (ev["ts"], end))
+        ranges[ev["pid"]] = (min(lo, ev["ts"]), max(hi, end))
+    if len(ranges) < 2:
+        return
+    for pid, (lo, hi) in ranges.items():
+        other_lo = min(r[0] for p, r in ranges.items() if p != pid)
+        other_hi = max(r[1] for p, r in ranges.items() if p != pid)
+        if hi < other_lo - CLOCK_SLACK_US or lo > other_hi + CLOCK_SLACK_US:
+            problems.append(
+                f"pid {pid}: time range [{lo}, {hi}]us is disjoint from "
+                f"every other pid's [{other_lo}, {other_hi}]us — "
+                "misaligned clock epoch?")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Validate a Chrome trace_event JSON file")
+    parser.add_argument("trace", help="path to the trace JSON file")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless an event with this name exists "
+                             "(repeatable)")
+    parser.add_argument("--min-pids", type=int, default=0,
+                        help="fail unless events span at least N pids")
+    parser.add_argument("--summary", action="store_true",
+                        help="print an event-name histogram after checks")
+    args = parser.parse_args(argv)
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+        return 2
+
+    if not events:
+        fail(f"{args.trace}: empty trace (no events)")
+        return 1
+
+    problems = []
+    valid = [ev for i, ev in enumerate(events)
+             if check_event(i, ev, problems)]
+    check_duration_balance(valid, problems)
+    check_clock_alignment(valid, problems)
+
+    names = collections.Counter(ev["name"] for ev in valid)
+    for required in args.require:
+        if names[required] == 0:
+            problems.append(f"required event {required!r} not present")
+
+    pids = {ev["pid"] for ev in valid}
+    if args.min_pids and len(pids) < args.min_pids:
+        problems.append(
+            f"events span {len(pids)} pid(s), need >= {args.min_pids}")
+
+    for msg in problems[:MAX_REPORTED]:
+        fail(msg)
+    if len(problems) > MAX_REPORTED:
+        fail(f"... and {len(problems) - MAX_REPORTED} more problems")
+
+    if args.summary:
+        print(f"{args.trace}: {len(valid)} events, {len(pids)} pid(s)")
+        for name, count in names.most_common():
+            print(f"  {count:8d}  {name}")
+
+    if problems:
+        return 1
+    print(f"trace_check: {args.trace} OK "
+          f"({len(valid)} events, {len(pids)} pid(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
