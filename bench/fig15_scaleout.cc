@@ -7,11 +7,17 @@
 // Flags: the shared harness flags (--sf=, --reps=, --seed=, --json <path>)
 // plus --max-sites=N (default 8) and --bw=<bits/sec> (default 1e9).
 //
-// --kill-site[=K] switches to the chaos mode: Q17 runs once cleanly and
-// once with site K (default 1) going dark after --kill-after=N (default
-// 200) matched transmissions; the report compares the two runs — recovery
-// overhead in time and retransmitted bytes, plus restart/dedup counters —
-// and fails if the recovered answer differs from the clean one.
+// --kill-site[=K] switches to the chaos mode: Q17 runs once cleanly, once
+// with site K (default 1) going dark after --kill-after=N (default 200)
+// matched transmissions (recovery = full replay + epoch dedup), and once
+// with site K's compute fragment dying mid-aggregate after
+// --stateful-kill-after=N (default 6) frames under a
+// --checkpoint-interval=N (default 4) frame checkpoint cadence (recovery =
+// checkpoint restore + suffix replay). The report compares the cells —
+// recovery overhead in time and retransmitted bytes, restart/dedup
+// counters, checkpoint bytes and restore counts — and fails if any
+// recovered answer differs from the clean one or the stateful cell did
+// not actually restore from a checkpoint.
 //
 // --straggle-site[=K] switches to the adaptive mode: Q17 runs once cleanly
 // and once with site K's outbound links throttled to --straggle-bw bits/s
@@ -49,8 +55,9 @@ struct KillRun {
 };
 
 int RunKillSiteMode(const HarnessOptions& opts, int kill_site,
-                    int64_t kill_after, int sites, double bandwidth_bps,
-                    bool weak_filter) {
+                    int64_t kill_after, int64_t checkpoint_interval,
+                    int64_t stateful_kill_after, int sites,
+                    double bandwidth_bps, bool weak_filter) {
   InitObs(opts);
   TpchConfig gen;
   gen.scale_factor = opts.scale_factor;
@@ -58,22 +65,45 @@ int RunKillSiteMode(const HarnessOptions& opts, int kill_site,
   auto catalog = MakeTpchCatalog(gen);
 
   std::printf("# Fig. 15 chaos mode: Q17 on %d sites, kill site %d after "
-              "%lld transmissions\n",
-              sites, kill_site, static_cast<long long>(kill_after));
-  std::printf("%-10s %12s %14s %10s %10s %10s %10s\n", "run", "time(ms)",
-              "shipped MB", "faults", "restarts", "dropped", "reships");
+              "%lld transmissions; stateful cell kills its aggregate "
+              "stream after %lld frames with a %lld-frame checkpoint "
+              "interval\n",
+              sites, kill_site, static_cast<long long>(kill_after),
+              static_cast<long long>(stateful_kill_after),
+              static_cast<long long>(checkpoint_interval));
+  std::printf("%-10s %12s %14s %10s %10s %10s %10s %12s %10s\n", "run",
+              "time(ms)", "shipped MB", "faults", "restarts", "dropped",
+              "reships", "ckpt bytes", "restores");
 
+  // Three cells: clean, the pre-existing replay-from-scratch kill (a site
+  // goes dark on the mesh), and the stateful kill (a compute fragment dies
+  // mid-aggregate and resumes from its last checkpoint).
+  enum Cell { kClean = 0, kReplayKill = 1, kStatefulKill = 2 };
+  static const char* kCellNames[3] = {"clean", "killed", "stateful"};
+  static const char* kCellStrategies[3] = {"Cost-based", "Cost-based+kill",
+                                           "Cost-based+kill-stateful"};
   std::vector<JsonRecord> records;
-  KillRun clean, killed;
-  for (const bool kill : {false, true}) {
+  KillRun runs[3];
+  for (int cell = kClean; cell <= kStatefulKill; ++cell) {
     ScaleOutOptions so;
     so.num_sites = sites;
     so.bandwidth_bps = bandwidth_bps;
     so.aip = true;
     so.weak_part_filter = weak_filter;
-    if (kill) {
+    // Small windows + pacing in every cell — the kill and the checkpoint
+    // cuts land genuinely mid-stream, and the clean cell prices the same
+    // batch shape so the overhead comparison is like-for-like.
+    so.batch_size = 256;
+    so.pace_every_rows = 256;
+    so.pace_ms = 0.5;
+    if (cell == kReplayKill) {
       so.fault_injector = std::make_shared<FaultInjector>();
       so.fault_injector->SiteDown(kill_site, kill_after);
+    } else if (cell == kStatefulKill) {
+      so.checkpoint_interval_frames = checkpoint_interval;
+      so.stateful_kill_site = kill_site;
+      so.stateful_kill_after_frames = stateful_kill_after;
+      so.stateful_kill_aggregate = true;
     }
     auto query = BuildScaleOutQuery(ScaleOutQuery::kQ17, catalog, so);
     if (!query.ok()) {
@@ -87,19 +117,22 @@ int RunKillSiteMode(const HarnessOptions& opts, int kill_site,
                    stats.status().ToString().c_str());
       return 1;
     }
-    KillRun& run = kill ? killed : clean;
+    KillRun& run = runs[cell];
     run.stats = *stats;
     run.rows = (*query)->root_sink->TakeRows();
-    std::printf("%-10s %12.1f %14.3f %10lld %10lld %10lld %10lld\n",
-                kill ? "killed" : "clean", stats->elapsed_sec * 1e3,
+    std::printf("%-10s %12.1f %14.3f %10lld %10lld %10lld %10lld %12lld "
+                "%10lld\n",
+                kCellNames[cell], stats->elapsed_sec * 1e3,
                 stats->shipped_mb(),
                 static_cast<long long>(stats->faults_injected),
                 static_cast<long long>(stats->fragment_restarts),
                 static_cast<long long>(stats->batches_discarded),
-                static_cast<long long>(stats->aip_reships));
+                static_cast<long long>(stats->aip_reships),
+                static_cast<long long>(stats->checkpoint_bytes),
+                static_cast<long long>(stats->state_recoveries));
     JsonRecord record;
     record.query = "Q17-scaleout";
-    record.strategy = kill ? "Cost-based+kill" : "Cost-based";
+    record.strategy = kCellStrategies[cell];
     record.sites = sites;
     record.elapsed_sec = stats->elapsed_sec;
     record.peak_state_mb = stats->peak_state_mb();
@@ -107,31 +140,62 @@ int RunKillSiteMode(const HarnessOptions& opts, int kill_site,
     record.bytes_shipped = stats->bytes_shipped;
     record.metric_mean = stats->elapsed_sec;
     record.fragment_restarts = stats->fragment_restarts;
+    record.checkpoints_taken = stats->checkpoints_taken;
+    record.checkpoint_bytes = stats->checkpoint_bytes;
+    record.state_recoveries = stats->state_recoveries;
+    record.restore_seconds = stats->restore_seconds;
     records.push_back(record);
   }
 
-  // Deterministic replay + epoch dedup: the recovered answer must match.
-  if (clean.rows.size() != killed.rows.size()) {
-    std::fprintf(stderr, "FAILED: recovered run returned %zu rows vs %zu\n",
-                 killed.rows.size(), clean.rows.size());
-    return 1;
-  }
-  if (!clean.rows.empty() && !clean.rows[0].at(0).is_null()) {
-    const double want = clean.rows[0].at(0).AsDouble();
-    const double got = killed.rows[0].at(0).AsDouble();
-    if (std::abs(got - want) > std::abs(want) * 1e-9 + 1e-9) {
-      std::fprintf(stderr, "FAILED: recovered answer %f differs from %f\n",
-                   got, want);
+  // Deterministic replay + epoch dedup (and, in the stateful cell, the
+  // checkpoint restore): every recovered answer must match the clean one.
+  const KillRun& clean = runs[kClean];
+  for (int cell = kReplayKill; cell <= kStatefulKill; ++cell) {
+    const KillRun& recovered = runs[cell];
+    if (clean.rows.size() != recovered.rows.size()) {
+      std::fprintf(stderr,
+                   "FAILED: %s run returned %zu rows vs %zu\n",
+                   kCellNames[cell], recovered.rows.size(),
+                   clean.rows.size());
       return 1;
     }
+    if (!clean.rows.empty() && !clean.rows[0].at(0).is_null()) {
+      const double want = clean.rows[0].at(0).AsDouble();
+      const double got = recovered.rows[0].at(0).AsDouble();
+      if (std::abs(got - want) > std::abs(want) * 1e-9 + 1e-9) {
+        std::fprintf(stderr,
+                     "FAILED: %s answer %f differs from %f\n",
+                     kCellNames[cell], got, want);
+        return 1;
+      }
+    }
+    const double overhead_ms =
+        (recovered.stats.elapsed_sec - clean.stats.elapsed_sec) * 1e3;
+    const double extra_mb =
+        recovered.stats.shipped_mb() - clean.stats.shipped_mb();
+    std::printf("# %s recovery overhead: %+.1f ms, %+.3f MB retransmitted, "
+                "answer identical\n",
+                kCellNames[cell], overhead_ms, extra_mb);
   }
-  const double overhead_ms =
-      (killed.stats.elapsed_sec - clean.stats.elapsed_sec) * 1e3;
-  const double extra_mb =
-      killed.stats.shipped_mb() - clean.stats.shipped_mb();
-  std::printf("# recovery overhead: %+.1f ms, %+.3f MB retransmitted, "
-              "answer identical\n",
-              overhead_ms, extra_mb);
+  // The stateful cell must actually have recovered *from a checkpoint* —
+  // a silent fall-back to full replay would make the cell meaningless.
+  const DistQueryStats& st = runs[kStatefulKill].stats;
+  if (st.checkpoints_taken < 1 || st.checkpoint_bytes <= 0 ||
+      st.state_recoveries < 1) {
+    std::fprintf(stderr,
+                 "FAILED: stateful cell did not restore from a checkpoint "
+                 "(checkpoints=%lld bytes=%lld restores=%lld)\n",
+                 static_cast<long long>(st.checkpoints_taken),
+                 static_cast<long long>(st.checkpoint_bytes),
+                 static_cast<long long>(st.state_recoveries));
+    return 1;
+  }
+  std::printf("# stateful: %lld checkpoint(s), %lld bytes, %lld restore(s) "
+              "in %.3f ms\n",
+              static_cast<long long>(st.checkpoints_taken),
+              static_cast<long long>(st.checkpoint_bytes),
+              static_cast<long long>(st.state_recoveries),
+              st.restore_seconds * 1e3);
   if (!opts.json_path.empty() &&
       !WriteJsonReport(opts.json_path, "fig15_scaleout_kill",
                        "Fig. 15 chaos - Q17 with one site killed mid-query",
@@ -459,6 +523,8 @@ int main(int argc, char** argv) {
   double bandwidth_bps = 1e9;
   int kill_site = -1;
   int64_t kill_after = 200;
+  int64_t checkpoint_interval = 4;
+  int64_t stateful_kill_after = 6;
   int straggle_site = -1;
   double straggle_bw = 2e5;
   bool tcp_mode = false;
@@ -473,6 +539,10 @@ int main(int argc, char** argv) {
       kill_site = 1;
     } else if (std::strncmp(argv[i], "--kill-after=", 13) == 0) {
       kill_after = std::atoll(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--checkpoint-interval=", 22) == 0) {
+      checkpoint_interval = std::atoll(argv[i] + 22);
+    } else if (std::strncmp(argv[i], "--stateful-kill-after=", 22) == 0) {
+      stateful_kill_after = std::atoll(argv[i] + 22);
     } else if (std::strncmp(argv[i], "--straggle-site=", 16) == 0) {
       straggle_site = std::atoi(argv[i] + 16);
     } else if (std::strcmp(argv[i], "--straggle-site") == 0) {
@@ -496,7 +566,8 @@ int main(int argc, char** argv) {
                    kill_site, sites);
       return 1;
     }
-    return RunKillSiteMode(opts, kill_site, kill_after, sites, bandwidth_bps,
+    return RunKillSiteMode(opts, kill_site, kill_after, checkpoint_interval,
+                           stateful_kill_after, sites, bandwidth_bps,
                            opts.scale_factor < 0.01);
   }
   if (straggle_site >= 0) {

@@ -136,6 +136,18 @@ bool WriteJsonReport(const std::string& path, const std::string& id,
                    static_cast<long long>(r.stragglers_detected),
                    static_cast<long long>(r.recalibrations));
     }
+    if (r.checkpoints_taken != 0 || r.checkpoint_bytes != 0 ||
+        r.state_recoveries != 0 || r.restore_seconds != 0) {
+      std::fprintf(f,
+                   ", \"checkpoints_taken\": %lld,"
+                   " \"checkpoint_bytes\": %lld,"
+                   " \"state_recoveries\": %lld,"
+                   " \"restore_seconds\": %.6f",
+                   static_cast<long long>(r.checkpoints_taken),
+                   static_cast<long long>(r.checkpoint_bytes),
+                   static_cast<long long>(r.state_recoveries),
+                   r.restore_seconds);
+    }
     // Wire-encoding health; the bench exit checks (and bench_check.py)
     // assert these stay 0 on typed dictionary streams.
     std::fprintf(f, ", \"encode_transposes\": %lld, \"dict_reships\": %lld",

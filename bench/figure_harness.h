@@ -96,6 +96,12 @@ struct JsonRecord {
   int64_t fragment_migrations = 0;
   int64_t stragglers_detected = 0;
   int64_t recalibrations = 0;
+  // Stateful-fragment checkpoint/recovery metrics (chaos mode with
+  // checkpointing enabled; zero elsewhere).
+  int64_t checkpoints_taken = 0;
+  int64_t checkpoint_bytes = 0;
+  int64_t state_recoveries = 0;
+  double restore_seconds = 0;
   // Wire-encoding health (multi-site benchmarks; zero elsewhere). A typed
   // columnar pipeline ships every dictionary entry once and never falls
   // back to per-value encoding, so both should stay 0.

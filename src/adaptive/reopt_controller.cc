@@ -66,6 +66,7 @@ void ReoptController::Poll() {
     if (!state->spec.rebuild) continue;      // cannot be rebuilt elsewhere
     if (state->migrations >= options_.max_migrations_per_fragment) continue;
     if (++state->suspect_polls < options_.confirm_polls) continue;
+    if (state->spec.scan == nullptr) continue;  // no preemption point
     state->pending_dest = PickDestination(*state, snap);
     if (state->pending_dest < 0) continue;
     ++stragglers_;
@@ -157,8 +158,10 @@ Result<AdaptiveSupervisor::Migration> ReoptController::Migrate(
   SiteEngine& host = *query_->sites[static_cast<size_t>(dest)];
   PUSHSIP_ASSIGN_OR_RETURN(RebuiltFragment rebuilt,
                            state->spec.rebuild(host, dest));
-  if (rebuilt.fragment == nullptr || rebuilt.scan == nullptr ||
-      rebuilt.sender == nullptr) {
+  // Exchange-fed (scanless) fragments legitimately rebuild without a scan;
+  // a recipe may only drop the scan when the original had none either.
+  if (rebuilt.fragment == nullptr || rebuilt.sender == nullptr ||
+      (state->spec.scan != nullptr && rebuilt.scan == nullptr)) {
     return Status::Internal("rebuild recipe returned an incomplete fragment");
   }
   // Take over the logical stream: same slots, next epoch — consumers keep

@@ -92,6 +92,10 @@ void StatsMonitor::TrackSite(int site, const ExecContext* ctx) {
 ProgressSnapshot StatsMonitor::Sample(bool include_sites) const {
   ProgressSnapshot snap;
   for (const TrackedFragment& t : fragments_) {
+    // Scanless fragments (exchange-fed stateful compute) have no window
+    // progress to sample; they are tracked for MoveFragment/MarkFinished
+    // bookkeeping only and never enter straggler detection.
+    if (t.scan == nullptr) continue;
     FragmentProgress p;
     p.fragment = t.fragment;
     p.site = t.site;

@@ -71,6 +71,8 @@ struct FragmentRun {
   SiteEngine* site = nullptr;
   PlanBuilder* fragment = nullptr;
   bool replayable = false;
+  /// Set when the fragment is registered for checkpointed recovery.
+  StatefulFragmentSpec* stateful = nullptr;
   int attempts = 0;
   int active_threads = 0;
   bool finished = false;  ///< an attempt completed without error
@@ -111,6 +113,9 @@ Result<DistQueryStats> DistributedQuery::Run() {
       run.replayable = FragmentReplayScan(*fragment) != nullptr &&
                        static_cast<ExchangeSender*>(fragment->terminal())
                                ->seq_source() != nullptr;
+      for (StatefulFragmentSpec& spec : stateful_fragments) {
+        if (spec.fragment == fragment.get()) run.stateful = &spec;
+      }
       runs.push_back(run);
     }
   }
@@ -191,12 +196,138 @@ Result<DistQueryStats> DistributedQuery::Run() {
       if (failed != nullptr) {
         FragmentRun& run = *failed;
         run.needs_attention = false;
-        const bool retry = run.replayable &&
-                           run.error.code() == StatusCode::kUnavailable &&
-                           run.attempts <= max_fragment_restarts;
+        bool retry = (run.replayable || run.stateful != nullptr) &&
+                     run.error.code() == StatusCode::kUnavailable &&
+                     run.attempts <= max_fragment_restarts;
+        if (retry && run.stateful != nullptr) {
+          // Checkpointed recovery is in-process only (the snapshot lives
+          // with this supervisor) and is refused once the fragment's
+          // terminal emitted anything: its frames are not replayable, so
+          // downstream consumers could not dedup a re-run's output.
+          auto* terminal =
+              dynamic_cast<ExchangeSender*>(run.fragment->terminal());
+          if (local_site >= 0 || terminal == nullptr ||
+              terminal->batches_sent() > 0) {
+            retry = false;
+          }
+        }
         if (!retry) {
           fatal = run.error;
           break;
+        }
+        if (run.stateful != nullptr) {
+          // Stateful recovery sequence. 1) Quiesce: preempt every producer
+          // fragment still running and wait until all their threads exit —
+          // nothing may feed the input channels while they are rebuilt.
+          StatefulFragmentSpec& spec = *run.stateful;
+          std::vector<FragmentRun*> producer_runs;
+          for (FragmentRun& r : runs) {
+            for (PlanBuilder* producer : spec.producers) {
+              if (r.fragment == producer) producer_runs.push_back(&r);
+            }
+          }
+          for (FragmentRun* r : producer_runs) {
+            if (r->active_threads == 0) continue;
+            for (SourceOperator* source : r->fragment->sources()) {
+              source->Preempt();
+            }
+          }
+          progress.wait(lock, [&] {
+            for (const FragmentRun* r : producer_runs) {
+              if (r->active_threads > 0) return false;
+            }
+            return true;
+          });
+          // 2) Heal the failure (the site "reboots"). Over a real
+          // transport, give in-flight loopback frames a moment to land so
+          // the reopened queues start empty (a late old-epoch frame would
+          // be dropped anyway, but a finish marker counting against the
+          // fresh attempt must not slip in).
+          if (transport != nullptr) {
+            (void)transport->Heal();
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          } else if (fault_injector != nullptr) {
+            fault_injector->HealFired();
+          }
+          // 3) Rearm the fragment: rebuilt on another site when the
+          // adaptive supervisor says so (the checkpointer re-binds to the
+          // replacement's operators), otherwise reset in place.
+          bool migrated = false;
+          if (supervisor != nullptr &&
+              supervisor->ShouldMigrate(run.fragment, run.attempts)) {
+            auto moved = supervisor->Migrate(run.fragment);
+            if (moved.ok()) {
+              for (StatefulFragmentSpec& other : stateful_fragments) {
+                for (PlanBuilder*& producer : other.producers) {
+                  if (producer == run.fragment) producer = moved->fragment;
+                }
+              }
+              run.fragment = moved->fragment;
+              run.site = moved->site;
+              spec.fragment = moved->fragment;
+              if (spec.checkpointer != nullptr) {
+                spec.checkpointer->Bind(run.fragment);
+              }
+              migrated = true;
+              obs::TraceInstant(
+                  "fragment_migrate",
+                  "\"to_site\":" + std::to_string(run.site->id()));
+            }
+          }
+          if (!migrated) {
+            for (const auto& op : run.fragment->operators()) {
+              op->ResetForReplay();
+            }
+          }
+          // 4) Restore the last checkpoint; on any restore error fall
+          // back to a full replay into empty state.
+          bool restored = false;
+          if (spec.checkpointer != nullptr &&
+              spec.checkpointer->has_checkpoint()) {
+            const Status st = spec.checkpointer->RestoreInto(run.fragment);
+            if (st.ok()) {
+              restored = true;
+            } else {
+              for (const auto& op : run.fragment->operators()) {
+                op->ResetForReplay();
+              }
+            }
+          }
+          if (!restored) {
+            for (SourceOperator* source : run.fragment->sources()) {
+              if (auto* recv = dynamic_cast<ExchangeReceiver*>(source)) {
+                recv->ClearReplayState();
+              }
+            }
+          }
+          // 5) Fresh input queues: leftovers of the failed attempt die
+          // here; the producers' replay re-delivers their content.
+          for (const auto& channel : spec.input_channels) {
+            if (channel != nullptr) channel->DrainAndReopen();
+          }
+          for (auto& site : sites) {
+            for (const auto& manager : site->aip_managers()) {
+              reships += manager->ReshipPending();
+            }
+          }
+          ++restarts;
+          obs::TraceInstant(
+              "fragment_restart",
+              "\"site\":" + std::to_string(run.site->id()) +
+                  ",\"attempt\":" + std::to_string(run.attempts) +
+                  ",\"restored\":" + (restored ? "true" : "false"));
+          launch(&run);
+          // 6) Replay every producer from its scan; the restored
+          // high-waters discard the prefix the checkpoint already
+          // absorbed, so each window lands exactly once.
+          for (FragmentRun* r : producer_runs) {
+            for (const auto& op : r->fragment->operators()) {
+              op->ResetForReplay();
+            }
+            r->finished = false;
+            launch(r);
+          }
+          continue;
         }
         // Recovery sequence. 1) Heal every fault that has fired — the
         // restart *is* the failed site coming back. 2) Rearm the fragment —
@@ -219,6 +350,14 @@ Result<DistQueryStats> DistributedQuery::Run() {
             supervisor->ShouldMigrate(run.fragment, run.attempts)) {
           auto moved = supervisor->Migrate(run.fragment);
           if (moved.ok()) {
+            // Keep stateful specs' producer lists pointing at the live
+            // fragment: a later stateful recovery must quiesce and replay
+            // the rebuilt producer, not the abandoned original.
+            for (StatefulFragmentSpec& spec : stateful_fragments) {
+              for (PlanBuilder*& producer : spec.producers) {
+                if (producer == run.fragment) producer = moved->fragment;
+              }
+            }
             run.fragment = moved->fragment;
             run.site = moved->site;
             migrated = true;
@@ -281,7 +420,15 @@ Result<DistQueryStats> DistributedQuery::Run() {
     stats.fragment_migrations = supervisor->fragment_migrations();
     stats.recalibrations = supervisor->recalibrations();
   }
+  for (const StatefulFragmentSpec& spec : stateful_fragments) {
+    if (spec.checkpointer == nullptr) continue;
+    stats.checkpoints_taken += spec.checkpointer->checkpoints_taken();
+    stats.checkpoint_bytes += spec.checkpointer->checkpoint_bytes_total();
+    stats.state_recoveries += spec.checkpointer->restores();
+    stats.restore_seconds += spec.checkpointer->restore_seconds();
+  }
   for (auto& site : sites) {
+    stats.aip_reattached += site->filters_reattached();
     ExecContext& ctx = site->context();
     stats.peak_state_bytes += ctx.state_tracker().peak_bytes();
     for (Operator* op : ctx.operators()) {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/checkpoint.h"
 #include "dist/site_engine.h"
 #include "exec/driver.h"
 #include "exec/profile.h"
@@ -67,6 +68,15 @@ struct DistQueryStats {
   // Wire-encoding bookkeeping, summed over all exchange senders.
   int64_t encode_transposes = 0;  ///< per-value encode fallbacks (mixed cols)
   int64_t dict_reships = 0;       ///< dictionary entries shipped repeatedly
+  // Stateful-fragment checkpoint/recovery bookkeeping (zero unless the
+  // query registered stateful_fragments with checkpointing enabled).
+  int64_t checkpoints_taken = 0;  ///< consistent cuts captured
+  int64_t checkpoint_bytes = 0;   ///< serialized bytes across all cuts
+  int64_t state_recoveries = 0;   ///< restarts restored from a checkpoint
+  double restore_seconds = 0;     ///< wall seconds spent restoring state
+  /// AIP filters re-attached to fragments published mid-query (migration
+  /// targets receive every filter their predecessor already had).
+  int64_t aip_reattached = 0;
 
   double shipped_mb() const {
     return static_cast<double>(bytes_shipped) / (1024.0 * 1024.0);
@@ -137,6 +147,27 @@ struct ExchangeConsumerSpec {
   PlanNode* node = nullptr;
 };
 
+/// Assembly-time registration of a *stateful* fragment (exchange sources
+/// feeding hash joins / aggregates) the supervisor can recover after a
+/// failure: quiesce and replay its producers, restore operator state and
+/// replay progress from the fragment's last checkpoint, and resume at the
+/// next epoch. Recovery is refused once the fragment's terminal sender has
+/// emitted anything (non-replayable output cannot be recalled) and in
+/// multi-process mode (the checkpoint lives in the failed process).
+struct StatefulFragmentSpec {
+  PlanBuilder* fragment = nullptr;
+  /// Owns the fragment's consistent cuts; Bind() already called on
+  /// `fragment` at assembly time.
+  std::shared_ptr<FragmentCheckpointer> checkpointer;
+  /// Every channel the fragment's receivers consume — drained and
+  /// reopened before the replay so stale frames die with the old attempt.
+  std::vector<std::shared_ptr<ExchangeChannel>> input_channels;
+  /// Every fragment that feeds those channels; recovery preempts,
+  /// resets, and relaunches each so the restored receivers see the full
+  /// stream again (their high-waters drop the prefix already absorbed).
+  std::vector<PlanBuilder*> producers;
+};
+
 /// \brief Hooks the multi-site supervisor consults when an adaptive runtime
 /// is installed (implemented by adaptive::ReoptController; an interface so
 /// dist does not depend on the adaptive library).
@@ -202,6 +233,9 @@ struct DistributedQuery {
   /// adaptive runtime is installed over this query.
   std::vector<MigratableFragmentSpec> migratable_fragments;
   std::vector<ExchangeConsumerSpec> exchange_consumers;
+  /// Stateful fragments whose failures are recovered from checkpoints
+  /// instead of being fatal (see StatefulFragmentSpec).
+  std::vector<StatefulFragmentSpec> stateful_fragments;
   /// The adaptive runtime, when installed (adaptive::InstallAdaptiveRuntime);
   /// null = PR 3 behaviour (in-place restarts only, no preemption).
   std::shared_ptr<AdaptiveSupervisor> adaptive;

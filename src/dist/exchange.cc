@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <shared_mutex>
 
+#include "dist/checkpoint.h"
 #include "net/wire_format.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "util/serde.h"
 
 namespace pushsip {
 
@@ -296,8 +299,8 @@ Status ExchangeReceiver::Run() {
       options_.idle_timeout_sec < 0 ? ctx_->exchange_idle_timeout_sec()
                                     : options_.idle_timeout_sec;
   double idle_sec = 0;
+  int64_t frames_seen = 0;
   std::string bytes;
-  std::vector<HeldFrame> held;
   while (true) {
     const ExchangeChannel::RecvStatus r = channel_->Receive(&bytes, poll);
     if (ShouldStop()) return Status::Cancelled("query cancelled");
@@ -309,6 +312,13 @@ Status ExchangeReceiver::Run() {
       idle_sec += static_cast<double>(poll.count()) / 1e3;
       stall_micros_.fetch_add(poll.count() * 1000);
       if (idle_timeout_sec > 0 && idle_sec >= idle_timeout_sec) {
+        // A dead receiver must not keep backpressuring its producers:
+        // with nobody draining the queue they would park in SendBatch at
+        // capacity and never finish, deadlocking the whole query before
+        // the supervisor even sees this failure. Marking the channel
+        // consumed drops further frames (recovery replays them) and wakes
+        // any blocked sender; DrainAndReopen re-arms it for the retry.
+        channel_->CloseConsumed();
         return Status::Unavailable(
             name() + ": no exchange traffic for " +
             std::to_string(idle_sec) +
@@ -320,64 +330,176 @@ Status ExchangeReceiver::Run() {
     // Decode through the stream decoder *before* any dedup decision: even
     // a frame that ends up discarded as a duplicate advanced the sender's
     // encoder state, so it must advance this side's dictionaries too.
-    PUSHSIP_ASSIGN_OR_RETURN(BatchFrame frame, decoder_.DecodeFrame(bytes));
+    Result<BatchFrame> decoded = decoder_.DecodeFrame(bytes);
+    if (!decoded.ok()) {
+      if (restored_) {
+        // A frame cut mid-stream by the restore can reference dictionary
+        // entries the fresh decoder never saw. It belongs to a superseded
+        // epoch (every producer is relaunched at a new epoch during
+        // recovery), so its content will be re-sent; drop it.
+        batches_discarded_.fetch_add(1);
+        continue;
+      }
+      return decoded.status();
+    }
+    BatchFrame frame = std::move(*decoded);
     if (frame.stale) {
       // Pre-restart leftover; its dictionary context is gone and the epoch
       // dedup below would discard it anyway.
       batches_discarded_.fetch_add(1);
       continue;
     }
-    if (frame.replayable) {
-      // Only replayable producers ever re-send; their frames carry
-      // deterministic, strictly increasing seqs, so a per-sender
-      // high-water mark identifies every duplicate exactly.
-      SenderProgress& progress = progress_[frame.sender];
-      if (frame.epoch < progress.epoch) {
-        // Leftover of a superseded epoch, still queued when the producer
-        // was restarted. Its content is a (filter-state-dependent) subset
-        // of the already-passed stream prefix, so dropping it is safe.
-        batches_discarded_.fetch_add(1);
-        continue;
+    // Deterministic chaos kill: frame N never makes it into the fragment —
+    // it dies with this attempt, exactly like a frame consumed moments
+    // before a site crash.
+    if (options_.fail_after_frames > 0 && !chaos_fired_ &&
+        ++frames_seen >= options_.fail_after_frames) {
+      chaos_fired_ = true;
+      // Same backpressure release as the idle-timeout death above: the
+      // producers keep running after this receiver dies and must not park
+      // forever on a queue nobody drains.
+      channel_->CloseConsumed();
+      return Status::Unavailable(
+          name() + ": injected receiver failure after " +
+          std::to_string(frames_seen) + " frames");
+    }
+    {
+      // Frame incorporation happens under the fragment checkpoint's shared
+      // lock: the dedup bookkeeping, the hold/emit, and the downstream
+      // operator state it mutates land entirely inside or entirely outside
+      // any concurrent checkpoint cut.
+      std::shared_lock<std::shared_mutex> cut;
+      if (checkpointer_ != nullptr) cut = checkpointer_->LockShared();
+      if (frame.replayable) {
+        // Only replayable producers ever re-send; their frames carry
+        // deterministic, strictly increasing seqs, so a per-sender
+        // high-water mark identifies every duplicate exactly.
+        SenderProgress& progress = progress_[frame.sender];
+        if (frame.epoch < progress.epoch) {
+          // Leftover of a superseded epoch, still queued when the producer
+          // was restarted. Its content is a (filter-state-dependent) subset
+          // of the already-passed stream prefix, so dropping it is safe.
+          batches_discarded_.fetch_add(1);
+          continue;
+        }
+        progress.epoch = frame.epoch;
+        if (static_cast<int64_t>(frame.seq) <= progress.high_water) {
+          // Replay of a window this receiver already passed downstream.
+          batches_discarded_.fetch_add(1);
+          continue;
+        }
+        progress.high_water = static_cast<int64_t>(frame.seq);
       }
-      progress.epoch = frame.epoch;
-      if (static_cast<int64_t>(frame.seq) <= progress.high_water) {
-        // Replay of a window this receiver already passed downstream.
-        batches_discarded_.fetch_add(1);
-        continue;
+      batches_received_.fetch_add(1);
+      if (obs::Trace::enabled()) {
+        char args[96];
+        std::snprintf(args, sizeof(args), "\"rows\":%zu,\"sender\":%u",
+                      frame.batch.size(), frame.sender);
+        obs::TraceInstant("exchange_recv", args);
       }
-      progress.high_water = static_cast<int64_t>(frame.seq);
+      if (options_.ordered_merge) {
+        held_.push_back(HeldFrame{frame.sender, frame.seq,
+                                  std::move(frame.batch)});
+      } else {
+        PUSHSIP_RETURN_NOT_OK(Emit(std::move(frame.batch)));
+      }
     }
-    batches_received_.fetch_add(1);
-    if (obs::Trace::enabled()) {
-      char args[96];
-      std::snprintf(args, sizeof(args), "\"rows\":%zu,\"sender\":%u",
-                    frame.batch.size(), frame.sender);
-      obs::TraceInstant("exchange_recv", args);
-    }
-    if (options_.ordered_merge) {
-      held.push_back(HeldFrame{frame.sender, frame.seq,
-                               std::move(frame.batch)});
-      continue;
-    }
-    PUSHSIP_RETURN_NOT_OK(Emit(std::move(frame.batch)));
+    // Outside the shared lock: taking a checkpoint needs the exclusive
+    // side of the same mutex.
+    if (checkpointer_ != nullptr) checkpointer_->OnFrameAccepted();
   }
   if (ShouldStop()) return Status::Cancelled("query cancelled");
-  if (options_.ordered_merge) {
-    // Deterministic merge: the accepted set is arrival-order-independent
-    // (dedup is by content identity), so sorting it by (sender, seq)
-    // yields one canonical emission order regardless of backend or
-    // scheduler interleave.
-    std::sort(held.begin(), held.end(),
-              [](const HeldFrame& a, const HeldFrame& b) {
-                return a.sender != b.sender ? a.sender < b.sender
-                                            : a.seq < b.seq;
-              });
-    for (HeldFrame& frame : held) {
-      PUSHSIP_RETURN_NOT_OK(Emit(std::move(frame.batch)));
-      if (ShouldStop()) return Status::Cancelled("query cancelled");
+  {
+    // The end-of-stream burst and the finish propagation form one atomic
+    // step with respect to checkpoints: a cut either sees the held frames
+    // still buffered here or sees them (and the finish) fully applied to
+    // the downstream operators.
+    std::shared_lock<std::shared_mutex> cut;
+    if (checkpointer_ != nullptr) cut = checkpointer_->LockShared();
+    if (options_.ordered_merge) {
+      // Deterministic merge: the accepted set is arrival-order-independent
+      // (dedup is by content identity), so sorting it by (sender, seq)
+      // yields one canonical emission order regardless of backend or
+      // scheduler interleave.
+      std::sort(held_.begin(), held_.end(),
+                [](const HeldFrame& a, const HeldFrame& b) {
+                  return a.sender != b.sender ? a.sender < b.sender
+                                              : a.seq < b.seq;
+                });
+      for (HeldFrame& frame : held_) {
+        PUSHSIP_RETURN_NOT_OK(Emit(std::move(frame.batch)));
+        if (ShouldStop()) return Status::Cancelled("query cancelled");
+      }
+      held_.clear();
     }
+    PUSHSIP_RETURN_NOT_OK(EmitFinish());
   }
-  return EmitFinish();
+  // This receiver is done for good: later frames into its channel (from
+  // producers replayed on behalf of a failed sibling fragment) must be
+  // discarded, not queued against a reader that will never come back.
+  channel_->CloseConsumed();
+  return Status::OK();
+}
+
+Status ExchangeReceiver::SnapshotReplayState(std::string* out) const {
+  serde::AppendU32(static_cast<uint32_t>(progress_.size()), out);
+  for (const auto& [sender, progress] : progress_) {
+    serde::AppendU32(sender, out);
+    serde::AppendU32(progress.epoch, out);
+    serde::AppendI64(progress.high_water, out);
+  }
+  serde::AppendU64(held_.size(), out);
+  for (const HeldFrame& frame : held_) {
+    serde::AppendU32(frame.sender, out);
+    serde::AppendU64(frame.seq, out);
+    // Standalone (self-contained) wire encoding: a checkpointed frame must
+    // decode without the stream-dictionary context it arrived under.
+    serde::AppendBytes(SerializeBatch(frame.batch), out);
+  }
+  return Status::OK();
+}
+
+Status ExchangeReceiver::RestoreReplayState(const std::string& blob) {
+  serde::Reader reader(blob);
+  uint32_t num_progress;
+  PUSHSIP_RETURN_NOT_OK(reader.ReadU32(&num_progress));
+  progress_.clear();
+  for (uint32_t i = 0; i < num_progress; ++i) {
+    uint32_t sender;
+    SenderProgress progress;
+    PUSHSIP_RETURN_NOT_OK(reader.ReadU32(&sender));
+    PUSHSIP_RETURN_NOT_OK(reader.ReadU32(&progress.epoch));
+    PUSHSIP_RETURN_NOT_OK(reader.ReadI64(&progress.high_water));
+    // Epoch floor: every producer is relaunched at (at least) the next
+    // epoch during recovery; leftovers of the recorded epoch still in the
+    // pipeline are duplicates-by-construction and must be epoch-dropped.
+    progress.epoch += 1;
+    progress_.emplace(sender, progress);
+  }
+  uint64_t num_held;
+  PUSHSIP_RETURN_NOT_OK(reader.ReadU64(&num_held));
+  held_.clear();
+  for (uint64_t i = 0; i < num_held; ++i) {
+    HeldFrame frame;
+    std::string payload;
+    PUSHSIP_RETURN_NOT_OK(reader.ReadU32(&frame.sender));
+    PUSHSIP_RETURN_NOT_OK(reader.ReadU64(&frame.seq));
+    PUSHSIP_RETURN_NOT_OK(reader.ReadBytes(&payload));
+    PUSHSIP_ASSIGN_OR_RETURN(frame.batch, DeserializeBatch(payload));
+    held_.push_back(std::move(frame));
+  }
+  // Fresh decoder: the old dictionary state died with the failed attempt;
+  // every relaunched producer re-ships its entries at the new epoch.
+  decoder_ = WireStreamDecoder();
+  restored_ = true;
+  return Status::OK();
+}
+
+void ExchangeReceiver::ClearReplayState() {
+  progress_.clear();
+  held_.clear();
+  decoder_ = WireStreamDecoder();
+  restored_ = false;
 }
 
 }  // namespace pushsip

@@ -49,6 +49,8 @@
 
 namespace pushsip {
 
+class FragmentCheckpointer;
+
 /// Routing policy of an ExchangeSender.
 enum class ExchangeMode {
   kForward,        ///< single channel
@@ -211,6 +213,12 @@ struct ReceiverOptions {
   /// bit-identical output across backends — what the sim-vs-TCP parity
   /// check asserts. Costs the stream's full buffering; off by default.
   bool ordered_merge = false;
+  /// Chaos knob: after this many accepted frames the receiver fails once
+  /// with kUnavailable, dropping the triggering frame exactly as a site
+  /// crash mid-stream would — the deterministic way to kill a stateful
+  /// consumer fragment mid-join-build on either transport. Fires at most
+  /// once per receiver (a recovered attempt runs clean). 0 disables.
+  int64_t fail_after_frames = 0;
 };
 
 /// \brief Source operator of a consuming fragment: drains one channel,
@@ -227,6 +235,34 @@ class ExchangeReceiver : public SourceOperator {
   /// Dequeues, deduplicates, deserializes, and pushes batches until end of
   /// stream, a timeout, or cancellation.
   Status Run() override;
+
+  /// Registers this receiver with its fragment's checkpointer. Frame
+  /// incorporation (dedup bookkeeping + emit/hold) then runs under the
+  /// checkpointer's shared lock, so an exclusive checkpoint observes a
+  /// consistent cut: every accepted frame's effect is either fully inside
+  /// the snapshot (progress, held frames, downstream operator state) or
+  /// fully outside it.
+  void SetCheckpointer(FragmentCheckpointer* cp) { checkpointer_ = cp; }
+
+  /// Serializes this receiver's replay state — the per-sender progress map
+  /// plus any held (ordered-merge) frames, each batch as a standalone wire
+  /// frame — into `out`. Caller must hold the checkpoint cut (exclusive
+  /// lock); the receiver thread is parked on LockShared at that moment.
+  Status SnapshotReplayState(std::string* out) const;
+
+  /// Restores progress/held state from a SnapshotReplayState blob. Each
+  /// sender's epoch floor is the recorded epoch + 1: every producer is
+  /// relaunched at a fresh epoch during recovery, and anything still in
+  /// flight from the superseded epoch must be dropped, not deduped by seq.
+  /// Also arms decode-error tolerance: frames cut mid-stream by the restore
+  /// may reference dictionary state the fresh decoder never saw, and are
+  /// discarded (the producer re-sends at its new epoch). Call only while
+  /// the receiver is not running.
+  Status RestoreReplayState(const std::string& blob);
+
+  /// Drops progress/held/decoder state for a from-scratch replay with no
+  /// checkpoint (the pre-existing stateless recovery path).
+  void ClearReplayState();
 
   /// Frames accepted and emitted downstream.
   int64_t batches_received() const { return batches_received_.load(); }
@@ -260,6 +296,20 @@ class ExchangeReceiver : public SourceOperator {
   /// caller (one thread per receiver), matching the decoder's contract.
   WireStreamDecoder decoder_;
   std::unordered_map<uint32_t, SenderProgress> progress_;
+  /// Ordered-merge hold buffer. A member (not a Run() local) so a
+  /// checkpoint can capture it and a restore can rebuild it: for a
+  /// det-merge receiver the held frames *are* the in-flight state that a
+  /// mid-stream cut must preserve.
+  std::vector<HeldFrame> held_;
+  /// Fragment checkpoint coordinator; null when the fragment is not
+  /// checkpointed.
+  FragmentCheckpointer* checkpointer_ = nullptr;
+  /// Set by RestoreReplayState: tolerate (discard + count) decode errors
+  /// from frames of superseded epochs still in the transport pipeline.
+  bool restored_ = false;
+  /// Latch for ReceiverOptions::fail_after_frames — survives
+  /// ResetForReplay-less restarts so the chaos kill fires exactly once.
+  bool chaos_fired_ = false;
   std::atomic<int64_t> batches_received_{0};
   std::atomic<int64_t> batches_discarded_{0};
   std::atomic<int64_t> stall_micros_{0};

@@ -69,6 +69,117 @@ Status WireTransport(DistributedQuery& q,
   return Status::OK();
 }
 
+namespace {
+
+/// The composite endpoint WireInProcessTcp returns: every site's
+/// TcpTransport lives in this process, and the supervisor-facing calls
+/// (Heal on recovery, TotalUsage for stats, Shutdown on teardown) fan out
+/// across all of them. local_site() is -1 — the single-supervisor mode —
+/// and the per-edge calls are invalid: wiring already happened on the
+/// per-site endpoints.
+class InProcessTcpSet : public Transport {
+ public:
+  explicit InProcessTcpSet(
+      std::vector<std::shared_ptr<TcpTransport>> endpoints)
+      : endpoints_(std::move(endpoints)) {}
+
+  const char* backend() const override { return "tcp"; }
+  int local_site() const override { return -1; }
+  int num_sites() const override {
+    return static_cast<int>(endpoints_.size());
+  }
+
+  Status Start() override {
+    for (const auto& e : endpoints_) PUSHSIP_RETURN_NOT_OK(e->Start());
+    return Status::OK();
+  }
+  void Shutdown() override {
+    for (const auto& e : endpoints_) e->Shutdown();
+  }
+
+  Status BindChannel(uint32_t, std::shared_ptr<ExchangeChannel>) override {
+    return Status::InvalidArgument("bind channels on the site endpoints");
+  }
+  Result<std::shared_ptr<ChannelSender>> OpenChannel(uint32_t,
+                                                     int) override {
+    return Status::InvalidArgument("open channels on the site endpoints");
+  }
+  void SetFilterHandler(FilterHandler) override {}
+
+  Result<double> ShipFilter(int to_site, const std::string& label,
+                            AttrId attr, const BloomFilter& filter) override {
+    if (to_site < 0 || to_site >= num_sites()) {
+      return Status::InvalidArgument("no such site");
+    }
+    // Any endpoint other than the destination carries the shipment; the
+    // destination's own handler delivers it.
+    const int from = (to_site + 1) % num_sites();
+    return endpoints_[static_cast<size_t>(from)]->ShipFilter(to_site, label,
+                                                             attr, filter);
+  }
+
+  Status Heal() override {
+    Status first = Status::OK();
+    for (const auto& e : endpoints_) {
+      const Status st = e->Heal();
+      if (!st.ok() && first.ok()) first = st;
+    }
+    return first;
+  }
+
+  LinkUsage TotalUsage() const override {
+    LinkUsage total;
+    for (const auto& e : endpoints_) {
+      const LinkUsage u = e->TotalUsage();
+      total.bytes += u.bytes;
+      total.seconds += u.seconds;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::shared_ptr<TcpTransport>> endpoints_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<Transport>> WireInProcessTcp(DistributedQuery& q,
+                                                    uint32_t credit_window) {
+  const int n = static_cast<int>(q.sites.size());
+  if (n < 1) return Status::InvalidArgument("query has no sites");
+  std::vector<std::shared_ptr<TcpTransport>> endpoints;
+  for (int s = 0; s < n; ++s) {
+    TcpTransportOptions to;
+    to.local_site = s;
+    to.num_sites = n;
+    to.credit_window = credit_window;
+    endpoints.push_back(std::make_shared<TcpTransport>(to));
+    PUSHSIP_RETURN_NOT_OK(endpoints.back()->Listen());
+  }
+  std::vector<TcpPeer> all_peers;
+  for (int s = 0; s < n; ++s) {
+    all_peers.push_back({s, "127.0.0.1", endpoints[s]->listen_port()});
+  }
+  for (int s = 0; s < n; ++s) {
+    std::vector<TcpPeer> others;
+    for (const TcpPeer& p : all_peers) {
+      if (p.site != s) others.push_back(p);
+    }
+    endpoints[s]->SetPeers(std::move(others));
+    PUSHSIP_RETURN_NOT_OK(WireTransport(q, endpoints[s]));
+    SiteEngine* engine = q.sites[static_cast<size_t>(s)].get();
+    endpoints[s]->SetFilterHandler(
+        [engine](const std::string& label, AttrId attr, BloomFilter filter) {
+          engine->AttachRemoteFilter(
+              attr, std::make_shared<AipSet>(std::move(filter)), label);
+        });
+  }
+  auto set = std::make_shared<InProcessTcpSet>(std::move(endpoints));
+  PUSHSIP_RETURN_NOT_OK(set->Start());
+  q.transport = set;
+  return std::shared_ptr<Transport>(set);
+}
+
 Result<SiteRunResult> RunScaleOutSite(const SiteProcessOptions& options,
                                       std::shared_ptr<Transport> transport) {
   if (options.site < 0 || options.site >= options.num_sites) {
@@ -138,13 +249,17 @@ std::string EncodeStatsLine(const DistQueryStats& s) {
       " filters=%" PRId64 " ship=%a restarts=%" PRId64 " discarded=%" PRId64
       " faults=%" PRId64 " reships=%" PRId64 " stragglers=%" PRId64
       " migrations=%" PRId64 " recalibs=%" PRId64 " transposes=%" PRId64
-      " dictreships=%" PRId64 " stall=%a payload=%" PRId64,
+      " dictreships=%" PRId64 " stall=%a payload=%" PRId64
+      " ckpts=%" PRId64 " ckptbytes=%" PRId64 " recoveries=%" PRId64
+      " restore=%a reattached=%" PRId64,
       s.elapsed_sec, s.result_rows, s.peak_state_bytes, s.rows_pruned,
       s.rows_source_pruned, s.bytes_shipped, s.link_seconds, s.aip_sets,
       s.aip_filters, s.aip_ship_seconds, s.fragment_restarts,
       s.batches_discarded, s.faults_injected, s.aip_reships,
       s.stragglers_detected, s.fragment_migrations, s.recalibrations,
-      s.encode_transposes, s.dict_reships, s.stall_seconds, s.payload_bytes);
+      s.encode_transposes, s.dict_reships, s.stall_seconds, s.payload_bytes,
+      s.checkpoints_taken, s.checkpoint_bytes, s.state_recoveries,
+      s.restore_seconds, s.aip_reattached);
   return buf;
 }
 
@@ -159,15 +274,18 @@ Result<DistQueryStats> ParseStatsLine(const std::string& line) {
       " filters=%" SCNd64 " ship=%la restarts=%" SCNd64 " discarded=%" SCNd64
       " faults=%" SCNd64 " reships=%" SCNd64 " stragglers=%" SCNd64
       " migrations=%" SCNd64 " recalibs=%" SCNd64 " transposes=%" SCNd64
-      " dictreships=%" SCNd64 " stall=%la payload=%" SCNd64,
+      " dictreships=%" SCNd64 " stall=%la payload=%" SCNd64
+      " ckpts=%" SCNd64 " ckptbytes=%" SCNd64 " recoveries=%" SCNd64
+      " restore=%la reattached=%" SCNd64,
       &s.elapsed_sec, &s.result_rows, &s.peak_state_bytes, &s.rows_pruned,
       &s.rows_source_pruned, &s.bytes_shipped, &s.link_seconds, &s.aip_sets,
       &s.aip_filters, &s.aip_ship_seconds, &s.fragment_restarts,
       &s.batches_discarded, &s.faults_injected, &s.aip_reships,
       &s.stragglers_detected, &s.fragment_migrations, &s.recalibrations,
       &s.encode_transposes, &s.dict_reships, &s.stall_seconds,
-      &s.payload_bytes);
-  if (matched != 21) {
+      &s.payload_bytes, &s.checkpoints_taken, &s.checkpoint_bytes,
+      &s.state_recoveries, &s.restore_seconds, &s.aip_reattached);
+  if (matched != 26) {
     return Status::InvalidArgument("malformed STATS line: " + line);
   }
   return s;
@@ -434,6 +552,11 @@ Result<MultiProcessResult> RunMultiProcess(const MultiProcessOptions& options) {
         t.dict_reships += s.dict_reships;
         t.stall_seconds += s.stall_seconds;
         t.payload_bytes += s.payload_bytes;
+        t.checkpoints_taken += s.checkpoints_taken;
+        t.checkpoint_bytes += s.checkpoint_bytes;
+        t.state_recoveries += s.state_recoveries;
+        t.restore_seconds += s.restore_seconds;
+        t.aip_reattached += s.aip_reattached;
         if (result.per_site.size() < static_cast<size_t>(i + 1)) {
           result.per_site.resize(i + 1);
         }

@@ -35,6 +35,21 @@ namespace pushsip {
 Status WireTransport(DistributedQuery& q,
                      const std::shared_ptr<Transport>& transport);
 
+/// Single-process TCP execution: creates one TcpTransport endpoint per
+/// site of `q` inside this process (loopback, ephemeral ports), reroutes
+/// every cross-site exchange edge over them, installs per-site filter
+/// handlers, starts everything, and sets `q.transport` to the returned
+/// composite endpoint (local_site = -1, so one supervisor runs all
+/// fragments; Heal/Shutdown fan out, TotalUsage sums the endpoints).
+///
+/// This is the TCP mode stateful fragment recovery operates under: the
+/// checkpoints live with the single supervisor while exchange payloads
+/// cross real sockets with credit flow control. AIP filters still ship
+/// via the sim-mesh shippers the assembly installed (direct in-process
+/// attach) unless the query was built with ScaleOutOptions::transport.
+Result<std::shared_ptr<Transport>> WireInProcessTcp(
+    DistributedQuery& q, uint32_t credit_window = 64);
+
 /// What one site process executes.
 struct SiteProcessOptions {
   ScaleOutQuery query = ScaleOutQuery::kQ17;

@@ -123,9 +123,11 @@ struct Assembly {
                           const std::shared_ptr<ExchangeChannel>& channel,
                           double est_rows,
                           std::unordered_map<AttrId, double> ndv,
-                          RemoteFilterShipFn ship, bool partitioned = false) {
+                          RemoteFilterShipFn ship, bool partitioned = false,
+                          int64_t fail_after_frames = 0) {
     ReceiverOptions ro;  // heartbeat inherited from the site's ExecContext
     ro.ordered_merge = opts->deterministic_merge;
+    ro.fail_after_frames = fail_after_frames;
     auto recv = std::make_unique<ExchangeReceiver>(pb.context(), name,
                                                    schema, channel, ro);
     PUSHSIP_ASSIGN_OR_RETURN(
@@ -186,6 +188,11 @@ struct MapFragmentDesc {
   TablePtr shard;                  ///< the home site's data partition
   Schema scan_schema;              ///< shared instance schema
   ScanOptions scan_options;
+  /// Optional filter between scan and project, value-captured as a plain
+  /// function of the scan node so expression predicates re-materialize
+  /// identically on any host site (the recipe owns no Expr objects).
+  std::function<Result<ExprPtr>(PlanBuilder&, NodeId)> make_predicate;
+  double predicate_selectivity = 1.0;
   std::vector<std::string> project_cols;
   std::string sender_name;
   ExchangeMode mode = ExchangeMode::kForward;
@@ -203,8 +210,15 @@ Result<RebuiltFragment> BuildMapFragment(const MapFragmentDesc& d,
   PUSHSIP_ASSIGN_OR_RETURN(
       const NodeId scan_id,
       pb.ScanTable(d.shard, d.scan_schema, d.scan_options));
+  NodeId filtered = scan_id;
+  if (d.make_predicate) {
+    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr pred, d.make_predicate(pb, scan_id));
+    PUSHSIP_ASSIGN_OR_RETURN(
+        filtered, pb.Filter(scan_id, std::move(pred),
+                            d.predicate_selectivity));
+  }
   PUSHSIP_ASSIGN_OR_RETURN(const NodeId proj,
-                           pb.Project(scan_id, d.project_cols));
+                           pb.Project(filtered, d.project_cols));
   const Schema out = pb.schema(proj);
   std::vector<int> hash_cols;
   if (!d.hash_col.empty()) {
@@ -225,8 +239,11 @@ Result<RebuiltFragment> BuildMapFragment(const MapFragmentDesc& d,
 
 // Builds the map fragment on its home site and registers it as migratable,
 // with a rebuild recipe that re-runs the same description elsewhere.
+// `out_fragment`, when non-null, receives the built fragment (stateful
+// consumers record their producers for quiesce-and-replay recovery).
 Result<Schema> AddMigratableMapFragment(Assembly* a, MapFragmentDesc desc,
-                                        int home_site) {
+                                        int home_site,
+                                        PlanBuilder** out_fragment = nullptr) {
   PUSHSIP_ASSIGN_OR_RETURN(
       RebuiltFragment built,
       BuildMapFragment(desc, a->site(home_site), home_site));
@@ -240,23 +257,142 @@ Result<Schema> AddMigratableMapFragment(Assembly* a, MapFragmentDesc desc,
     return BuildMapFragment(desc, host, host_site);
   };
   a->q->migratable_fragments.push_back(std::move(spec));
+  if (out_fragment != nullptr) *out_fragment = built.fragment;
   return built.sender->output_schema();
 }
 
-// Registers an already-built replayable fragment for monitoring/in-place
-// restart only (no rebuild recipe — e.g. filter predicates cannot be
-// re-materialized from a value capture yet).
-void RegisterMonitoredFragment(Assembly* a, PlanBuilder& pb,
-                               const std::string& stage, int home_site) {
-  TableScan* scan = FragmentReplayScan(pb);
-  if (scan == nullptr) return;
-  MigratableFragmentSpec spec;
-  spec.fragment = &pb;
-  spec.scan = scan;
-  spec.sender = static_cast<ExchangeSender*>(pb.terminal());
-  spec.stage = stage;
-  spec.home_site = home_site;
-  a->q->migratable_fragments.push_back(std::move(spec));
+// ---------------------------------------------------------------------------
+// Q17 compute-fragment recipe. The stateful block (two hash joins, two
+// aggregates over three exchange inputs) is built from a value-captured
+// description, like the map fragments: a site failure mid-join-build can
+// then re-materialize the identical fragment on a healthy host, restore
+// its checkpointed state into it, and resume the streams at the next
+// epoch. Everything captured is either a value or heap-stable (channels,
+// the DistributedQuery) — never the stack-local ScaleOutOptions.
+// ---------------------------------------------------------------------------
+struct Q17ComputeDesc {
+  Schema part_in, l1_in, l2_in;    ///< receiver schemas (stable attrs)
+  std::shared_ptr<ExchangeChannel> ch_part, ch_l1, ch_l2, ch_final;
+  double part_est = 0;             ///< broadcast part stream rows
+  double li_est = 0;               ///< per-site lineitem stream rows
+  double pk_est = 0;               ///< per-site partkey NDV hint
+  bool ordered_merge = false;
+  bool aip = false;
+  AipOptions aip_options;
+  CostConstants cost;
+  /// Chaos arming (original build only; rebuild recipes zero these so the
+  /// injected failure fires at most once per run).
+  int64_t kill_part_after = 0;     ///< fail xrecv_part after N frames
+  int64_t kill_l2_after = 0;       ///< fail xrecv_l2 after N frames
+  DistributedQuery* q = nullptr;
+};
+
+// `a` is non-null only at assembly time: the original build registers the
+// channels' consumer sites and exchange-consumer nodes; a rebuild must not
+// (the channel objects persist, already registered).
+Result<RebuiltFragment> BuildQ17ComputeFragment(const Q17ComputeDesc& d,
+                                                SiteEngine& host,
+                                                int host_site, Assembly* a) {
+  std::unique_ptr<PlanBuilder> detached = host.NewDetachedFragment();
+  PlanBuilder& pb = *detached;
+  const auto receiver =
+      [&](const std::string& name, const Schema& schema,
+          const std::shared_ptr<ExchangeChannel>& ch, double est,
+          std::unordered_map<AttrId, double> ndv, bool partitioned,
+          int64_t fail_after) -> Result<NodeId> {
+    if (a != nullptr) {
+      return a->Receiver(pb, name, schema, ch, est, std::move(ndv),
+                         a->ShipToAllSites(host_site), partitioned,
+                         fail_after);
+    }
+    ReceiverOptions ro;
+    ro.ordered_merge = d.ordered_merge;
+    auto recv = std::make_unique<ExchangeReceiver>(pb.context(), name,
+                                                   schema, ch, ro);
+    // Rebuilt fragments ship AIP filters over the sim mesh: stateful
+    // recovery runs single-process only (the refusal rule), so every
+    // producer engine is directly reachable.
+    RemoteFilterShipFn ship;
+    if (d.aip) {
+      std::vector<std::pair<SiteEngine*, std::shared_ptr<SimLink>>>
+          producers;
+      for (const auto& s : d.q->sites) {
+        producers.emplace_back(s.get(),
+                               d.q->mesh->link(host_site, s->id()));
+      }
+      ship = MakeFilterShipper(std::move(producers), &host.context());
+    }
+    return pb.Source(std::move(recv), est, std::move(ndv), std::move(ship),
+                     partitioned);
+  };
+
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId rp,
+      receiver("xrecv_part", d.part_in, d.ch_part, d.part_est,
+               {{AttrOf(d.part_in, "p.p_partkey"), d.part_est}},
+               /*partitioned=*/false, d.kill_part_after));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId rl1,
+      receiver("xrecv_l1", d.l1_in, d.ch_l1, d.li_est,
+               {{AttrOf(d.l1_in, "l1.l_partkey"), d.pk_est}},
+               /*partitioned=*/true, 0));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId rl2,
+      receiver("xrecv_l2", d.l2_in, d.ch_l2, d.li_est,
+               {{AttrOf(d.l2_in, "l2.l_partkey"), d.pk_est}},
+               /*partitioned=*/true, d.kill_l2_after));
+
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId j1, pb.Join(rp, rl1, {{"p.p_partkey", "l1.l_partkey"}}));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId agg,
+      pb.Aggregate(rl2, {"l2.l_partkey"},
+                   {{AggFunc::kAvg, "l2.l_quantity", "avg_q"}}));
+  const Schema& agg_schema = pb.schema(agg);
+  PUSHSIP_ASSIGN_OR_RETURN(const int pk_idx,
+                           agg_schema.IndexOf("l2.l_partkey"));
+  PUSHSIP_ASSIGN_OR_RETURN(const int avg_idx, agg_schema.IndexOf("avg_q"));
+  std::vector<Field> lim_fields = {
+      agg_schema.field(static_cast<size_t>(pk_idx)),
+      Field{"lim", TypeId::kDouble, kInvalidAttr}};
+  std::vector<ExprPtr> lim_exprs = {
+      Col(pk_idx, TypeId::kInt64, "l2.l_partkey"),
+      Arith(ArithOp::kMul, LitDouble(0.2),
+            Col(avg_idx, TypeId::kDouble, "avg_q"))};
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId lim,
+      pb.ProjectExprs(agg, std::move(lim_fields), std::move(lim_exprs)));
+
+  const Schema top_schema = pb.ConcatSchema(j1, lim);
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr qty_col,
+                           ColNamed(top_schema, "l1.l_quantity"));
+  PUSHSIP_ASSIGN_OR_RETURN(ExprPtr lim_col, ColNamed(top_schema, "lim"));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId top,
+      pb.Join(j1, lim, {{"p.p_partkey", "l2.l_partkey"}},
+              Cmp(CmpOp::kLt, std::move(qty_col), std::move(lim_col)),
+              0.3));
+  PUSHSIP_ASSIGN_OR_RETURN(
+      const NodeId partial,
+      pb.Aggregate(top, {},
+                   {{AggFunc::kSum, "l1.l_extendedprice", "revenue"}}));
+  auto sender = std::make_unique<ExchangeSender>(
+      &host.context(), "xsend_partial", pb.schema(partial),
+      ExchangeMode::kForward, std::vector<int>{},
+      std::vector<ExchangeDestination>{
+          {d.ch_final, d.q->mesh->link(host_site, 0)}});
+  ExchangeSender* sender_raw = sender.get();
+  PUSHSIP_RETURN_NOT_OK(pb.FinishWith(partial, std::move(sender)));
+  PlanBuilder& published = host.PublishFragment(std::move(detached));
+  if (d.aip) {
+    PUSHSIP_RETURN_NOT_OK(host.InstallAip(host.fragments().size() - 1,
+                                          d.aip_options, d.cost));
+  }
+  RebuiltFragment out;
+  out.fragment = &published;
+  out.scan = nullptr;  // exchange-fed: recovery restores from a checkpoint
+  out.sender = sender_raw;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -285,40 +421,49 @@ Status BuildQ17(Assembly* a, const Catalog& full) {
   auto ch_l2 = a->ChannelPerSite(/*senders=*/N);
   auto ch_final = a->OneChannel(/*senders=*/N);
 
-  // --- part fragment (site 0): filter, project, broadcast ---
+  // --- part fragment (site 0): filter, project, broadcast. Built from a
+  // migratable recipe like the shuffles — the filter is value-captured, so
+  // even this expression-predicate fragment has a rebuild recipe ---
   Schema part_out;
+  PlanBuilder* part_fragment = nullptr;
   {
-    PlanBuilder& pb = a->site(0).NewFragment();
-    PUSHSIP_ASSIGN_OR_RETURN(const NodeId p,
-                             pb.ScanShard("part", p_schema, a->ShardScan()));
-    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr brand, pb.ColRef(p, "p_brand"));
-    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr container, pb.ColRef(p, "p_container"));
-    ExprPtr pred =
-        a->opts->weak_part_filter
-            ? Cmp(CmpOp::kEq, container, LitString("MED CAN"))
-            : And(Cmp(CmpOp::kEq, brand, LitString("Brand#34")),
-                  Cmp(CmpOp::kEq, container, LitString("MED CAN")));
-    PUSHSIP_ASSIGN_OR_RETURN(const NodeId pf,
-                             pb.Filter(p, std::move(pred), part_sel));
-    PUSHSIP_ASSIGN_OR_RETURN(const NodeId proj,
-                             pb.Project(pf, {"p.p_partkey"}));
-    part_out = pb.schema(proj);
-    auto sender = std::make_unique<ExchangeSender>(
-        &a->site(0).context(), "xsend_part", part_out,
-        ExchangeMode::kBroadcast, std::vector<int>{},
-        a->FanOut(0, ch_part));
-    PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
-    EnableFragmentReplay(pb);
-    RegisterMonitoredFragment(a, pb, "xsend_part", 0);
+    MapFragmentDesc d;
+    d.shard = part;  // unsharded: every site reads the one shared table
+    d.scan_schema = p_schema;
+    d.scan_options = a->ShardScan();
+    const bool weak = a->opts->weak_part_filter;
+    d.predicate_selectivity = part_sel;
+    d.make_predicate = [weak](PlanBuilder& pb,
+                              NodeId p) -> Result<ExprPtr> {
+      PUSHSIP_ASSIGN_OR_RETURN(ExprPtr brand, pb.ColRef(p, "p_brand"));
+      PUSHSIP_ASSIGN_OR_RETURN(ExprPtr container,
+                               pb.ColRef(p, "p_container"));
+      if (weak) {
+        return Cmp(CmpOp::kEq, std::move(container), LitString("MED CAN"));
+      }
+      return And(Cmp(CmpOp::kEq, std::move(brand), LitString("Brand#34")),
+                 Cmp(CmpOp::kEq, std::move(container),
+                     LitString("MED CAN")));
+    };
+    d.project_cols = {"p.p_partkey"};
+    d.sender_name = "xsend_part";
+    d.mode = ExchangeMode::kBroadcast;
+    d.channels = ch_part;
+    d.q = a->q;
+    PUSHSIP_ASSIGN_OR_RETURN(
+        part_out,
+        AddMigratableMapFragment(a, std::move(d), 0, &part_fragment));
   }
 
   // --- lineitem map fragments (every site): project + hash shuffle,
   // built from migratable recipes so the adaptive runtime can rebuild any
   // of them on a healthy site mid-query ---
   Schema l1_out, l2_out;
+  std::vector<PlanBuilder*> shuffle_producers = {part_fragment};
   for (int i = 0; i < N; ++i) {
     PUSHSIP_ASSIGN_OR_RETURN(TablePtr shard,
                              a->site(i).catalog()->GetTable("lineitem"));
+    PlanBuilder* frag = nullptr;
     {
       MapFragmentDesc d;
       d.shard = shard;
@@ -331,8 +476,9 @@ Status BuildQ17(Assembly* a, const Catalog& full) {
       d.hash_col = "l1.l_partkey";
       d.channels = ch_l1;
       d.q = a->q;
-      PUSHSIP_ASSIGN_OR_RETURN(l1_out,
-                               AddMigratableMapFragment(a, std::move(d), i));
+      PUSHSIP_ASSIGN_OR_RETURN(
+          l1_out, AddMigratableMapFragment(a, std::move(d), i, &frag));
+      shuffle_producers.push_back(frag);
     }
     {
       MapFragmentDesc d;
@@ -345,77 +491,67 @@ Status BuildQ17(Assembly* a, const Catalog& full) {
       d.hash_col = "l2.l_partkey";
       d.channels = ch_l2;
       d.q = a->q;
-      PUSHSIP_ASSIGN_OR_RETURN(l2_out,
-                               AddMigratableMapFragment(a, std::move(d), i));
+      PUSHSIP_ASSIGN_OR_RETURN(
+          l2_out, AddMigratableMapFragment(a, std::move(d), i, &frag));
+      shuffle_producers.push_back(frag);
     }
   }
 
-  // --- compute fragments (every site): the Q17 block per key range ---
+  // --- compute fragments (every site): the Q17 block per key range.
+  // Stateful (join builds + aggregate tables over exchange inputs), so each
+  // is registered both migratable (value-captured rebuild recipe) and
+  // stateful (checkpointer + producer set for quiesce-and-replay) ---
   Schema partial_schema;
   for (int i = 0; i < N; ++i) {
-    PlanBuilder& pb = a->site(i).NewFragment();
-    PUSHSIP_ASSIGN_OR_RETURN(
-        const NodeId rp,
-        a->Receiver(pb, "xrecv_part", part_out,
-                    ch_part[static_cast<size_t>(i)], part_rows * part_sel,
-                    {{AttrOf(part_out, "p.p_partkey"),
-                      part_rows * part_sel}},
-                    a->ShipToAllSites(i)));
-    PUSHSIP_ASSIGN_OR_RETURN(
-        const NodeId rl1,
-        a->Receiver(pb, "xrecv_l1", l1_out, ch_l1[static_cast<size_t>(i)],
-                    li_rows / N,
-                    {{AttrOf(l1_out, "l1.l_partkey"), part_rows / N}},
-                    a->ShipToAllSites(i), /*partitioned=*/true));
-    PUSHSIP_ASSIGN_OR_RETURN(
-        const NodeId rl2,
-        a->Receiver(pb, "xrecv_l2", l2_out, ch_l2[static_cast<size_t>(i)],
-                    li_rows / N,
-                    {{AttrOf(l2_out, "l2.l_partkey"), part_rows / N}},
-                    a->ShipToAllSites(i), /*partitioned=*/true));
+    Q17ComputeDesc cd;
+    cd.part_in = part_out;
+    cd.l1_in = l1_out;
+    cd.l2_in = l2_out;
+    cd.ch_part = ch_part[static_cast<size_t>(i)];
+    cd.ch_l1 = ch_l1[static_cast<size_t>(i)];
+    cd.ch_l2 = ch_l2[static_cast<size_t>(i)];
+    cd.ch_final = ch_final;
+    cd.part_est = part_rows * part_sel;
+    cd.li_est = li_rows / N;
+    cd.pk_est = part_rows / N;
+    cd.ordered_merge = a->opts->deterministic_merge;
+    cd.aip = a->opts->aip;
+    cd.aip_options = a->opts->aip_options;
+    cd.cost = a->opts->cost;
+    cd.q = a->q;
+    if (i == a->opts->stateful_kill_site) {
+      if (a->opts->stateful_kill_aggregate) {
+        cd.kill_l2_after = a->opts->stateful_kill_after_frames;
+      } else {
+        cd.kill_part_after = a->opts->stateful_kill_after_frames;
+      }
+    }
+    PUSHSIP_ASSIGN_OR_RETURN(RebuiltFragment built,
+                             BuildQ17ComputeFragment(cd, a->site(i), i, a));
+    partial_schema = built.sender->output_schema();
 
-    PUSHSIP_ASSIGN_OR_RETURN(
-        const NodeId j1,
-        pb.Join(rp, rl1, {{"p.p_partkey", "l1.l_partkey"}}));
-    PUSHSIP_ASSIGN_OR_RETURN(
-        const NodeId agg,
-        pb.Aggregate(rl2, {"l2.l_partkey"},
-                     {{AggFunc::kAvg, "l2.l_quantity", "avg_q"}}));
-    const Schema& agg_schema = pb.schema(agg);
-    PUSHSIP_ASSIGN_OR_RETURN(const int pk_idx,
-                             agg_schema.IndexOf("l2.l_partkey"));
-    PUSHSIP_ASSIGN_OR_RETURN(const int avg_idx, agg_schema.IndexOf("avg_q"));
-    std::vector<Field> lim_fields = {
-        agg_schema.field(static_cast<size_t>(pk_idx)),
-        Field{"lim", TypeId::kDouble, kInvalidAttr}};
-    std::vector<ExprPtr> lim_exprs = {
-        Col(pk_idx, TypeId::kInt64, "l2.l_partkey"),
-        Arith(ArithOp::kMul, LitDouble(0.2),
-              Col(avg_idx, TypeId::kDouble, "avg_q"))};
-    PUSHSIP_ASSIGN_OR_RETURN(
-        const NodeId lim,
-        pb.ProjectExprs(agg, std::move(lim_fields), std::move(lim_exprs)));
+    MigratableFragmentSpec mspec;
+    mspec.fragment = built.fragment;
+    mspec.scan = nullptr;  // exchange-fed: no window-progress sampling
+    mspec.sender = built.sender;
+    mspec.stage = "xsend_partial";
+    mspec.home_site = i;
+    Q17ComputeDesc clean = cd;
+    clean.kill_part_after = 0;  // the replacement must not re-fire chaos
+    clean.kill_l2_after = 0;
+    mspec.rebuild = [clean](SiteEngine& host, int host_site) {
+      return BuildQ17ComputeFragment(clean, host, host_site, nullptr);
+    };
+    a->q->migratable_fragments.push_back(std::move(mspec));
 
-    const Schema top_schema = pb.ConcatSchema(j1, lim);
-    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr qty_col,
-                             ColNamed(top_schema, "l1.l_quantity"));
-    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr lim_col, ColNamed(top_schema, "lim"));
-    PUSHSIP_ASSIGN_OR_RETURN(
-        const NodeId top,
-        pb.Join(j1, lim, {{"p.p_partkey", "l2.l_partkey"}},
-                Cmp(CmpOp::kLt, std::move(qty_col), std::move(lim_col)),
-                0.3));
-    PUSHSIP_ASSIGN_OR_RETURN(
-        const NodeId partial,
-        pb.Aggregate(top, {},
-                     {{AggFunc::kSum, "l1.l_extendedprice", "revenue"}}));
-    partial_schema = pb.schema(partial);
-    auto sender = std::make_unique<ExchangeSender>(
-        &a->site(i).context(), "xsend_partial", partial_schema,
-        ExchangeMode::kForward, std::vector<int>{},
-        std::vector<ExchangeDestination>{{ch_final, a->link(i, 0)}});
-    PUSHSIP_RETURN_NOT_OK(pb.FinishWith(partial, std::move(sender)));
-    PUSHSIP_RETURN_NOT_OK(a->InstallAipOnLastFragment(i));
+    StatefulFragmentSpec sspec;
+    sspec.fragment = built.fragment;
+    sspec.checkpointer = std::make_shared<FragmentCheckpointer>(
+        a->opts->checkpoint_interval_frames);
+    sspec.checkpointer->Bind(built.fragment);
+    sspec.input_channels = {cd.ch_part, cd.ch_l1, cd.ch_l2};
+    sspec.producers = shuffle_producers;
+    a->q->stateful_fragments.push_back(std::move(sspec));
   }
 
   // --- final fragment (site 0): combine the partial sums ---
@@ -475,30 +611,31 @@ Status BuildSubquery(Assembly* a, const Catalog& full) {
   auto ch_sn2 = a->ChannelPerSite(/*senders=*/1);
   auto ch_final = a->OneChannel(/*senders=*/N);
 
-  // --- part fragment (site 0): filter + broadcast ---
+  // --- part fragment (site 0): filter + broadcast, value-captured recipe
+  // (the size/type predicate re-materializes on any host site) ---
   Schema part_out;
   {
-    PlanBuilder& pb = a->site(0).NewFragment();
-    PUSHSIP_ASSIGN_OR_RETURN(const NodeId p,
-                             pb.ScanShard("part", p_schema, a->ShardScan()));
-    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr size_col, pb.ColRef(p, "p_size"));
-    PUSHSIP_ASSIGN_OR_RETURN(ExprPtr type_col, pb.ColRef(p, "p_type"));
-    ExprPtr pred = a->opts->weak_part_filter
-                       ? Like(std::move(type_col), "%BRASS")
-                       : And(Cmp(CmpOp::kEq, std::move(size_col), LitInt(15)),
-                             Like(std::move(type_col), "%BRASS"));
-    PUSHSIP_ASSIGN_OR_RETURN(const NodeId pf,
-                             pb.Filter(p, std::move(pred), part_sel));
-    PUSHSIP_ASSIGN_OR_RETURN(const NodeId proj,
-                             pb.Project(pf, {"p.p_partkey"}));
-    part_out = pb.schema(proj);
-    auto sender = std::make_unique<ExchangeSender>(
-        &a->site(0).context(), "xsend_part", part_out,
-        ExchangeMode::kBroadcast, std::vector<int>{},
-        a->FanOut(0, ch_part));
-    PUSHSIP_RETURN_NOT_OK(pb.FinishWith(proj, std::move(sender)));
-    EnableFragmentReplay(pb);
-    RegisterMonitoredFragment(a, pb, "xsend_part", 0);
+    MapFragmentDesc d;
+    d.shard = part;
+    d.scan_schema = p_schema;
+    d.scan_options = a->ShardScan();
+    const bool weak = a->opts->weak_part_filter;
+    d.predicate_selectivity = part_sel;
+    d.make_predicate = [weak](PlanBuilder& pb,
+                              NodeId p) -> Result<ExprPtr> {
+      PUSHSIP_ASSIGN_OR_RETURN(ExprPtr size_col, pb.ColRef(p, "p_size"));
+      PUSHSIP_ASSIGN_OR_RETURN(ExprPtr type_col, pb.ColRef(p, "p_type"));
+      if (weak) return Like(std::move(type_col), "%BRASS");
+      return And(Cmp(CmpOp::kEq, std::move(size_col), LitInt(15)),
+                 Like(std::move(type_col), "%BRASS"));
+    };
+    d.project_cols = {"p.p_partkey"};
+    d.sender_name = "xsend_part";
+    d.mode = ExchangeMode::kBroadcast;
+    d.channels = ch_part;
+    d.q = a->q;
+    PUSHSIP_ASSIGN_OR_RETURN(part_out,
+                             AddMigratableMapFragment(a, std::move(d), 0));
   }
 
   // --- supplier ⋈ nation[FRANCE] fragments (site 0), one per instance ---

@@ -59,6 +59,21 @@ struct ScaleOutOptions {
   /// final answer bit-identical across backends and schedulers. Used by
   /// the sim-vs-TCP parity check; costs full stream buffering.
   bool deterministic_merge = false;
+  /// Checkpoint each stateful compute fragment's state (join builds,
+  /// aggregate tables, receiver replay progress) every this many accepted
+  /// frames — a failed compute fragment then resumes from its last cut
+  /// instead of replaying every producer into empty state. 0 disables
+  /// automatic checkpoints (failures still recover, from scratch).
+  int64_t checkpoint_interval_frames = 0;
+  /// Chaos: kill the Q17 compute fragment at this site (-1 = off) by
+  /// failing one of its receivers with kUnavailable after
+  /// `stateful_kill_after_frames` accepted frames. The rebuilt/restarted
+  /// fragment is never re-armed, so the failure fires exactly once.
+  int stateful_kill_site = -1;
+  int64_t stateful_kill_after_frames = 0;
+  /// Which input dies: false = the broadcast part stream (xrecv_part,
+  /// mid-join-build), true = the l2 shuffle (xrecv_l2, mid-aggregate).
+  bool stateful_kill_aggregate = false;
 };
 
 /// The two distributed workloads.

@@ -24,9 +24,41 @@ std::unique_ptr<PlanBuilder> SiteEngine::NewDetachedFragment() {
 
 PlanBuilder& SiteEngine::PublishFragment(
     std::unique_ptr<PlanBuilder> fragment) {
+  // Ledger snapshot before fragments_mu_: AttachRemoteFilter records into
+  // the ledger outside that lock, so the order here keeps the two paths
+  // free of any lock cycle.
+  const std::vector<DeliveredFilterLedger::Entry> delivered =
+      delivered_filters_.Snapshot();
   std::lock_guard<std::mutex> lock(fragments_mu_);
   fragments_.push_back(std::move(fragment));
-  return *fragments_.back();
+  PlanBuilder& published = *fragments_.back();
+  // Re-attach every filter this site already received: shippers memoize
+  // successful deliveries per label and never retry them, so without this
+  // replay a fragment published mid-query (a migration target) would
+  // stream unfiltered for the rest of the run.
+  int reattached = 0;
+  for (const DeliveredFilterLedger::Entry& entry : delivered) {
+    for (TableScan* scan : published.source_scans()) {
+      const auto col = scan->output_schema().IndexOfAttr(entry.attr);
+      if (!col.ok()) continue;
+      if (scan->HasSourceFilter(entry.label)) continue;
+      auto filter =
+          std::make_shared<AipFilter>(entry.label, *col, entry.set);
+      scan->AttachSourceFilter(filter);
+      ++reattached;
+      std::lock_guard<std::mutex> filter_lock(filter_mu_);
+      remote_filters_.push_back(std::move(filter));
+    }
+  }
+  if (reattached > 0) {
+    filters_reattached_.fetch_add(reattached, std::memory_order_relaxed);
+    if (obs::Trace::enabled()) {
+      obs::TraceInstant("aip_reattach",
+                        "\"site\":" + std::to_string(id_) +
+                            ",\"filters\":" + std::to_string(reattached));
+    }
+  }
+  return published;
 }
 
 Status SiteEngine::InstallAip(size_t index, const AipOptions& options,
@@ -51,6 +83,10 @@ std::vector<SourceOperator*> SiteEngine::AllSources() const {
 int SiteEngine::AttachRemoteFilter(AttrId attr,
                                    std::shared_ptr<const AipSet> set,
                                    const std::string& label) {
+  // The delivery is recorded even when no current scan carries the attr:
+  // a fragment published later (a migration target) may, and the replay in
+  // PublishFragment is how it receives filters delivered before it existed.
+  delivered_filters_.Record(attr, set, label);
   int attached = 0;
   // Under fragments_mu_: a migration may publish a rebuilt fragment on
   // this site while filters are being delivered.

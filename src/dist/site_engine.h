@@ -5,6 +5,7 @@
 #ifndef PUSHSIP_DIST_SITE_ENGINE_H_
 #define PUSHSIP_DIST_SITE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,6 +72,14 @@ class SiteEngine {
   /// Tuples pruned at this site's scans by remotely shipped filters.
   int64_t remote_filter_pruned() const;
 
+  /// AIP filters re-attached to fragments published mid-query: every
+  /// delivery recorded by AttachRemoteFilter is replayed onto the scans of
+  /// each later PublishFragment, so a migrated fragment starts with the
+  /// pruning its predecessor had (shippers never retry a delivered label).
+  int64_t filters_reattached() const {
+    return filters_reattached_.load(std::memory_order_relaxed);
+  }
+
  private:
   int id_;
   std::string name_;
@@ -84,6 +93,11 @@ class SiteEngine {
 
   mutable std::mutex filter_mu_;
   std::vector<std::shared_ptr<AipFilter>> remote_filters_;
+
+  /// Every filter ever delivered to this site, replayed onto fragments
+  /// published after the delivery.
+  DeliveredFilterLedger delivered_filters_;
+  std::atomic<int64_t> filters_reattached_{0};
 };
 
 /// Builds the RemoteFilterShipFn for a port whose stream is produced at

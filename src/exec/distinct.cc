@@ -1,5 +1,7 @@
 #include "exec/distinct.h"
 
+#include "util/serde.h"
+
 namespace pushsip {
 
 DistinctOp::~DistinctOp() {
@@ -28,6 +30,58 @@ std::vector<uint64_t> DistinctOp::StateColumnHashes(int col) const {
 int64_t DistinctOp::NumDistinct() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(seen_.size());
+}
+
+void DistinctOp::ResetForReplay() {
+  Operator::ResetForReplay();
+  std::lock_guard<std::mutex> lock(mu_);
+  seen_.clear();
+  if (state_bytes_ > 0) {
+    ctx_->state_tracker().Release(state_bytes_);
+    state_bytes_ = 0;
+  }
+}
+
+Status DistinctOp::SnapshotState(std::string* meta,
+                                 std::vector<Batch>* batches) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  serde::AppendU64(seen_.size(), meta);
+  Batch state;
+  state.SetArity(all_cols_.size());
+  state.Reserve(seen_.size());
+  for (const auto& [_, t] : seen_) state.AppendRow(t);
+  batches->push_back(std::move(state));
+  return Status::OK();
+}
+
+Status DistinctOp::RestoreState(const std::string& meta,
+                                std::vector<Batch>&& batches) {
+  serde::Reader reader(meta);
+  uint64_t count;
+  PUSHSIP_RETURN_NOT_OK(reader.ReadU64(&count));
+  if (batches.size() != 1 || batches[0].size() != count) {
+    return Status::IOError(name() + ": distinct checkpoint shape mismatch");
+  }
+  // The wire encoding drops the arity of an empty batch, so a cut taken
+  // before any row was seen has no columns to hash (or replay).
+  if (count == 0) return Status::OK();
+  Batch& state = batches[0];
+  std::vector<uint64_t> scratch;
+  const std::vector<uint64_t>& key_hashes =
+      state.KeyHashes(all_cols_, &scratch);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t r = 0; r < count; ++r) {
+    Tuple row = state.MaterializeRow(r);
+    const int64_t bytes = static_cast<int64_t>(row.FootprintBytes()) + 16;
+    state_bytes_ += bytes;
+    ctx_->state_tracker().Add(bytes);
+    seen_.emplace(key_hashes[r], std::move(row));
+  }
+  int64_t prev = peak_state_.load(std::memory_order_relaxed);
+  while (state_bytes_ > prev &&
+         !peak_state_.compare_exchange_weak(prev, state_bytes_)) {
+  }
+  return Status::OK();
 }
 
 Status DistinctOp::DoPush(int, Batch&& batch) {

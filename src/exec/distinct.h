@@ -29,6 +29,17 @@ class DistinctOp : public Operator {
 
   int64_t NumDistinct() const;
 
+  /// Drops the seen-set (plus the base latches) for a from-scratch replay.
+  void ResetForReplay() override;
+
+  // State checkpointing: one batch of the seen tuples in table-iteration
+  // order; hashes are recomputed on restore (pure value functions).
+  bool SupportsStateSnapshot() const override { return true; }
+  Status SnapshotState(std::string* meta,
+                       std::vector<Batch>* batches) const override;
+  Status RestoreState(const std::string& meta,
+                      std::vector<Batch>&& batches) override;
+
  protected:
   Status DoPush(int port, Batch&& batch) override;
   Status DoFinish(int /*port*/) override { return EmitFinish(); }

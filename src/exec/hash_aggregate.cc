@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/serde.h"
+
 namespace pushsip {
 
 HashAggregate::HashAggregate(ExecContext* ctx, std::string name,
@@ -55,6 +57,117 @@ int64_t HashAggregate::NumGroups() const {
   return static_cast<int64_t>(groups_.size());
 }
 
+void HashAggregate::ResetForReplay() {
+  Operator::ResetForReplay();
+  std::lock_guard<std::mutex> lock(mu_);
+  groups_.clear();
+  next_group_seq_ = 0;
+  if (state_bytes_ > 0) {
+    ctx_->state_tracker().Release(state_bytes_);
+    state_bytes_ = 0;
+  }
+  results_emitted_ = false;
+}
+
+Status HashAggregate::SnapshotState(std::string* meta,
+                                    std::vector<Batch>* batches) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  serde::AppendU8(results_emitted_ ? 1 : 0, meta);
+  serde::AppendU64(groups_.size(), meta);
+  // Serialize in group-creation order (seq), not iteration order: the
+  // restore replays the snapshot as an emplace sequence, and only the
+  // original sequence rebuilds the original table layout.
+  std::vector<const Group*> ordered;
+  ordered.reserve(groups_.size());
+  for (const auto& [_, g] : groups_) ordered.push_back(&g);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Group* a, const Group* b) { return a->seq < b->seq; });
+  Batch state;
+  state.SetArity(group_cols_.size() + aggs_.size() * 5);
+  state.Reserve(groups_.size());
+  std::vector<Value> row;
+  for (const Group* g : ordered) {
+    row.clear();
+    for (const Value& v : g->key.values()) row.push_back(v);
+    for (const AggState& s : g->states) {
+      const AggState::Parts p = s.ToParts();
+      row.push_back(Value::Int64(p.count));
+      row.push_back(Value::Double(p.sum));
+      row.push_back(Value::Int64(p.sum_integral ? 1 : 0));
+      row.push_back(Value::Int64(p.isum));
+      row.push_back(p.extreme);
+    }
+    state.AppendRow(row);
+  }
+  batches->push_back(std::move(state));
+  return Status::OK();
+}
+
+Status HashAggregate::RestoreState(const std::string& meta,
+                                   std::vector<Batch>&& batches) {
+  serde::Reader reader(meta);
+  uint8_t emitted;
+  uint64_t count;
+  PUSHSIP_RETURN_NOT_OK(reader.ReadU8(&emitted));
+  PUSHSIP_RETURN_NOT_OK(reader.ReadU64(&count));
+  if (batches.size() != 1 || batches[0].size() != count) {
+    return Status::IOError(name() + ": aggregate checkpoint shape mismatch");
+  }
+  if (count == 0) {
+    // A cut before any group formed: the wire encoding drops the arity of
+    // an empty batch, so there is no layout to validate (or replay).
+    std::lock_guard<std::mutex> lock(mu_);
+    next_group_seq_ = 0;
+    results_emitted_ = emitted != 0;
+    return Status::OK();
+  }
+  const Batch& state = batches[0];
+  const size_t k = group_cols_.size();
+  if (state.num_cols() != k + aggs_.size() * 5) {
+    return Status::IOError(name() + ": aggregate checkpoint arity mismatch");
+  }
+  // Group hashes are recomputed from the restored key values with the same
+  // column-hash formula DoPush used, and groups are re-emplaced in their
+  // original creation order, reproducing the table layout — and with it
+  // DoFinish's emission order — exactly.
+  std::vector<int> key_cols(k);
+  for (size_t i = 0; i < k; ++i) key_cols[i] = static_cast<int>(i);
+  std::vector<uint64_t> scratch;
+  const std::vector<uint64_t>& key_hashes = state.KeyHashes(key_cols, &scratch);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t r = 0; r < count; ++r) {
+    Group g;
+    std::vector<Value> key_values;
+    key_values.reserve(k);
+    for (size_t c = 0; c < k; ++c) key_values.push_back(state.ValueAt(r, c));
+    g.key = Tuple(std::move(key_values));
+    g.seq = static_cast<int64_t>(r);
+    g.states.reserve(aggs_.size());
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      const size_t base = k + i * 5;
+      AggState::Parts p;
+      p.count = state.ValueAt(r, base).AsInt64();
+      p.sum = state.ValueAt(r, base + 1).AsDouble();
+      p.sum_integral = state.ValueAt(r, base + 2).AsInt64() != 0;
+      p.isum = state.ValueAt(r, base + 3).AsInt64();
+      p.extreme = state.ValueAt(r, base + 4);
+      g.states.push_back(AggState::FromParts(aggs_[i].func, p));
+    }
+    const int64_t bytes = static_cast<int64_t>(g.key.FootprintBytes()) +
+                          static_cast<int64_t>(aggs_.size()) * 48 + 16;
+    state_bytes_ += bytes;
+    ctx_->state_tracker().Add(bytes);
+    groups_.emplace(key_hashes[r], std::move(g));
+  }
+  next_group_seq_ = static_cast<int64_t>(count);
+  results_emitted_ = emitted != 0;
+  const int64_t now = state_bytes_;
+  int64_t prev = peak_state_.load(std::memory_order_relaxed);
+  while (now > prev && !peak_state_.compare_exchange_weak(prev, now)) {
+  }
+  return Status::OK();
+}
+
 Status HashAggregate::DoPush(int, Batch&& batch) {
   // Group-key hashes come from the batch's cached lane when available
   // (e.g. computed by an AIP filter or shuffle on the same keys), and are
@@ -89,6 +202,7 @@ Status HashAggregate::DoPush(int, Batch&& batch) {
         key_values.push_back(batch.ValueAt(r, static_cast<size_t>(c)));
       }
       g.key = Tuple(std::move(key_values));
+      g.seq = next_group_seq_++;
       g.states.reserve(aggs_.size());
       for (const AggSpec& a : aggs_) g.states.emplace_back(a.func);
       const int64_t bytes = static_cast<int64_t>(g.key.FootprintBytes()) +
@@ -119,6 +233,11 @@ Status HashAggregate::DoFinish(int) {
   std::vector<std::vector<Value>> rows;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A checkpoint-restored operator whose results already flowed (and were
+    // snapshotted inside the downstream state) must not emit them twice;
+    // only the finish signal is replayed.
+    if (results_emitted_) return EmitFinish();
+    results_emitted_ = true;
     rows.reserve(groups_.size());
     // NULL-key groups never arise: group keys with NULLs are legal SQL but
     // the workload's grouping keys are key columns; handled uniformly here

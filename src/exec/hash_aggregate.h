@@ -40,6 +40,21 @@ class HashAggregate : public Operator {
                                  const std::vector<int>& group_cols,
                                  const std::vector<AggSpec>& aggs);
 
+  /// Drops the group table (plus the base latches) for a from-scratch replay.
+  void ResetForReplay() override;
+
+  // State checkpointing: one batch holding, per group, the key values
+  // followed by each AggState's raw running fields (count, sum bits,
+  // integral flag, integer sum, running extreme). `meta` records whether
+  // DoFinish had already emitted the results before the snapshot — a
+  // restored operator must then re-signal finish without re-emitting rows
+  // the downstream state already incorporated.
+  bool SupportsStateSnapshot() const override { return true; }
+  Status SnapshotState(std::string* meta,
+                       std::vector<Batch>* batches) const override;
+  Status RestoreState(const std::string& meta,
+                      std::vector<Batch>&& batches) override;
+
  protected:
   Status DoPush(int port, Batch&& batch) override;
   Status DoFinish(int port) override;
@@ -48,6 +63,11 @@ class HashAggregate : public Operator {
   struct Group {
     Tuple key;  // values of the group columns
     std::vector<AggState> states;
+    /// Creation order. Snapshots serialize groups by seq so a restore
+    /// replays the original emplace sequence — the hash table's layout
+    /// (and with it DoFinish's emission order) is a deterministic function
+    /// of that sequence, which iteration order alone is not.
+    int64_t seq = 0;
   };
 
   std::vector<int> group_cols_;
@@ -55,7 +75,13 @@ class HashAggregate : public Operator {
 
   mutable std::mutex mu_;
   std::unordered_multimap<uint64_t, Group> groups_;
+  int64_t next_group_seq_ = 0;
   int64_t state_bytes_ = 0;
+  /// Set once DoFinish has emitted the result rows. Checkpointed: a restore
+  /// with the flag set makes the re-run DoFinish forward only the finish
+  /// signal (the rows already reached — and were checkpointed inside — the
+  /// downstream operators).
+  bool results_emitted_ = false;
   std::atomic<int64_t> peak_state_{0};
 };
 

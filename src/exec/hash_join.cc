@@ -1,5 +1,7 @@
 #include "exec/hash_join.h"
 
+#include "util/serde.h"
+
 namespace pushsip {
 
 SymmetricHashJoin::SymmetricHashJoin(ExecContext* ctx, std::string name,
@@ -66,6 +68,87 @@ void SymmetricHashJoin::BumpPeak() {
   int64_t prev = peak_state_.load(std::memory_order_relaxed);
   while (now > prev && !peak_state_.compare_exchange_weak(prev, now)) {
   }
+}
+
+void SymmetricHashJoin::ResetForReplay() {
+  Operator::ResetForReplay();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Side& side : sides_) {
+    ReleaseSide(&side);
+    side.finished = false;
+    side.buffering = true;
+    side.complete_at_finish = false;
+  }
+}
+
+Status SymmetricHashJoin::SnapshotState(std::string* meta,
+                                        std::vector<Batch>* batches) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Side& side : sides_) {
+    serde::AppendU8(side.finished ? 1 : 0, meta);
+    serde::AppendU8(side.buffering ? 1 : 0, meta);
+    serde::AppendU8(side.complete_at_finish ? 1 : 0, meta);
+    serde::AppendU32(static_cast<uint32_t>(side.batches.size()), meta);
+    for (const Batch& b : side.batches) {
+      Batch copy;
+      copy.SetArity(b.num_cols());
+      for (size_t r = 0; r < b.size(); ++r) copy.AppendRowFrom(b, r);
+      batches->push_back(std::move(copy));
+    }
+  }
+  return Status::OK();
+}
+
+Status SymmetricHashJoin::RestoreState(const std::string& meta,
+                                       std::vector<Batch>&& batches) {
+  serde::Reader reader(meta);
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t next = 0;
+  for (int port = 0; port < 2; ++port) {
+    Side& side = sides_[port];
+    ReleaseSide(&side);
+    uint8_t finished, buffering, complete;
+    uint32_t count;
+    PUSHSIP_RETURN_NOT_OK(reader.ReadU8(&finished));
+    PUSHSIP_RETURN_NOT_OK(reader.ReadU8(&buffering));
+    PUSHSIP_RETURN_NOT_OK(reader.ReadU8(&complete));
+    PUSHSIP_RETURN_NOT_OK(reader.ReadU32(&count));
+    if (next + count > batches.size()) {
+      return Status::IOError(name() + ": join checkpoint batch count mismatch");
+    }
+    const std::vector<int>& keys = port == 0 ? left_keys_ : right_keys_;
+    for (uint32_t i = 0; i < count; ++i) {
+      Batch batch = std::move(batches[next++]);
+      if (batch.empty()) {
+        // The wire encoding drops the arity of an empty batch; keep the
+        // slot (so batch indices keep parity with the snapshot) but there
+        // are no rows — and no columns — to hash.
+        side.batches.push_back(std::move(batch));
+        continue;
+      }
+      // Recompute the key hashes and re-insert in the original order: the
+      // hash is a pure function of the key values, so the rebuilt table has
+      // the same buckets — and the same chain order — as the original.
+      std::vector<uint64_t> scratch;
+      const std::vector<uint64_t>& key_hashes = batch.KeyHashes(keys, &scratch);
+      const size_t n = batch.size();
+      const uint32_t bi = static_cast<uint32_t>(side.batches.size());
+      for (size_t r = 0; r < n; ++r) {
+        side.table.emplace(key_hashes[r],
+                           std::make_pair(bi, static_cast<uint32_t>(r)));
+      }
+      const int64_t bytes = static_cast<int64_t>(batch.FootprintBytes()) +
+                            static_cast<int64_t>(n) * 48;
+      side.state_bytes += bytes;
+      ctx_->state_tracker().Add(bytes);
+      side.batches.push_back(std::move(batch));
+    }
+    side.finished = finished != 0;
+    side.buffering = buffering != 0;
+    side.complete_at_finish = complete != 0;
+  }
+  BumpPeak();
+  return Status::OK();
 }
 
 Status SymmetricHashJoin::DoPush(int port, Batch&& batch) {

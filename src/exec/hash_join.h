@@ -51,6 +51,21 @@ class SymmetricHashJoin : public Operator {
     return port == 0 ? left_keys_ : right_keys_;
   }
 
+  /// Drops both sides' build state (plus the base latches): the fragment
+  /// restarts from the last checkpoint, or from scratch when none exists.
+  void ResetForReplay() override;
+
+  // State checkpointing: `meta` carries each side's flags and batch count;
+  // the batches are both sides' retained build batches in insertion order.
+  // RestoreState re-inserts rows batch-by-batch, row-by-row — the exact
+  // original insertion sequence — so bucket-chain order (and with it probe
+  // emission order) matches the snapshotted run.
+  bool SupportsStateSnapshot() const override { return true; }
+  Status SnapshotState(std::string* meta,
+                       std::vector<Batch>* batches) const override;
+  Status RestoreState(const std::string& meta,
+                      std::vector<Batch>&& batches) override;
+
  protected:
   Status DoPush(int port, Batch&& batch) override;
   Status DoFinish(int port) override;

@@ -172,9 +172,38 @@ class Operator {
   /// push and finish again. Row/prune counters stay cumulative — replayed
   /// work is real work and shows up as recovery overhead. Only called by
   /// the multi-site driver, after every thread of the fragment has exited.
-  /// Stateful operators are never part of a replayable fragment, so the
-  /// base implementation is sufficient for all eligible shapes.
+  /// Stateful operators (join/agg/distinct) additionally drop their buffered
+  /// state, returning to the just-constructed shape; the checkpoint/restore
+  /// protocol below re-fills them when a checkpoint exists.
   virtual void ResetForReplay();
+
+  // --- state checkpointing (stateful fragment recovery) ---
+  //
+  // A stateful operator exports its buffered state as (meta, batches):
+  // `meta` is a small operator-private byte string (flags, counts — the
+  // operator owns the encoding) and `batches` carry the bulk state as
+  // ordinary columnar batches, which the checkpointing layer serializes
+  // through wire v2 like any exchange payload. RestoreState expects the
+  // operator to be freshly reset (ResetForReplay) and re-inserts the rows
+  // in their serialized order, so hash-table iteration order — and with it
+  // downstream emission order — reproduces the snapshotted run exactly.
+  // Snapshot/Restore are called only while no thread is pushing into the
+  // fragment (the checkpoint holds the fragment's exclusive lock, restore
+  // runs after every fragment thread exited).
+
+  /// True when this operator implements SnapshotState/RestoreState.
+  virtual bool SupportsStateSnapshot() const { return false; }
+  /// Exports the operator's buffered state. Appends to `batches`.
+  virtual Status SnapshotState(std::string* /*meta*/,
+                               std::vector<Batch>* /*batches*/) const {
+    return Status::NotImplemented(name_ + ": state snapshot not supported");
+  }
+  /// Rebuilds the operator's state from a SnapshotState export. The
+  /// operator must be in its reset (empty) state.
+  virtual Status RestoreState(const std::string& /*meta*/,
+                              std::vector<Batch>&& /*batches*/) {
+    return Status::NotImplemented(name_ + ": state restore not supported");
+  }
 
  protected:
   /// Type-specific batch processing. `port` is 0..num_inputs-1.

@@ -27,6 +27,30 @@ class AggState {
 
   AggFunc func() const { return func_; }
 
+  /// \brief The running state laid bare, for checkpoint serialization.
+  ///
+  /// A restored state built via FromParts is bit-identical to the original:
+  /// the double sum round-trips as raw bits, and the integral/double SUM
+  /// promotion flag is preserved, so later Updates continue the exact same
+  /// accumulation sequence.
+  struct Parts {
+    int64_t count = 0;
+    double sum = 0;
+    bool sum_integral = true;
+    int64_t isum = 0;
+    Value extreme;
+  };
+  Parts ToParts() const { return {count_, sum_, sum_integral_, isum_, extreme_}; }
+  static AggState FromParts(AggFunc func, const Parts& p) {
+    AggState s(func);
+    s.count_ = p.count;
+    s.sum_ = p.sum;
+    s.sum_integral_ = p.sum_integral;
+    s.isum_ = p.isum;
+    s.extreme_ = p.extreme;
+    return s;
+  }
+
  private:
   AggFunc func_;
   int64_t count_ = 0;

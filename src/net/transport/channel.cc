@@ -17,7 +17,7 @@ bool ExchangeChannel::PushLocked(std::string bytes, uint64_t token) {
 bool ExchangeChannel::SendBatch(std::string bytes, double* stalled_sec) {
   std::unique_lock<std::mutex> lock(mu_);
   const auto admissible = [this] {
-    return queue_.empty() ||
+    return consumed_ || queue_.empty() ||
            (queue_.size() < capacity_ && queue_bytes_ < max_bytes_);
   };
   if (!cancelled_ && !admissible()) {
@@ -26,13 +26,32 @@ bool ExchangeChannel::SendBatch(std::string bytes, double* stalled_sec) {
     if (stalled_sec != nullptr) *stalled_sec += stall.ElapsedSeconds();
   }
   if (cancelled_) return false;
+  // Consumer already finished: the frame can never be read, so drop it
+  // (reporting success — the sender is a replaying producer whose other,
+  // still-live consumers are the reason it is running at all).
+  if (consumed_) return true;
   return PushLocked(std::move(bytes), /*token=*/0);
 }
 
 bool ExchangeChannel::ForcePush(std::string bytes, uint64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (cancelled_) return false;
-  return PushLocked(std::move(bytes), token);
+  uint64_t drop_token = 0;
+  size_t drop_size = 0;
+  std::function<void(uint64_t, size_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_) return false;
+    if (consumed_) {
+      // Dropped on the floor, but the remote sender's credit must still
+      // come back or its window starves: drain the token immediately.
+      drop_token = token;
+      drop_size = bytes.size();
+      if (token != 0) hook = drain_hook_;
+    } else {
+      return PushLocked(std::move(bytes), token);
+    }
+  }
+  if (hook != nullptr) hook(drop_token, drop_size);
+  return true;
 }
 
 void ExchangeChannel::SetDrainHook(
@@ -82,6 +101,34 @@ bool ExchangeChannel::Receive(std::string* bytes) {
     const RecvStatus r = Receive(bytes, std::chrono::milliseconds(100));
     if (r == RecvStatus::kTimeout) continue;
     return r == RecvStatus::kMessage;
+  }
+}
+
+void ExchangeChannel::CloseConsumed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consumed_ = true;
+  // Anyone blocked on capacity can proceed (and have its frame discarded).
+  can_send_.notify_all();
+}
+
+void ExchangeChannel::DrainAndReopen() {
+  std::deque<Item> dropped;
+  std::function<void(uint64_t, size_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped.swap(queue_);
+    queue_bytes_ = 0;
+    finished_senders_ = 0;
+    consumed_ = false;
+    hook = drain_hook_;
+    can_send_.notify_all();
+  }
+  // Credit tokens of transport-delivered frames are drained outside the
+  // lock, exactly as a normal consume would.
+  if (hook != nullptr) {
+    for (const Item& item : dropped) {
+      if (item.token != 0) hook(item.token, item.bytes.size());
+    }
   }
 }
 

@@ -100,6 +100,22 @@ class ExchangeChannel {
   /// Unblocks all senders and receivers; subsequent operations fail fast.
   void Cancel();
 
+  /// Marks the consumer side complete: the receiver drained the stream and
+  /// emitted its finish. Later sends are silently discarded (their credit
+  /// tokens are drained immediately) instead of filling the bounded queue —
+  /// a stateful-fragment recovery replays *every* producer, including those
+  /// feeding consumers that already finished, and must not deadlock on
+  /// their abandoned channels.
+  void CloseConsumed();
+
+  /// Rearms the channel for a stateful-fragment restore: discards every
+  /// queued frame (draining their credit tokens), clears the finish count
+  /// and the consumed mark. The restored receiver starts from its
+  /// checkpointed high-waters and every producer is relaunched, so anything
+  /// queued is either a pre-checkpoint duplicate or will be re-sent at the
+  /// producers' next epoch.
+  void DrainAndReopen();
+
   int64_t messages_sent() const { return messages_sent_.load(); }
   int64_t payload_bytes() const { return payload_bytes_.load(); }
   /// Instantaneous queue depth (tests: the backpressure invariant).
@@ -127,6 +143,7 @@ class ExchangeChannel {
   std::function<void(uint64_t, size_t)> drain_hook_;
   int finished_senders_ = 0;
   bool cancelled_ = false;
+  bool consumed_ = false;
   std::atomic<int> next_slot_{0};
   std::atomic<int64_t> messages_sent_{0};
   std::atomic<int64_t> payload_bytes_{0};

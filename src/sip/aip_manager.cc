@@ -358,4 +358,25 @@ int64_t AipManager::sets_bytes() const {
   return bytes;
 }
 
+void DeliveredFilterLedger::Record(AttrId attr,
+                                   std::shared_ptr<const AipSet> set,
+                                   const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : entries_) {
+    if (entry.label == label) return;
+  }
+  entries_.push_back(Entry{attr, std::move(set), label});
+}
+
+std::vector<DeliveredFilterLedger::Entry> DeliveredFilterLedger::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+int64_t DeliveredFilterLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
 }  // namespace pushsip

@@ -26,6 +26,35 @@ struct AipDecision {
   bool built = false;
 };
 
+/// \brief Per-site record of every AIP filter successfully delivered to
+/// the site, so a fragment published mid-query (a migration target) can be
+/// re-armed with the filters its predecessor already carried. Shippers
+/// memoize successful deliveries per label and never retry them, which is
+/// exactly why a freshly published fragment would otherwise stream
+/// unfiltered forever. Deduplicated by label; thread-safe.
+class DeliveredFilterLedger {
+ public:
+  struct Entry {
+    AttrId attr = kInvalidAttr;
+    std::shared_ptr<const AipSet> set;
+    std::string label;
+  };
+
+  /// Records one delivered filter; a label already recorded is ignored
+  /// (re-deliveries after a reship carry identical content).
+  void Record(AttrId attr, std::shared_ptr<const AipSet> set,
+              const std::string& label);
+
+  /// A copy of every recorded delivery, in delivery order.
+  std::vector<Entry> Snapshot() const;
+
+  int64_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
 /// \brief The cost-based AIP Manager.
 class AipManager {
  public:

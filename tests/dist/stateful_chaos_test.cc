@@ -1,0 +1,277 @@
+// Stateful-fragment recovery suite (ctest labels: dist, chaos, adaptive):
+// kill a Q17 compute fragment mid-join-build or mid-aggregate — on the sim
+// mesh and over real TCP sockets — and require the recovered run to
+// produce the clean answer, restored from a checkpoint instead of replayed
+// into empty state. The deterministic-merge variants assert bit-identical
+// answers across the failure; the AIP variant asserts a migrated fragment
+// re-acquires every Bloom filter its site had already been shipped.
+//
+// Timing-dependent by design: kill positions sweep with PUSHSIP_TEST_SEED.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/reopt_controller.h"
+#include "dist/multi_process.h"
+#include "dist/scale_out.h"
+#include "net/fault_injector.h"
+#include "tests/testing/catalog_factory.h"
+#include "tests/testing/test_rng.h"
+
+namespace pushsip {
+namespace {
+
+using adaptive::AdaptiveOptions;
+using adaptive::InstallAdaptiveRuntime;
+using testing::TestSeed;
+using testing::TinyTpchCatalog;
+
+struct Outcome {
+  DistQueryStats stats;
+  std::vector<Tuple> rows;
+};
+
+ScaleOutOptions StatefulOptions(int sites) {
+  ScaleOutOptions options;
+  options.num_sites = sites;
+  options.weak_part_filter = true;
+  // Small windows + pacing: many exchange frames per stream, so the kill
+  // and the checkpoint cuts both land genuinely mid-stream.
+  options.batch_size = 128;
+  options.pace_every_rows = 128;
+  options.pace_ms = 1.0;
+  return options;
+}
+
+Outcome RunQ17(const std::shared_ptr<Catalog>& catalog,
+               const ScaleOutOptions& options, bool over_tcp = false,
+               AdaptiveOptions* adaptive = nullptr) {
+  auto built = BuildScaleOutQuery(ScaleOutQuery::kQ17, catalog, options);
+  built.status().CheckOK();
+  if (adaptive != nullptr) InstallAdaptiveRuntime(built->get(), *adaptive);
+  if (over_tcp) WireInProcessTcp(**built).status().CheckOK();
+  auto stats = (*built)->Run();
+  stats.status().CheckOK();
+  Outcome out;
+  out.stats = *stats;
+  out.rows = (*built)->root_sink->TakeRows();
+  return out;
+}
+
+// Near-equality: the recovered run delivers the identical tuple multiset,
+// but without deterministic merge the floating-point summation order of
+// the partials may differ.
+void ExpectSameAnswer(const Outcome& want, const Outcome& got) {
+  ASSERT_EQ(want.rows.size(), 1u);
+  ASSERT_EQ(got.rows.size(), 1u);
+  const Value& w = want.rows[0].at(0);
+  const Value& g = got.rows[0].at(0);
+  if (w.is_null()) {
+    EXPECT_TRUE(g.is_null());
+  } else {
+    EXPECT_NEAR(g.AsDouble(), w.AsDouble(),
+                std::abs(w.AsDouble()) * 1e-9 + 1e-9);
+  }
+}
+
+// Under ordered_merge every receiver emits its stream in (sender, seq)
+// order, so the answer must be bit-identical — across a recovery, and
+// across transport backends.
+void ExpectBitIdenticalAnswer(const Outcome& want, const Outcome& got) {
+  ASSERT_EQ(want.rows.size(), 1u);
+  ASSERT_EQ(got.rows.size(), 1u);
+  const Value& w = want.rows[0].at(0);
+  const Value& g = got.rows[0].at(0);
+  ASSERT_EQ(w.is_null(), g.is_null());
+  if (!w.is_null()) {
+    EXPECT_DOUBLE_EQ(g.AsDouble(), w.AsDouble());
+  }
+}
+
+// Tentpole acceptance (sim): one compute fragment loses its broadcast part
+// stream mid-join-build; the supervisor restores the fragment's join build
+// and replay progress from its last checkpoint, replays the producers, and
+// the answer matches a clean run.
+TEST(StatefulChaosTest, KillMidJoinBuildRestoresFromCheckpoint) {
+  const uint64_t seed = TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+  auto catalog = TinyTpchCatalog();
+
+  const Outcome clean = RunQ17(catalog, StatefulOptions(4));
+  ASSERT_EQ(clean.stats.state_recoveries, 0);
+
+  ScaleOutOptions options = StatefulOptions(4);
+  // The part broadcast carries only a handful of frames (one non-empty
+  // window per shard), so the kill lands on the second and a one-frame
+  // checkpoint interval guarantees a cut exists before it.
+  options.checkpoint_interval_frames = 1;
+  options.stateful_kill_site = 1 + static_cast<int>(seed % 3);
+  options.stateful_kill_after_frames = 2;
+  const Outcome chaos = RunQ17(catalog, options);
+
+  ExpectSameAnswer(clean, chaos);
+  EXPECT_GE(chaos.stats.fragment_restarts, 1);
+  EXPECT_GE(chaos.stats.checkpoints_taken, 1);
+  EXPECT_GT(chaos.stats.checkpoint_bytes, 0);
+  EXPECT_GE(chaos.stats.state_recoveries, 1);
+  EXPECT_GE(chaos.stats.restore_seconds, 0.0);
+}
+
+// Same, but the l2 shuffle dies mid-aggregate: the restored state is the
+// AVG group table (plus whatever part build the cut had), and the kill
+// position sweeps with the seed across the much longer lineitem stream.
+TEST(StatefulChaosTest, KillMidAggregateRestoresFromCheckpoint) {
+  const uint64_t seed = TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+  auto catalog = TinyTpchCatalog();
+
+  const Outcome clean = RunQ17(catalog, StatefulOptions(4));
+
+  ScaleOutOptions options = StatefulOptions(4);
+  options.checkpoint_interval_frames = 2;
+  options.stateful_kill_site = 1 + static_cast<int>(seed % 3);
+  options.stateful_kill_after_frames = 6 + static_cast<int64_t>(seed % 24);
+  options.stateful_kill_aggregate = true;
+  const Outcome chaos = RunQ17(catalog, options);
+
+  ExpectSameAnswer(clean, chaos);
+  EXPECT_GE(chaos.stats.fragment_restarts, 1);
+  EXPECT_GE(chaos.stats.checkpoints_taken, 1);
+  EXPECT_GE(chaos.stats.state_recoveries, 1);
+}
+
+// With checkpointing disabled the same kill still recovers — by the
+// pre-existing full replay into reset operators — proving the checkpoint
+// path is an optimization, never a correctness requirement.
+TEST(StatefulChaosTest, KillWithoutCheckpointsFallsBackToFullReplay) {
+  const uint64_t seed = TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+  auto catalog = TinyTpchCatalog();
+
+  const Outcome clean = RunQ17(catalog, StatefulOptions(4));
+
+  ScaleOutOptions options = StatefulOptions(4);
+  options.checkpoint_interval_frames = 0;  // no cuts, ever
+  options.stateful_kill_site = 1 + static_cast<int>(seed % 3);
+  options.stateful_kill_after_frames = 6 + static_cast<int64_t>(seed % 24);
+  options.stateful_kill_aggregate = true;
+  const Outcome chaos = RunQ17(catalog, options);
+
+  ExpectSameAnswer(clean, chaos);
+  EXPECT_GE(chaos.stats.fragment_restarts, 1);
+  EXPECT_EQ(chaos.stats.checkpoints_taken, 0);
+  EXPECT_EQ(chaos.stats.state_recoveries, 0);
+}
+
+// Deterministic merge makes recovery bit-exact: sweep several kill
+// positions through the aggregate stream and require every recovered
+// answer to equal the clean ordered-merge answer to the last bit.
+TEST(StatefulChaosTest, DeterministicMergeBitIdenticalAcrossRecoveries) {
+  const uint64_t seed = TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+  auto catalog = TinyTpchCatalog();
+
+  ScaleOutOptions base = StatefulOptions(4);
+  base.deterministic_merge = true;
+  const Outcome clean = RunQ17(catalog, base);
+
+  for (int i = 0; i < 5; ++i) {
+    ScaleOutOptions options = base;
+    options.checkpoint_interval_frames = 2;
+    options.stateful_kill_site = 1 + static_cast<int>((seed + i) % 3);
+    options.stateful_kill_aggregate = (i % 2 == 0);
+    // The part broadcast carries only a handful of frames per shard; the
+    // l2 shuffle carries dozens. Size the kill position to the stream.
+    options.stateful_kill_after_frames =
+        options.stateful_kill_aggregate
+            ? 4 + static_cast<int64_t>((seed + 7 * i) % 32)
+            : 1 + static_cast<int64_t>((seed + i) % 2);
+    const Outcome chaos = RunQ17(catalog, options);
+    SCOPED_TRACE("kill_after=" +
+                 std::to_string(options.stateful_kill_after_frames) +
+                 " site=" + std::to_string(options.stateful_kill_site) +
+                 " aggregate=" +
+                 std::to_string(options.stateful_kill_aggregate));
+    ExpectBitIdenticalAnswer(clean, chaos);
+    EXPECT_GE(chaos.stats.fragment_restarts, 1);
+  }
+}
+
+// The same stateful recovery over real TCP sockets (every cross-site edge
+// on a loopback connection with credit flow control, one endpoint per
+// site in-process): the recovered TCP answer is bit-identical to the
+// clean *sim* answer under deterministic merge — transport parity and
+// recovery exactness in one assertion.
+TEST(StatefulChaosTest, TcpKillMidStreamMatchesSimBitIdentical) {
+  const uint64_t seed = TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+  auto catalog = TinyTpchCatalog();
+
+  ScaleOutOptions base = StatefulOptions(4);
+  base.deterministic_merge = true;
+  const Outcome sim_clean = RunQ17(catalog, base);
+
+  ScaleOutOptions options = base;
+  options.checkpoint_interval_frames = 2;
+  options.stateful_kill_site = 1 + static_cast<int>(seed % 3);
+  options.stateful_kill_after_frames = 6 + static_cast<int64_t>(seed % 24);
+  options.stateful_kill_aggregate = true;
+  const Outcome tcp_chaos = RunQ17(catalog, options, /*over_tcp=*/true);
+
+  ExpectBitIdenticalAnswer(sim_clean, tcp_chaos);
+  EXPECT_GE(tcp_chaos.stats.fragment_restarts, 1);
+  EXPECT_GE(tcp_chaos.stats.state_recoveries, 1);
+  EXPECT_GT(tcp_chaos.stats.checkpoint_bytes, 0);
+}
+
+// AIP re-attach on publish: a map fragment migrated off a permanently dead
+// site must start with the Bloom filters its new host had already been
+// shipped — the ledger replay in PublishFragment — so the recovered run
+// keeps pruning at the source instead of streaming unfiltered.
+TEST(StatefulChaosTest, MigratedFragmentReacquiresDeliveredAipFilters) {
+  const uint64_t seed = TestSeed();
+  PUSHSIP_SEED_TRACE(seed);
+  auto catalog = TinyTpchCatalog();
+
+  ScaleOutOptions base = StatefulOptions(4);
+  base.aip = true;
+  const Outcome clean = RunQ17(catalog, base);
+  ASSERT_GT(clean.stats.aip_sets, 0);
+  ASSERT_GT(clean.stats.rows_source_pruned, 0);
+
+  ScaleOutOptions options = base;
+  options.fault_injector = std::make_shared<FaultInjector>();
+  // Site 2's *outbound* links die for good (heal-resistant: HealFired
+  // disables only fired specs, so in-place retries keep failing and the
+  // adaptive runtime moves site 2's fragments to healthy hosts). Inbound
+  // links stay up: the part broadcast and the Bloom-filter shipments still
+  // reach every site's ledger, and the healthy sites' shuffle senders are
+  // never stranded against a dead destination they cannot migrate away
+  // from. The kill position lands mid-shuffle, after the (small, fast)
+  // part stream completed and its filter was delivered.
+  const int64_t drop_after = 4 + static_cast<int64_t>(seed % 4);
+  for (int dest = 0; dest < 4; ++dest) {
+    for (int i = 0; i < 8; ++i) {
+      options.fault_injector->DropAfter(/*from=*/2, /*to=*/dest, drop_after,
+                                        /*failures=*/1 << 30);
+    }
+  }
+  AdaptiveOptions adaptive;
+  adaptive.migrate_after_failures = 1;  // first genuine failure migrates
+  const Outcome chaos =
+      RunQ17(catalog, options, /*over_tcp=*/false, &adaptive);
+
+  ExpectSameAnswer(clean, chaos);
+  EXPECT_GT(chaos.stats.faults_injected, 0);
+  EXPECT_GE(chaos.stats.fragment_migrations, 1);
+  // The migration target's site ledger replayed at least one delivered
+  // filter onto the rebuilt fragment's scans at publish time...
+  EXPECT_GE(chaos.stats.aip_reattached, 1);
+  // ...so source-side pruning survives the migration: the recovered run
+  // prunes at least as many rows as the clean run (the replayed stream is
+  // rescanned with the filter attached from the first row).
+  EXPECT_GE(chaos.stats.rows_source_pruned, clean.stats.rows_source_pruned);
+}
+
+}  // namespace
+}  // namespace pushsip

@@ -63,6 +63,20 @@ HARD_FLOOR_CELLS = {
     ("wire_stream", "dict_stream"): "metric_mean",
 }
 
+# Semantic counter floors applied to matched *fresh* cells regardless of
+# the baseline's values: these counters record that a mechanism actually
+# engaged (a checkpoint was cut, a restore happened), so a fresh report
+# where they collapse to zero means the cell silently degenerated into a
+# different experiment — fail it even when every timing looks fine.
+COUNTER_FLOOR_CELLS = {
+    ("Q17-scaleout", "Cost-based+kill-stateful"): {
+        "fragment_restarts": 1,
+        "checkpoints_taken": 1,
+        "checkpoint_bytes": 1,
+        "state_recoveries": 1,
+    },
+}
+
 
 def load_cells(path):
     """Loads a report's cells keyed by (query, strategy, sites, transport).
@@ -152,6 +166,26 @@ def check_pair(baseline_path, fresh_path, metrics, threshold,
                 flag = "  << REGRESSION"
             print(f"{name:<44} {metric:<14} {base:>12.6g} {new:>12.6g} "
                   f"{ratio:>7.2f}{flag}")
+    # Counter floors are fresh-side-only: they assert the mechanism the
+    # cell exists to measure actually fired, independent of the baseline.
+    if not hard_only:
+        for key, cell in sorted(fresh.items(), key=str):
+            floors = COUNTER_FLOOR_CELLS.get((key[0], key[1]))
+            if not floors:
+                continue
+            name = f"{key[0]}/{key[1]}/sites={key[2]}"
+            if key[3] != "sim":
+                name += f"/{key[3]}"
+            for metric, floor in sorted(floors.items()):
+                val = cell.get(metric, 0)
+                if not isinstance(val, (int, float)):
+                    val = 0
+                flag = ""
+                if val < floor:
+                    regressions.append((name, metric, floor, val, 0.0))
+                    flag = "  << BELOW FLOOR"
+                print(f"{name:<44} {metric:<14} {'>=' + str(floor):>12} "
+                      f"{val:>12.6g} {'':>7}{flag}")
     if matched == 0:
         print(f"bench_check: no cells matched between {baseline_path} and "
               f"{fresh_path}", file=sys.stderr)
